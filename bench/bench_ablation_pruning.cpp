@@ -1,0 +1,61 @@
+// Ablation: the maximum-LHS-size pruning of §4.3. The paper argues that
+// pruning FDs to short LHSs (a) still admits a correct closure of the
+// remainder, (b) keeps exactly the semantically plausible constraint
+// candidates, and (c) falls out of HyFD for free. This harness sweeps the
+// cap on the TPC-H workload and reports cost (discovery + pipeline time,
+// FD count) against benefit (schema recovery quality).
+//
+// Flags: --scale=<f>, --max-cap=<n>.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "datagen/tpch_like.hpp"
+#include "normalize/normalizer.hpp"
+#include "normalize/schema_compare.hpp"
+
+using namespace normalize;
+using namespace normalize::bench;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  double scale = args.GetDouble("scale", 0.5);
+  int max_cap = args.GetInt("max-cap", 3);
+
+  std::cout << "=== Ablation: max-LHS-size pruning (§4.3) on TPC-H ===\n\n";
+  TpchDataset ds = GenerateTpchLike(TpchScale{}.Scaled(scale));
+  AttributeSet ignored(ds.universal.universe_size());
+  ignored.Set(38);  // constant o_shippriority
+
+  TablePrinter table({"max LHS", "FDs", "total time", "relations",
+                      "avg jaccard", "exact", "keys"});
+  for (int cap = 1; cap <= max_cap; ++cap) {
+    NormalizerOptions options;
+    options.discovery.max_lhs_size = cap;
+    Normalizer normalizer(options);
+    Stopwatch watch;
+    auto result = normalizer.Normalize(ds.universal);
+    double t = watch.ElapsedSeconds();
+    if (!result.ok()) {
+      table.AddRow({std::to_string(cap), "ERR", "", "", "", "", ""});
+      continue;
+    }
+    RecoveryReport report =
+        CompareToGold(ds.gold_schema, result->schema, ignored);
+    char jac[16];
+    std::snprintf(jac, sizeof(jac), "%.3f", report.average_jaccard);
+    table.AddRow({std::to_string(cap),
+                  FormatCount(static_cast<int64_t>(result->stats.num_fds)),
+                  FormatDuration(t),
+                  std::to_string(result->relations.size()), jac,
+                  std::to_string(report.exact_count) + "/8",
+                  std::to_string(report.key_count) + "/8"});
+  }
+  table.Print();
+
+  std::cout << "\nExpected shape: LHS <= 1 misses the composite-key relations "
+               "(partsupp,\nlineitem); LHS <= 2 recovers the schema; larger "
+               "caps multiply the FD count\nand runtime without improving "
+               "recovery — the paper's argument for pruning.\n";
+  return 0;
+}

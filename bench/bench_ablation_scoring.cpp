@@ -1,0 +1,106 @@
+// Ablation: how much does each violating-FD scoring feature (§7.2: length,
+// value, position, duplication) contribute to schema recovery? We rerun the
+// TPC-H normalization with re-weighted rankings — implemented purely as an
+// Advisor that re-sorts the candidate list, exactly the user-in-the-loop
+// interface — and compare the recovered schema against the gold standard.
+//
+// Flags: --scale=<f>, --max-lhs=<n>.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "datagen/tpch_like.hpp"
+#include "normalize/normalizer.hpp"
+#include "normalize/schema_compare.hpp"
+
+using namespace normalize;
+using namespace normalize::bench;
+
+namespace {
+
+struct Weights {
+  std::string name;
+  double length, value, position, duplication;
+};
+
+/// Re-ranks the violating-FD candidates by a weighted feature sum; keys are
+/// left at the default (top-ranked) choice.
+class WeightedAdvisor : public Advisor {
+ public:
+  explicit WeightedAdvisor(const Weights& w) : w_(w) {}
+
+  int ChooseViolatingFd(const Schema&, int,
+                        const std::vector<ScoredFd>& ranked) override {
+    if (ranked.empty()) return -1;
+    int best = 0;
+    double best_score = -1.0;
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      const FdScore& s = ranked[i].score;
+      double total = w_.length * s.length + w_.value * s.value +
+                     w_.position * s.position + w_.duplication * s.duplication;
+      if (total > best_score) {
+        best_score = total;
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+  int ChoosePrimaryKey(const Schema&, int,
+                       const std::vector<ScoredKey>& ranked) override {
+    return ranked.empty() ? -1 : 0;
+  }
+
+ private:
+  Weights w_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  double scale = args.GetDouble("scale", 1.0);
+  int max_lhs = args.GetInt("max-lhs", 2);
+
+  std::cout << "=== Ablation: violating-FD scoring features (§7.2) ===\n"
+            << "(TPC-H recovery quality when features are removed)\n\n";
+
+  TpchDataset ds = GenerateTpchLike(TpchScale{}.Scaled(scale));
+  AttributeSet ignored(ds.universal.universe_size());
+  ignored.Set(38);  // o_shippriority (constant)
+
+  std::vector<Weights> configs = {
+      {"all features", 1, 1, 1, 1},
+      {"no length", 0, 1, 1, 1},
+      {"no value", 1, 0, 1, 1},
+      {"no position", 1, 1, 0, 1},
+      {"no duplication", 1, 1, 1, 0},
+      {"length only", 1, 0, 0, 0},
+      {"duplication only", 0, 0, 0, 1},
+  };
+
+  TablePrinter table({"ranking", "relations", "avg jaccard", "exact", "keys"});
+  for (const Weights& w : configs) {
+    WeightedAdvisor advisor(w);
+    NormalizerOptions options;
+    options.discovery.max_lhs_size = max_lhs;
+    Normalizer normalizer(options, &advisor);
+    auto result = normalizer.Normalize(ds.universal);
+    if (!result.ok()) {
+      table.AddRow({w.name, "ERR", "", "", ""});
+      continue;
+    }
+    RecoveryReport report =
+        CompareToGold(ds.gold_schema, result->schema, ignored);
+    char jac[16];
+    std::snprintf(jac, sizeof(jac), "%.3f", report.average_jaccard);
+    table.AddRow({w.name, std::to_string(result->relations.size()), jac,
+                  std::to_string(report.exact_count) + "/8",
+                  std::to_string(report.key_count) + "/8"});
+  }
+  table.Print();
+
+  std::cout << "\nExpected shape: the full feature mix recovers the schema "
+               "best;\ndropping features degrades recovery (how much depends "
+               "on the feature).\n";
+  return 0;
+}

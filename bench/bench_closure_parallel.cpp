@@ -1,0 +1,85 @@
+// Ablation: thread scaling of the parallelized closure algorithms (§4: "All
+// three closure algorithms can easily be parallelized by splitting the
+// FD-loops to different worker threads"). The paper's evaluation machine
+// used 32 cores; here we sweep 1..hardware threads and report speedups.
+//
+// Flags: --scale=<f>, --max-lhs=<n>, --repeats=<n>.
+#include <iostream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "closure/closure.hpp"
+#include "common/stopwatch.hpp"
+#include "datagen/datasets.hpp"
+#include "discovery/hyfd.hpp"
+
+using namespace normalize;
+using namespace normalize::bench;
+
+namespace {
+
+double TimeClosure(const ClosureAlgorithm& algo, const FdSet& input,
+                   const AttributeSet& attrs, int repeats) {
+  double best = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    FdSet copy = input;
+    Stopwatch watch;
+    algo.Extend(&copy, attrs);
+    best = std::min(best, watch.ElapsedSeconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  double scale = args.GetDouble("scale", 1.0);
+  int max_lhs = args.GetInt("max-lhs", 4);
+  int repeats = args.GetInt("repeats", 3);
+
+  std::cout << "=== Ablation: closure parallelization (§4) ===\n\n";
+
+  RelationData data = HorseLike(scale);
+  FdDiscoveryOptions options;
+  options.max_lhs_size = max_lhs;
+  HyFd hyfd(options);
+  auto fds_result = hyfd.Discover(data);
+  if (!fds_result.ok()) {
+    std::cerr << "discovery failed\n";
+    return 1;
+  }
+  FdSet fds = std::move(fds_result).value();
+  AttributeSet attrs = data.AttributesAsSet();
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::cout << "input: " << FormatCount(static_cast<int64_t>(fds.size()))
+            << " aggregated FDs over " << attrs.Count()
+            << " attributes; hardware threads: " << hw << "\n\n";
+
+  std::vector<int> thread_counts = {1, 2, 4};
+  for (int t = 8; t <= hw; t *= 2) thread_counts.push_back(t);
+
+  TablePrinter table({"threads", "improved", "speedup", "optimized", "speedup"});
+  double impr_base = 0, opt_base = 0;
+  for (int t : thread_counts) {
+    double impr = TimeClosure(ImprovedClosure(ClosureOptions{t}), fds, attrs,
+                              repeats);
+    double opt = TimeClosure(OptimizedClosure(ClosureOptions{t}), fds, attrs,
+                             repeats);
+    if (t == 1) {
+      impr_base = impr;
+      opt_base = opt;
+    }
+    char s1[32], s2[32];
+    std::snprintf(s1, sizeof(s1), "%.2fx", impr > 0 ? impr_base / impr : 0.0);
+    std::snprintf(s2, sizeof(s2), "%.2fx", opt > 0 ? opt_base / opt : 0.0);
+    table.AddRow({std::to_string(t), FormatDuration(impr), s1,
+                  FormatDuration(opt), s2});
+  }
+  table.Print();
+  std::cout << "\nExpected shape: both algorithms speed up with threads (the "
+               "FD loop\nshards cleanly; tries are read-only during "
+               "extension). On a single-core\nhost the sweep only shows the "
+               "pool's dispatch overhead (~1.0x or below).\n";
+  return 0;
+}

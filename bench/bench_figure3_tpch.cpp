@@ -1,0 +1,67 @@
+// Reproduces paper Figure 3: the schema produced by automatically
+// normalizing the denormalized TPC-H dataset. Prints the resulting BCNF
+// schema plus a recovery report against the original (gold) schema. The
+// paper's findings to reproduce:
+//   * all eight original relations are identifiable in the output,
+//   * selected keys/foreign keys are correct (snowflake schema),
+//   * flaw 1: LINEITEM is decomposed "a bit too far",
+//   * flaw 2: the constant o_shippriority lands outside ORDERS (the paper
+//     saw it in REGION).
+//
+// Flags: --scale=<f>, --max-lhs=<n>, --discovery=<hyfd|tane|fdep>.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "datagen/tpch_like.hpp"
+#include "normalize/normalizer.hpp"
+#include "normalize/schema_compare.hpp"
+
+using namespace normalize;
+using namespace normalize::bench;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  double scale = args.GetDouble("scale", 1.0);
+
+  std::cout << "=== Figure 3: relations after normalizing TPC-H ===\n\n";
+  Stopwatch watch;
+  TpchDataset ds = GenerateTpchLike(TpchScale{}.Scaled(scale));
+  std::cout << "generated universal relation: " << ds.universal.num_rows()
+            << " rows x " << ds.universal.num_columns() << " attributes ("
+            << FormatDuration(watch.ElapsedSeconds()) << ")\n";
+
+  NormalizerOptions options;
+  options.discovery_algorithm = args.Get("discovery", "hyfd");
+  options.discovery.max_lhs_size = args.GetInt("max-lhs", 2);
+  Normalizer normalizer(options);
+  watch.Restart();
+  auto result = normalizer.Normalize(ds.universal);
+  if (!result.ok()) {
+    std::cerr << "normalization failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "normalized in " << FormatDuration(watch.ElapsedSeconds())
+            << ": " << result->stats.num_fds << " minimal FDs, "
+            << result->stats.decompositions << " decompositions, "
+            << result->relations.size() << " relations\n\n";
+
+  std::cout << "--- resulting schema (keys marked *, FKs listed) ---\n"
+            << result->schema.ToString() << "\n";
+
+  AttributeSet ignored(ds.universal.universe_size());
+  ignored.Set(38);  // o_shippriority is constant; its placement is data-driven
+  RecoveryReport report = CompareToGold(ds.gold_schema, result->schema, ignored);
+  std::cout << "--- recovery vs original TPC-H schema ---\n"
+            << report.ToString(ds.gold_schema, result->schema) << "\n";
+
+  std::cout << "paper's observations to compare against:\n"
+            << "  * all 8 original relations identifiable; constraints "
+               "correct (snowflake)\n"
+            << "  * LINEITEM over-split ("
+            << result->relations.size() - ds.gold_schema.relations().size()
+            << " extra relations here)\n"
+            << "  * o_shippriority placed outside ORDERS by the data-driven "
+               "split order\n";
+  return 0;
+}

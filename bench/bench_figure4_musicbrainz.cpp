@@ -1,0 +1,70 @@
+// Reproduces paper Figure 4: the schema produced by automatically
+// normalizing the denormalized MusicBrainz dataset. The paper's findings:
+//   * almost all original relations are reconstructed,
+//   * ARTIST_CREDIT_NAME is not reconstructed (its attributes merge into
+//     the ARTIST-side relation),
+//   * because MusicBrainz is not snowflake-shaped, a new fact-table-like
+//     top-level relation appears holding the m:n links between artists,
+//     places, release labels, and tracks.
+//
+// Flags: --scale=<f>, --max-lhs=<n>, --discovery=<hyfd|tane|fdep>.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "datagen/musicbrainz_like.hpp"
+#include "normalize/normalizer.hpp"
+#include "normalize/schema_compare.hpp"
+
+using namespace normalize;
+using namespace normalize::bench;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  double scale = args.GetDouble("scale", 1.0);
+
+  std::cout << "=== Figure 4: relations after normalizing MusicBrainz ===\n\n";
+  Stopwatch watch;
+  MusicBrainzDataset ds =
+      GenerateMusicBrainzLike(MusicBrainzScale{}.Scaled(scale));
+  std::cout << "generated universal relation: " << ds.universal.num_rows()
+            << " rows x " << ds.universal.num_columns() << " attributes ("
+            << FormatDuration(watch.ElapsedSeconds())
+            << "; m:n joins fan out the tracks)\n";
+
+  NormalizerOptions options;
+  options.discovery_algorithm = args.Get("discovery", "hyfd");
+  options.discovery.max_lhs_size = args.GetInt("max-lhs", 2);
+  Normalizer normalizer(options);
+  watch.Restart();
+  auto result = normalizer.Normalize(ds.universal);
+  if (!result.ok()) {
+    std::cerr << "normalization failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "normalized in " << FormatDuration(watch.ElapsedSeconds())
+            << ": " << result->stats.num_fds << " minimal FDs, "
+            << result->stats.decompositions << " decompositions, "
+            << result->relations.size() << " relations\n\n";
+
+  std::cout << "--- resulting schema (keys marked *, FKs listed) ---\n"
+            << result->schema.ToString() << "\n";
+
+  RecoveryReport report =
+      CompareToGold(ds.gold_schema, result->schema,
+                    AttributeSet(ds.universal.universe_size()));
+  std::cout << "--- recovery vs original MusicBrainz core schema ---\n"
+            << report.ToString(ds.gold_schema, result->schema) << "\n";
+
+  const RelationSchema& top = result->schema.relation(0);
+  std::cout << "--- fact-table check (paper: new m:n top-level relation) ---\n"
+            << "top-level relation: " << top.name() << " with "
+            << top.attributes().Count() << " attributes and "
+            << top.foreign_keys().size() << " foreign keys\n\n";
+
+  std::cout << "paper's observations to compare against:\n"
+            << "  * almost all original relations reconstructed\n"
+            << "  * ARTIST_CREDIT_NAME merged into the artist-side relation\n"
+            << "  * non-snowflake input => fact-table-like top relation\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Reproduces paper Table 3: dataset characteristics and per-component
+// runtimes — FD discovery, closure (improved vs optimized), key derivation,
+// and violating-FD identification — on the six evaluation datasets
+// (shape-matched generator stand-ins; see DESIGN.md). Also prints the
+// average-RHS growth the paper reports in §8.2 and, with --with-naive, the
+// naive closure baseline on the small datasets.
+//
+// Flags: --scale=<f> (row multiplier), --max-lhs=<n> (FD pruning for the two
+// large datasets), --with-naive, --threads=<n> (closure parallelism).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "closure/closure.hpp"
+#include "common/stopwatch.hpp"
+#include "datagen/datasets.hpp"
+#include "datagen/musicbrainz_like.hpp"
+#include "datagen/tpch_like.hpp"
+#include "discovery/hyfd.hpp"
+#include "normalize/key_derivation.hpp"
+#include "normalize/violation_detection.hpp"
+
+using namespace normalize;
+using namespace normalize::bench;
+
+namespace {
+
+struct DatasetCase {
+  std::string name;
+  RelationData data;
+  int max_lhs;  // FD pruning (<=0: unlimited), §4.3
+  bool small_enough_for_naive;
+};
+
+void RunCase(const DatasetCase& c, bool with_naive, int threads,
+             TablePrinter* table) {
+  FdDiscoveryOptions discovery_options;
+  discovery_options.max_lhs_size = c.max_lhs;
+  HyFd hyfd(discovery_options);
+
+  Stopwatch watch;
+  auto fds_result = hyfd.Discover(c.data);
+  double discovery_s = watch.ElapsedSeconds();
+  if (!fds_result.ok()) {
+    std::cerr << c.name << ": discovery failed: "
+              << fds_result.status().ToString() << "\n";
+    return;
+  }
+  FdSet minimal = std::move(fds_result).value();
+  AttributeSet attrs = c.data.AttributesAsSet();
+  double avg_rhs_before = minimal.AverageRhsSize();
+
+  // Closure: improved and optimized on identical copies.
+  FdSet improved_fds = minimal;
+  watch.Restart();
+  ImprovedClosure(ClosureOptions{threads}).Extend(&improved_fds, attrs);
+  double improved_s = watch.ElapsedSeconds();
+
+  FdSet extended = minimal;
+  watch.Restart();
+  OptimizedClosure(ClosureOptions{threads}).Extend(&extended, attrs);
+  double optimized_s = watch.ElapsedSeconds();
+  double avg_rhs_after = extended.AverageRhsSize();
+
+  double naive_s = -1.0;
+  if (with_naive && c.small_enough_for_naive) {
+    FdSet naive_fds = minimal;
+    watch.Restart();
+    NaiveClosure().Extend(&naive_fds, attrs);
+    naive_s = watch.ElapsedSeconds();
+  }
+
+  // Key derivation (Table 3's "FD-Keys" and "Key Der." columns).
+  watch.Restart();
+  std::vector<AttributeSet> keys = DeriveKeys(extended, attrs);
+  double key_s = watch.ElapsedSeconds();
+
+  // Violating FD identification.
+  AttributeSet nullable(c.data.universe_size());
+  for (int col = 0; col < c.data.num_columns(); ++col) {
+    if (c.data.column(col).has_null()) {
+      nullable.Set(c.data.attribute_ids()[static_cast<size_t>(col)]);
+    }
+  }
+  RelationSchema rel(c.name, attrs);
+  watch.Restart();
+  auto violations = DetectViolatingFds(extended, keys, rel, nullable);
+  double violation_s = watch.ElapsedSeconds();
+
+  char rhs_growth[48];
+  std::snprintf(rhs_growth, sizeof(rhs_growth), "%.1f -> %.1f",
+                avg_rhs_before, avg_rhs_after);
+  table->AddRow({c.name, std::to_string(c.data.num_columns()),
+                 FormatCount(static_cast<int64_t>(c.data.num_rows())),
+                 FormatCount(static_cast<int64_t>(minimal.CountUnaryFds())),
+                 FormatCount(static_cast<int64_t>(keys.size())),
+                 FormatDuration(discovery_s),
+                 naive_s < 0 ? std::string("-") : FormatDuration(naive_s),
+                 FormatDuration(improved_s), FormatDuration(optimized_s),
+                 FormatDuration(key_s), FormatDuration(violation_s),
+                 rhs_growth,
+                 FormatCount(static_cast<int64_t>(violations.size()))});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  double scale = args.GetDouble("scale", 1.0);
+  bool quick = args.Has("quick");
+  bool with_naive = args.Has("with-naive");
+  int threads = args.GetInt("threads", 1);
+
+  std::cout << "=== Table 3: datasets, characteristics, processing times ===\n"
+            << "(shape-matched stand-ins; shapes — who is faster and by what "
+               "order — are the claim, not absolute times)\n\n";
+
+  // Per-dataset LHS-size pruning (§4.3), chosen so each row's FD-set size is
+  // in the paper's spirit (hundreds of thousands to millions for the wide
+  // datasets) while the whole harness finishes in ~1-2 minutes. --quick
+  // caps everything at 2.
+  std::vector<DatasetCase> cases;
+  cases.push_back(
+      {"Horse", HorseLike(scale), args.GetInt("max-lhs-horse", quick ? 2 : 5),
+       true});
+  cases.push_back({"Plista", PlistaLike(scale),
+                   args.GetInt("max-lhs-plista", quick ? 2 : 3), true});
+  cases.push_back({"Amalgam1", Amalgam1Like(scale),
+                   args.GetInt("max-lhs-amalgam1", quick ? 2 : 3), true});
+  cases.push_back({"Flight", FlightLike(scale),
+                   args.GetInt("max-lhs-flight", 2), true});
+  cases.push_back(
+      {"MusicBrainz",
+       GenerateMusicBrainzLike(MusicBrainzScale{}.Scaled(scale)).universal,
+       args.GetInt("max-lhs", 2), false});
+  cases.push_back({"TPC-H",
+                   GenerateTpchLike(TpchScale{}.Scaled(scale)).universal,
+                   args.GetInt("max-lhs", 2), false});
+
+  TablePrinter table({"Name", "Attr", "Records", "FDs", "FD-Keys", "FD Disc.",
+                      "Closure_naive", "Closure_impr", "Closure_opt",
+                      "Key Der.", "Viol. Iden.", "avg|RHS|", "Viol.FDs"});
+  for (const DatasetCase& c : cases) {
+    RunCase(c, with_naive, threads, &table);
+  }
+  table.Print();
+
+  std::cout << "\nExpected shape (paper): optimized closure beats improved "
+               "by 2-159x;\nnaive is orders of magnitude slower still; key "
+               "derivation and violation\nidentification run in "
+               "(milli)seconds; closure grows the average RHS.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Shared helpers for the paper-reproduction benchmark binaries: aligned
+// table printing in the style of the paper's Table 3, and argument parsing
+// for --scale / --quick style flags.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/string_utils.hpp"
+
+namespace normalize::bench {
+
+/// Minimal flag parsing: --name=value or --name value; --flag sets "1".
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_.emplace_back(arg, argv[++i]);
+      } else {
+        values_.emplace_back(arg, "1");
+      }
+    }
+  }
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == name) return v;
+    }
+    return fallback;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == name) return std::atof(v.c_str());
+    }
+    return fallback;
+  }
+  int GetInt(const std::string& name, int fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == name) return std::atoi(v.c_str());
+    }
+    return fallback;
+  }
+  bool Has(const std::string& name) const {
+    for (const auto& [k, v] : values_) {
+      (void)v;
+      if (k == name) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+/// Column-aligned table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        os << (i ? "  " : "") << PadRight(row[i], widths[i]);
+      }
+      os << "\n";
+    };
+    print_row(headers_);
+    std::string sep;
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      if (i) sep += "  ";
+      sep += std::string(widths[i], '-');
+    }
+    os << sep << "\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace normalize::bench

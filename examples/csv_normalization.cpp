@@ -1,0 +1,99 @@
+// Example: normalize a CSV file into BCNF and write one CSV per resulting
+// relation — the end-to-end "give me a clean schema for this export" use
+// case from the paper's introduction.
+//
+// Usage:
+//   csv_normalization [--input=<file.csv>] [--output-dir=<dir>]
+//                     [--max-lhs=<n>] [--discovery=<hyfd|tane|fdep>]
+//
+// Without --input, a bundled denormalized product-orders export is used so
+// the example runs out of the box.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "normalize/normalizer.hpp"
+#include "relation/csv.hpp"
+
+using namespace normalize;
+
+namespace {
+
+// A denormalized web-shop order export: order lines with embedded customer
+// and product master data (the classic normalization motivation).
+const char kSampleCsv[] =
+    "order_id,line,customer_id,customer_name,customer_city,product_id,"
+    "product_name,category,category_tax,unit_price,quantity\n"
+    "1001,1,C01,Alice,Berlin,P1,Espresso Beans,Food,7,8.99,2\n"
+    "1001,2,C01,Alice,Berlin,P2,Filter Paper,Household,19,3.49,1\n"
+    "1002,1,C02,Bob,Hamburg,P1,Espresso Beans,Food,7,8.99,1\n"
+    "1003,1,C03,Carol,Berlin,P3,Mug,Household,19,5.99,4\n"
+    "1003,2,C03,Carol,Berlin,P2,Filter Paper,Household,19,3.49,2\n"
+    "1004,1,C01,Alice,Berlin,P3,Mug,Household,19,5.99,1\n"
+    "1004,2,C01,Alice,Berlin,P1,Espresso Beans,Food,7,8.99,3\n"
+    "1005,1,C02,Bob,Hamburg,P2,Filter Paper,Household,19,3.49,5\n";
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& fallback) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input = GetFlag(argc, argv, "input", "");
+  std::string output_dir = GetFlag(argc, argv, "output-dir", "");
+
+  CsvReader reader;
+  Result<RelationData> data =
+      input.empty() ? reader.ReadString(kSampleCsv, "orders_export")
+                    : reader.ReadFile(input);
+  if (!data.ok()) {
+    std::cerr << "failed to read input: " << data.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "input: " << data->name() << " with " << data->num_rows()
+            << " rows x " << data->num_columns() << " columns ("
+            << data->TotalValueCount() << " values)\n\n";
+
+  NormalizerOptions options;
+  options.discovery_algorithm = GetFlag(argc, argv, "discovery", "hyfd");
+  options.discovery.max_lhs_size =
+      std::atoi(GetFlag(argc, argv, "max-lhs", "3").c_str());
+  Normalizer normalizer(options);
+  auto result = normalizer.Normalize(*data);
+  if (!result.ok()) {
+    std::cerr << "normalization failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "discovered " << result->stats.num_fds << " minimal FDs, "
+            << "performed " << result->stats.decompositions
+            << " decompositions\n\n";
+  std::cout << "=== BCNF schema ===\n" << result->schema.ToString() << "\n";
+
+  size_t total_values = 0;
+  CsvWriter writer;
+  for (const RelationData& rel : result->relations) {
+    total_values += rel.TotalValueCount();
+    std::cout << rel.ToString(8) << "\n";
+    if (!output_dir.empty()) {
+      std::string path = output_dir + "/" + rel.name() + ".csv";
+      Status st = writer.WriteFile(rel, path);
+      if (!st.ok()) {
+        std::cerr << "write failed: " << st.ToString() << "\n";
+        return 1;
+      }
+      std::cout << "wrote " << path << "\n\n";
+    }
+  }
+  std::printf("size: %zu values -> %zu values (%.0f%% of the original)\n",
+              data->TotalValueCount(), total_values,
+              100.0 * total_values / data->TotalValueCount());
+  return 0;
+}

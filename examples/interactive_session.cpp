@@ -1,0 +1,106 @@
+// Example: the paper's user-in-the-loop mode (§3, components 5 and 7). At
+// every decision point the ranked candidates are printed with their feature
+// scores; the user picks one, rejects all (ending normalization of that
+// relation), or accepts the algorithm's top suggestion.
+//
+// Runs on the paper's address dataset by default. Pass --auto to replay the
+// session without prompting (useful in CI), or pipe choices via stdin, e.g.
+//   echo "0 0 0" | ./interactive_session
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "datagen/datasets.hpp"
+#include "normalize/normalizer.hpp"
+
+using namespace normalize;
+
+namespace {
+
+/// Prints ranked candidates and reads the user's pick from stdin. An empty
+/// line accepts the top candidate; "skip" declines.
+class ConsoleAdvisor : public Advisor {
+ public:
+  explicit ConsoleAdvisor(bool auto_mode) : auto_mode_(auto_mode) {}
+
+  int ChooseViolatingFd(const Schema& schema, int relation_index,
+                        const std::vector<ScoredFd>& ranked) override {
+    const RelationSchema& rel = schema.relation(relation_index);
+    std::cout << "\nRelation " << rel.name()
+              << " violates BCNF. Ranked split candidates:\n";
+    const auto& names = schema.attribute_names();
+    for (size_t i = 0; i < ranked.size() && i < 10; ++i) {
+      std::cout << "  [" << i << "] " << ranked[i].fd.ToString(names) << "\n"
+                << "       " << ranked[i].score.ToString() << "\n";
+    }
+    if (ranked.size() > 10) {
+      std::cout << "  ... (" << ranked.size() - 10 << " more)\n";
+    }
+    return Prompt(static_cast<int>(ranked.size()),
+                  "split on candidate # (empty = 0, 'skip' = stop)");
+  }
+
+  int ChoosePrimaryKey(const Schema& schema, int relation_index,
+                       const std::vector<ScoredKey>& ranked) override {
+    const RelationSchema& rel = schema.relation(relation_index);
+    std::cout << "\nRelation " << rel.name()
+              << " needs a primary key. Ranked candidates:\n";
+    const auto& names = schema.attribute_names();
+    for (size_t i = 0; i < ranked.size() && i < 10; ++i) {
+      std::cout << "  [" << i << "] " << ranked[i].key.ToString(names) << "\n"
+                << "       " << ranked[i].score.ToString() << "\n";
+    }
+    return Prompt(static_cast<int>(ranked.size()),
+                  "pick key # (empty = 0, 'skip' = none)");
+  }
+
+ private:
+  int Prompt(int count, const std::string& question) {
+    if (auto_mode_) {
+      std::cout << "(auto mode: taking the top-ranked candidate)\n";
+      return count > 0 ? 0 : -1;
+    }
+    std::cout << question << " > " << std::flush;
+    std::string line;
+    if (!std::getline(std::cin, line)) return count > 0 ? 0 : -1;
+    std::istringstream in(line);
+    std::string token;
+    if (!(in >> token)) return count > 0 ? 0 : -1;
+    if (token == "skip" || token == "s") return -1;
+    int pick = std::atoi(token.c_str());
+    if (pick < 0 || pick >= count) {
+      std::cout << "(out of range; taking 0)\n";
+      return count > 0 ? 0 : -1;
+    }
+    return pick;
+  }
+
+  bool auto_mode_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool auto_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--auto") auto_mode = true;
+  }
+
+  RelationData address = AddressExample();
+  std::cout << "Normalizing the paper's address dataset interactively.\n"
+            << address.ToString() << "\n";
+
+  ConsoleAdvisor advisor(auto_mode);
+  Normalizer normalizer(NormalizerOptions{}, &advisor);
+  auto result = normalizer.Normalize(address);
+  if (!result.ok()) {
+    std::cerr << "normalization failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "\n=== final schema ===\n" << result->schema.ToString() << "\n";
+  for (const RelationData& rel : result->relations) {
+    std::cout << rel.ToString() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,223 @@
+// normalize_cli — a console front-end over the whole library, in the spirit
+// of the paper's (console-based) research prototype. Subcommands:
+//
+//   discover   --input=<csv> [--algorithm=hyfd] [--max-lhs=<n>]
+//              [--fd-output=<file>]            # component (1)
+//   closure    --input=<csv> --fds=<file> [--algorithm=optimized]
+//              [--fd-output=<file>]            # component (2), on external FDs
+//   normalize  --input=<csv> [--max-lhs=<n>] [--3nf] [--4nf]
+//              [--sql] [--output-dir=<dir>]    # the full pipeline
+//
+// Without --input, the paper's address example is used, so every subcommand
+// runs out of the box:  normalize_cli normalize --sql
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "closure/closure.hpp"
+#include "datagen/datasets.hpp"
+#include "discovery/fd_discovery.hpp"
+#include "fd/fd_io.hpp"
+#include "normalize/fourth_nf.hpp"
+#include "normalize/normalizer.hpp"
+#include "normalize/report.hpp"
+#include "normalize/sql_export.hpp"
+#include "relation/csv.hpp"
+#include "relation/schema_io.hpp"
+
+using namespace normalize;
+
+namespace {
+
+struct Flags {
+  std::string command;
+  std::string input, fds, fd_output, output_dir, algorithm, schema_output,
+      report;
+  int max_lhs = -1;
+  bool second_nf = false, third_nf = false, fourth_nf = false, sql = false;
+
+  static Flags Parse(int argc, char** argv) {
+    Flags f;
+    if (argc >= 2 && argv[1][0] != '-') f.command = argv[1];
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto value = [&](const char* name) -> const char* {
+        std::string prefix = std::string("--") + name + "=";
+        return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size()
+                                         : nullptr;
+      };
+      if (const char* v = value("input")) f.input = v;
+      if (const char* v = value("fds")) f.fds = v;
+      if (const char* v = value("fd-output")) f.fd_output = v;
+      if (const char* v = value("output-dir")) f.output_dir = v;
+      if (const char* v = value("algorithm")) f.algorithm = v;
+      if (const char* v = value("schema-output")) f.schema_output = v;
+      if (const char* v = value("report")) f.report = v;
+      if (const char* v = value("max-lhs")) f.max_lhs = std::atoi(v);
+      if (arg == "--2nf") f.second_nf = true;
+      if (arg == "--3nf") f.third_nf = true;
+      if (arg == "--4nf") f.fourth_nf = true;
+      if (arg == "--sql") f.sql = true;
+    }
+    return f;
+  }
+};
+
+Result<RelationData> LoadInput(const Flags& flags) {
+  if (flags.input.empty()) return AddressExample();
+  return CsvReader().ReadFile(flags.input);
+}
+
+int Discover(const Flags& flags) {
+  auto data = LoadInput(flags);
+  if (!data.ok()) {
+    std::cerr << data.status().ToString() << "\n";
+    return 1;
+  }
+  FdDiscoveryOptions options;
+  options.max_lhs_size = flags.max_lhs;
+  std::string algo_name = flags.algorithm.empty() ? "hyfd" : flags.algorithm;
+  auto algo = MakeFdDiscovery(algo_name, options);
+  if (!algo) {
+    std::cerr << "unknown discovery algorithm: " << algo_name << "\n";
+    return 1;
+  }
+  auto fds = algo->Discover(*data);
+  if (!fds.ok()) {
+    std::cerr << fds.status().ToString() << "\n";
+    return 1;
+  }
+  std::cerr << algo->name() << ": " << fds->CountUnaryFds()
+            << " minimal FDs in " << data->name() << "\n";
+  std::string text = WriteFdsToString(*fds, data->ColumnNames());
+  if (flags.fd_output.empty()) {
+    std::cout << text;
+  } else {
+    Status st = WriteFdFile(*fds, data->ColumnNames(), flags.fd_output);
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int Closure(const Flags& flags) {
+  auto data = LoadInput(flags);
+  if (!data.ok()) {
+    std::cerr << data.status().ToString() << "\n";
+    return 1;
+  }
+  if (flags.fds.empty()) {
+    std::cerr << "closure requires --fds=<file> (see 'discover')\n";
+    return 1;
+  }
+  auto fds = ReadFdFile(flags.fds, data->ColumnNames());
+  if (!fds.ok()) {
+    std::cerr << fds.status().ToString() << "\n";
+    return 1;
+  }
+  std::string algo_name =
+      flags.algorithm.empty() ? "optimized" : flags.algorithm;
+  auto closure = MakeClosure(algo_name);
+  if (!closure) {
+    std::cerr << "unknown closure algorithm: " << algo_name << "\n";
+    return 1;
+  }
+  closure->Extend(&*fds, data->AttributesAsSet());
+  std::string text = WriteFdsToString(*fds, data->ColumnNames());
+  if (flags.fd_output.empty()) {
+    std::cout << text;
+  } else {
+    Status st = WriteFdFile(*fds, data->ColumnNames(), flags.fd_output);
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int NormalizeCommand(const Flags& flags) {
+  auto data = LoadInput(flags);
+  if (!data.ok()) {
+    std::cerr << data.status().ToString() << "\n";
+    return 1;
+  }
+  NormalizerOptions options;
+  options.discovery.max_lhs_size = flags.max_lhs;
+  if (!flags.algorithm.empty()) options.discovery_algorithm = flags.algorithm;
+  if (flags.second_nf) options.normal_form = NormalForm::kSecondNf;
+  if (flags.third_nf) options.normal_form = NormalForm::kThirdNf;
+  Normalizer normalizer(options);
+  auto result = normalizer.Normalize(*data);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  if (flags.fourth_nf) {
+    auto splits = RefineTo4Nf(&*result);
+    std::cerr << "4NF refinement: " << splits.size() << " MVD split(s)\n";
+  }
+
+  std::cerr << "decision log:\n";
+  for (const DecisionRecord& d : result->decisions) {
+    std::cerr << "  " << d.ToString(result->schema.attribute_names()) << "\n";
+  }
+  std::cout << result->schema.ToString() << "\n";
+  if (!flags.report.empty()) {
+    ReportOptions report_options;
+    report_options.input_value_count = data->TotalValueCount();
+    std::ofstream out(flags.report, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot write " << flags.report << "\n";
+      return 1;
+    }
+    out << RenderReport(*result, report_options);
+    std::cerr << "wrote " << flags.report << "\n";
+  }
+  if (!flags.schema_output.empty()) {
+    Status st = WriteSchemaFile(result->schema, flags.schema_output);
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << flags.schema_output << "\n";
+  }
+  if (flags.sql) {
+    std::cout << ExportSqlDdl(result->schema, result->relations);
+  }
+  if (!flags.output_dir.empty()) {
+    CsvWriter writer;
+    for (const RelationData& rel : result->relations) {
+      std::string path = flags.output_dir + "/" + rel.name() + ".csv";
+      Status st = writer.WriteFile(rel, path);
+      if (!st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        return 1;
+      }
+      std::cerr << "wrote " << path << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  if (flags.command == "discover") return Discover(flags);
+  if (flags.command == "closure") return Closure(flags);
+  if (flags.command == "normalize") return NormalizeCommand(flags);
+  std::cerr
+      << "usage: normalize_cli <discover|closure|normalize> [flags]\n"
+         "  discover   --input=<csv> [--algorithm=hyfd|tane|fdep]\n"
+         "             [--max-lhs=<n>] [--fd-output=<file>]\n"
+         "  closure    --input=<csv> --fds=<file>\n"
+         "             [--algorithm=optimized|improved|naive]\n"
+         "  normalize  --input=<csv> [--max-lhs=<n>] [--2nf|--3nf] [--4nf]\n"
+         "             [--sql] [--output-dir=<dir>] [--schema-output=<file>]\n"
+         "             [--report=<file.md>]\n"
+         "Without --input the paper's address example is used.\n";
+  return flags.command.empty() ? 1 : 2;
+}

@@ -1,0 +1,66 @@
+// Example: living with a data-driven schema (the paper's closing research
+// question about dynamic data). Normalize chose its constraints from one
+// snapshot; as the data evolves, inserts can violate them — especially
+// constraints built on FDs that only held accidentally. The constraint
+// monitor re-checks the normalized schema after updates and reports every
+// breakage with witness rows, which is the signal to re-normalize or relax.
+#include <iostream>
+
+#include "datagen/datasets.hpp"
+#include "normalize/constraint_monitor.hpp"
+#include "normalize/normalizer.hpp"
+
+using namespace normalize;
+
+int main() {
+  RelationData address = AddressExample();
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(address);
+  if (!result.ok()) {
+    std::cerr << "normalization failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "=== normalized schema (decision log) ===\n";
+  for (const DecisionRecord& d : result->decisions) {
+    std::cout << "  " << d.ToString(result->schema.attribute_names()) << "\n";
+  }
+  std::cout << "\n" << result->schema.ToString() << "\n";
+
+  auto report = [&](const char* title) {
+    std::cout << "--- " << title << " ---\n";
+    auto violations = CheckSchemaConstraints(result->schema, result->relations);
+    for (size_t i = 0; i < result->relations.size(); ++i) {
+      auto fd_violations = CheckFds(result->schema, static_cast<int>(i),
+                                    result->relations[i], result->extended_fds);
+      violations.insert(violations.end(), fd_violations.begin(),
+                        fd_violations.end());
+    }
+    if (violations.empty()) {
+      std::cout << "  all constraints hold\n\n";
+    } else {
+      for (const auto& v : violations) {
+        std::cout << "  VIOLATION: " << v.ToString(result->schema) << "\n";
+      }
+      std::cout << "\n";
+    }
+  };
+
+  report("after normalization");
+
+  std::cout << ">> insert (Eve, Newton, 99999) into the person relation "
+               "without registering postcode 99999...\n";
+  result->relations[0].AppendRow({"Eve", "Newton", "99999"});
+  report("after the orphaned insert");
+
+  std::cout << ">> register postcode 99999 twice with different cities (a "
+               "data error breaking PK and the Postcode->City FD)...\n";
+  result->relations[1].AppendRow({"99999", "Atlantis", "Nemo"});
+  result->relations[1].AppendRow({"99999", "Utopia", "Moore"});
+  report("after the inconsistent postcode rows");
+
+  std::cout << "The monitor pinpoints each broken constraint with witness "
+               "rows — the\ncue to clean the data or re-run normalization "
+               "on the new snapshot.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Example: the paper's headline scenario — a data-warehouse export was
+// denormalized into one wide table (here: a TPC-H-like order/lineitem
+// universe) and Normalize recovers the snowflake schema from the data
+// alone: no metadata, no FDs given, no human input.
+//
+// Flags: --scale=<f> (default 0.3 to keep the demo snappy).
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "datagen/tpch_like.hpp"
+#include "normalize/normalizer.hpp"
+#include "normalize/schema_compare.hpp"
+
+using namespace normalize;
+
+int main(int argc, char** argv) {
+  double scale = 0.3;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) scale = std::atof(arg.c_str() + 8);
+  }
+
+  std::cout << "Generating a TPC-H-like warehouse and denormalizing it into "
+               "one universal table...\n";
+  TpchDataset ds = GenerateTpchLike(TpchScale{}.Scaled(scale));
+  std::cout << "universal relation: " << ds.universal.num_rows() << " rows x "
+            << ds.universal.num_columns() << " attributes, "
+            << ds.universal.TotalValueCount() << " values\n\n";
+  std::cout << "original (gold) schema it was built from:\n"
+            << ds.gold_schema.ToString() << "\n";
+
+  NormalizerOptions options;
+  options.discovery.max_lhs_size = 2;  // paper §4.3 pruning
+  Normalizer normalizer(options);
+  auto result = normalizer.Normalize(ds.universal);
+  if (!result.ok()) {
+    std::cerr << "normalization failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "normalize: " << result->stats.num_fds << " minimal FDs, "
+            << result->stats.decompositions << " decompositions, "
+            << result->relations.size() << " BCNF relations\n\n"
+            << "recovered schema:\n"
+            << result->schema.ToString() << "\n";
+
+  AttributeSet ignored(ds.universal.universe_size());
+  ignored.Set(38);  // constant o_shippriority: placement is data-driven
+  RecoveryReport report = CompareToGold(ds.gold_schema, result->schema, ignored);
+  std::cout << "recovery vs gold schema:\n"
+            << report.ToString(ds.gold_schema, result->schema) << "\n";
+
+  size_t total = 0;
+  for (const RelationData& rel : result->relations) {
+    total += rel.TotalValueCount();
+  }
+  std::printf("storage: %zu values -> %zu values (%.0f%%)\n",
+              ds.universal.TotalValueCount(), total,
+              100.0 * total / ds.universal.TotalValueCount());
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "closure/closure.hpp"
+
+#include <vector>
+
+#include "common/string_utils.hpp"
+#include "common/thread_pool.hpp"
+#include "fd/set_trie.hpp"
+
+namespace normalize {
+
+namespace {
+
+/// Builds one LHS trie per RHS attribute: lhs_tries[a] holds the LHSs of all
+/// FDs that determine a (paper §4.2). The tries are immutable afterwards —
+/// extensions only grow RHSs, which the tries never store.
+std::vector<SetTrie> BuildLhsTries(const FdSet& fds,
+                                   const AttributeSet& attributes) {
+  std::vector<SetTrie> tries(static_cast<size_t>(attributes.capacity()));
+  for (const Fd& fd : fds) {
+    for (AttributeId a : fd.rhs) {
+      tries[static_cast<size_t>(a)].Insert(fd.lhs);
+    }
+  }
+  return tries;
+}
+
+/// Runs fn(i) for all FDs, optionally across a thread pool.
+void ForEachFd(FdSet* fds, int num_threads,
+               const std::function<void(size_t)>& fn) {
+  if (num_threads == 1 || fds->size() < 2) {
+    for (size_t i = 0; i < fds->size(); ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(fds->size(), fn);
+}
+
+}  // namespace
+
+void NaiveClosure::Extend(FdSet* fds, const AttributeSet& attributes) const {
+  (void)attributes;
+  bool something_changed = true;
+  while (something_changed) {
+    something_changed = false;
+    for (size_t i = 0; i < fds->size(); ++i) {
+      Fd& fd = (*fds)[i];
+      AttributeSet lhs_rhs = fd.lhs.Union(fd.rhs);
+      for (size_t j = 0; j < fds->size(); ++j) {
+        if (i == j) continue;
+        const Fd& other = (*fds)[j];
+        if (other.lhs.IsSubsetOf(lhs_rhs)) {
+          AttributeSet addition = other.rhs.Difference(lhs_rhs);
+          if (!addition.Empty()) {
+            fd.rhs.UnionWith(addition);
+            lhs_rhs.UnionWith(addition);
+            something_changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+void ImprovedClosure::Extend(FdSet* fds, const AttributeSet& attributes) const {
+  std::vector<SetTrie> lhs_tries = BuildLhsTries(*fds, attributes);
+  ForEachFd(fds, options_.num_threads, [&](size_t i) {
+    Fd& fd = (*fds)[i];
+    bool something_changed = true;
+    while (something_changed) {
+      something_changed = false;
+      AttributeSet lhs_rhs = fd.lhs.Union(fd.rhs);
+      for (AttributeId attr : attributes) {
+        if (lhs_rhs.Test(attr)) continue;
+        // Does any FD with RHS attribute `attr` have its LHS contained in
+        // this FD's lhs ∪ rhs? Then transitivity adds `attr`.
+        if (lhs_tries[static_cast<size_t>(attr)].ContainsSubsetOf(lhs_rhs)) {
+          fd.rhs.Set(attr);
+          something_changed = true;
+        }
+      }
+    }
+  });
+}
+
+void OptimizedClosure::Extend(FdSet* fds, const AttributeSet& attributes) const {
+  std::vector<SetTrie> lhs_tries = BuildLhsTries(*fds, attributes);
+  ForEachFd(fds, options_.num_threads, [&](size_t i) {
+    Fd& fd = (*fds)[i];
+    // Completeness + minimality of the input guarantee (Lemma 1) that every
+    // valid extension attribute has a witness FD whose LHS is a subset of
+    // this FD's *LHS* alone — one pass, no change loop.
+    for (AttributeId attr : attributes) {
+      if (fd.lhs.Test(attr) || fd.rhs.Test(attr)) continue;
+      if (lhs_tries[static_cast<size_t>(attr)].ContainsSubsetOf(fd.lhs)) {
+        fd.rhs.Set(attr);
+      }
+    }
+  });
+}
+
+std::unique_ptr<ClosureAlgorithm> MakeClosure(const std::string& name,
+                                              ClosureOptions options) {
+  std::string key = ToLower(name);
+  if (key == "naive") return std::make_unique<NaiveClosure>(options);
+  if (key == "improved") return std::make_unique<ImprovedClosure>(options);
+  if (key == "optimized") return std::make_unique<OptimizedClosure>(options);
+  return nullptr;
+}
+
+}  // namespace normalize

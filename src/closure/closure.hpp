@@ -1,0 +1,86 @@
+// Closure calculation — component (2) and the paper's main algorithmic
+// contribution (§4). Given a set of FDs F, each FD's RHS is maximized under
+// Armstrong's transitivity axiom (reflexivity is implicit: LHS attributes
+// are never stored on the RHS). Three algorithms:
+//
+//   * NaiveClosure     (Alg. 1): fixpoint of nested FD-pair scans, O(|F|^3).
+//   * ImprovedClosure  (Alg. 2): per-RHS-attribute LHS tries + subset search
+//                      + FD-local change loop, O(|F|^2). Correct for
+//                      arbitrary FD sets.
+//   * OptimizedClosure (Alg. 3): single pass testing only subsets of the
+//                      *LHS*, O(|F|). Correct only for complete sets of
+//                      minimal FDs (paper Lemma 1) — which FD discovery
+//                      guarantees.
+//
+// All algorithms can shard their FD loop across threads: an FD's extension
+// reads only its own RHS and the immutable LHS tries (paper §4, last
+// paragraph). The naive algorithm reads other FDs' evolving RHSs, so only
+// the improved and optimized variants are parallelized here.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/attribute_set.hpp"
+#include "fd/fd.hpp"
+
+namespace normalize {
+
+struct ClosureOptions {
+  /// Worker threads for the FD loop; 1 = serial, <= 0 = hardware threads.
+  int num_threads = 1;
+};
+
+/// Interface of the three closure algorithms.
+class ClosureAlgorithm {
+ public:
+  virtual ~ClosureAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Extends every FD's RHS in place to its transitive closure, restricted
+  /// to `attributes` (the attribute set of the FDs' relation). Maintains the
+  /// invariant rhs ∩ lhs = ∅.
+  virtual void Extend(FdSet* fds, const AttributeSet& attributes) const = 0;
+
+  const ClosureOptions& options() const { return options_; }
+
+ protected:
+  explicit ClosureAlgorithm(ClosureOptions options) : options_(options) {}
+
+  ClosureOptions options_;
+};
+
+/// Algorithm 1 (after Diederich & Milton). For baselines and tests only.
+class NaiveClosure : public ClosureAlgorithm {
+ public:
+  explicit NaiveClosure(ClosureOptions options = {})
+      : ClosureAlgorithm(options) {}
+  std::string name() const override { return "NaiveClosure"; }
+  void Extend(FdSet* fds, const AttributeSet& attributes) const override;
+};
+
+/// Algorithm 2: correct for arbitrary FD sets.
+class ImprovedClosure : public ClosureAlgorithm {
+ public:
+  explicit ImprovedClosure(ClosureOptions options = {})
+      : ClosureAlgorithm(options) {}
+  std::string name() const override { return "ImprovedClosure"; }
+  void Extend(FdSet* fds, const AttributeSet& attributes) const override;
+};
+
+/// Algorithm 3: requires the input to be a complete set of minimal FDs
+/// (or such a set pruned to a maximum LHS size, §4.3).
+class OptimizedClosure : public ClosureAlgorithm {
+ public:
+  explicit OptimizedClosure(ClosureOptions options = {})
+      : ClosureAlgorithm(options) {}
+  std::string name() const override { return "OptimizedClosure"; }
+  void Extend(FdSet* fds, const AttributeSet& attributes) const override;
+};
+
+/// Factory by name ("naive", "improved", "optimized").
+std::unique_ptr<ClosureAlgorithm> MakeClosure(const std::string& name,
+                                              ClosureOptions options = {});
+
+}  // namespace normalize

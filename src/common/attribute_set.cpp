@@ -1,0 +1,132 @@
+#include "common/attribute_set.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace normalize {
+
+int AttributeSet::Count() const {
+  int c = 0;
+  for (uint64_t w : words_) c += std::popcount(w);
+  return c;
+}
+
+bool AttributeSet::Empty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool AttributeSet::IsSubsetOf(const AttributeSet& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool AttributeSet::Intersects(const AttributeSet& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+AttributeSet& AttributeSet::UnionWith(const AttributeSet& other) {
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+AttributeSet& AttributeSet::IntersectWith(const AttributeSet& other) {
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+AttributeSet& AttributeSet::DifferenceWith(const AttributeSet& other) {
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+AttributeSet AttributeSet::Complement() const {
+  AttributeSet r(capacity_);
+  for (size_t i = 0; i < words_.size(); ++i) r.words_[i] = ~words_[i];
+  // Mask off bits beyond capacity in the last word.
+  int tail = capacity_ & 63;
+  if (tail != 0 && !r.words_.empty()) {
+    r.words_.back() &= (1ull << tail) - 1;
+  }
+  return r;
+}
+
+AttributeId AttributeSet::First() const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] != 0) {
+      return static_cast<AttributeId>(i * 64 + std::countr_zero(words_[i]));
+    }
+  }
+  return -1;
+}
+
+AttributeId AttributeSet::Next(AttributeId a) const {
+  ++a;
+  if (a >= capacity_) return -1;
+  size_t word = static_cast<size_t>(a) >> 6;
+  uint64_t w = words_[word] >> (a & 63);
+  if (w != 0) return a + std::countr_zero(w);
+  for (size_t i = word + 1; i < words_.size(); ++i) {
+    if (words_[i] != 0) {
+      return static_cast<AttributeId>(i * 64 + std::countr_zero(words_[i]));
+    }
+  }
+  return -1;
+}
+
+std::vector<AttributeId> AttributeSet::ToVector() const {
+  std::vector<AttributeId> out;
+  out.reserve(Count());
+  for (AttributeId a : *this) out.push_back(a);
+  return out;
+}
+
+size_t AttributeSet::Hash() const {
+  // FNV-1a over the words; good enough for hash-map keys.
+  size_t h = 1469598103934665603ull;
+  for (uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string AttributeSet::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (AttributeId a : *this) {
+    if (!first) os << ", ";
+    os << a;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string AttributeSet::ToString(const std::vector<std::string>& names) const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (AttributeId a : *this) {
+    if (!first) os << ", ";
+    if (a >= 0 && static_cast<size_t>(a) < names.size()) {
+      os << names[a];
+    } else {
+      os << "attr" << a;
+    }
+    first = false;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace normalize

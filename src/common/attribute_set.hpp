@@ -1,0 +1,140 @@
+// AttributeSet: a dynamic bitset over attribute indices. This is the core
+// value type of the library — FD left/right-hand sides, keys, and relation
+// attribute sets are all AttributeSets. Attribute ids are global over the
+// input (universal) relation, which makes FD projection after decomposition
+// pure set algebra (paper Lemma 3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace normalize {
+
+/// Index of an attribute (column) in the universal schema.
+using AttributeId = int;
+
+/// A set of attribute ids backed by 64-bit words. The capacity (number of
+/// representable attributes) is fixed at construction; all binary operations
+/// require operands of equal capacity.
+class AttributeSet {
+ public:
+  /// Creates an empty set able to hold attribute ids in [0, capacity).
+  AttributeSet() : capacity_(0) {}
+  explicit AttributeSet(int capacity)
+      : capacity_(capacity), words_((capacity + 63) / 64, 0) {}
+  AttributeSet(int capacity, std::initializer_list<AttributeId> attrs)
+      : AttributeSet(capacity) {
+    for (AttributeId a : attrs) Set(a);
+  }
+
+  /// Creates a set containing all ids in [0, capacity).
+  static AttributeSet Full(int capacity) {
+    AttributeSet s(capacity);
+    for (int i = 0; i < capacity; ++i) s.Set(i);
+    return s;
+  }
+
+  int capacity() const { return capacity_; }
+
+  bool Test(AttributeId a) const {
+    return (words_[static_cast<size_t>(a) >> 6] >> (a & 63)) & 1u;
+  }
+  void Set(AttributeId a) { words_[static_cast<size_t>(a) >> 6] |= 1ull << (a & 63); }
+  void Reset(AttributeId a) { words_[static_cast<size_t>(a) >> 6] &= ~(1ull << (a & 63)); }
+  void Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Number of attributes in the set.
+  int Count() const;
+  bool Empty() const;
+
+  /// True iff every attribute of this set is contained in `other`.
+  bool IsSubsetOf(const AttributeSet& other) const;
+  /// True iff this is a subset of `other` and not equal to it.
+  bool IsProperSubsetOf(const AttributeSet& other) const {
+    return IsSubsetOf(other) && *this != other;
+  }
+  /// True iff the two sets share at least one attribute.
+  bool Intersects(const AttributeSet& other) const;
+
+  AttributeSet& UnionWith(const AttributeSet& other);
+  AttributeSet& IntersectWith(const AttributeSet& other);
+  AttributeSet& DifferenceWith(const AttributeSet& other);
+
+  AttributeSet Union(const AttributeSet& other) const {
+    AttributeSet r = *this;
+    return r.UnionWith(other);
+  }
+  AttributeSet Intersect(const AttributeSet& other) const {
+    AttributeSet r = *this;
+    return r.IntersectWith(other);
+  }
+  AttributeSet Difference(const AttributeSet& other) const {
+    AttributeSet r = *this;
+    return r.DifferenceWith(other);
+  }
+  /// All representable attributes not in this set.
+  AttributeSet Complement() const;
+
+  /// Returns the smallest attribute id in the set, or -1 if empty.
+  AttributeId First() const;
+  /// Returns the smallest id strictly greater than `a`, or -1 if none.
+  AttributeId Next(AttributeId a) const;
+
+  /// Materializes the contained ids in ascending order.
+  std::vector<AttributeId> ToVector() const;
+
+  bool operator==(const AttributeSet& other) const {
+    return capacity_ == other.capacity_ && words_ == other.words_;
+  }
+  bool operator!=(const AttributeSet& other) const { return !(*this == other); }
+  /// Lexicographic order on the underlying words; a total order usable as a
+  /// map key. Requires equal capacities.
+  bool operator<(const AttributeSet& other) const { return words_ < other.words_; }
+
+  size_t Hash() const;
+
+  /// Renders e.g. "{0, 3, 7}".
+  std::string ToString() const;
+  /// Renders attribute names, e.g. "[Postcode, City]".
+  std::string ToString(const std::vector<std::string>& names) const;
+
+  /// Iterator over set bits (ascending attribute ids).
+  class Iterator {
+   public:
+    Iterator(const AttributeSet* set, AttributeId pos) : set_(set), pos_(pos) {}
+    AttributeId operator*() const { return pos_; }
+    Iterator& operator++() {
+      pos_ = set_->Next(pos_);
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return pos_ != other.pos_; }
+
+   private:
+    const AttributeSet* set_;
+    AttributeId pos_;
+  };
+  Iterator begin() const { return Iterator(this, First()); }
+  Iterator end() const { return Iterator(this, -1); }
+
+ private:
+  int capacity_;
+  std::vector<uint64_t> words_;
+};
+
+/// std::hash adapter so AttributeSet can key unordered containers.
+struct AttributeSetHash {
+  size_t operator()(const AttributeSet& s) const { return s.Hash(); }
+};
+
+}  // namespace normalize
+
+namespace std {
+template <>
+struct hash<normalize::AttributeSet> {
+  size_t operator()(const normalize::AttributeSet& s) const { return s.Hash(); }
+};
+}  // namespace std

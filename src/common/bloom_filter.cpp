@@ -1,0 +1,75 @@
+#include "common/bloom_filter.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace normalize {
+
+uint64_t HashString64(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+// Derives the i-th probe position via double hashing (Kirsch-Mitzenmacher).
+inline size_t ProbePosition(uint64_t hash, int i, size_t num_bits) {
+  uint64_t h1 = hash;
+  uint64_t h2 = (hash >> 33) | (hash << 31);
+  if (h2 == 0) h2 = 0x9e3779b97f4a7c15ull;
+  return (h1 + static_cast<uint64_t>(i) * h2) % num_bits;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(size_t expected_items, double fpp) {
+  expected_items = std::max<size_t>(expected_items, 1);
+  fpp = std::clamp(fpp, 1e-9, 0.5);
+  // m = -n ln(p) / (ln 2)^2 ; k = (m/n) ln 2
+  double ln2 = std::log(2.0);
+  double m = -static_cast<double>(expected_items) * std::log(fpp) / (ln2 * ln2);
+  num_bits_ = std::max<size_t>(64, static_cast<size_t>(std::ceil(m)));
+  num_hashes_ = std::max(1, static_cast<int>(std::round(
+                                m / static_cast<double>(expected_items) * ln2)));
+  bits_.assign((num_bits_ + 63) / 64, 0);
+}
+
+void BloomFilter::Insert(std::string_view key) { InsertHash(HashString64(key)); }
+
+void BloomFilter::InsertHash(uint64_t hash) {
+  for (int i = 0; i < num_hashes_; ++i) SetBit(ProbePosition(hash, i, num_bits_));
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  return MayContainHash(HashString64(key));
+}
+
+bool BloomFilter::MayContainHash(uint64_t hash) const {
+  for (int i = 0; i < num_hashes_; ++i) {
+    if (!TestBit(ProbePosition(hash, i, num_bits_))) return false;
+  }
+  return true;
+}
+
+size_t BloomFilter::CountSetBits() const {
+  size_t c = 0;
+  for (uint64_t w : bits_) c += static_cast<size_t>(std::popcount(w));
+  return c;
+}
+
+double BloomFilter::EstimateCardinality() const {
+  double m = static_cast<double>(num_bits_);
+  double x = static_cast<double>(CountSetBits());
+  if (x >= m) {
+    // Saturated filter: the estimator diverges; report the design capacity.
+    return m / num_hashes_ * std::log(m);
+  }
+  return -(m / num_hashes_) * std::log(1.0 - x / m);
+}
+
+}  // namespace normalize

@@ -1,0 +1,51 @@
+// Bloom filter used by the duplication score (paper §7.2, feature 4): the
+// number of distinct values in an attribute (combination) is estimated from
+// the filter's fill ratio instead of being computed exactly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace normalize {
+
+/// A classic k-hash-function Bloom filter over string keys with an
+/// occupancy-based cardinality estimator.
+class BloomFilter {
+ public:
+  /// `expected_items` sizes the filter for roughly `fpp` false-positive
+  /// probability at that load.
+  explicit BloomFilter(size_t expected_items, double fpp = 0.01);
+
+  /// Inserts a key.
+  void Insert(std::string_view key);
+  /// Inserts an already-hashed key (e.g. a dictionary code).
+  void InsertHash(uint64_t hash);
+
+  /// True if the key may have been inserted (false positives possible).
+  bool MayContain(std::string_view key) const;
+  bool MayContainHash(uint64_t hash) const;
+
+  /// Estimates the number of distinct inserted keys from the fraction of set
+  /// bits: n ≈ -(m/k) * ln(1 - X/m), the standard Bloom occupancy inversion.
+  double EstimateCardinality() const;
+
+  size_t num_bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+  /// Number of set bits (for tests and diagnostics).
+  size_t CountSetBits() const;
+
+ private:
+  void SetBit(size_t i) { bits_[i >> 6] |= 1ull << (i & 63); }
+  bool TestBit(size_t i) const { return (bits_[i >> 6] >> (i & 63)) & 1u; }
+
+  size_t num_bits_;
+  int num_hashes_;
+  std::vector<uint64_t> bits_;
+};
+
+/// 64-bit string hash (FNV-1a) shared by BloomFilter and callers that
+/// pre-hash values.
+uint64_t HashString64(std::string_view s);
+
+}  // namespace normalize

@@ -1,0 +1,63 @@
+// Result<T>: a value-or-Status holder, mirroring arrow::Result / absl::StatusOr.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace normalize {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or a fallback if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Early-return helper: assign the value of a Result expression to `lhs`, or
+/// propagate its error status.
+#define NORMALIZE_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto _res_##__LINE__ = (expr);                    \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).value();
+
+}  // namespace normalize

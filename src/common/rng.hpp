@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation for the data generators and
+// property tests. All randomness in the library flows through Rng so that
+// every experiment is reproducible from a seed.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace normalize {
+
+/// A seeded 64-bit Mersenne-twister wrapper with the sampling helpers the
+/// generators need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+  /// Uniform double in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+  /// Bernoulli draw.
+  bool Chance(double p) { return UniformReal() < p; }
+
+  /// Zipf-like skewed index in [0, n): smaller indices are more likely.
+  int64_t Skewed(int64_t n, double skew = 1.2) {
+    if (n <= 1) return 0;
+    double u = UniformReal();
+    double x = std::pow(u, skew) * static_cast<double>(n);
+    int64_t idx = static_cast<int64_t>(x);
+    return std::min(idx, n - 1);
+  }
+
+  /// Picks a random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[static_cast<size_t>(Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// Random lowercase identifier of the given length.
+  std::string Identifier(int length) {
+    std::string s;
+    s.reserve(static_cast<size_t>(length));
+    for (int i = 0; i < length; ++i) {
+      s.push_back(static_cast<char>('a' + Uniform(0, 25)));
+    }
+    return s;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace normalize

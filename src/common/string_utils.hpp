@@ -1,0 +1,37 @@
+// Small string helpers shared by the CSV reader and the report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace normalize {
+
+/// Splits `s` at every occurrence of `delim` (no quoting; see CsvReader for
+/// RFC-4180-style parsing).
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Joins strings with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+/// Lowercases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// Pads or truncates to exactly `width` characters (left-aligned).
+std::string PadRight(std::string_view s, size_t width);
+/// Pads on the left (right-aligned), for numeric table columns.
+std::string PadLeft(std::string_view s, size_t width);
+
+/// Formats a duration in a human-friendly unit ("483 us", "1.24 ms",
+/// "3.5 s", "2.1 min").
+std::string FormatDuration(double seconds);
+
+/// Formats an integer with thousands separators ("12,358,548").
+std::string FormatCount(int64_t n);
+
+}  // namespace normalize

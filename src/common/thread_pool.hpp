@@ -1,0 +1,46 @@
+// A small fixed-size thread pool used to parallelize the FD-loop of the
+// closure algorithms (paper §4: "All three closure algorithms can easily be
+// parallelized by splitting the FD-loops to different worker threads") and
+// HyFD's per-level validation.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace normalize {
+
+/// Fixed-size pool executing std::function tasks FIFO.
+class ThreadPool {
+ public:
+  /// `num_threads <= 0` selects the hardware concurrency.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; the returned future resolves when it has run.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all
+  /// iterations finished. Iterations are chunked to limit queue overhead.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace normalize

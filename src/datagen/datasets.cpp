@@ -1,0 +1,164 @@
+#include "datagen/datasets.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "relation/operations.hpp"
+
+namespace normalize {
+
+RelationData AddressExample() {
+  std::vector<AttributeId> ids = {0, 1, 2, 3, 4};
+  std::vector<std::string> names = {"First", "Last", "Postcode", "City",
+                                    "Mayor"};
+  RelationData data("address", ids, names);
+  data.AppendRow({"Thomas", "Miller", "14482", "Potsdam", "Jakobs"});
+  data.AppendRow({"Sarah", "Miller", "14482", "Potsdam", "Jakobs"});
+  data.AppendRow({"Peter", "Smith", "60329", "Frankfurt", "Feldmann"});
+  data.AppendRow({"Jasmine", "Cone", "01069", "Dresden", "Orosz"});
+  data.AppendRow({"Mike", "Cone", "14482", "Potsdam", "Jakobs"});
+  data.AppendRow({"Thomas", "Moore", "60329", "Frankfurt", "Feldmann"});
+  return data;
+}
+
+RelationData DenormalizeAll(const std::vector<RelationData>& tables,
+                            const std::string& name) {
+  assert(!tables.empty());
+  RelationData result = tables[0];
+  for (size_t i = 1; i < tables.size(); ++i) {
+    result = NaturalJoin(result, tables[i]);
+  }
+  result.set_name(name);
+  return result;
+}
+
+RelationData GenerateRandomDataset(const RandomDatasetSpec& spec) {
+  Rng rng(spec.seed);
+  int n = spec.num_attributes;
+  int rows = spec.num_rows;
+
+  std::vector<AttributeId> ids(static_cast<size_t>(n));
+  std::vector<std::string> names(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    ids[static_cast<size_t>(c)] = c;
+    names[static_cast<size_t>(c)] = "col" + std::to_string(c);
+  }
+
+  // Plant FDs: pick target columns (distinct) and random source sets among
+  // the non-target columns.
+  struct Planted {
+    std::vector<int> sources;
+    int target;
+  };
+  std::vector<int> columns(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) columns[static_cast<size_t>(c)] = c;
+  std::vector<int> shuffled = columns;
+  rng.Shuffle(&shuffled);
+  int num_planted = std::min(spec.num_planted_fds, n / 2);
+  std::vector<Planted> planted;
+  std::vector<bool> is_target(static_cast<size_t>(n), false);
+  for (int i = 0; i < num_planted; ++i) {
+    int target = shuffled[static_cast<size_t>(i)];
+    is_target[static_cast<size_t>(target)] = true;
+    planted.push_back({{}, target});
+  }
+  for (Planted& p : planted) {
+    int k = static_cast<int>(rng.Uniform(1, spec.max_source_size));
+    std::vector<int> pool;
+    for (int c = 0; c < n; ++c) {
+      if (!is_target[static_cast<size_t>(c)]) pool.push_back(c);
+    }
+    rng.Shuffle(&pool);
+    for (int j = 0; j < k && j < static_cast<int>(pool.size()); ++j) {
+      p.sources.push_back(pool[static_cast<size_t>(j)]);
+    }
+  }
+
+  // Independent columns: skewed draws from a bounded domain. NULL cells are
+  // decided first and encoded as the sentinel -1 in the raw matrix so that
+  // planted targets are functions of the *observed* values (NULL included) —
+  // otherwise two NULL-source rows could disagree on the target and the
+  // planted FD would not hold.
+  int domain = std::max(2, static_cast<int>(rows * spec.domain_fraction));
+  std::vector<std::vector<int64_t>> raw(
+      static_cast<size_t>(n), std::vector<int64_t>(static_cast<size_t>(rows)));
+  for (int c = 0; c < n; ++c) {
+    if (is_target[static_cast<size_t>(c)]) continue;
+    for (int r = 0; r < rows; ++r) {
+      bool null_cell =
+          spec.null_fraction > 0.0 && rng.Chance(spec.null_fraction);
+      raw[static_cast<size_t>(c)][static_cast<size_t>(r)] =
+          null_cell ? -1 : rng.Skewed(domain);
+    }
+  }
+  // Planted targets: a deterministic function (hash) of the source values.
+  for (const Planted& p : planted) {
+    for (int r = 0; r < rows; ++r) {
+      uint64_t h = 1469598103934665603ull;
+      for (int s : p.sources) {
+        h ^= static_cast<uint64_t>(
+                 raw[static_cast<size_t>(s)][static_cast<size_t>(r)]) +
+             0x9e3779b97f4a7c15ull;
+        h *= 1099511628211ull;
+      }
+      // Compress into a smallish codomain to keep duplication realistic.
+      raw[static_cast<size_t>(p.target)][static_cast<size_t>(r)] =
+          static_cast<int64_t>(h % static_cast<uint64_t>(domain * 2));
+    }
+  }
+
+  RelationData data(spec.name, ids, names);
+  std::vector<std::string> row(static_cast<size_t>(n));
+  std::vector<bool> nulls(static_cast<size_t>(n));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < n; ++c) {
+      int64_t v = raw[static_cast<size_t>(c)][static_cast<size_t>(r)];
+      bool null_cell = v < 0;
+      nulls[static_cast<size_t>(c)] = null_cell;
+      row[static_cast<size_t>(c)] = null_cell ? "" : "v" + std::to_string(v);
+    }
+    data.AppendRow(row, nulls);
+  }
+  return data;
+}
+
+namespace {
+
+RelationData Profile(const std::string& name, int attrs, int base_rows,
+                     double scale, uint64_t seed, double domain_fraction,
+                     int planted, int max_source, double null_fraction) {
+  RandomDatasetSpec spec;
+  spec.name = name;
+  spec.num_attributes = attrs;
+  spec.num_rows = std::max(2, static_cast<int>(base_rows * scale));
+  spec.domain_fraction = domain_fraction;
+  spec.num_planted_fds = planted;
+  spec.max_source_size = max_source;
+  spec.null_fraction = null_fraction;
+  spec.seed = seed;
+  return GenerateRandomDataset(spec);
+}
+
+}  // namespace
+
+RelationData HorseLike(double scale, uint64_t seed) {
+  // Horse: 27 attributes x 368 records, many NULLs, heavy duplication.
+  return Profile("horse", 27, 368, scale, seed, 0.08, 6, 2, 0.2);
+}
+
+RelationData PlistaLike(double scale, uint64_t seed) {
+  // Plista: 63 attributes x 1000 records, sparse columns.
+  return Profile("plista", 63, 1000, scale, seed, 0.05, 12, 2, 0.3);
+}
+
+RelationData Amalgam1Like(double scale, uint64_t seed) {
+  // Amalgam1: 87 attributes x 50 records — wide and short.
+  return Profile("amalgam1", 87, 50, scale, seed, 0.3, 15, 2, 0.1);
+}
+
+RelationData FlightLike(double scale, uint64_t seed) {
+  // Flight: 109 attributes x 1000 records.
+  return Profile("flight", 109, 1000, scale, seed, 0.06, 20, 2, 0.25);
+}
+
+}  // namespace normalize

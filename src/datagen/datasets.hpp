@@ -1,0 +1,56 @@
+// Built-in datasets and dataset generators used by the examples, tests, and
+// the evaluation harness. See DESIGN.md §1 for the substitution rationale:
+// the generators reproduce the *schema and FD structure* of the paper's
+// datasets at configurable scale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "relation/relation_data.hpp"
+
+namespace normalize {
+
+/// The paper's Table 1 address example (6 rows; Postcode -> City, Mayor).
+RelationData AddressExample();
+
+/// Left-folds NaturalJoin over `tables` (order matters: each table must
+/// share at least one attribute with the join of its predecessors, or the
+/// result degenerates to a cross product).
+RelationData DenormalizeAll(const std::vector<RelationData>& tables,
+                            const std::string& name);
+
+/// Specification of a synthetic dataset with planted FDs, used for the
+/// Table 3 profile datasets (Horse, Plista, Amalgam1, Flight stand-ins) and
+/// for randomized property tests.
+struct RandomDatasetSpec {
+  std::string name = "random";
+  int num_attributes = 10;
+  int num_rows = 100;
+  /// Distinct-value budget per independent column, as a fraction of rows
+  /// (smaller => more duplication => more FDs).
+  double domain_fraction = 0.3;
+  /// Number of planted FDs source-set -> target-column.
+  int num_planted_fds = 5;
+  /// Max size of a planted FD's source set.
+  int max_source_size = 3;
+  /// Fraction of NULL cells in non-source columns.
+  double null_fraction = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Generates a dataset per the spec: independent columns draw from skewed
+/// value domains; each planted FD makes its target column a deterministic
+/// function of its source columns (so the FD holds by construction — along
+/// with whatever accidental FDs the duplication induces, as in real data).
+RelationData GenerateRandomDataset(const RandomDatasetSpec& spec);
+
+/// Shape-matched stand-ins for the paper's four efficiency datasets
+/// (Table 3). Scale multiplies the row count.
+RelationData HorseLike(double scale = 1.0, uint64_t seed = 1);      // 27 x 368
+RelationData PlistaLike(double scale = 1.0, uint64_t seed = 2);     // 63 x 1000
+RelationData Amalgam1Like(double scale = 1.0, uint64_t seed = 3);   // 87 x 50
+RelationData FlightLike(double scale = 1.0, uint64_t seed = 4);     // 109 x 1000
+
+}  // namespace normalize

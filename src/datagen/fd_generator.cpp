@@ -1,0 +1,44 @@
+#include "datagen/fd_generator.hpp"
+
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace normalize {
+
+FdSet GenerateRandomFdSet(int num_attrs, size_t num_fds, int max_lhs,
+                          uint64_t seed) {
+  Rng rng(seed);
+  FdSet fds;
+  for (size_t i = 0; i < num_fds; ++i) {
+    int lhs_size = static_cast<int>(rng.Uniform(1, max_lhs));
+    AttributeSet lhs(num_attrs);
+    while (lhs.Count() < lhs_size) {
+      lhs.Set(static_cast<AttributeId>(rng.Uniform(0, num_attrs - 1)));
+    }
+    AttributeSet rhs(num_attrs);
+    int rhs_size = static_cast<int>(rng.Uniform(1, 3));
+    int guard = 0;
+    while (rhs.Count() < rhs_size && guard++ < 100) {
+      AttributeId a = static_cast<AttributeId>(rng.Uniform(0, num_attrs - 1));
+      if (!lhs.Test(a)) rhs.Set(a);
+    }
+    if (rhs.Empty()) continue;
+    fds.Add(Fd(std::move(lhs), std::move(rhs)));
+  }
+  fds.Aggregate();
+  return fds;
+}
+
+FdSet SampleFds(const FdSet& source, size_t n, uint64_t seed) {
+  if (n >= source.size()) return source;
+  Rng rng(seed);
+  std::vector<size_t> indices(source.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  rng.Shuffle(&indices);
+  FdSet out;
+  for (size_t i = 0; i < n; ++i) out.Add(source[indices[i]]);
+  return out;
+}
+
+}  // namespace normalize

@@ -1,0 +1,23 @@
+// Random FD-set construction: arbitrary FD sets for exercising the naive and
+// improved closure algorithms, and random sampling of discovered FD sets —
+// the paper's Figure 2 experiment draws its inputs by sampling the 12M
+// MusicBrainz FDs at a fixed attribute count.
+#pragma once
+
+#include <cstdint>
+
+#include "fd/fd.hpp"
+
+namespace normalize {
+
+/// Generates `num_fds` random FDs over `num_attrs` attributes with LHS sizes
+/// in [1, max_lhs]. The set is arbitrary: it is neither complete nor minimal
+/// (suitable for the naive/improved algorithms, NOT for the optimized one).
+FdSet GenerateRandomFdSet(int num_attrs, size_t num_fds, int max_lhs,
+                          uint64_t seed);
+
+/// Draws a uniform random sample of `n` FDs (without replacement) from
+/// `source`. If n >= source.size(), returns a copy.
+FdSet SampleFds(const FdSet& source, size_t n, uint64_t seed);
+
+}  // namespace normalize

@@ -1,0 +1,268 @@
+#include "datagen/musicbrainz_like.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "datagen/datasets.hpp"
+
+namespace normalize {
+
+namespace {
+
+enum Attr : AttributeId {
+  kAreaKey = 0,
+  kAreaName,
+  kAreaType,
+  kArtistKey,
+  kArtistName,
+  kArtistSortName,
+  kArtistType,
+  kAcKey,
+  kAcName,
+  kAcArtistCount,
+  kAcnPosition,
+  kAcnName,
+  kLabelKey,
+  kLabelName,
+  kLabelType,
+  kLabelCode,
+  kLabelAreaKey,
+  kPlaceKey,
+  kPlaceName,
+  kPlaceType,
+  kReleaseKey,
+  kReleaseName,
+  kReleaseStatus,
+  kReleaseYear,
+  kCatalogNumber,
+  kMediumKey,
+  kMediumPosition,
+  kMediumFormat,
+  kRecordingKey,
+  kRecordingName,
+  kRecordingLength,
+  kTrackKey,
+  kTrackPosition,
+  kTrackName,
+  kTrackLength,
+  kNumAttrs,
+};
+
+const char* AttrName(AttributeId a) {
+  static const char* kNames[] = {
+      "areakey",        "area_name",      "area_type",     "artistkey",
+      "artist_name",    "artist_sortname", "artist_type",  "ackey",
+      "ac_name",        "ac_artistcount", "acn_position",  "acn_name",
+      "labelkey",       "label_name",     "label_type",    "label_code",
+      "label_areakey",  "placekey",       "place_name",    "place_type",
+      "releasekey",     "release_name",   "release_status", "release_year",
+      "catalog_number", "mediumkey",      "medium_position", "medium_format",
+      "recordingkey",   "recording_name", "recording_length", "trackkey",
+      "track_position", "track_name",     "track_length"};
+  return kNames[a];
+}
+
+RelationData MakeTable(const std::string& name,
+                       std::vector<AttributeId> attrs) {
+  std::vector<std::string> names;
+  names.reserve(attrs.size());
+  for (AttributeId a : attrs) names.emplace_back(AttrName(a));
+  RelationData t(name, std::move(attrs), std::move(names));
+  t.set_universe_size(kNumAttrs);
+  return t;
+}
+
+}  // namespace
+
+MusicBrainzScale MusicBrainzScale::Scaled(double f) const {
+  MusicBrainzScale s = *this;
+  s.artists = std::max(1, static_cast<int>(artists * f));
+  s.artist_credits = std::max(1, static_cast<int>(artist_credits * f));
+  s.labels = std::max(1, static_cast<int>(labels * f));
+  s.places = std::max(1, static_cast<int>(places * f));
+  s.releases = std::max(1, static_cast<int>(releases * f));
+  s.media = std::max(1, static_cast<int>(media * f));
+  s.recordings = std::max(1, static_cast<int>(recordings * f));
+  s.tracks = std::max(1, static_cast<int>(tracks * f));
+  return s;
+}
+
+MusicBrainzDataset GenerateMusicBrainzLike(const MusicBrainzScale& scale) {
+  Rng rng(scale.seed);
+  MusicBrainzDataset ds;
+
+  static const char* kAreaTypes[] = {"Country", "City", "Subdivision"};
+  static const char* kArtistTypes[] = {"Person", "Group", "Orchestra",
+                                       "Choir"};
+  static const char* kLabelTypes[] = {"Imprint", "Production",
+                                      "Original Production", "Publisher"};
+  static const char* kPlaceTypes[] = {"Venue", "Studio", "Stadium"};
+  static const char* kStatuses[] = {"Official", "Promotion", "Bootleg"};
+  static const char* kFormats[] = {"CD", "Vinyl", "Digital Media",
+                                   "Cassette"};
+
+  // --- area ---
+  RelationData area = MakeTable("area", {kAreaKey, kAreaName, kAreaType});
+  for (int i = 0; i < scale.areas; ++i) {
+    area.AppendRow({std::to_string(i), "Area " + rng.Identifier(6),
+                    kAreaTypes[rng.Uniform(0, 2)]});
+  }
+
+  // --- artist ---
+  RelationData artist =
+      MakeTable("artist", {kArtistKey, kArtistName, kArtistSortName,
+                           kArtistType, kAreaKey});
+  std::vector<std::string> artist_names(static_cast<size_t>(scale.artists));
+  for (int i = 0; i < scale.artists; ++i) {
+    std::string n = rng.Identifier(7);
+    n[0] = static_cast<char>(n[0] - 'a' + 'A');
+    artist_names[static_cast<size_t>(i)] = n;
+    artist.AppendRow({std::to_string(i), n, n + ", The",
+                      kArtistTypes[rng.Uniform(0, 3)],
+                      std::to_string(rng.Uniform(0, scale.areas - 1))});
+  }
+
+  // --- artist_credit + artist_credit_name (m:n link) ---
+  RelationData artist_credit =
+      MakeTable("artist_credit", {kAcKey, kAcName, kAcArtistCount});
+  RelationData acn = MakeTable(
+      "artist_credit_name", {kAcKey, kAcnPosition, kArtistKey, kAcnName});
+  for (int i = 0; i < scale.artist_credits; ++i) {
+    int count = static_cast<int>(
+        rng.Uniform(1, std::max(1, scale.max_artists_per_credit)));
+    std::string credit_name;
+    std::vector<int> used;
+    for (int p = 0; p < count; ++p) {
+      int a = static_cast<int>(rng.Uniform(0, scale.artists - 1));
+      if (std::find(used.begin(), used.end(), a) != used.end()) continue;
+      used.push_back(a);
+      if (!credit_name.empty()) credit_name += " feat. ";
+      credit_name += artist_names[static_cast<size_t>(a)];
+    }
+    artist_credit.AppendRow({std::to_string(i), credit_name,
+                             std::to_string(used.size())});
+    for (size_t p = 0; p < used.size(); ++p) {
+      acn.AppendRow({std::to_string(i), std::to_string(p),
+                     std::to_string(used[p]),
+                     artist_names[static_cast<size_t>(used[p])]});
+    }
+  }
+
+  // --- label ---
+  RelationData label = MakeTable(
+      "label", {kLabelKey, kLabelName, kLabelType, kLabelCode, kLabelAreaKey});
+  for (int i = 0; i < scale.labels; ++i) {
+    label.AppendRow({std::to_string(i), "Label " + rng.Identifier(6),
+                     kLabelTypes[rng.Uniform(0, 3)],
+                     std::to_string(10000 + i),
+                     std::to_string(rng.Uniform(0, scale.areas - 1))});
+  }
+
+  // --- place (several per area: joining on areakey fans rows out m:n) ---
+  RelationData place =
+      MakeTable("place", {kPlaceKey, kPlaceName, kPlaceType, kAreaKey});
+  for (int i = 0; i < scale.places; ++i) {
+    place.AppendRow({std::to_string(i), "Place " + rng.Identifier(6),
+                     kPlaceTypes[rng.Uniform(0, 2)],
+                     std::to_string(i % scale.areas)});
+  }
+
+  // --- release + release_label (m:n link) ---
+  RelationData release = MakeTable(
+      "release", {kReleaseKey, kReleaseName, kAcKey, kReleaseStatus,
+                  kReleaseYear});
+  RelationData release_label =
+      MakeTable("release_label", {kReleaseKey, kLabelKey, kCatalogNumber});
+  for (int i = 0; i < scale.releases; ++i) {
+    release.AppendRow({std::to_string(i), "Release " + rng.Identifier(8),
+                       std::to_string(rng.Uniform(0, scale.artist_credits - 1)),
+                       kStatuses[rng.Uniform(0, 2)],
+                       std::to_string(rng.Uniform(1960, 2016))});
+    int labels_for_release = static_cast<int>(
+        rng.Uniform(1, std::max(1, scale.max_labels_per_release)));
+    std::vector<int> used;
+    for (int k = 0; k < labels_for_release; ++k) {
+      int l = static_cast<int>(rng.Uniform(0, scale.labels - 1));
+      if (std::find(used.begin(), used.end(), l) != used.end()) continue;
+      used.push_back(l);
+      release_label.AppendRow({std::to_string(i), std::to_string(l),
+                               "CAT-" + std::to_string(i) + "-" +
+                                   std::to_string(l)});
+    }
+  }
+
+  // --- medium ---
+  RelationData medium = MakeTable(
+      "medium", {kMediumKey, kReleaseKey, kMediumPosition, kMediumFormat});
+  std::vector<int> medium_release(static_cast<size_t>(scale.media));
+  std::vector<int> release_medium_count(static_cast<size_t>(scale.releases), 0);
+  for (int i = 0; i < scale.media; ++i) {
+    int r = i < scale.releases ? i  // every release gets at least one medium
+                               : static_cast<int>(rng.Uniform(0, scale.releases - 1));
+    medium_release[static_cast<size_t>(i)] = r;
+    medium.AppendRow({std::to_string(i), std::to_string(r),
+                      std::to_string(++release_medium_count[static_cast<size_t>(r)]),
+                      kFormats[rng.Uniform(0, 3)]});
+  }
+
+  // --- recording ---
+  RelationData recording = MakeTable(
+      "recording", {kRecordingKey, kRecordingName, kRecordingLength});
+  for (int i = 0; i < scale.recordings; ++i) {
+    recording.AppendRow({std::to_string(i), "Song " + rng.Identifier(7),
+                         std::to_string(rng.Uniform(90000, 480000))});
+  }
+
+  // --- track ---
+  RelationData track = MakeTable(
+      "track", {kTrackKey, kMediumKey, kRecordingKey, kTrackPosition,
+                kTrackName, kTrackLength});
+  std::vector<int> medium_track_count(static_cast<size_t>(scale.media), 0);
+  for (int i = 0; i < scale.tracks; ++i) {
+    int m = static_cast<int>(rng.Uniform(0, scale.media - 1));
+    int rec = static_cast<int>(rng.Uniform(0, scale.recordings - 1));
+    track.AppendRow({std::to_string(i), std::to_string(m),
+                     std::to_string(rec),
+                     std::to_string(++medium_track_count[static_cast<size_t>(m)]),
+                     "Track " + rng.Identifier(6),
+                     std::to_string(rng.Uniform(90000, 480000))});
+  }
+
+  ds.tables = {area,   artist,        artist_credit, acn,
+               label,  place,         release,       release_label,
+               medium, recording,     track};
+
+  // Universal relation. Join order: 1:N fan-outs (acn, place, release_label)
+  // multiply rows — the m:n blowup the paper mentions for MusicBrainz.
+  ds.universal = DenormalizeAll(
+      {track, medium, release, artist_credit, acn, artist, area, place,
+       recording, release_label, label},
+      "musicbrainz_universal");
+
+  std::vector<std::string> names(kNumAttrs);
+  for (AttributeId a = 0; a < kNumAttrs; ++a) {
+    names[static_cast<size_t>(a)] = AttrName(a);
+  }
+  ds.gold_schema = Schema(names);
+  auto add = [&](const RelationData& t, std::vector<AttributeId> pk) {
+    RelationSchema rel(t.name(), t.AttributesAsSet(kNumAttrs));
+    AttributeSet key(kNumAttrs);
+    for (AttributeId a : pk) key.Set(a);
+    rel.set_primary_key(key);
+    ds.gold_schema.AddRelation(std::move(rel));
+  };
+  add(area, {kAreaKey});
+  add(artist, {kArtistKey});
+  add(artist_credit, {kAcKey});
+  add(acn, {kAcKey, kAcnPosition});
+  add(label, {kLabelKey});
+  add(place, {kPlaceKey});
+  add(release, {kReleaseKey});
+  add(release_label, {kReleaseKey, kLabelKey});
+  add(medium, {kMediumKey});
+  add(recording, {kRecordingKey});
+  add(track, {kTrackKey});
+  return ds;
+}
+
+}  // namespace normalize

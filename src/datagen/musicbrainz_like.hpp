@@ -1,0 +1,47 @@
+// A MusicBrainz-like dataset generator (substitute for the MusicBrainz dump,
+// see DESIGN.md): reproduces the link structure of the eleven core tables
+// the paper joined — including the m:n associative tables
+// (artist_credit_name, release_label, and the area-place fan-out) whose
+// joins blow up the universal relation, which is why the paper capped the
+// row count. The paper's Figure 4 experiment normalizes the universal
+// relation and recovers this link structure around a new fact-table-like
+// top relation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/relation_data.hpp"
+#include "relation/schema.hpp"
+
+namespace normalize {
+
+struct MusicBrainzScale {
+  int areas = 12;
+  int artists = 120;
+  int artist_credits = 160;
+  int max_artists_per_credit = 2;
+  int labels = 50;
+  int places = 36;     // distributed over areas (multiple per area: m:n)
+  int releases = 180;
+  int max_labels_per_release = 2;
+  int media = 280;
+  int recordings = 800;
+  int tracks = 1100;
+  uint64_t seed = 11;
+
+  MusicBrainzScale Scaled(double f) const;
+};
+
+struct MusicBrainzDataset {
+  std::vector<RelationData> tables;  // area, artist, artist_credit,
+                                     // artist_credit_name, label, place,
+                                     // release, release_label, medium,
+                                     // recording, track
+  RelationData universal;
+  Schema gold_schema;
+};
+
+MusicBrainzDataset GenerateMusicBrainzLike(const MusicBrainzScale& scale = {});
+
+}  // namespace normalize

@@ -1,0 +1,343 @@
+#include "datagen/tpch_like.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "datagen/datasets.hpp"
+
+namespace normalize {
+
+namespace {
+
+// Global attribute ids of the TPC-H-like universe (53 attributes).
+enum Attr : AttributeId {
+  kRegionKey = 0,
+  kRName,
+  kRComment,
+  kNationKey,
+  kNName,
+  kNComment,
+  kCustKey,
+  kCName,
+  kCAddress,
+  kCPhone,
+  kCAcctBal,
+  kCMktSegment,
+  kCComment,
+  kSuppKey,
+  kSName,
+  kSAddress,
+  kSNationKey,
+  kSPhone,
+  kSAcctBal,
+  kSComment,
+  kPartKey,
+  kPName,
+  kPMfgr,
+  kPBrand,
+  kPType,
+  kPSize,
+  kPContainer,
+  kPRetailPrice,
+  kPComment,
+  kPsAvailQty,
+  kPsSupplyCost,
+  kPsComment,
+  kOrderKey,
+  kOOrderStatus,
+  kOTotalPrice,
+  kOOrderDate,
+  kOOrderPriority,
+  kOClerk,
+  kOShipPriority,
+  kOComment,
+  kLLineNumber,
+  kLQuantity,
+  kLExtendedPrice,
+  kLDiscount,
+  kLTax,
+  kLReturnFlag,
+  kLLineStatus,
+  kLShipDate,
+  kLCommitDate,
+  kLReceiptDate,
+  kLShipInstruct,
+  kLShipMode,
+  kLComment,
+  kNumAttrs,
+};
+
+const char* AttrName(AttributeId a) {
+  static const char* kNames[] = {
+      "regionkey",    "r_name",         "r_comment",    "nationkey",
+      "n_name",       "n_comment",      "custkey",      "c_name",
+      "c_address",    "c_phone",        "c_acctbal",    "c_mktsegment",
+      "c_comment",    "suppkey",        "s_name",       "s_address",
+      "s_nationkey",  "s_phone",        "s_acctbal",    "s_comment",
+      "partkey",      "p_name",         "p_mfgr",       "p_brand",
+      "p_type",       "p_size",         "p_container",  "p_retailprice",
+      "p_comment",    "ps_availqty",    "ps_supplycost", "ps_comment",
+      "orderkey",     "o_orderstatus",  "o_totalprice", "o_orderdate",
+      "o_orderpriority", "o_clerk",     "o_shippriority", "o_comment",
+      "l_linenumber", "l_quantity",     "l_extendedprice", "l_discount",
+      "l_tax",        "l_returnflag",   "l_linestatus", "l_shipdate",
+      "l_commitdate", "l_receiptdate",  "l_shipinstruct", "l_shipmode",
+      "l_comment"};
+  return kNames[a];
+}
+
+RelationData MakeTable(const std::string& name,
+                       std::vector<AttributeId> attrs) {
+  std::vector<std::string> names;
+  names.reserve(attrs.size());
+  for (AttributeId a : attrs) names.emplace_back(AttrName(a));
+  RelationData t(name, std::move(attrs), std::move(names));
+  t.set_universe_size(kNumAttrs);
+  return t;
+}
+
+std::string Money(int64_t cents) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%02lld",
+                static_cast<long long>(cents / 100),
+                static_cast<long long>(cents % 100));
+  return buf;
+}
+
+std::string DateString(int day_index) {
+  // Days since 1992-01-01, folded into y-m-d without real calendar logic.
+  // Commit/receipt offsets can push the index slightly negative; clamp.
+  day_index = std::max(day_index, 0);
+  int year = 1992 + day_index / 360;
+  int month = 1 + (day_index % 360) / 30;
+  int day = 1 + day_index % 30;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+std::string Phone(Rng* rng) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                static_cast<int>(rng->Uniform(10, 34)),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(1000, 9999)));
+  return buf;
+}
+
+}  // namespace
+
+TpchScale TpchScale::Scaled(double f) const {
+  TpchScale s = *this;
+  s.customers = std::max(1, static_cast<int>(customers * f));
+  s.suppliers = std::max(1, static_cast<int>(suppliers * f));
+  s.parts = std::max(1, static_cast<int>(parts * f));
+  s.orders = std::max(1, static_cast<int>(orders * f));
+  s.lineitems = std::max(1, static_cast<int>(lineitems * f));
+  return s;
+}
+
+TpchDataset GenerateTpchLike(const TpchScale& scale) {
+  Rng rng(scale.seed);
+  TpchDataset ds;
+
+  static const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                       "MIDDLE EAST", "OCEANIA", "ANTARCTICA"};
+  static const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                    "HOUSEHOLD", "MACHINERY"};
+  static const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                      "4-NOT SPECIFIED", "5-LOW"};
+  static const char* kContainers[] = {"SM CASE", "LG BOX", "MED BAG",
+                                      "JUMBO JAR", "WRAP PKG"};
+  static const char* kTypes[] = {"STANDARD BRUSHED TIN", "SMALL PLATED COPPER",
+                                 "ECONOMY POLISHED STEEL", "LARGE BURNISHED BRASS",
+                                 "PROMO ANODIZED NICKEL"};
+  static const char* kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                     "NONE", "TAKE BACK RETURN"};
+  static const char* kModes[] = {"AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                                 "FOB", "REG AIR"};
+
+  // --- region ---
+  RelationData region = MakeTable("region", {kRegionKey, kRName, kRComment});
+  int regions = std::min<int>(scale.regions, 7);
+  for (int i = 0; i < regions; ++i) {
+    region.AppendRow({std::to_string(i), kRegionNames[i],
+                      "region note " + rng.Identifier(8)});
+  }
+
+  // --- nation ---
+  RelationData nation =
+      MakeTable("nation", {kNationKey, kNName, kRegionKey, kNComment});
+  std::vector<int> nation_region(static_cast<size_t>(scale.nations));
+  for (int i = 0; i < scale.nations; ++i) {
+    nation_region[static_cast<size_t>(i)] = i % regions;
+    nation.AppendRow({std::to_string(i), "NATION_" + std::to_string(i),
+                      std::to_string(nation_region[static_cast<size_t>(i)]),
+                      "nation note " + rng.Identifier(8)});
+  }
+
+  // --- customer ---
+  RelationData customer =
+      MakeTable("customer", {kCustKey, kCName, kCAddress, kNationKey, kCPhone,
+                             kCAcctBal, kCMktSegment, kCComment});
+  std::vector<int> cust_nation(static_cast<size_t>(scale.customers));
+  for (int i = 0; i < scale.customers; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "Customer#%06d", i);
+    cust_nation[static_cast<size_t>(i)] =
+        static_cast<int>(rng.Uniform(0, scale.nations - 1));
+    customer.AppendRow(
+        {std::to_string(i), name, rng.Identifier(12),
+         std::to_string(cust_nation[static_cast<size_t>(i)]), Phone(&rng),
+         Money(rng.Uniform(-99999, 999999)),
+         kSegments[rng.Uniform(0, 4)], "cust " + rng.Identifier(10)});
+  }
+
+  // --- supplier (s_nationkey is a plain attribute; supplier is joined into
+  // the universal relation via suppkey only, keeping the join tree acyclic) ---
+  RelationData supplier =
+      MakeTable("supplier", {kSuppKey, kSName, kSAddress, kSNationKey, kSPhone,
+                             kSAcctBal, kSComment});
+  for (int i = 0; i < scale.suppliers; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "Supplier#%06d", i);
+    supplier.AppendRow({std::to_string(i), name, rng.Identifier(12),
+                        std::to_string(rng.Uniform(0, scale.nations - 1)),
+                        Phone(&rng), Money(rng.Uniform(-99999, 999999)),
+                        "supp " + rng.Identifier(10)});
+  }
+
+  // --- part (p_brand functionally determines p_mfgr, as in dbgen) ---
+  RelationData part =
+      MakeTable("part", {kPartKey, kPName, kPMfgr, kPBrand, kPType, kPSize,
+                         kPContainer, kPRetailPrice, kPComment});
+  std::vector<int64_t> part_price(static_cast<size_t>(scale.parts));
+  for (int i = 0; i < scale.parts; ++i) {
+    int mfgr = static_cast<int>(rng.Uniform(1, 5));
+    int brand = mfgr * 10 + static_cast<int>(rng.Uniform(1, 5));
+    // dbgen's retail price is a deterministic function of the part key.
+    part_price[static_cast<size_t>(i)] =
+        90000 + (i * 100) % 20001 + 100 * (i % 1000);
+    char mfgr_s[24], brand_s[24];
+    std::snprintf(mfgr_s, sizeof(mfgr_s), "Manufacturer#%d", mfgr);
+    std::snprintf(brand_s, sizeof(brand_s), "Brand#%d", brand);
+    part.AppendRow({std::to_string(i), "part " + rng.Identifier(8), mfgr_s,
+                    brand_s, kTypes[rng.Uniform(0, 4)],
+                    std::to_string(rng.Uniform(1, 50)),
+                    kContainers[rng.Uniform(0, 4)],
+                    Money(part_price[static_cast<size_t>(i)]),
+                    "part " + rng.Identifier(9)});
+  }
+
+  // --- partsupp: each part is stocked by `suppliers_per_part` suppliers ---
+  RelationData partsupp = MakeTable(
+      "partsupp", {kPartKey, kSuppKey, kPsAvailQty, kPsSupplyCost, kPsComment});
+  std::vector<std::vector<int>> part_suppliers(
+      static_cast<size_t>(scale.parts));
+  for (int p = 0; p < scale.parts; ++p) {
+    for (int k = 0; k < scale.suppliers_per_part; ++k) {
+      int s = (p + k * (scale.suppliers / scale.suppliers_per_part + 1)) %
+              scale.suppliers;
+      if (std::find(part_suppliers[static_cast<size_t>(p)].begin(),
+                    part_suppliers[static_cast<size_t>(p)].end(),
+                    s) != part_suppliers[static_cast<size_t>(p)].end()) {
+        continue;
+      }
+      part_suppliers[static_cast<size_t>(p)].push_back(s);
+      // Quantities and costs draw from coarse domains so that they stay
+      // attributes rather than accidental keys of partsupp.
+      partsupp.AppendRow({std::to_string(p), std::to_string(s),
+                          std::to_string(rng.Uniform(1, 99) * 100),
+                          Money(rng.Uniform(1, 999) * 100),
+                          "ps " + rng.Identifier(8)});
+    }
+  }
+
+  // --- orders (o_shippriority is constant, exactly as in dbgen — this is
+  // what lets the paper's "shippriority ends up in REGION" flaw reproduce) ---
+  RelationData orders =
+      MakeTable("orders", {kOrderKey, kCustKey, kOOrderStatus, kOTotalPrice,
+                           kOOrderDate, kOOrderPriority, kOClerk,
+                           kOShipPriority, kOComment});
+  int num_clerks = std::max(1, scale.orders / 10);
+  for (int i = 0; i < scale.orders; ++i) {
+    char clerk[24];
+    std::snprintf(clerk, sizeof(clerk), "Clerk#%05d",
+                  static_cast<int>(rng.Uniform(0, num_clerks - 1)));
+    static const char* kStatus[] = {"O", "F", "P"};
+    orders.AppendRow({std::to_string(i),
+                      std::to_string(rng.Uniform(0, scale.customers - 1)),
+                      kStatus[rng.Uniform(0, 2)],
+                      Money(rng.Uniform(10000, 9999999)),
+                      DateString(static_cast<int>(rng.Uniform(0, 2400))),
+                      kPriorities[rng.Uniform(0, 4)], clerk, "0",
+                      "order " + rng.Identifier(10)});
+  }
+
+  // --- lineitem ---
+  RelationData lineitem = MakeTable(
+      "lineitem",
+      {kOrderKey, kPartKey, kSuppKey, kLLineNumber, kLQuantity,
+       kLExtendedPrice, kLDiscount, kLTax, kLReturnFlag, kLLineStatus,
+       kLShipDate, kLCommitDate, kLReceiptDate, kLShipInstruct, kLShipMode,
+       kLComment});
+  std::vector<int> order_linecount(static_cast<size_t>(scale.orders), 0);
+  for (int i = 0; i < scale.lineitems; ++i) {
+    int o = static_cast<int>(rng.Uniform(0, scale.orders - 1));
+    int line = ++order_linecount[static_cast<size_t>(o)];
+    int p = static_cast<int>(rng.Uniform(0, scale.parts - 1));
+    const std::vector<int>& sups = part_suppliers[static_cast<size_t>(p)];
+    int s = sups[static_cast<size_t>(rng.Uniform(
+        0, static_cast<int64_t>(sups.size()) - 1))];
+    int qty = static_cast<int>(rng.Uniform(1, 50));
+    // extendedprice = retailprice * quantity: an FD {partkey, quantity} ->
+    // extendedprice holds by construction, as in real TPC-H.
+    int64_t eprice = part_price[static_cast<size_t>(p)] * qty;
+    int ship = static_cast<int>(rng.Uniform(0, 2400));
+    lineitem.AppendRow(
+        {std::to_string(o), std::to_string(p), std::to_string(s),
+         std::to_string(line), std::to_string(qty), Money(eprice),
+         "0.0" + std::to_string(rng.Uniform(0, 9)),
+         "0.0" + std::to_string(rng.Uniform(0, 8)),
+         rng.Chance(0.3) ? "R" : (rng.Chance(0.5) ? "A" : "N"),
+         rng.Chance(0.5) ? "O" : "F", DateString(ship),
+         DateString(ship + static_cast<int>(rng.Uniform(-20, 40))),
+         DateString(ship + static_cast<int>(rng.Uniform(1, 30))),
+         kInstructs[rng.Uniform(0, 3)], kModes[rng.Uniform(0, 6)],
+         "line " + rng.Identifier(11)});
+  }
+
+  ds.tables = {region, nation, customer, supplier,
+               part,   partsupp, orders,  lineitem};
+
+  // Universal relation: every join is N:1 from the accumulating side, so the
+  // row count stays equal to |lineitem|.
+  ds.universal = DenormalizeAll(
+      {lineitem, orders, customer, nation, region, partsupp, part, supplier},
+      "tpch_universal");
+
+  // Gold-standard schema for §8.3-style comparisons.
+  std::vector<std::string> names(kNumAttrs);
+  for (AttributeId a = 0; a < kNumAttrs; ++a) names[static_cast<size_t>(a)] = AttrName(a);
+  ds.gold_schema = Schema(names);
+  auto add = [&](const RelationData& t, std::vector<AttributeId> pk) {
+    RelationSchema rel(t.name(), t.AttributesAsSet(kNumAttrs));
+    AttributeSet key(kNumAttrs);
+    for (AttributeId a : pk) key.Set(a);
+    rel.set_primary_key(key);
+    ds.gold_schema.AddRelation(std::move(rel));
+  };
+  add(region, {kRegionKey});
+  add(nation, {kNationKey});
+  add(customer, {kCustKey});
+  add(supplier, {kSuppKey});
+  add(part, {kPartKey});
+  add(partsupp, {kPartKey, kSuppKey});
+  add(orders, {kOrderKey});
+  add(lineitem, {kOrderKey, kLLineNumber});
+  return ds;
+}
+
+}  // namespace normalize

@@ -1,0 +1,47 @@
+// A TPC-H-like dataset generator (substitute for dbgen, see DESIGN.md):
+// produces the eight TPC-H relations with the original key/foreign-key
+// snowflake structure at configurable scale, plus the denormalized universal
+// relation the paper's Figure 3 experiment normalizes. Attribute ids are
+// global: a foreign-key column shares the id of the referenced primary key,
+// so NaturalJoin reconstructs the intended denormalization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/relation_data.hpp"
+#include "relation/schema.hpp"
+
+namespace normalize {
+
+struct TpchScale {
+  int regions = 5;
+  int nations = 25;
+  int customers = 300;
+  int suppliers = 100;
+  int parts = 375;
+  int suppliers_per_part = 2;  // partsupp = parts * suppliers_per_part
+  int orders = 875;
+  int lineitems = 3500;
+  uint64_t seed = 7;
+
+  /// Multiplies all entity counts except regions/nations.
+  TpchScale Scaled(double f) const;
+};
+
+/// The generated base tables plus gold-standard schema metadata used by the
+/// effectiveness evaluation (§8.3): which attributes belong to which
+/// original relation, and the original keys.
+struct TpchDataset {
+  std::vector<RelationData> tables;  // region, nation, customer, supplier,
+                                     // part, partsupp, orders, lineitem
+  RelationData universal;            // full denormalized join
+  Schema gold_schema;                // the original relations with PKs/FKs
+};
+
+/// Generates the dataset. The universal relation's row count equals the
+/// lineitem count.
+TpchDataset GenerateTpchLike(const TpchScale& scale = {});
+
+}  // namespace normalize

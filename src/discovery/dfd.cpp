@@ -1,0 +1,203 @@
+#include "discovery/dfd.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "discovery/discovery_util.hpp"
+#include "fd/hitting_set.hpp"
+#include "fd/set_trie.hpp"
+#include "pli/pli.hpp"
+
+namespace normalize {
+
+namespace {
+
+/// Lattice exploration state for one RHS attribute.
+class RhsLattice {
+ public:
+  RhsLattice(const RelationData& data, const PliCache& cache,
+             AttributeId rhs_col, int max_lhs, Rng* rng)
+      : data_(&data),
+        cache_(&cache),
+        rhs_codes_(&data.column(rhs_col).codes()),
+        rhs_col_(rhs_col),
+        max_lhs_(max_lhs),
+        rng_(rng),
+        num_cols_(data.num_columns()) {}
+
+  /// Runs the walk-and-reseed loop; returns all minimal dependency LHSs
+  /// (local column space).
+  std::vector<AttributeSet> FindMinimalDependencies() {
+    // Initial seeds: the singletons.
+    std::vector<AttributeSet> seeds;
+    for (AttributeId c = 0; c < num_cols_; ++c) {
+      if (c == rhs_col_) continue;
+      AttributeSet s(num_cols_);
+      s.Set(c);
+      seeds.push_back(std::move(s));
+    }
+    while (!seeds.empty()) {
+      for (const AttributeSet& seed : seeds) {
+        if (!Unclassified(seed)) continue;
+        Walk(seed);
+      }
+      seeds = NextSeeds();
+    }
+    return minimal_deps_;
+  }
+
+ private:
+  enum class Status { kDependency, kNonDependency };
+
+  bool Unclassified(const AttributeSet& x) {
+    if (min_dep_trie_.ContainsSubsetOf(x)) return false;
+    if (max_nondep_trie_.ContainsSupersetOf(x)) return false;
+    return !memo_.count(x);
+  }
+
+  Status Classify(const AttributeSet& x) {
+    if (min_dep_trie_.ContainsSubsetOf(x)) return Status::kDependency;
+    if (max_nondep_trie_.ContainsSupersetOf(x)) return Status::kNonDependency;
+    auto it = memo_.find(x);
+    if (it != memo_.end()) {
+      return it->second ? Status::kDependency : Status::kNonDependency;
+    }
+    bool valid = cache_->BuildPli(x.ToVector()).Refines(*rhs_codes_);
+    memo_.emplace(x, valid);
+    return valid ? Status::kDependency : Status::kNonDependency;
+  }
+
+  void Walk(const AttributeSet& seed) {
+    std::vector<AttributeSet> stack = {seed};
+    while (!stack.empty()) {
+      AttributeSet x = stack.back();
+      if (Classify(x) == Status::kDependency) {
+        // Descend towards a minimal dependency.
+        std::vector<AttributeSet> untested;
+        bool all_children_nondep = true;
+        for (AttributeId a : x) {
+          AttributeSet child = x;
+          child.Reset(a);
+          if (child.Empty()) continue;  // {} -> A handled by the caller
+          if (Unclassified(child)) {
+            untested.push_back(std::move(child));
+            all_children_nondep = false;
+          } else if (Classify(child) == Status::kDependency) {
+            all_children_nondep = false;
+          }
+        }
+        if (!untested.empty()) {
+          stack.push_back(rng_->Pick(untested));
+          continue;
+        }
+        if (all_children_nondep || x.Count() == 1) {
+          // Every proper subset is inside some (non-dep) child: x minimal.
+          if (!min_dep_trie_.ContainsSubsetOf(x)) {
+            min_dep_trie_.Insert(x);
+            minimal_deps_.push_back(x);
+          }
+        }
+        stack.pop_back();
+      } else {
+        // Ascend towards a maximal non-dependency.
+        std::vector<AttributeSet> untested;
+        bool all_parents_dep = true;
+        bool at_cap = x.Count() >= max_lhs_;
+        if (!at_cap) {
+          for (AttributeId b = 0; b < num_cols_; ++b) {
+            if (b == rhs_col_ || x.Test(b)) continue;
+            AttributeSet parent = x;
+            parent.Set(b);
+            if (Unclassified(parent)) {
+              untested.push_back(std::move(parent));
+              all_parents_dep = false;
+            } else if (Classify(parent) == Status::kNonDependency) {
+              all_parents_dep = false;
+            }
+          }
+        }
+        if (!untested.empty()) {
+          stack.push_back(rng_->Pick(untested));
+          continue;
+        }
+        if (all_parents_dep || at_cap) {
+          // Maximal within the (possibly capped) lattice.
+          if (!max_nondep_trie_.ContainsSupersetOf(x)) {
+            max_nondep_trie_.Insert(x);
+            max_nondeps_.push_back(x);
+          }
+        }
+        stack.pop_back();
+      }
+    }
+  }
+
+  /// New seeds: minimal transversals of the complements of the maximal
+  /// non-dependencies (a node escapes all non-dep downsets iff it is not a
+  /// subset of any of them, i.e. hits every complement), filtered to the
+  /// still-unclassified ones.
+  std::vector<AttributeSet> NextSeeds() {
+    AttributeSet universe = AttributeSet::Full(num_cols_);
+    universe.Reset(rhs_col_);
+    std::vector<AttributeSet> complements;
+    complements.reserve(max_nondeps_.size());
+    for (const AttributeSet& n : max_nondeps_) {
+      complements.push_back(universe.Difference(n));
+    }
+    std::vector<AttributeSet> seeds;
+    for (AttributeSet& h : MinimalHittingSets(complements, num_cols_)) {
+      if (h.Count() <= max_lhs_ && Unclassified(h)) seeds.push_back(std::move(h));
+    }
+    return seeds;
+  }
+
+  const RelationData* data_;
+  const PliCache* cache_;
+  const std::vector<ValueId>* rhs_codes_;
+  AttributeId rhs_col_;
+  int max_lhs_;
+  Rng* rng_;
+  int num_cols_;
+
+  std::unordered_map<AttributeSet, bool> memo_;
+  SetTrie min_dep_trie_;
+  SetTrie max_nondep_trie_;
+  std::vector<AttributeSet> minimal_deps_;
+  std::vector<AttributeSet> max_nondeps_;
+};
+
+}  // namespace
+
+Result<FdSet> Dfd::Discover(const RelationData& data) {
+  int n = data.num_columns();
+  size_t rows = data.num_rows();
+  std::vector<Fd> output;  // unary, local space
+  if (n == 0) return RemapToGlobal(output, data);
+
+  PliCache cache(data);
+  Rng rng(4242);
+  int max_lhs = options_.max_lhs_size > 0
+                    ? std::min(options_.max_lhs_size, n - 1)
+                    : n - 1;
+
+  for (AttributeId a = 0; a < n; ++a) {
+    AttributeSet empty(n);
+    AttributeSet rhs(n);
+    rhs.Set(a);
+    // {} -> A holds iff the column is constant (or the relation has < 2
+    // rows); then no larger LHS is minimal for A.
+    if (rows < 2 || data.column(a).DistinctCount() <= 1) {
+      output.emplace_back(empty, rhs);
+      continue;
+    }
+    if (n == 1) continue;
+    RhsLattice lattice(data, cache, a, max_lhs, &rng);
+    for (const AttributeSet& lhs : lattice.FindMinimalDependencies()) {
+      output.emplace_back(lhs, rhs);
+    }
+  }
+  return RemapToGlobal(output, data);
+}
+
+}  // namespace normalize

@@ -1,0 +1,23 @@
+// DFD (Abedjan, Schulze, Naumann; CIKM 2014) — the second discovery
+// algorithm the paper names for component (1). Per RHS attribute, DFD walks
+// the lattice of LHS candidates: from a dependency it descends towards
+// minimal dependencies, from a non-dependency it ascends towards maximal
+// non-dependencies, pruning everything implied by the borders found so far.
+// When a walk exhausts, new seeds are the minimal hitting sets of the
+// complements of the maximal non-dependencies — the frontier of the
+// unexplored region — which guarantees completeness.
+#pragma once
+
+#include "discovery/fd_discovery.hpp"
+
+namespace normalize {
+
+class Dfd : public FdDiscovery {
+ public:
+  explicit Dfd(FdDiscoveryOptions options = {}) : FdDiscovery(options) {}
+
+  std::string name() const override { return "Dfd"; }
+  Result<FdSet> Discover(const RelationData& data) override;
+};
+
+}  // namespace normalize

@@ -1,0 +1,44 @@
+#include "discovery/discovery_util.hpp"
+
+namespace normalize {
+
+void MinimizeCover(FdTree* tree) {
+  for (const Fd& fd : tree->CollectAllFds()) {
+    for (AttributeId a : fd.rhs) {
+      auto gens = tree->GetFdAndGeneralizations(fd.lhs, a);
+      for (const AttributeSet& gen : gens) {
+        if (gen != fd.lhs) {
+          // A proper generalization exists; this FD is not minimal.
+          tree->RemoveFd(fd.lhs, a);
+          break;
+        }
+      }
+    }
+  }
+}
+
+FdSet RemapToGlobal(const std::vector<Fd>& local_fds,
+                    const RelationData& data) {
+  int capacity = data.universe_size();
+  const std::vector<AttributeId>& ids = data.attribute_ids();
+  FdSet out;
+  for (const Fd& fd : local_fds) {
+    AttributeSet lhs(capacity), rhs(capacity);
+    for (AttributeId local : fd.lhs) lhs.Set(ids[static_cast<size_t>(local)]);
+    for (AttributeId local : fd.rhs) rhs.Set(ids[static_cast<size_t>(local)]);
+    out.Add(Fd(std::move(lhs), std::move(rhs)));
+  }
+  out.Aggregate();
+  return out;
+}
+
+AttributeSet AgreeSetOf(const RelationData& data, RowId r1, RowId r2) {
+  int n = data.num_columns();
+  AttributeSet s(n);
+  for (int c = 0; c < n; ++c) {
+    if (data.column(c).code(r1) == data.column(c).code(r2)) s.Set(c);
+  }
+  return s;
+}
+
+}  // namespace normalize

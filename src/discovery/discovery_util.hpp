@@ -1,0 +1,26 @@
+// Helpers shared by the discovery algorithms.
+#pragma once
+
+#include <vector>
+
+#include "fd/fd.hpp"
+#include "fd/fd_tree.hpp"
+#include "pli/pli.hpp"
+#include "relation/relation_data.hpp"
+
+namespace normalize {
+
+/// Removes every stored FD that has a proper generalization in the tree,
+/// leaving an antichain of minimal FDs per RHS attribute.
+void MinimizeCover(FdTree* tree);
+
+/// Translates FDs expressed over local column indices (0..num_columns-1)
+/// into the relation's global attribute-id space (capacity =
+/// data.universe_size()) and aggregates them per LHS.
+FdSet RemapToGlobal(const std::vector<Fd>& local_fds, const RelationData& data);
+
+/// The agree set of two rows: all columns on which they share codes
+/// (local column-index space).
+AttributeSet AgreeSetOf(const RelationData& data, RowId r1, RowId r2);
+
+}  // namespace normalize

@@ -1,0 +1,23 @@
+#include "discovery/fd_discovery.hpp"
+
+#include "common/string_utils.hpp"
+#include "discovery/dfd.hpp"
+#include "discovery/fdep.hpp"
+#include "discovery/hyfd.hpp"
+#include "discovery/naive_fd.hpp"
+#include "discovery/tane.hpp"
+
+namespace normalize {
+
+std::unique_ptr<FdDiscovery> MakeFdDiscovery(const std::string& name,
+                                             FdDiscoveryOptions options) {
+  std::string key = ToLower(name);
+  if (key == "naive") return std::make_unique<NaiveFdDiscovery>(options);
+  if (key == "tane") return std::make_unique<Tane>(options);
+  if (key == "dfd") return std::make_unique<Dfd>(options);
+  if (key == "fdep") return std::make_unique<Fdep>(options);
+  if (key == "hyfd") return std::make_unique<HyFd>(options);
+  return nullptr;
+}
+
+}  // namespace normalize

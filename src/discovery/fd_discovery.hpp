@@ -1,0 +1,52 @@
+// FD discovery interface — component (1) of the paper's pipeline. All
+// implementations return the *complete set of minimal, syntactically valid*
+// FDs of an instance (optionally LHS-size-pruned, §4.3), which the optimized
+// closure algorithm's correctness depends on (Lemma 1).
+//
+// NULL semantics: NULL compares equal to NULL (the dictionary gives NULL a
+// regular code), matching the Metanome profiling semantics the paper uses.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "fd/fd.hpp"
+#include "relation/relation_data.hpp"
+
+namespace normalize {
+
+/// Options shared by all discovery algorithms.
+struct FdDiscoveryOptions {
+  /// Maximum LHS size; FDs with larger LHSs are not reported. <= 0 means
+  /// unlimited. This is the paper's memory-pruning rule: the pruned result
+  /// still admits a correct closure for all remaining FDs.
+  int max_lhs_size = -1;
+};
+
+/// Abstract FD discovery algorithm.
+class FdDiscovery {
+ public:
+  virtual ~FdDiscovery() = default;
+
+  /// Name for reports ("HyFD", "Tane", ...).
+  virtual std::string name() const = 0;
+
+  /// Discovers all minimal FDs of `data` (subject to options().max_lhs_size).
+  /// The result is aggregated: one entry per LHS, RHS a set.
+  virtual Result<FdSet> Discover(const RelationData& data) = 0;
+
+  const FdDiscoveryOptions& options() const { return options_; }
+
+ protected:
+  explicit FdDiscovery(FdDiscoveryOptions options) : options_(options) {}
+
+  FdDiscoveryOptions options_;
+};
+
+/// Factory for the algorithms by name ("naive", "tane", "dfd", "fdep",
+/// "hyfd").
+std::unique_ptr<FdDiscovery> MakeFdDiscovery(const std::string& name,
+                                             FdDiscoveryOptions options = {});
+
+}  // namespace normalize

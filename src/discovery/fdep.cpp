@@ -1,0 +1,78 @@
+#include "discovery/fdep.hpp"
+
+#include <unordered_set>
+
+#include "discovery/discovery_util.hpp"
+#include "discovery/induction.hpp"
+#include "fd/fd_tree.hpp"
+#include "pli/pli.hpp"
+
+namespace normalize {
+
+Result<FdSet> Fdep::Discover(const RelationData& data) {
+  int n = data.num_columns();
+  size_t rows = data.num_rows();
+
+  // Negative cover: the distinct agree sets over all record pairs. Instead
+  // of all O(rows^2) pairs we only compare pairs that agree on at least one
+  // attribute — pairs from single-column PLI clusters — because a pair with
+  // an empty agree set only witnesses non-FDs with empty LHS evidence, which
+  // the empty agree set itself covers; we add it once if any pair of rows
+  // exists at all.
+  std::unordered_set<AttributeSet> agree_sets;
+  if (rows >= 2) {
+    PliCache cache(data);
+    std::vector<const Column*> cols;
+    cols.reserve(static_cast<size_t>(n));
+    for (int c = 0; c < n; ++c) cols.push_back(&data.column(c));
+
+    auto agree_set_of = [&](RowId r1, RowId r2) {
+      AttributeSet s(n);
+      for (int c = 0; c < n; ++c) {
+        if (cols[static_cast<size_t>(c)]->code(r1) ==
+            cols[static_cast<size_t>(c)]->code(r2)) {
+          s.Set(c);
+        }
+      }
+      return s;
+    };
+
+    // Pairs agreeing on >= 1 attribute are exactly the pairs inside some
+    // single-column PLI cluster. Pairs agreeing nowhere contribute the empty
+    // agree set; such pairs can exist only if no column is constant (a
+    // constant column makes every pair agree somewhere), and when no column
+    // is constant the empty agree set is sound evidence regardless (every
+    // {} -> A is then genuinely false), so we insert it exactly in that case.
+    bool any_constant_column = false;
+    for (int c = 0; c < n; ++c) {
+      if (data.column(c).DistinctCount() <= 1) any_constant_column = true;
+    }
+    if (!any_constant_column) agree_sets.insert(AttributeSet(n));
+    for (int c = 0; c < n; ++c) {
+      for (const auto& cluster : cache.ColumnPli(c).clusters()) {
+        for (size_t i = 0; i < cluster.size(); ++i) {
+          for (size_t j = i + 1; j < cluster.size(); ++j) {
+            AttributeSet ag = agree_set_of(cluster[i], cluster[j]);
+            // Only record the agree set at its first (smallest) agreeing
+            // column to avoid rediscovering it in every cluster it spans.
+            if (ag.First() == c) agree_sets.insert(std::move(ag));
+          }
+        }
+      }
+    }
+  }
+
+  // Positive cover: start from {} -> A for every attribute and specialize
+  // with each piece of negative evidence.
+  FdTree tree(n);
+  AttributeSet empty(n);
+  for (AttributeId a = 0; a < n; ++a) tree.AddFd(empty, a);
+  for (const AttributeSet& ag : agree_sets) {
+    InduceFromAgreeSet(&tree, ag, options_.max_lhs_size);
+  }
+
+  MinimizeCover(&tree);
+  return RemapToGlobal(tree.CollectAllFds(), data);
+}
+
+}  // namespace normalize

@@ -1,0 +1,19 @@
+// FDEP-style discovery: compute the negative cover (agree sets of all record
+// pairs), then invert it into the positive cover of minimal FDs. Quadratic
+// in the number of records but insensitive to attribute count — the method of
+// choice for wide, short tables (e.g. the paper's Amalgam1: 87 x 50).
+#pragma once
+
+#include "discovery/fd_discovery.hpp"
+
+namespace normalize {
+
+class Fdep : public FdDiscovery {
+ public:
+  explicit Fdep(FdDiscoveryOptions options = {}) : FdDiscovery(options) {}
+
+  std::string name() const override { return "Fdep"; }
+  Result<FdSet> Discover(const RelationData& data) override;
+};
+
+}  // namespace normalize

@@ -1,0 +1,232 @@
+#include "discovery/hyfd.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "discovery/discovery_util.hpp"
+#include "discovery/induction.hpp"
+#include "fd/fd_tree.hpp"
+#include "pli/pli.hpp"
+
+namespace normalize {
+
+namespace {
+
+struct CodeVecHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    size_t h = 1469598103934665603ull;
+    for (ValueId x : v) {
+      h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+// The sampler walks each column's PLI clusters with a growing neighbor
+// window. Cluster rows are pre-sorted by their full records so that adjacent
+// rows are similar and yield large agree sets (HyFD's "focused sampling").
+class Sampler {
+ public:
+  Sampler(const RelationData& data, const PliCache& cache) : data_(&data) {
+    int n = data.num_columns();
+    sorted_clusters_.resize(static_cast<size_t>(n));
+    windows_.assign(static_cast<size_t>(n), 0);
+    for (int c = 0; c < n; ++c) {
+      sorted_clusters_[static_cast<size_t>(c)] = cache.ColumnPli(c).clusters();
+      for (auto& cluster : sorted_clusters_[static_cast<size_t>(c)]) {
+        std::sort(cluster.begin(), cluster.end(), [&](RowId a, RowId b) {
+          for (int k = 0; k < n; ++k) {
+            ValueId ca = data.column(k).code(a);
+            ValueId cb = data.column(k).code(b);
+            if (ca != cb) return ca < cb;
+          }
+          return a < b;
+        });
+      }
+    }
+  }
+
+  bool Exhausted() const {
+    for (size_t c = 0; c < sorted_clusters_.size(); ++c) {
+      if (windows_[c] + 1 < MaxClusterSize(c)) return false;
+    }
+    return true;
+  }
+
+  /// Grows every column's window by one and emits the agree sets of the new
+  /// comparisons. Returns the number of comparisons performed.
+  size_t Round(std::unordered_set<AttributeSet>* seen,
+               std::vector<AttributeSet>* fresh) {
+    size_t comparisons = 0;
+    for (size_t c = 0; c < sorted_clusters_.size(); ++c) {
+      if (windows_[c] + 1 >= MaxClusterSize(c)) continue;
+      size_t w = ++windows_[c];
+      for (const auto& cluster : sorted_clusters_[c]) {
+        if (cluster.size() <= w) continue;
+        for (size_t i = 0; i + w < cluster.size(); ++i) {
+          ++comparisons;
+          AttributeSet ag = AgreeSetOf(*data_, cluster[i], cluster[i + w]);
+          if (seen->insert(ag).second) fresh->push_back(std::move(ag));
+        }
+      }
+    }
+    return comparisons;
+  }
+
+ private:
+  size_t MaxClusterSize(size_t c) const {
+    size_t m = 1;
+    for (const auto& cluster : sorted_clusters_[c]) m = std::max(m, cluster.size());
+    return m;
+  }
+
+  const RelationData* data_;
+  std::vector<std::vector<std::vector<RowId>>> sorted_clusters_;
+  std::vector<size_t> windows_;
+};
+
+}  // namespace
+
+Result<FdSet> HyFd::Discover(const RelationData& data) {
+  stats_ = Stats{};
+  int n = data.num_columns();
+  size_t rows = data.num_rows();
+  if (n == 0) return FdSet{};
+
+  FdTree tree(n);
+  AttributeSet empty(n);
+  for (AttributeId a = 0; a < n; ++a) tree.AddFd(empty, a);
+  if (rows < 2) {
+    // Every FD holds vacuously; the minimal cover is {} -> A for all A.
+    return RemapToGlobal(tree.CollectAllFds(), data);
+  }
+
+  PliCache cache(data);
+  Sampler sampler(data, cache);
+  std::unordered_set<AttributeSet> seen_agree_sets;
+
+  auto run_sampling = [&]() {
+    if (stats_.sampling_rounds >= config_.max_sampling_rounds ||
+        sampler.Exhausted()) {
+      return;
+    }
+    std::vector<AttributeSet> fresh;
+    stats_.sampled_comparisons += sampler.Round(&seen_agree_sets, &fresh);
+    ++stats_.sampling_rounds;
+    if (static_cast<int>(fresh.size()) > config_.max_inductions_per_round) {
+      std::partial_sort(fresh.begin(),
+                        fresh.begin() + config_.max_inductions_per_round,
+                        fresh.end(),
+                        [](const AttributeSet& a, const AttributeSet& b) {
+                          return a.Count() > b.Count();
+                        });
+      fresh.resize(static_cast<size_t>(config_.max_inductions_per_round));
+    }
+    for (const AttributeSet& ag : fresh) {
+      InduceFromAgreeSet(&tree, ag, options_.max_lhs_size);
+    }
+  };
+
+  for (int i = 0; i < config_.initial_sampling_rounds; ++i) run_sampling();
+
+  // --- Level-wise validation ---
+  int max_level = n - 1;
+  if (options_.max_lhs_size > 0) max_level = std::min(max_level, options_.max_lhs_size);
+
+  for (int level = 0; level <= max_level; ++level) {
+    bool level_done = false;
+    while (!level_done) {
+      std::vector<Fd> candidates = tree.GetLevel(level);
+      size_t checked = 0, invalid = 0;
+      std::vector<AttributeSet> evidence;
+
+      for (const Fd& fd : candidates) {
+        std::vector<AttributeId> lhs_attrs = fd.lhs.ToVector();
+        for (AttributeId a : fd.rhs) {
+          // Inductions from earlier candidates of this sweep may already
+          // have removed this FD.
+          if (!tree.ContainsFd(fd.lhs, a)) continue;
+          ++checked;
+          std::optional<std::pair<RowId, RowId>> violation;
+          const std::vector<ValueId>& rhs_codes = data.column(a).codes();
+          if (lhs_attrs.empty()) {
+            // {} -> A holds iff column A is constant.
+            for (size_t r = 1; r < rows; ++r) {
+              if (rhs_codes[r] != rhs_codes[0]) {
+                violation = std::make_pair(static_cast<RowId>(0),
+                                           static_cast<RowId>(r));
+                break;
+              }
+            }
+          } else if (lhs_attrs.size() == 1) {
+            violation = cache.ColumnPli(lhs_attrs[0]).FindViolation(rhs_codes);
+          } else {
+            // Pivot on the most selective LHS column; within its clusters,
+            // group rows by the remaining LHS codes and compare RHS codes.
+            int pivot = lhs_attrs[0];
+            for (AttributeId b : lhs_attrs) {
+              if (cache.ColumnPli(b).ClusteredRowCount() <
+                  cache.ColumnPli(pivot).ClusteredRowCount()) {
+                pivot = b;
+              }
+            }
+            std::vector<AttributeId> others;
+            for (AttributeId b : lhs_attrs) {
+              if (b != pivot) others.push_back(b);
+            }
+            std::unordered_map<std::vector<ValueId>, RowId, CodeVecHash> reps;
+            std::vector<ValueId> key(others.size());
+            for (const auto& cluster : cache.ColumnPli(pivot).clusters()) {
+              reps.clear();
+              for (RowId r : cluster) {
+                for (size_t k = 0; k < others.size(); ++k) {
+                  key[k] = data.column(others[k]).code(r);
+                }
+                auto [it, inserted] = reps.emplace(key, r);
+                if (!inserted && rhs_codes[it->second] != rhs_codes[r]) {
+                  violation = std::make_pair(it->second, r);
+                  break;
+                }
+              }
+              if (violation) break;
+            }
+          }
+          if (violation) {
+            ++invalid;
+            AttributeSet ag = AgreeSetOf(data, violation->first, violation->second);
+            if (seen_agree_sets.insert(ag).second) evidence.push_back(ag);
+            // Even previously-seen evidence must be (re)applied: this
+            // candidate was added after the original induction.
+            SpecializeCover(&tree, ag, a, options_.max_lhs_size);
+          }
+        }
+      }
+      stats_.validated_candidates += checked;
+      stats_.invalid_candidates += invalid;
+      for (const AttributeSet& ag : evidence) {
+        InduceFromAgreeSet(&tree, ag, options_.max_lhs_size);
+      }
+
+      double ratio = checked == 0 ? 0.0
+                                  : static_cast<double>(invalid) /
+                                        static_cast<double>(checked);
+      if (ratio > config_.switch_to_sampling_threshold &&
+          !sampler.Exhausted() &&
+          stats_.sampling_rounds < config_.max_sampling_rounds) {
+        // Many candidates are wrong: evidence is cheap to harvest in bulk,
+        // so sample once more and re-validate this level.
+        run_sampling();
+      } else {
+        level_done = true;
+      }
+    }
+  }
+
+  MinimizeCover(&tree);
+  stats_.distinct_agree_sets = seen_agree_sets.size();
+  return RemapToGlobal(tree.CollectAllFds(), data);
+}
+
+}  // namespace normalize

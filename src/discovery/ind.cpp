@@ -1,0 +1,150 @@
+#include "discovery/ind.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace normalize {
+
+std::string Ind::ToString(const std::vector<RelationData>& relations) const {
+  auto col_name = [&](int rel, int col) {
+    return relations[static_cast<size_t>(rel)].name() + "." +
+           relations[static_cast<size_t>(rel)].column(col).name();
+  };
+  return col_name(dependent_relation, dependent_column) + " <= " +
+         col_name(referenced_relation, referenced_column);
+}
+
+std::vector<Ind> DiscoverUnaryInds(const std::vector<RelationData>& relations,
+                                   IndDiscoveryOptions options) {
+  // Distinct non-NULL value sets per column, plus a global inverted index
+  // value -> columns containing it. Column ids are (relation, column) pairs
+  // flattened into one running index.
+  struct ColumnRef {
+    int relation;
+    int column;
+  };
+  std::vector<ColumnRef> columns;
+  std::vector<std::unordered_set<std::string>> value_sets;
+  for (size_t r = 0; r < relations.size(); ++r) {
+    const RelationData& rel = relations[r];
+    for (int c = 0; c < rel.num_columns(); ++c) {
+      columns.push_back({static_cast<int>(r), c});
+      std::unordered_set<std::string> values;
+      const Column& col = rel.column(c);
+      for (size_t row = 0; row < rel.num_rows(); ++row) {
+        if (!col.IsNull(row)) values.emplace(col.ValueAt(row));
+      }
+      value_sets.push_back(std::move(values));
+    }
+  }
+
+  // Candidate pruning with the inverted index: dep <= ref is possible only
+  // if ref contains every dep value; start from the candidate set of columns
+  // containing the first value and intersect on.
+  std::unordered_map<std::string, std::vector<int>> inverted;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (const std::string& v : value_sets[i]) {
+      inverted[v].push_back(static_cast<int>(i));
+    }
+  }
+
+  std::vector<Ind> result;
+  for (size_t dep = 0; dep < columns.size(); ++dep) {
+    if (value_sets[dep].empty() && !options.include_empty_columns) continue;
+    std::vector<int> candidates;
+    bool first = true;
+    for (const std::string& v : value_sets[dep]) {
+      const std::vector<int>& holders = inverted[v];
+      if (first) {
+        candidates = holders;
+        first = false;
+      } else {
+        std::vector<int> kept;
+        std::set_intersection(candidates.begin(), candidates.end(),
+                              holders.begin(), holders.end(),
+                              std::back_inserter(kept));
+        candidates = std::move(kept);
+      }
+      if (candidates.empty()) break;
+    }
+    if (first) {
+      // Empty dependent column: included in every column.
+      for (size_t ref = 0; ref < columns.size(); ++ref) {
+        candidates.push_back(static_cast<int>(ref));
+      }
+    }
+    for (int ref : candidates) {
+      if (static_cast<size_t>(ref) == dep && !options.include_self) continue;
+      result.push_back(Ind{columns[dep].relation, columns[dep].column,
+                           columns[static_cast<size_t>(ref)].relation,
+                           columns[static_cast<size_t>(ref)].column});
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Longest common substring length (quadratic DP; column names are short).
+size_t LongestCommonSubstring(const std::string& a, const std::string& b) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<size_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  size_t best = 0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+        best = std::max(best, cur[j]);
+      } else {
+        cur[j] = 0;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string IndScore::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "total=%.3f (uniq=%.3f, coverage=%.3f, name=%.3f)", total,
+                referenced_uniqueness, coverage, name_similarity);
+  return buf;
+}
+
+IndScore ScoreIndAsForeignKey(const Ind& ind,
+                              const std::vector<RelationData>& relations) {
+  const RelationData& dep_rel =
+      relations[static_cast<size_t>(ind.dependent_relation)];
+  const RelationData& ref_rel =
+      relations[static_cast<size_t>(ind.referenced_relation)];
+  const Column& dep = dep_rel.column(ind.dependent_column);
+  const Column& ref = ref_rel.column(ind.referenced_column);
+
+  IndScore score;
+  size_t ref_rows = ref.size();
+  size_t ref_distinct = ref.DistinctCount() - (ref.has_null() ? 1 : 0);
+  size_t dep_distinct = dep.DistinctCount() - (dep.has_null() ? 1 : 0);
+  score.referenced_uniqueness =
+      ref_rows == 0 ? 0.0
+                    : static_cast<double>(ref_distinct) /
+                          static_cast<double>(ref_rows);
+  score.coverage = ref_distinct == 0
+                       ? 0.0
+                       : std::min(1.0, static_cast<double>(dep_distinct) /
+                                           static_cast<double>(ref_distinct));
+  size_t lcs = LongestCommonSubstring(dep.name(), ref.name());
+  size_t max_len = std::max(dep.name().size(), ref.name().size());
+  score.name_similarity =
+      max_len == 0 ? 0.0 : static_cast<double>(lcs) / max_len;
+  score.total =
+      (score.referenced_uniqueness + score.coverage + score.name_similarity) /
+      3.0;
+  return score;
+}
+
+}  // namespace normalize

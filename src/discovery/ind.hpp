@@ -1,0 +1,58 @@
+// Unary inclusion dependency (IND) discovery and foreign-key scoring. The
+// paper derives foreign keys from decomposition, but its related work
+// (Rostin et al. [20]) selects foreign keys from INDs; this module provides
+// that complementary, data-driven view: discover which columns are included
+// in which others across a set of relations, then score the IND candidates
+// for being plausible foreign keys. Used in the evaluation to cross-check
+// the FK structure Normalize emits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relation/relation_data.hpp"
+
+namespace normalize {
+
+/// A unary inclusion dependency: every non-NULL value of the dependent
+/// column appears in the referenced column.
+struct Ind {
+  int dependent_relation = -1;   // index into the input vector
+  int dependent_column = -1;     // relation-local column index
+  int referenced_relation = -1;
+  int referenced_column = -1;
+
+  std::string ToString(const std::vector<RelationData>& relations) const;
+};
+
+struct IndDiscoveryOptions {
+  /// Skip dependent columns whose value set is empty (vacuously included in
+  /// everything) unless this is set.
+  bool include_empty_columns = false;
+  /// Skip trivial self-INDs (same relation and column).
+  bool include_self = false;
+};
+
+/// Discovers all unary INDs among the columns of `relations` (NULLs on the
+/// dependent side are ignored, SQL-style). O(total values) via a global
+/// value index.
+std::vector<Ind> DiscoverUnaryInds(const std::vector<RelationData>& relations,
+                                   IndDiscoveryOptions options = {});
+
+/// Feature score in [0, 1] for an IND being a real foreign key, following
+/// the spirit of the paper's §7 features and [20]: the referenced column
+/// should be unique (a key), the dependent side should cover a good part of
+/// the referenced values, and the column names should be similar.
+struct IndScore {
+  double referenced_uniqueness = 0;  // distinct(ref) / rows(ref)
+  double coverage = 0;               // distinct(dep values) / distinct(ref)
+  double name_similarity = 0;        // longest common substring ratio
+  double total = 0;                  // mean
+
+  std::string ToString() const;
+};
+
+IndScore ScoreIndAsForeignKey(const Ind& ind,
+                              const std::vector<RelationData>& relations);
+
+}  // namespace normalize

@@ -1,0 +1,36 @@
+#include "discovery/induction.hpp"
+
+namespace normalize {
+
+int SpecializeCover(FdTree* tree, const AttributeSet& agree_set,
+                    AttributeId rhs_attr, int max_lhs_size) {
+  std::vector<AttributeSet> generalizations =
+      tree->GetFdAndGeneralizations(agree_set, rhs_attr);
+  int n = tree->num_attributes();
+  for (const AttributeSet& lhs : generalizations) {
+    tree->RemoveFd(lhs, rhs_attr);
+    // Every valid specialization must add an attribute on which the
+    // violating pair disagrees (an attribute outside the agree set).
+    for (AttributeId b = 0; b < n; ++b) {
+      if (agree_set.Test(b) || b == rhs_attr || lhs.Test(b)) continue;
+      AttributeSet specialized = lhs;
+      specialized.Set(b);
+      if (max_lhs_size > 0 && specialized.Count() > max_lhs_size) continue;
+      if (!tree->ContainsFdOrGeneralization(specialized, rhs_attr)) {
+        tree->AddFd(specialized, rhs_attr);
+      }
+    }
+  }
+  return static_cast<int>(generalizations.size());
+}
+
+void InduceFromAgreeSet(FdTree* tree, const AttributeSet& agree_set,
+                        int max_lhs_size) {
+  int n = tree->num_attributes();
+  for (AttributeId a = 0; a < n; ++a) {
+    if (agree_set.Test(a)) continue;
+    SpecializeCover(tree, agree_set, a, max_lhs_size);
+  }
+}
+
+}  // namespace normalize

@@ -1,0 +1,25 @@
+// Negative-cover induction shared by Fdep and HyFd: given evidence that some
+// agree set does NOT determine an attribute, specialize the positive cover so
+// it stays a cover of all FDs consistent with the evidence seen so far.
+#pragma once
+
+#include "common/attribute_set.hpp"
+#include "fd/fd_tree.hpp"
+
+namespace normalize {
+
+/// Incorporates the non-FD (`agree_set` does not determine `rhs_attr`) into
+/// the positive cover `tree`: every stored generalization Y ⊆ agree_set with
+/// Y -> rhs_attr is removed and specialized with each attribute outside
+/// agree_set ∪ {rhs_attr}. Specializations longer than `max_lhs_size`
+/// (if > 0) are dropped, implementing the paper's LHS-size pruning.
+/// Returns the number of FDs removed from the cover.
+int SpecializeCover(FdTree* tree, const AttributeSet& agree_set,
+                    AttributeId rhs_attr, int max_lhs_size);
+
+/// Applies SpecializeCover for every attribute NOT in the agree set, i.e.
+/// processes one violating record pair's full evidence.
+void InduceFromAgreeSet(FdTree* tree, const AttributeSet& agree_set,
+                        int max_lhs_size);
+
+}  // namespace normalize

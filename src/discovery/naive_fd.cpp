@@ -1,0 +1,73 @@
+#include "discovery/naive_fd.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "fd/set_trie.hpp"
+#include "relation/operations.hpp"
+
+namespace normalize {
+
+namespace {
+
+// Invokes fn for every k-subset of pool (as an AttributeSet of `capacity`).
+void ForEachSubsetOfSize(const std::vector<AttributeId>& pool, int k,
+                         int capacity,
+                         const std::function<void(const AttributeSet&)>& fn) {
+  std::vector<int> idx(static_cast<size_t>(k));
+  AttributeSet current(capacity);
+  std::function<void(int, int)> rec = [&](int start, int depth) {
+    if (depth == k) {
+      fn(current);
+      return;
+    }
+    for (int i = start; i <= static_cast<int>(pool.size()) - (k - depth); ++i) {
+      current.Set(pool[static_cast<size_t>(i)]);
+      rec(i + 1, depth + 1);
+      current.Reset(pool[static_cast<size_t>(i)]);
+    }
+  };
+  rec(0, 0);
+}
+
+}  // namespace
+
+Result<FdSet> NaiveFdDiscovery::Discover(const RelationData& data) {
+  int n = data.num_columns();
+  if (n > 24) {
+    return Status::InvalidArgument(
+        "NaiveFdDiscovery is exponential; refuse to run on " +
+        std::to_string(n) + " attributes (max 24)");
+  }
+  // Columns are identified by their global attribute ids so that the result
+  // composes with schema-level set algebra.
+  int capacity = data.universe_size();
+
+  FdSet result;
+  int max_lhs = options_.max_lhs_size > 0 ? options_.max_lhs_size : n - 1;
+  for (int rhs_col = 0; rhs_col < n; ++rhs_col) {
+    AttributeId rhs_attr = data.attribute_ids()[static_cast<size_t>(rhs_col)];
+    std::vector<AttributeId> pool;
+    for (int c = 0; c < n; ++c) {
+      if (c != rhs_col) pool.push_back(data.attribute_ids()[static_cast<size_t>(c)]);
+    }
+    SetTrie found;  // minimal LHSs discovered for this RHS
+    for (int level = 0; level <= std::min<int>(max_lhs, static_cast<int>(pool.size()));
+         ++level) {
+      ForEachSubsetOfSize(pool, level, capacity, [&](const AttributeSet& lhs) {
+        if (found.ContainsSubsetOf(lhs)) return;  // not minimal
+        if (FdHolds(data, lhs, rhs_attr)) {
+          found.Insert(lhs);
+          AttributeSet rhs(capacity);
+          rhs.Set(rhs_attr);
+          result.Add(Fd(lhs, rhs));
+        }
+      });
+    }
+  }
+  result.Aggregate();
+  return result;
+}
+
+}  // namespace normalize

@@ -1,0 +1,20 @@
+// Brute-force minimal-FD discovery: level-wise subset enumeration with a
+// row-hashing validity oracle. Exponential in the number of attributes — the
+// reference oracle for cross-validating Tane/Fdep/HyFd in tests, usable up
+// to ~15 attributes.
+#pragma once
+
+#include "discovery/fd_discovery.hpp"
+
+namespace normalize {
+
+class NaiveFdDiscovery : public FdDiscovery {
+ public:
+  explicit NaiveFdDiscovery(FdDiscoveryOptions options = {})
+      : FdDiscovery(options) {}
+
+  std::string name() const override { return "Naive"; }
+  Result<FdSet> Discover(const RelationData& data) override;
+};
+
+}  // namespace normalize

@@ -1,0 +1,194 @@
+#include "discovery/tane.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "discovery/discovery_util.hpp"
+#include "pli/pli.hpp"
+
+namespace normalize {
+
+namespace {
+
+struct LevelEntry {
+  AttributeSet x;      // the lattice node (local column indices)
+  Pli pli;             // stripped partition of x
+  AttributeSet cplus;  // RHS+ candidate set C+(x)
+  bool pruned = false;
+};
+
+}  // namespace
+
+Result<FdSet> Tane::Discover(const RelationData& data) {
+  int n = data.num_columns();
+  size_t rows = data.num_rows();
+  std::vector<Fd> output;  // unary FDs in local space
+  if (n == 0) return RemapToGlobal(output, data);
+
+  AttributeSet all_attrs = AttributeSet::Full(n);
+  int max_level = n;
+  if (options_.max_lhs_size > 0) {
+    max_level = std::min(max_level, options_.max_lhs_size + 1);
+  }
+
+  auto emit = [&](const AttributeSet& lhs, AttributeId a) {
+    AttributeSet rhs(n);
+    rhs.Set(a);
+    output.emplace_back(lhs, rhs);
+  };
+
+  PliCache cache(data);
+  size_t empty_error = rows >= 2 ? rows - 1 : 0;  // e(∅)
+
+  // Previous level's errors and C+ sets, keyed by attribute set. Seeded with
+  // the empty set: C+(∅) = R.
+  std::unordered_map<AttributeSet, size_t> prev_error;
+  std::unordered_map<AttributeSet, AttributeSet> prev_cplus;
+  prev_error.emplace(AttributeSet(n), empty_error);
+  prev_cplus.emplace(AttributeSet(n), all_attrs);
+
+  // Level 1: all single attributes.
+  std::vector<LevelEntry> level;
+  for (AttributeId a = 0; a < n; ++a) {
+    LevelEntry e;
+    e.x = AttributeSet(n);
+    e.x.Set(a);
+    e.pli = cache.ColumnPli(a);
+    e.cplus = AttributeSet(n);
+    level.push_back(std::move(e));
+  }
+
+  for (int l = 1; l <= max_level && !level.empty(); ++l) {
+    // --- COMPUTE_DEPENDENCIES ---
+    std::unordered_map<AttributeSet, size_t> cur_error;
+    for (LevelEntry& e : level) {
+      // C+(X) = ∩_{A∈X} C+(X \ {A})
+      e.cplus = all_attrs;
+      for (AttributeId a : e.x) {
+        AttributeSet sub = e.x;
+        sub.Reset(a);
+        auto it = prev_cplus.find(sub);
+        if (it == prev_cplus.end()) {
+          e.cplus.Clear();
+          break;
+        }
+        e.cplus.IntersectWith(it->second);
+      }
+      cur_error.emplace(e.x, e.pli.Error());
+    }
+    for (LevelEntry& e : level) {
+      size_t ex = cur_error[e.x];
+      AttributeSet candidates = e.x.Intersect(e.cplus);
+      for (AttributeId a : candidates) {
+        AttributeSet lhs = e.x;
+        lhs.Reset(a);
+        auto it = prev_error.find(lhs);
+        if (it == prev_error.end()) continue;
+        if (it->second == ex) {
+          // X\{A} -> A is a valid minimal FD.
+          emit(lhs, a);
+          // C+(X) -= {A}; C+(X) -= (R \ X)  — i.e. keep only X \ {A}.
+          e.cplus.Reset(a);
+          e.cplus.IntersectWith(e.x);
+        }
+      }
+    }
+
+    // --- PRUNE ---
+    for (LevelEntry& e : level) {
+      if (e.cplus.Empty()) {
+        e.pruned = true;
+        continue;
+      }
+      if (e.pli.IsUnique()) {
+        // X is a (super)key: emit X -> A for every RHS+ candidate outside X
+        // for which X is a *minimal* LHS, then prune the node. The textbook
+        // C+-intersection test is incomplete here because the probe sets
+        // X ∪ {A} \ {B} may have been pruned at earlier levels (their C+ is
+        // unavailable even though X -> A is minimal), so we test minimality
+        // directly: X -> A is minimal iff no X \ {B} -> A is valid, checked
+        // via on-demand PLI refinement. Key nodes are rare, which keeps
+        // these extra intersections cheap.
+        AttributeSet outside = e.cplus.Difference(e.x);
+        for (AttributeId a : outside) {
+          const std::vector<ValueId>& rhs_codes =
+              data.column(a).codes();
+          bool minimal = true;
+          for (AttributeId b : e.x) {
+            std::vector<int> sub_cols;
+            for (AttributeId c : e.x) {
+              if (c != b) sub_cols.push_back(c);
+            }
+            if (cache.BuildPli(sub_cols).Refines(rhs_codes)) {
+              minimal = false;
+              break;
+            }
+          }
+          if (minimal) emit(e.x, a);
+        }
+        e.pruned = true;
+      }
+    }
+    std::vector<LevelEntry> survivors;
+    for (LevelEntry& e : level) {
+      if (!e.pruned) survivors.push_back(std::move(e));
+    }
+
+    // --- GENERATE_NEXT_LEVEL (prefix join) ---
+    std::sort(survivors.begin(), survivors.end(),
+              [](const LevelEntry& a, const LevelEntry& b) {
+                return a.x.ToVector() < b.x.ToVector();
+              });
+    std::unordered_map<AttributeSet, const LevelEntry*> survivor_index;
+    for (const LevelEntry& e : survivors) survivor_index.emplace(e.x, &e);
+
+    std::vector<LevelEntry> next;
+    for (size_t i = 0; i < survivors.size(); ++i) {
+      std::vector<AttributeId> xi = survivors[i].x.ToVector();
+      for (size_t j = i + 1; j < survivors.size(); ++j) {
+        std::vector<AttributeId> xj = survivors[j].x.ToVector();
+        // Joinable iff the first l-1 attributes coincide.
+        bool prefix_equal =
+            std::equal(xi.begin(), xi.end() - 1, xj.begin(), xj.end() - 1);
+        if (!prefix_equal) break;  // sorted order: later js differ earlier
+        AttributeSet z = survivors[i].x.Union(survivors[j].x);
+        // All l-subsets of z must be unpruned level members.
+        bool all_present = true;
+        for (AttributeId a : z) {
+          AttributeSet sub = z;
+          sub.Reset(a);
+          if (!survivor_index.count(sub)) {
+            all_present = false;
+            break;
+          }
+        }
+        if (!all_present) continue;
+        LevelEntry e;
+        e.x = z;
+        e.pli = survivors[i].pli.Intersect(survivors[j].pli.AsProbeVector());
+        e.cplus = AttributeSet(n);
+        next.push_back(std::move(e));
+      }
+    }
+
+    // Roll the level forward.
+    prev_error.clear();
+    prev_cplus.clear();
+    for (const LevelEntry& e : survivors) {
+      prev_cplus.emplace(e.x, e.cplus);
+    }
+    for (auto& [x, err] : cur_error) prev_error.emplace(x, err);
+    level = std::move(next);
+  }
+
+  if (options_.max_lhs_size > 0) {
+    std::vector<Fd> filtered;
+    for (Fd& fd : output) {
+      if (fd.lhs.Count() <= options_.max_lhs_size) filtered.push_back(std::move(fd));
+    }
+    output = std::move(filtered);
+  }
+  return RemapToGlobal(output, data);
+}
+
+}  // namespace normalize

@@ -1,0 +1,18 @@
+// Tane (Huhtala et al., 1999): level-wise lattice traversal with stripped
+// partitions and RHS-candidate (C+) pruning. One of the two discovery
+// algorithms the paper names for component (1).
+#pragma once
+
+#include "discovery/fd_discovery.hpp"
+
+namespace normalize {
+
+class Tane : public FdDiscovery {
+ public:
+  explicit Tane(FdDiscoveryOptions options = {}) : FdDiscovery(options) {}
+
+  std::string name() const override { return "Tane"; }
+  Result<FdSet> Discover(const RelationData& data) override;
+};
+
+}  // namespace normalize

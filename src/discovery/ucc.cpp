@@ -1,0 +1,115 @@
+#include "discovery/ucc.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "fd/set_trie.hpp"
+#include "pli/pli.hpp"
+
+namespace normalize {
+
+namespace {
+
+struct Node {
+  AttributeSet x;  // local column indices
+  Pli pli;
+};
+
+}  // namespace
+
+std::vector<AttributeSet> DiscoverMinimalUccs(const RelationData& data,
+                                              UccDiscoveryOptions options) {
+  int n = data.num_columns();
+  std::vector<AttributeSet> result_local;
+  if (n == 0) return {};
+
+  // Candidate columns (optionally excluding nullable ones).
+  std::vector<int> pool;
+  for (int c = 0; c < n; ++c) {
+    if (options.exclude_nullable_columns && data.column(c).has_null()) continue;
+    pool.push_back(c);
+  }
+
+  PliCache cache(data);
+  SetTrie found;  // minimal uniques so far (local space)
+
+  // Level 1.
+  std::vector<Node> level;
+  for (int c : pool) {
+    Node node;
+    node.x = AttributeSet(n);
+    node.x.Set(c);
+    node.pli = cache.ColumnPli(c);
+    if (node.pli.IsUnique()) {
+      found.Insert(node.x);
+      result_local.push_back(node.x);
+    } else {
+      level.push_back(std::move(node));
+    }
+  }
+
+  int max_size = options.max_size > 0 ? options.max_size
+                                      : static_cast<int>(pool.size());
+  for (int l = 1; l < max_size && !level.empty(); ++l) {
+    // Prefix join of non-unique nodes; prune supersets of found uniques.
+    std::sort(level.begin(), level.end(), [](const Node& a, const Node& b) {
+      return a.x.ToVector() < b.x.ToVector();
+    });
+    std::unordered_map<AttributeSet, const Node*> index;
+    for (const Node& e : level) index.emplace(e.x, &e);
+
+    std::vector<Node> next;
+    for (size_t i = 0; i < level.size(); ++i) {
+      std::vector<AttributeId> xi = level[i].x.ToVector();
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        std::vector<AttributeId> xj = level[j].x.ToVector();
+        if (!std::equal(xi.begin(), xi.end() - 1, xj.begin(), xj.end() - 1)) {
+          break;
+        }
+        AttributeSet z = level[i].x.Union(level[j].x);
+        if (found.ContainsSubsetOf(z)) continue;  // superset of a unique
+        // Apriori: all l-subsets must be non-unique level members.
+        bool all_present = true;
+        for (AttributeId a : z) {
+          AttributeSet sub = z;
+          sub.Reset(a);
+          if (!index.count(sub)) {
+            all_present = false;
+            break;
+          }
+        }
+        if (!all_present) continue;
+        Node node;
+        node.x = z;
+        node.pli = level[i].pli.Intersect(level[j].pli.AsProbeVector());
+        if (node.pli.IsUnique()) {
+          found.Insert(node.x);
+          result_local.push_back(node.x);
+        } else {
+          next.push_back(std::move(node));
+        }
+      }
+    }
+    level = std::move(next);
+  }
+
+  // Remap to global attribute ids and order by (size, lex).
+  int capacity = data.universe_size();
+  std::vector<AttributeSet> result;
+  result.reserve(result_local.size());
+  for (const AttributeSet& local : result_local) {
+    AttributeSet global(capacity);
+    for (AttributeId c : local) {
+      global.Set(data.attribute_ids()[static_cast<size_t>(c)]);
+    }
+    result.push_back(std::move(global));
+  }
+  std::sort(result.begin(), result.end(),
+            [](const AttributeSet& a, const AttributeSet& b) {
+              if (a.Count() != b.Count()) return a.Count() < b.Count();
+              return a.ToVector() < b.ToVector();
+            });
+  return result;
+}
+
+}  // namespace normalize

@@ -1,0 +1,31 @@
+// Minimal unique column combination (UCC) discovery in the spirit of DUCC
+// (Heise et al., 2013), which the paper uses for the final primary-key
+// selection (component 7): relations that never received a key during
+// decomposition need their full set of candidate keys.
+//
+// This implementation is level-wise (Apriori) with PLI intersection and
+// superset pruning — the decomposed relations it runs on are small, which is
+// exactly the paper's argument for why this step is cheap at that stage.
+#pragma once
+
+#include <vector>
+
+#include "common/attribute_set.hpp"
+#include "common/result.hpp"
+#include "relation/relation_data.hpp"
+
+namespace normalize {
+
+struct UccDiscoveryOptions {
+  /// Maximum UCC size to search; <= 0 means unlimited.
+  int max_size = -1;
+  /// Columns that contain NULLs cannot participate (SQL keys forbid NULL).
+  bool exclude_nullable_columns = true;
+};
+
+/// Discovers all minimal unique column combinations of `data`, expressed in
+/// global attribute ids. Result sets are sorted by size, then lexicographic.
+std::vector<AttributeSet> DiscoverMinimalUccs(const RelationData& data,
+                                              UccDiscoveryOptions options = {});
+
+}  // namespace normalize

@@ -1,0 +1,64 @@
+#include "fd/approximate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace normalize {
+
+namespace {
+
+struct CodeVecHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    size_t h = 1469598103934665603ull;
+    for (ValueId x : v) {
+      h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+double FdError(const RelationData& data, const AttributeSet& lhs,
+               AttributeId rhs_attr) {
+  size_t rows = data.num_rows();
+  if (rows == 0) return 0.0;
+  std::vector<int> lhs_cols;
+  for (AttributeId a : lhs) {
+    int ci = data.ColumnIndexOf(a);
+    assert(ci >= 0);
+    lhs_cols.push_back(ci);
+  }
+  int rhs_col = data.ColumnIndexOf(rhs_attr);
+  assert(rhs_col >= 0);
+
+  // Per LHS group: count the frequency of each RHS code; the group keeps its
+  // most frequent RHS value, everything else must be removed.
+  std::unordered_map<std::vector<ValueId>,
+                     std::unordered_map<ValueId, size_t>, CodeVecHash>
+      groups;
+  std::vector<ValueId> key(lhs_cols.size());
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t i = 0; i < lhs_cols.size(); ++i) {
+      key[i] = data.column(lhs_cols[i]).code(r);
+    }
+    groups[key][data.column(rhs_col).code(r)]++;
+  }
+
+  size_t keep = 0;
+  for (const auto& [k, counts] : groups) {
+    size_t best = 0;
+    for (const auto& [code, count] : counts) best = std::max(best, count);
+    keep += best;
+  }
+  return static_cast<double>(rows - keep) / static_cast<double>(rows);
+}
+
+bool FdHoldsApproximately(const RelationData& data, const AttributeSet& lhs,
+                          AttributeId rhs_attr, double max_error) {
+  return FdError(data, lhs, rhs_attr) <= max_error;
+}
+
+}  // namespace normalize

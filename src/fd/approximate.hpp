@@ -1,0 +1,27 @@
+// Approximate functional dependencies: the g3 error measure (Kivinen &
+// Mannila; used by TANE's approximate mode) — the minimum fraction of rows
+// that must be removed for an FD to hold exactly. The paper's conclusion
+// names "errors in the data" as open future work: g3 quantifies how close a
+// broken design FD still is to holding, which the constraint monitor's
+// consumers use to distinguish data errors (tiny g3) from semantically
+// false, coincidental FDs (large g3).
+#pragma once
+
+#include "common/attribute_set.hpp"
+#include "relation/relation_data.hpp"
+
+namespace normalize {
+
+/// The g3 error of lhs -> rhs_attr on `data`: (number of rows that must be
+/// removed so the FD holds) / (total rows). 0.0 = the FD holds exactly;
+/// approaches 1 as the LHS groups become uniformly mixed. For each LHS
+/// group, all rows except the most frequent RHS value must go. Returns 0.0
+/// on empty instances. NULLs compare equal.
+double FdError(const RelationData& data, const AttributeSet& lhs,
+               AttributeId rhs_attr);
+
+/// True iff the FD holds approximately: FdError <= max_error.
+bool FdHoldsApproximately(const RelationData& data, const AttributeSet& lhs,
+                          AttributeId rhs_attr, double max_error);
+
+}  // namespace normalize

@@ -1,0 +1,91 @@
+#include "fd/armstrong.hpp"
+
+#include <vector>
+
+namespace normalize {
+
+AttributeSet AttributeClosure(const AttributeSet& x, const FdSet& fds) {
+  AttributeSet closure = x;
+  // Fixpoint: fire every FD whose LHS is covered. Each FD fires at most
+  // once; remaining[i] tracks whether FD i has fired.
+  std::vector<bool> fired(fds.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (fired[i]) continue;
+      const Fd& fd = fds[i];
+      if (fd.lhs.IsSubsetOf(closure)) {
+        fired[i] = true;
+        if (!fd.rhs.IsSubsetOf(closure)) {
+          closure.UnionWith(fd.rhs);
+          changed = true;
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+bool Implies(const FdSet& fds, const AttributeSet& lhs, AttributeId rhs_attr) {
+  if (lhs.Test(rhs_attr)) return true;  // reflexivity
+  return AttributeClosure(lhs, fds).Test(rhs_attr);
+}
+
+bool ImpliesAll(const FdSet& fds, const FdSet& other) {
+  for (const Fd& fd : other) {
+    AttributeSet closure = AttributeClosure(fd.lhs, fds);
+    if (!fd.rhs.IsSubsetOf(closure)) return false;
+  }
+  return true;
+}
+
+bool EquivalentCovers(const FdSet& a, const FdSet& b) {
+  return ImpliesAll(a, b) && ImpliesAll(b, a);
+}
+
+FdSet MinimalCover(const FdSet& fds) {
+  // Work on unary FDs.
+  std::vector<Fd> unary = fds.ToUnary();
+
+  // 1) Remove extraneous LHS attributes: a is extraneous in X -> A when
+  //    (X \ {a})+ still contains A.
+  FdSet current(unary);
+  for (size_t i = 0; i < current.size(); ++i) {
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      for (AttributeId a : current[i].lhs) {
+        // a is extraneous iff (X \ {a})+ under F (including this FD, the
+        // textbook rule) still reaches the RHS attribute.
+        AttributeSet smaller = current[i].lhs;
+        smaller.Reset(a);
+        if (AttributeClosure(smaller, current).Test(current[i].rhs.First())) {
+          current[i].lhs = smaller;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // 2) Drop redundant FDs: X -> A is redundant when F \ {X -> A} implies it.
+  std::vector<bool> keep(current.size(), true);
+  for (size_t i = 0; i < current.size(); ++i) {
+    FdSet rest;
+    for (size_t j = 0; j < current.size(); ++j) {
+      if (j != i && keep[j]) rest.Add(current[j]);
+    }
+    if (Implies(rest, current[i].lhs, current[i].rhs.First())) {
+      keep[i] = false;
+    }
+  }
+  FdSet result;
+  for (size_t i = 0; i < current.size(); ++i) {
+    if (keep[i]) result.Add(current[i]);
+  }
+  result.Aggregate();
+  return result;
+}
+
+}  // namespace normalize

@@ -1,0 +1,34 @@
+// Armstrong-axiom utilities on FD sets: attribute-set closure X+ under F,
+// the membership problem ("is X -> A in the cover?", the linear-time test of
+// Beeri & Bernstein the paper's related work discusses), implication between
+// FD sets, and minimal-cover reduction (removal of extraneous attributes and
+// redundant FDs, Diederich & Milton's preprocessing — which the paper notes
+// is futile on discovered covers because those are already minimal).
+#pragma once
+
+#include "common/attribute_set.hpp"
+#include "fd/fd.hpp"
+
+namespace normalize {
+
+/// Computes the attribute closure X+ under F: all attributes reachable from
+/// X via reflexivity and transitivity. Linear-ish fixpoint (Beeri-Bernstein
+/// style: each FD fires once, when its LHS becomes covered).
+AttributeSet AttributeClosure(const AttributeSet& x, const FdSet& fds);
+
+/// Membership test: does F imply lhs -> rhs_attr?
+bool Implies(const FdSet& fds, const AttributeSet& lhs, AttributeId rhs_attr);
+
+/// Does F imply every (unary) FD of G?
+bool ImpliesAll(const FdSet& fds, const FdSet& other);
+
+/// Are F and G equivalent covers (each implies the other)?
+bool EquivalentCovers(const FdSet& a, const FdSet& b);
+
+/// Reduces F to a minimal (canonical) cover: LHS attributes that are
+/// extraneous are removed, then FDs implied by the rest are dropped. The
+/// result is aggregated. Useful for hand-written FD sets; discovery output
+/// is already minimal (paper §2/§3).
+FdSet MinimalCover(const FdSet& fds);
+
+}  // namespace normalize

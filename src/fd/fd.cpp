@@ -1,0 +1,83 @@
+#include "fd/fd.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace normalize {
+
+std::string Fd::ToString() const {
+  return lhs.ToString() + " -> " + rhs.ToString();
+}
+
+std::string Fd::ToString(const std::vector<std::string>& names) const {
+  return lhs.ToString(names) + " -> " + rhs.ToString(names);
+}
+
+size_t FdSet::CountUnaryFds() const {
+  size_t n = 0;
+  for (const Fd& fd : fds_) n += static_cast<size_t>(fd.rhs.Count());
+  return n;
+}
+
+double FdSet::AverageRhsSize() const {
+  if (fds_.empty()) return 0.0;
+  size_t total = CountUnaryFds();
+  return static_cast<double>(total) / static_cast<double>(fds_.size());
+}
+
+void FdSet::Aggregate() {
+  std::map<AttributeSet, AttributeSet> merged;
+  for (const Fd& fd : fds_) {
+    auto it = merged.find(fd.lhs);
+    if (it == merged.end()) {
+      merged.emplace(fd.lhs, fd.rhs);
+    } else {
+      it->second.UnionWith(fd.rhs);
+    }
+  }
+  fds_.clear();
+  fds_.reserve(merged.size());
+  for (auto& [lhs, rhs] : merged) {
+    AttributeSet clean_rhs = rhs;
+    clean_rhs.DifferenceWith(lhs);  // rhs never overlaps lhs
+    if (!clean_rhs.Empty()) fds_.emplace_back(lhs, std::move(clean_rhs));
+  }
+}
+
+std::vector<Fd> FdSet::ToUnary() const {
+  std::vector<Fd> unary;
+  unary.reserve(CountUnaryFds());
+  for (const Fd& fd : fds_) {
+    for (AttributeId a : fd.rhs) {
+      AttributeSet rhs(fd.rhs.capacity());
+      rhs.Set(a);
+      unary.emplace_back(fd.lhs, std::move(rhs));
+    }
+  }
+  std::sort(unary.begin(), unary.end(), [](const Fd& a, const Fd& b) {
+    if (a.lhs != b.lhs) return a.lhs < b.lhs;
+    return a.rhs < b.rhs;
+  });
+  return unary;
+}
+
+bool FdSet::EquivalentTo(const FdSet& other) const {
+  return ToUnary() == other.ToUnary();
+}
+
+void FdSet::PruneByLhsSize(int max_lhs) {
+  fds_.erase(std::remove_if(fds_.begin(), fds_.end(),
+                            [max_lhs](const Fd& fd) {
+                              return fd.lhs.Count() > max_lhs;
+                            }),
+             fds_.end());
+}
+
+std::string FdSet::ToString(const std::vector<std::string>& names) const {
+  std::ostringstream os;
+  for (const Fd& fd : fds_) os << fd.ToString(names) << "\n";
+  return os.str();
+}
+
+}  // namespace normalize

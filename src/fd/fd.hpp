@@ -1,0 +1,80 @@
+// Functional dependencies in aggregated form: X -> Y with Y a set (the paper
+// writes Postcode -> City,Mayor). LHS attributes are implicit RHS members by
+// reflexivity and are *not* stored in the RHS (paper §4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.hpp"
+
+namespace normalize {
+
+/// An aggregated functional dependency lhs -> rhs (rhs may contain several
+/// attributes; never overlaps lhs).
+struct Fd {
+  AttributeSet lhs;
+  AttributeSet rhs;
+
+  Fd() = default;
+  Fd(AttributeSet l, AttributeSet r) : lhs(std::move(l)), rhs(std::move(r)) {}
+
+  bool operator==(const Fd& other) const {
+    return lhs == other.lhs && rhs == other.rhs;
+  }
+
+  /// "{0, 1} -> {2, 3}" or with names "[First, Last] -> [City, Mayor]".
+  std::string ToString() const;
+  std::string ToString(const std::vector<std::string>& names) const;
+};
+
+/// A list of FDs with utility operations used throughout the pipeline.
+class FdSet {
+ public:
+  FdSet() = default;
+  explicit FdSet(std::vector<Fd> fds) : fds_(std::move(fds)) {}
+
+  size_t size() const { return fds_.size(); }
+  bool empty() const { return fds_.empty(); }
+  const Fd& operator[](size_t i) const { return fds_[i]; }
+  Fd& operator[](size_t i) { return fds_[i]; }
+  const std::vector<Fd>& fds() const { return fds_; }
+  std::vector<Fd>* mutable_fds() { return &fds_; }
+
+  void Add(Fd fd) { fds_.push_back(std::move(fd)); }
+  void Clear() { fds_.clear(); }
+
+  auto begin() const { return fds_.begin(); }
+  auto end() const { return fds_.end(); }
+  auto begin() { return fds_.begin(); }
+  auto end() { return fds_.end(); }
+
+  /// Total number of unary (single-RHS-attribute) FDs represented.
+  size_t CountUnaryFds() const;
+
+  /// Mean RHS size — the paper reports how closure grows this (e.g. 3 -> 40
+  /// for MusicBrainz).
+  double AverageRhsSize() const;
+
+  /// Merges FDs with identical LHS into one aggregated FD and sorts by LHS;
+  /// the result has unique LHSs.
+  void Aggregate();
+
+  /// Expands every FD into unary FDs (one per RHS attribute), sorted. Used
+  /// to compare result sets across discovery algorithms.
+  std::vector<Fd> ToUnary() const;
+
+  /// Canonical sorted/aggregated comparison.
+  bool EquivalentTo(const FdSet& other) const;
+
+  /// Drops FDs whose LHS has more than `max_lhs` attributes (the paper's
+  /// memory-pruning rule, §4.3).
+  void PruneByLhsSize(int max_lhs);
+
+  std::string ToString(const std::vector<std::string>& names) const;
+
+ private:
+  std::vector<Fd> fds_;
+};
+
+}  // namespace normalize

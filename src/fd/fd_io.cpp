@@ -1,0 +1,109 @@
+#include "fd/fd_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_utils.hpp"
+
+namespace normalize {
+
+std::string WriteFdsToString(const FdSet& fds,
+                             const std::vector<std::string>& attribute_names) {
+  std::ostringstream os;
+  for (const Fd& fd : fds) {
+    os << "[";
+    bool first = true;
+    for (AttributeId a : fd.lhs) {
+      if (!first) os << ", ";
+      os << attribute_names[static_cast<size_t>(a)];
+      first = false;
+    }
+    os << "] --> ";
+    first = true;
+    for (AttributeId a : fd.rhs) {
+      if (!first) os << ", ";
+      os << attribute_names[static_cast<size_t>(a)];
+      first = false;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<FdSet> ReadFdsFromString(
+    const std::string& text, const std::vector<std::string>& attribute_names) {
+  std::unordered_map<std::string, AttributeId> index;
+  for (size_t i = 0; i < attribute_names.size(); ++i) {
+    index.emplace(attribute_names[i], static_cast<AttributeId>(i));
+  }
+  int capacity = static_cast<int>(attribute_names.size());
+
+  auto resolve = [&](std::string_view token,
+                     AttributeSet* set) -> Status {
+    std::string name = Trim(token);
+    if (name.empty()) return Status::OK();  // tolerate "[]" and ", ,"
+    auto it = index.find(name);
+    if (it == index.end()) {
+      return Status::InvalidArgument("unknown attribute: '" + name + "'");
+    }
+    set->Set(it->second);
+    return Status::OK();
+  };
+
+  FdSet fds;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    size_t arrow = trimmed.find("-->");
+    size_t open = trimmed.find('[');
+    size_t close = trimmed.find(']');
+    if (arrow == std::string::npos || open == std::string::npos ||
+        close == std::string::npos || close > arrow) {
+      return Status::InvalidArgument("malformed FD on line " +
+                                     std::to_string(line_no) + ": " + trimmed);
+    }
+    AttributeSet lhs(capacity), rhs(capacity);
+    for (const std::string& token :
+         SplitString(trimmed.substr(open + 1, close - open - 1), ',')) {
+      NORMALIZE_RETURN_IF_ERROR(resolve(token, &lhs));
+    }
+    for (const std::string& token :
+         SplitString(trimmed.substr(arrow + 3), ',')) {
+      NORMALIZE_RETURN_IF_ERROR(resolve(token, &rhs));
+    }
+    rhs.DifferenceWith(lhs);
+    if (rhs.Empty()) {
+      return Status::InvalidArgument("FD with empty RHS on line " +
+                                     std::to_string(line_no));
+    }
+    fds.Add(Fd(std::move(lhs), std::move(rhs)));
+  }
+  fds.Aggregate();
+  return fds;
+}
+
+Status WriteFdFile(const FdSet& fds,
+                   const std::vector<std::string>& attribute_names,
+                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << WriteFdsToString(fds, attribute_names);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<FdSet> ReadFdFile(const std::string& path,
+                         const std::vector<std::string>& attribute_names) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadFdsFromString(buffer.str(), attribute_names);
+}
+
+}  // namespace normalize

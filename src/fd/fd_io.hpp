@@ -1,0 +1,35 @@
+// FD result-set I/O in the Metanome text style the paper's tooling uses:
+// one FD per line, "[Lhs1, Lhs2] --> Rhs1, Rhs2". This lets the closure and
+// normalization components run on externally discovered FD sets (the
+// framework's "FD input handling", reimplemented self-contained).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "fd/fd.hpp"
+
+namespace normalize {
+
+/// Serializes an FD set, one aggregated FD per line:
+///   [First, Last] --> Postcode, City, Mayor
+/// An empty LHS renders as "[]".
+std::string WriteFdsToString(const FdSet& fds,
+                             const std::vector<std::string>& attribute_names);
+
+/// Parses the format written by WriteFdsToString. Attribute names are
+/// resolved against `attribute_names` (the index becomes the attribute id);
+/// unknown names are an error. Blank lines and lines starting with '#' are
+/// skipped. The result is aggregated per LHS.
+Result<FdSet> ReadFdsFromString(
+    const std::string& text, const std::vector<std::string>& attribute_names);
+
+/// File variants of the two functions above.
+Status WriteFdFile(const FdSet& fds,
+                   const std::vector<std::string>& attribute_names,
+                   const std::string& path);
+Result<FdSet> ReadFdFile(const std::string& path,
+                         const std::vector<std::string>& attribute_names);
+
+}  // namespace normalize

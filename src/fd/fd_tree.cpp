@@ -1,0 +1,133 @@
+#include "fd/fd_tree.hpp"
+
+#include <algorithm>
+
+namespace normalize {
+
+FdTree::Node* FdTree::Node::Child(AttributeId a) const {
+  auto it = std::lower_bound(
+      children.begin(), children.end(), a,
+      [](const auto& entry, AttributeId key) { return entry.first < key; });
+  if (it != children.end() && it->first == a) return it->second.get();
+  return nullptr;
+}
+
+FdTree::Node* FdTree::Node::GetOrCreateChild(AttributeId a, int num_attributes) {
+  auto it = std::lower_bound(
+      children.begin(), children.end(), a,
+      [](const auto& entry, AttributeId key) { return entry.first < key; });
+  if (it != children.end() && it->first == a) return it->second.get();
+  auto node = std::make_unique<Node>();
+  node->rhs = AttributeSet(num_attributes);
+  it = children.emplace(it, a, std::move(node));
+  return it->second.get();
+}
+
+void FdTree::AddFd(const AttributeSet& lhs, AttributeId rhs_attr) {
+  Node* node = root_.get();
+  for (AttributeId a : lhs) node = node->GetOrCreateChild(a, num_attributes_);
+  node->rhs.Set(rhs_attr);
+}
+
+void FdTree::RemoveFd(const AttributeSet& lhs, AttributeId rhs_attr) {
+  Node* node = root_.get();
+  for (AttributeId a : lhs) {
+    node = node->Child(a);
+    if (node == nullptr) return;
+  }
+  node->rhs.Reset(rhs_attr);
+}
+
+bool FdTree::ContainsFd(const AttributeSet& lhs, AttributeId rhs_attr) const {
+  const Node* node = root_.get();
+  for (AttributeId a : lhs) {
+    node = node->Child(a);
+    if (node == nullptr) return false;
+  }
+  return node->rhs.Test(rhs_attr);
+}
+
+bool FdTree::SearchGeneralization(const Node* node, const AttributeSet& lhs,
+                                  AttributeId rhs_attr, AttributeId from) const {
+  if (node->rhs.Test(rhs_attr)) return true;
+  for (const auto& [attr, child] : node->children) {
+    if (attr < from) continue;
+    if (lhs.Test(attr) &&
+        SearchGeneralization(child.get(), lhs, rhs_attr, attr + 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FdTree::ContainsFdOrGeneralization(const AttributeSet& lhs,
+                                        AttributeId rhs_attr) const {
+  return SearchGeneralization(root_.get(), lhs, rhs_attr, 0);
+}
+
+void FdTree::CollectGeneralizations(const Node* node, const AttributeSet& lhs,
+                                    AttributeId rhs_attr, AttributeId from,
+                                    AttributeSet* current,
+                                    std::vector<AttributeSet>* out) const {
+  if (node->rhs.Test(rhs_attr)) out->push_back(*current);
+  for (const auto& [attr, child] : node->children) {
+    if (attr < from || !lhs.Test(attr)) continue;
+    current->Set(attr);
+    CollectGeneralizations(child.get(), lhs, rhs_attr, attr + 1, current, out);
+    current->Reset(attr);
+  }
+}
+
+std::vector<AttributeSet> FdTree::GetFdAndGeneralizations(
+    const AttributeSet& lhs, AttributeId rhs_attr) const {
+  std::vector<AttributeSet> out;
+  AttributeSet current(num_attributes_);
+  CollectGeneralizations(root_.get(), lhs, rhs_attr, 0, &current, &out);
+  return out;
+}
+
+void FdTree::CollectLevel(const Node* node, int remaining,
+                          AttributeSet* current, std::vector<Fd>* out) const {
+  if (remaining == 0) {
+    if (!node->rhs.Empty()) out->emplace_back(*current, node->rhs);
+    return;
+  }
+  for (const auto& [attr, child] : node->children) {
+    current->Set(attr);
+    CollectLevel(child.get(), remaining - 1, current, out);
+    current->Reset(attr);
+  }
+}
+
+std::vector<Fd> FdTree::GetLevel(int level) const {
+  std::vector<Fd> out;
+  AttributeSet current(num_attributes_);
+  CollectLevel(root_.get(), level, &current, &out);
+  return out;
+}
+
+void FdTree::CollectAll(const Node* node, AttributeSet* current,
+                        std::vector<Fd>* out) const {
+  if (!node->rhs.Empty()) out->emplace_back(*current, node->rhs);
+  for (const auto& [attr, child] : node->children) {
+    current->Set(attr);
+    CollectAll(child.get(), current, out);
+    current->Reset(attr);
+  }
+}
+
+std::vector<Fd> FdTree::CollectAllFds() const {
+  std::vector<Fd> out;
+  AttributeSet current(num_attributes_);
+  CollectAll(root_.get(), &current, &out);
+  return out;
+}
+
+size_t FdTree::CountFds() const {
+  std::vector<Fd> all = CollectAllFds();
+  size_t n = 0;
+  for (const Fd& fd : all) n += static_cast<size_t>(fd.rhs.Count());
+  return n;
+}
+
+}  // namespace normalize

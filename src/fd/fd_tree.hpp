@@ -1,0 +1,76 @@
+// FdTree: an FD-cover prefix tree (as used by FDEP and HyFD). Each node path
+// is an ascending LHS attribute sequence; a bitset at the node records which
+// RHS attributes the LHS determines. Supports the generalization queries and
+// specialization updates that negative-cover inversion and hybrid validation
+// need.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/attribute_set.hpp"
+#include "fd/fd.hpp"
+
+namespace normalize {
+
+/// Prefix tree storing unary FDs grouped by LHS, with generalization search.
+class FdTree {
+ public:
+  explicit FdTree(int num_attributes)
+      : num_attributes_(num_attributes), root_(std::make_unique<Node>()) {
+    root_->rhs = AttributeSet(num_attributes);
+  }
+
+  int num_attributes() const { return num_attributes_; }
+
+  /// Adds lhs -> rhs_attr (idempotent).
+  void AddFd(const AttributeSet& lhs, AttributeId rhs_attr);
+
+  /// Removes the exact FD lhs -> rhs_attr if present (nodes are retained).
+  void RemoveFd(const AttributeSet& lhs, AttributeId rhs_attr);
+
+  /// True iff the exact FD is stored.
+  bool ContainsFd(const AttributeSet& lhs, AttributeId rhs_attr) const;
+
+  /// True iff some stored FD Y -> rhs_attr has Y ⊆ lhs.
+  bool ContainsFdOrGeneralization(const AttributeSet& lhs,
+                                  AttributeId rhs_attr) const;
+
+  /// All stored LHSs Y ⊆ lhs with Y -> rhs_attr.
+  std::vector<AttributeSet> GetFdAndGeneralizations(const AttributeSet& lhs,
+                                                    AttributeId rhs_attr) const;
+
+  /// All FDs whose LHS has exactly `level` attributes (aggregated RHS).
+  std::vector<Fd> GetLevel(int level) const;
+
+  /// All stored FDs, aggregated per LHS node.
+  std::vector<Fd> CollectAllFds() const;
+
+  /// Number of stored unary FDs.
+  size_t CountFds() const;
+
+ private:
+  struct Node {
+    std::vector<std::pair<AttributeId, std::unique_ptr<Node>>> children;
+    AttributeSet rhs;  // RHS attributes determined by this node's LHS path
+
+    Node* Child(AttributeId a) const;
+    Node* GetOrCreateChild(AttributeId a, int num_attributes);
+  };
+
+  bool SearchGeneralization(const Node* node, const AttributeSet& lhs,
+                            AttributeId rhs_attr, AttributeId from) const;
+  void CollectGeneralizations(const Node* node, const AttributeSet& lhs,
+                              AttributeId rhs_attr, AttributeId from,
+                              AttributeSet* current,
+                              std::vector<AttributeSet>* out) const;
+  void CollectLevel(const Node* node, int remaining, AttributeSet* current,
+                    std::vector<Fd>* out) const;
+  void CollectAll(const Node* node, AttributeSet* current,
+                  std::vector<Fd>* out) const;
+
+  int num_attributes_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace normalize

@@ -1,0 +1,52 @@
+#include "fd/hitting_set.hpp"
+
+namespace normalize {
+
+std::vector<AttributeSet> MinimalHittingSets(
+    const std::vector<AttributeSet>& family, int capacity) {
+  // Berge's algorithm: fold the family, maintaining the minimal transversals
+  // of the prefix processed so far.
+  std::vector<AttributeSet> current = {AttributeSet(capacity)};
+  for (const AttributeSet& set : family) {
+    if (set.Empty()) return {};  // the empty set cannot be hit
+    std::vector<AttributeSet> next;
+    std::vector<AttributeSet> extensions;
+    for (const AttributeSet& t : current) {
+      if (t.Intersects(set)) {
+        next.push_back(t);
+      } else {
+        for (AttributeId a : set) {
+          AttributeSet extended = t;
+          extended.Set(a);
+          extensions.push_back(std::move(extended));
+        }
+      }
+    }
+    // Keep only minimal extensions (an extension may contain a transversal
+    // that already hits the new set, or another smaller extension). The
+    // filtering reads `extensions`, so survivors are copied out rather than
+    // moved while the scan is still running.
+    size_t kept_before = next.size();
+    for (size_t i = 0; i < extensions.size(); ++i) {
+      const AttributeSet& candidate = extensions[i];
+      bool minimal = true;
+      for (size_t k = 0; k < kept_before && minimal; ++k) {
+        if (next[k].IsSubsetOf(candidate)) minimal = false;
+      }
+      for (size_t j = 0; j < extensions.size() && minimal; ++j) {
+        if (j != i && extensions[j].IsProperSubsetOf(candidate)) {
+          minimal = false;
+        }
+      }
+      // Dedupe against earlier surviving duplicates of the same value.
+      for (size_t j = 0; j < i && minimal; ++j) {
+        if (extensions[j] == candidate) minimal = false;
+      }
+      if (minimal) next.push_back(candidate);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+}  // namespace normalize

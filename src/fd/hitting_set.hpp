@@ -1,0 +1,19 @@
+// Minimal hitting set enumeration (Berge's incremental algorithm). Used by
+// DFD's seed generation: the unexplored lattice nodes are exactly the
+// minimal transversals of the complements of the maximal non-dependencies.
+#pragma once
+
+#include <vector>
+
+#include "common/attribute_set.hpp"
+
+namespace normalize {
+
+/// Enumerates all minimal hitting sets of `family`: the inclusion-minimal
+/// sets H with H ∩ S ≠ ∅ for every S in the family. An empty family yields
+/// {∅}; a family containing the empty set yields {} (nothing can hit ∅).
+/// All sets share `capacity`.
+std::vector<AttributeSet> MinimalHittingSets(
+    const std::vector<AttributeSet>& family, int capacity);
+
+}  // namespace normalize

@@ -1,0 +1,106 @@
+#include "fd/set_trie.hpp"
+
+#include <algorithm>
+
+namespace normalize {
+
+SetTrie::Node* SetTrie::Node::Child(AttributeId a) const {
+  auto it = std::lower_bound(
+      children.begin(), children.end(), a,
+      [](const auto& entry, AttributeId key) { return entry.first < key; });
+  if (it != children.end() && it->first == a) return it->second.get();
+  return nullptr;
+}
+
+SetTrie::Node* SetTrie::Node::GetOrCreateChild(AttributeId a) {
+  auto it = std::lower_bound(
+      children.begin(), children.end(), a,
+      [](const auto& entry, AttributeId key) { return entry.first < key; });
+  if (it != children.end() && it->first == a) return it->second.get();
+  it = children.emplace(it, a, std::make_unique<Node>());
+  return it->second.get();
+}
+
+void SetTrie::Insert(const AttributeSet& set) {
+  Node* node = root_.get();
+  for (AttributeId a : set) node = node->GetOrCreateChild(a);
+  if (!node->is_end) {
+    node->is_end = true;
+    ++size_;
+  }
+}
+
+bool SetTrie::Contains(const AttributeSet& set) const {
+  const Node* node = root_.get();
+  for (AttributeId a : set) {
+    node = node->Child(a);
+    if (node == nullptr) return false;
+  }
+  return node->is_end;
+}
+
+bool SetTrie::SearchSubset(const Node* node, const AttributeSet& query,
+                           AttributeId from) {
+  if (node->is_end) return true;
+  // Only children whose attribute is in the query (and beyond `from`, since
+  // paths are ascending) can lead to a stored subset.
+  for (const auto& [attr, child] : node->children) {
+    if (attr < from) continue;
+    if (query.Test(attr) && SearchSubset(child.get(), query, attr + 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SetTrie::ContainsSubsetOf(const AttributeSet& query) const {
+  return SearchSubset(root_.get(), query, 0);
+}
+
+bool SetTrie::SearchSuperset(const Node* node, const AttributeSet& query,
+                             AttributeId next_required) {
+  if (next_required < 0) {
+    // All query attributes consumed: any stored set at or below this node is
+    // a superset. Every path in the trie terminates in an is_end node, so a
+    // non-empty subtree suffices.
+    return node->is_end || !node->children.empty();
+  }
+  for (const auto& [attr, child] : node->children) {
+    if (attr < next_required) {
+      // Extra attribute not in the query — allowed in a superset.
+      if (SearchSuperset(child.get(), query, next_required)) return true;
+    } else if (attr == next_required) {
+      if (SearchSuperset(child.get(), query, query.Next(attr))) return true;
+    } else {
+      // Children are sorted ascending and paths ascend: next_required can
+      // no longer be matched in this subtree.
+      break;
+    }
+  }
+  return false;
+}
+
+bool SetTrie::ContainsSupersetOf(const AttributeSet& query) const {
+  return SearchSuperset(root_.get(), query, query.First());
+}
+
+void SetTrie::CollectSubsets(const Node* node, const AttributeSet& query,
+                             AttributeId from, AttributeSet* current,
+                             std::vector<AttributeSet>* out) {
+  if (node->is_end) out->push_back(*current);
+  for (const auto& [attr, child] : node->children) {
+    if (attr < from || !query.Test(attr)) continue;
+    current->Set(attr);
+    CollectSubsets(child.get(), query, attr + 1, current, out);
+    current->Reset(attr);
+  }
+}
+
+std::vector<AttributeSet> SetTrie::SubsetsOf(const AttributeSet& query) const {
+  std::vector<AttributeSet> out;
+  AttributeSet current(query.capacity());
+  CollectSubsets(root_.get(), query, 0, &current, &out);
+  return out;
+}
+
+}  // namespace normalize

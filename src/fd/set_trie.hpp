@@ -1,0 +1,64 @@
+// SetTrie: the paper's "prefix tree" over attribute sets. Sets are stored as
+// ascending attribute-id paths; the key operation is the subset-existence
+// query ContainsSubsetOf used by the improved/optimized closure algorithms
+// (one trie per RHS attribute, §4.2/4.3) and by violation detection's key
+// trie (§6, Algorithm 4).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/attribute_set.hpp"
+
+namespace normalize {
+
+/// A trie of attribute sets supporting subset search.
+class SetTrie {
+ public:
+  SetTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts a set (duplicates are fine; the trie stores presence only).
+  void Insert(const AttributeSet& set);
+
+  /// True iff some stored set is a subset of `query` (improper subsets
+  /// included: an exact match counts).
+  bool ContainsSubsetOf(const AttributeSet& query) const;
+
+  /// True iff some stored set is a superset of `query` (exact match counts).
+  /// Used to filter non-maximal agree sets out of negative covers.
+  bool ContainsSupersetOf(const AttributeSet& query) const;
+
+  /// Collects all stored sets that are subsets of `query`.
+  std::vector<AttributeSet> SubsetsOf(const AttributeSet& query) const;
+
+  /// True iff the exact set was inserted.
+  bool Contains(const AttributeSet& set) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    // Children sorted by attribute id; attribute universes are small
+    // (~100s), so a sorted vector beats a map.
+    std::vector<std::pair<AttributeId, std::unique_ptr<Node>>> children;
+    bool is_end = false;
+
+    Node* Child(AttributeId a) const;
+    Node* GetOrCreateChild(AttributeId a);
+  };
+
+  static bool SearchSubset(const Node* node, const AttributeSet& query,
+                           AttributeId from);
+  static bool SearchSuperset(const Node* node, const AttributeSet& query,
+                             AttributeId next_required);
+  static void CollectSubsets(const Node* node, const AttributeSet& query,
+                             AttributeId from, AttributeSet* current,
+                             std::vector<AttributeSet>* out);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace normalize

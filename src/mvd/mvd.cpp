@@ -1,0 +1,221 @@
+#include "mvd/mvd.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fd/set_trie.hpp"
+#include "pli/pli.hpp"
+#include "relation/operations.hpp"
+
+namespace normalize {
+
+namespace {
+
+struct CodeVecHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    size_t h = 1469598103934665603ull;
+    for (ValueId x : v) {
+      h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+std::vector<int> ColumnsOf(const RelationData& data, const AttributeSet& set) {
+  std::vector<int> cols;
+  for (AttributeId a : set) {
+    int ci = data.ColumnIndexOf(a);
+    if (ci >= 0) cols.push_back(ci);
+  }
+  return cols;
+}
+
+std::vector<ValueId> CodesAt(const RelationData& data,
+                             const std::vector<int>& cols, size_t row) {
+  std::vector<ValueId> codes(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    codes[i] = data.column(cols[i]).code(row);
+  }
+  return codes;
+}
+
+/// Groups the distinct rows of `data` by their code tuple over `group_cols`;
+/// each group holds one representative row id per distinct full row.
+std::unordered_map<std::vector<ValueId>, std::vector<RowId>, CodeVecHash>
+GroupDistinctRows(const RelationData& data, const std::vector<int>& group_cols) {
+  // Distinct over ALL columns first (relations are sets; generated inputs
+  // may carry duplicates).
+  std::vector<int> all_cols(static_cast<size_t>(data.num_columns()));
+  for (int i = 0; i < data.num_columns(); ++i) all_cols[static_cast<size_t>(i)] = i;
+  std::unordered_set<std::vector<ValueId>, CodeVecHash> seen_rows;
+  std::unordered_map<std::vector<ValueId>, std::vector<RowId>, CodeVecHash>
+      groups;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    if (!seen_rows.insert(CodesAt(data, all_cols, r)).second) continue;
+    groups[CodesAt(data, group_cols, r)].push_back(static_cast<RowId>(r));
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::string Mvd::ToString(const std::vector<std::string>& names) const {
+  return lhs.ToString(names) + " ->> " + rhs.ToString(names);
+}
+
+std::string Mvd::ToString() const {
+  return lhs.ToString() + " ->> " + rhs.ToString();
+}
+
+bool MvdHolds(const RelationData& data, const AttributeSet& lhs,
+              const AttributeSet& rhs) {
+  AttributeSet all = data.AttributesAsSet();
+  AttributeSet y = rhs.Intersect(all).Difference(lhs);
+  AttributeSet z = all.Difference(lhs).Difference(y);
+  if (y.Empty() || z.Empty()) return true;  // trivial MVD
+
+  std::vector<int> x_cols = ColumnsOf(data, lhs);
+  std::vector<int> y_cols = ColumnsOf(data, y);
+  std::vector<int> z_cols = ColumnsOf(data, z);
+
+  auto groups = GroupDistinctRows(data, x_cols);
+  for (const auto& [x_codes, rows] : groups) {
+    if (rows.size() < 2) continue;
+    std::unordered_set<std::vector<ValueId>, CodeVecHash> y_vals, z_vals,
+        yz_vals;
+    for (RowId r : rows) {
+      std::vector<ValueId> yc = CodesAt(data, y_cols, r);
+      std::vector<ValueId> zc = CodesAt(data, z_cols, r);
+      std::vector<ValueId> yz = yc;
+      yz.insert(yz.end(), zc.begin(), zc.end());
+      y_vals.insert(std::move(yc));
+      z_vals.insert(std::move(zc));
+      yz_vals.insert(std::move(yz));
+    }
+    // The group factorizes iff its distinct (Y,Z) combinations are exactly
+    // the cartesian product (they are always a subset, so counting works).
+    if (yz_vals.size() != y_vals.size() * z_vals.size()) return false;
+  }
+  return true;
+}
+
+std::vector<Mvd> FindViolatingMvds(const RelationData& data,
+                                   const std::vector<AttributeSet>& keys,
+                                   MvdSearchOptions options) {
+  std::vector<Mvd> result;
+  AttributeSet all = data.AttributesAsSet();
+  int universe = data.universe_size();
+
+  SetTrie key_trie;
+  for (const AttributeSet& key : keys) key_trie.Insert(key);
+
+  AttributeSet nullable(universe);
+  for (int c = 0; c < data.num_columns(); ++c) {
+    if (data.column(c).has_null()) {
+      nullable.Set(data.attribute_ids()[static_cast<size_t>(c)]);
+    }
+  }
+
+  std::vector<AttributeId> attrs = all.ToVector();
+  int n = static_cast<int>(attrs.size());
+  int max_lhs = std::min(options.max_lhs_size, n - 2);
+
+  // Enumerate LHS subsets of size 1..max_lhs.
+  std::vector<int> idx;
+  std::function<void(int, int)> enumerate = [&](int start, int remaining) {
+    if (remaining == 0) {
+      AttributeSet x(universe);
+      for (int i : idx) x.Set(attrs[static_cast<size_t>(i)]);
+      if (options.skip_nullable_lhs && x.Intersects(nullable)) return;
+      if (key_trie.ContainsSubsetOf(x)) return;  // superkey LHS: 4NF-conform
+
+      AttributeSet rest = all.Difference(x);
+      std::vector<AttributeId> rest_attrs = rest.ToVector();
+      int m = static_cast<int>(rest_attrs.size());
+      if (m < 2) return;
+
+      // Pairwise coupling over the X-groups: attributes that do not
+      // factorize pairwise must share a dependency-basis block.
+      auto groups = GroupDistinctRows(data, ColumnsOf(data, x));
+      std::vector<int> parent(static_cast<size_t>(m));
+      for (int i = 0; i < m; ++i) parent[static_cast<size_t>(i)] = i;
+      std::function<int(int)> find = [&](int v) {
+        while (parent[static_cast<size_t>(v)] != v) {
+          v = parent[static_cast<size_t>(v)] =
+              parent[static_cast<size_t>(parent[static_cast<size_t>(v)])];
+        }
+        return v;
+      };
+      auto unite = [&](int a, int b) { parent[static_cast<size_t>(find(a))] = find(b); };
+
+      for (int i = 0; i < m; ++i) {
+        int ci = data.ColumnIndexOf(rest_attrs[static_cast<size_t>(i)]);
+        for (int j = i + 1; j < m; ++j) {
+          if (find(i) == find(j)) continue;
+          int cj = data.ColumnIndexOf(rest_attrs[static_cast<size_t>(j)]);
+          for (const auto& [x_codes, rows] : groups) {
+            if (rows.size() < 2) continue;
+            std::unordered_set<ValueId> vi, vj;
+            std::unordered_set<uint64_t> vij;
+            for (RowId r : rows) {
+              ValueId a = data.column(ci).code(r);
+              ValueId b = data.column(cj).code(r);
+              vi.insert(a);
+              vj.insert(b);
+              vij.insert((static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+                         static_cast<uint32_t>(b));
+            }
+            if (vij.size() != vi.size() * vj.size()) {
+              unite(i, j);
+              break;
+            }
+          }
+        }
+      }
+
+      // Each coupling component is a candidate Y; verify exactly.
+      std::unordered_map<int, AttributeSet> components;
+      for (int i = 0; i < m; ++i) {
+        auto [it, inserted] = components.try_emplace(find(i), universe);
+        it->second.Set(rest_attrs[static_cast<size_t>(i)]);
+      }
+      if (components.size() < 2) return;  // everything coupled: no split
+      for (auto& [root, y] : components) {
+        // Skip MVDs implied by plain FDs X -> Y: those are the BCNF stage's
+        // business (and with X not a superkey, BCNF already rejected them).
+        bool is_fd = true;
+        for (AttributeId a : y) {
+          if (!FdHolds(data, x, a)) {
+            is_fd = false;
+            break;
+          }
+        }
+        if (is_fd) continue;
+        if (MvdHolds(data, x, y)) result.push_back(Mvd{x, y});
+      }
+      return;
+    }
+    for (int i = start; i <= n - remaining; ++i) {
+      idx.push_back(i);
+      enumerate(i + 1, remaining - 1);
+      idx.pop_back();
+    }
+  };
+  for (int size = 1; size <= max_lhs; ++size) {
+    idx.clear();
+    enumerate(0, size);
+  }
+
+  // Prefer short LHSs and balanced splits (small Y first so the split-off
+  // relation is compact).
+  std::sort(result.begin(), result.end(), [](const Mvd& a, const Mvd& b) {
+    if (a.lhs.Count() != b.lhs.Count()) return a.lhs.Count() < b.lhs.Count();
+    return a.rhs.Count() < b.rhs.Count();
+  });
+  return result;
+}
+
+}  // namespace normalize

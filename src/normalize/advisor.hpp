@@ -1,0 +1,94 @@
+// The user-in-the-loop interface — the paper's (semi-)automatic mode. The
+// normalizer presents ranked candidates; an Advisor picks one (or declines,
+// which ends normalization of the current relation, §3 component 5).
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "normalize/scoring.hpp"
+#include "relation/schema.hpp"
+
+namespace normalize {
+
+/// Decision interface consulted at each selection point.
+class Advisor {
+ public:
+  virtual ~Advisor() = default;
+
+  /// Picks a violating FD from the ranked candidates (best first). Returns
+  /// the index of the chosen candidate, or -1 to stop normalizing this
+  /// relation (all remaining candidates judged semantically wrong).
+  virtual int ChooseViolatingFd(const Schema& schema,
+                                int relation_index,
+                                const std::vector<ScoredFd>& ranked) = 0;
+
+  /// Picks a primary key from the ranked candidates, or -1 to leave the
+  /// relation without a primary key.
+  virtual int ChoosePrimaryKey(const Schema& schema,
+                               int relation_index,
+                               const std::vector<ScoredKey>& ranked) = 0;
+
+  /// After a violating FD was chosen, the paper (§7.2, last paragraph) lets
+  /// the user remove individual RHS attributes that other violating FDs also
+  /// cover, so a later decomposition can claim them instead. `shared_rhs`
+  /// is the subset of `chosen.rhs` that appears in some other candidate's
+  /// RHS; the returned set (⊆ shared_rhs) is removed from the split. The
+  /// default — and the automatic mode — removes nothing.
+  virtual AttributeSet TrimSplitRhs(const Schema& schema, int relation_index,
+                                    const Fd& chosen,
+                                    const AttributeSet& shared_rhs) {
+    (void)schema;
+    (void)relation_index;
+    (void)chosen;
+    return AttributeSet(shared_rhs.capacity());
+  }
+};
+
+/// The paper's automatic mode: always take the top-ranked candidate.
+class AutoAdvisor : public Advisor {
+ public:
+  int ChooseViolatingFd(const Schema&, int,
+                        const std::vector<ScoredFd>& ranked) override {
+    return ranked.empty() ? -1 : 0;
+  }
+  int ChoosePrimaryKey(const Schema&, int,
+                       const std::vector<ScoredKey>& ranked) override {
+    return ranked.empty() ? -1 : 0;
+  }
+};
+
+/// Replays a fixed sequence of decisions; used to test supervised runs and
+/// to script demo sessions. When the script is exhausted, falls back to the
+/// automatic choice (index 0).
+class ScriptedAdvisor : public Advisor {
+ public:
+  /// Each entry is the index to return at the next decision point (FD and
+  /// key decisions share one queue, in call order). -1 declines.
+  explicit ScriptedAdvisor(std::vector<int> decisions)
+      : decisions_(decisions.begin(), decisions.end()) {}
+
+  int ChooseViolatingFd(const Schema&, int,
+                        const std::vector<ScoredFd>& ranked) override {
+    return Next(static_cast<int>(ranked.size()));
+  }
+  int ChoosePrimaryKey(const Schema&, int,
+                       const std::vector<ScoredKey>& ranked) override {
+    return Next(static_cast<int>(ranked.size()));
+  }
+
+ private:
+  int Next(int num_candidates) {
+    if (num_candidates == 0) return -1;
+    if (decisions_.empty()) return 0;
+    int d = decisions_.front();
+    decisions_.pop_front();
+    if (d >= num_candidates) d = 0;
+    return d;
+  }
+
+  std::deque<int> decisions_;
+};
+
+}  // namespace normalize

@@ -1,0 +1,201 @@
+#include "normalize/constraint_monitor.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "relation/operations.hpp"
+
+namespace normalize {
+
+namespace {
+
+struct CodeVecHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    size_t h = 1469598103934665603ull;
+    for (ValueId x : v) {
+      h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+struct StringVecHash {
+  size_t operator()(const std::vector<std::string>& v) const {
+    size_t h = 1469598103934665603ull;
+    for (const std::string& s : v) {
+      for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+      }
+      h = h * 1099511628211ull + 17;
+    }
+    return h;
+  }
+};
+
+std::vector<int> ColumnsOf(const RelationData& data, const AttributeSet& set) {
+  std::vector<int> cols;
+  for (AttributeId a : set) {
+    int ci = data.ColumnIndexOf(a);
+    if (ci >= 0) cols.push_back(ci);
+  }
+  return cols;
+}
+
+}  // namespace
+
+std::string ConstraintViolation::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  const std::string& rel_name =
+      relation >= 0 && relation < static_cast<int>(schema.relations().size())
+          ? schema.relation(relation).name()
+          : "?";
+  switch (kind) {
+    case Kind::kPrimaryKeyDuplicate:
+      os << rel_name << ": duplicate primary key "
+         << attributes.ToString(schema.attribute_names());
+      break;
+    case Kind::kPrimaryKeyNull:
+      os << rel_name << ": NULL in primary key "
+         << attributes.ToString(schema.attribute_names());
+      break;
+    case Kind::kForeignKeyOrphan:
+      os << rel_name << ": orphaned foreign key "
+         << attributes.ToString(schema.attribute_names());
+      break;
+    case Kind::kFdViolation:
+      os << rel_name << ": FD " << attributes.ToString(schema.attribute_names())
+         << " -> " << fd_rhs.ToString(schema.attribute_names())
+         << " no longer holds";
+      break;
+  }
+  os << " (rows";
+  for (size_t r : rows) os << " " << r;
+  os << ")";
+  return os.str();
+}
+
+std::vector<ConstraintViolation> CheckSchemaConstraints(
+    const Schema& schema, const std::vector<RelationData>& relations) {
+  std::vector<ConstraintViolation> violations;
+
+  for (size_t i = 0; i < schema.relations().size() && i < relations.size();
+       ++i) {
+    const RelationSchema& rel = schema.relation(static_cast<int>(i));
+    const RelationData& data = relations[i];
+
+    // --- primary key: NULL-freeness and uniqueness with witnesses ---
+    if (rel.has_primary_key() && !rel.primary_key().Empty()) {
+      std::vector<int> pk_cols = ColumnsOf(data, rel.primary_key());
+      std::unordered_map<std::vector<ValueId>, size_t, CodeVecHash> seen;
+      for (size_t r = 0; r < data.num_rows(); ++r) {
+        bool has_null = false;
+        std::vector<ValueId> key(pk_cols.size());
+        for (size_t k = 0; k < pk_cols.size(); ++k) {
+          const Column& col = data.column(pk_cols[k]);
+          if (col.IsNull(r)) has_null = true;
+          key[k] = col.code(r);
+        }
+        if (has_null) {
+          violations.push_back({ConstraintViolation::Kind::kPrimaryKeyNull,
+                                static_cast<int>(i), rel.primary_key(),
+                                AttributeSet(rel.primary_key().capacity()),
+                                {r}});
+          continue;
+        }
+        auto [it, inserted] = seen.emplace(std::move(key), r);
+        if (!inserted) {
+          violations.push_back({ConstraintViolation::Kind::kPrimaryKeyDuplicate,
+                                static_cast<int>(i), rel.primary_key(),
+                                AttributeSet(rel.primary_key().capacity()),
+                                {it->second, r}});
+        }
+      }
+    }
+
+    // --- foreign keys: every non-NULL FK value combination must exist in
+    // the referenced relation (compared by value: codes are per-column) ---
+    for (const ForeignKey& fk : rel.foreign_keys()) {
+      if (fk.target_relation < 0 ||
+          fk.target_relation >= static_cast<int>(relations.size())) {
+        continue;
+      }
+      const RelationData& target = relations[static_cast<size_t>(fk.target_relation)];
+      std::vector<int> src_cols = ColumnsOf(data, fk.attributes);
+      std::vector<int> dst_cols = ColumnsOf(target, fk.attributes);
+      if (src_cols.size() != dst_cols.size()) continue;
+
+      std::unordered_set<std::vector<std::string>, StringVecHash> present;
+      for (size_t r = 0; r < target.num_rows(); ++r) {
+        std::vector<std::string> key;
+        key.reserve(dst_cols.size());
+        bool has_null = false;
+        for (int c : dst_cols) {
+          if (target.column(c).IsNull(r)) has_null = true;
+          key.emplace_back(target.column(c).ValueAt(r, ""));
+        }
+        if (!has_null) present.insert(std::move(key));
+      }
+      for (size_t r = 0; r < data.num_rows(); ++r) {
+        std::vector<std::string> key;
+        key.reserve(src_cols.size());
+        bool has_null = false;
+        for (int c : src_cols) {
+          if (data.column(c).IsNull(r)) has_null = true;  // SQL: NULL FK ok
+          key.emplace_back(data.column(c).ValueAt(r, ""));
+        }
+        if (has_null) continue;
+        if (!present.count(key)) {
+          violations.push_back({ConstraintViolation::Kind::kForeignKeyOrphan,
+                                static_cast<int>(i), fk.attributes,
+                                AttributeSet(fk.attributes.capacity()),
+                                {r}});
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<ConstraintViolation> CheckFds(const Schema& schema,
+                                          int relation_index,
+                                          const RelationData& data,
+                                          const FdSet& fds) {
+  (void)schema;
+  std::vector<ConstraintViolation> violations;
+  AttributeSet rel_attrs = data.AttributesAsSet();
+  for (const Fd& fd : fds) {
+    if (!fd.lhs.IsSubsetOf(rel_attrs)) continue;
+    AttributeSet rhs = fd.rhs.Intersect(rel_attrs);
+    if (rhs.Empty()) continue;
+
+    std::vector<int> lhs_cols = ColumnsOf(data, fd.lhs);
+    std::unordered_map<std::vector<ValueId>, size_t, CodeVecHash> reps;
+    AttributeSet violated(rel_attrs.capacity());
+    std::vector<size_t> witness;
+    std::vector<ValueId> key(lhs_cols.size());
+    for (size_t r = 0; r < data.num_rows() && witness.empty(); ++r) {
+      for (size_t k = 0; k < lhs_cols.size(); ++k) {
+        key[k] = data.column(lhs_cols[k]).code(r);
+      }
+      auto [it, inserted] = reps.emplace(key, r);
+      if (inserted) continue;
+      for (AttributeId a : rhs) {
+        int ci = data.ColumnIndexOf(a);
+        if (data.column(ci).code(it->second) != data.column(ci).code(r)) {
+          violated.Set(a);
+        }
+      }
+      if (!violated.Empty()) witness = {it->second, r};
+    }
+    if (!violated.Empty()) {
+      violations.push_back({ConstraintViolation::Kind::kFdViolation,
+                            relation_index, fd.lhs, violated, witness});
+    }
+  }
+  return violations;
+}
+
+}  // namespace normalize

@@ -1,0 +1,53 @@
+// Constraint monitoring for evolving data — the paper's closing research
+// question ("how normalization processes should handle dynamic data and
+// errors in the data"). A normalized schema's constraints were chosen from
+// one instance; when the data changes, some of them (especially the
+// accidental FDs the paper warns about) stop holding. The monitor re-checks
+// a schema's primary keys, foreign keys, and a set of FDs against updated
+// instances and reports every violation with witness rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.hpp"
+#include "fd/fd.hpp"
+#include "relation/relation_data.hpp"
+#include "relation/schema.hpp"
+
+namespace normalize {
+
+/// One detected constraint violation.
+struct ConstraintViolation {
+  enum class Kind {
+    kPrimaryKeyDuplicate,   // two rows share the primary key values
+    kPrimaryKeyNull,        // a primary-key column contains NULL
+    kForeignKeyOrphan,      // an FK value combination has no referenced row
+    kFdViolation,           // an FD of the design no longer holds
+  };
+
+  Kind kind;
+  int relation = -1;        // index into the schema
+  AttributeSet attributes;  // the constraint's attribute set (LHS for FDs)
+  AttributeSet fd_rhs;      // violated RHS attributes (FD violations only)
+  /// Witness rows in the violating relation (two for duplicates/FDs, one
+  /// for orphans/NULLs).
+  std::vector<size_t> rows;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Re-validates the schema's primary keys and foreign keys against the given
+/// instances (parallel to schema.relations()).
+std::vector<ConstraintViolation> CheckSchemaConstraints(
+    const Schema& schema, const std::vector<RelationData>& relations);
+
+/// Re-validates design FDs against one relation instance: every FD whose
+/// attributes lie inside the relation is checked; violated RHS attributes
+/// are reported with a witness row pair.
+std::vector<ConstraintViolation> CheckFds(const Schema& schema,
+                                          int relation_index,
+                                          const RelationData& data,
+                                          const FdSet& fds);
+
+}  // namespace normalize

@@ -1,0 +1,58 @@
+#include "normalize/decomposition.hpp"
+
+#include "relation/operations.hpp"
+
+namespace normalize {
+
+Decomposition DecomposeData(const RelationData& data, const Fd& violating_fd,
+                            const std::string& r2_name) {
+  AttributeSet all = data.AttributesAsSet();
+  AttributeSet r2_attrs = violating_fd.lhs.Union(violating_fd.rhs);
+  AttributeSet r1_attrs = all.Difference(violating_fd.rhs);
+
+  Decomposition result{
+      // R1 keeps one row per original row. Deduplication is a no-op when
+      // the input is duplicate-free (two rows collapsing in R1 agree on X
+      // and hence, by X -> Y, on Y too — so they were full duplicates).
+      Project(data, r1_attrs, /*distinct=*/true, data.name()),
+      Project(data, r2_attrs, /*distinct=*/true, r2_name),
+  };
+  return result;
+}
+
+int DecomposeSchema(Schema* schema, int relation_index, const Fd& violating_fd,
+                    const std::string& r2_name) {
+  RelationSchema* parent = schema->mutable_relation(relation_index);
+  AttributeSet r2_attrs = violating_fd.lhs.Union(violating_fd.rhs);
+  AttributeSet r1_attrs = parent->attributes().Difference(violating_fd.rhs);
+
+  // Build R2 with primary key X.
+  RelationSchema r2(r2_name, r2_attrs);
+  r2.set_primary_key(violating_fd.lhs);
+
+  // Distribute the parent's foreign keys: keys fully inside R2 move there;
+  // all others stay with R1 (Algorithm 4 guaranteed they fit).
+  std::vector<ForeignKey> r1_fks, r2_fks;
+  for (const ForeignKey& fk : parent->foreign_keys()) {
+    if (fk.attributes.IsSubsetOf(r1_attrs)) {
+      r1_fks.push_back(fk);
+    } else {
+      r2_fks.push_back(fk);
+    }
+  }
+
+  // Shrink the parent into R1 (index preserved: inbound FKs stay valid
+  // because the primary key never loses attributes, Alg. 4 line 11).
+  parent->set_attributes(r1_attrs);
+  *parent->mutable_foreign_keys() = std::move(r1_fks);
+
+  *r2.mutable_foreign_keys() = std::move(r2_fks);
+  int r2_index = schema->AddRelation(std::move(r2));
+
+  // R1 references R2 via X.
+  schema->mutable_relation(relation_index)
+      ->AddForeignKey(ForeignKey{violating_fd.lhs, r2_index});
+  return r2_index;
+}
+
+}  // namespace normalize

@@ -1,0 +1,35 @@
+// Schema decomposition — component (6). Splitting relation R on a violating
+// FD X -> Y yields R1 = R \ Y (keeping X, which becomes a foreign key) and
+// R2 = X ∪ Y with primary key X. The natural join R1 ⋈ R2 reproduces R
+// exactly (lossless decomposition; verified by the property tests).
+#pragma once
+
+#include <string>
+
+#include "common/attribute_set.hpp"
+#include "fd/fd.hpp"
+#include "relation/relation_data.hpp"
+#include "relation/schema.hpp"
+
+namespace normalize {
+
+/// The instance-level result of one decomposition step.
+struct Decomposition {
+  RelationData r1;  // remainder: R \ Y (contains X)
+  RelationData r2;  // split-off: X ∪ Y, duplicates removed, key X
+};
+
+/// Splits the instance `data` on the violating FD. `r2_name` names the new
+/// relation; R1 keeps the original name.
+Decomposition DecomposeData(const RelationData& data, const Fd& violating_fd,
+                            const std::string& r2_name);
+
+/// Applies one decomposition to the schema: relation `relation_index` is
+/// replaced in place by R1 (its index — and thus all foreign keys pointing
+/// at it — stays valid); R2 is appended with primary key X; R1 receives a
+/// foreign key X -> R2; existing foreign keys that moved entirely into R2
+/// are transferred. Returns the index of the new R2 relation.
+int DecomposeSchema(Schema* schema, int relation_index, const Fd& violating_fd,
+                    const std::string& r2_name);
+
+}  // namespace normalize

@@ -1,0 +1,156 @@
+#include "normalize/fourth_nf.hpp"
+
+#include <deque>
+
+#include "discovery/ucc.hpp"
+#include "relation/operations.hpp"
+
+namespace normalize {
+
+namespace {
+
+/// Checks whether splitting `rel` on `mvd` keeps the primary key and all
+/// foreign keys inside one of the two parts. When `pk_droppable` (an
+/// all-attribute key no other relation references), the primary key does not
+/// constrain the split: each part is all-key again after the distinct
+/// projection.
+bool PreservesConstraints(const RelationSchema& rel, const Mvd& mvd,
+                          bool pk_droppable) {
+  AttributeSet r1 = mvd.lhs.Union(mvd.rhs);
+  AttributeSet r2 = rel.attributes().Difference(mvd.rhs);
+  auto fits = [&](const AttributeSet& s) {
+    return s.IsSubsetOf(r1) || s.IsSubsetOf(r2);
+  };
+  if (rel.has_primary_key() && !pk_droppable && !fits(rel.primary_key())) {
+    return false;
+  }
+  for (const ForeignKey& fk : rel.foreign_keys()) {
+    if (!fits(fk.attributes)) return false;
+  }
+  return true;
+}
+
+/// True iff some other relation's foreign key targets `rel_index`.
+bool HasInboundForeignKey(const Schema& schema, int rel_index) {
+  for (const RelationSchema& other : schema.relations()) {
+    for (const ForeignKey& fk : other.foreign_keys()) {
+      if (fk.target_relation == rel_index) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<MvdSplit> RefineTo4Nf(Schema* schema,
+                                  std::vector<RelationData>* relations,
+                                  FourNfOptions options) {
+  std::vector<MvdSplit> splits;
+  std::deque<int> worklist;
+  for (size_t i = 0; i < relations->size(); ++i) {
+    worklist.push_back(static_cast<int>(i));
+  }
+  int split_counter = 0;
+
+  while (!worklist.empty()) {
+    int rel_index = worklist.front();
+    worklist.pop_front();
+    RelationSchema* rel = schema->mutable_relation(rel_index);
+    RelationData& data = (*relations)[static_cast<size_t>(rel_index)];
+    if (data.num_columns() < 3) continue;  // no nontrivial split possible
+
+    // Superkey evidence: the data's minimal uniques (NULLable columns
+    // allowed — uniqueness is an instance fact here, not a PK proposal).
+    UccDiscoveryOptions ucc_options;
+    ucc_options.exclude_nullable_columns = false;
+    std::vector<AttributeSet> keys = DiscoverMinimalUccs(data, ucc_options);
+
+    std::vector<Mvd> violations =
+        FindViolatingMvds(data, keys, options.search);
+    bool pk_droppable = rel->has_primary_key() &&
+                        rel->primary_key() == rel->attributes() &&
+                        !HasInboundForeignKey(*schema, rel_index);
+    const Mvd* chosen = nullptr;
+    for (const Mvd& mvd : violations) {
+      if (PreservesConstraints(*rel, mvd, pk_droppable)) {
+        chosen = &mvd;
+        break;
+      }
+    }
+    if (chosen == nullptr) continue;
+    if (static_cast<int>(splits.size()) >= options.max_decompositions) break;
+    if (pk_droppable) rel->clear_primary_key();
+
+    AttributeSet r1_attrs = chosen->lhs.Union(chosen->rhs);
+    AttributeSet r2_attrs = rel->attributes().Difference(chosen->rhs);
+    std::string r2_name = rel->name() + "_m" + std::to_string(++split_counter);
+    splits.push_back(MvdSplit{rel->name(), *chosen, r2_name});
+
+    RelationData r1_data =
+        Project(data, r1_attrs, /*distinct=*/true, rel->name());
+    RelationData r2_data = Project(data, r2_attrs, /*distinct=*/true, r2_name);
+
+    // Schema update: the parent shrinks to R1 (keeping its index); R2 is
+    // appended. Constraints move to whichever side fully contains them
+    // (PreservesConstraints guaranteed one exists).
+    RelationSchema r2(r2_name, r2_attrs);
+    std::vector<ForeignKey> r1_fks, r2_fks;
+    for (ForeignKey& fk : *rel->mutable_foreign_keys()) {
+      if (fk.attributes.IsSubsetOf(r1_attrs)) {
+        r1_fks.push_back(std::move(fk));
+      } else {
+        r2_fks.push_back(std::move(fk));
+      }
+    }
+    if (rel->has_primary_key() && !rel->primary_key().IsSubsetOf(r1_attrs)) {
+      r2.set_primary_key(rel->primary_key());
+      rel->clear_primary_key();
+    }
+    rel->set_attributes(r1_attrs);
+    *rel->mutable_foreign_keys() = std::move(r1_fks);
+    *r2.mutable_foreign_keys() = std::move(r2_fks);
+    int r2_index = schema->AddRelation(std::move(r2));
+
+    // The split anchor X is the shared join attribute set; register it as a
+    // foreign key where it is actually a key of the other part.
+    if (IsUnique(r2_data, chosen->lhs)) {
+      if (!schema->relation(r2_index).has_primary_key()) {
+        schema->mutable_relation(r2_index)->set_primary_key(chosen->lhs);
+      }
+      if (schema->relation(r2_index).primary_key() == chosen->lhs) {
+        schema->mutable_relation(rel_index)->AddForeignKey(
+            ForeignKey{chosen->lhs, r2_index});
+      }
+    } else if (IsUnique(r1_data, chosen->lhs)) {
+      if (!schema->relation(rel_index).has_primary_key()) {
+        schema->mutable_relation(rel_index)->set_primary_key(chosen->lhs);
+      }
+      if (schema->relation(rel_index).primary_key() == chosen->lhs) {
+        schema->mutable_relation(r2_index)->AddForeignKey(
+            ForeignKey{chosen->lhs, rel_index});
+      }
+    }
+
+    // Distinct projection makes each part duplicate-free, so a part without
+    // any inherited or anchor key is at least all-key.
+    if (!schema->relation(rel_index).has_primary_key()) {
+      schema->mutable_relation(rel_index)->set_primary_key(r1_attrs);
+    }
+    if (!schema->relation(r2_index).has_primary_key()) {
+      schema->mutable_relation(r2_index)->set_primary_key(r2_attrs);
+    }
+
+    (*relations)[static_cast<size_t>(rel_index)] = std::move(r1_data);
+    relations->push_back(std::move(r2_data));
+    worklist.push_back(rel_index);
+    worklist.push_back(r2_index);
+  }
+  return splits;
+}
+
+std::vector<MvdSplit> RefineTo4Nf(NormalizationResult* result,
+                                  FourNfOptions options) {
+  return RefineTo4Nf(&result->schema, &result->relations, options);
+}
+
+}  // namespace normalize

@@ -1,0 +1,47 @@
+// 4NF refinement: after BCNF normalization, split relations that still embed
+// non-FD multi-valued dependencies (paper §6's sketched extension). A
+// relation is in 4NF iff every nontrivial MVD X ->> Y has a superkey LHS;
+// each violating MVD X ->> Y|Z enables the lossless split
+// R -> R1(X ∪ Y), R2(X ∪ Z).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mvd/mvd.hpp"
+#include "normalize/normalizer.hpp"
+#include "relation/schema.hpp"
+
+namespace normalize {
+
+struct FourNfOptions {
+  MvdSearchOptions search;
+  /// Safety bound on the number of MVD splits.
+  int max_decompositions = 1000;
+};
+
+/// One performed MVD split, for reporting.
+struct MvdSplit {
+  std::string relation;  // name of the relation that was split
+  Mvd mvd;
+  std::string r2_name;
+};
+
+/// Refines a BCNF normalization result towards 4NF in place: repeatedly
+/// finds a verified, constraint-preserving violating MVD in some relation
+/// and splits it. Keys for the superkey test are discovered from the data
+/// (minimal UCCs). Returns the splits performed.
+///
+/// Constraint preservation mirrors Algorithm 4: an MVD is skipped when the
+/// relation's primary key or one of its foreign keys would end up spanning
+/// both parts. A foreign key X -> R2 is registered when the split anchor X
+/// turns out to be unique in one of the parts.
+std::vector<MvdSplit> RefineTo4Nf(Schema* schema,
+                                  std::vector<RelationData>* relations,
+                                  FourNfOptions options = {});
+
+/// Convenience overload operating on a NormalizationResult.
+std::vector<MvdSplit> RefineTo4Nf(NormalizationResult* result,
+                                  FourNfOptions options = {});
+
+}  // namespace normalize

@@ -1,0 +1,31 @@
+#include "normalize/key_derivation.hpp"
+
+#include <set>
+
+namespace normalize {
+
+std::vector<AttributeSet> DeriveKeys(const FdSet& extended_fds,
+                                     const AttributeSet& relation_attrs) {
+  std::set<AttributeSet> keys;
+  for (const Fd& fd : extended_fds) {
+    if (!fd.lhs.IsSubsetOf(relation_attrs)) continue;
+    AttributeSet determined = fd.lhs.Union(fd.rhs);
+    determined.IntersectWith(relation_attrs);
+    if (determined == relation_attrs) keys.insert(fd.lhs);
+  }
+  return std::vector<AttributeSet>(keys.begin(), keys.end());
+}
+
+FdSet ProjectFds(const FdSet& extended_fds,
+                 const AttributeSet& relation_attrs) {
+  FdSet out;
+  for (const Fd& fd : extended_fds) {
+    if (!fd.lhs.IsSubsetOf(relation_attrs)) continue;
+    AttributeSet rhs = fd.rhs.Intersect(relation_attrs);
+    if (rhs.Empty()) continue;
+    out.Add(Fd(fd.lhs, std::move(rhs)));
+  }
+  return out;
+}
+
+}  // namespace normalize

@@ -1,0 +1,27 @@
+// Key derivation — component (3), paper §5. A key is the LHS of any extended
+// FD X -> Y with X ∪ Y = R. Not every minimal key of R is derivable this
+// way (the paper's Professor/Teaches/Class example), but Lemma 2 proves the
+// derivable keys are exactly the ones BCNF violation checking needs.
+#pragma once
+
+#include <vector>
+
+#include "common/attribute_set.hpp"
+#include "fd/fd.hpp"
+
+namespace normalize {
+
+/// Derives keys of the relation `relation_attrs` from `extended_fds` (which
+/// must be transitively closed). Only FDs whose LHS lies inside the relation
+/// count. Returns deduplicated keys; because the FDs are minimal, the result
+/// is automatically an antichain (no key contains another).
+std::vector<AttributeSet> DeriveKeys(const FdSet& extended_fds,
+                                     const AttributeSet& relation_attrs);
+
+/// Restricts extended FDs to a sub-relation (paper Lemma 3): keeps FDs with
+/// LHS inside `relation_attrs`, intersects the RHS with the relation, and
+/// drops FDs whose RHS becomes empty. Projection preserves minimality,
+/// completeness, and full extension of the cover within the sub-relation.
+FdSet ProjectFds(const FdSet& extended_fds, const AttributeSet& relation_attrs);
+
+}  // namespace normalize

@@ -1,0 +1,259 @@
+#include "normalize/normalizer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+
+#include "closure/closure.hpp"
+#include "common/stopwatch.hpp"
+#include "discovery/ucc.hpp"
+#include "normalize/decomposition.hpp"
+#include "normalize/key_derivation.hpp"
+#include "normalize/scoring.hpp"
+
+namespace normalize {
+
+std::string DecisionRecord::ToString(
+    const std::vector<std::string>& attribute_names) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " (score %.3f, rank %d of %d)", score, rank,
+                num_candidates);
+  switch (kind) {
+    case Kind::kSplit:
+      return relation + ": split on " + chosen_fd.ToString(attribute_names) +
+             buf;
+    case Kind::kSplitDeclined:
+      return relation + ": all " + std::to_string(num_candidates) +
+             " split candidates declined";
+    case Kind::kPrimaryKey:
+      return relation + ": primary key " +
+             chosen_key.ToString(attribute_names) + buf;
+    case Kind::kPrimaryKeyDeclined:
+      return relation + ": left without a primary key (" +
+             std::to_string(num_candidates) + " candidates declined)";
+  }
+  return relation;
+}
+
+Normalizer::Normalizer(NormalizerOptions options, Advisor* advisor)
+    : options_(std::move(options)),
+      advisor_(advisor != nullptr ? advisor : &auto_advisor_) {}
+
+Result<NormalizationResult> Normalizer::Normalize(const RelationData& input) {
+  Stopwatch total_watch;
+  NormalizationResult result;
+  NormalizationStats& stats = result.stats;
+
+  // --- (1) FD discovery ---
+  std::unique_ptr<FdDiscovery> discovery =
+      MakeFdDiscovery(options_.discovery_algorithm, options_.discovery);
+  if (discovery == nullptr) {
+    return Status::InvalidArgument("unknown discovery algorithm: " +
+                                   options_.discovery_algorithm);
+  }
+  Stopwatch watch;
+  auto fds_result = discovery->Discover(input);
+  if (!fds_result.ok()) return fds_result.status();
+  FdSet fds = std::move(fds_result).value();
+  stats.fd_discovery_s = watch.ElapsedSeconds();
+  stats.num_fds = fds.CountUnaryFds();
+  stats.avg_rhs_before = fds.AverageRhsSize();
+
+  // --- (2) closure calculation ---
+  std::unique_ptr<ClosureAlgorithm> closure = MakeClosure(
+      options_.closure_algorithm, ClosureOptions{options_.closure_threads});
+  if (closure == nullptr) {
+    return Status::InvalidArgument("unknown closure algorithm: " +
+                                   options_.closure_algorithm);
+  }
+  AttributeSet all_attrs = input.AttributesAsSet();
+  watch.Restart();
+  closure->Extend(&fds, all_attrs);
+  stats.closure_s = watch.ElapsedSeconds();
+  stats.avg_rhs_after = fds.AverageRhsSize();
+
+  // --- schema setup ---
+  int universe = input.universe_size();
+  std::vector<std::string> names(static_cast<size_t>(universe));
+  for (int c = 0; c < input.num_columns(); ++c) {
+    names[static_cast<size_t>(input.attribute_ids()[static_cast<size_t>(c)])] =
+        input.column(c).name();
+  }
+  result.schema = Schema(std::move(names));
+  result.schema.AddRelation(RelationSchema(input.name(), all_attrs));
+  result.relations.push_back(input);
+
+  // Attributes with NULLs (their FDs cannot yield primary keys, Alg. 4).
+  AttributeSet nullable(universe);
+  for (int c = 0; c < input.num_columns(); ++c) {
+    if (input.column(c).has_null()) {
+      nullable.Set(input.attribute_ids()[static_cast<size_t>(c)]);
+    }
+  }
+
+  // --- (3)-(6) decomposition loop ---
+  bool first_key_derivation = true;
+  bool first_violation_detection = true;
+  int split_counter = 1;
+  std::deque<int> worklist;
+  worklist.push_back(0);
+  while (!worklist.empty()) {
+    int rel_index = worklist.front();
+    worklist.pop_front();
+    const RelationSchema& rel = result.schema.relation(rel_index);
+    const AttributeSet& attrs = rel.attributes();
+
+    // (3) key derivation on the FDs projected into this relation.
+    watch.Restart();
+    FdSet projected = ProjectFds(fds, attrs);
+    std::vector<AttributeSet> keys = DeriveKeys(projected, attrs);
+    if (options_.normal_form == NormalForm::kSecondNf) {
+      // 2NF judges *partial* dependencies against candidate keys, and not
+      // every key is FD-derivable (paper §5's join-key example) — augment
+      // with the instance's minimal uniques.
+      for (AttributeSet& ucc : DiscoverMinimalUccs(
+               result.relations[static_cast<size_t>(rel_index)])) {
+        if (std::find(keys.begin(), keys.end(), ucc) == keys.end()) {
+          keys.push_back(std::move(ucc));
+        }
+      }
+    }
+    double key_time = watch.ElapsedSeconds();
+    stats.key_derivation_total_s += key_time;
+    if (first_key_derivation) {
+      stats.key_derivation_first_s = key_time;
+      stats.num_fd_keys = keys.size();
+      first_key_derivation = false;
+    }
+
+    // (4) violating-FD identification.
+    watch.Restart();
+    std::vector<Fd> violations = DetectViolatingFds(
+        projected, keys, rel, nullable, options_.normal_form);
+    double violation_time = watch.ElapsedSeconds();
+    stats.violation_detection_total_s += violation_time;
+    if (first_violation_detection) {
+      stats.violation_detection_first_s = violation_time;
+      first_violation_detection = false;
+    }
+    if (violations.empty()) continue;
+
+    // (5) violating-FD selection.
+    ConstraintScorer scorer(result.relations[static_cast<size_t>(rel_index)]);
+    std::vector<ScoredFd> ranked = scorer.RankFds(violations);
+    int choice = advisor_->ChooseViolatingFd(result.schema, rel_index, ranked);
+    if (choice < 0 || choice >= static_cast<int>(ranked.size())) {
+      DecisionRecord record;
+      record.kind = DecisionRecord::Kind::kSplitDeclined;
+      record.relation = rel.name();
+      record.num_candidates = static_cast<int>(ranked.size());
+      result.decisions.push_back(std::move(record));
+      continue;
+    }
+    Fd chosen = ranked[static_cast<size_t>(choice)].fd;
+    // §7.2 (last paragraph): RHS attributes that other violating FDs also
+    // cover may be removed by the user so a later split claims them.
+    AttributeSet shared_rhs(chosen.rhs.capacity());
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      if (i == static_cast<size_t>(choice)) continue;
+      shared_rhs.UnionWith(ranked[i].fd.rhs.Intersect(chosen.rhs));
+    }
+    if (!shared_rhs.Empty()) {
+      AttributeSet removed = advisor_->TrimSplitRhs(result.schema, rel_index,
+                                                    chosen, shared_rhs);
+      removed.IntersectWith(shared_rhs);
+      AttributeSet trimmed = chosen.rhs.Difference(removed);
+      // Never let the user empty the split entirely.
+      if (!trimmed.Empty()) chosen.rhs = trimmed;
+    }
+    {
+      DecisionRecord record;
+      record.kind = DecisionRecord::Kind::kSplit;
+      record.relation = rel.name();
+      record.chosen_fd = chosen;
+      record.score = ranked[static_cast<size_t>(choice)].score.total;
+      record.rank = choice;
+      record.num_candidates = static_cast<int>(ranked.size());
+      result.decisions.push_back(std::move(record));
+    }
+
+    // (6) decomposition.
+    if (stats.decompositions >= options_.max_decompositions) {
+      return Status::Internal("decomposition limit exceeded");
+    }
+    ++stats.decompositions;
+    std::string r2_name =
+        "R" + std::to_string(++split_counter) + "_" +
+        result.schema.attribute_name(chosen.lhs.First());
+    Decomposition decomposition = DecomposeData(
+        result.relations[static_cast<size_t>(rel_index)], chosen, r2_name);
+    int r2_index =
+        DecomposeSchema(&result.schema, rel_index, chosen, r2_name);
+    result.relations[static_cast<size_t>(rel_index)] =
+        std::move(decomposition.r1);
+    result.relations.push_back(std::move(decomposition.r2));
+
+    // New keys may have appeared in both parts — re-enter the loop at (3).
+    worklist.push_back(rel_index);
+    worklist.push_back(r2_index);
+  }
+
+  // --- (7) primary-key selection ---
+  if (options_.select_primary_keys) {
+    for (size_t i = 0; i < result.relations.size(); ++i) {
+      RelationSchema* rel = result.schema.mutable_relation(static_cast<int>(i));
+      if (rel->has_primary_key()) continue;
+      const RelationData& data = result.relations[i];
+
+      // Keys derivable from the FDs, minus those with NULLable attributes.
+      FdSet projected = ProjectFds(fds, rel->attributes());
+      std::vector<AttributeSet> keys = DeriveKeys(projected, rel->attributes());
+      std::vector<AttributeSet> candidates;
+      for (const AttributeSet& key : keys) {
+        if (!key.Intersects(nullable)) candidates.push_back(key);
+      }
+      if (candidates.empty()) {
+        // Fall back to full key discovery (DUCC-style); the relation is
+        // small at this stage, which keeps this NP-hard step cheap (§5).
+        candidates = DiscoverMinimalUccs(data);
+      }
+      if (candidates.empty()) continue;
+
+      ConstraintScorer scorer(data);
+      std::vector<ScoredKey> ranked = scorer.RankKeys(candidates);
+      int choice =
+          advisor_->ChoosePrimaryKey(result.schema, static_cast<int>(i), ranked);
+      DecisionRecord record;
+      record.relation = rel->name();
+      record.num_candidates = static_cast<int>(ranked.size());
+      if (choice >= 0 && choice < static_cast<int>(ranked.size())) {
+        rel->set_primary_key(ranked[static_cast<size_t>(choice)].key);
+        record.kind = DecisionRecord::Kind::kPrimaryKey;
+        record.chosen_key = ranked[static_cast<size_t>(choice)].key;
+        record.score = ranked[static_cast<size_t>(choice)].score.total;
+        record.rank = choice;
+      } else {
+        record.kind = DecisionRecord::Kind::kPrimaryKeyDeclined;
+      }
+      result.decisions.push_back(std::move(record));
+    }
+  }
+
+  result.extended_fds = std::move(fds);
+  stats.total_s = total_watch.ElapsedSeconds();
+  return result;
+}
+
+Result<std::vector<NormalizationResult>> Normalizer::NormalizeAll(
+    const std::vector<RelationData>& inputs) {
+  std::vector<NormalizationResult> results;
+  results.reserve(inputs.size());
+  for (const RelationData& input : inputs) {
+    auto r = Normalize(input);
+    if (!r.ok()) return r.status();
+    results.push_back(std::move(r).value());
+  }
+  return results;
+}
+
+}  // namespace normalize

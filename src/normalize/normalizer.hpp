@@ -1,0 +1,112 @@
+// Normalize — the paper's end-to-end algorithm (Figure 1). Orchestrates:
+//   (1) FD discovery            -> discovery/
+//   (2) closure calculation     -> closure/
+//   (3) key derivation          -> key_derivation
+//   (4) violating-FD detection  -> violation_detection
+//   (5) violating-FD selection  -> scoring + Advisor
+//   (6) schema decomposition    -> decomposition
+//   (7) primary-key selection   -> scoring + Advisor (+ UCC discovery)
+// Steps (3)-(6) loop until no relation violates the target normal form.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "discovery/fd_discovery.hpp"
+#include "fd/fd.hpp"
+#include "normalize/advisor.hpp"
+#include "normalize/violation_detection.hpp"
+#include "relation/relation_data.hpp"
+#include "relation/schema.hpp"
+
+namespace normalize {
+
+struct NormalizerOptions {
+  /// FD discovery algorithm: "hyfd" (default), "tane", "fdep", "naive".
+  std::string discovery_algorithm = "hyfd";
+  FdDiscoveryOptions discovery;
+  /// Closure algorithm: "optimized" (default), "improved", "naive".
+  std::string closure_algorithm = "optimized";
+  /// Threads for the closure FD loop (1 = serial).
+  int closure_threads = 1;
+  /// Target normal form (BCNF by default).
+  NormalForm normal_form = NormalForm::kBcnf;
+  /// Run component (7): assign primary keys to key-less relations.
+  bool select_primary_keys = true;
+  /// Safety bound on the number of decomposition steps.
+  int max_decompositions = 100000;
+};
+
+/// Per-component wall-clock times and counters (the paper's Table 3 rows).
+struct NormalizationStats {
+  size_t num_fds = 0;       // minimal (unary) FDs discovered
+  size_t num_fd_keys = 0;   // keys derivable from the extended FDs ("FD-Keys")
+  double avg_rhs_before = 0.0;  // aggregated-FD RHS size before closure
+  double avg_rhs_after = 0.0;   // ... and after (§8.2 reports this growth)
+
+  double fd_discovery_s = 0.0;
+  double closure_s = 0.0;
+  double key_derivation_first_s = 0.0;       // first call (Table 3 semantics)
+  double violation_detection_first_s = 0.0;  // first call
+  double key_derivation_total_s = 0.0;
+  double violation_detection_total_s = 0.0;
+  double total_s = 0.0;
+
+  int decompositions = 0;
+};
+
+/// One decision taken during normalization — the audit trail of the
+/// (semi-)automatic process, whether the advisor was a human or the
+/// top-ranked default.
+struct DecisionRecord {
+  enum class Kind {
+    kSplit,             // a violating FD was chosen for decomposition
+    kSplitDeclined,     // the advisor rejected all split candidates
+    kPrimaryKey,        // a primary key was assigned in component (7)
+    kPrimaryKeyDeclined
+  };
+
+  Kind kind;
+  std::string relation;     // relation name at decision time
+  Fd chosen_fd;             // kSplit only
+  AttributeSet chosen_key;  // kPrimaryKey only
+  double score = 0.0;       // total score of the chosen candidate
+  int rank = 0;             // position picked in the ranking (0 = top)
+  int num_candidates = 0;
+
+  std::string ToString(const std::vector<std::string>& attribute_names) const;
+};
+
+/// The normalized schema with its per-relation instances (parallel vectors:
+/// relations[i] is the data of schema.relation(i)).
+struct NormalizationResult {
+  Schema schema;
+  std::vector<RelationData> relations;
+  FdSet extended_fds;  // the global closure, for inspection/reports
+  NormalizationStats stats;
+  std::vector<DecisionRecord> decisions;  // audit trail, in order
+};
+
+/// The end-to-end normalization algorithm.
+class Normalizer {
+ public:
+  /// `advisor` == nullptr selects the fully automatic mode (AutoAdvisor).
+  explicit Normalizer(NormalizerOptions options = {},
+                      Advisor* advisor = nullptr);
+
+  /// Normalizes a single relational instance into the target normal form.
+  Result<NormalizationResult> Normalize(const RelationData& input);
+
+  /// Convenience: normalizes several independent instances.
+  Result<std::vector<NormalizationResult>> NormalizeAll(
+      const std::vector<RelationData>& inputs);
+
+ private:
+  NormalizerOptions options_;
+  AutoAdvisor auto_advisor_;
+  Advisor* advisor_;
+};
+
+}  // namespace normalize

@@ -1,0 +1,76 @@
+#include "normalize/report.hpp"
+
+#include <sstream>
+
+#include "common/string_utils.hpp"
+#include "normalize/sql_export.hpp"
+
+namespace normalize {
+
+std::string RenderReport(const NormalizationResult& result,
+                         ReportOptions options) {
+  const NormalizationStats& stats = result.stats;
+  std::ostringstream os;
+  os << "# Normalization report\n\n";
+
+  os << "## Pipeline statistics\n\n";
+  os << "| step | result |\n|---|---|\n";
+  os << "| minimal FDs discovered | "
+     << FormatCount(static_cast<int64_t>(stats.num_fds)) << " |\n";
+  os << "| FD discovery | " << FormatDuration(stats.fd_discovery_s) << " |\n";
+  os << "| closure calculation | " << FormatDuration(stats.closure_s)
+     << " (avg RHS " << stats.avg_rhs_before << " -> " << stats.avg_rhs_after
+     << ") |\n";
+  os << "| FD-derived keys | "
+     << FormatCount(static_cast<int64_t>(stats.num_fd_keys)) << " |\n";
+  os << "| key derivation (first call / total) | "
+     << FormatDuration(stats.key_derivation_first_s) << " / "
+     << FormatDuration(stats.key_derivation_total_s) << " |\n";
+  os << "| violation detection (first call / total) | "
+     << FormatDuration(stats.violation_detection_first_s) << " / "
+     << FormatDuration(stats.violation_detection_total_s) << " |\n";
+  os << "| decompositions | " << stats.decompositions << " |\n";
+  os << "| total | " << FormatDuration(stats.total_s) << " |\n\n";
+
+  os << "## Decisions\n\n";
+  if (result.decisions.empty()) {
+    os << "(none — the input was already in normal form)\n";
+  }
+  for (const DecisionRecord& d : result.decisions) {
+    os << "* " << d.ToString(result.schema.attribute_names()) << "\n";
+  }
+  os << "\n## Resulting schema\n\n```\n"
+     << result.schema.ToString() << "```\n";
+
+  if (options.include_sizes) {
+    os << "\n## Relation sizes\n\n| relation | rows | values |\n|---|---|---|\n";
+    size_t total = 0;
+    for (size_t i = 0; i < result.relations.size(); ++i) {
+      const RelationData& rel = result.relations[i];
+      total += rel.TotalValueCount();
+      os << "| " << rel.name() << " | "
+         << FormatCount(static_cast<int64_t>(rel.num_rows())) << " | "
+         << FormatCount(static_cast<int64_t>(rel.TotalValueCount())) << " |\n";
+    }
+    os << "| **total** | | "
+       << FormatCount(static_cast<int64_t>(total)) << " |\n";
+    if (options.input_value_count > 0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.0f%%",
+                    100.0 * static_cast<double>(total) /
+                        static_cast<double>(options.input_value_count));
+      os << "\nSize: "
+         << FormatCount(static_cast<int64_t>(options.input_value_count))
+         << " values -> " << FormatCount(static_cast<int64_t>(total))
+         << " values (" << buf << " of the input)\n";
+    }
+  }
+
+  if (options.include_sql) {
+    os << "\n## SQL DDL\n\n```sql\n"
+       << ExportSqlDdl(result.schema, result.relations) << "```\n";
+  }
+  return os.str();
+}
+
+}  // namespace normalize

@@ -1,0 +1,26 @@
+// Human-readable normalization report: one markdown document combining the
+// run's statistics (the paper's Table 3 measurements for this input), the
+// decision audit log, the resulting schema with constraints, and the
+// size-reduction summary. Emitted by normalize_cli --report.
+#pragma once
+
+#include <string>
+
+#include "normalize/normalizer.hpp"
+
+namespace normalize {
+
+struct ReportOptions {
+  /// Include the CREATE TABLE DDL section.
+  bool include_sql = true;
+  /// Include per-relation row/value counts.
+  bool include_sizes = true;
+  /// Original input size in values (0 = unknown; omits the reduction line).
+  size_t input_value_count = 0;
+};
+
+/// Renders the result as markdown.
+std::string RenderReport(const NormalizationResult& result,
+                         ReportOptions options = {});
+
+}  // namespace normalize

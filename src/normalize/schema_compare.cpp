@@ -1,0 +1,70 @@
+#include "normalize/schema_compare.hpp"
+
+#include <sstream>
+
+namespace normalize {
+
+RecoveryReport CompareToGold(const Schema& gold, const Schema& output,
+                             const AttributeSet& ignored) {
+  RecoveryReport report;
+  double jaccard_sum = 0.0;
+  for (const RelationSchema& g : gold.relations()) {
+    RelationMatch match;
+    match.gold_name = g.name();
+    AttributeSet g_attrs = g.attributes().Difference(ignored);
+    for (size_t i = 0; i < output.relations().size(); ++i) {
+      const RelationSchema& o = output.relation(static_cast<int>(i));
+      AttributeSet o_attrs = o.attributes().Difference(ignored);
+      int inter = g_attrs.Intersect(o_attrs).Count();
+      int uni = g_attrs.Union(o_attrs).Count();
+      double j = uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+      if (j > match.jaccard) {
+        match.jaccard = j;
+        match.best_output = static_cast<int>(i);
+      }
+    }
+    if (match.best_output >= 0) {
+      const RelationSchema& o = output.relation(match.best_output);
+      match.exact = o.attributes().Difference(ignored) == g_attrs;
+      if (g.has_primary_key() && o.has_primary_key()) {
+        match.key_recovered = g.primary_key() == o.primary_key();
+      }
+    }
+    jaccard_sum += match.jaccard;
+    report.exact_count += match.exact ? 1 : 0;
+    report.key_count += match.key_recovered ? 1 : 0;
+    report.matches.push_back(std::move(match));
+  }
+  if (!gold.relations().empty()) {
+    report.average_jaccard = jaccard_sum / gold.relations().size();
+  }
+  return report;
+}
+
+std::string RecoveryReport::ToString(const Schema& gold,
+                                     const Schema& output) const {
+  (void)gold;
+  std::ostringstream os;
+  for (const RelationMatch& m : matches) {
+    os << "  " << m.gold_name << " -> ";
+    if (m.best_output < 0) {
+      os << "(no match)";
+    } else {
+      os << output.relation(m.best_output).name();
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  jaccard=%.2f%s%s", m.jaccard,
+                  m.exact ? " [exact]" : "",
+                  m.key_recovered ? " [key]" : "");
+    os << buf << "\n";
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "  avg jaccard=%.2f, exact=%d/%zu, keys=%d/%zu\n",
+                average_jaccard, exact_count, matches.size(), key_count,
+                matches.size());
+  os << buf;
+  return os.str();
+}
+
+}  // namespace normalize

@@ -1,0 +1,43 @@
+// Schema recovery metrics for the effectiveness evaluation (paper §8.3):
+// the paper compares the normalized schema against the original (gold)
+// schema of the de-normalized dataset. We quantify that comparison: per gold
+// relation, the best-matching output relation by attribute-set Jaccard
+// similarity, plus exact-recovery and key-correctness counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.hpp"
+#include "relation/schema.hpp"
+
+namespace normalize {
+
+/// Recovery of one gold relation.
+struct RelationMatch {
+  std::string gold_name;
+  int best_output = -1;    // index into the output schema, -1 if none
+  double jaccard = 0.0;    // |gold ∩ out| / |gold ∪ out| over attributes
+  bool exact = false;      // attribute sets identical (after `ignored`)
+  bool key_recovered = false;  // output PK equals the gold PK
+};
+
+/// Aggregate recovery report.
+struct RecoveryReport {
+  std::vector<RelationMatch> matches;
+  double average_jaccard = 0.0;
+  int exact_count = 0;
+  int key_count = 0;
+
+  /// One line per gold relation: name, best match, similarity, flags.
+  std::string ToString(const Schema& gold, const Schema& output) const;
+};
+
+/// Compares an output schema against the gold schema. Attributes in
+/// `ignored` are removed from both sides before comparing (e.g. a constant
+/// column like TPC-H's o_shippriority, whose placement is undefined under
+/// data-driven normalization).
+RecoveryReport CompareToGold(const Schema& gold, const Schema& output,
+                             const AttributeSet& ignored);
+
+}  // namespace normalize

@@ -1,0 +1,193 @@
+#include "normalize/scoring.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/bloom_filter.hpp"
+
+namespace normalize {
+
+namespace {
+
+std::string FormatScore(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string KeyScore::ToString() const {
+  return "total=" + FormatScore(total) + " (length=" + FormatScore(length) +
+         ", value=" + FormatScore(value) + ", position=" + FormatScore(position) +
+         ")";
+}
+
+std::string FdScore::ToString() const {
+  return "total=" + FormatScore(total) + " (length=" + FormatScore(length) +
+         ", value=" + FormatScore(value) + ", position=" + FormatScore(position) +
+         ", duplication=" + FormatScore(duplication) + ")";
+}
+
+ConstraintScorer::ConstraintScorer(const RelationData& data) : data_(&data) {}
+
+int ConstraintScorer::PositionOf(AttributeId a) const {
+  return data_->ColumnIndexOf(a);
+}
+
+size_t ConstraintScorer::MaxConcatenatedLength(const AttributeSet& x) const {
+  std::vector<int> cols;
+  for (AttributeId a : x) {
+    int ci = PositionOf(a);
+    if (ci >= 0) cols.push_back(ci);
+  }
+  size_t max_len = 0;
+  for (size_t r = 0; r < data_->num_rows(); ++r) {
+    size_t len = 0;
+    for (int ci : cols) len += data_->column(ci).ValueAt(r, "").size();
+    max_len = std::max(max_len, len);
+  }
+  return max_len;
+}
+
+double ConstraintScorer::EstimateDistinct(const AttributeSet& x) const {
+  std::vector<int> cols;
+  for (AttributeId a : x) {
+    int ci = PositionOf(a);
+    if (ci >= 0) cols.push_back(ci);
+  }
+  if (cols.empty() || data_->num_rows() == 0) return 0.0;
+  if (cols.size() == 1) {
+    // A single column's distinct count is known from the dictionary, but we
+    // still use the Bloom estimate to match the paper's method (and tests
+    // verify the estimate against this exact count).
+    BloomFilter bloom(data_->num_rows());
+    const Column& col = data_->column(cols[0]);
+    for (size_t r = 0; r < data_->num_rows(); ++r) {
+      bloom.InsertHash(static_cast<uint64_t>(col.code(r)) * 0x9e3779b97f4a7c15ull + 1);
+    }
+    return std::min(bloom.EstimateCardinality(),
+                    static_cast<double>(data_->num_rows()));
+  }
+  BloomFilter bloom(data_->num_rows());
+  for (size_t r = 0; r < data_->num_rows(); ++r) {
+    uint64_t h = 1469598103934665603ull;
+    for (int ci : cols) {
+      h ^= static_cast<uint64_t>(data_->column(ci).code(r)) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    bloom.InsertHash(h);
+  }
+  return std::min(bloom.EstimateCardinality(),
+                  static_cast<double>(data_->num_rows()));
+}
+
+double ConstraintScorer::LengthScoreKey(const AttributeSet& x) const {
+  int n = x.Count();
+  return n == 0 ? 0.0 : 1.0 / n;
+}
+
+double ConstraintScorer::ValueScore(const AttributeSet& x) const {
+  // 1 / max(1, |max(X)| - 7): keys with values up to 8 characters score 1.
+  double len = static_cast<double>(MaxConcatenatedLength(x));
+  return 1.0 / std::max(1.0, len - 7.0);
+}
+
+double ConstraintScorer::PositionScoreKey(const AttributeSet& x) const {
+  // left(X): non-key attributes left of the first key attribute;
+  // between(X): non-key attributes between first and last key attribute.
+  std::vector<int> positions;
+  for (AttributeId a : x) {
+    int p = PositionOf(a);
+    if (p >= 0) positions.push_back(p);
+  }
+  if (positions.empty()) return 0.0;
+  std::sort(positions.begin(), positions.end());
+  int left = positions.front();
+  int span = positions.back() - positions.front() + 1;
+  int between = span - static_cast<int>(positions.size());
+  return 0.5 * (1.0 / (left + 1) + 1.0 / (between + 1));
+}
+
+KeyScore ConstraintScorer::ScoreKey(const AttributeSet& key) const {
+  KeyScore s;
+  s.length = LengthScoreKey(key);
+  s.value = ValueScore(key);
+  s.position = PositionScoreKey(key);
+  s.total = (s.length + s.value + s.position) / 3.0;
+  return s;
+}
+
+double ConstraintScorer::LengthScoreFd(const Fd& fd) const {
+  // 1/2 (1/|X| + |Y|/(|R|-2)): short LHS (it becomes a key) and long RHS
+  // (large split-off relations raise confidence and effectiveness). |R|-2 is
+  // the maximum possible RHS size, so the second term normalizes to [0,1].
+  int x = fd.lhs.Count();
+  int y = fd.rhs.Count();
+  int r = data_->num_columns();
+  double lhs_score = x == 0 ? 0.0 : 1.0 / x;
+  double rhs_score = r <= 2 ? 1.0 : static_cast<double>(y) / (r - 2);
+  return 0.5 * (lhs_score + std::min(1.0, rhs_score));
+}
+
+double ConstraintScorer::PositionScoreFd(const Fd& fd) const {
+  auto between_of = [&](const AttributeSet& set) {
+    std::vector<int> positions;
+    for (AttributeId a : set) {
+      int p = PositionOf(a);
+      if (p >= 0) positions.push_back(p);
+    }
+    if (positions.empty()) return 0;
+    std::sort(positions.begin(), positions.end());
+    int span = positions.back() - positions.front() + 1;
+    return span - static_cast<int>(positions.size());
+  };
+  return 0.5 * (1.0 / (between_of(fd.lhs) + 1) + 1.0 / (between_of(fd.rhs) + 1));
+}
+
+double ConstraintScorer::DuplicationScore(const Fd& fd) const {
+  // 1/2 (2 - uniques(X)/values(X) - uniques(Y)/values(Y)): the more
+  // duplication on both sides, the more redundancy the split removes — and
+  // many LHS duplicates without a violation indicate semantic correctness.
+  double rows = static_cast<double>(data_->num_rows());
+  if (rows == 0) return 0.0;
+  double ux = EstimateDistinct(fd.lhs) / rows;
+  double uy = EstimateDistinct(fd.rhs) / rows;
+  return 0.5 * (2.0 - std::min(1.0, ux) - std::min(1.0, uy));
+}
+
+FdScore ConstraintScorer::ScoreFd(const Fd& fd) const {
+  FdScore s;
+  s.length = LengthScoreFd(fd);
+  s.value = ValueScore(fd.lhs);
+  s.position = PositionScoreFd(fd);
+  s.duplication = DuplicationScore(fd);
+  s.total = (s.length + s.value + s.position + s.duplication) / 4.0;
+  return s;
+}
+
+std::vector<ScoredKey> ConstraintScorer::RankKeys(
+    const std::vector<AttributeSet>& keys) const {
+  std::vector<ScoredKey> ranked;
+  ranked.reserve(keys.size());
+  for (const AttributeSet& key : keys) ranked.push_back({key, ScoreKey(key)});
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const ScoredKey& a, const ScoredKey& b) {
+                     return a.score.total > b.score.total;
+                   });
+  return ranked;
+}
+
+std::vector<ScoredFd> ConstraintScorer::RankFds(
+    const std::vector<Fd>& fds) const {
+  std::vector<ScoredFd> ranked;
+  ranked.reserve(fds.size());
+  for (const Fd& fd : fds) ranked.push_back({fd, ScoreFd(fd)});
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const ScoredFd& a, const ScoredFd& b) {
+                     return a.score.total > b.score.total;
+                   });
+  return ranked;
+}
+
+}  // namespace normalize

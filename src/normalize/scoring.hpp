@@ -1,0 +1,83 @@
+// Constraint selection features — component (5)/(7), paper §7. Keys and
+// violating FDs are scored for being "good" (semantically likely) primary-
+// key / foreign-key constraints; candidates are then ranked so that an
+// expert (or the automatic mode) picks from the top.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.hpp"
+#include "fd/fd.hpp"
+#include "relation/relation_data.hpp"
+
+namespace normalize {
+
+/// Feature breakdown for a primary-key candidate (paper §7.1).
+struct KeyScore {
+  double length = 0;    // 1/|X| — short keys are likelier real keys
+  double value = 0;     // 1/max(1, maxlen(X)-7) — key values are short
+  double position = 0;  // keys sit left, without gaps
+  double total = 0;     // mean of the features
+
+  std::string ToString() const;
+};
+
+/// Feature breakdown for a violating-FD candidate (paper §7.2).
+struct FdScore {
+  double length = 0;       // short LHS, long RHS
+  double value = 0;        // LHS becomes a primary key: short values
+  double position = 0;     // coherent LHS / RHS attribute blocks
+  double duplication = 0;  // many duplicates on both sides (Bloom-estimated)
+  double total = 0;        // mean of the features
+
+  std::string ToString() const;
+};
+
+/// A ranked key candidate.
+struct ScoredKey {
+  AttributeSet key;
+  KeyScore score;
+};
+
+/// A ranked violating-FD candidate.
+struct ScoredFd {
+  Fd fd;
+  FdScore score;
+};
+
+/// Scores key and violating-FD candidates against one relation instance.
+/// Value and duplication features read the data; the distinct-value counts
+/// they need are estimated with Bloom filters (§7.2, feature 4).
+class ConstraintScorer {
+ public:
+  explicit ConstraintScorer(const RelationData& data);
+
+  KeyScore ScoreKey(const AttributeSet& key) const;
+  FdScore ScoreFd(const Fd& violating_fd) const;
+
+  /// Scores and sorts candidates descending by total score (stable: equal
+  /// scores keep candidate order).
+  std::vector<ScoredKey> RankKeys(const std::vector<AttributeSet>& keys) const;
+  std::vector<ScoredFd> RankFds(const std::vector<Fd>& fds) const;
+
+ private:
+  double LengthScoreKey(const AttributeSet& x) const;
+  double ValueScore(const AttributeSet& x) const;
+  double PositionScoreKey(const AttributeSet& x) const;
+  double LengthScoreFd(const Fd& fd) const;
+  double PositionScoreFd(const Fd& fd) const;
+  double DuplicationScore(const Fd& fd) const;
+
+  /// Longest concatenated value (in characters) of the attribute set over
+  /// all rows — the paper's max(X).
+  size_t MaxConcatenatedLength(const AttributeSet& x) const;
+  /// Bloom-filter estimate of the distinct count of the value combinations.
+  double EstimateDistinct(const AttributeSet& x) const;
+  /// Position (index) of attribute a in the relation's column order.
+  int PositionOf(AttributeId a) const;
+
+  const RelationData* data_;
+};
+
+}  // namespace normalize

@@ -1,0 +1,136 @@
+#include "normalize/sql_export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace normalize {
+
+namespace {
+
+bool LooksLikeInteger(std::string_view s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  if (s.size() - i > 18) return false;  // avoid overflow territory
+  // Leading zeros mark codes (postcodes, ids), not numbers: "01069" must
+  // stay textual or the zero is lost.
+  if (s.size() - i > 1 && s[i] == '0') return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeDecimal(std::string_view s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  bool digits = false, dot = false;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digits = true;
+    } else if (c == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  return digits && dot;
+}
+
+}  // namespace
+
+std::string InferSqlType(const Column& column) {
+  bool all_integer = true;
+  bool all_numeric = true;
+  size_t max_len = 1;
+  size_t non_null = 0;
+  for (size_t r = 0; r < column.size(); ++r) {
+    if (column.IsNull(r)) continue;
+    ++non_null;
+    std::string_view v = column.ValueAt(r);
+    max_len = std::max(max_len, v.size());
+    if (!LooksLikeInteger(v)) all_integer = false;
+    if (!LooksLikeInteger(v) && !LooksLikeDecimal(v)) all_numeric = false;
+  }
+  if (non_null == 0) return "VARCHAR(1)";
+  if (all_integer) return "INTEGER";
+  if (all_numeric) return "DOUBLE PRECISION";
+  return "VARCHAR(" + std::to_string(max_len) + ")";
+}
+
+std::string ExportSqlDdl(const Schema& schema,
+                         const std::vector<RelationData>& relations,
+                         SqlExportOptions options) {
+  auto quote = [&](const std::string& name) {
+    return options.quote_identifiers ? "\"" + name + "\"" : name;
+  };
+  auto attr_list = [&](const AttributeSet& attrs) {
+    std::string out;
+    for (AttributeId a : attrs) {
+      if (!out.empty()) out += ", ";
+      out += quote(schema.attribute_name(a));
+    }
+    return out;
+  };
+
+  // Topological order: referenced tables before referencing ones (the FK
+  // graph of a decomposition is acyclic).
+  size_t n = schema.relations().size();
+  std::vector<int> order;
+  std::vector<bool> emitted(n, false);
+  bool progress = true;
+  while (order.size() < n && progress) {
+    progress = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (emitted[i]) continue;
+      bool deps_ready = true;
+      for (const ForeignKey& fk : schema.relation(static_cast<int>(i)).foreign_keys()) {
+        if (fk.target_relation >= 0 &&
+            !emitted[static_cast<size_t>(fk.target_relation)]) {
+          deps_ready = false;
+        }
+      }
+      if (deps_ready) {
+        order.push_back(static_cast<int>(i));
+        emitted[i] = true;
+        progress = true;
+      }
+    }
+  }
+  // Cycle fallback (cannot happen for decomposition output, but stay total).
+  for (size_t i = 0; i < n; ++i) {
+    if (!emitted[i]) order.push_back(static_cast<int>(i));
+  }
+
+  std::ostringstream os;
+  for (int idx : order) {
+    const RelationSchema& rel = schema.relation(idx);
+    const RelationData& data = relations[static_cast<size_t>(idx)];
+    os << "CREATE TABLE " << quote(rel.name()) << " (\n";
+    bool first = true;
+    for (AttributeId a : rel.attributes()) {
+      if (!first) os << ",\n";
+      first = false;
+      int col = data.ColumnIndexOf(a);
+      const Column& column = data.column(col);
+      os << "  " << quote(schema.attribute_name(a)) << " "
+         << InferSqlType(column);
+      if (options.emit_not_null && !column.has_null()) os << " NOT NULL";
+    }
+    if (rel.has_primary_key() && !rel.primary_key().Empty()) {
+      os << ",\n  PRIMARY KEY (" << attr_list(rel.primary_key()) << ")";
+    }
+    for (const ForeignKey& fk : rel.foreign_keys()) {
+      if (fk.target_relation < 0) continue;
+      const RelationSchema& target = schema.relation(fk.target_relation);
+      os << ",\n  FOREIGN KEY (" << attr_list(fk.attributes) << ") REFERENCES "
+         << quote(target.name()) << " (" << attr_list(fk.attributes) << ")";
+    }
+    os << "\n);\n\n";
+  }
+  return os.str();
+}
+
+}  // namespace normalize

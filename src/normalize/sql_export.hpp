@@ -1,0 +1,34 @@
+// SQL DDL export: renders a normalized schema as CREATE TABLE statements
+// with PRIMARY KEY and FOREIGN KEY constraints — what a user deploying the
+// normalization result to an RDBMS needs. Types are inferred from the data
+// (INTEGER / DOUBLE PRECISION / VARCHAR(n)); NOT NULL is emitted for
+// columns without NULLs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relation/relation_data.hpp"
+#include "relation/schema.hpp"
+
+namespace normalize {
+
+struct SqlExportOptions {
+  /// Dialect knob: quote identifiers with double quotes.
+  bool quote_identifiers = false;
+  /// Emit NOT NULL for NULL-free columns.
+  bool emit_not_null = true;
+};
+
+/// Infers a SQL column type from the observed values of a column.
+std::string InferSqlType(const Column& column);
+
+/// Renders CREATE TABLE statements for all relations of `schema`, reading
+/// column types and NULLability from the parallel `relations` instances.
+/// Tables are emitted in dependency order (referenced tables first) so the
+/// script runs against a foreign-key-enforcing database.
+std::string ExportSqlDdl(const Schema& schema,
+                         const std::vector<RelationData>& relations,
+                         SqlExportOptions options = {});
+
+}  // namespace normalize

@@ -1,0 +1,90 @@
+#include "normalize/violation_detection.hpp"
+
+#include "fd/set_trie.hpp"
+
+namespace normalize {
+
+std::vector<Fd> DetectViolatingFds(const FdSet& fds,
+                                   const std::vector<AttributeSet>& keys,
+                                   const RelationSchema& relation,
+                                   const AttributeSet& nullable_attrs,
+                                   NormalForm normal_form) {
+  SetTrie key_trie;
+  for (const AttributeSet& key : keys) key_trie.Insert(key);
+
+  std::vector<Fd> violating;
+  for (const Fd& fd : fds) {
+    // An empty LHS (constant columns) cannot become a primary key — SQL has
+    // no zero-attribute keys. Constant attributes instead ride along in the
+    // extended RHS of whichever FD is split first.
+    if (fd.lhs.Empty()) continue;
+    // (Alg. 4, line 6) LHSs with NULL values cannot become primary keys.
+    if (fd.lhs.Intersects(nullable_attrs)) continue;
+    // (line 8) X is a key or superkey -> no BCNF violation.
+    if (key_trie.ContainsSubsetOf(fd.lhs)) continue;
+
+    Fd candidate = fd;
+    // (line 11) Never move primary-key attributes out of the relation.
+    if (relation.has_primary_key()) {
+      candidate.rhs.DifferenceWith(relation.primary_key());
+      if (candidate.rhs.Empty()) continue;
+    }
+    // (line 12) Every foreign key must survive in one of the two new
+    // relations R1 = R \ rhs (∪ lhs) or R2 = lhs ∪ rhs. A foreign key that
+    // loses attributes to R2 while not fitting inside R2 breaks.
+    bool breaks_fk = false;
+    AttributeSet r2 = candidate.lhs.Union(candidate.rhs);
+    for (const ForeignKey& fk : relation.foreign_keys()) {
+      if (fk.attributes.Intersects(candidate.rhs) &&
+          !fk.attributes.IsSubsetOf(r2)) {
+        breaks_fk = true;
+        break;
+      }
+    }
+    if (breaks_fk) continue;
+
+    violating.push_back(std::move(candidate));
+  }
+
+  if (normal_form == NormalForm::kSecondNf) {
+    // Keep only partial dependencies: LHS a proper subset of some key,
+    // RHS restricted to non-prime attributes.
+    AttributeSet prime(nullable_attrs.capacity());
+    for (const AttributeSet& key : keys) prime.UnionWith(key);
+    std::vector<Fd> partial;
+    for (Fd v : violating) {
+      bool inside_a_key = false;
+      for (const AttributeSet& key : keys) {
+        if (v.lhs.IsProperSubsetOf(key)) inside_a_key = true;
+      }
+      if (!inside_a_key) continue;
+      v.rhs.DifferenceWith(prime);
+      if (v.rhs.Empty()) continue;
+      partial.push_back(std::move(v));
+    }
+    return partial;
+  }
+  if (normal_form == NormalForm::kThirdNf) {
+    // Keep only dependency-preserving options: a violating FD whose R2 would
+    // split the LHS of some other FD of the relation is discarded.
+    std::vector<Fd> preserved;
+    for (const Fd& v : violating) {
+      AttributeSet r2 = v.lhs.Union(v.rhs);
+      bool splits_other_lhs = false;
+      for (const Fd& other : fds) {
+        if (other.lhs == v.lhs) continue;
+        // After decomposition, `other`'s LHS must fit entirely in R1 or R2.
+        AttributeSet r1_loss = other.lhs.Intersect(v.rhs);
+        if (!r1_loss.Empty() && !other.lhs.IsSubsetOf(r2)) {
+          splits_other_lhs = true;
+          break;
+        }
+      }
+      if (!splits_other_lhs) preserved.push_back(v);
+    }
+    return preserved;
+  }
+  return violating;
+}
+
+}  // namespace normalize

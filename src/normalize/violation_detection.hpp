@@ -1,0 +1,45 @@
+// BCNF violation detection — component (4), paper §6 Algorithm 4. An FD
+// X -> Y violates BCNF iff X is neither a key nor a superkey, tested by a
+// subset search in a prefix tree of the derived keys. FDs whose LHS columns
+// contain NULLs are skipped (the LHS would become a primary key, and SQL
+// forbids NULLs in keys), and FDs whose decomposition would break the
+// current primary-key or a foreign-key constraint are filtered.
+#pragma once
+
+#include <vector>
+
+#include "common/attribute_set.hpp"
+#include "fd/fd.hpp"
+#include "relation/schema.hpp"
+
+namespace normalize {
+
+/// The normal form the detector enforces. BCNF is the paper's default; 3NF
+/// additionally drops violating FDs whose decomposition would split the LHS
+/// of some other FD (dependency preservation, §6 last paragraph); 2NF only
+/// reports *partial* dependencies — non-prime attributes depending on a
+/// proper subset of a key (the weakest target, for illustration of the
+/// paper's "one could set up other normalization criteria in this
+/// component").
+enum class NormalForm {
+  kBcnf,
+  kThirdNf,
+  kSecondNf,
+};
+
+/// Finds all constraint-preserving BCNF-violating FDs of one relation.
+///
+/// `fds` must be the extended FDs projected to the relation,
+/// `keys` the derived keys of the relation,
+/// `nullable_attrs` the attributes that contain at least one NULL value,
+/// `relation` supplies the current primary key and foreign keys.
+///
+/// Returned FDs may have their RHS reduced (primary-key attributes are
+/// removed so decomposition cannot break the key, Alg. 4 line 11).
+std::vector<Fd> DetectViolatingFds(const FdSet& fds,
+                                   const std::vector<AttributeSet>& keys,
+                                   const RelationSchema& relation,
+                                   const AttributeSet& nullable_attrs,
+                                   NormalForm normal_form = NormalForm::kBcnf);
+
+}  // namespace normalize

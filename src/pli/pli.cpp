@@ -1,0 +1,118 @@
+#include "pli/pli.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace normalize {
+
+Pli Pli::FromColumn(const Column& column) {
+  std::vector<std::vector<RowId>> buckets(column.DistinctCount());
+  for (size_t r = 0; r < column.size(); ++r) {
+    buckets[static_cast<size_t>(column.code(r))].push_back(
+        static_cast<RowId>(r));
+  }
+  std::vector<std::vector<RowId>> clusters;
+  for (auto& b : buckets) {
+    if (b.size() >= 2) clusters.push_back(std::move(b));
+  }
+  return Pli(std::move(clusters), column.size());
+}
+
+size_t Pli::ClusteredRowCount() const {
+  size_t n = 0;
+  for (const auto& c : clusters_) n += c.size();
+  return n;
+}
+
+std::vector<int32_t> Pli::AsProbeVector() const {
+  std::vector<int32_t> probe(num_rows_, -1);
+  for (size_t ci = 0; ci < clusters_.size(); ++ci) {
+    for (RowId r : clusters_[ci]) probe[r] = static_cast<int32_t>(ci);
+  }
+  return probe;
+}
+
+Pli Pli::Intersect(const std::vector<int32_t>& probe) const {
+  std::vector<std::vector<RowId>> result;
+  std::unordered_map<int32_t, std::vector<RowId>> groups;
+  for (const auto& cluster : clusters_) {
+    groups.clear();
+    for (RowId r : cluster) {
+      int32_t p = probe[r];
+      if (p < 0) continue;  // singleton in the other partition
+      groups[p].push_back(r);
+    }
+    for (auto& [p, rows] : groups) {
+      if (rows.size() >= 2) result.push_back(std::move(rows));
+    }
+  }
+  return Pli(std::move(result), num_rows_);
+}
+
+Pli Pli::Intersect(const Column& column) const {
+  std::vector<std::vector<RowId>> result;
+  std::unordered_map<int32_t, std::vector<RowId>> groups;
+  for (const auto& cluster : clusters_) {
+    groups.clear();
+    for (RowId r : cluster) groups[column.code(r)].push_back(r);
+    for (auto& [p, rows] : groups) {
+      if (rows.size() >= 2) result.push_back(std::move(rows));
+    }
+  }
+  return Pli(std::move(result), num_rows_);
+}
+
+bool Pli::Refines(const std::vector<ValueId>& codes) const {
+  for (const auto& cluster : clusters_) {
+    ValueId first = codes[cluster[0]];
+    for (size_t i = 1; i < cluster.size(); ++i) {
+      if (codes[cluster[i]] != first) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::pair<RowId, RowId>> Pli::FindViolation(
+    const std::vector<ValueId>& codes) const {
+  for (const auto& cluster : clusters_) {
+    ValueId first = codes[cluster[0]];
+    for (size_t i = 1; i < cluster.size(); ++i) {
+      if (codes[cluster[i]] != first) {
+        return std::make_pair(cluster[0], cluster[i]);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+PliCache::PliCache(const RelationData& data) : data_(&data) {
+  column_plis_.reserve(static_cast<size_t>(data.num_columns()));
+  for (int c = 0; c < data.num_columns(); ++c) {
+    column_plis_.push_back(Pli::FromColumn(data.column(c)));
+  }
+}
+
+Pli PliCache::BuildPli(const std::vector<int>& columns) const {
+  if (columns.empty()) {
+    // The empty attribute set groups all rows into one cluster.
+    std::vector<std::vector<RowId>> clusters;
+    if (data_->num_rows() >= 2) {
+      std::vector<RowId> all(data_->num_rows());
+      for (size_t r = 0; r < all.size(); ++r) all[r] = static_cast<RowId>(r);
+      clusters.push_back(std::move(all));
+    }
+    return Pli(std::move(clusters), data_->num_rows());
+  }
+  // Start from the most selective column (fewest clustered rows).
+  std::vector<int> order = columns;
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    return ColumnPli(a).ClusteredRowCount() < ColumnPli(b).ClusteredRowCount();
+  });
+  Pli pli = ColumnPli(order[0]);
+  for (size_t i = 1; i < order.size() && !pli.IsUnique(); ++i) {
+    pli = pli.Intersect(data_->column(order[i]));
+  }
+  return pli;
+}
+
+}  // namespace normalize

@@ -1,0 +1,93 @@
+// Position list indexes (PLIs, a.k.a. stripped partitions): for an attribute
+// set X, the clusters of rows sharing the same X values, with singleton
+// clusters stripped. PLIs power Tane's lattice checks, HyFD's validation and
+// sampling, and UCC discovery.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/attribute_set.hpp"
+#include "relation/relation_data.hpp"
+
+namespace normalize {
+
+/// Row index within a relation instance.
+using RowId = uint32_t;
+
+/// A stripped partition: clusters of size >= 2.
+class Pli {
+ public:
+  Pli() = default;
+  explicit Pli(std::vector<std::vector<RowId>> clusters, size_t num_rows)
+      : clusters_(std::move(clusters)), num_rows_(num_rows) {}
+
+  /// Builds the PLI of one column from its dictionary codes.
+  static Pli FromColumn(const Column& column);
+
+  const std::vector<std::vector<RowId>>& clusters() const { return clusters_; }
+  size_t num_clusters() const { return clusters_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Number of rows that appear in some cluster.
+  size_t ClusteredRowCount() const;
+
+  /// Tane's error measure e(X) = |clustered rows| - |clusters|, i.e. the
+  /// minimum number of rows to remove to make X unique.
+  size_t Error() const { return ClusteredRowCount() - num_clusters(); }
+
+  /// True iff the partition has no clusters, i.e. X is a unique column
+  /// combination (key candidate).
+  bool IsUnique() const { return clusters_.empty(); }
+
+  /// A probe vector mapping each row to its cluster index, or -1 for rows in
+  /// no (stripped) cluster. Used as intersection input.
+  std::vector<int32_t> AsProbeVector() const;
+
+  /// Intersects this PLI with another partition given as a probe vector
+  /// (cluster id per row, -1 = singleton). The result is the PLI of the
+  /// combined attribute set.
+  Pli Intersect(const std::vector<int32_t>& probe) const;
+  /// Convenience: intersect with a column's codes (codes are never -1).
+  Pli Intersect(const Column& column) const;
+
+  /// True iff every cluster is constant in `codes`, i.e. the FD
+  /// (this attributes) -> (codes' attribute) holds.
+  bool Refines(const std::vector<ValueId>& codes) const;
+
+  /// If Refines fails, returns one violating row pair (rows agreeing on this
+  /// PLI's attributes but disagreeing on `codes`).
+  std::optional<std::pair<RowId, RowId>> FindViolation(
+      const std::vector<ValueId>& codes) const;
+
+ private:
+  std::vector<std::vector<RowId>> clusters_;
+  size_t num_rows_ = 0;
+};
+
+/// Builds and caches single-column PLIs of a relation; computes set PLIs on
+/// demand by intersection (smallest-first ordering).
+class PliCache {
+ public:
+  explicit PliCache(const RelationData& data);
+
+  const RelationData& data() const { return *data_; }
+  int num_columns() const { return static_cast<int>(column_plis_.size()); }
+
+  /// PLI of a single column (by relation-local column index).
+  const Pli& ColumnPli(int column) const {
+    return column_plis_[static_cast<size_t>(column)];
+  }
+
+  /// Computes (uncached) the PLI of a set of relation-local column indices
+  /// by intersecting single-column PLIs, starting from the one with the
+  /// fewest clustered rows.
+  Pli BuildPli(const std::vector<int>& columns) const;
+
+ private:
+  const RelationData* data_;
+  std::vector<Pli> column_plis_;
+};
+
+}  // namespace normalize

@@ -1,0 +1,199 @@
+#include "relation/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace normalize {
+
+namespace {
+
+struct ParsedCell {
+  std::string text;
+  bool quoted = false;
+};
+
+// Parses one CSV record starting at `pos`; advances `pos` past the record's
+// terminating newline. Handles quoted cells with "" escapes and embedded
+// newlines.
+Result<std::vector<ParsedCell>> ParseRecord(const std::string& s, size_t* pos,
+                                            const CsvOptions& opt) {
+  std::vector<ParsedCell> cells;
+  ParsedCell cell;
+  bool in_quotes = false;
+  bool cell_started_quoted = false;
+  size_t i = *pos;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_quotes) {
+      if (c == opt.quote) {
+        if (i + 1 < s.size() && s[i + 1] == opt.quote) {
+          cell.text.push_back(opt.quote);
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.text.push_back(c);
+      }
+      continue;
+    }
+    if (c == opt.quote && cell.text.empty() && !cell_started_quoted) {
+      in_quotes = true;
+      cell_started_quoted = true;
+      cell.quoted = true;
+      continue;
+    }
+    if (c == opt.delimiter) {
+      cells.push_back(std::move(cell));
+      cell = ParsedCell{};
+      cell_started_quoted = false;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      // End of record; consume \r\n pairs.
+      if (c == '\r' && i + 1 < s.size() && s[i + 1] == '\n') ++i;
+      ++i;
+      cells.push_back(std::move(cell));
+      *pos = i;
+      return cells;
+    }
+    cell.text.push_back(c);
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted cell at end of input");
+  }
+  cells.push_back(std::move(cell));
+  *pos = i;
+  return cells;
+}
+
+}  // namespace
+
+Result<RelationData> CsvReader::ReadString(const std::string& content,
+                                           const std::string& relation_name) const {
+  size_t pos = 0;
+  std::vector<std::string> names;
+  if (options_.has_header) {
+    if (pos >= content.size()) {
+      return Status::InvalidArgument("empty CSV input but header expected");
+    }
+    auto header = ParseRecord(content, &pos, options_);
+    if (!header.ok()) return header.status();
+    for (const ParsedCell& c : *header) names.push_back(c.text);
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::vector<bool>> null_masks;
+  while (pos < content.size()) {
+    auto record = ParseRecord(content, &pos, options_);
+    if (!record.ok()) return record.status();
+    // Skip blank lines — except in single-column relations, where an empty
+    // unquoted line legitimately encodes a NULL cell (round-trip fidelity).
+    if (record->size() == 1 && (*record)[0].text.empty() &&
+        !(*record)[0].quoted && names.size() != 1) {
+      continue;
+    }
+    if (names.empty()) {
+      for (size_t i = 0; i < record->size(); ++i) {
+        names.push_back("column" + std::to_string(i));
+      }
+    }
+    if (record->size() != names.size()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(rows.size() + 1) + " has " +
+          std::to_string(record->size()) + " cells, expected " +
+          std::to_string(names.size()));
+    }
+    std::vector<std::string> row;
+    std::vector<bool> nulls;
+    row.reserve(record->size());
+    nulls.reserve(record->size());
+    for (const ParsedCell& c : *record) {
+      bool is_null = !c.quoted && ((options_.empty_is_null && c.text.empty()) ||
+                                   (!options_.null_token.empty() &&
+                                    c.text == options_.null_token));
+      nulls.push_back(is_null);
+      row.push_back(c.text);
+    }
+    rows.push_back(std::move(row));
+    null_masks.push_back(std::move(nulls));
+  }
+
+  std::vector<AttributeId> ids(names.size());
+  for (size_t i = 0; i < names.size(); ++i) ids[i] = static_cast<AttributeId>(i);
+  RelationData data(relation_name.empty() ? "relation" : relation_name,
+                    std::move(ids), names);
+  for (size_t r = 0; r < rows.size(); ++r) data.AppendRow(rows[r], null_masks[r]);
+  return data;
+}
+
+Result<RelationData> CsvReader::ReadFile(const std::string& path,
+                                         const std::string& relation_name) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string name = relation_name;
+  if (name.empty()) {
+    size_t slash = path.find_last_of("/\\");
+    name = slash == std::string::npos ? path : path.substr(slash + 1);
+    size_t dot = name.find_last_of('.');
+    if (dot != std::string::npos) name = name.substr(0, dot);
+  }
+  return ReadString(buffer.str(), name);
+}
+
+std::string CsvWriter::WriteString(const RelationData& data) const {
+  std::ostringstream os;
+  auto emit_cell = [&](std::string_view text, bool is_null) {
+    if (is_null) {
+      os << options_.null_token;
+      return;
+    }
+    bool needs_quotes =
+        text.find(options_.delimiter) != std::string_view::npos ||
+        text.find(options_.quote) != std::string_view::npos ||
+        text.find('\n') != std::string_view::npos ||
+        text.find('\r') != std::string_view::npos ||
+        (options_.empty_is_null && text.empty()) ||
+        (!options_.null_token.empty() && text == options_.null_token);
+    if (!needs_quotes) {
+      os << text;
+      return;
+    }
+    os << options_.quote;
+    for (char c : text) {
+      if (c == options_.quote) os << options_.quote;
+      os << c;
+    }
+    os << options_.quote;
+  };
+
+  if (options_.has_header) {
+    for (int c = 0; c < data.num_columns(); ++c) {
+      if (c) os << options_.delimiter;
+      emit_cell(data.column(c).name(), false);
+    }
+    os << "\n";
+  }
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    for (int c = 0; c < data.num_columns(); ++c) {
+      if (c) os << options_.delimiter;
+      const Column& col = data.column(c);
+      emit_cell(col.ValueAt(r, ""), col.IsNull(r));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status CsvWriter::WriteFile(const RelationData& data,
+                            const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open file for writing: " + path);
+  out << WriteString(data);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace normalize

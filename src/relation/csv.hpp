@@ -1,0 +1,55 @@
+// CSV import/export — the "FD input handling" of the Metanome framework,
+// reimplemented self-contained: RFC-4180-style quoting, configurable
+// delimiter, header handling, and a NULL token.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "relation/relation_data.hpp"
+
+namespace normalize {
+
+/// Options controlling CSV parsing and serialization.
+struct CsvOptions {
+  char delimiter = ',';
+  char quote = '"';
+  bool has_header = true;
+  /// Unquoted cells equal to this token become NULL; empty unquoted cells
+  /// become NULL too when `empty_is_null` is set.
+  std::string null_token = "";
+  bool empty_is_null = true;
+};
+
+class CsvReader {
+ public:
+  explicit CsvReader(CsvOptions options = {}) : options_(options) {}
+
+  /// Parses CSV text into a relation. Attribute ids are assigned 0..n-1 in
+  /// column order; generated names "column0".. are used without a header.
+  Result<RelationData> ReadString(const std::string& content,
+                                  const std::string& relation_name) const;
+
+  /// Reads and parses a CSV file.
+  Result<RelationData> ReadFile(const std::string& path,
+                                const std::string& relation_name = "") const;
+
+ private:
+  CsvOptions options_;
+};
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(CsvOptions options = {}) : options_(options) {}
+
+  /// Serializes the relation (with header iff options.has_header).
+  std::string WriteString(const RelationData& data) const;
+
+  /// Writes the relation to a file.
+  Status WriteFile(const RelationData& data, const std::string& path) const;
+
+ private:
+  CsvOptions options_;
+};
+
+}  // namespace normalize

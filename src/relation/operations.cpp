@@ -1,0 +1,285 @@
+#include "relation/operations.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace normalize {
+
+namespace {
+
+// A projected row as (value, is_null) pairs, hashable for dedup/joins.
+struct RowKey {
+  std::vector<std::string> values;
+  std::vector<bool> nulls;
+
+  bool operator==(const RowKey& other) const {
+    return values == other.values && nulls == other.nulls;
+  }
+};
+
+struct RowKeyHash {
+  size_t operator()(const RowKey& k) const {
+    size_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < k.values.size(); ++i) {
+      if (k.nulls[i]) {
+        h = h * 1099511628211ull + 0x9e37;
+      } else {
+        for (unsigned char c : k.values[i]) {
+          h ^= c;
+          h *= 1099511628211ull;
+        }
+        h = h * 1099511628211ull + 1;
+      }
+    }
+    return h;
+  }
+};
+
+RowKey ExtractRow(const RelationData& data, size_t row,
+                  const std::vector<int>& col_indices) {
+  RowKey key;
+  key.values.reserve(col_indices.size());
+  key.nulls.reserve(col_indices.size());
+  for (int ci : col_indices) {
+    const Column& col = data.column(ci);
+    key.nulls.push_back(col.IsNull(row));
+    key.values.emplace_back(col.ValueAt(row, ""));
+  }
+  return key;
+}
+
+}  // namespace
+
+RelationData Project(const RelationData& input, const AttributeSet& attrs,
+                     bool distinct, std::string result_name) {
+  std::vector<AttributeId> ids;
+  std::vector<std::string> names;
+  std::vector<int> col_indices;
+  for (AttributeId a : attrs) {
+    int ci = input.ColumnIndexOf(a);
+    assert(ci >= 0 && "projection attribute missing from input");
+    ids.push_back(a);
+    names.push_back(input.column(ci).name());
+    col_indices.push_back(ci);
+  }
+  if (result_name.empty()) result_name = input.name() + "_proj";
+  RelationData out(std::move(result_name), std::move(ids), std::move(names));
+  out.set_universe_size(input.universe_size());
+
+  std::unordered_set<RowKey, RowKeyHash> seen;
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    RowKey key = ExtractRow(input, r, col_indices);
+    if (distinct) {
+      if (!seen.insert(key).second) continue;
+    }
+    out.AppendRow(key.values, key.nulls);
+  }
+  return out;
+}
+
+RelationData NaturalJoin(const RelationData& left, const RelationData& right,
+                         std::string result_name) {
+  // Determine shared global attributes; they appear once in the output.
+  std::vector<int> left_shared, right_shared;
+  std::vector<int> right_extra;  // right columns not in left
+  for (int rc = 0; rc < right.num_columns(); ++rc) {
+    int lc = left.ColumnIndexOf(right.attribute_ids()[static_cast<size_t>(rc)]);
+    if (lc >= 0) {
+      left_shared.push_back(lc);
+      right_shared.push_back(rc);
+    } else {
+      right_extra.push_back(rc);
+    }
+  }
+
+  std::vector<AttributeId> ids = left.attribute_ids();
+  std::vector<std::string> names;
+  for (int c = 0; c < left.num_columns(); ++c) names.push_back(left.column(c).name());
+  for (int rc : right_extra) {
+    ids.push_back(right.attribute_ids()[static_cast<size_t>(rc)]);
+    names.push_back(right.column(rc).name());
+  }
+  if (result_name.empty()) result_name = left.name() + "_join_" + right.name();
+  RelationData out(std::move(result_name), std::move(ids), std::move(names));
+  out.set_universe_size(std::max(left.universe_size(), right.universe_size()));
+
+  // Hash the right side on the shared attributes. Rows with NULL in any join
+  // key never match (SQL semantics).
+  std::unordered_map<RowKey, std::vector<size_t>, RowKeyHash> right_index;
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    RowKey key = ExtractRow(right, r, right_shared);
+    if (std::find(key.nulls.begin(), key.nulls.end(), true) != key.nulls.end())
+      continue;
+    right_index[std::move(key)].push_back(r);
+  }
+
+  bool cross_product = left_shared.empty();
+  for (size_t lr = 0; lr < left.num_rows(); ++lr) {
+    RowKey key = ExtractRow(left, lr, left_shared);
+    const std::vector<size_t>* matches = nullptr;
+    std::vector<size_t> all_rows;
+    if (cross_product) {
+      all_rows.resize(right.num_rows());
+      for (size_t i = 0; i < right.num_rows(); ++i) all_rows[i] = i;
+      matches = &all_rows;
+    } else {
+      if (std::find(key.nulls.begin(), key.nulls.end(), true) != key.nulls.end())
+        continue;
+      auto it = right_index.find(key);
+      if (it == right_index.end()) continue;
+      matches = &it->second;
+    }
+    for (size_t rr : *matches) {
+      std::vector<std::string> cells;
+      std::vector<bool> nulls;
+      cells.reserve(static_cast<size_t>(out.num_columns()));
+      nulls.reserve(static_cast<size_t>(out.num_columns()));
+      for (int c = 0; c < left.num_columns(); ++c) {
+        nulls.push_back(left.column(c).IsNull(lr));
+        cells.emplace_back(left.column(c).ValueAt(lr, ""));
+      }
+      for (int rc : right_extra) {
+        nulls.push_back(right.column(rc).IsNull(rr));
+        cells.emplace_back(right.column(rc).ValueAt(rr, ""));
+      }
+      out.AppendRow(cells, nulls);
+    }
+  }
+  return out;
+}
+
+RelationData JoinAll(const std::vector<RelationData>& relations,
+                     std::string result_name) {
+  assert(!relations.empty());
+  std::vector<bool> used(relations.size(), false);
+  RelationData result = relations[0];
+  used[0] = true;
+  size_t remaining = relations.size() - 1;
+  while (remaining > 0) {
+    // Prefer a relation that shares an attribute with the accumulated join.
+    int next = -1;
+    for (size_t i = 0; i < relations.size(); ++i) {
+      if (used[i]) continue;
+      bool shares = false;
+      for (AttributeId a : relations[i].attribute_ids()) {
+        if (result.ColumnIndexOf(a) >= 0) shares = true;
+      }
+      if (shares) {
+        next = static_cast<int>(i);
+        break;
+      }
+    }
+    if (next < 0) {
+      // Disconnected component: fall back to the first unused relation
+      // (cross product, the only correct semantics left).
+      for (size_t i = 0; i < relations.size() && next < 0; ++i) {
+        if (!used[i]) next = static_cast<int>(i);
+      }
+    }
+    result = NaturalJoin(result, relations[static_cast<size_t>(next)]);
+    used[static_cast<size_t>(next)] = true;
+    --remaining;
+  }
+  result.set_name(std::move(result_name));
+  return result;
+}
+
+bool InstancesEqual(const RelationData& a, const RelationData& b) {
+  if (a.num_rows() != b.num_rows()) return false;
+  if (a.num_columns() != b.num_columns()) return false;
+  // Map b's columns to a's by global attribute id.
+  std::vector<int> b_cols;
+  for (AttributeId id : a.attribute_ids()) {
+    int bc = b.ColumnIndexOf(id);
+    if (bc < 0) return false;
+    b_cols.push_back(bc);
+  }
+  std::vector<int> a_cols(static_cast<size_t>(a.num_columns()));
+  for (int i = 0; i < a.num_columns(); ++i) a_cols[static_cast<size_t>(i)] = i;
+
+  std::unordered_map<RowKey, int64_t, RowKeyHash> bag;
+  for (size_t r = 0; r < a.num_rows(); ++r) bag[ExtractRow(a, r, a_cols)]++;
+  for (size_t r = 0; r < b.num_rows(); ++r) {
+    auto it = bag.find(ExtractRow(b, r, b_cols));
+    if (it == bag.end() || it->second == 0) return false;
+    --it->second;
+  }
+  return true;
+}
+
+bool FdHolds(const RelationData& data, const AttributeSet& lhs,
+             AttributeId rhs_attr) {
+  std::vector<int> lhs_cols;
+  for (AttributeId a : lhs) {
+    int ci = data.ColumnIndexOf(a);
+    assert(ci >= 0);
+    lhs_cols.push_back(ci);
+  }
+  int rhs_col = data.ColumnIndexOf(rhs_attr);
+  assert(rhs_col >= 0);
+
+  // Group rows by their lhs code tuple; all rows of a group must share the
+  // rhs code. NULLs compare equal because they share the column's null code.
+  struct CodeVecHash {
+    size_t operator()(const std::vector<ValueId>& v) const {
+      size_t h = 1469598103934665603ull;
+      for (ValueId x : v) {
+        h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ull;
+        h *= 1099511628211ull;
+      }
+      return h;
+    }
+  };
+  std::unordered_map<std::vector<ValueId>, ValueId, CodeVecHash> groups;
+  std::vector<ValueId> key(lhs_cols.size());
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    for (size_t i = 0; i < lhs_cols.size(); ++i) {
+      key[i] = data.column(lhs_cols[i]).code(r);
+    }
+    ValueId rhs_code = data.column(rhs_col).code(r);
+    auto [it, inserted] = groups.emplace(key, rhs_code);
+    if (!inserted && it->second != rhs_code) return false;
+  }
+  return true;
+}
+
+bool IsUnique(const RelationData& data, const AttributeSet& attrs) {
+  std::vector<int> cols;
+  for (AttributeId a : attrs) {
+    int ci = data.ColumnIndexOf(a);
+    assert(ci >= 0);
+    cols.push_back(ci);
+  }
+  struct CodeVecHash {
+    size_t operator()(const std::vector<ValueId>& v) const {
+      size_t h = 1469598103934665603ull;
+      for (ValueId x : v) {
+        h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ull;
+        h *= 1099511628211ull;
+      }
+      return h;
+    }
+  };
+  std::unordered_set<std::vector<ValueId>, CodeVecHash> seen;
+  std::vector<ValueId> key(cols.size());
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) key[i] = data.column(cols[i]).code(r);
+    if (!seen.insert(key).second) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> RowValues(const RelationData& data, size_t row,
+                                   const std::string& null_token) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(data.num_columns()));
+  for (int c = 0; c < data.num_columns(); ++c) {
+    out.emplace_back(data.column(c).ValueAt(row, null_token));
+  }
+  return out;
+}
+
+}  // namespace normalize

@@ -1,0 +1,54 @@
+// Relational-algebra operations on RelationData: projection (used by schema
+// decomposition), natural join (used to verify lossless-join recoverability
+// and to build denormalized inputs), and instance comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.hpp"
+#include "common/result.hpp"
+#include "relation/relation_data.hpp"
+
+namespace normalize {
+
+/// Projects `input` onto the global attributes in `attrs` (which must all be
+/// present in the input). If `distinct` is true, duplicate rows are removed —
+/// this is the π with duplicate elimination that decomposition step (6) uses
+/// to build R2, where the paper's Table 2 shrinks from 6 to 3 rows.
+RelationData Project(const RelationData& input, const AttributeSet& attrs,
+                     bool distinct, std::string result_name = "");
+
+/// Natural join of two relations on their shared global attributes. NULL
+/// join keys never match (SQL semantics). If the relations share no
+/// attributes the result is the cross product.
+RelationData NaturalJoin(const RelationData& left, const RelationData& right,
+                         std::string result_name = "");
+
+/// Natural-joins all relations, greedily picking at each step a relation
+/// that shares at least one attribute with the accumulated result (so that a
+/// decomposition tree is rejoined along its keys and never degenerates to a
+/// cross product). Relations sharing no attributes with any other are
+/// cross-joined last. Used to verify lossless recoverability.
+RelationData JoinAll(const std::vector<RelationData>& relations,
+                     std::string result_name = "joined");
+
+/// True iff both instances contain the same bag of rows over the same global
+/// attributes (row and column order are irrelevant; NULLs compare equal).
+bool InstancesEqual(const RelationData& a, const RelationData& b);
+
+/// True iff the FD (lhs -> rhs_attr) holds on `data`: any two rows agreeing
+/// on all lhs columns agree on the rhs column. NULLs compare equal. This is
+/// the brute-force oracle used by tests and the naive discovery algorithm.
+bool FdHolds(const RelationData& data, const AttributeSet& lhs,
+             AttributeId rhs_attr);
+
+/// True iff `attrs` is a unique column combination (no two rows share all
+/// `attrs` values) on `data`.
+bool IsUnique(const RelationData& data, const AttributeSet& attrs);
+
+/// Materializes one row as strings, with NULLs rendered as `null_token`.
+std::vector<std::string> RowValues(const RelationData& data, size_t row,
+                                   const std::string& null_token = "NULL");
+
+}  // namespace normalize

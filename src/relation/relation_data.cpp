@@ -1,0 +1,125 @@
+#include "relation/relation_data.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/string_utils.hpp"
+
+namespace normalize {
+
+ValueId Column::Append(std::string_view value) {
+  auto it = dictionary_index_.find(std::string(value));
+  ValueId code;
+  if (it != dictionary_index_.end()) {
+    code = it->second;
+  } else {
+    code = static_cast<ValueId>(dictionary_.size());
+    dictionary_.emplace_back(value);
+    dictionary_index_.emplace(dictionary_.back(), code);
+    max_value_length_ = std::max(max_value_length_, value.size());
+  }
+  codes_.push_back(code);
+  return code;
+}
+
+ValueId Column::AppendNull() {
+  if (null_code_ < 0) {
+    // NULL occupies a dictionary slot so codes stay dense, but the slot's
+    // string is never exposed through ValueAt.
+    null_code_ = static_cast<ValueId>(dictionary_.size());
+    dictionary_.emplace_back("\x00<NULL>");
+  }
+  codes_.push_back(null_code_);
+  return null_code_;
+}
+
+std::string_view Column::ValueAt(size_t row, std::string_view null_token) const {
+  ValueId code = codes_[row];
+  if (code == null_code_) return null_token;
+  return dictionary_[static_cast<size_t>(code)];
+}
+
+RelationData::RelationData(std::string name,
+                           std::vector<AttributeId> attribute_ids,
+                           std::vector<std::string> attribute_names)
+    : name_(std::move(name)), attribute_ids_(std::move(attribute_ids)) {
+  assert(attribute_ids_.size() == attribute_names.size());
+  columns_.reserve(attribute_names.size());
+  for (auto& n : attribute_names) columns_.emplace_back(std::move(n));
+  for (AttributeId a : attribute_ids_) {
+    universe_size_ = std::max(universe_size_, a + 1);
+  }
+}
+
+AttributeSet RelationData::AttributesAsSet(int universe_capacity) const {
+  AttributeSet s(universe_capacity);
+  for (AttributeId a : attribute_ids_) s.Set(a);
+  return s;
+}
+
+int RelationData::ColumnIndexOf(AttributeId a) const {
+  for (size_t i = 0; i < attribute_ids_.size(); ++i) {
+    if (attribute_ids_[i] == a) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const Column& RelationData::ColumnFor(AttributeId a) const {
+  int idx = ColumnIndexOf(a);
+  assert(idx >= 0 && "attribute not present in relation");
+  return columns_[static_cast<size_t>(idx)];
+}
+
+void RelationData::AppendRow(const std::vector<std::string>& cells) {
+  assert(cells.size() == columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) columns_[i].Append(cells[i]);
+  ++num_rows_;
+}
+
+void RelationData::AppendRow(const std::vector<std::string>& cells,
+                             const std::vector<bool>& is_null) {
+  assert(cells.size() == columns_.size() && is_null.size() == columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (is_null[i]) {
+      columns_[i].AppendNull();
+    } else {
+      columns_[i].Append(cells[i]);
+    }
+  }
+  ++num_rows_;
+}
+
+std::vector<std::string> RelationData::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& c : columns_) names.push_back(c.name());
+  return names;
+}
+
+std::string RelationData::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(columns_.size());
+  size_t rows = std::min(num_rows_, max_rows);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].name().size();
+    for (size_t r = 0; r < rows; ++r) {
+      widths[i] = std::max(widths[i], columns_[i].ValueAt(r, "NULL").size());
+    }
+  }
+  std::ostringstream os;
+  os << name_ << " (" << num_rows_ << " rows)\n";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    os << (i ? " | " : "") << PadRight(columns_[i].name(), widths[i]);
+  }
+  os << "\n";
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      os << (i ? " | " : "") << PadRight(columns_[i].ValueAt(r, "NULL"), widths[i]);
+    }
+    os << "\n";
+  }
+  if (rows < num_rows_) os << "... (" << (num_rows_ - rows) << " more rows)\n";
+  return os.str();
+}
+
+}  // namespace normalize

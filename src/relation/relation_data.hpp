@@ -1,0 +1,125 @@
+// Dictionary-encoded columnar storage for relational instances. Values are
+// stored as per-column integer codes; NULL (⊥) is a distinguished code so
+// that NULLs compare equal during FD profiling (Metanome's semantics) while
+// remaining identifiable for Algorithm 4's "⊥ ∈ lhs" check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/attribute_set.hpp"
+#include "common/result.hpp"
+
+namespace normalize {
+
+/// Per-column dictionary code of a cell value.
+using ValueId = int32_t;
+
+/// One dictionary-encoded column.
+class Column {
+ public:
+  explicit Column(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return codes_.size(); }
+
+  /// Appends a value; returns its code. Equal strings get equal codes.
+  ValueId Append(std::string_view value);
+  /// Appends a NULL cell.
+  ValueId AppendNull();
+
+  ValueId code(size_t row) const { return codes_[row]; }
+  const std::vector<ValueId>& codes() const { return codes_; }
+
+  /// True iff the cell at `row` is NULL.
+  bool IsNull(size_t row) const { return codes_[row] == null_code_; }
+  /// True iff any cell of this column is NULL.
+  bool has_null() const { return null_code_ >= 0; }
+  /// The code representing NULL, or -1 if the column has no NULLs.
+  ValueId null_code() const { return null_code_; }
+
+  /// The string of the cell at `row`; NULL renders as `null_token`.
+  std::string_view ValueAt(size_t row, std::string_view null_token = "") const;
+  /// The dictionary string for a code (must not be the NULL code).
+  const std::string& DictionaryValue(ValueId code) const {
+    return dictionary_[static_cast<size_t>(code)];
+  }
+
+  /// Number of distinct values (NULL counts as one value if present).
+  size_t DistinctCount() const { return dictionary_.size(); }
+  /// Length in characters of the longest non-NULL value.
+  size_t MaxValueLength() const { return max_value_length_; }
+
+ private:
+  std::string name_;
+  std::vector<ValueId> codes_;
+  std::vector<std::string> dictionary_;
+  std::unordered_map<std::string, ValueId> dictionary_index_;
+  ValueId null_code_ = -1;
+  size_t max_value_length_ = 0;
+};
+
+/// A relational instance over a subset of the global attributes. Column i of
+/// this relation stores the data of global attribute `attribute_ids()[i]`.
+class RelationData {
+ public:
+  RelationData() = default;
+  /// Creates an empty relation whose columns are the given global attributes.
+  RelationData(std::string name, std::vector<AttributeId> attribute_ids,
+               std::vector<std::string> attribute_names);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  /// Capacity of the global attribute universe this relation's ids live in.
+  /// Defaults to max(attribute_ids)+1; decomposition propagates the original
+  /// relation's universe so AttributeSets stay interoperable.
+  int universe_size() const { return universe_size_; }
+  void set_universe_size(int n) { universe_size_ = n; }
+
+  const std::vector<AttributeId>& attribute_ids() const { return attribute_ids_; }
+  /// The set form of attribute_ids(), sized to universe_size().
+  AttributeSet AttributesAsSet() const { return AttributesAsSet(universe_size_); }
+  /// The set form of attribute_ids(), sized to `universe_capacity`.
+  AttributeSet AttributesAsSet(int universe_capacity) const;
+
+  /// Index of global attribute `a` within this relation, or -1.
+  int ColumnIndexOf(AttributeId a) const;
+
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  /// Column for a global attribute id; requires the attribute to be present.
+  const Column& ColumnFor(AttributeId a) const;
+
+  /// Appends a row; `cells[i]` may be `std::nullopt`-like via the
+  /// `kNullMarker` sentinel string view semantics: use AppendRow with a
+  /// parallel null mask instead when binary-safe NULLs are needed.
+  void AppendRow(const std::vector<std::string>& cells);
+  /// Appends a row with explicit NULL positions.
+  void AppendRow(const std::vector<std::string>& cells,
+                 const std::vector<bool>& is_null);
+
+  /// Column names in relation order.
+  std::vector<std::string> ColumnNames() const;
+
+  /// Renders the first `max_rows` rows as an aligned text table.
+  std::string ToString(size_t max_rows = 20) const;
+
+  /// The number of non-NULL cells plus NULL cells, i.e. rows*columns. The
+  /// paper reports dataset "size in values" after normalization.
+  size_t TotalValueCount() const { return num_rows_ * columns_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<AttributeId> attribute_ids_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+  int universe_size_ = 0;
+};
+
+}  // namespace normalize

@@ -1,0 +1,33 @@
+#include "relation/schema.hpp"
+
+#include <sstream>
+
+namespace normalize {
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (size_t r = 0; r < relations_.size(); ++r) {
+    const RelationSchema& rel = relations_[r];
+    os << rel.name() << "(";
+    bool first = true;
+    for (AttributeId a : rel.attributes()) {
+      if (!first) os << ", ";
+      os << attribute_name(a);
+      if (rel.has_primary_key() && rel.primary_key().Test(a)) os << "*";
+      first = false;
+    }
+    os << ")\n";
+    for (const ForeignKey& fk : rel.foreign_keys()) {
+      os << "  FK: " << rel.name() << "." << fk.attributes.ToString(attribute_names_)
+         << " -> "
+         << (fk.target_relation >= 0 &&
+                     fk.target_relation < static_cast<int>(relations_.size())
+                 ? relations_[static_cast<size_t>(fk.target_relation)].name()
+                 : "?")
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace normalize

@@ -1,0 +1,99 @@
+// Schema model: relations over *global* attribute ids with primary-key and
+// foreign-key constraints. The normalizer incrementally rewrites a Schema —
+// decompositions add relations and constraints (paper §3, component 6).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.hpp"
+
+namespace normalize {
+
+/// A foreign-key constraint: `attributes` of the owning relation reference
+/// the primary key of `target_relation` (index into Schema::relations()).
+struct ForeignKey {
+  AttributeSet attributes;
+  int target_relation = -1;
+
+  bool operator==(const ForeignKey& other) const {
+    return attributes == other.attributes &&
+           target_relation == other.target_relation;
+  }
+};
+
+/// One relation of the evolving schema.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, AttributeSet attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const AttributeSet& attributes() const { return attributes_; }
+  void set_attributes(AttributeSet attrs) { attributes_ = std::move(attrs); }
+
+  bool has_primary_key() const { return primary_key_.has_value(); }
+  const AttributeSet& primary_key() const { return *primary_key_; }
+  void set_primary_key(AttributeSet key) { primary_key_ = std::move(key); }
+  void clear_primary_key() { primary_key_.reset(); }
+
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+  std::vector<ForeignKey>* mutable_foreign_keys() { return &foreign_keys_; }
+  void AddForeignKey(ForeignKey fk) { foreign_keys_.push_back(std::move(fk)); }
+
+ private:
+  std::string name_;
+  AttributeSet attributes_;
+  std::optional<AttributeSet> primary_key_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+/// The whole evolving schema: global attribute names plus the current set of
+/// relations. Relation indices are stable (relations are never removed, only
+/// replaced in place or appended) so ForeignKey::target_relation stays valid.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attribute_names)
+      : attribute_names_(std::move(attribute_names)) {}
+
+  int num_attributes() const {
+    return static_cast<int>(attribute_names_.size());
+  }
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+  const std::string& attribute_name(AttributeId a) const {
+    return attribute_names_[static_cast<size_t>(a)];
+  }
+
+  const std::vector<RelationSchema>& relations() const { return relations_; }
+  std::vector<RelationSchema>* mutable_relations() { return &relations_; }
+  const RelationSchema& relation(int i) const {
+    return relations_[static_cast<size_t>(i)];
+  }
+  RelationSchema* mutable_relation(int i) {
+    return &relations_[static_cast<size_t>(i)];
+  }
+
+  /// Appends a relation and returns its index.
+  int AddRelation(RelationSchema rel) {
+    relations_.push_back(std::move(rel));
+    return static_cast<int>(relations_.size()) - 1;
+  }
+
+  /// Pretty-prints all relations with keys underlined in SQL-comment style:
+  ///   R2(Postcode*, City, Mayor)  [* = primary key]
+  /// plus one "FK: R1.{Postcode} -> R2" line per foreign key.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> attribute_names_;
+  std::vector<RelationSchema> relations_;
+};
+
+}  // namespace normalize

@@ -1,0 +1,173 @@
+#include "relation/schema_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_utils.hpp"
+
+namespace normalize {
+
+namespace {
+
+std::string NameList(const AttributeSet& set, const Schema& schema) {
+  std::string out;
+  for (AttributeId a : set) {
+    if (!out.empty()) out += ", ";
+    out += schema.attribute_name(a);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string WriteSchemaToString(const Schema& schema) {
+  std::ostringstream os;
+  os << "# normalize schema v1\n";
+  os << "attributes: " << JoinStrings(schema.attribute_names(), ", ") << "\n";
+  for (const RelationSchema& rel : schema.relations()) {
+    os << "relation: " << rel.name() << "\n";
+    os << "  attrs: " << NameList(rel.attributes(), schema) << "\n";
+    if (rel.has_primary_key()) {
+      os << "  pk: " << NameList(rel.primary_key(), schema) << "\n";
+    }
+    for (const ForeignKey& fk : rel.foreign_keys()) {
+      os << "  fk: " << NameList(fk.attributes, schema) << " -> "
+         << (fk.target_relation >= 0 &&
+                     fk.target_relation <
+                         static_cast<int>(schema.relations().size())
+                 ? schema.relation(fk.target_relation).name()
+                 : "?")
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+Result<Schema> ReadSchemaFromString(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+
+  std::vector<std::string> attribute_names;
+  std::unordered_map<std::string, AttributeId> attr_index;
+  Schema schema;
+  bool have_attributes = false;
+  int current_relation = -1;
+  // FK targets are resolved after all relations are known.
+  struct PendingFk {
+    int relation;
+    AttributeSet attrs;
+    std::string target;
+    size_t line;
+  };
+  std::vector<PendingFk> pending_fks;
+
+  auto parse_attr_set = [&](std::string_view list,
+                            size_t at_line) -> Result<AttributeSet> {
+    AttributeSet set(static_cast<int>(attribute_names.size()));
+    for (const std::string& token : SplitString(std::string(list), ',')) {
+      std::string name = Trim(token);
+      if (name.empty()) continue;
+      auto it = attr_index.find(name);
+      if (it == attr_index.end()) {
+        return Status::InvalidArgument("unknown attribute '" + name +
+                                       "' on line " + std::to_string(at_line));
+      }
+      set.Set(it->second);
+    }
+    return set;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    size_t colon = trimmed.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("malformed line " +
+                                     std::to_string(line_no) + ": " + trimmed);
+    }
+    std::string key = Trim(trimmed.substr(0, colon));
+    std::string value = Trim(trimmed.substr(colon + 1));
+
+    if (key == "attributes") {
+      for (const std::string& token : SplitString(value, ',')) {
+        std::string name = Trim(token);
+        attr_index.emplace(name, static_cast<AttributeId>(attribute_names.size()));
+        attribute_names.push_back(name);
+      }
+      schema = Schema(attribute_names);
+      have_attributes = true;
+    } else if (key == "relation") {
+      if (!have_attributes) {
+        return Status::InvalidArgument("'relation' before 'attributes'");
+      }
+      current_relation = schema.AddRelation(
+          RelationSchema(value, AttributeSet(schema.num_attributes())));
+    } else if (key == "attrs" || key == "pk" || key == "fk") {
+      if (current_relation < 0) {
+        return Status::InvalidArgument("'" + key + "' outside a relation");
+      }
+      if (key == "fk") {
+        size_t arrow = value.find("->");
+        if (arrow == std::string::npos) {
+          return Status::InvalidArgument("fk without target on line " +
+                                         std::to_string(line_no));
+        }
+        auto attrs = parse_attr_set(value.substr(0, arrow), line_no);
+        if (!attrs.ok()) return attrs.status();
+        pending_fks.push_back({current_relation, *attrs,
+                               Trim(value.substr(arrow + 2)), line_no});
+      } else {
+        auto attrs = parse_attr_set(value, line_no);
+        if (!attrs.ok()) return attrs.status();
+        if (key == "attrs") {
+          schema.mutable_relation(current_relation)->set_attributes(*attrs);
+        } else {
+          schema.mutable_relation(current_relation)->set_primary_key(*attrs);
+        }
+      }
+    } else {
+      return Status::InvalidArgument("unknown key '" + key + "' on line " +
+                                     std::to_string(line_no));
+    }
+  }
+  if (!have_attributes) {
+    return Status::InvalidArgument("missing 'attributes' header");
+  }
+
+  std::unordered_map<std::string, int> relation_index;
+  for (size_t i = 0; i < schema.relations().size(); ++i) {
+    relation_index.emplace(schema.relation(static_cast<int>(i)).name(),
+                           static_cast<int>(i));
+  }
+  for (PendingFk& fk : pending_fks) {
+    auto it = relation_index.find(fk.target);
+    if (it == relation_index.end()) {
+      return Status::InvalidArgument("unknown fk target '" + fk.target +
+                                     "' on line " + std::to_string(fk.line));
+    }
+    schema.mutable_relation(fk.relation)
+        ->AddForeignKey(ForeignKey{std::move(fk.attrs), it->second});
+  }
+  return schema;
+}
+
+Status WriteSchemaFile(const Schema& schema, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << WriteSchemaToString(schema);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Schema> ReadSchemaFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadSchemaFromString(buffer.str());
+}
+
+}  // namespace normalize

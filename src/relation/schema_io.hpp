@@ -1,0 +1,35 @@
+// Schema (de)serialization in a small line-based text format, so normalized
+// schemas — with their key and foreign-key constraints — can be saved,
+// diffed, and reloaded (e.g. by normalize_cli or a follow-up monitoring
+// run):
+//
+//   # normalize schema v1
+//   attributes: First, Last, Postcode, City, Mayor
+//   relation: address
+//     attrs: First, Last, Postcode
+//     pk: First, Last
+//     fk: Postcode -> R2_Postcode
+//   relation: R2_Postcode
+//     attrs: Postcode, City, Mayor
+//     pk: Postcode
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "relation/schema.hpp"
+
+namespace normalize {
+
+/// Serializes the schema (attribute names, relations, PKs, FKs).
+std::string WriteSchemaToString(const Schema& schema);
+
+/// Parses the format produced by WriteSchemaToString. Unknown attribute or
+/// relation names, missing sections, and malformed lines are errors.
+Result<Schema> ReadSchemaFromString(const std::string& text);
+
+/// File variants.
+Status WriteSchemaFile(const Schema& schema, const std::string& path);
+Result<Schema> ReadSchemaFile(const std::string& path);
+
+}  // namespace normalize

@@ -1,0 +1,200 @@
+#include "closure/closure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "datagen/fd_generator.hpp"
+#include "discovery/fd_discovery.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+
+FdSet PaperExampleFds() {
+  // From §4: given Postcode -> City and City -> Mayor, the closure must
+  // produce Postcode -> City, Mayor.
+  FdSet fds;
+  fds.Add(Fd(Attrs(3, {0}), Attrs(3, {1})));  // Postcode -> City
+  fds.Add(Fd(Attrs(3, {1}), Attrs(3, {2})));  // City -> Mayor
+  return fds;
+}
+
+class ClosureAlgorithmTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<ClosureAlgorithm> Algo(int threads = 1) {
+    return MakeClosure(GetParam(), ClosureOptions{threads});
+  }
+};
+
+// Tests in GeneralClosureTest feed *incomplete* FD sets (multi-step
+// transitive chains without their shortcut FDs). Only the naive and improved
+// algorithms are specified for such inputs; the optimized algorithm requires
+// a complete set of minimal FDs (paper Lemma 1) and is exercised on
+// discovery output below.
+class GeneralClosureTest : public ClosureAlgorithmTest {};
+
+TEST_P(GeneralClosureTest, TransitiveExtension) {
+  FdSet fds = PaperExampleFds();
+  Algo()->Extend(&fds, AttributeSet::Full(3));
+  EXPECT_EQ(fds[0].rhs, Attrs(3, {1, 2}));  // Postcode -> City, Mayor
+  EXPECT_EQ(fds[1].rhs, Attrs(3, {2}));     // City -> Mayor unchanged
+}
+
+TEST_P(GeneralClosureTest, ChainOfTransitivity) {
+  // 0 -> 1 -> 2 -> 3 -> 4: the first FD must reach all of them.
+  FdSet fds;
+  for (int i = 0; i < 4; ++i) {
+    fds.Add(Fd(Attrs(5, {i}), Attrs(5, {i + 1})));
+  }
+  Algo()->Extend(&fds, AttributeSet::Full(5));
+  EXPECT_EQ(fds[0].rhs, Attrs(5, {1, 2, 3, 4}));
+  EXPECT_EQ(fds[2].rhs, Attrs(5, {3, 4}));
+}
+
+TEST_P(ClosureAlgorithmTest, RhsNeverOverlapsLhs) {
+  FdSet fds;
+  fds.Add(Fd(Attrs(4, {0}), Attrs(4, {1})));
+  fds.Add(Fd(Attrs(4, {1}), Attrs(4, {0, 2})));
+  fds.Add(Fd(Attrs(4, {0, 2}), Attrs(4, {3})));
+  Algo()->Extend(&fds, AttributeSet::Full(4));
+  for (const Fd& fd : fds) {
+    EXPECT_FALSE(fd.lhs.Intersects(fd.rhs)) << fd.ToString();
+  }
+}
+
+TEST_P(ClosureAlgorithmTest, EmptySetAndSingleFd) {
+  FdSet empty;
+  Algo()->Extend(&empty, AttributeSet::Full(3));
+  EXPECT_TRUE(empty.empty());
+
+  FdSet one;
+  one.Add(Fd(Attrs(3, {0}), Attrs(3, {1})));
+  Algo()->Extend(&one, AttributeSet::Full(3));
+  EXPECT_EQ(one[0].rhs, Attrs(3, {1}));
+}
+
+TEST_P(GeneralClosureTest, ImplicitReflexivityViaLhsSubsets) {
+  // §4's example: First,Last -> Mayor extends First,Postcode -> Last with
+  // Mayor because {First, Last} ⊆ {First, Postcode} ∪ {Last}.
+  // Attributes: First=0, Last=1, Postcode=2, Mayor=3.
+  FdSet fds;
+  fds.Add(Fd(Attrs(4, {0, 1}), Attrs(4, {3})));
+  fds.Add(Fd(Attrs(4, {0, 2}), Attrs(4, {1})));
+  Algo()->Extend(&fds, AttributeSet::Full(4));
+  EXPECT_TRUE(fds[1].rhs.Test(3))
+      << "reflexivity must let {First,Postcode} reach Mayor";
+}
+
+TEST_P(ClosureAlgorithmTest, ParallelMatchesSerial) {
+  RandomDatasetSpec spec;
+  spec.num_attributes = 9;
+  spec.num_rows = 120;
+  spec.num_planted_fds = 4;
+  spec.seed = 77;
+  RelationData data = GenerateRandomDataset(spec);
+  auto fds_result = MakeFdDiscovery("hyfd")->Discover(data);
+  ASSERT_TRUE(fds_result.ok());
+
+  FdSet serial = *fds_result;
+  FdSet parallel = *fds_result;
+  Algo(1)->Extend(&serial, AttributeSet::Full(9));
+  Algo(4)->Extend(&parallel, AttributeSet::Full(9));
+  EXPECT_TRUE(serial.EquivalentTo(parallel));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClosures, ClosureAlgorithmTest,
+                         ::testing::Values("naive", "improved", "optimized"),
+                         [](const auto& info) { return info.param; });
+
+INSTANTIATE_TEST_SUITE_P(GeneralSets, GeneralClosureTest,
+                         ::testing::Values("naive", "improved"),
+                         [](const auto& info) { return info.param; });
+
+// Improved must equal naive on arbitrary (non-minimal, incomplete) FD sets.
+TEST(ClosureEquivalenceTest, ImprovedMatchesNaiveOnArbitrarySets) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    FdSet a = GenerateRandomFdSet(10, 40, 4, seed);
+    FdSet b = a;
+    NaiveClosure().Extend(&a, AttributeSet::Full(10));
+    ImprovedClosure().Extend(&b, AttributeSet::Full(10));
+    ASSERT_TRUE(a.EquivalentTo(b)) << "seed " << seed;
+  }
+}
+
+// On complete minimal covers (discovery output), all three must agree.
+TEST(ClosureEquivalenceTest, AllThreeAgreeOnCompleteMinimalCovers) {
+  for (uint64_t seed = 30; seed <= 40; ++seed) {
+    RandomDatasetSpec spec;
+    spec.num_attributes = 8;
+    spec.num_rows = 80;
+    spec.num_planted_fds = 3;
+    spec.seed = seed;
+    RelationData data = GenerateRandomDataset(spec);
+    auto fds_result = MakeFdDiscovery("fdep")->Discover(data);
+    ASSERT_TRUE(fds_result.ok());
+
+    FdSet naive = *fds_result, improved = *fds_result, optimized = *fds_result;
+    NaiveClosure().Extend(&naive, AttributeSet::Full(8));
+    ImprovedClosure().Extend(&improved, AttributeSet::Full(8));
+    OptimizedClosure().Extend(&optimized, AttributeSet::Full(8));
+    ASSERT_TRUE(naive.EquivalentTo(improved)) << "seed " << seed;
+    ASSERT_TRUE(naive.EquivalentTo(optimized)) << "seed " << seed;
+  }
+}
+
+// §4.3: pruning FDs to a maximum LHS size must leave the closure of the
+// remaining FDs unchanged (computed by the optimized algorithm).
+TEST(ClosureEquivalenceTest, MaxLhsPruningPreservesClosureOfRemainder) {
+  RandomDatasetSpec spec;
+  spec.num_attributes = 8;
+  spec.num_rows = 60;
+  spec.num_planted_fds = 3;
+  spec.seed = 55;
+  RelationData data = GenerateRandomDataset(spec);
+  auto full_result = MakeFdDiscovery("hyfd")->Discover(data);
+  ASSERT_TRUE(full_result.ok());
+
+  // Closure of the full set, then filtered to LHS <= 2.
+  FdSet full = *full_result;
+  OptimizedClosure().Extend(&full, AttributeSet::Full(8));
+  full.PruneByLhsSize(2);
+  full.Aggregate();
+
+  // Closure computed only on the pruned FDs.
+  FdSet pruned = *full_result;
+  pruned.PruneByLhsSize(2);
+  OptimizedClosure().Extend(&pruned, AttributeSet::Full(8));
+  pruned.Aggregate();
+
+  EXPECT_TRUE(full.EquivalentTo(pruned));
+}
+
+TEST(MakeClosureTest, FactoryNames) {
+  EXPECT_EQ(MakeClosure("naive")->name(), "NaiveClosure");
+  EXPECT_EQ(MakeClosure("improved")->name(), "ImprovedClosure");
+  EXPECT_EQ(MakeClosure("optimized")->name(), "OptimizedClosure");
+  EXPECT_EQ(MakeClosure("bogus"), nullptr);
+}
+
+// The paper's running example end to end: the twelve minimal FDs of the
+// address dataset extend so that First,Last -> Postcode,City,Mayor.
+TEST(ClosurePaperTest, AddressExampleExtension) {
+  RelationData address = AddressExample();
+  auto fds_result = MakeFdDiscovery("hyfd")->Discover(address);
+  ASSERT_TRUE(fds_result.ok());
+  FdSet fds = *fds_result;
+  OptimizedClosure().Extend(&fds, address.AttributesAsSet());
+  bool found = false;
+  for (const Fd& fd : fds) {
+    if (fd.lhs == Attrs(5, {0, 1})) {
+      EXPECT_EQ(fd.rhs, Attrs(5, {2, 3, 4}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace normalize

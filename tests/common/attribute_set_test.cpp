@@ -1,0 +1,196 @@
+#include "common/attribute_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace normalize {
+namespace {
+
+TEST(AttributeSetTest, EmptyByDefault) {
+  AttributeSet s(10);
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_EQ(s.First(), -1);
+  EXPECT_EQ(s.capacity(), 10);
+}
+
+TEST(AttributeSetTest, SetTestReset) {
+  AttributeSet s(100);
+  s.Set(0);
+  s.Set(63);
+  s.Set(64);
+  s.Set(99);
+  EXPECT_TRUE(s.Test(0));
+  EXPECT_TRUE(s.Test(63));
+  EXPECT_TRUE(s.Test(64));
+  EXPECT_TRUE(s.Test(99));
+  EXPECT_FALSE(s.Test(1));
+  EXPECT_EQ(s.Count(), 4);
+  s.Reset(63);
+  EXPECT_FALSE(s.Test(63));
+  EXPECT_EQ(s.Count(), 3);
+}
+
+TEST(AttributeSetTest, InitializerList) {
+  AttributeSet s(8, {1, 3, 5});
+  EXPECT_EQ(s.Count(), 3);
+  EXPECT_TRUE(s.Test(1));
+  EXPECT_TRUE(s.Test(3));
+  EXPECT_TRUE(s.Test(5));
+}
+
+TEST(AttributeSetTest, FullContainsEverything) {
+  AttributeSet s = AttributeSet::Full(70);
+  EXPECT_EQ(s.Count(), 70);
+  for (int i = 0; i < 70; ++i) EXPECT_TRUE(s.Test(i));
+}
+
+TEST(AttributeSetTest, SubsetRelations) {
+  AttributeSet a(10, {1, 2});
+  AttributeSet b(10, {1, 2, 3});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsProperSubsetOf(b));
+  EXPECT_FALSE(a.IsProperSubsetOf(a));
+  AttributeSet empty(10);
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+}
+
+TEST(AttributeSetTest, Intersects) {
+  AttributeSet a(10, {1, 2});
+  AttributeSet b(10, {2, 3});
+  AttributeSet c(10, {4, 5});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(AttributeSet(10).Intersects(a));
+}
+
+TEST(AttributeSetTest, SetAlgebra) {
+  AttributeSet a(10, {1, 2, 3});
+  AttributeSet b(10, {3, 4});
+  EXPECT_EQ(a.Union(b), AttributeSet(10, {1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), AttributeSet(10, {3}));
+  EXPECT_EQ(a.Difference(b), AttributeSet(10, {1, 2}));
+}
+
+TEST(AttributeSetTest, ComplementMasksTail) {
+  AttributeSet a(70, {0, 69});
+  AttributeSet c = a.Complement();
+  EXPECT_EQ(c.Count(), 68);
+  EXPECT_FALSE(c.Test(0));
+  EXPECT_FALSE(c.Test(69));
+  EXPECT_TRUE(c.Test(68));
+  // Bits beyond capacity must not leak into Count().
+  EXPECT_EQ(c.Union(a).Count(), 70);
+}
+
+TEST(AttributeSetTest, IterationIsAscending) {
+  AttributeSet s(130, {5, 64, 127, 0});
+  std::vector<AttributeId> got;
+  for (AttributeId a : s) got.push_back(a);
+  EXPECT_EQ(got, (std::vector<AttributeId>{0, 5, 64, 127}));
+  EXPECT_EQ(s.ToVector(), got);
+}
+
+TEST(AttributeSetTest, NextSkipsWords) {
+  AttributeSet s(200, {10, 190});
+  EXPECT_EQ(s.First(), 10);
+  EXPECT_EQ(s.Next(10), 190);
+  EXPECT_EQ(s.Next(190), -1);
+}
+
+TEST(AttributeSetTest, HashAndEquality) {
+  AttributeSet a(10, {1, 2});
+  AttributeSet b(10, {1, 2});
+  AttributeSet c(10, {1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+  std::unordered_set<AttributeSet> set;
+  set.insert(a);
+  set.insert(b);
+  set.insert(c);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(AttributeSetTest, OrderingIsTotal) {
+  std::set<AttributeSet> ordered;
+  ordered.insert(AttributeSet(10, {1}));
+  ordered.insert(AttributeSet(10, {2}));
+  ordered.insert(AttributeSet(10, {1, 2}));
+  EXPECT_EQ(ordered.size(), 3u);
+}
+
+TEST(AttributeSetTest, WordBoundaryCapacities) {
+  // Capacity exactly at the 64-bit word boundary: Complement must not leak
+  // bits, Full must count exactly.
+  for (int capacity : {64, 128}) {
+    AttributeSet full = AttributeSet::Full(capacity);
+    EXPECT_EQ(full.Count(), capacity);
+    AttributeSet empty(capacity);
+    EXPECT_EQ(empty.Complement(), full);
+    EXPECT_EQ(full.Complement().Count(), 0);
+    EXPECT_EQ(full.First(), 0);
+    EXPECT_EQ(full.Next(capacity - 1), -1);
+  }
+}
+
+TEST(AttributeSetTest, CapacityOneAndZero) {
+  AttributeSet one(1);
+  one.Set(0);
+  EXPECT_EQ(one.Count(), 1);
+  EXPECT_EQ(one.Complement().Count(), 0);
+  AttributeSet zero(0);
+  EXPECT_TRUE(zero.Empty());
+  EXPECT_EQ(zero.First(), -1);
+}
+
+TEST(AttributeSetTest, ToStringForms) {
+  AttributeSet s(10, {0, 2});
+  EXPECT_EQ(s.ToString(), "{0, 2}");
+  std::vector<std::string> names = {"id", "x", "city"};
+  EXPECT_EQ(s.ToString(names), "[id, city]");
+}
+
+// Property: set algebra matches std::set semantics on random inputs.
+TEST(AttributeSetTest, RandomizedAgainstStdSet) {
+  Rng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    int capacity = static_cast<int>(rng.Uniform(1, 150));
+    AttributeSet a(capacity), b(capacity);
+    std::set<int> sa, sb;
+    int na = static_cast<int>(rng.Uniform(0, capacity));
+    int nb = static_cast<int>(rng.Uniform(0, capacity));
+    for (int i = 0; i < na; ++i) {
+      int x = static_cast<int>(rng.Uniform(0, capacity - 1));
+      a.Set(x);
+      sa.insert(x);
+    }
+    for (int i = 0; i < nb; ++i) {
+      int x = static_cast<int>(rng.Uniform(0, capacity - 1));
+      b.Set(x);
+      sb.insert(x);
+    }
+    EXPECT_EQ(a.Count(), static_cast<int>(sa.size()));
+    std::set<int> su, si, sd;
+    std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                   std::inserter(su, su.begin()));
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::inserter(si, si.begin()));
+    std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::inserter(sd, sd.begin()));
+    EXPECT_EQ(a.Union(b).Count(), static_cast<int>(su.size()));
+    EXPECT_EQ(a.Intersect(b).Count(), static_cast<int>(si.size()));
+    EXPECT_EQ(a.Difference(b).Count(), static_cast<int>(sd.size()));
+    EXPECT_EQ(a.IsSubsetOf(b),
+              std::includes(sb.begin(), sb.end(), sa.begin(), sa.end()));
+  }
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,75 @@
+#include "common/bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace normalize {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom(1000);
+  for (int i = 0; i < 1000; ++i) bloom.Insert("key" + std::to_string(i));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bloom.MayContain("key" + std::to_string(i)));
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateIsBounded) {
+  BloomFilter bloom(1000, 0.01);
+  for (int i = 0; i < 1000; ++i) bloom.Insert("key" + std::to_string(i));
+  int false_positives = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (bloom.MayContain("other" + std::to_string(i))) ++false_positives;
+  }
+  // Design rate 1%; allow generous slack.
+  EXPECT_LT(false_positives, 500);
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter bloom(100);
+  EXPECT_FALSE(bloom.MayContain("anything"));
+  EXPECT_EQ(bloom.CountSetBits(), 0u);
+  EXPECT_DOUBLE_EQ(bloom.EstimateCardinality(), 0.0);
+}
+
+TEST(BloomFilterTest, CardinalityEstimateTracksDistinctCount) {
+  for (int distinct : {10, 100, 500, 2000}) {
+    BloomFilter bloom(2000);
+    // Insert each distinct key several times; the estimate must track the
+    // distinct count, not the insert count.
+    for (int rep = 0; rep < 3; ++rep) {
+      for (int i = 0; i < distinct; ++i) {
+        bloom.Insert("v" + std::to_string(i));
+      }
+    }
+    double estimate = bloom.EstimateCardinality();
+    EXPECT_GT(estimate, distinct * 0.8) << "distinct=" << distinct;
+    EXPECT_LT(estimate, distinct * 1.2) << "distinct=" << distinct;
+  }
+}
+
+TEST(BloomFilterTest, InsertHashMatchesMayContainHash) {
+  BloomFilter bloom(100);
+  bloom.InsertHash(12345);
+  EXPECT_TRUE(bloom.MayContainHash(12345));
+  EXPECT_FALSE(bloom.MayContainHash(54321));
+}
+
+TEST(BloomFilterTest, TinyExpectedItemsStillWorks) {
+  BloomFilter bloom(0);  // clamped to 1
+  bloom.Insert("x");
+  EXPECT_TRUE(bloom.MayContain("x"));
+  EXPECT_GE(bloom.num_bits(), 64u);
+  EXPECT_GE(bloom.num_hashes(), 1);
+}
+
+TEST(HashString64Test, DistinctStringsDistinctHashes) {
+  EXPECT_NE(HashString64("a"), HashString64("b"));
+  EXPECT_EQ(HashString64("same"), HashString64("same"));
+  EXPECT_NE(HashString64(""), HashString64("x"));
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,59 @@
+#include "common/string_utils.hpp"
+
+#include <gtest/gtest.h>
+
+namespace normalize {
+namespace {
+
+TEST(StringUtilsTest, SplitBasic) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitString(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilsTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(JoinStrings(parts, ", "), "x, y, z");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtilsTest, ToLower) {
+  EXPECT_EQ(ToLower("HyFD"), "hyfd");
+  EXPECT_EQ(ToLower("abc123"), "abc123");
+}
+
+TEST(StringUtilsTest, Padding) {
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadRight("abcdef", 3), "abc");
+  EXPECT_EQ(PadLeft("42", 5), "   42");
+  EXPECT_EQ(PadLeft("123456", 3), "123");
+}
+
+TEST(StringUtilsTest, FormatDurationPicksUnits) {
+  EXPECT_EQ(FormatDuration(0.0000015), "2 us");
+  EXPECT_EQ(FormatDuration(0.000483), "483 us");
+  EXPECT_EQ(FormatDuration(0.00124), "1.24 ms");
+  EXPECT_EQ(FormatDuration(3.5), "3.50 s");
+  EXPECT_EQ(FormatDuration(126.0), "2.1 min");
+}
+
+TEST(StringUtilsTest, FormatCountSeparatesThousands) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(12358548), "12,358,548");
+  EXPECT_EQ(FormatCount(-54321), "-54,321");
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,126 @@
+#include "datagen/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/fd_generator.hpp"
+#include "relation/operations.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+
+TEST(AddressExampleTest, MatchesPaperTable1) {
+  RelationData address = AddressExample();
+  EXPECT_EQ(address.num_rows(), 6u);
+  EXPECT_EQ(address.num_columns(), 5);
+  EXPECT_EQ(address.column(0).name(), "First");
+  EXPECT_EQ(address.column(4).name(), "Mayor");
+  // The headline FDs of the paper.
+  EXPECT_TRUE(FdHolds(address, Attrs(5, {2}), 3));
+  EXPECT_TRUE(FdHolds(address, Attrs(5, {2}), 4));
+  EXPECT_TRUE(IsUnique(address, Attrs(5, {0, 1})));
+}
+
+TEST(GenerateRandomDatasetTest, RespectsSpec) {
+  RandomDatasetSpec spec;
+  spec.num_attributes = 12;
+  spec.num_rows = 200;
+  spec.seed = 9;
+  RelationData data = GenerateRandomDataset(spec);
+  EXPECT_EQ(data.num_columns(), 12);
+  EXPECT_EQ(data.num_rows(), 200u);
+}
+
+TEST(GenerateRandomDatasetTest, IsDeterministicPerSeed) {
+  RandomDatasetSpec spec;
+  spec.num_attributes = 6;
+  spec.num_rows = 50;
+  spec.seed = 33;
+  RelationData a = GenerateRandomDataset(spec);
+  RelationData b = GenerateRandomDataset(spec);
+  EXPECT_TRUE(InstancesEqual(a, b));
+  spec.seed = 34;
+  RelationData c = GenerateRandomDataset(spec);
+  EXPECT_FALSE(InstancesEqual(a, c));
+}
+
+TEST(GenerateRandomDatasetTest, NullFractionProducesNulls) {
+  RandomDatasetSpec spec;
+  spec.num_attributes = 8;
+  spec.num_rows = 200;
+  spec.null_fraction = 0.3;
+  spec.seed = 10;
+  RelationData data = GenerateRandomDataset(spec);
+  bool any_null = false;
+  for (int c = 0; c < data.num_columns(); ++c) {
+    if (data.column(c).has_null()) any_null = true;
+  }
+  EXPECT_TRUE(any_null);
+}
+
+TEST(ProfileDatasetsTest, ShapesMatchTable3) {
+  RelationData horse = HorseLike();
+  EXPECT_EQ(horse.num_columns(), 27);
+  EXPECT_EQ(horse.num_rows(), 368u);
+  RelationData plista = PlistaLike();
+  EXPECT_EQ(plista.num_columns(), 63);
+  EXPECT_EQ(plista.num_rows(), 1000u);
+  RelationData amalgam = Amalgam1Like();
+  EXPECT_EQ(amalgam.num_columns(), 87);
+  EXPECT_EQ(amalgam.num_rows(), 50u);
+  RelationData flight = FlightLike();
+  EXPECT_EQ(flight.num_columns(), 109);
+  EXPECT_EQ(flight.num_rows(), 1000u);
+}
+
+TEST(ProfileDatasetsTest, ScaleMultipliesRows) {
+  EXPECT_EQ(HorseLike(0.5).num_rows(), 184u);
+  EXPECT_EQ(PlistaLike(2.0).num_rows(), 2000u);
+}
+
+TEST(DenormalizeAllTest, FoldsJoins) {
+  RelationData a("a", {0, 1}, {"k", "x"});
+  a.AppendRow({"1", "p"});
+  a.AppendRow({"2", "q"});
+  RelationData b("b", {0, 2}, {"k", "y"});
+  b.AppendRow({"1", "u"});
+  b.AppendRow({"2", "v"});
+  RelationData c("c", {2, 3}, {"y", "z"});
+  c.AppendRow({"u", "end"});
+  c.AppendRow({"v", "end"});
+  RelationData joined = DenormalizeAll({a, b, c}, "universal");
+  EXPECT_EQ(joined.name(), "universal");
+  EXPECT_EQ(joined.num_rows(), 2u);
+  EXPECT_EQ(joined.num_columns(), 4);
+}
+
+TEST(FdGeneratorTest, RandomFdSetRespectsBounds) {
+  FdSet fds = GenerateRandomFdSet(12, 50, 3, 21);
+  EXPECT_GT(fds.size(), 0u);
+  for (const Fd& fd : fds) {
+    EXPECT_GE(fd.lhs.Count(), 1);
+    EXPECT_LE(fd.lhs.Count(), 3);
+    EXPECT_FALSE(fd.rhs.Empty());
+    EXPECT_FALSE(fd.lhs.Intersects(fd.rhs));
+  }
+}
+
+TEST(FdGeneratorTest, SampleFdsSizes) {
+  FdSet fds = GenerateRandomFdSet(10, 100, 3, 22);
+  FdSet sample = SampleFds(fds, 10, 1);
+  EXPECT_EQ(sample.size(), 10u);
+  FdSet all = SampleFds(fds, 10000, 1);
+  EXPECT_EQ(all.size(), fds.size());
+}
+
+TEST(FdGeneratorTest, SampleIsDeterministicPerSeed) {
+  FdSet fds = GenerateRandomFdSet(10, 100, 3, 23);
+  FdSet s1 = SampleFds(fds, 20, 5);
+  FdSet s2 = SampleFds(fds, 20, 5);
+  EXPECT_TRUE(s1.EquivalentTo(s2));
+}
+
+}  // namespace
+}  // namespace normalize

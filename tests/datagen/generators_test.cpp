@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "datagen/musicbrainz_like.hpp"
+#include "datagen/tpch_like.hpp"
+#include "relation/operations.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+TpchDataset SmallTpch() { return GenerateTpchLike(TpchScale{}.Scaled(0.15)); }
+
+TEST(TpchGeneratorTest, ProducesEightTablesAndUniversal) {
+  TpchDataset ds = SmallTpch();
+  ASSERT_EQ(ds.tables.size(), 8u);
+  EXPECT_EQ(ds.gold_schema.relations().size(), 8u);
+  EXPECT_EQ(ds.universal.num_columns(), 53);
+  EXPECT_GT(ds.universal.num_rows(), 0u);
+}
+
+TEST(TpchGeneratorTest, UniversalRowCountEqualsLineitems) {
+  TpchDataset ds = SmallTpch();
+  const RelationData& lineitem = ds.tables.back();
+  EXPECT_EQ(ds.universal.num_rows(), lineitem.num_rows());
+}
+
+TEST(TpchGeneratorTest, GoldKeysAreActualKeys) {
+  TpchDataset ds = SmallTpch();
+  for (size_t i = 0; i < ds.tables.size(); ++i) {
+    const RelationSchema& gold = ds.gold_schema.relation(static_cast<int>(i));
+    ASSERT_TRUE(gold.has_primary_key());
+    EXPECT_TRUE(IsUnique(ds.tables[i], gold.primary_key()))
+        << gold.name() << " primary key is not unique";
+  }
+}
+
+TEST(TpchGeneratorTest, StructuralFdsHoldInUniversal) {
+  TpchDataset ds = SmallTpch();
+  const RelationData& u = ds.universal;
+  // Every base table's key must determine the table's other attributes
+  // inside the universal relation.
+  for (size_t i = 0; i < ds.tables.size(); ++i) {
+    const RelationSchema& gold = ds.gold_schema.relation(static_cast<int>(i));
+    for (AttributeId a : gold.attributes()) {
+      if (gold.primary_key().Test(a)) continue;
+      EXPECT_TRUE(FdHolds(u, gold.primary_key(), a))
+          << gold.name() << " key must determine attribute " << a;
+    }
+  }
+}
+
+TEST(TpchGeneratorTest, ShipPriorityIsConstant) {
+  TpchDataset ds = SmallTpch();
+  const RelationData& orders = ds.tables[6];
+  int col = orders.ColumnIndexOf(38);  // o_shippriority
+  ASSERT_GE(col, 0);
+  EXPECT_EQ(orders.column(col).DistinctCount(), 1u);
+}
+
+TEST(TpchGeneratorTest, BrandDeterminesMfgr) {
+  TpchDataset ds = SmallTpch();
+  const RelationData& part = ds.tables[4];
+  AttributeSet brand(part.universe_size());
+  brand.Set(23);  // p_brand
+  EXPECT_TRUE(FdHolds(part, brand, 22));  // -> p_mfgr
+}
+
+TEST(TpchGeneratorTest, DeterministicPerSeed) {
+  TpchScale scale = TpchScale{}.Scaled(0.1);
+  TpchDataset a = GenerateTpchLike(scale);
+  TpchDataset b = GenerateTpchLike(scale);
+  EXPECT_TRUE(InstancesEqual(a.universal, b.universal));
+}
+
+MusicBrainzDataset SmallMb() {
+  return GenerateMusicBrainzLike(MusicBrainzScale{}.Scaled(0.3));
+}
+
+TEST(MusicBrainzGeneratorTest, ProducesElevenTables) {
+  MusicBrainzDataset ds = SmallMb();
+  ASSERT_EQ(ds.tables.size(), 11u);
+  EXPECT_EQ(ds.gold_schema.relations().size(), 11u);
+  EXPECT_EQ(ds.universal.num_columns(), 35);
+  EXPECT_GT(ds.universal.num_rows(), 0u);
+}
+
+TEST(MusicBrainzGeneratorTest, GoldKeysAreActualKeys) {
+  MusicBrainzDataset ds = SmallMb();
+  for (size_t i = 0; i < ds.tables.size(); ++i) {
+    const RelationSchema& gold = ds.gold_schema.relation(static_cast<int>(i));
+    ASSERT_TRUE(gold.has_primary_key()) << gold.name();
+    EXPECT_TRUE(IsUnique(ds.tables[i], gold.primary_key())) << gold.name();
+  }
+}
+
+TEST(MusicBrainzGeneratorTest, MnJoinsFanOut) {
+  // The universal relation must have MORE rows than tracks: the m:n links
+  // (artist_credit_name, place-per-area, release_label) multiply rows.
+  MusicBrainzDataset ds = SmallMb();
+  const RelationData& track = ds.tables.back();
+  EXPECT_GT(ds.universal.num_rows(), track.num_rows());
+}
+
+TEST(MusicBrainzGeneratorTest, LinkKeysDetermineEntityAttributes) {
+  MusicBrainzDataset ds = SmallMb();
+  const RelationData& u = ds.universal;
+  AttributeSet trackkey(u.universe_size());
+  trackkey.Set(31);
+  EXPECT_TRUE(FdHolds(u, trackkey, 33));  // trackkey -> track_name
+  AttributeSet areakey(u.universe_size());
+  areakey.Set(0);
+  EXPECT_TRUE(FdHolds(u, areakey, 1));    // areakey -> area_name
+}
+
+}  // namespace
+}  // namespace normalize

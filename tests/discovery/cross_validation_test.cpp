@@ -1,0 +1,75 @@
+// Property tests: all four discovery algorithms must produce the identical
+// complete set of minimal FDs on randomized instances, and that set must
+// hold and be minimal per the brute-force oracle.
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "discovery/fd_discovery.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::AllFdsHold;
+using testing::AllFdsMinimal;
+
+struct CrossCase {
+  int attrs;
+  int rows;
+  double domain_fraction;
+  int planted;
+  double null_fraction;
+  uint64_t seed;
+};
+
+class CrossValidationTest : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(CrossValidationTest, AllAlgorithmsAgree) {
+  const CrossCase& c = GetParam();
+  RandomDatasetSpec spec;
+  spec.num_attributes = c.attrs;
+  spec.num_rows = c.rows;
+  spec.domain_fraction = c.domain_fraction;
+  spec.num_planted_fds = c.planted;
+  spec.null_fraction = c.null_fraction;
+  spec.seed = c.seed;
+  RelationData data = GenerateRandomDataset(spec);
+
+  auto reference_algo = MakeFdDiscovery("naive");
+  auto reference = reference_algo->Discover(data);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_TRUE(AllFdsHold(data, *reference));
+  EXPECT_TRUE(AllFdsMinimal(data, *reference));
+
+  for (const char* name : {"tane", "dfd", "fdep", "hyfd"}) {
+    auto algo = MakeFdDiscovery(name);
+    auto result = algo->Discover(data);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_TRUE(result->EquivalentTo(*reference))
+        << name << " disagrees with naive on seed " << c.seed << ": "
+        << result->CountUnaryFds() << " vs " << reference->CountUnaryFds()
+        << " unary FDs";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, CrossValidationTest,
+    ::testing::Values(
+        CrossCase{4, 20, 0.3, 1, 0.0, 101}, CrossCase{5, 40, 0.2, 2, 0.0, 102},
+        CrossCase{6, 60, 0.15, 2, 0.0, 103}, CrossCase{6, 30, 0.5, 0, 0.0, 104},
+        CrossCase{7, 80, 0.1, 3, 0.0, 105}, CrossCase{7, 50, 0.25, 3, 0.1, 106},
+        CrossCase{8, 100, 0.1, 3, 0.0, 107}, CrossCase{8, 40, 0.4, 2, 0.2, 108},
+        CrossCase{9, 120, 0.08, 4, 0.0, 109}, CrossCase{9, 60, 0.3, 4, 0.1, 110},
+        CrossCase{10, 150, 0.07, 4, 0.0, 111},
+        CrossCase{10, 80, 0.2, 5, 0.15, 112},
+        CrossCase{5, 2, 0.5, 0, 0.0, 113},     // tiny: 2 rows
+        CrossCase{6, 200, 0.02, 2, 0.0, 114},  // heavy duplication
+        CrossCase{8, 25, 0.8, 0, 0.0, 115},    // near-unique columns
+        CrossCase{7, 70, 0.12, 3, 0.5, 116},   // many NULLs
+        CrossCase{11, 60, 0.05, 5, 0.0, 117},  // deeper lattice (DFD reseeds)
+        CrossCase{12, 40, 0.1, 5, 0.3, 118},   // wide + NULLs
+        CrossCase{9, 30, 0.06, 0, 0.0, 119}))  // dup-heavy, no planted FDs
+;
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,153 @@
+// Per-algorithm FD discovery tests on hand-checked instances.
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "discovery/fd_discovery.hpp"
+#include "discovery/hyfd.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::AllFdsHold;
+using testing::AllFdsMinimal;
+using testing::Attrs;
+using testing::MakeRelation;
+
+class DiscoveryAlgorithmTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  FdSet Discover(const RelationData& data, FdDiscoveryOptions options = {}) {
+    auto algo = MakeFdDiscovery(GetParam(), options);
+    auto result = algo->Discover(data);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+};
+
+TEST_P(DiscoveryAlgorithmTest, PaperExampleFindsTwelveFds) {
+  FdSet fds = Discover(AddressExample());
+  // "For the example dataset, an FD discovery algorithm would find twelve
+  // valid FDs in step (1)." (§1)
+  EXPECT_EQ(fds.CountUnaryFds(), 12u);
+  // Postcode -> City, Mayor must be among them.
+  bool found = false;
+  for (const Fd& fd : fds) {
+    if (fd.lhs == Attrs(5, {2})) {
+      EXPECT_TRUE(fd.rhs.Test(3));
+      EXPECT_TRUE(fd.rhs.Test(4));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_P(DiscoveryAlgorithmTest, ResultsHoldAndAreMinimal) {
+  RelationData data = AddressExample();
+  FdSet fds = Discover(data);
+  EXPECT_TRUE(AllFdsHold(data, fds));
+  EXPECT_TRUE(AllFdsMinimal(data, fds));
+}
+
+TEST_P(DiscoveryAlgorithmTest, ConstantColumnYieldsEmptyLhsFd) {
+  RelationData data = MakeRelation({{"c", "1"}, {"c", "2"}, {"c", "3"}});
+  FdSet fds = Discover(data);
+  bool found_empty_lhs = false;
+  for (const Fd& fd : fds) {
+    if (fd.lhs.Empty()) {
+      EXPECT_TRUE(fd.rhs.Test(0));
+      found_empty_lhs = true;
+    }
+  }
+  EXPECT_TRUE(found_empty_lhs) << "constant column must yield {} -> A";
+}
+
+TEST_P(DiscoveryAlgorithmTest, SingleRowMakesEverythingConstant) {
+  RelationData data = MakeRelation({{"x", "y"}});
+  FdSet fds = Discover(data);
+  EXPECT_EQ(fds.CountUnaryFds(), 2u);
+  for (const Fd& fd : fds) EXPECT_TRUE(fd.lhs.Empty());
+}
+
+TEST_P(DiscoveryAlgorithmTest, EmptyRelationYieldsEmptyLhsFds) {
+  RelationData data = MakeRelation({}, {"A", "B"});
+  FdSet fds = Discover(data);
+  EXPECT_EQ(fds.CountUnaryFds(), 2u);
+}
+
+TEST_P(DiscoveryAlgorithmTest, DuplicateRowsDoNotBreakDiscovery) {
+  RelationData data = MakeRelation({{"1", "a"}, {"1", "a"}, {"2", "b"}});
+  FdSet fds = Discover(data);
+  EXPECT_TRUE(AllFdsHold(data, fds));
+  // A <-> B here.
+  EXPECT_TRUE(FdHolds(data, Attrs(2, {0}), 1));
+}
+
+TEST_P(DiscoveryAlgorithmTest, NullsCompareEqualInDiscovery) {
+  // Two NULLs in A with different B values: A -> B must NOT hold.
+  RelationData data = MakeRelation({{"", "1"}, {"", "2"}, {"x", "3"}});
+  FdSet fds = Discover(data);
+  for (const Fd& fd : fds) {
+    if (fd.lhs == Attrs(2, {0})) {
+      EXPECT_FALSE(fd.rhs.Test(1));
+    }
+  }
+  EXPECT_TRUE(AllFdsHold(data, fds));
+}
+
+TEST_P(DiscoveryAlgorithmTest, MaxLhsSizePruning) {
+  RandomDatasetSpec spec;
+  spec.num_attributes = 6;
+  spec.num_rows = 60;
+  spec.seed = 5;
+  RelationData data = GenerateRandomDataset(spec);
+
+  FdDiscoveryOptions options;
+  options.max_lhs_size = 2;
+  FdSet pruned = Discover(data, options);
+  for (const Fd& fd : pruned) EXPECT_LE(fd.lhs.Count(), 2);
+
+  // The pruned result must equal the full result filtered to LHS size <= 2.
+  FdSet full = Discover(data);
+  full.PruneByLhsSize(2);
+  full.Aggregate();
+  FdSet pruned_copy = pruned;
+  pruned_copy.Aggregate();
+  EXPECT_TRUE(pruned_copy.EquivalentTo(full));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, DiscoveryAlgorithmTest,
+                         ::testing::Values("naive", "tane", "dfd", "fdep", "hyfd"),
+                         [](const auto& info) { return info.param; });
+
+TEST(MakeFdDiscoveryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakeFdDiscovery("bogus"), nullptr);
+}
+
+TEST(MakeFdDiscoveryTest, NamesAreReported) {
+  EXPECT_EQ(MakeFdDiscovery("hyfd")->name(), "HyFd");
+  EXPECT_EQ(MakeFdDiscovery("tane")->name(), "Tane");
+  EXPECT_EQ(MakeFdDiscovery("dfd")->name(), "Dfd");
+  EXPECT_EQ(MakeFdDiscovery("fdep")->name(), "Fdep");
+  EXPECT_EQ(MakeFdDiscovery("naive")->name(), "Naive");
+}
+
+TEST(NaiveFdDiscoveryTest, RefusesWideRelations) {
+  RandomDatasetSpec spec;
+  spec.num_attributes = 30;
+  spec.num_rows = 5;
+  RelationData data = GenerateRandomDataset(spec);
+  auto algo = MakeFdDiscovery("naive");
+  auto result = algo->Discover(data);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(HyFdTest, StatsAreTracked) {
+  HyFd hyfd;
+  auto result = hyfd.Discover(AddressExample());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(hyfd.stats().validated_candidates, 0u);
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,75 @@
+// HyFD must produce the exact complete minimal FD set under ANY
+// configuration: sampling is an accelerator, validation the guarantee. This
+// suite sweeps the hybrid's knobs and cross-checks against FDEP.
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "discovery/fdep.hpp"
+#include "discovery/hyfd.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+struct ConfigCase {
+  int initial_rounds;
+  double switch_threshold;
+  int max_rounds;
+  int max_inductions;
+};
+
+class HyFdConfigTest : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(HyFdConfigTest, ExactUnderAnyConfiguration) {
+  const ConfigCase& c = GetParam();
+  RandomDatasetSpec spec;
+  spec.num_attributes = 9;
+  spec.num_rows = 120;
+  spec.domain_fraction = 0.12;
+  spec.num_planted_fds = 4;
+  spec.null_fraction = 0.1;
+  spec.seed = 777;
+  RelationData data = GenerateRandomDataset(spec);
+
+  Fdep fdep;
+  auto reference = fdep.Discover(data);
+  ASSERT_TRUE(reference.ok());
+
+  HyFdConfig config;
+  config.initial_sampling_rounds = c.initial_rounds;
+  config.switch_to_sampling_threshold = c.switch_threshold;
+  config.max_sampling_rounds = c.max_rounds;
+  config.max_inductions_per_round = c.max_inductions;
+  HyFd hyfd(FdDiscoveryOptions{}, config);
+  auto result = hyfd.Discover(data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->EquivalentTo(*reference))
+      << "config(init=" << c.initial_rounds << ", switch=" << c.switch_threshold
+      << ", maxrounds=" << c.max_rounds << ", induct=" << c.max_inductions
+      << ") diverged: " << result->CountUnaryFds() << " vs "
+      << reference->CountUnaryFds();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, HyFdConfigTest,
+    ::testing::Values(
+        ConfigCase{0, 0.0, 0, 1},      // no sampling at all: pure validation
+        ConfigCase{0, 1.0, 64, 2000},  // never switch back to sampling
+        ConfigCase{1, 0.2, 1, 5},      // starved induction budget
+        ConfigCase{8, 0.01, 64, 2000}, // sampling-greedy
+        ConfigCase{2, 0.2, 64, 1},     // one induction per round
+        ConfigCase{2, 0.5, 4, 100}));  // mid-range
+
+TEST(HyFdConfigTest, PureValidationStillExactOnAddress) {
+  HyFdConfig config;
+  config.initial_sampling_rounds = 0;
+  config.max_sampling_rounds = 0;
+  HyFd hyfd(FdDiscoveryOptions{}, config);
+  auto result = hyfd.Discover(AddressExample());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->CountUnaryFds(), 12u);
+  EXPECT_EQ(hyfd.stats().sampling_rounds, 0);
+}
+
+}  // namespace
+}  // namespace normalize

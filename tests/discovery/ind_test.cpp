@@ -1,0 +1,137 @@
+#include "discovery/ind.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/tpch_like.hpp"
+#include "normalize/normalizer.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::MakeRelation;
+
+std::vector<RelationData> TwoTables() {
+  RelationData orders("orders", {0, 1}, {"order_id", "cust_ref"});
+  orders.AppendRow({"o1", "c1"});
+  orders.AppendRow({"o2", "c1"});
+  orders.AppendRow({"o3", "c2"});
+  RelationData customers("customers", {2, 3}, {"cust_id", "name"});
+  customers.AppendRow({"c1", "Alice"});
+  customers.AppendRow({"c2", "Bob"});
+  customers.AppendRow({"c3", "Carol"});
+  return {orders, customers};
+}
+
+TEST(IndDiscoveryTest, FindsTheForeignKeyInd) {
+  auto tables = TwoTables();
+  auto inds = DiscoverUnaryInds(tables);
+  bool found = false;
+  for (const Ind& ind : inds) {
+    // orders.cust_ref <= customers.cust_id
+    if (ind.dependent_relation == 0 && ind.dependent_column == 1 &&
+        ind.referenced_relation == 1 && ind.referenced_column == 0) {
+      found = true;
+    }
+    // Every reported IND must actually hold.
+    const RelationData& dep = tables[static_cast<size_t>(ind.dependent_relation)];
+    const RelationData& ref = tables[static_cast<size_t>(ind.referenced_relation)];
+    for (size_t r = 0; r < dep.num_rows(); ++r) {
+      if (dep.column(ind.dependent_column).IsNull(r)) continue;
+      std::string_view v = dep.column(ind.dependent_column).ValueAt(r);
+      bool present = false;
+      for (size_t r2 = 0; r2 < ref.num_rows(); ++r2) {
+        if (ref.column(ind.referenced_column).ValueAt(r2) == v) present = true;
+      }
+      EXPECT_TRUE(present) << ind.ToString(tables);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IndDiscoveryTest, NoReverseInclusion) {
+  auto tables = TwoTables();
+  auto inds = DiscoverUnaryInds(tables);
+  for (const Ind& ind : inds) {
+    // customers.cust_id (c1,c2,c3) is NOT included in orders.cust_ref
+    // (c1,c2).
+    EXPECT_FALSE(ind.dependent_relation == 1 && ind.dependent_column == 0 &&
+                 ind.referenced_relation == 0 && ind.referenced_column == 1);
+  }
+}
+
+TEST(IndDiscoveryTest, SelfIndsExcludedByDefault) {
+  auto tables = TwoTables();
+  for (const Ind& ind : DiscoverUnaryInds(tables)) {
+    EXPECT_FALSE(ind.dependent_relation == ind.referenced_relation &&
+                 ind.dependent_column == ind.referenced_column);
+  }
+  IndDiscoveryOptions options;
+  options.include_self = true;
+  bool self_found = false;
+  for (const Ind& ind : DiscoverUnaryInds(tables, options)) {
+    if (ind.dependent_relation == ind.referenced_relation &&
+        ind.dependent_column == ind.referenced_column) {
+      self_found = true;
+    }
+  }
+  EXPECT_TRUE(self_found);
+}
+
+TEST(IndDiscoveryTest, NullsOnDependentSideAreIgnored) {
+  RelationData a("a", {0}, {"x"});
+  a.AppendRow({"1"});
+  a.AppendRow({""}, {true});
+  RelationData b("b", {1}, {"y"});
+  b.AppendRow({"1"});
+  auto inds = DiscoverUnaryInds({a, b});
+  bool found = false;
+  for (const Ind& ind : inds) {
+    if (ind.dependent_relation == 0 && ind.referenced_relation == 1) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "NULL must not block a.x <= b.y";
+}
+
+TEST(IndScoreTest, ForeignKeyOutranksCoincidentalInd) {
+  auto tables = TwoTables();
+  // The genuine FK: cust_ref <= cust_id (unique, well covered, similar name).
+  Ind fk{0, 1, 1, 0};
+  IndScore fk_score = ScoreIndAsForeignKey(fk, tables);
+  EXPECT_GT(fk_score.referenced_uniqueness, 0.99);
+  EXPECT_GT(fk_score.name_similarity, 0.4);
+  // A coincidental IND into a non-key-ish column would score lower on
+  // name and uniqueness; construct one: cust_ref <= name? Not a valid IND,
+  // so score an artificial candidate referencing order_id instead.
+  Ind weird{1, 1, 0, 0};  // customers.name <= orders.order_id (not real)
+  IndScore weird_score = ScoreIndAsForeignKey(weird, tables);
+  EXPECT_GT(fk_score.total, weird_score.name_similarity / 3);
+  EXPECT_FALSE(fk_score.ToString().empty());
+}
+
+TEST(IndDiscoveryTest, RecoversTpchForeignKeyEdges) {
+  // On the generator's base tables, the FK columns of the snowflake are
+  // included in their referenced primary-key columns by construction.
+  TpchDataset ds = GenerateTpchLike(TpchScale{}.Scaled(0.15));
+  auto inds = DiscoverUnaryInds(ds.tables);
+  auto has = [&](const std::string& dep, const std::string& ref) {
+    for (const Ind& ind : inds) {
+      const RelationData& d = ds.tables[static_cast<size_t>(ind.dependent_relation)];
+      const RelationData& r = ds.tables[static_cast<size_t>(ind.referenced_relation)];
+      std::string key = d.name() + "." + d.column(ind.dependent_column).name() +
+                        "<=" + r.name() + "." + r.column(ind.referenced_column).name();
+      if (key == dep + "<=" + ref) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("nation.regionkey", "region.regionkey"));
+  EXPECT_TRUE(has("customer.nationkey", "nation.nationkey"));
+  EXPECT_TRUE(has("orders.custkey", "customer.custkey"));
+  EXPECT_TRUE(has("lineitem.orderkey", "orders.orderkey"));
+  EXPECT_TRUE(has("partsupp.partkey", "part.partkey"));
+  EXPECT_TRUE(has("partsupp.suppkey", "supplier.suppkey"));
+}
+
+}  // namespace
+}  // namespace normalize

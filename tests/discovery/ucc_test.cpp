@@ -1,0 +1,133 @@
+#include "discovery/ucc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "relation/operations.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+using testing::MakeRelation;
+
+TEST(UccTest, AddressExampleMinimalUniques) {
+  RelationData address = AddressExample();
+  auto uccs = DiscoverMinimalUccs(address);
+  // Verify each reported UCC is unique and minimal.
+  for (const AttributeSet& u : uccs) {
+    EXPECT_TRUE(IsUnique(address, u)) << u.ToString();
+    for (AttributeId a : u) {
+      AttributeSet smaller = u;
+      smaller.Reset(a);
+      EXPECT_FALSE(IsUnique(address, smaller)) << u.ToString();
+    }
+  }
+  // {First, Last} must be among them.
+  bool found = false;
+  for (const AttributeSet& u : uccs) {
+    if (u == Attrs(5, {0, 1})) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(UccTest, SingleColumnKey) {
+  RelationData data = MakeRelation({{"1", "a"}, {"2", "a"}, {"3", "b"}});
+  auto uccs = DiscoverMinimalUccs(data);
+  ASSERT_EQ(uccs.size(), 1u);
+  EXPECT_EQ(uccs[0], Attrs(2, {0}));
+}
+
+TEST(UccTest, NoKeyWhenDuplicateRows) {
+  RelationData data = MakeRelation({{"1", "a"}, {"1", "a"}});
+  auto uccs = DiscoverMinimalUccs(data);
+  EXPECT_TRUE(uccs.empty());
+}
+
+TEST(UccTest, SupersetPruning) {
+  // Column 0 unique: no UCC containing column 0 plus others may appear.
+  RelationData data = MakeRelation({{"1", "a", "x"}, {"2", "a", "x"},
+                                    {"3", "b", "y"}});
+  auto uccs = DiscoverMinimalUccs(data);
+  for (const AttributeSet& u : uccs) {
+    if (u.Test(0)) {
+      EXPECT_EQ(u.Count(), 1);
+    }
+  }
+}
+
+TEST(UccTest, ExcludesNullableColumnsByDefault) {
+  RelationData data = MakeRelation({{"1", "a"}, {"", "b"}, {"2", "c"}});
+  auto uccs = DiscoverMinimalUccs(data);
+  for (const AttributeSet& u : uccs) EXPECT_FALSE(u.Test(0));
+  // Column 1 is unique and NULL-free.
+  ASSERT_EQ(uccs.size(), 1u);
+  EXPECT_EQ(uccs[0], Attrs(2, {1}));
+
+  UccDiscoveryOptions options;
+  options.exclude_nullable_columns = false;
+  auto with_nulls = DiscoverMinimalUccs(data, options);
+  EXPECT_GE(with_nulls.size(), 2u);
+}
+
+TEST(UccTest, MaxSizeBound) {
+  RelationData data = MakeRelation({{"1", "a", "x"},
+                                    {"1", "b", "x"},
+                                    {"2", "a", "y"},
+                                    {"2", "b", "z"}});
+  UccDiscoveryOptions options;
+  options.max_size = 1;
+  auto uccs = DiscoverMinimalUccs(data, options);
+  for (const AttributeSet& u : uccs) EXPECT_EQ(u.Count(), 1);
+}
+
+TEST(UccTest, ResultsSortedBySizeThenLex) {
+  RelationData data = MakeRelation({{"1", "p", "a"},
+                                    {"2", "p", "a"},
+                                    {"1", "q", "b"},
+                                    {"2", "q", "b"},
+                                    {"3", "r", "b"}});
+  auto uccs = DiscoverMinimalUccs(data);
+  for (size_t i = 1; i < uccs.size(); ++i) {
+    EXPECT_LE(uccs[i - 1].Count(), uccs[i].Count());
+  }
+}
+
+// Property: level-wise UCC discovery agrees with brute force over all
+// subsets on random data.
+TEST(UccTest, RandomizedAgainstBruteForce) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomDatasetSpec spec;
+    spec.num_attributes = 6;
+    spec.num_rows = 40;
+    spec.domain_fraction = 0.3;
+    spec.seed = seed;
+    RelationData data = GenerateRandomDataset(spec);
+    auto uccs = DiscoverMinimalUccs(data);
+    // Brute force: enumerate all non-empty subsets.
+    std::vector<AttributeSet> brute;
+    for (int mask = 1; mask < (1 << 6); ++mask) {
+      AttributeSet s(6);
+      for (int b = 0; b < 6; ++b) {
+        if (mask & (1 << b)) s.Set(b);
+      }
+      if (!IsUnique(data, s)) continue;
+      bool minimal = true;
+      for (AttributeId a : s) {
+        AttributeSet smaller = s;
+        smaller.Reset(a);
+        if (IsUnique(data, smaller)) minimal = false;
+      }
+      if (minimal) brute.push_back(s);
+    }
+    EXPECT_EQ(uccs.size(), brute.size()) << "seed " << seed;
+    for (const AttributeSet& b : brute) {
+      EXPECT_NE(std::find(uccs.begin(), uccs.end(), b), uccs.end())
+          << "missing " << b.ToString() << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,79 @@
+#include "fd/approximate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "relation/operations.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+using testing::MakeRelation;
+
+TEST(FdErrorTest, ExactFdHasZeroError) {
+  RelationData address = AddressExample();
+  EXPECT_DOUBLE_EQ(FdError(address, Attrs(5, {2}), 3), 0.0);  // Postcode->City
+  EXPECT_DOUBLE_EQ(FdError(address, Attrs(5, {0, 1}), 4), 0.0);
+}
+
+TEST(FdErrorTest, SingleExceptionCountsOneRow) {
+  // 14482 maps to Potsdam 3x; add one Babelsberg exception: g3 = 1/7.
+  RelationData address = AddressExample();
+  address.AppendRow({"Max", "Weber", "14482", "Babelsberg", "Jakobs"});
+  EXPECT_NEAR(FdError(address, Attrs(5, {2}), 3), 1.0 / 7.0, 1e-12);
+  EXPECT_TRUE(FdHoldsApproximately(address, Attrs(5, {2}), 3, 0.15));
+  EXPECT_FALSE(FdHoldsApproximately(address, Attrs(5, {2}), 3, 0.1));
+}
+
+TEST(FdErrorTest, KeepsTheMajorityValuePerGroup) {
+  // Group "a": B values x,x,y -> remove 1. Group "b": z only -> remove 0.
+  RelationData data = MakeRelation(
+      {{"a", "x"}, {"a", "x"}, {"a", "y"}, {"b", "z"}});
+  EXPECT_NEAR(FdError(data, Attrs(2, {0}), 1), 0.25, 1e-12);
+}
+
+TEST(FdErrorTest, UniformlyMixedGroupApproachesOne) {
+  RelationData data = MakeRelation(
+      {{"a", "1"}, {"a", "2"}, {"a", "3"}, {"a", "4"}});
+  // Keep one of four rows: error 0.75.
+  EXPECT_NEAR(FdError(data, Attrs(2, {0}), 1), 0.75, 1e-12);
+}
+
+TEST(FdErrorTest, EmptyLhsMeansGlobalMajority) {
+  RelationData data = MakeRelation({{"x"}, {"x"}, {"y"}});
+  EXPECT_NEAR(FdError(data, Attrs(1, {}), 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(FdErrorTest, EmptyRelationIsZero) {
+  RelationData data = MakeRelation({}, {"A", "B"});
+  EXPECT_DOUBLE_EQ(FdError(data, Attrs(2, {0}), 1), 0.0);
+}
+
+TEST(FdErrorTest, AgreesWithExactCheck) {
+  // Property: FdError == 0 iff FdHolds, over random instances.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomDatasetSpec spec;
+    spec.num_attributes = 5;
+    spec.num_rows = 60;
+    spec.seed = seed;
+    RelationData data = GenerateRandomDataset(spec);
+    for (AttributeId a = 0; a < 5; ++a) {
+      for (AttributeId b = 0; b < 5; ++b) {
+        if (a == b) continue;
+        AttributeSet lhs = Attrs(5, {a});
+        EXPECT_EQ(FdError(data, lhs, b) == 0.0, FdHolds(data, lhs, b))
+            << "seed " << seed << ": " << a << " -> " << b;
+      }
+    }
+  }
+}
+
+TEST(FdErrorTest, NullsCompareEqual) {
+  RelationData data = MakeRelation({{"", "1"}, {"", "1"}, {"", "2"}});
+  EXPECT_NEAR(FdError(data, Attrs(2, {0}), 1), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace normalize

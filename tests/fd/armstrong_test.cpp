@@ -1,0 +1,125 @@
+#include "fd/armstrong.hpp"
+
+#include <gtest/gtest.h>
+
+#include "closure/closure.hpp"
+#include "datagen/datasets.hpp"
+#include "discovery/fd_discovery.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+
+FdSet Fds(std::initializer_list<std::pair<AttributeSet, AttributeSet>> list) {
+  FdSet fds;
+  for (const auto& [lhs, rhs] : list) fds.Add(Fd(lhs, rhs));
+  return fds;
+}
+
+TEST(AttributeClosureTest, PaperSection4Example) {
+  // §4: X = {A,B}, F = {A -> C, C -> D} => X+ = {A,B,C,D}.
+  FdSet f = Fds({{Attrs(4, {0}), Attrs(4, {2})},
+                 {Attrs(4, {2}), Attrs(4, {3})}});
+  EXPECT_EQ(AttributeClosure(Attrs(4, {0, 1}), f), Attrs(4, {0, 1, 2, 3}));
+}
+
+TEST(AttributeClosureTest, NoFdsMeansReflexivityOnly) {
+  FdSet f;
+  EXPECT_EQ(AttributeClosure(Attrs(4, {1, 2}), f), Attrs(4, {1, 2}));
+}
+
+TEST(AttributeClosureTest, ChainsAndBranches) {
+  FdSet f = Fds({{Attrs(6, {0}), Attrs(6, {1})},
+                 {Attrs(6, {1}), Attrs(6, {2})},
+                 {Attrs(6, {1, 2}), Attrs(6, {3, 4})}});
+  EXPECT_EQ(AttributeClosure(Attrs(6, {0}), f), Attrs(6, {0, 1, 2, 3, 4}));
+  EXPECT_EQ(AttributeClosure(Attrs(6, {2}), f), Attrs(6, {2}));
+}
+
+TEST(ImpliesTest, MembershipProblem) {
+  FdSet f = Fds({{Attrs(4, {0}), Attrs(4, {1})},
+                 {Attrs(4, {1}), Attrs(4, {2})}});
+  EXPECT_TRUE(Implies(f, Attrs(4, {0}), 2));   // transitivity
+  EXPECT_TRUE(Implies(f, Attrs(4, {0}), 0));   // reflexivity
+  EXPECT_FALSE(Implies(f, Attrs(4, {2}), 0));
+  EXPECT_TRUE(Implies(f, Attrs(4, {0, 3}), 2));  // augmentation is implicit
+}
+
+TEST(EquivalentCoversTest, DifferentSyntaxSameSemantics) {
+  // {A -> B, B -> C} vs {A -> B,C ; B -> C}: equivalent covers.
+  FdSet f = Fds({{Attrs(3, {0}), Attrs(3, {1})},
+                 {Attrs(3, {1}), Attrs(3, {2})}});
+  FdSet g = Fds({{Attrs(3, {0}), Attrs(3, {1, 2})},
+                 {Attrs(3, {1}), Attrs(3, {2})}});
+  EXPECT_TRUE(EquivalentCovers(f, g));
+  FdSet h = Fds({{Attrs(3, {0}), Attrs(3, {1})}});
+  EXPECT_FALSE(EquivalentCovers(f, h));
+  EXPECT_TRUE(ImpliesAll(f, h));
+  EXPECT_FALSE(ImpliesAll(h, f));
+}
+
+TEST(MinimalCoverTest, RemovesExtraneousLhsAttributes) {
+  // {A,B} -> C with A -> B: B is extraneous (A+ ⊇ {A,B}).
+  FdSet f = Fds({{Attrs(3, {0, 1}), Attrs(3, {2})},
+                 {Attrs(3, {0}), Attrs(3, {1})}});
+  FdSet minimal = MinimalCover(f);
+  EXPECT_TRUE(EquivalentCovers(f, minimal));
+  for (const Fd& fd : minimal) {
+    if (fd.rhs.Test(2)) {
+      EXPECT_EQ(fd.lhs, Attrs(3, {0}));
+    }
+  }
+}
+
+TEST(MinimalCoverTest, RemovesRedundantFds) {
+  // A -> C is implied by A -> B, B -> C.
+  FdSet f = Fds({{Attrs(3, {0}), Attrs(3, {1})},
+                 {Attrs(3, {1}), Attrs(3, {2})},
+                 {Attrs(3, {0}), Attrs(3, {2})}});
+  FdSet minimal = MinimalCover(f);
+  EXPECT_TRUE(EquivalentCovers(f, minimal));
+  EXPECT_EQ(minimal.CountUnaryFds(), 2u);
+}
+
+TEST(MinimalCoverTest, DiscoveredFdsHaveNoExtraneousAttributes) {
+  // The paper (§2, on Diederich & Milton): "if all FDs are minimal, which is
+  // the case in our normalization process, then no extraneous attributes
+  // exist, and the proposed pruning strategy is futile." Note this is about
+  // extraneous LHS *attributes* — the complete set of minimal FDs is still
+  // redundant as a cover (e.g. City -> Mayor follows from City -> Postcode
+  // and Postcode -> Mayor), so MinimalCover may drop whole FDs.
+  RelationData address = AddressExample();
+  auto fds = MakeFdDiscovery("hyfd")->Discover(address);
+  ASSERT_TRUE(fds.ok());
+  for (const Fd& fd : fds->ToUnary()) {
+    for (AttributeId a : fd.lhs) {
+      AttributeSet smaller = fd.lhs;
+      smaller.Reset(a);
+      EXPECT_FALSE(Implies(*fds, smaller, fd.rhs.First()))
+          << "extraneous attribute " << a << " in " << fd.ToString();
+    }
+  }
+  FdSet minimal = MinimalCover(*fds);
+  EXPECT_TRUE(EquivalentCovers(*fds, minimal));
+  EXPECT_LE(minimal.CountUnaryFds(), fds->CountUnaryFds());
+}
+
+TEST(AttributeClosureTest, AgreesWithRhsExtension) {
+  // For every discovered FD X -> Y, the extended RHS from the optimized
+  // closure algorithm must equal X+ \ X.
+  RelationData address = AddressExample();
+  auto fds_result = MakeFdDiscovery("hyfd")->Discover(address);
+  ASSERT_TRUE(fds_result.ok());
+  FdSet minimal = *fds_result;
+  FdSet extended = minimal;
+  OptimizedClosure().Extend(&extended, address.AttributesAsSet());
+  for (const Fd& fd : extended) {
+    AttributeSet plus = AttributeClosure(fd.lhs, minimal);
+    EXPECT_EQ(fd.rhs, plus.Difference(fd.lhs)) << fd.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace normalize

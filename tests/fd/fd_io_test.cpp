@@ -1,0 +1,96 @@
+#include "fd/fd_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "datagen/datasets.hpp"
+#include "discovery/fd_discovery.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+
+const std::vector<std::string> kNames = {"First", "Last", "Postcode", "City",
+                                         "Mayor"};
+
+TEST(FdIoTest, WriteFormat) {
+  FdSet fds;
+  fds.Add(Fd(Attrs(5, {2}), Attrs(5, {3, 4})));
+  std::string text = WriteFdsToString(fds, kNames);
+  EXPECT_EQ(text, "[Postcode] --> City, Mayor\n");
+}
+
+TEST(FdIoTest, EmptyLhsRendersAsBrackets) {
+  FdSet fds;
+  fds.Add(Fd(AttributeSet(5), Attrs(5, {0})));
+  EXPECT_EQ(WriteFdsToString(fds, kNames), "[] --> First\n");
+}
+
+TEST(FdIoTest, RoundTrip) {
+  FdSet fds;
+  fds.Add(Fd(Attrs(5, {0, 1}), Attrs(5, {2, 3, 4})));
+  fds.Add(Fd(Attrs(5, {2}), Attrs(5, {3, 4})));
+  fds.Add(Fd(AttributeSet(5), Attrs(5, {0})));
+  fds.Aggregate();
+  auto parsed = ReadFdsFromString(WriteFdsToString(fds, kNames), kNames);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->EquivalentTo(fds));
+}
+
+TEST(FdIoTest, CommentsAndBlankLinesSkipped) {
+  auto parsed = ReadFdsFromString(
+      "# a comment\n\n[Postcode] --> City\n   \n# another\n", kNames);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->CountUnaryFds(), 1u);
+}
+
+TEST(FdIoTest, UnknownAttributeIsError) {
+  auto parsed = ReadFdsFromString("[Bogus] --> City\n", kNames);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FdIoTest, MalformedLineIsError) {
+  EXPECT_FALSE(ReadFdsFromString("Postcode -> City\n", kNames).ok());
+  EXPECT_FALSE(ReadFdsFromString("[Postcode --> City\n", kNames).ok());
+  EXPECT_FALSE(ReadFdsFromString("[Postcode] --> \n", kNames).ok());
+}
+
+TEST(FdIoTest, LhsAttributesDroppedFromRhs) {
+  auto parsed = ReadFdsFromString("[Postcode] --> Postcode, City\n", kNames);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].rhs, Attrs(5, {3}));
+}
+
+TEST(FdIoTest, AggregatesDuplicateLhs) {
+  auto parsed = ReadFdsFromString(
+      "[Postcode] --> City\n[Postcode] --> Mayor\n", kNames);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(parsed->CountUnaryFds(), 2u);
+}
+
+TEST(FdIoTest, FileRoundTripWithDiscoveredFds) {
+  RelationData address = AddressExample();
+  auto fds = MakeFdDiscovery("hyfd")->Discover(address);
+  ASSERT_TRUE(fds.ok());
+  std::string path = ::testing::TempDir() + "/fds_roundtrip.txt";
+  ASSERT_TRUE(WriteFdFile(*fds, kNames, path).ok());
+  auto back = ReadFdFile(path, kNames);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->EquivalentTo(*fds));
+  std::remove(path.c_str());
+}
+
+TEST(FdIoTest, MissingFileIsIoError) {
+  auto result = ReadFdFile("/nonexistent/fds.txt", kNames);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace normalize

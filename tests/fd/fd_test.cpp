@@ -1,0 +1,78 @@
+#include "fd/fd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace normalize {
+namespace {
+
+TEST(FdTest, ToStringForms) {
+  Fd fd(AttributeSet(5, {0}), AttributeSet(5, {2, 3}));
+  EXPECT_EQ(fd.ToString(), "{0} -> {2, 3}");
+  std::vector<std::string> names = {"Postcode", "x", "City", "Mayor", "y"};
+  EXPECT_EQ(fd.ToString(names), "[Postcode] -> [City, Mayor]");
+}
+
+TEST(FdSetTest, CountUnaryFds) {
+  FdSet fds;
+  fds.Add(Fd(AttributeSet(5, {0}), AttributeSet(5, {1, 2})));
+  fds.Add(Fd(AttributeSet(5, {3}), AttributeSet(5, {4})));
+  EXPECT_EQ(fds.CountUnaryFds(), 3u);
+  EXPECT_DOUBLE_EQ(fds.AverageRhsSize(), 1.5);
+}
+
+TEST(FdSetTest, AggregateMergesSameLhs) {
+  FdSet fds;
+  fds.Add(Fd(AttributeSet(5, {0}), AttributeSet(5, {1})));
+  fds.Add(Fd(AttributeSet(5, {0}), AttributeSet(5, {2})));
+  fds.Add(Fd(AttributeSet(5, {3}), AttributeSet(5, {4})));
+  fds.Aggregate();
+  EXPECT_EQ(fds.size(), 2u);
+  EXPECT_EQ(fds.CountUnaryFds(), 3u);
+}
+
+TEST(FdSetTest, AggregateRemovesLhsFromRhs) {
+  FdSet fds;
+  // Reflexive RHS attributes must be dropped (they are implicit).
+  fds.Add(Fd(AttributeSet(5, {0, 1}), AttributeSet(5, {1, 2})));
+  fds.Aggregate();
+  ASSERT_EQ(fds.size(), 1u);
+  EXPECT_EQ(fds[0].rhs, AttributeSet(5, {2}));
+}
+
+TEST(FdSetTest, AggregateDropsEmptyRhs) {
+  FdSet fds;
+  fds.Add(Fd(AttributeSet(5, {0, 1}), AttributeSet(5, {1})));
+  fds.Aggregate();
+  EXPECT_TRUE(fds.empty());
+}
+
+TEST(FdSetTest, ToUnarySortsDeterministically) {
+  FdSet a;
+  a.Add(Fd(AttributeSet(5, {0}), AttributeSet(5, {1, 2})));
+  FdSet b;
+  b.Add(Fd(AttributeSet(5, {0}), AttributeSet(5, {2})));
+  b.Add(Fd(AttributeSet(5, {0}), AttributeSet(5, {1})));
+  EXPECT_TRUE(a.EquivalentTo(b));
+  EXPECT_EQ(a.ToUnary().size(), 2u);
+}
+
+TEST(FdSetTest, EquivalentToDetectsDifference) {
+  FdSet a;
+  a.Add(Fd(AttributeSet(5, {0}), AttributeSet(5, {1})));
+  FdSet b;
+  b.Add(Fd(AttributeSet(5, {0}), AttributeSet(5, {2})));
+  EXPECT_FALSE(a.EquivalentTo(b));
+}
+
+TEST(FdSetTest, PruneByLhsSize) {
+  FdSet fds;
+  fds.Add(Fd(AttributeSet(5, {0}), AttributeSet(5, {1})));
+  fds.Add(Fd(AttributeSet(5, {0, 2}), AttributeSet(5, {1})));
+  fds.Add(Fd(AttributeSet(5, {0, 2, 3}), AttributeSet(5, {1})));
+  fds.PruneByLhsSize(2);
+  EXPECT_EQ(fds.size(), 2u);
+  for (const Fd& fd : fds) EXPECT_LE(fd.lhs.Count(), 2);
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,83 @@
+#include "fd/fd_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace normalize {
+namespace {
+
+TEST(FdTreeTest, AddAndContains) {
+  FdTree tree(6);
+  AttributeSet lhs(6, {1, 3});
+  tree.AddFd(lhs, 4);
+  EXPECT_TRUE(tree.ContainsFd(lhs, 4));
+  EXPECT_FALSE(tree.ContainsFd(lhs, 5));
+  EXPECT_FALSE(tree.ContainsFd(AttributeSet(6, {1}), 4));
+  EXPECT_EQ(tree.CountFds(), 1u);
+}
+
+TEST(FdTreeTest, EmptyLhsAtRoot) {
+  FdTree tree(4);
+  tree.AddFd(AttributeSet(4), 2);
+  EXPECT_TRUE(tree.ContainsFd(AttributeSet(4), 2));
+  EXPECT_TRUE(tree.ContainsFdOrGeneralization(AttributeSet(4, {0, 1}), 2));
+}
+
+TEST(FdTreeTest, RemoveFd) {
+  FdTree tree(6);
+  AttributeSet lhs(6, {1, 3});
+  tree.AddFd(lhs, 4);
+  tree.AddFd(lhs, 5);
+  tree.RemoveFd(lhs, 4);
+  EXPECT_FALSE(tree.ContainsFd(lhs, 4));
+  EXPECT_TRUE(tree.ContainsFd(lhs, 5));
+  // Removing a non-existent FD is a no-op.
+  tree.RemoveFd(AttributeSet(6, {0}), 4);
+  EXPECT_EQ(tree.CountFds(), 1u);
+}
+
+TEST(FdTreeTest, GeneralizationSearch) {
+  FdTree tree(6);
+  tree.AddFd(AttributeSet(6, {1}), 5);
+  EXPECT_TRUE(tree.ContainsFdOrGeneralization(AttributeSet(6, {1, 2, 3}), 5));
+  EXPECT_FALSE(tree.ContainsFdOrGeneralization(AttributeSet(6, {2, 3}), 5));
+  EXPECT_FALSE(tree.ContainsFdOrGeneralization(AttributeSet(6, {1, 2}), 4));
+}
+
+TEST(FdTreeTest, GetFdAndGeneralizationsCollectsAll) {
+  FdTree tree(6);
+  tree.AddFd(AttributeSet(6, {1}), 5);
+  tree.AddFd(AttributeSet(6, {2, 3}), 5);
+  tree.AddFd(AttributeSet(6, {1, 2, 3}), 5);
+  tree.AddFd(AttributeSet(6, {4}), 5);  // not a subset of the query
+  auto gens = tree.GetFdAndGeneralizations(AttributeSet(6, {1, 2, 3}), 5);
+  EXPECT_EQ(gens.size(), 3u);
+}
+
+TEST(FdTreeTest, GetLevelGroupsByLhsSize) {
+  FdTree tree(6);
+  tree.AddFd(AttributeSet(6), 0);
+  tree.AddFd(AttributeSet(6, {1}), 2);
+  tree.AddFd(AttributeSet(6, {1}), 3);
+  tree.AddFd(AttributeSet(6, {2, 4}), 5);
+  auto level0 = tree.GetLevel(0);
+  auto level1 = tree.GetLevel(1);
+  auto level2 = tree.GetLevel(2);
+  ASSERT_EQ(level0.size(), 1u);
+  ASSERT_EQ(level1.size(), 1u);
+  EXPECT_EQ(level1[0].rhs.Count(), 2);
+  ASSERT_EQ(level2.size(), 1u);
+  EXPECT_TRUE(tree.GetLevel(3).empty());
+}
+
+TEST(FdTreeTest, CollectAllAggregatesPerLhs) {
+  FdTree tree(6);
+  tree.AddFd(AttributeSet(6, {0}), 1);
+  tree.AddFd(AttributeSet(6, {0}), 2);
+  tree.AddFd(AttributeSet(6, {3}), 4);
+  auto all = tree.CollectAllFds();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(tree.CountFds(), 3u);
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,99 @@
+#include "fd/hitting_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+
+TEST(MinimalHittingSetsTest, EmptyFamilyHasEmptyTransversal) {
+  auto result = MinimalHittingSets({}, 5);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result[0].Empty());
+}
+
+TEST(MinimalHittingSetsTest, EmptySetMemberIsUnhittable) {
+  EXPECT_TRUE(MinimalHittingSets({AttributeSet(5)}, 5).empty());
+}
+
+TEST(MinimalHittingSetsTest, SingleSet) {
+  auto result = MinimalHittingSets({Attrs(5, {1, 3})}, 5);
+  ASSERT_EQ(result.size(), 2u);
+  // The minimal transversals are exactly the singletons of the set.
+  EXPECT_NE(std::find(result.begin(), result.end(), Attrs(5, {1})),
+            result.end());
+  EXPECT_NE(std::find(result.begin(), result.end(), Attrs(5, {3})),
+            result.end());
+}
+
+TEST(MinimalHittingSetsTest, DisjointSetsNeedOneElementEach) {
+  auto result = MinimalHittingSets({Attrs(6, {0, 1}), Attrs(6, {2, 3})}, 6);
+  EXPECT_EQ(result.size(), 4u);  // cross product of the two pairs
+  for (const auto& h : result) EXPECT_EQ(h.Count(), 2);
+}
+
+TEST(MinimalHittingSetsTest, SharedElementGivesSmallTransversal) {
+  // {0,1}, {0,2}: {0} hits both; {1,2} is the other minimal transversal.
+  auto result = MinimalHittingSets({Attrs(4, {0, 1}), Attrs(4, {0, 2})}, 4);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_NE(std::find(result.begin(), result.end(), Attrs(4, {0})),
+            result.end());
+  EXPECT_NE(std::find(result.begin(), result.end(), Attrs(4, {1, 2})),
+            result.end());
+}
+
+// Property: every output hits every set, is minimal, and every minimal
+// transversal is found (checked by brute force over all subsets).
+TEST(MinimalHittingSetsTest, RandomizedAgainstBruteForce) {
+  Rng rng(31);
+  for (int iter = 0; iter < 40; ++iter) {
+    int capacity = static_cast<int>(rng.Uniform(3, 10));
+    int num_sets = static_cast<int>(rng.Uniform(1, 6));
+    std::vector<AttributeSet> family;
+    for (int i = 0; i < num_sets; ++i) {
+      AttributeSet s(capacity);
+      int size = static_cast<int>(rng.Uniform(1, 4));
+      for (int j = 0; j < size; ++j) {
+        s.Set(static_cast<AttributeId>(rng.Uniform(0, capacity - 1)));
+      }
+      family.push_back(std::move(s));
+    }
+    auto result = MinimalHittingSets(family, capacity);
+
+    auto hits_all = [&](const AttributeSet& h) {
+      for (const auto& s : family) {
+        if (!h.Intersects(s)) return false;
+      }
+      return true;
+    };
+    // Brute force all subsets.
+    std::vector<AttributeSet> brute;
+    for (int mask = 0; mask < (1 << capacity); ++mask) {
+      AttributeSet h(capacity);
+      for (int b = 0; b < capacity; ++b) {
+        if (mask & (1 << b)) h.Set(b);
+      }
+      if (!hits_all(h)) continue;
+      bool minimal = true;
+      for (AttributeId a : h) {
+        AttributeSet smaller = h;
+        smaller.Reset(a);
+        if (hits_all(smaller)) minimal = false;
+      }
+      if (minimal) brute.push_back(h);
+    }
+    ASSERT_EQ(result.size(), brute.size()) << "iter " << iter;
+    for (const auto& b : brute) {
+      EXPECT_NE(std::find(result.begin(), result.end(), b), result.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,156 @@
+#include "fd/set_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace normalize {
+namespace {
+
+TEST(SetTrieTest, EmptyTrieHasNoSubsets) {
+  SetTrie trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.ContainsSubsetOf(AttributeSet(10, {1, 2, 3})));
+  EXPECT_FALSE(trie.Contains(AttributeSet(10)));
+}
+
+TEST(SetTrieTest, InsertAndExactContains) {
+  SetTrie trie;
+  trie.Insert(AttributeSet(10, {1, 3}));
+  EXPECT_TRUE(trie.Contains(AttributeSet(10, {1, 3})));
+  EXPECT_FALSE(trie.Contains(AttributeSet(10, {1})));
+  EXPECT_FALSE(trie.Contains(AttributeSet(10, {1, 3, 5})));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(SetTrieTest, DuplicateInsertKeepsSize) {
+  SetTrie trie;
+  trie.Insert(AttributeSet(10, {2}));
+  trie.Insert(AttributeSet(10, {2}));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(SetTrieTest, SubsetQueryFindsProperSubset) {
+  SetTrie trie;
+  trie.Insert(AttributeSet(10, {1, 3}));
+  EXPECT_TRUE(trie.ContainsSubsetOf(AttributeSet(10, {1, 2, 3})));
+  EXPECT_TRUE(trie.ContainsSubsetOf(AttributeSet(10, {1, 3})));  // improper
+  EXPECT_FALSE(trie.ContainsSubsetOf(AttributeSet(10, {1, 2})));
+  EXPECT_FALSE(trie.ContainsSubsetOf(AttributeSet(10, {3})));
+}
+
+TEST(SetTrieTest, EmptySetIsSubsetOfEverything) {
+  SetTrie trie;
+  trie.Insert(AttributeSet(10));
+  EXPECT_TRUE(trie.ContainsSubsetOf(AttributeSet(10)));
+  EXPECT_TRUE(trie.ContainsSubsetOf(AttributeSet(10, {7})));
+}
+
+TEST(SetTrieTest, SubsetsOfCollectsAll) {
+  SetTrie trie;
+  trie.Insert(AttributeSet(10, {1}));
+  trie.Insert(AttributeSet(10, {2, 3}));
+  trie.Insert(AttributeSet(10, {1, 4}));
+  trie.Insert(AttributeSet(10, {5}));
+  auto subsets = trie.SubsetsOf(AttributeSet(10, {1, 2, 3, 4}));
+  EXPECT_EQ(subsets.size(), 3u);
+}
+
+TEST(SetTrieTest, SupersetQueryBasics) {
+  SetTrie trie;
+  trie.Insert(AttributeSet(10, {1, 3, 5}));
+  EXPECT_TRUE(trie.ContainsSupersetOf(AttributeSet(10, {1, 3})));
+  EXPECT_TRUE(trie.ContainsSupersetOf(AttributeSet(10, {3, 5})));
+  EXPECT_TRUE(trie.ContainsSupersetOf(AttributeSet(10, {1, 3, 5})));  // equal
+  EXPECT_TRUE(trie.ContainsSupersetOf(AttributeSet(10)));  // empty query
+  EXPECT_FALSE(trie.ContainsSupersetOf(AttributeSet(10, {1, 2})));
+  EXPECT_FALSE(trie.ContainsSupersetOf(AttributeSet(10, {1, 3, 5, 7})));
+}
+
+TEST(SetTrieTest, SupersetQueryOnEmptyTrie) {
+  SetTrie trie;
+  EXPECT_FALSE(trie.ContainsSupersetOf(AttributeSet(10)));
+  EXPECT_FALSE(trie.ContainsSupersetOf(AttributeSet(10, {1})));
+}
+
+TEST(SetTrieTest, SupersetQueryRandomizedAgainstBruteForce) {
+  Rng rng(13);
+  for (int iter = 0; iter < 50; ++iter) {
+    int capacity = static_cast<int>(rng.Uniform(4, 40));
+    SetTrie trie;
+    std::vector<AttributeSet> stored;
+    int num_sets = static_cast<int>(rng.Uniform(1, 60));
+    for (int i = 0; i < num_sets; ++i) {
+      AttributeSet s(capacity);
+      int size = static_cast<int>(rng.Uniform(0, 8));
+      for (int j = 0; j < size; ++j) {
+        s.Set(static_cast<AttributeId>(rng.Uniform(0, capacity - 1)));
+      }
+      trie.Insert(s);
+      stored.push_back(s);
+    }
+    for (int q = 0; q < 30; ++q) {
+      AttributeSet query(capacity);
+      int size = static_cast<int>(rng.Uniform(0, 5));
+      for (int j = 0; j < size; ++j) {
+        query.Set(static_cast<AttributeId>(rng.Uniform(0, capacity - 1)));
+      }
+      bool brute = false;
+      for (const auto& s : stored) {
+        if (query.IsSubsetOf(s)) brute = true;
+      }
+      EXPECT_EQ(trie.ContainsSupersetOf(query), brute);
+    }
+  }
+}
+
+// Property test: trie subset queries must agree with brute force on random
+// set collections.
+TEST(SetTrieTest, RandomizedAgainstBruteForce) {
+  Rng rng(7);
+  for (int iter = 0; iter < 50; ++iter) {
+    int capacity = static_cast<int>(rng.Uniform(4, 40));
+    SetTrie trie;
+    std::vector<AttributeSet> stored;
+    int num_sets = static_cast<int>(rng.Uniform(1, 60));
+    for (int i = 0; i < num_sets; ++i) {
+      AttributeSet s(capacity);
+      int size = static_cast<int>(rng.Uniform(0, 5));
+      for (int j = 0; j < size; ++j) {
+        s.Set(static_cast<AttributeId>(rng.Uniform(0, capacity - 1)));
+      }
+      trie.Insert(s);
+      stored.push_back(s);
+    }
+    for (int q = 0; q < 30; ++q) {
+      AttributeSet query(capacity);
+      int size = static_cast<int>(rng.Uniform(0, 8));
+      for (int j = 0; j < size; ++j) {
+        query.Set(static_cast<AttributeId>(rng.Uniform(0, capacity - 1)));
+      }
+      bool brute = false;
+      size_t brute_count = 0;
+      for (const auto& s : stored) {
+        if (s.IsSubsetOf(query)) brute = true;
+      }
+      {
+        // Count distinct stored subsets.
+        std::vector<AttributeSet> uniq;
+        for (const auto& s : stored) {
+          if (s.IsSubsetOf(query) &&
+              std::find(uniq.begin(), uniq.end(), s) == uniq.end()) {
+            uniq.push_back(s);
+          }
+        }
+        brute_count = uniq.size();
+      }
+      EXPECT_EQ(trie.ContainsSubsetOf(query), brute);
+      EXPECT_EQ(trie.SubsetsOf(query).size(), brute_count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,166 @@
+#include "mvd/mvd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+using testing::MakeRelation;
+
+// The textbook course example: teacher ->> book | student. Every teacher
+// uses every of their books with every of their students. Books and
+// students are shared between teachers so that NO nontrivial FD holds — the
+// MVD is the only structure (otherwise the BCNF stage would already split).
+RelationData CourseExample() {
+  return MakeRelation(
+      {
+          {"smith", "algebra", "ann"},
+          {"smith", "algebra", "bob"},
+          {"smith", "calculus", "ann"},
+          {"smith", "calculus", "bob"},
+          {"jones", "calculus", "bob"},
+          {"jones", "calculus", "cara"},
+          {"jones", "sets", "bob"},
+          {"jones", "sets", "cara"},
+      },
+      {"teacher", "book", "student"}, "course");
+}
+
+TEST(MvdHoldsTest, CourseExample) {
+  RelationData course = CourseExample();
+  EXPECT_TRUE(MvdHolds(course, Attrs(3, {0}), Attrs(3, {1})));
+  EXPECT_TRUE(MvdHolds(course, Attrs(3, {0}), Attrs(3, {2})));
+}
+
+TEST(MvdHoldsTest, BrokenProductIsDetected) {
+  RelationData broken = CourseExample();
+  broken.AppendRow({"smith", "geometry", "ann"});  // geometry without bob
+  EXPECT_FALSE(MvdHolds(broken, Attrs(3, {0}), Attrs(3, {1})));
+}
+
+TEST(MvdHoldsTest, CourseExampleHasNoNontrivialFds) {
+  // Precondition for the 4NF tests: the instance's only structure is the
+  // MVD, so the BCNF stage must leave it whole.
+  RelationData course = CourseExample();
+  for (AttributeId a = 0; a < 3; ++a) {
+    for (AttributeId b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      EXPECT_FALSE(FdHolds(course, Attrs(3, {a}), b))
+          << a << " -> " << b << " unexpectedly holds";
+    }
+  }
+}
+
+TEST(MvdHoldsTest, TrivialMvdsAlwaysHold) {
+  RelationData data = MakeRelation({{"1", "a", "x"}, {"2", "b", "y"}});
+  // Y empty after removing lhs attributes -> trivial.
+  EXPECT_TRUE(MvdHolds(data, Attrs(3, {0}), Attrs(3, {0})));
+  // Y ∪ X = R (complement empty) -> trivial.
+  EXPECT_TRUE(MvdHolds(data, Attrs(3, {0}), Attrs(3, {1, 2})));
+}
+
+TEST(MvdHoldsTest, FdImpliesMvd) {
+  // A -> B implies A ->> B.
+  RelationData data = MakeRelation(
+      {{"1", "a", "x"}, {"1", "a", "y"}, {"2", "b", "x"}, {"2", "b", "z"}});
+  ASSERT_TRUE(FdHolds(data, Attrs(3, {0}), 1));
+  EXPECT_TRUE(MvdHolds(data, Attrs(3, {0}), Attrs(3, {1})));
+}
+
+TEST(MvdHoldsTest, DuplicateRowsAreIgnored) {
+  RelationData course = CourseExample();
+  RelationData doubled = course;
+  doubled.AppendRow({"smith", "algebra", "ann"});  // duplicate
+  EXPECT_TRUE(MvdHolds(doubled, Attrs(3, {0}), Attrs(3, {1})));
+}
+
+TEST(MvdHoldsTest, NullsCompareEqual) {
+  RelationData data = MakeRelation(
+      {{"", "a", "x"}, {"", "a", "y"}, {"", "b", "x"}, {"", "b", "y"}},
+      {"t", "b", "s"});
+  EXPECT_TRUE(MvdHolds(data, Attrs(3, {0}), Attrs(3, {1})));
+}
+
+TEST(FindViolatingMvdsTest, CourseExampleIsFound) {
+  RelationData course = CourseExample();
+  // The only minimal key is the full set {teacher, book, student}.
+  std::vector<AttributeSet> keys = {Attrs(3, {0, 1, 2})};
+  auto violations = FindViolatingMvds(course, keys);
+  ASSERT_FALSE(violations.empty());
+  // teacher ->> book (or equivalently ->> student) must be reported.
+  bool found = false;
+  for (const Mvd& mvd : violations) {
+    EXPECT_EQ(mvd.lhs, Attrs(3, {0}));
+    if (mvd.rhs == Attrs(3, {1}) || mvd.rhs == Attrs(3, {2})) found = true;
+    // Every reported MVD must actually hold (soundness).
+    EXPECT_TRUE(MvdHolds(course, mvd.lhs, mvd.rhs));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FindViolatingMvdsTest, SuperkeyLhsExcluded) {
+  RelationData course = CourseExample();
+  // Pretend teacher alone were a key: the violations vanish (only teacher
+  // anchors a factorizing split in this instance).
+  auto violations = FindViolatingMvds(course, {Attrs(3, {0})});
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(FindViolatingMvdsTest, FdBackedMvdsAreSkipped) {
+  // A determines B outright; the only "MVD" is the FD — not reported.
+  RelationData data = MakeRelation(
+      {{"1", "a", "x"}, {"1", "a", "y"}, {"2", "b", "x"}, {"2", "b", "y"}});
+  auto violations = FindViolatingMvds(data, {Attrs(3, {0, 2})});
+  for (const Mvd& mvd : violations) {
+    EXPECT_FALSE(mvd.lhs == Attrs(3, {0}) && mvd.rhs == Attrs(3, {1}))
+        << "FD-implied MVD must be left to the BCNF stage";
+  }
+}
+
+TEST(FindViolatingMvdsTest, NullableLhsSkippedByDefault) {
+  RelationData data = MakeRelation(
+      {
+          {"", "algebra", "ann"},
+          {"", "algebra", "bob"},
+          {"", "calculus", "ann"},
+          {"", "calculus", "bob"},
+      },
+      {"teacher", "book", "student"});
+  auto with_default = FindViolatingMvds(data, {Attrs(3, {0, 1, 2})});
+  for (const Mvd& mvd : with_default) {
+    EXPECT_FALSE(mvd.lhs.Test(0)) << "NULLable LHS must be skipped";
+  }
+  MvdSearchOptions options;
+  options.skip_nullable_lhs = false;
+  auto relaxed = FindViolatingMvds(data, {Attrs(3, {0, 1, 2})}, options);
+  bool nullable_lhs_found = false;
+  for (const Mvd& mvd : relaxed) {
+    if (mvd.lhs.Test(0)) nullable_lhs_found = true;
+  }
+  EXPECT_TRUE(nullable_lhs_found);
+}
+
+TEST(FindViolatingMvdsTest, NoViolationInFactorFreeData) {
+  // Rows chosen so no X-group factorizes: nothing to report.
+  RelationData data = MakeRelation({{"1", "a", "x"},
+                                    {"1", "b", "y"},
+                                    {"2", "a", "y"},
+                                    {"2", "b", "x"},
+                                    {"2", "b", "z"}});
+  auto violations = FindViolatingMvds(data, {Attrs(3, {0, 1, 2})});
+  for (const Mvd& mvd : violations) {
+    EXPECT_TRUE(MvdHolds(data, mvd.lhs, mvd.rhs));
+  }
+}
+
+TEST(MvdToStringTest, RendersBothForms) {
+  Mvd mvd{Attrs(3, {0}), Attrs(3, {1})};
+  EXPECT_EQ(mvd.ToString(), "{0} ->> {1}");
+  EXPECT_EQ(mvd.ToString({"t", "b", "s"}), "[t] ->> [b]");
+}
+
+}  // namespace
+}  // namespace normalize

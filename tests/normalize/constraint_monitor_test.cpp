@@ -1,0 +1,125 @@
+#include "normalize/constraint_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "normalize/normalizer.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+
+// Normalizes the address example and returns the result (2 relations:
+// address(First, Last, Postcode) and R2_Postcode(Postcode, City, Mayor)).
+NormalizationResult NormalizedAddress() {
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(AddressExample());
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(ConstraintMonitorTest, FreshNormalizationIsClean) {
+  NormalizationResult result = NormalizedAddress();
+  auto violations = CheckSchemaConstraints(result.schema, result.relations);
+  EXPECT_TRUE(violations.empty());
+  for (size_t i = 0; i < result.relations.size(); ++i) {
+    EXPECT_TRUE(CheckFds(result.schema, static_cast<int>(i),
+                         result.relations[i], result.extended_fds)
+                    .empty());
+  }
+}
+
+TEST(ConstraintMonitorTest, DuplicatePrimaryKeyDetected) {
+  NormalizationResult result = NormalizedAddress();
+  // Insert a second Potsdam row into R2 (PK Postcode duplicated).
+  result.relations[1].AppendRow({"14482", "Babelsberg", "Schmidt"});
+  auto violations = CheckSchemaConstraints(result.schema, result.relations);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind,
+            ConstraintViolation::Kind::kPrimaryKeyDuplicate);
+  EXPECT_EQ(violations[0].relation, 1);
+  EXPECT_EQ(violations[0].rows.size(), 2u);
+  EXPECT_NE(violations[0].ToString(result.schema).find("duplicate"),
+            std::string::npos);
+}
+
+TEST(ConstraintMonitorTest, NullInPrimaryKeyDetected) {
+  NormalizationResult result = NormalizedAddress();
+  result.relations[1].AppendRow({"", "Nowhere", "Nobody"},
+                                {true, false, false});
+  auto violations = CheckSchemaConstraints(result.schema, result.relations);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ConstraintViolation::Kind::kPrimaryKeyNull);
+}
+
+TEST(ConstraintMonitorTest, ForeignKeyOrphanDetected) {
+  NormalizationResult result = NormalizedAddress();
+  // A new person with a postcode R2 does not know.
+  result.relations[0].AppendRow({"Eve", "Newton", "99999"});
+  auto violations = CheckSchemaConstraints(result.schema, result.relations);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ConstraintViolation::Kind::kForeignKeyOrphan);
+  EXPECT_EQ(violations[0].relation, 0);
+  EXPECT_EQ(violations[0].rows[0], 6u);  // the appended row
+}
+
+TEST(ConstraintMonitorTest, NullForeignKeyIsNotAnOrphan) {
+  NormalizationResult result = NormalizedAddress();
+  result.relations[0].AppendRow({"Eve", "Newton", ""}, {false, false, true});
+  auto violations = CheckSchemaConstraints(result.schema, result.relations);
+  // SQL semantics: a NULL FK does not reference anything.
+  for (const auto& v : violations) {
+    EXPECT_NE(v.kind, ConstraintViolation::Kind::kForeignKeyOrphan);
+  }
+}
+
+TEST(ConstraintMonitorTest, FdViolationDetectedWithWitness) {
+  NormalizationResult result = NormalizedAddress();
+  // The mayor of Potsdam changes in one row only: Postcode -> Mayor breaks.
+  RelationData& r2 = result.relations[1];
+  RelationData patched("R2_Postcode", r2.attribute_ids(), r2.ColumnNames());
+  patched.set_universe_size(r2.universe_size());
+  patched.AppendRow({"14482", "Potsdam", "Jakobs"});
+  patched.AppendRow({"14482", "Potsdam", "Schmidt"});  // inconsistent update
+  patched.AppendRow({"60329", "Frankfurt", "Feldmann"});
+  auto violations =
+      CheckFds(result.schema, 1, patched, result.extended_fds);
+  ASSERT_FALSE(violations.empty());
+  bool found = false;
+  for (const auto& v : violations) {
+    EXPECT_EQ(v.kind, ConstraintViolation::Kind::kFdViolation);
+    if (v.attributes == Attrs(5, {2}) && v.fd_rhs.Test(4)) {
+      found = true;
+      ASSERT_EQ(v.rows.size(), 2u);
+      // Witness rows must actually disagree on Mayor while agreeing on
+      // Postcode.
+      EXPECT_EQ(patched.column(0).code(v.rows[0]),
+                patched.column(0).code(v.rows[1]));
+    }
+  }
+  EXPECT_TRUE(found) << "Postcode -> Mayor violation expected";
+}
+
+TEST(ConstraintMonitorTest, FdsOutsideRelationAreIgnored) {
+  NormalizationResult result = NormalizedAddress();
+  // Checking R1 (First, Last, Postcode) must not trip over FDs that involve
+  // City/Mayor.
+  auto violations =
+      CheckFds(result.schema, 0, result.relations[0], result.extended_fds);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(ConstraintMonitorTest, ToStringIsInformative) {
+  NormalizationResult result = NormalizedAddress();
+  result.relations[0].AppendRow({"Eve", "Newton", "99999"});
+  auto violations = CheckSchemaConstraints(result.schema, result.relations);
+  ASSERT_FALSE(violations.empty());
+  std::string s = violations[0].ToString(result.schema);
+  EXPECT_NE(s.find("orphan"), std::string::npos);
+  EXPECT_NE(s.find("Postcode"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace normalize

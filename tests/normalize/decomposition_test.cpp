@@ -1,0 +1,102 @@
+#include "normalize/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "relation/operations.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+
+TEST(DecomposeDataTest, PaperTable2) {
+  RelationData address = AddressExample();
+  Fd violating(Attrs(5, {2}), Attrs(5, {3, 4}));  // Postcode -> City, Mayor
+  Decomposition d = DecomposeData(address, violating, "R2");
+
+  // R1(First, Last, Postcode): 6 rows.
+  EXPECT_EQ(d.r1.num_columns(), 3);
+  EXPECT_EQ(d.r1.num_rows(), 6u);
+  EXPECT_EQ(d.r1.name(), "address");
+  // R2(Postcode, City, Mayor): 3 distinct rows.
+  EXPECT_EQ(d.r2.num_columns(), 3);
+  EXPECT_EQ(d.r2.num_rows(), 3u);
+  EXPECT_EQ(d.r2.name(), "R2");
+  // Total size shrinks from 36 to 27 values (paper §1).
+  EXPECT_EQ(d.r1.TotalValueCount() + d.r2.TotalValueCount(), 27u);
+}
+
+TEST(DecomposeDataTest, LosslessJoin) {
+  RelationData address = AddressExample();
+  Fd violating(Attrs(5, {2}), Attrs(5, {3, 4}));
+  Decomposition d = DecomposeData(address, violating, "R2");
+  RelationData rejoined = NaturalJoin(d.r1, d.r2);
+  EXPECT_TRUE(InstancesEqual(rejoined, address));
+}
+
+TEST(DecomposeSchemaTest, ConstraintsAreRegistered) {
+  Schema schema({"First", "Last", "Postcode", "City", "Mayor"});
+  schema.AddRelation(RelationSchema("address", AttributeSet::Full(5)));
+  Fd violating(Attrs(5, {2}), Attrs(5, {3, 4}));
+  int r2 = DecomposeSchema(&schema, 0, violating, "R2");
+
+  const RelationSchema& rel1 = schema.relation(0);
+  const RelationSchema& rel2 = schema.relation(r2);
+  EXPECT_EQ(rel1.attributes(), Attrs(5, {0, 1, 2}));
+  EXPECT_EQ(rel2.attributes(), Attrs(5, {2, 3, 4}));
+  ASSERT_TRUE(rel2.has_primary_key());
+  EXPECT_EQ(rel2.primary_key(), Attrs(5, {2}));
+  ASSERT_EQ(rel1.foreign_keys().size(), 1u);
+  EXPECT_EQ(rel1.foreign_keys()[0].attributes, Attrs(5, {2}));
+  EXPECT_EQ(rel1.foreign_keys()[0].target_relation, r2);
+}
+
+TEST(DecomposeSchemaTest, ForeignKeysAreDistributed) {
+  Schema schema({"a", "b", "c", "d", "e"});
+  RelationSchema rel("r", AttributeSet::Full(5));
+  // FK {3,4} will move entirely into R2 = {2,3,4}; FK {0} stays in R1.
+  rel.AddForeignKey(ForeignKey{Attrs(5, {3, 4}), 7});
+  rel.AddForeignKey(ForeignKey{Attrs(5, {0}), 8});
+  schema.AddRelation(std::move(rel));
+  Fd violating(Attrs(5, {2}), Attrs(5, {3, 4}));
+  int r2 = DecomposeSchema(&schema, 0, violating, "R2");
+
+  const auto& r1_fks = schema.relation(0).foreign_keys();
+  // R1 keeps FK {0} and gains the new FK {2} -> R2.
+  ASSERT_EQ(r1_fks.size(), 2u);
+  EXPECT_EQ(r1_fks[0].attributes, Attrs(5, {0}));
+  EXPECT_EQ(r1_fks[1].attributes, Attrs(5, {2}));
+  const auto& r2_fks = schema.relation(r2).foreign_keys();
+  ASSERT_EQ(r2_fks.size(), 1u);
+  EXPECT_EQ(r2_fks[0].attributes, Attrs(5, {3, 4}));
+  EXPECT_EQ(r2_fks[0].target_relation, 7);
+}
+
+TEST(DecomposeSchemaTest, ParentPrimaryKeySurvives) {
+  Schema schema({"a", "b", "c", "d"});
+  RelationSchema rel("r", AttributeSet::Full(4));
+  rel.set_primary_key(Attrs(4, {0}));
+  schema.AddRelation(std::move(rel));
+  Fd violating(Attrs(4, {1}), Attrs(4, {2}));
+  DecomposeSchema(&schema, 0, violating, "R2");
+  ASSERT_TRUE(schema.relation(0).has_primary_key());
+  EXPECT_EQ(schema.relation(0).primary_key(), Attrs(4, {0}));
+}
+
+TEST(DecomposeDataTest, RepeatedDecompositionStaysLossless) {
+  // Chain 0 -> 1 -> 2: decompose twice, rejoin, compare.
+  RelationData data("chain", {0, 1, 2}, {"a", "b", "c"});
+  data.AppendRow({"1", "x", "p"});
+  data.AppendRow({"2", "x", "p"});
+  data.AppendRow({"3", "y", "q"});
+  data.AppendRow({"4", "y", "q"});
+  Fd first(Attrs(3, {1}), Attrs(3, {2}));  // b -> c
+  Decomposition d1 = DecomposeData(data, first, "bc");
+  RelationData rejoined = NaturalJoin(d1.r1, d1.r2);
+  EXPECT_TRUE(InstancesEqual(rejoined, data));
+}
+
+}  // namespace
+}  // namespace normalize

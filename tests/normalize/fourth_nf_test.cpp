@@ -1,0 +1,140 @@
+#include "normalize/fourth_nf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "discovery/ucc.hpp"
+#include "mvd/mvd.hpp"
+#include "normalize/normalizer.hpp"
+#include "relation/operations.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+using testing::MakeRelation;
+
+// FD-free course instance (books and students shared between teachers):
+// the only structure is teacher ->> book | student.
+RelationData CourseExample() {
+  return MakeRelation(
+      {
+          {"smith", "algebra", "ann"},
+          {"smith", "algebra", "bob"},
+          {"smith", "calculus", "ann"},
+          {"smith", "calculus", "bob"},
+          {"jones", "calculus", "bob"},
+          {"jones", "calculus", "cara"},
+          {"jones", "sets", "bob"},
+          {"jones", "sets", "cara"},
+      },
+      {"teacher", "book", "student"}, "course");
+}
+
+TEST(FourNfTest, SplitsCourseExample) {
+  // BCNF leaves the course relation whole (no nontrivial FDs), but 4NF must
+  // split it into (teacher, book) and (teacher, student).
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(CourseExample());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->relations.size(), 1u) << "BCNF must not split the course";
+
+  auto splits = RefineTo4Nf(&*result);
+  ASSERT_EQ(splits.size(), 1u);
+  EXPECT_EQ(splits[0].mvd.lhs, Attrs(3, {0}));
+  ASSERT_EQ(result->relations.size(), 2u);
+  // Both parts contain teacher plus exactly one of book/student.
+  for (const RelationData& rel : result->relations) {
+    EXPECT_EQ(rel.num_columns(), 2);
+    EXPECT_GE(rel.ColumnIndexOf(0), 0);
+    EXPECT_EQ(rel.num_rows(), 4u);
+  }
+}
+
+TEST(FourNfTest, SplitIsLossless) {
+  RelationData course = CourseExample();
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(course);
+  ASSERT_TRUE(result.ok());
+  RefineTo4Nf(&*result);
+  RelationData rejoined = JoinAll(result->relations);
+  EXPECT_TRUE(InstancesEqual(rejoined, course));
+}
+
+TEST(FourNfTest, ResultHasNoRemainingViolations) {
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(CourseExample());
+  ASSERT_TRUE(result.ok());
+  FourNfOptions options;
+  RefineTo4Nf(&*result, options);
+  for (const RelationData& rel : result->relations) {
+    auto keys = DiscoverMinimalUccs(rel);
+    EXPECT_TRUE(FindViolatingMvds(rel, keys, options.search).empty())
+        << rel.name() << " still violates 4NF";
+  }
+}
+
+TEST(FourNfTest, BcnfOnlyDataIsUntouched) {
+  // The address example is already 4NF after BCNF normalization.
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(AddressExample());
+  ASSERT_TRUE(result.ok());
+  size_t before = result->relations.size();
+  auto splits = RefineTo4Nf(&*result);
+  EXPECT_TRUE(splits.empty());
+  EXPECT_EQ(result->relations.size(), before);
+}
+
+TEST(FourNfTest, PreservesPrimaryKeyConstraints) {
+  // Four independent attribute groups around a key column: the PK must
+  // survive all MVD splits.
+  RelationData data = MakeRelation(
+      {
+          {"e1", "proj-a", "skill-x"},
+          {"e1", "proj-a", "skill-y"},
+          {"e1", "proj-b", "skill-x"},
+          {"e1", "proj-b", "skill-y"},
+          {"e2", "proj-c", "skill-z"},
+      },
+      {"employee", "project", "skill"}, "assignments");
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(data);
+  ASSERT_TRUE(result.ok());
+  auto splits = RefineTo4Nf(&*result);
+  for (size_t i = 0; i < result->relations.size(); ++i) {
+    const RelationSchema& rel = result->schema.relation(static_cast<int>(i));
+    if (rel.has_primary_key()) {
+      EXPECT_TRUE(rel.primary_key().IsSubsetOf(rel.attributes()));
+    }
+    for (const ForeignKey& fk : rel.foreign_keys()) {
+      EXPECT_TRUE(fk.attributes.IsSubsetOf(rel.attributes()));
+    }
+  }
+  RelationData rejoined = JoinAll(result->relations);
+  RelationData dedup = Project(data, data.AttributesAsSet(), true);
+  EXPECT_TRUE(InstancesEqual(rejoined, dedup));
+}
+
+TEST(FourNfTest, MaxDecompositionsBound) {
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(CourseExample());
+  ASSERT_TRUE(result.ok());
+  FourNfOptions options;
+  options.max_decompositions = 0;
+  auto splits = RefineTo4Nf(&*result, options);
+  EXPECT_TRUE(splits.empty());
+}
+
+TEST(FourNfTest, SchemaToStringStillConsistent) {
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(CourseExample());
+  ASSERT_TRUE(result.ok());
+  RefineTo4Nf(&*result);
+  std::string s = result->schema.ToString();
+  EXPECT_NE(s.find("course"), std::string::npos);
+  EXPECT_NE(s.find("course_m1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,110 @@
+#include "normalize/key_derivation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "closure/closure.hpp"
+#include "datagen/datasets.hpp"
+#include "discovery/fd_discovery.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+
+TEST(KeyDerivationTest, PaperExampleKeys) {
+  RelationData address = AddressExample();
+  auto fds = MakeFdDiscovery("hyfd")->Discover(address);
+  ASSERT_TRUE(fds.ok());
+  FdSet extended = *fds;
+  OptimizedClosure().Extend(&extended, address.AttributesAsSet());
+  auto keys = DeriveKeys(extended, address.AttributesAsSet());
+  // {First, Last} is derivable (First,Last -> Postcode,City,Mayor).
+  EXPECT_NE(std::find(keys.begin(), keys.end(), Attrs(5, {0, 1})), keys.end());
+  // Postcode is not a key.
+  EXPECT_EQ(std::find(keys.begin(), keys.end(), Attrs(5, {2})), keys.end());
+}
+
+TEST(KeyDerivationTest, KeysFormAnAntichain) {
+  RelationData address = AddressExample();
+  auto fds = MakeFdDiscovery("hyfd")->Discover(address);
+  ASSERT_TRUE(fds.ok());
+  FdSet extended = *fds;
+  OptimizedClosure().Extend(&extended, address.AttributesAsSet());
+  auto keys = DeriveKeys(extended, address.AttributesAsSet());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = 0; j < keys.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(keys[i].IsProperSubsetOf(keys[j]))
+          << keys[i].ToString() << " < " << keys[j].ToString();
+    }
+  }
+}
+
+TEST(KeyDerivationTest, MissingKeysAreSkipped) {
+  // The paper's §5 example: R = Professor ⋈ Teaches ⋈ Class. The join key
+  // {name, label} is a key of R but NOT derivable from the minimal FDs
+  // name -> dept,salary and label -> room,date.
+  // Attributes: name=0, label=1, dept=2, salary=3, room=4, date=5.
+  FdSet fds;
+  fds.Add(Fd(Attrs(6, {0}), Attrs(6, {2, 3})));
+  fds.Add(Fd(Attrs(6, {1}), Attrs(6, {4, 5})));
+  OptimizedClosure().Extend(&fds, AttributeSet::Full(6));
+  auto keys = DeriveKeys(fds, AttributeSet::Full(6));
+  EXPECT_TRUE(keys.empty())
+      << "the join key {name,label} must not be derivable";
+}
+
+TEST(KeyDerivationTest, RequiresLhsInsideRelation) {
+  FdSet fds;
+  fds.Add(Fd(Attrs(6, {0}), Attrs(6, {1, 2})));
+  // Relation = {1, 2, 3}: the FD's LHS is outside, so no key.
+  auto keys = DeriveKeys(fds, Attrs(6, {1, 2, 3}));
+  EXPECT_TRUE(keys.empty());
+}
+
+TEST(KeyDerivationTest, RhsIntersectedWithRelation) {
+  FdSet fds;
+  // 0 -> 1,2,5 extended; relation {0,1,2}: 0 determines the whole relation.
+  fds.Add(Fd(Attrs(6, {0}), Attrs(6, {1, 2, 5})));
+  auto keys = DeriveKeys(fds, Attrs(6, {0, 1, 2}));
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], Attrs(6, {0}));
+}
+
+TEST(ProjectFdsTest, FiltersAndIntersects) {
+  FdSet fds;
+  fds.Add(Fd(Attrs(6, {0}), Attrs(6, {1, 4})));   // kept, RHS loses 4
+  fds.Add(Fd(Attrs(6, {4}), Attrs(6, {1})));      // dropped: LHS outside
+  fds.Add(Fd(Attrs(6, {1}), Attrs(6, {4, 5})));   // dropped: RHS empty
+  FdSet projected = ProjectFds(fds, Attrs(6, {0, 1, 2}));
+  ASSERT_EQ(projected.size(), 1u);
+  EXPECT_EQ(projected[0].lhs, Attrs(6, {0}));
+  EXPECT_EQ(projected[0].rhs, Attrs(6, {1}));
+}
+
+TEST(ProjectFdsTest, ProjectionMatchesRediscovery) {
+  // Lemma 3: the FDs of a projected instance are exactly the projected FDs.
+  RelationData address = AddressExample();
+  auto fds = MakeFdDiscovery("hyfd")->Discover(address);
+  ASSERT_TRUE(fds.ok());
+  FdSet extended = *fds;
+  OptimizedClosure().Extend(&extended, address.AttributesAsSet());
+
+  // Project onto {Postcode, City, Mayor} with duplicate removal (this is R2
+  // of the paper's decomposition).
+  AttributeSet r2 = Attrs(5, {2, 3, 4});
+  RelationData r2_data = Project(address, r2, /*distinct=*/true);
+  auto rediscovered = MakeFdDiscovery("naive")->Discover(r2_data);
+  ASSERT_TRUE(rediscovered.ok());
+  FdSet re_extended = *rediscovered;
+  OptimizedClosure().Extend(&re_extended, r2);
+
+  FdSet projected = ProjectFds(extended, r2);
+  projected.Aggregate();
+  re_extended.Aggregate();
+  EXPECT_TRUE(projected.EquivalentTo(re_extended));
+}
+
+}  // namespace
+}  // namespace normalize

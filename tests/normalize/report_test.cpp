@@ -1,0 +1,58 @@
+#include "normalize/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::MakeRelation;
+
+TEST(ReportTest, ContainsAllSections) {
+  RelationData address = AddressExample();
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(address);
+  ASSERT_TRUE(result.ok());
+  ReportOptions options;
+  options.input_value_count = address.TotalValueCount();
+  std::string report = RenderReport(*result, options);
+
+  EXPECT_NE(report.find("# Normalization report"), std::string::npos);
+  EXPECT_NE(report.find("minimal FDs discovered | 12"), std::string::npos);
+  EXPECT_NE(report.find("## Decisions"), std::string::npos);
+  EXPECT_NE(report.find("split on [Postcode]"), std::string::npos);
+  EXPECT_NE(report.find("## Resulting schema"), std::string::npos);
+  EXPECT_NE(report.find("R2_Postcode"), std::string::npos);
+  EXPECT_NE(report.find("## Relation sizes"), std::string::npos);
+  // 6 rows x 5 columns = 30 cells shrink to the paper's 27 values.
+  EXPECT_NE(report.find("30 values -> 27 values"), std::string::npos);
+  EXPECT_NE(report.find("## SQL DDL"), std::string::npos);
+  EXPECT_NE(report.find("CREATE TABLE"), std::string::npos);
+}
+
+TEST(ReportTest, SectionsCanBeDisabled) {
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(AddressExample());
+  ASSERT_TRUE(result.ok());
+  ReportOptions options;
+  options.include_sql = false;
+  options.include_sizes = false;
+  std::string report = RenderReport(*result, options);
+  EXPECT_EQ(report.find("## SQL DDL"), std::string::npos);
+  EXPECT_EQ(report.find("## Relation sizes"), std::string::npos);
+}
+
+TEST(ReportTest, AlreadyNormalizedInputSaysNoDecisions) {
+  // A two-row relation with a key column: one PK decision but no split.
+  RelationData data = MakeRelation({{"1", "a"}, {"2", "b"}});
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(data);
+  ASSERT_TRUE(result.ok());
+  std::string report = RenderReport(*result);
+  EXPECT_NE(report.find("decompositions | 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,78 @@
+#include "normalize/schema_compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+
+Schema MakeSchema(std::vector<std::pair<std::string, AttributeSet>> rels,
+                  std::vector<AttributeSet> keys = {}) {
+  Schema schema(std::vector<std::string>(10, "a"));
+  for (size_t i = 0; i < rels.size(); ++i) {
+    RelationSchema rel(rels[i].first, rels[i].second);
+    if (i < keys.size()) rel.set_primary_key(keys[i]);
+    schema.AddRelation(std::move(rel));
+  }
+  return schema;
+}
+
+TEST(SchemaCompareTest, PerfectRecovery) {
+  Schema gold = MakeSchema({{"r1", Attrs(10, {0, 1, 2})},
+                            {"r2", Attrs(10, {3, 4})}},
+                           {Attrs(10, {0}), Attrs(10, {3})});
+  Schema output = MakeSchema({{"o1", Attrs(10, {0, 1, 2})},
+                              {"o2", Attrs(10, {3, 4})}},
+                             {Attrs(10, {0}), Attrs(10, {3})});
+  RecoveryReport report = CompareToGold(gold, output, AttributeSet(10));
+  EXPECT_DOUBLE_EQ(report.average_jaccard, 1.0);
+  EXPECT_EQ(report.exact_count, 2);
+  EXPECT_EQ(report.key_count, 2);
+  EXPECT_TRUE(report.matches[0].exact);
+  EXPECT_TRUE(report.matches[1].key_recovered);
+}
+
+TEST(SchemaCompareTest, PartialOverlapPicksBestMatch) {
+  Schema gold = MakeSchema({{"r1", Attrs(10, {0, 1, 2, 3})}});
+  Schema output = MakeSchema({{"o1", Attrs(10, {0, 1})},       // jaccard 0.5
+                              {"o2", Attrs(10, {0, 1, 2})}});  // jaccard 0.75
+  RecoveryReport report = CompareToGold(gold, output, AttributeSet(10));
+  ASSERT_EQ(report.matches.size(), 1u);
+  EXPECT_EQ(report.matches[0].best_output, 1);
+  EXPECT_DOUBLE_EQ(report.matches[0].jaccard, 0.75);
+  EXPECT_FALSE(report.matches[0].exact);
+}
+
+TEST(SchemaCompareTest, IgnoredAttributesDoNotCount) {
+  Schema gold = MakeSchema({{"r1", Attrs(10, {0, 1})}});
+  Schema output = MakeSchema({{"o1", Attrs(10, {0, 1, 9})}});
+  AttributeSet ignored(10);
+  ignored.Set(9);
+  RecoveryReport report = CompareToGold(gold, output, ignored);
+  EXPECT_TRUE(report.matches[0].exact);
+  EXPECT_DOUBLE_EQ(report.average_jaccard, 1.0);
+}
+
+TEST(SchemaCompareTest, KeyMismatchDetected) {
+  Schema gold = MakeSchema({{"r1", Attrs(10, {0, 1})}}, {Attrs(10, {0})});
+  Schema output = MakeSchema({{"o1", Attrs(10, {0, 1})}}, {Attrs(10, {1})});
+  RecoveryReport report = CompareToGold(gold, output, AttributeSet(10));
+  EXPECT_TRUE(report.matches[0].exact);
+  EXPECT_FALSE(report.matches[0].key_recovered);
+}
+
+TEST(SchemaCompareTest, ToStringMentionsNames) {
+  Schema gold = MakeSchema({{"orders", Attrs(10, {0, 1})}});
+  Schema output = MakeSchema({{"R2", Attrs(10, {0, 1})}});
+  RecoveryReport report = CompareToGold(gold, output, AttributeSet(10));
+  std::string s = report.ToString(gold, output);
+  EXPECT_NE(s.find("orders"), std::string::npos);
+  EXPECT_NE(s.find("R2"), std::string::npos);
+  EXPECT_NE(s.find("jaccard"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace normalize

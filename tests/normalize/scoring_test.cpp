@@ -1,0 +1,135 @@
+#include "normalize/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+using testing::MakeRelation;
+
+TEST(KeyScoringTest, PerfectKeyScoresOne) {
+  // One attribute, values <= 8 chars, first position: total score 1.0.
+  RelationData data = MakeRelation({{"1", "x"}, {"2", "y"}});
+  ConstraintScorer scorer(data);
+  KeyScore s = scorer.ScoreKey(Attrs(2, {0}));
+  EXPECT_DOUBLE_EQ(s.length, 1.0);
+  EXPECT_DOUBLE_EQ(s.value, 1.0);
+  EXPECT_DOUBLE_EQ(s.position, 1.0);
+  EXPECT_DOUBLE_EQ(s.total, 1.0);
+}
+
+TEST(KeyScoringTest, LongerKeysScoreLower) {
+  RelationData data = MakeRelation({{"1", "2", "3"}, {"4", "5", "6"}});
+  ConstraintScorer scorer(data);
+  EXPECT_GT(scorer.ScoreKey(Attrs(3, {0})).total,
+            scorer.ScoreKey(Attrs(3, {0, 1})).total);
+  EXPECT_GT(scorer.ScoreKey(Attrs(3, {0, 1})).total,
+            scorer.ScoreKey(Attrs(3, {0, 1, 2})).total);
+}
+
+TEST(KeyScoringTest, LongValuesScoreLower) {
+  RelationData data = MakeRelation(
+      {{"1", "averylongidentifiervalue"}, {"2", "anotherlongvalue"}});
+  ConstraintScorer scorer(data);
+  EXPECT_GT(scorer.ScoreKey(Attrs(2, {0})).value,
+            scorer.ScoreKey(Attrs(2, {1})).value);
+}
+
+TEST(KeyScoringTest, LeftPositionPreferred) {
+  RelationData data = MakeRelation({{"a", "1"}, {"b", "2"}});
+  ConstraintScorer scorer(data);
+  EXPECT_GT(scorer.ScoreKey(Attrs(2, {0})).position,
+            scorer.ScoreKey(Attrs(2, {1})).position);
+}
+
+TEST(KeyScoringTest, GapsBetweenKeyAttributesPenalized) {
+  RelationData data =
+      MakeRelation({{"a", "x", "1"}, {"b", "y", "2"}});
+  ConstraintScorer scorer(data);
+  // {0,1} adjacent beats {0,2} with one attribute between.
+  EXPECT_GT(scorer.ScoreKey(Attrs(3, {0, 1})).position,
+            scorer.ScoreKey(Attrs(3, {0, 2})).position);
+}
+
+TEST(KeyScoringTest, RankKeysOrdersByTotal) {
+  RelationData address = AddressExample();
+  ConstraintScorer scorer(address);
+  std::vector<AttributeSet> keys = {Attrs(5, {0, 1}), Attrs(5, {0, 4}),
+                                    Attrs(5, {0, 2})};
+  auto ranked = scorer.RankKeys(keys);
+  ASSERT_EQ(ranked.size(), 3u);
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score.total, ranked[i].score.total);
+  }
+  // {First, Last}: adjacent, leftmost -> best.
+  EXPECT_EQ(ranked[0].key, Attrs(5, {0, 1}));
+}
+
+TEST(FdScoringTest, PaperExampleRanking) {
+  // In the address example, Postcode -> City,Mayor should outrank
+  // City -> Postcode,Mayor: City values are longer than 8 characters
+  // ("Frankfurt") and City sits right of Postcode.
+  RelationData address = AddressExample();
+  ConstraintScorer scorer(address);
+  Fd postcode(Attrs(5, {2}), Attrs(5, {3, 4}));
+  Fd city(Attrs(5, {3}), Attrs(5, {2, 4}));
+  EXPECT_GT(scorer.ScoreFd(postcode).total, scorer.ScoreFd(city).total);
+}
+
+TEST(FdScoringTest, LongerRhsScoresHigherOnLength) {
+  RelationData data = MakeRelation(
+      {{"1", "a", "b", "c", "d"}, {"2", "e", "f", "g", "h"}});
+  ConstraintScorer scorer(data);
+  Fd small(Attrs(5, {0}), Attrs(5, {1}));
+  Fd large(Attrs(5, {0}), Attrs(5, {1, 2, 3}));
+  EXPECT_GT(scorer.ScoreFd(large).length, scorer.ScoreFd(small).length);
+}
+
+TEST(FdScoringTest, DuplicationScoreFavorsRedundancy) {
+  // Column 0 has heavy duplication; column 2 is unique.
+  RelationData data = MakeRelation({{"a", "1", "w"},
+                                    {"a", "1", "x"},
+                                    {"a", "1", "y"},
+                                    {"b", "2", "z"}});
+  ConstraintScorer scorer(data);
+  Fd duplicated(Attrs(3, {0}), Attrs(3, {1}));
+  Fd unique(Attrs(3, {2}), Attrs(3, {1}));
+  EXPECT_GT(scorer.ScoreFd(duplicated).duplication,
+            scorer.ScoreFd(unique).duplication);
+}
+
+TEST(FdScoringTest, RankFdsIsDescendingAndStable) {
+  RelationData address = AddressExample();
+  ConstraintScorer scorer(address);
+  std::vector<Fd> fds = {Fd(Attrs(5, {3}), Attrs(5, {2, 4})),
+                         Fd(Attrs(5, {2}), Attrs(5, {3, 4}))};
+  auto ranked = scorer.RankFds(fds);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_GE(ranked[0].score.total, ranked[1].score.total);
+  EXPECT_EQ(ranked[0].fd.lhs, Attrs(5, {2}));
+}
+
+TEST(FdScoringTest, ScoreStringsContainFeatures) {
+  RelationData address = AddressExample();
+  ConstraintScorer scorer(address);
+  std::string key_str = scorer.ScoreKey(Attrs(5, {0})).ToString();
+  EXPECT_NE(key_str.find("length="), std::string::npos);
+  std::string fd_str =
+      scorer.ScoreFd(Fd(Attrs(5, {2}), Attrs(5, {3}))).ToString();
+  EXPECT_NE(fd_str.find("duplication="), std::string::npos);
+}
+
+TEST(FdScoringTest, EmptyRelationIsSafe) {
+  RelationData data = MakeRelation({}, {"A", "B"});
+  ConstraintScorer scorer(data);
+  FdScore s = scorer.ScoreFd(Fd(Attrs(2, {0}), Attrs(2, {1})));
+  EXPECT_GE(s.total, 0.0);
+  EXPECT_LE(s.total, 1.0);
+}
+
+}  // namespace
+}  // namespace normalize

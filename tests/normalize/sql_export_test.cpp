@@ -1,0 +1,113 @@
+#include "normalize/sql_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "normalize/normalizer.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::MakeRelation;
+
+TEST(InferSqlTypeTest, Integers) {
+  Column col("c");
+  col.Append("42");
+  col.Append("-7");
+  col.Append("0");
+  EXPECT_EQ(InferSqlType(col), "INTEGER");
+}
+
+TEST(InferSqlTypeTest, Decimals) {
+  Column col("c");
+  col.Append("3.14");
+  col.Append("42");  // mixed int/decimal stays numeric
+  EXPECT_EQ(InferSqlType(col), "DOUBLE PRECISION");
+}
+
+TEST(InferSqlTypeTest, StringsGetMaxLength) {
+  Column col("c");
+  col.Append("hello");
+  col.Append("hi");
+  EXPECT_EQ(InferSqlType(col), "VARCHAR(5)");
+}
+
+TEST(InferSqlTypeTest, NullsAreIgnoredForTyping) {
+  Column col("c");
+  col.Append("12");
+  col.AppendNull();
+  EXPECT_EQ(InferSqlType(col), "INTEGER");
+}
+
+TEST(InferSqlTypeTest, AllNullColumn) {
+  Column col("c");
+  col.AppendNull();
+  EXPECT_EQ(InferSqlType(col), "VARCHAR(1)");
+}
+
+TEST(InferSqlTypeTest, LeadingZeroCodesStayTextual) {
+  Column col("postcode");
+  col.Append("01069");
+  col.Append("14482");
+  EXPECT_EQ(InferSqlType(col), "VARCHAR(5)");
+  Column col2("n");
+  col2.Append("0");  // a bare zero is still an integer
+  EXPECT_EQ(InferSqlType(col2), "INTEGER");
+}
+
+TEST(InferSqlTypeTest, NotIntegerEdgeCases) {
+  Column col("c");
+  col.Append("12a");
+  EXPECT_EQ(InferSqlType(col), "VARCHAR(3)");
+  Column col2("c");
+  col2.Append("1.2.3");
+  EXPECT_EQ(InferSqlType(col2), "VARCHAR(5)");
+  Column col3("c");
+  col3.Append("-");
+  EXPECT_EQ(InferSqlType(col3), "VARCHAR(1)");
+}
+
+TEST(ExportSqlDdlTest, AddressExampleDdl) {
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(AddressExample());
+  ASSERT_TRUE(result.ok());
+  std::string ddl = ExportSqlDdl(result->schema, result->relations);
+
+  // Both tables present, referenced table first.
+  size_t r2_pos = ddl.find("CREATE TABLE R2_Postcode");
+  size_t r1_pos = ddl.find("CREATE TABLE address");
+  ASSERT_NE(r2_pos, std::string::npos);
+  ASSERT_NE(r1_pos, std::string::npos);
+  EXPECT_LT(r2_pos, r1_pos) << "referenced table must be created first:\n"
+                            << ddl;
+  EXPECT_NE(ddl.find("PRIMARY KEY (First, Last)"), std::string::npos) << ddl;
+  EXPECT_NE(ddl.find("PRIMARY KEY (Postcode)"), std::string::npos);
+  EXPECT_NE(ddl.find("FOREIGN KEY (Postcode) REFERENCES R2_Postcode"),
+            std::string::npos);
+  // Postcodes include "01069": leading zeros force a textual type.
+  EXPECT_NE(ddl.find("Postcode VARCHAR(5) NOT NULL"), std::string::npos) << ddl;
+}
+
+TEST(ExportSqlDdlTest, QuotedIdentifiers) {
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(AddressExample());
+  ASSERT_TRUE(result.ok());
+  SqlExportOptions options;
+  options.quote_identifiers = true;
+  std::string ddl = ExportSqlDdl(result->schema, result->relations, options);
+  EXPECT_NE(ddl.find("CREATE TABLE \"address\""), std::string::npos);
+  EXPECT_NE(ddl.find("\"Postcode\""), std::string::npos);
+}
+
+TEST(ExportSqlDdlTest, NullableColumnHasNoNotNull) {
+  RelationData data = MakeRelation({{"1", ""}, {"2", "x"}});
+  Schema schema({"A", "B"});
+  schema.AddRelation(RelationSchema("t", AttributeSet::Full(2)));
+  std::string ddl = ExportSqlDdl(schema, {data});
+  EXPECT_NE(ddl.find("A INTEGER NOT NULL"), std::string::npos) << ddl;
+  EXPECT_EQ(ddl.find("B VARCHAR(1) NOT NULL"), std::string::npos) << ddl;
+}
+
+}  // namespace
+}  // namespace normalize

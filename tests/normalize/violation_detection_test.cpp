@@ -1,0 +1,156 @@
+#include "normalize/violation_detection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "closure/closure.hpp"
+#include "datagen/datasets.hpp"
+#include "discovery/fd_discovery.hpp"
+#include "normalize/key_derivation.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+
+struct AddressSetup {
+  RelationData data = AddressExample();
+  FdSet extended;
+  std::vector<AttributeSet> keys;
+  RelationSchema rel;
+  AttributeSet nullable{5};
+
+  AddressSetup() {
+    auto fds = MakeFdDiscovery("hyfd")->Discover(data);
+    extended = *fds;
+    OptimizedClosure().Extend(&extended, data.AttributesAsSet());
+    keys = DeriveKeys(extended, data.AttributesAsSet());
+    rel = RelationSchema("address", data.AttributesAsSet());
+  }
+};
+
+TEST(ViolationDetectionTest, PaperExampleViolations) {
+  AddressSetup s;
+  auto violations = DetectViolatingFds(s.extended, s.keys, s.rel, s.nullable);
+  // Postcode -> City,Mayor must be reported; key FDs must not.
+  bool postcode_found = false;
+  for (const Fd& v : violations) {
+    EXPECT_FALSE(v.lhs == Attrs(5, {0, 1})) << "keys are not violations";
+    if (v.lhs == Attrs(5, {2})) postcode_found = true;
+  }
+  EXPECT_TRUE(postcode_found);
+}
+
+TEST(ViolationDetectionTest, SuperkeyLhsIsNoViolation) {
+  AddressSetup s;
+  // Add a (redundant, non-minimal) FD with a superkey LHS; it must be
+  // filtered by the subset search in the key trie.
+  FdSet fds = s.extended;
+  fds.Add(Fd(Attrs(5, {0, 1, 2}), Attrs(5, {3})));
+  auto violations = DetectViolatingFds(fds, s.keys, s.rel, s.nullable);
+  for (const Fd& v : violations) {
+    EXPECT_FALSE(v.lhs == Attrs(5, {0, 1, 2}));
+  }
+}
+
+TEST(ViolationDetectionTest, NullableLhsIsSkipped) {
+  AddressSetup s;
+  AttributeSet nullable(5);
+  nullable.Set(2);  // pretend Postcode has NULLs
+  auto violations = DetectViolatingFds(s.extended, s.keys, s.rel, nullable);
+  for (const Fd& v : violations) {
+    EXPECT_FALSE(v.lhs.Test(2)) << v.ToString();
+  }
+}
+
+TEST(ViolationDetectionTest, PrimaryKeyAttributesRemovedFromRhs) {
+  AddressSetup s;
+  RelationSchema rel = s.rel;
+  rel.set_primary_key(Attrs(5, {3}));  // City as (artificial) PK
+  auto violations = DetectViolatingFds(s.extended, s.keys, rel, s.nullable);
+  for (const Fd& v : violations) {
+    EXPECT_FALSE(v.rhs.Test(3)) << "PK attribute must never leave R1";
+  }
+}
+
+TEST(ViolationDetectionTest, FdWithOnlyPkRhsIsDropped) {
+  // If removing PK attributes empties the RHS, the FD is useless for
+  // decomposition and must be dropped entirely.
+  FdSet fds;
+  fds.Add(Fd(Attrs(4, {1}), Attrs(4, {2})));
+  RelationSchema rel("r", AttributeSet::Full(4));
+  rel.set_primary_key(Attrs(4, {2}));
+  auto violations =
+      DetectViolatingFds(fds, {Attrs(4, {0})}, rel, AttributeSet(4));
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(ViolationDetectionTest, ForeignKeyPreservation) {
+  // FK {2,3}; violating FD 1 -> 2 would tear attribute 2 out of R1 while
+  // {2,3} does not fit in R2 = {1,2} -> must be filtered.
+  FdSet fds;
+  fds.Add(Fd(Attrs(5, {1}), Attrs(5, {2})));
+  RelationSchema rel("r", AttributeSet::Full(5));
+  rel.AddForeignKey(ForeignKey{Attrs(5, {2, 3}), 1});
+  auto violations =
+      DetectViolatingFds(fds, {Attrs(5, {0})}, rel, AttributeSet(5));
+  EXPECT_TRUE(violations.empty());
+
+  // But 1 -> 2,3 keeps the FK intact inside R2 = {1,2,3} -> allowed.
+  FdSet fds2;
+  fds2.Add(Fd(Attrs(5, {1}), Attrs(5, {2, 3})));
+  auto violations2 =
+      DetectViolatingFds(fds2, {Attrs(5, {0})}, rel, AttributeSet(5));
+  EXPECT_EQ(violations2.size(), 1u);
+}
+
+TEST(ViolationDetectionTest, BcnfConformRelationHasNoViolations) {
+  // After the paper's decomposition, R2(Postcode, City, Mayor) is BCNF.
+  AddressSetup s;
+  AttributeSet r2 = Attrs(5, {2, 3, 4});
+  FdSet projected = ProjectFds(s.extended, r2);
+  auto keys = DeriveKeys(projected, r2);
+  RelationSchema rel("r2", r2);
+  auto violations = DetectViolatingFds(projected, keys, rel, s.nullable);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(ViolationDetectionTest, SecondNfReportsOnlyPartialDependencies) {
+  // Key {0,1}; FD 0 -> 3 is a partial dependency (LHS ⊂ key, RHS
+  // non-prime); FD 3 -> 4 is a transitive dependency — a 3NF/BCNF issue but
+  // fine for 2NF; FD 0 -> 1 targets a prime attribute, also fine for 2NF.
+  FdSet fds;
+  fds.Add(Fd(Attrs(5, {0}), Attrs(5, {3})));
+  fds.Add(Fd(Attrs(5, {3}), Attrs(5, {4})));
+  fds.Add(Fd(Attrs(5, {0}), Attrs(5, {1})));
+  RelationSchema rel("r", AttributeSet::Full(5));
+  std::vector<AttributeSet> keys = {Attrs(5, {0, 1})};
+  auto second = DetectViolatingFds(fds, keys, rel, AttributeSet(5),
+                                   NormalForm::kSecondNf);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].lhs, Attrs(5, {0}));
+  EXPECT_EQ(second[0].rhs, Attrs(5, {3}));
+  // BCNF mode reports all three.
+  auto bcnf = DetectViolatingFds(fds, keys, rel, AttributeSet(5));
+  EXPECT_EQ(bcnf.size(), 3u);
+}
+
+TEST(ViolationDetectionTest, ThirdNfFiltersLhsSplits) {
+  // BCNF vs 3NF: FD 1 -> 2 splits the LHS of 2,3 -> 4 (R2={1,2} does not
+  // contain {2,3}); 3NF mode must filter it, BCNF mode must keep it.
+  FdSet fds;
+  fds.Add(Fd(Attrs(5, {1}), Attrs(5, {2})));
+  fds.Add(Fd(Attrs(5, {2, 3}), Attrs(5, {4})));
+  RelationSchema rel("r", AttributeSet::Full(5));
+  std::vector<AttributeSet> keys = {Attrs(5, {0})};
+  auto bcnf = DetectViolatingFds(fds, keys, rel, AttributeSet(5),
+                                 NormalForm::kBcnf);
+  EXPECT_EQ(bcnf.size(), 2u);
+  auto third = DetectViolatingFds(fds, keys, rel, AttributeSet(5),
+                                  NormalForm::kThirdNf);
+  ASSERT_EQ(third.size(), 1u);
+  EXPECT_EQ(third[0].lhs, Attrs(5, {2, 3}));
+}
+
+}  // namespace
+}  // namespace normalize

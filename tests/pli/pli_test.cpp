@@ -1,0 +1,107 @@
+#include "pli/pli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::MakeRelation;
+
+TEST(PliTest, FromColumnStripsSingletons) {
+  RelationData data = MakeRelation({{"a"}, {"b"}, {"a"}, {"c"}, {"a"}});
+  Pli pli = Pli::FromColumn(data.column(0));
+  ASSERT_EQ(pli.num_clusters(), 1u);
+  EXPECT_EQ(pli.clusters()[0], (std::vector<RowId>{0, 2, 4}));
+  EXPECT_EQ(pli.ClusteredRowCount(), 3u);
+  EXPECT_EQ(pli.Error(), 2u);
+  EXPECT_FALSE(pli.IsUnique());
+}
+
+TEST(PliTest, UniqueColumnHasNoClusters) {
+  RelationData data = MakeRelation({{"a"}, {"b"}, {"c"}});
+  Pli pli = Pli::FromColumn(data.column(0));
+  EXPECT_TRUE(pli.IsUnique());
+  EXPECT_EQ(pli.Error(), 0u);
+}
+
+TEST(PliTest, IntersectMatchesCombinedGrouping) {
+  RelationData data = MakeRelation({{"a", "x"},
+                                    {"a", "x"},
+                                    {"a", "y"},
+                                    {"b", "x"},
+                                    {"b", "x"}});
+  Pli a = Pli::FromColumn(data.column(0));
+  Pli combined = a.Intersect(data.column(1));
+  // Groups: {0,1} (a,x) and {3,4} (b,x); row 2 is a singleton.
+  EXPECT_EQ(combined.num_clusters(), 2u);
+  EXPECT_EQ(combined.ClusteredRowCount(), 4u);
+}
+
+TEST(PliTest, IntersectViaProbeVector) {
+  RelationData data = MakeRelation({{"a", "x"},
+                                    {"a", "x"},
+                                    {"b", "y"},
+                                    {"b", "y"}});
+  Pli a = Pli::FromColumn(data.column(0));
+  Pli b = Pli::FromColumn(data.column(1));
+  Pli both = a.Intersect(b.AsProbeVector());
+  EXPECT_EQ(both.num_clusters(), 2u);
+  EXPECT_EQ(both.ClusteredRowCount(), 4u);
+}
+
+TEST(PliTest, RefinesDetectsFdValidity) {
+  RelationData address = AddressExample();
+  Pli postcode = Pli::FromColumn(address.column(2));
+  EXPECT_TRUE(postcode.Refines(address.column(3).codes()));   // -> City
+  EXPECT_TRUE(postcode.Refines(address.column(4).codes()));   // -> Mayor
+  Pli first = Pli::FromColumn(address.column(0));
+  EXPECT_FALSE(first.Refines(address.column(1).codes()));     // First -> Last
+}
+
+TEST(PliTest, FindViolationReturnsDisagreeingPair) {
+  RelationData address = AddressExample();
+  Pli first = Pli::FromColumn(address.column(0));
+  auto violation = first.FindViolation(address.column(1).codes());
+  ASSERT_TRUE(violation.has_value());
+  auto [r1, r2] = *violation;
+  EXPECT_EQ(address.column(0).code(r1), address.column(0).code(r2));
+  EXPECT_NE(address.column(1).code(r1), address.column(1).code(r2));
+}
+
+TEST(PliTest, NullsShareCluster) {
+  RelationData data = MakeRelation({{""}, {""}, {"x"}});
+  Pli pli = Pli::FromColumn(data.column(0));
+  ASSERT_EQ(pli.num_clusters(), 1u);
+  EXPECT_EQ(pli.clusters()[0].size(), 2u);
+}
+
+TEST(PliCacheTest, BuildPliEmptySetIsOneBigCluster) {
+  RelationData data = MakeRelation({{"a"}, {"b"}, {"c"}});
+  PliCache cache(data);
+  Pli empty = cache.BuildPli({});
+  ASSERT_EQ(empty.num_clusters(), 1u);
+  EXPECT_EQ(empty.ClusteredRowCount(), 3u);
+}
+
+TEST(PliCacheTest, BuildPliMultiColumn) {
+  RelationData address = AddressExample();
+  PliCache cache(address);
+  Pli fl = cache.BuildPli({0, 1});  // (First, Last) is a key
+  EXPECT_TRUE(fl.IsUnique());
+  Pli cm = cache.BuildPli({3, 4});  // (City, Mayor) has duplicates
+  EXPECT_FALSE(cm.IsUnique());
+  EXPECT_EQ(cm.ClusteredRowCount(), 5u);  // Potsdam x3, Frankfurt x2
+}
+
+TEST(PliCacheTest, EarlyExitOnUnique) {
+  RelationData data = MakeRelation({{"1", "a"}, {"2", "a"}, {"3", "a"}});
+  PliCache cache(data);
+  Pli pli = cache.BuildPli({0, 1});
+  EXPECT_TRUE(pli.IsUnique());
+}
+
+}  // namespace
+}  // namespace normalize

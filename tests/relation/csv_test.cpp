@@ -1,0 +1,140 @@
+#include "relation/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace normalize {
+namespace {
+
+TEST(CsvReaderTest, BasicWithHeader) {
+  CsvReader reader;
+  auto result = reader.ReadString("a,b\n1,x\n2,y\n", "t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->num_columns(), 2);
+  EXPECT_EQ(result->column(0).name(), "a");
+  EXPECT_EQ(result->column(1).ValueAt(1), "y");
+}
+
+TEST(CsvReaderTest, NoHeaderGeneratesNames) {
+  CsvOptions opt;
+  opt.has_header = false;
+  CsvReader reader(opt);
+  auto result = reader.ReadString("1,x\n", "t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->column(0).name(), "column0");
+  EXPECT_EQ(result->column(1).name(), "column1");
+}
+
+TEST(CsvReaderTest, QuotedCellsWithEscapesAndNewlines) {
+  CsvReader reader;
+  auto result =
+      reader.ReadString("a,b\n\"x,1\",\"say \"\"hi\"\"\"\n\"multi\nline\",z\n", "t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->column(0).ValueAt(0), "x,1");
+  EXPECT_EQ(result->column(1).ValueAt(0), "say \"hi\"");
+  EXPECT_EQ(result->column(0).ValueAt(1), "multi\nline");
+}
+
+TEST(CsvReaderTest, EmptyUnquotedCellIsNull) {
+  CsvReader reader;
+  auto result = reader.ReadString("a,b\n1,\n,2\n", "t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->column(1).IsNull(0));
+  EXPECT_TRUE(result->column(0).IsNull(1));
+  EXPECT_FALSE(result->column(0).IsNull(0));
+}
+
+TEST(CsvReaderTest, QuotedEmptyCellIsNotNull) {
+  CsvReader reader;
+  auto result = reader.ReadString("a,b\n\"\",2\n", "t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->column(0).IsNull(0));
+  EXPECT_EQ(result->column(0).ValueAt(0), "");
+}
+
+TEST(CsvReaderTest, CustomNullToken) {
+  CsvOptions opt;
+  opt.null_token = "?";
+  CsvReader reader(opt);
+  auto result = reader.ReadString("a\n?\nx\n", "t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->column(0).IsNull(0));
+  EXPECT_FALSE(result->column(0).IsNull(1));
+}
+
+TEST(CsvReaderTest, CustomDelimiter) {
+  CsvOptions opt;
+  opt.delimiter = ';';
+  CsvReader reader(opt);
+  auto result = reader.ReadString("a;b\n1;2\n", "t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_columns(), 2);
+}
+
+TEST(CsvReaderTest, CrLfLineEndings) {
+  CsvReader reader;
+  auto result = reader.ReadString("a,b\r\n1,2\r\n", "t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->column(1).ValueAt(0), "2");
+}
+
+TEST(CsvReaderTest, RaggedRowIsError) {
+  CsvReader reader;
+  auto result = reader.ReadString("a,b\n1\n", "t");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvReaderTest, UnterminatedQuoteIsError) {
+  CsvReader reader;
+  auto result = reader.ReadString("a\n\"oops\n", "t");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvReaderTest, MissingFileIsIoError) {
+  CsvReader reader;
+  auto result = reader.ReadFile("/nonexistent/file.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvRoundTripTest, WriteThenReadPreservesData) {
+  CsvReader reader;
+  auto original =
+      reader.ReadString("name,city\n\"Miller, T\",Potsdam\n,\"\"\n", "t");
+  ASSERT_TRUE(original.ok());
+  CsvWriter writer;
+  std::string text = writer.WriteString(*original);
+  auto reparsed = reader.ReadString(text, "t");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->num_rows(), original->num_rows());
+  for (size_t r = 0; r < original->num_rows(); ++r) {
+    for (int c = 0; c < original->num_columns(); ++c) {
+      EXPECT_EQ(original->column(c).IsNull(r), reparsed->column(c).IsNull(r));
+      EXPECT_EQ(original->column(c).ValueAt(r), reparsed->column(c).ValueAt(r));
+    }
+  }
+}
+
+TEST(CsvFileTest, WriteAndReadFile) {
+  std::string path = ::testing::TempDir() + "/normalize_csv_test.csv";
+  RelationData data("t", {0, 1}, {"a", "b"});
+  data.AppendRow({"1", "x"});
+  data.AppendRow({"2", "y"});
+  CsvWriter writer;
+  ASSERT_TRUE(writer.WriteFile(data, path).ok());
+  CsvReader reader;
+  auto back = reader.ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(back->name(), "normalize_csv_test");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,175 @@
+#include "relation/operations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+using testing::MakeRelation;
+
+TEST(ProjectTest, KeepsColumnsAndRows) {
+  RelationData data = MakeRelation({{"1", "a", "x"}, {"2", "b", "y"}});
+  RelationData proj = Project(data, Attrs(3, {0, 2}), /*distinct=*/false);
+  EXPECT_EQ(proj.num_columns(), 2);
+  EXPECT_EQ(proj.num_rows(), 2u);
+  EXPECT_EQ(proj.attribute_ids(), (std::vector<AttributeId>{0, 2}));
+  EXPECT_EQ(proj.column(1).ValueAt(1), "y");
+  EXPECT_EQ(proj.universe_size(), 3);
+}
+
+TEST(ProjectTest, DistinctRemovesDuplicates) {
+  RelationData data =
+      MakeRelation({{"1", "a"}, {"1", "a"}, {"2", "a"}, {"1", "b"}});
+  RelationData proj = Project(data, Attrs(2, {0, 1}), /*distinct=*/true);
+  EXPECT_EQ(proj.num_rows(), 3u);
+  RelationData col_a = Project(data, Attrs(2, {1}), /*distinct=*/true);
+  EXPECT_EQ(col_a.num_rows(), 2u);
+}
+
+TEST(ProjectTest, DistinctTreatsNullsEqual) {
+  RelationData data = MakeRelation({{"", "a"}, {"", "a"}});
+  RelationData proj = Project(data, Attrs(2, {0, 1}), /*distinct=*/true);
+  EXPECT_EQ(proj.num_rows(), 1u);
+  EXPECT_TRUE(proj.column(0).IsNull(0));
+}
+
+TEST(NaturalJoinTest, JoinsOnSharedAttribute) {
+  RelationData left("l", {0, 1}, {"id", "x"});
+  left.AppendRow({"1", "a"});
+  left.AppendRow({"2", "b"});
+  left.AppendRow({"3", "c"});
+  RelationData right("r", {0, 2}, {"id", "y"});
+  right.AppendRow({"1", "p"});
+  right.AppendRow({"2", "q"});
+  RelationData join = NaturalJoin(left, right);
+  EXPECT_EQ(join.num_rows(), 2u);  // id=3 has no partner
+  EXPECT_EQ(join.num_columns(), 3);
+  EXPECT_EQ(join.ColumnIndexOf(2), 2);
+}
+
+TEST(NaturalJoinTest, FanOutOnDuplicateKeys) {
+  RelationData left("l", {0, 1}, {"k", "x"});
+  left.AppendRow({"1", "a"});
+  RelationData right("r", {0, 2}, {"k", "y"});
+  right.AppendRow({"1", "p"});
+  right.AppendRow({"1", "q"});
+  RelationData join = NaturalJoin(left, right);
+  EXPECT_EQ(join.num_rows(), 2u);
+}
+
+TEST(NaturalJoinTest, NullKeysNeverMatch) {
+  RelationData left("l", {0, 1}, {"k", "x"});
+  left.AppendRow({"", "a"}, {true, false});
+  RelationData right("r", {0, 2}, {"k", "y"});
+  right.AppendRow({"", "p"}, {true, false});
+  RelationData join = NaturalJoin(left, right);
+  EXPECT_EQ(join.num_rows(), 0u);
+}
+
+TEST(NaturalJoinTest, NoSharedAttributesIsCrossProduct) {
+  RelationData left("l", {0}, {"x"});
+  left.AppendRow({"a"});
+  left.AppendRow({"b"});
+  RelationData right("r", {1}, {"y"});
+  right.AppendRow({"1"});
+  right.AppendRow({"2"});
+  right.AppendRow({"3"});
+  EXPECT_EQ(NaturalJoin(left, right).num_rows(), 6u);
+}
+
+TEST(JoinAllTest, AvoidsCrossProductOrdering) {
+  // r0 and r2 share nothing; r1 bridges them. A naive left fold r0⋈r1⋈r2
+  // works, but r0⋈r2 first would be a cross product — JoinAll must pick a
+  // connected order regardless of input order.
+  RelationData r0("r0", {0, 1}, {"a", "b"});
+  r0.AppendRow({"1", "x"});
+  r0.AppendRow({"2", "y"});
+  RelationData r2("r2", {2, 3}, {"c", "d"});
+  r2.AppendRow({"u", "p"});
+  r2.AppendRow({"v", "q"});
+  RelationData r1("r1", {1, 2}, {"b", "c"});
+  r1.AppendRow({"x", "u"});
+  r1.AppendRow({"y", "v"});
+  for (auto& order : std::vector<std::vector<RelationData>>{
+           {r0, r1, r2}, {r0, r2, r1}, {r2, r0, r1}}) {
+    RelationData joined = JoinAll(order);
+    EXPECT_EQ(joined.num_rows(), 2u);
+    EXPECT_EQ(joined.num_columns(), 4);
+  }
+}
+
+TEST(JoinAllTest, SingleRelationPassesThrough) {
+  RelationData a = MakeRelation({{"1", "x"}});
+  RelationData joined = JoinAll({a}, "out");
+  EXPECT_EQ(joined.name(), "out");
+  EXPECT_TRUE(InstancesEqual(joined, a));
+}
+
+TEST(JoinAllTest, DisconnectedComponentsCrossJoin) {
+  RelationData a("a", {0}, {"x"});
+  a.AppendRow({"1"});
+  a.AppendRow({"2"});
+  RelationData b("b", {1}, {"y"});
+  b.AppendRow({"p"});
+  EXPECT_EQ(JoinAll({a, b}).num_rows(), 2u);
+}
+
+TEST(InstancesEqualTest, IgnoresRowAndColumnOrder) {
+  RelationData a = MakeRelation({{"1", "x"}, {"2", "y"}});
+  RelationData b("t2", {1, 0}, {"B", "A"});
+  b.AppendRow({"y", "2"});
+  b.AppendRow({"x", "1"});
+  EXPECT_TRUE(InstancesEqual(a, b));
+}
+
+TEST(InstancesEqualTest, DetectsBagDifferences) {
+  RelationData a = MakeRelation({{"1"}, {"1"}, {"2"}});
+  RelationData b = MakeRelation({{"1"}, {"2"}, {"2"}});
+  EXPECT_FALSE(InstancesEqual(a, b));
+  RelationData c = MakeRelation({{"1"}, {"2"}});
+  EXPECT_FALSE(InstancesEqual(a, c));
+}
+
+TEST(FdHoldsTest, PaperExample) {
+  RelationData address = AddressExample();
+  // Postcode -> City and Postcode -> Mayor hold.
+  EXPECT_TRUE(FdHolds(address, Attrs(5, {2}), 3));
+  EXPECT_TRUE(FdHolds(address, Attrs(5, {2}), 4));
+  // First -> Last does not (Thomas Miller / Thomas Moore).
+  EXPECT_FALSE(FdHolds(address, Attrs(5, {0}), 1));
+  // {First, Last} -> everything.
+  for (AttributeId a = 2; a < 5; ++a) {
+    EXPECT_TRUE(FdHolds(address, Attrs(5, {0, 1}), a));
+  }
+}
+
+TEST(FdHoldsTest, EmptyLhsMeansConstantColumn) {
+  RelationData data = MakeRelation({{"c", "1"}, {"c", "2"}});
+  EXPECT_TRUE(FdHolds(data, Attrs(2, {}), 0));
+  EXPECT_FALSE(FdHolds(data, Attrs(2, {}), 1));
+}
+
+TEST(FdHoldsTest, NullsCompareEqual) {
+  RelationData data = MakeRelation({{"", "1"}, {"", "2"}});
+  EXPECT_FALSE(FdHolds(data, Attrs(2, {0}), 1));  // two NULL lhs, differing rhs
+}
+
+TEST(IsUniqueTest, DetectsKeys) {
+  RelationData address = AddressExample();
+  EXPECT_TRUE(IsUnique(address, Attrs(5, {0, 1})));   // First, Last
+  EXPECT_FALSE(IsUnique(address, Attrs(5, {0})));     // First duplicates
+  EXPECT_FALSE(IsUnique(address, Attrs(5, {2, 3, 4})));
+}
+
+TEST(RowValuesTest, RendersNullToken) {
+  RelationData data = MakeRelation({{"a", ""}});
+  auto row = RowValues(data, 0, "NULL");
+  EXPECT_EQ(row, (std::vector<std::string>{"a", "NULL"}));
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,87 @@
+#include "relation/relation_data.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::MakeRelation;
+
+TEST(ColumnTest, DictionaryEncodingSharesCodes) {
+  Column col("c");
+  ValueId a1 = col.Append("x");
+  ValueId a2 = col.Append("y");
+  ValueId a3 = col.Append("x");
+  EXPECT_EQ(a1, a3);
+  EXPECT_NE(a1, a2);
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.DistinctCount(), 2u);
+  EXPECT_EQ(col.ValueAt(0), "x");
+  EXPECT_EQ(col.ValueAt(1), "y");
+}
+
+TEST(ColumnTest, NullHandling) {
+  Column col("c");
+  col.Append("x");
+  ValueId n1 = col.AppendNull();
+  ValueId n2 = col.AppendNull();
+  EXPECT_EQ(n1, n2);  // NULLs compare equal (profiling semantics)
+  EXPECT_TRUE(col.has_null());
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.ValueAt(1, "<null>"), "<null>");
+  EXPECT_EQ(col.DistinctCount(), 2u);  // "x" and NULL
+}
+
+TEST(ColumnTest, MaxValueLengthIgnoresNull) {
+  Column col("c");
+  col.Append("abc");
+  col.AppendNull();
+  col.Append("a");
+  EXPECT_EQ(col.MaxValueLength(), 3u);
+}
+
+TEST(RelationDataTest, BasicConstruction) {
+  RelationData data = MakeRelation({{"1", "a"}, {"2", "b"}});
+  EXPECT_EQ(data.num_rows(), 2u);
+  EXPECT_EQ(data.num_columns(), 2);
+  EXPECT_EQ(data.universe_size(), 2);
+  EXPECT_EQ(data.ColumnIndexOf(1), 1);
+  EXPECT_EQ(data.ColumnIndexOf(5), -1);
+  EXPECT_EQ(data.TotalValueCount(), 4u);
+}
+
+TEST(RelationDataTest, AttributesAsSet) {
+  RelationData data("r", {2, 5}, {"x", "y"});
+  data.set_universe_size(8);
+  AttributeSet s = data.AttributesAsSet();
+  EXPECT_EQ(s.capacity(), 8);
+  EXPECT_TRUE(s.Test(2));
+  EXPECT_TRUE(s.Test(5));
+  EXPECT_EQ(s.Count(), 2);
+  EXPECT_EQ(data.ColumnFor(5).name(), "y");
+}
+
+TEST(RelationDataTest, UniverseSizeDefaultsToMaxIdPlusOne) {
+  RelationData data("r", {3, 7}, {"x", "y"});
+  EXPECT_EQ(data.universe_size(), 8);
+}
+
+TEST(RelationDataTest, NullMaskAppend) {
+  RelationData data = MakeRelation({{"1", ""}, {"", "b"}});
+  EXPECT_TRUE(data.column(1).IsNull(0));
+  EXPECT_TRUE(data.column(0).IsNull(1));
+  EXPECT_FALSE(data.column(0).IsNull(0));
+}
+
+TEST(RelationDataTest, ToStringRendersTable) {
+  RelationData data = MakeRelation({{"1", "hello"}});
+  std::string s = data.ToString();
+  EXPECT_NE(s.find("hello"), std::string::npos);
+  EXPECT_NE(s.find("A"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,123 @@
+#include "relation/schema_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "datagen/datasets.hpp"
+#include "normalize/normalizer.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::Attrs;
+
+Schema AddressSchema() {
+  Schema schema({"First", "Last", "Postcode", "City", "Mayor"});
+  RelationSchema r1("address", Attrs(5, {0, 1, 2}));
+  r1.set_primary_key(Attrs(5, {0, 1}));
+  RelationSchema r2("R2", Attrs(5, {2, 3, 4}));
+  r2.set_primary_key(Attrs(5, {2}));
+  schema.AddRelation(std::move(r1));
+  int r2_index = schema.AddRelation(std::move(r2));
+  schema.mutable_relation(0)->AddForeignKey(ForeignKey{Attrs(5, {2}), r2_index});
+  return schema;
+}
+
+void ExpectSchemasEqual(const Schema& a, const Schema& b) {
+  ASSERT_EQ(a.attribute_names(), b.attribute_names());
+  ASSERT_EQ(a.relations().size(), b.relations().size());
+  for (size_t i = 0; i < a.relations().size(); ++i) {
+    const RelationSchema& ra = a.relation(static_cast<int>(i));
+    const RelationSchema& rb = b.relation(static_cast<int>(i));
+    EXPECT_EQ(ra.name(), rb.name());
+    EXPECT_EQ(ra.attributes(), rb.attributes());
+    EXPECT_EQ(ra.has_primary_key(), rb.has_primary_key());
+    if (ra.has_primary_key()) {
+      EXPECT_EQ(ra.primary_key(), rb.primary_key());
+    }
+    ASSERT_EQ(ra.foreign_keys().size(), rb.foreign_keys().size());
+    for (size_t f = 0; f < ra.foreign_keys().size(); ++f) {
+      EXPECT_EQ(ra.foreign_keys()[f], rb.foreign_keys()[f]);
+    }
+  }
+}
+
+TEST(SchemaIoTest, RoundTrip) {
+  Schema schema = AddressSchema();
+  std::string text = WriteSchemaToString(schema);
+  auto back = ReadSchemaFromString(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSchemasEqual(schema, *back);
+}
+
+TEST(SchemaIoTest, NormalizationResultRoundTrip) {
+  Normalizer normalizer;
+  auto result = normalizer.Normalize(AddressExample());
+  ASSERT_TRUE(result.ok());
+  auto back = ReadSchemaFromString(WriteSchemaToString(result->schema));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSchemasEqual(result->schema, *back);
+}
+
+TEST(SchemaIoTest, TextContainsSections) {
+  std::string text = WriteSchemaToString(AddressSchema());
+  EXPECT_NE(text.find("attributes: First, Last, Postcode, City, Mayor"),
+            std::string::npos);
+  EXPECT_NE(text.find("relation: address"), std::string::npos);
+  EXPECT_NE(text.find("pk: First, Last"), std::string::npos);
+  EXPECT_NE(text.find("fk: Postcode -> R2"), std::string::npos);
+}
+
+TEST(SchemaIoTest, ForwardFkReferencesResolve) {
+  // An FK may name a relation that appears later in the file.
+  auto schema = ReadSchemaFromString(
+      "attributes: a, b\n"
+      "relation: first\n"
+      "  attrs: a, b\n"
+      "  fk: b -> second\n"
+      "relation: second\n"
+      "  attrs: b\n"
+      "  pk: b\n");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  ASSERT_EQ(schema->relation(0).foreign_keys().size(), 1u);
+  EXPECT_EQ(schema->relation(0).foreign_keys()[0].target_relation, 1);
+}
+
+TEST(SchemaIoTest, Errors) {
+  EXPECT_FALSE(ReadSchemaFromString("relation: r\n").ok());  // no attributes
+  EXPECT_FALSE(ReadSchemaFromString("attributes: a\nbogus line\n").ok());
+  EXPECT_FALSE(
+      ReadSchemaFromString("attributes: a\nrelation: r\n  attrs: zz\n").ok());
+  EXPECT_FALSE(
+      ReadSchemaFromString("attributes: a\n  attrs: a\n").ok());  // outside rel
+  EXPECT_FALSE(ReadSchemaFromString(
+                   "attributes: a\nrelation: r\n  fk: a -> nowhere\n")
+                   .ok());
+  EXPECT_FALSE(ReadSchemaFromString(
+                   "attributes: a\nrelation: r\n  fk: a\n")
+                   .ok());  // fk without target
+  EXPECT_FALSE(ReadSchemaFromString("attributes: a\nwhat: ever\n").ok());
+}
+
+TEST(SchemaIoTest, CommentsAndBlankLinesIgnored) {
+  auto schema = ReadSchemaFromString(
+      "# header comment\n\nattributes: a\n\nrelation: r\n  attrs: a\n");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->relations().size(), 1u);
+}
+
+TEST(SchemaIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/schema_io_test.schema";
+  Schema schema = AddressSchema();
+  ASSERT_TRUE(WriteSchemaFile(schema, path).ok());
+  auto back = ReadSchemaFile(path);
+  ASSERT_TRUE(back.ok());
+  ExpectSchemasEqual(schema, *back);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadSchemaFile("/nonexistent/x.schema").ok());
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,66 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.hpp"
+#include "fd/fd.hpp"
+#include "relation/operations.hpp"
+#include "relation/relation_data.hpp"
+
+namespace normalize::testing {
+
+/// Builds a relation from rows of string cells; attribute ids are 0..n-1 and
+/// column names "A".."Z" unless given. The empty string is a NULL cell.
+inline RelationData MakeRelation(
+    const std::vector<std::vector<std::string>>& rows,
+    std::vector<std::string> names = {}, const std::string& rel_name = "t") {
+  size_t cols = rows.empty() ? names.size() : rows[0].size();
+  if (names.empty()) {
+    for (size_t i = 0; i < cols; ++i) {
+      names.push_back(std::string(1, static_cast<char>('A' + i)));
+    }
+  }
+  std::vector<AttributeId> ids(cols);
+  for (size_t i = 0; i < cols; ++i) ids[i] = static_cast<AttributeId>(i);
+  RelationData data(rel_name, ids, names);
+  for (const auto& row : rows) {
+    std::vector<bool> nulls(cols);
+    for (size_t i = 0; i < cols; ++i) nulls[i] = row[i].empty();
+    data.AppendRow(row, nulls);
+  }
+  return data;
+}
+
+/// Attribute set literal helper over a given capacity.
+inline AttributeSet Attrs(int capacity, std::initializer_list<AttributeId> ids) {
+  return AttributeSet(capacity, ids);
+}
+
+/// True iff every FD in `fds` actually holds on `data` (oracle check).
+inline bool AllFdsHold(const RelationData& data, const FdSet& fds) {
+  for (const Fd& fd : fds) {
+    for (AttributeId a : fd.rhs) {
+      if (!FdHolds(data, fd.lhs, a)) return false;
+    }
+  }
+  return true;
+}
+
+/// True iff every FD in `fds` has a minimal LHS on `data`: removing any LHS
+/// attribute invalidates the FD (for non-empty LHS).
+inline bool AllFdsMinimal(const RelationData& data, const FdSet& fds) {
+  for (const Fd& fd : fds) {
+    for (AttributeId a : fd.rhs) {
+      for (AttributeId x : fd.lhs) {
+        AttributeSet smaller = fd.lhs;
+        smaller.Reset(x);
+        if (FdHolds(data, smaller, a)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace normalize::testing
