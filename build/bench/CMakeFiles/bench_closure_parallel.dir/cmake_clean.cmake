@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_closure_parallel.dir/bench_closure_parallel.cpp.o"
+  "CMakeFiles/bench_closure_parallel.dir/bench_closure_parallel.cpp.o.d"
+  "bench_closure_parallel"
+  "bench_closure_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_closure_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

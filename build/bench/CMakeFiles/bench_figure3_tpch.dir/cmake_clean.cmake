@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3_tpch.dir/bench_figure3_tpch.cpp.o"
+  "CMakeFiles/bench_figure3_tpch.dir/bench_figure3_tpch.cpp.o.d"
+  "bench_figure3_tpch"
+  "bench_figure3_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_musicbrainz.dir/bench_figure4_musicbrainz.cpp.o"
+  "CMakeFiles/bench_figure4_musicbrainz.dir/bench_figure4_musicbrainz.cpp.o.d"
+  "bench_figure4_musicbrainz"
+  "bench_figure4_musicbrainz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_musicbrainz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

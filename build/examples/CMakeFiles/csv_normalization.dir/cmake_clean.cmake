@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_normalization.dir/csv_normalization.cpp.o"
+  "CMakeFiles/csv_normalization.dir/csv_normalization.cpp.o.d"
+  "csv_normalization"
+  "csv_normalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

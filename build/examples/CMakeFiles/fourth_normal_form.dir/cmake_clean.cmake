@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourth_normal_form.dir/fourth_normal_form.cpp.o"
+  "CMakeFiles/fourth_normal_form.dir/fourth_normal_form.cpp.o.d"
+  "fourth_normal_form"
+  "fourth_normal_form.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourth_normal_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

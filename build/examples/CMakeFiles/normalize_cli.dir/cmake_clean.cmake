@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normalize_cli.dir/normalize_cli.cpp.o"
+  "CMakeFiles/normalize_cli.dir/normalize_cli.cpp.o.d"
+  "normalize_cli"
+  "normalize_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normalize_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

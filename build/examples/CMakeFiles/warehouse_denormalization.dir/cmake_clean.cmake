@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_denormalization.dir/warehouse_denormalization.cpp.o"
+  "CMakeFiles/warehouse_denormalization.dir/warehouse_denormalization.cpp.o.d"
+  "warehouse_denormalization"
+  "warehouse_denormalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_denormalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/closure/closure.cpp" "src/CMakeFiles/normalize_core.dir/closure/closure.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/closure/closure.cpp.o.d"
+  "/root/repo/src/common/attribute_set.cpp" "src/CMakeFiles/normalize_core.dir/common/attribute_set.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/common/attribute_set.cpp.o.d"
+  "/root/repo/src/common/bloom_filter.cpp" "src/CMakeFiles/normalize_core.dir/common/bloom_filter.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/common/bloom_filter.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/normalize_core.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/string_utils.cpp" "src/CMakeFiles/normalize_core.dir/common/string_utils.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/common/string_utils.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/normalize_core.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/datagen/datasets.cpp" "src/CMakeFiles/normalize_core.dir/datagen/datasets.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/datagen/datasets.cpp.o.d"
+  "/root/repo/src/datagen/fd_generator.cpp" "src/CMakeFiles/normalize_core.dir/datagen/fd_generator.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/datagen/fd_generator.cpp.o.d"
+  "/root/repo/src/datagen/musicbrainz_like.cpp" "src/CMakeFiles/normalize_core.dir/datagen/musicbrainz_like.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/datagen/musicbrainz_like.cpp.o.d"
+  "/root/repo/src/datagen/tpch_like.cpp" "src/CMakeFiles/normalize_core.dir/datagen/tpch_like.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/datagen/tpch_like.cpp.o.d"
+  "/root/repo/src/discovery/dfd.cpp" "src/CMakeFiles/normalize_core.dir/discovery/dfd.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/discovery/dfd.cpp.o.d"
+  "/root/repo/src/discovery/discovery_util.cpp" "src/CMakeFiles/normalize_core.dir/discovery/discovery_util.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/discovery/discovery_util.cpp.o.d"
+  "/root/repo/src/discovery/fd_discovery.cpp" "src/CMakeFiles/normalize_core.dir/discovery/fd_discovery.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/discovery/fd_discovery.cpp.o.d"
+  "/root/repo/src/discovery/fdep.cpp" "src/CMakeFiles/normalize_core.dir/discovery/fdep.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/discovery/fdep.cpp.o.d"
+  "/root/repo/src/discovery/hyfd.cpp" "src/CMakeFiles/normalize_core.dir/discovery/hyfd.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/discovery/hyfd.cpp.o.d"
+  "/root/repo/src/discovery/ind.cpp" "src/CMakeFiles/normalize_core.dir/discovery/ind.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/discovery/ind.cpp.o.d"
+  "/root/repo/src/discovery/induction.cpp" "src/CMakeFiles/normalize_core.dir/discovery/induction.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/discovery/induction.cpp.o.d"
+  "/root/repo/src/discovery/naive_fd.cpp" "src/CMakeFiles/normalize_core.dir/discovery/naive_fd.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/discovery/naive_fd.cpp.o.d"
+  "/root/repo/src/discovery/tane.cpp" "src/CMakeFiles/normalize_core.dir/discovery/tane.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/discovery/tane.cpp.o.d"
+  "/root/repo/src/discovery/ucc.cpp" "src/CMakeFiles/normalize_core.dir/discovery/ucc.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/discovery/ucc.cpp.o.d"
+  "/root/repo/src/fd/approximate.cpp" "src/CMakeFiles/normalize_core.dir/fd/approximate.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/fd/approximate.cpp.o.d"
+  "/root/repo/src/fd/armstrong.cpp" "src/CMakeFiles/normalize_core.dir/fd/armstrong.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/fd/armstrong.cpp.o.d"
+  "/root/repo/src/fd/fd.cpp" "src/CMakeFiles/normalize_core.dir/fd/fd.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/fd/fd.cpp.o.d"
+  "/root/repo/src/fd/fd_io.cpp" "src/CMakeFiles/normalize_core.dir/fd/fd_io.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/fd/fd_io.cpp.o.d"
+  "/root/repo/src/fd/fd_tree.cpp" "src/CMakeFiles/normalize_core.dir/fd/fd_tree.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/fd/fd_tree.cpp.o.d"
+  "/root/repo/src/fd/hitting_set.cpp" "src/CMakeFiles/normalize_core.dir/fd/hitting_set.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/fd/hitting_set.cpp.o.d"
+  "/root/repo/src/fd/set_trie.cpp" "src/CMakeFiles/normalize_core.dir/fd/set_trie.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/fd/set_trie.cpp.o.d"
+  "/root/repo/src/mvd/mvd.cpp" "src/CMakeFiles/normalize_core.dir/mvd/mvd.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/mvd/mvd.cpp.o.d"
+  "/root/repo/src/normalize/constraint_monitor.cpp" "src/CMakeFiles/normalize_core.dir/normalize/constraint_monitor.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/normalize/constraint_monitor.cpp.o.d"
+  "/root/repo/src/normalize/decomposition.cpp" "src/CMakeFiles/normalize_core.dir/normalize/decomposition.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/normalize/decomposition.cpp.o.d"
+  "/root/repo/src/normalize/fourth_nf.cpp" "src/CMakeFiles/normalize_core.dir/normalize/fourth_nf.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/normalize/fourth_nf.cpp.o.d"
+  "/root/repo/src/normalize/key_derivation.cpp" "src/CMakeFiles/normalize_core.dir/normalize/key_derivation.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/normalize/key_derivation.cpp.o.d"
+  "/root/repo/src/normalize/normalizer.cpp" "src/CMakeFiles/normalize_core.dir/normalize/normalizer.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/normalize/normalizer.cpp.o.d"
+  "/root/repo/src/normalize/report.cpp" "src/CMakeFiles/normalize_core.dir/normalize/report.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/normalize/report.cpp.o.d"
+  "/root/repo/src/normalize/schema_compare.cpp" "src/CMakeFiles/normalize_core.dir/normalize/schema_compare.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/normalize/schema_compare.cpp.o.d"
+  "/root/repo/src/normalize/scoring.cpp" "src/CMakeFiles/normalize_core.dir/normalize/scoring.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/normalize/scoring.cpp.o.d"
+  "/root/repo/src/normalize/sql_export.cpp" "src/CMakeFiles/normalize_core.dir/normalize/sql_export.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/normalize/sql_export.cpp.o.d"
+  "/root/repo/src/normalize/violation_detection.cpp" "src/CMakeFiles/normalize_core.dir/normalize/violation_detection.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/normalize/violation_detection.cpp.o.d"
+  "/root/repo/src/pli/pli.cpp" "src/CMakeFiles/normalize_core.dir/pli/pli.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/pli/pli.cpp.o.d"
+  "/root/repo/src/relation/csv.cpp" "src/CMakeFiles/normalize_core.dir/relation/csv.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/relation/csv.cpp.o.d"
+  "/root/repo/src/relation/operations.cpp" "src/CMakeFiles/normalize_core.dir/relation/operations.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/relation/operations.cpp.o.d"
+  "/root/repo/src/relation/relation_data.cpp" "src/CMakeFiles/normalize_core.dir/relation/relation_data.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/relation/relation_data.cpp.o.d"
+  "/root/repo/src/relation/schema.cpp" "src/CMakeFiles/normalize_core.dir/relation/schema.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/relation/schema.cpp.o.d"
+  "/root/repo/src/relation/schema_io.cpp" "src/CMakeFiles/normalize_core.dir/relation/schema_io.cpp.o" "gcc" "src/CMakeFiles/normalize_core.dir/relation/schema_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

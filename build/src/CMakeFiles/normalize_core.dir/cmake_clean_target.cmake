@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnormalize_core.a"
+)

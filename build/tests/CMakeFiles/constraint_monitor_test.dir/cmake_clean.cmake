@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_monitor_test.dir/normalize/constraint_monitor_test.cpp.o"
+  "CMakeFiles/constraint_monitor_test.dir/normalize/constraint_monitor_test.cpp.o.d"
+  "constraint_monitor_test"
+  "constraint_monitor_test.pdb"
+  "constraint_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_io_test.dir/fd/fd_io_test.cpp.o"
+  "CMakeFiles/fd_io_test.dir/fd/fd_io_test.cpp.o.d"
+  "fd_io_test"
+  "fd_io_test.pdb"
+  "fd_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_tree_test.dir/fd/fd_tree_test.cpp.o"
+  "CMakeFiles/fd_tree_test.dir/fd/fd_tree_test.cpp.o.d"
+  "fd_tree_test"
+  "fd_tree_test.pdb"
+  "fd_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourth_nf_test.dir/normalize/fourth_nf_test.cpp.o"
+  "CMakeFiles/fourth_nf_test.dir/normalize/fourth_nf_test.cpp.o.d"
+  "fourth_nf_test"
+  "fourth_nf_test.pdb"
+  "fourth_nf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourth_nf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

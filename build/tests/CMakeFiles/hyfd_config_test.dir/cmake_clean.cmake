@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyfd_config_test.dir/discovery/hyfd_config_test.cpp.o"
+  "CMakeFiles/hyfd_config_test.dir/discovery/hyfd_config_test.cpp.o.d"
+  "hyfd_config_test"
+  "hyfd_config_test.pdb"
+  "hyfd_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyfd_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

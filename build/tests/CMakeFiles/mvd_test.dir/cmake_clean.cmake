@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvd_test.dir/mvd/mvd_test.cpp.o"
+  "CMakeFiles/mvd_test.dir/mvd/mvd_test.cpp.o.d"
+  "mvd_test"
+  "mvd_test.pdb"
+  "mvd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

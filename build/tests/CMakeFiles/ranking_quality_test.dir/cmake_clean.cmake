@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranking_quality_test.dir/integration/ranking_quality_test.cpp.o"
+  "CMakeFiles/ranking_quality_test.dir/integration/ranking_quality_test.cpp.o.d"
+  "ranking_quality_test"
+  "ranking_quality_test.pdb"
+  "ranking_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranking_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

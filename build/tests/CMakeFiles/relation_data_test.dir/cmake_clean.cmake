@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_data_test.dir/relation/relation_data_test.cpp.o"
+  "CMakeFiles/relation_data_test.dir/relation/relation_data_test.cpp.o.d"
+  "relation_data_test"
+  "relation_data_test.pdb"
+  "relation_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_compare_test.dir/normalize/schema_compare_test.cpp.o"
+  "CMakeFiles/schema_compare_test.dir/normalize/schema_compare_test.cpp.o.d"
+  "schema_compare_test"
+  "schema_compare_test.pdb"
+  "schema_compare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_export_test.dir/normalize/sql_export_test.cpp.o"
+  "CMakeFiles/sql_export_test.dir/normalize/sql_export_test.cpp.o.d"
+  "sql_export_test"
+  "sql_export_test.pdb"
+  "sql_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

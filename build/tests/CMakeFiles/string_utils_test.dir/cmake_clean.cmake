@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_utils_test.dir/common/string_utils_test.cpp.o"
+  "CMakeFiles/string_utils_test.dir/common/string_utils_test.cpp.o.d"
+  "string_utils_test"
+  "string_utils_test.pdb"
+  "string_utils_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

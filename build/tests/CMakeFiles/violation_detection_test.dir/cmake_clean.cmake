@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/violation_detection_test.dir/normalize/violation_detection_test.cpp.o"
+  "CMakeFiles/violation_detection_test.dir/normalize/violation_detection_test.cpp.o.d"
+  "violation_detection_test"
+  "violation_detection_test.pdb"
+  "violation_detection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/violation_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
