@@ -4,17 +4,107 @@
 // that relative shape on the profile datasets and reports result sizes
 // (which must agree across algorithms — the tests enforce exact equality).
 //
+// A second section sweeps the `threads` knob (1/2/4/8) over HyFd and Tane on
+// the TPC-H-like universal relation, prints the per-phase breakdown, and
+// records the results to a JSON file for tracking across commits.
+//
 // Flags: --scale=<f>, --max-lhs=<n>, --skip-tane (Tane's lattice is
-// expensive on wide relations).
+// expensive on wide relations), --sweep-scale=<f>, --skip-sweep,
+// --json=<path> (default BENCH_discovery.json).
+#include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "common/stopwatch.hpp"
 #include "datagen/datasets.hpp"
+#include "datagen/tpch_like.hpp"
 #include "discovery/fd_discovery.hpp"
 
 using namespace normalize;
 using namespace normalize::bench;
+
+namespace {
+
+struct SweepResult {
+  std::string algo;
+  int threads = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;
+  size_t fd_count = 0;
+};
+
+// The paper's Figure 3 workload: HyFd (and optionally Tane) on the TPC-H
+// universal relation at each thread count, serial time as the baseline.
+std::vector<SweepResult> RunThreadSweep(const RelationData& universal,
+                                        int max_lhs, bool skip_tane) {
+  std::vector<SweepResult> results;
+  for (const char* algo_name : {"hyfd", "tane"}) {
+    if (skip_tane && std::string(algo_name) == "tane") continue;
+    double serial_seconds = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+      FdDiscoveryOptions options;
+      options.max_lhs_size = max_lhs;
+      options.threads = threads;
+      auto algo = MakeFdDiscovery(algo_name, options);
+      Stopwatch watch;
+      auto result = algo->Discover(universal);
+      double t = watch.ElapsedSeconds();
+      if (!result.ok()) continue;
+      if (threads == 1) serial_seconds = t;
+      SweepResult r;
+      r.algo = algo_name;
+      r.threads = threads;
+      r.seconds = t;
+      r.speedup = t > 0 ? serial_seconds / t : 1.0;
+      r.fd_count = result->CountUnaryFds();
+      results.push_back(r);
+
+      if (threads == 1 || threads == 8) {
+        std::cout << "  [" << algo_name << " threads=" << threads
+                  << "] phases:";
+        for (const auto& phase : algo->phase_metrics().phases()) {
+          std::cout << " " << phase.name << "="
+                    << FormatDuration(phase.seconds);
+        }
+        std::cout << "\n";
+      }
+    }
+  }
+  return results;
+}
+
+void WriteSweepJson(const std::string& path, const RelationData& universal,
+                    int max_lhs, const std::vector<SweepResult>& results) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"bench_discovery_thread_sweep\",\n"
+      << "  \"dataset\": \"tpch_universal\",\n"
+      << "  \"rows\": " << universal.num_rows() << ",\n"
+      << "  \"columns\": " << universal.num_columns() << ",\n"
+      << "  \"max_lhs\": " << max_lhs << ",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"algorithm\": \"%s\", \"threads\": %d, "
+                  "\"seconds\": %.6f, \"speedup\": %.3f, \"fds\": %zu}%s\n",
+                  r.algo.c_str(), r.threads, r.seconds, r.speedup, r.fd_count,
+                  i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << path << "\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
@@ -70,5 +160,31 @@ int main(int argc, char** argv) {
                "every dataset;\nFdep wins on wide-but-short tables "
                "(Amalgam1) but degrades with row count;\nTane struggles as "
                "width grows (skipped on the two widest tables).\n";
+
+  if (!args.Has("skip-sweep")) {
+    double sweep_scale = args.GetDouble("sweep-scale", 0.5);
+    std::cout << "\n=== Thread-count sweep (TPC-H-like universal, scale "
+              << sweep_scale << ") ===\n";
+    RelationData universal =
+        GenerateTpchLike(TpchScale{}.Scaled(sweep_scale)).universal;
+    std::cout << universal.num_rows() << " rows x "
+              << universal.num_columns() << " columns, "
+              << std::thread::hardware_concurrency()
+              << " hardware threads\n\n";
+    std::vector<SweepResult> sweep =
+        RunThreadSweep(universal, max_lhs, skip_tane);
+
+    TablePrinter sweep_table({"Algorithm", "Threads", "Time", "Speedup", "FDs"});
+    for (const SweepResult& r : sweep) {
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx", r.speedup);
+      sweep_table.AddRow({r.algo, std::to_string(r.threads),
+                          FormatDuration(r.seconds), speedup,
+                          FormatCount(static_cast<int64_t>(r.fd_count))});
+    }
+    sweep_table.Print();
+    WriteSweepJson(args.Get("json", "BENCH_discovery.json"), universal,
+                   max_lhs, sweep);
+  }
   return 0;
 }

@@ -2,11 +2,15 @@
 // of the paper's (console-based) research prototype. Subcommands:
 //
 //   discover   --input=<csv> [--algorithm=hyfd] [--max-lhs=<n>]
-//              [--fd-output=<file>]            # component (1)
+//              [--threads=<n>] [--fd-output=<file>]  # component (1)
 //   closure    --input=<csv> --fds=<file> [--algorithm=optimized]
-//              [--fd-output=<file>]            # component (2), on external FDs
-//   normalize  --input=<csv> [--max-lhs=<n>] [--3nf] [--4nf]
-//              [--sql] [--output-dir=<dir>]    # the full pipeline
+//              [--threads=<n>] [--fd-output=<file>]  # component (2)
+//   normalize  --input=<csv> [--max-lhs=<n>] [--threads=<n>] [--3nf] [--4nf]
+//              [--sql] [--output-dir=<dir>]          # the full pipeline
+//
+// --threads: worker threads for the parallel phases (PLI building, HyFD
+// validation, Tane levels, closure FD loop). 0 = hardware concurrency
+// (default), 1 = serial. The result is identical for every value.
 //
 // Without --input, the paper's address example is used, so every subcommand
 // runs out of the box:  normalize_cli normalize --sql
@@ -34,6 +38,7 @@ struct Flags {
   std::string input, fds, fd_output, output_dir, algorithm, schema_output,
       report;
   int max_lhs = -1;
+  int threads = 0;  // 0 = hardware concurrency
   bool second_nf = false, third_nf = false, fourth_nf = false, sql = false;
 
   static Flags Parse(int argc, char** argv) {
@@ -54,6 +59,7 @@ struct Flags {
       if (const char* v = value("schema-output")) f.schema_output = v;
       if (const char* v = value("report")) f.report = v;
       if (const char* v = value("max-lhs")) f.max_lhs = std::atoi(v);
+      if (const char* v = value("threads")) f.threads = std::atoi(v);
       if (arg == "--2nf") f.second_nf = true;
       if (arg == "--3nf") f.third_nf = true;
       if (arg == "--4nf") f.fourth_nf = true;
@@ -76,6 +82,7 @@ int Discover(const Flags& flags) {
   }
   FdDiscoveryOptions options;
   options.max_lhs_size = flags.max_lhs;
+  options.threads = flags.threads;
   std::string algo_name = flags.algorithm.empty() ? "hyfd" : flags.algorithm;
   auto algo = MakeFdDiscovery(algo_name, options);
   if (!algo) {
@@ -119,7 +126,7 @@ int Closure(const Flags& flags) {
   }
   std::string algo_name =
       flags.algorithm.empty() ? "optimized" : flags.algorithm;
-  auto closure = MakeClosure(algo_name);
+  auto closure = MakeClosure(algo_name, ClosureOptions{flags.threads});
   if (!closure) {
     std::cerr << "unknown closure algorithm: " << algo_name << "\n";
     return 1;
@@ -146,6 +153,8 @@ int NormalizeCommand(const Flags& flags) {
   }
   NormalizerOptions options;
   options.discovery.max_lhs_size = flags.max_lhs;
+  options.discovery.threads = flags.threads;
+  options.closure_threads = flags.threads;
   if (!flags.algorithm.empty()) options.discovery_algorithm = flags.algorithm;
   if (flags.second_nf) options.normal_form = NormalForm::kSecondNf;
   if (flags.third_nf) options.normal_form = NormalForm::kThirdNf;
@@ -212,12 +221,14 @@ int main(int argc, char** argv) {
   std::cerr
       << "usage: normalize_cli <discover|closure|normalize> [flags]\n"
          "  discover   --input=<csv> [--algorithm=hyfd|tane|fdep]\n"
-         "             [--max-lhs=<n>] [--fd-output=<file>]\n"
+         "             [--max-lhs=<n>] [--threads=<n>] [--fd-output=<file>]\n"
          "  closure    --input=<csv> --fds=<file>\n"
-         "             [--algorithm=optimized|improved|naive]\n"
-         "  normalize  --input=<csv> [--max-lhs=<n>] [--2nf|--3nf] [--4nf]\n"
+         "             [--algorithm=optimized|improved|naive] [--threads=<n>]\n"
+         "  normalize  --input=<csv> [--max-lhs=<n>] [--threads=<n>]\n"
+         "             [--2nf|--3nf] [--4nf]\n"
          "             [--sql] [--output-dir=<dir>] [--schema-output=<file>]\n"
          "             [--report=<file.md>]\n"
-         "Without --input the paper's address example is used.\n";
+         "Without --input the paper's address example is used.\n"
+         "--threads: 0 = hardware concurrency (default), 1 = serial.\n";
   return flags.command.empty() ? 1 : 2;
 }

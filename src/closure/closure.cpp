@@ -27,7 +27,7 @@ std::vector<SetTrie> BuildLhsTries(const FdSet& fds,
 /// Runs fn(i) for all FDs, optionally across a thread pool.
 void ForEachFd(FdSet* fds, int num_threads,
                const std::function<void(size_t)>& fn) {
-  if (num_threads == 1 || fds->size() < 2) {
+  if (ResolveThreadCount(num_threads) == 1 || fds->size() < 2) {
     for (size_t i = 0; i < fds->size(); ++i) fn(i);
     return;
   }

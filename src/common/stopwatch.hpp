@@ -1,8 +1,14 @@
 // Wall-clock timing helper used by the benchmark harnesses and the
-// normalizer's per-component statistics (paper Table 3).
+// normalizer's per-component statistics (paper Table 3), plus a lightweight
+// per-phase metrics accumulator (wall times + counters) that the discovery
+// algorithms fill and normalize/report renders as a phase breakdown.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace normalize {
 
@@ -26,6 +32,82 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Ordered accumulator of named phases, each with a total wall time and an
+/// item counter (candidates validated, PLIs built, comparisons sampled, …).
+/// Phases keep first-recording order, so reports read in pipeline order.
+/// Not thread-safe: record from the orchestrating thread only (wrap whole
+/// parallel regions, not per-task work).
+class PhaseMetrics {
+ public:
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+    uint64_t count = 0;
+  };
+
+  /// Accumulates `seconds` and `count` into the phase named `name`.
+  void Record(std::string_view name, double seconds, uint64_t count = 0) {
+    Phase& phase = FindOrAdd(name);
+    phase.seconds += seconds;
+    phase.count += count;
+  }
+
+  const std::vector<Phase>& phases() const { return phases_; }
+  bool empty() const { return phases_.empty(); }
+  void Clear() { phases_.clear(); }
+
+  const Phase* Find(std::string_view name) const {
+    for (const Phase& phase : phases_) {
+      if (phase.name == name) return &phase;
+    }
+    return nullptr;
+  }
+
+  /// Appends every phase of `other`, name-prefixed (e.g. "discovery/"),
+  /// accumulating into same-named phases if present.
+  void MergeFrom(const PhaseMetrics& other, const std::string& prefix = "") {
+    for (const Phase& phase : other.phases_) {
+      Record(prefix + phase.name, phase.seconds, phase.count);
+    }
+  }
+
+ private:
+  Phase& FindOrAdd(std::string_view name) {
+    for (Phase& phase : phases_) {
+      if (phase.name == name) return phase;
+    }
+    phases_.emplace_back();
+    phases_.back().name = std::string(name);
+    return phases_.back();
+  }
+
+  std::vector<Phase> phases_;
+};
+
+/// RAII phase timer: adds the scope's elapsed wall time (and an optional
+/// item count set via Stop()) to a PhaseMetrics entry on destruction.
+class PhaseTimer {
+ public:
+  PhaseTimer(PhaseMetrics* metrics, std::string_view name)
+      : metrics_(metrics), name_(name) {}
+  ~PhaseTimer() { Stop(); }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  /// Records now instead of at scope exit; later calls are no-ops.
+  void Stop(uint64_t count = 0) {
+    if (metrics_ == nullptr) return;
+    metrics_->Record(name_, watch_.ElapsedSeconds(), count);
+    metrics_ = nullptr;
+  }
+
+ private:
+  PhaseMetrics* metrics_;
+  std::string name_;
+  Stopwatch watch_;
 };
 
 }  // namespace normalize

@@ -51,6 +51,21 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   for (auto& f : futures) f.get();
 }
 
+int ResolveThreadCount(int threads) {
+  if (threads > 0) return threads;
+  int hardware = static_cast<int>(std::thread::hardware_concurrency());
+  return hardware > 0 ? hardware : 4;
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || n < 2) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(n, fn);
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::packaged_task<void()> task;

@@ -1,7 +1,8 @@
-// A small fixed-size thread pool used to parallelize the FD-loop of the
-// closure algorithms (paper §4: "All three closure algorithms can easily be
-// parallelized by splitting the FD-loops to different worker threads") and
-// HyFD's per-level validation.
+// A small fixed-size thread pool shared by every parallel phase of the
+// pipeline: the closure algorithms' FD loops (paper §4: "All three closure
+// algorithms can easily be parallelized by splitting the FD-loops to
+// different worker threads"), PLI building and batch intersection, HyFD's
+// per-level candidate validation, and Tane's level expansion.
 #pragma once
 
 #include <condition_variable>
@@ -42,5 +43,16 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stopping_ = false;
 };
+
+/// Resolves a thread-count knob to an actual worker count: values <= 0
+/// select the hardware concurrency (at least 1), everything else passes
+/// through. `1` therefore always means "serial".
+int ResolveThreadCount(int threads);
+
+/// Runs fn(i) for i in [0, n): across `pool` when non-null, else serially on
+/// the calling thread. Lets call sites share one loop body between the
+/// serial and parallel paths.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
 
 }  // namespace normalize

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/result.hpp"
+#include "common/stopwatch.hpp"
 #include "fd/fd.hpp"
 #include "relation/relation_data.hpp"
 
@@ -22,6 +23,12 @@ struct FdDiscoveryOptions {
   /// unlimited. This is the paper's memory-pruning rule: the pruned result
   /// still admits a correct closure for all remaining FDs.
   int max_lhs_size = -1;
+  /// Worker threads for the parallel discovery phases (PLI building, HyFD
+  /// candidate validation, Tane level expansion): <= 0 selects the hardware
+  /// concurrency; 1 runs the exact legacy serial code path. The discovered
+  /// FD set is identical for every value — parallelism only changes wall
+  /// time. Algorithms without parallel phases ignore the knob.
+  int threads = 0;
 };
 
 /// Abstract FD discovery algorithm.
@@ -38,10 +45,15 @@ class FdDiscovery {
 
   const FdDiscoveryOptions& options() const { return options_; }
 
+  /// Per-phase wall times and counters of the last Discover() call (empty
+  /// for algorithms that do not record them).
+  const PhaseMetrics& phase_metrics() const { return phase_metrics_; }
+
  protected:
   explicit FdDiscovery(FdDiscoveryOptions options) : options_(options) {}
 
   FdDiscoveryOptions options_;
+  PhaseMetrics phase_metrics_;
 };
 
 /// Factory for the algorithms by name ("naive", "tane", "dfd", "fdep",

@@ -1,9 +1,12 @@
 #include "discovery/hyfd.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "discovery/discovery_util.hpp"
 #include "discovery/induction.hpp"
 #include "fd/fd_tree.hpp"
@@ -29,13 +32,16 @@ struct CodeVecHash {
 // rows are similar and yield large agree sets (HyFD's "focused sampling").
 class Sampler {
  public:
-  Sampler(const RelationData& data, const PliCache& cache) : data_(&data) {
+  Sampler(const RelationData& data, const PliCache& cache, ThreadPool* pool)
+      : data_(&data) {
     int n = data.num_columns();
     sorted_clusters_.resize(static_cast<size_t>(n));
     windows_.assign(static_cast<size_t>(n), 0);
-    for (int c = 0; c < n; ++c) {
-      sorted_clusters_[static_cast<size_t>(c)] = cache.ColumnPli(c).clusters();
-      for (auto& cluster : sorted_clusters_[static_cast<size_t>(c)]) {
+    // Each column's cluster list sorts independently; the comparator only
+    // reads the immutable relation data.
+    ParallelFor(pool, static_cast<size_t>(n), [this, &data, &cache, n](size_t c) {
+      sorted_clusters_[c] = cache.ColumnPli(static_cast<int>(c)).clusters();
+      for (auto& cluster : sorted_clusters_[c]) {
         std::sort(cluster.begin(), cluster.end(), [&](RowId a, RowId b) {
           for (int k = 0; k < n; ++k) {
             ValueId ca = data.column(k).code(a);
@@ -45,7 +51,7 @@ class Sampler {
           return a < b;
         });
       }
-    }
+    });
   }
 
   bool Exhausted() const {
@@ -87,10 +93,62 @@ class Sampler {
   std::vector<size_t> windows_;
 };
 
+/// Checks lhs_attrs -> a against the data and returns one violating row pair
+/// (rows agreeing on the LHS but disagreeing on a), or nullopt if the FD
+/// holds. Pure read-only function of immutable inputs — safe to run for many
+/// candidates concurrently.
+std::optional<std::pair<RowId, RowId>> ValidateCandidate(
+    const RelationData& data, const PliCache& cache,
+    const std::vector<AttributeId>& lhs_attrs, AttributeId a) {
+  size_t rows = data.num_rows();
+  const std::vector<ValueId>& rhs_codes = data.column(a).codes();
+  if (lhs_attrs.empty()) {
+    // {} -> A holds iff column A is constant.
+    for (size_t r = 1; r < rows; ++r) {
+      if (rhs_codes[r] != rhs_codes[0]) {
+        return std::make_pair(static_cast<RowId>(0), static_cast<RowId>(r));
+      }
+    }
+    return std::nullopt;
+  }
+  if (lhs_attrs.size() == 1) {
+    return cache.ColumnPli(lhs_attrs[0]).FindViolation(rhs_codes);
+  }
+  // Pivot on the most selective LHS column; within its clusters, group rows
+  // by the remaining LHS codes and compare RHS codes.
+  int pivot = lhs_attrs[0];
+  for (AttributeId b : lhs_attrs) {
+    if (cache.ColumnPli(b).ClusteredRowCount() <
+        cache.ColumnPli(pivot).ClusteredRowCount()) {
+      pivot = b;
+    }
+  }
+  std::vector<AttributeId> others;
+  for (AttributeId b : lhs_attrs) {
+    if (b != pivot) others.push_back(b);
+  }
+  std::unordered_map<std::vector<ValueId>, RowId, CodeVecHash> reps;
+  std::vector<ValueId> key(others.size());
+  for (const auto& cluster : cache.ColumnPli(pivot).clusters()) {
+    reps.clear();
+    for (RowId r : cluster) {
+      for (size_t k = 0; k < others.size(); ++k) {
+        key[k] = data.column(others[k]).code(r);
+      }
+      auto [it, inserted] = reps.emplace(key, r);
+      if (!inserted && rhs_codes[it->second] != rhs_codes[r]) {
+        return std::make_pair(it->second, r);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 Result<FdSet> HyFd::Discover(const RelationData& data) {
   stats_ = Stats{};
+  phase_metrics_.Clear();
   int n = data.num_columns();
   size_t rows = data.num_rows();
   if (n == 0) return FdSet{};
@@ -103,8 +161,20 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
     return RemapToGlobal(tree.CollectAllFds(), data);
   }
 
-  PliCache cache(data);
-  Sampler sampler(data, cache);
+  // threads == 1 keeps everything on the calling thread (pool == nullptr
+  // routes every ParallelFor serially and validation takes the legacy path).
+  int threads = ResolveThreadCount(options_.threads);
+  std::optional<ThreadPool> pool_storage;
+  if (threads > 1) pool_storage.emplace(threads);
+  ThreadPool* pool = pool_storage ? &*pool_storage : nullptr;
+
+  Stopwatch phase_watch;
+  PliCache cache(data, pool);
+  phase_metrics_.Record("pli_build", phase_watch.ElapsedSeconds(),
+                        static_cast<uint64_t>(n));
+  phase_watch.Restart();
+  Sampler sampler(data, cache, pool);
+  phase_metrics_.Record("sampler_init", phase_watch.ElapsedSeconds());
   std::unordered_set<AttributeSet> seen_agree_sets;
 
   auto run_sampling = [&]() {
@@ -112,8 +182,10 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
         sampler.Exhausted()) {
       return;
     }
+    Stopwatch watch;
     std::vector<AttributeSet> fresh;
-    stats_.sampled_comparisons += sampler.Round(&seen_agree_sets, &fresh);
+    size_t comparisons = sampler.Round(&seen_agree_sets, &fresh);
+    stats_.sampled_comparisons += comparisons;
     ++stats_.sampling_rounds;
     if (static_cast<int>(fresh.size()) > config_.max_inductions_per_round) {
       std::partial_sort(fresh.begin(),
@@ -124,9 +196,12 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
                         });
       fresh.resize(static_cast<size_t>(config_.max_inductions_per_round));
     }
+    phase_metrics_.Record("sampling", watch.ElapsedSeconds(), comparisons);
+    watch.Restart();
     for (const AttributeSet& ag : fresh) {
       InduceFromAgreeSet(&tree, ag, options_.max_lhs_size);
     }
+    phase_metrics_.Record("induction", watch.ElapsedSeconds(), fresh.size());
   };
 
   for (int i = 0; i < config_.initial_sampling_rounds; ++i) run_sampling();
@@ -141,73 +216,82 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
       std::vector<Fd> candidates = tree.GetLevel(level);
       size_t checked = 0, invalid = 0;
       std::vector<AttributeSet> evidence;
+      Stopwatch validation_watch;
 
-      for (const Fd& fd : candidates) {
-        std::vector<AttributeId> lhs_attrs = fd.lhs.ToVector();
-        for (AttributeId a : fd.rhs) {
-          // Inductions from earlier candidates of this sweep may already
-          // have removed this FD.
-          if (!tree.ContainsFd(fd.lhs, a)) continue;
-          ++checked;
-          std::optional<std::pair<RowId, RowId>> violation;
-          const std::vector<ValueId>& rhs_codes = data.column(a).codes();
-          if (lhs_attrs.empty()) {
-            // {} -> A holds iff column A is constant.
-            for (size_t r = 1; r < rows; ++r) {
-              if (rhs_codes[r] != rhs_codes[0]) {
-                violation = std::make_pair(static_cast<RowId>(0),
-                                           static_cast<RowId>(r));
-                break;
-              }
-            }
-          } else if (lhs_attrs.size() == 1) {
-            violation = cache.ColumnPli(lhs_attrs[0]).FindViolation(rhs_codes);
-          } else {
-            // Pivot on the most selective LHS column; within its clusters,
-            // group rows by the remaining LHS codes and compare RHS codes.
-            int pivot = lhs_attrs[0];
-            for (AttributeId b : lhs_attrs) {
-              if (cache.ColumnPli(b).ClusteredRowCount() <
-                  cache.ColumnPli(pivot).ClusteredRowCount()) {
-                pivot = b;
-              }
-            }
-            std::vector<AttributeId> others;
-            for (AttributeId b : lhs_attrs) {
-              if (b != pivot) others.push_back(b);
-            }
-            std::unordered_map<std::vector<ValueId>, RowId, CodeVecHash> reps;
-            std::vector<ValueId> key(others.size());
-            for (const auto& cluster : cache.ColumnPli(pivot).clusters()) {
-              reps.clear();
-              for (RowId r : cluster) {
-                for (size_t k = 0; k < others.size(); ++k) {
-                  key[k] = data.column(others[k]).code(r);
-                }
-                auto [it, inserted] = reps.emplace(key, r);
-                if (!inserted && rhs_codes[it->second] != rhs_codes[r]) {
-                  violation = std::make_pair(it->second, r);
-                  break;
-                }
-              }
-              if (violation) break;
+      if (pool == nullptr) {
+        // Serial sweep: violations specialize the cover immediately, so
+        // later candidates of the same sweep may already be gone (the
+        // ContainsFd re-check).
+        for (const Fd& fd : candidates) {
+          std::vector<AttributeId> lhs_attrs = fd.lhs.ToVector();
+          for (AttributeId a : fd.rhs) {
+            if (!tree.ContainsFd(fd.lhs, a)) continue;
+            ++checked;
+            std::optional<std::pair<RowId, RowId>> violation =
+                ValidateCandidate(data, cache, lhs_attrs, a);
+            if (violation) {
+              ++invalid;
+              AttributeSet ag =
+                  AgreeSetOf(data, violation->first, violation->second);
+              if (seen_agree_sets.insert(ag).second) evidence.push_back(ag);
+              // Even previously-seen evidence must be (re)applied: this
+              // candidate was added after the original induction.
+              SpecializeCover(&tree, ag, a, options_.max_lhs_size);
             }
           }
+        }
+      } else {
+        // Parallel sweep: snapshot the candidate units, validate them
+        // concurrently against the immutable data/PLIs (the tree is not
+        // touched), then apply the violations serially in snapshot order.
+        // Validation is complete, so the extra work of checking candidates
+        // a serial sweep would have specialized away cannot change the
+        // result — only the stats counters.
+        struct Unit {
+          size_t candidate;
+          AttributeId rhs;
+        };
+        std::vector<std::vector<AttributeId>> lhs_vecs(candidates.size());
+        std::vector<Unit> units;
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          const Fd& fd = candidates[c];
+          lhs_vecs[c] = fd.lhs.ToVector();
+          for (AttributeId a : fd.rhs) {
+            if (!tree.ContainsFd(fd.lhs, a)) continue;
+            units.push_back(Unit{c, a});
+          }
+        }
+        // Agree set of the violating row pair, per violated unit. Workers
+        // write disjoint slots; all other state they touch is read-only.
+        std::vector<std::optional<AttributeSet>> violations(units.size());
+        pool->ParallelFor(units.size(), [&](size_t u) {
+          const Unit& unit = units[u];
+          std::optional<std::pair<RowId, RowId>> violation = ValidateCandidate(
+              data, cache, lhs_vecs[unit.candidate], unit.rhs);
           if (violation) {
-            ++invalid;
-            AttributeSet ag = AgreeSetOf(data, violation->first, violation->second);
-            if (seen_agree_sets.insert(ag).second) evidence.push_back(ag);
-            // Even previously-seen evidence must be (re)applied: this
-            // candidate was added after the original induction.
-            SpecializeCover(&tree, ag, a, options_.max_lhs_size);
+            violations[u] = AgreeSetOf(data, violation->first, violation->second);
           }
+        });
+        checked = units.size();
+        // Deterministic merge: snapshot order is the serial sweep order.
+        for (size_t u = 0; u < units.size(); ++u) {
+          if (!violations[u]) continue;
+          ++invalid;
+          const AttributeSet& ag = *violations[u];
+          if (seen_agree_sets.insert(ag).second) evidence.push_back(ag);
+          SpecializeCover(&tree, ag, units[u].rhs, options_.max_lhs_size);
         }
       }
       stats_.validated_candidates += checked;
       stats_.invalid_candidates += invalid;
+      phase_metrics_.Record("validation", validation_watch.ElapsedSeconds(),
+                            checked);
+      Stopwatch induction_watch;
       for (const AttributeSet& ag : evidence) {
         InduceFromAgreeSet(&tree, ag, options_.max_lhs_size);
       }
+      phase_metrics_.Record("induction", induction_watch.ElapsedSeconds(),
+                            evidence.size());
 
       double ratio = checked == 0 ? 0.0
                                   : static_cast<double>(invalid) /

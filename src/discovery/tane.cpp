@@ -1,8 +1,11 @@
 #include "discovery/tane.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "discovery/discovery_util.hpp"
 #include "pli/pli.hpp"
 
@@ -20,6 +23,7 @@ struct LevelEntry {
 }  // namespace
 
 Result<FdSet> Tane::Discover(const RelationData& data) {
+  phase_metrics_.Clear();
   int n = data.num_columns();
   size_t rows = data.num_rows();
   std::vector<Fd> output;  // unary FDs in local space
@@ -37,7 +41,18 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
     output.emplace_back(lhs, rhs);
   };
 
-  PliCache cache(data);
+  // All parallel sections write per-entry slots and emit results in entry
+  // order afterwards, so the output FD list is identical for every thread
+  // count (threads == 1 keeps everything on the calling thread).
+  int threads = ResolveThreadCount(options_.threads);
+  std::optional<ThreadPool> pool_storage;
+  if (threads > 1) pool_storage.emplace(threads);
+  ThreadPool* pool = pool_storage ? &*pool_storage : nullptr;
+
+  Stopwatch phase_watch;
+  PliCache cache(data, pool);
+  phase_metrics_.Record("pli_build", phase_watch.ElapsedSeconds(),
+                        static_cast<uint64_t>(n));
   size_t empty_error = rows >= 2 ? rows - 1 : 0;  // e(∅)
 
   // Previous level's errors and C+ sets, keyed by attribute set. Seeded with
@@ -60,8 +75,12 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
 
   for (int l = 1; l <= max_level && !level.empty(); ++l) {
     // --- COMPUTE_DEPENDENCIES ---
-    std::unordered_map<AttributeSet, size_t> cur_error;
-    for (LevelEntry& e : level) {
+    // Per-entry C+ and error computations only read the previous level's
+    // immutable maps and write their own entry.
+    phase_watch.Restart();
+    std::vector<size_t> errors(level.size());
+    ParallelFor(pool, level.size(), [&](size_t i) {
+      LevelEntry& e = level[i];
       // C+(X) = ∩_{A∈X} C+(X \ {A})
       e.cplus = all_attrs;
       for (AttributeId a : e.x) {
@@ -74,7 +93,11 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
         }
         e.cplus.IntersectWith(it->second);
       }
-      cur_error.emplace(e.x, e.pli.Error());
+      errors[i] = e.pli.Error();
+    });
+    std::unordered_map<AttributeSet, size_t> cur_error;
+    for (size_t i = 0; i < level.size(); ++i) {
+      cur_error.emplace(level[i].x, errors[i]);
     }
     for (LevelEntry& e : level) {
       size_t ex = cur_error[e.x];
@@ -93,12 +116,22 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
         }
       }
     }
+    phase_metrics_.Record("compute_deps", phase_watch.ElapsedSeconds(),
+                          level.size());
 
     // --- PRUNE ---
-    for (LevelEntry& e : level) {
+    // Key-node minimality checks rebuild subset PLIs on demand, which makes
+    // them the expensive part of this phase; each entry's checks are
+    // independent, so they run per-entry in parallel and the FDs are
+    // emitted serially afterwards in entry order.
+    phase_watch.Restart();
+    std::vector<std::vector<std::pair<AttributeSet, AttributeId>>> key_fds(
+        level.size());
+    ParallelFor(pool, level.size(), [&](size_t i) {
+      LevelEntry& e = level[i];
       if (e.cplus.Empty()) {
         e.pruned = true;
-        continue;
+        return;
       }
       if (e.pli.IsUnique()) {
         // X is a (super)key: emit X -> A for every RHS+ candidate outside X
@@ -124,17 +157,25 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
               break;
             }
           }
-          if (minimal) emit(e.x, a);
+          if (minimal) key_fds[i].emplace_back(e.x, a);
         }
         e.pruned = true;
       }
+    });
+    for (const auto& per_entry : key_fds) {
+      for (const auto& [lhs, a] : per_entry) emit(lhs, a);
     }
     std::vector<LevelEntry> survivors;
     for (LevelEntry& e : level) {
       if (!e.pruned) survivors.push_back(std::move(e));
     }
+    phase_metrics_.Record("prune", phase_watch.ElapsedSeconds(),
+                          survivors.size());
 
     // --- GENERATE_NEXT_LEVEL (prefix join) ---
+    // Join pairs are collected serially (cheap bitset work); the PLI
+    // intersections — the level's dominant cost — run as one batch.
+    phase_watch.Restart();
     std::sort(survivors.begin(), survivors.end(),
               [](const LevelEntry& a, const LevelEntry& b) {
                 return a.x.ToVector() < b.x.ToVector();
@@ -143,6 +184,7 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
     for (const LevelEntry& e : survivors) survivor_index.emplace(e.x, &e);
 
     std::vector<LevelEntry> next;
+    std::vector<std::pair<const Pli*, const Pli*>> join_pairs;
     for (size_t i = 0; i < survivors.size(); ++i) {
       std::vector<AttributeId> xi = survivors[i].x.ToVector();
       for (size_t j = i + 1; j < survivors.size(); ++j) {
@@ -165,11 +207,17 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
         if (!all_present) continue;
         LevelEntry e;
         e.x = z;
-        e.pli = survivors[i].pli.Intersect(survivors[j].pli.AsProbeVector());
         e.cplus = AttributeSet(n);
         next.push_back(std::move(e));
+        join_pairs.emplace_back(&survivors[i].pli, &survivors[j].pli);
       }
     }
+    std::vector<Pli> intersections = IntersectAll(join_pairs, pool);
+    for (size_t k = 0; k < next.size(); ++k) {
+      next[k].pli = std::move(intersections[k]);
+    }
+    phase_metrics_.Record("generate_next", phase_watch.ElapsedSeconds(),
+                          next.size());
 
     // Roll the level forward.
     prev_error.clear();

@@ -58,6 +58,8 @@ Result<NormalizationResult> Normalizer::Normalize(const RelationData& input) {
   stats.fd_discovery_s = watch.ElapsedSeconds();
   stats.num_fds = fds.CountUnaryFds();
   stats.avg_rhs_before = fds.AverageRhsSize();
+  stats.phases.Record("fd_discovery", stats.fd_discovery_s, stats.num_fds);
+  stats.phases.MergeFrom(discovery->phase_metrics(), "discovery/");
 
   // --- (2) closure calculation ---
   std::unique_ptr<ClosureAlgorithm> closure = MakeClosure(
@@ -71,6 +73,7 @@ Result<NormalizationResult> Normalizer::Normalize(const RelationData& input) {
   closure->Extend(&fds, all_attrs);
   stats.closure_s = watch.ElapsedSeconds();
   stats.avg_rhs_after = fds.AverageRhsSize();
+  stats.phases.Record("closure", stats.closure_s, fds.size());
 
   // --- schema setup ---
   int universe = input.universe_size();
@@ -241,6 +244,8 @@ Result<NormalizationResult> Normalizer::Normalize(const RelationData& input) {
 
   result.extended_fds = std::move(fds);
   stats.total_s = total_watch.ElapsedSeconds();
+  stats.phases.Record("key_derivation", stats.key_derivation_total_s);
+  stats.phases.Record("violation_detection", stats.violation_detection_total_s);
   return result;
 }
 

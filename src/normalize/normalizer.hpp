@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/stopwatch.hpp"
 #include "discovery/fd_discovery.hpp"
 #include "fd/fd.hpp"
 #include "normalize/advisor.hpp"
@@ -55,6 +56,11 @@ struct NormalizationStats {
   double total_s = 0.0;
 
   int decompositions = 0;
+
+  /// Fine-grained phase breakdown: the discovery algorithm's internal
+  /// phases (prefixed "discovery/") plus the pipeline components above.
+  /// Rendered by normalize/report and the benchmarks.
+  PhaseMetrics phases;
 };
 
 /// One decision taken during normalization — the audit trail of the

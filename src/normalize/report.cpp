@@ -32,6 +32,22 @@ std::string RenderReport(const NormalizationResult& result,
   os << "| decompositions | " << stats.decompositions << " |\n";
   os << "| total | " << FormatDuration(stats.total_s) << " |\n\n";
 
+  if (options.include_phases && !stats.phases.empty()) {
+    os << "## Phase breakdown\n\n";
+    os << "| phase | wall time | items |\n|---|---|---|\n";
+    for (const PhaseMetrics::Phase& phase : stats.phases.phases()) {
+      os << "| " << phase.name << " | " << FormatDuration(phase.seconds)
+         << " | ";
+      if (phase.count > 0) {
+        os << FormatCount(static_cast<int64_t>(phase.count));
+      } else {
+        os << "-";
+      }
+      os << " |\n";
+    }
+    os << "\n";
+  }
+
   os << "## Decisions\n\n";
   if (result.decisions.empty()) {
     os << "(none — the input was already in normal form)\n";

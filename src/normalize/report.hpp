@@ -15,6 +15,9 @@ struct ReportOptions {
   bool include_sql = true;
   /// Include per-relation row/value counts.
   bool include_sizes = true;
+  /// Include the per-phase breakdown (discovery sub-phases + pipeline
+  /// components) when the stats carry one.
+  bool include_phases = true;
   /// Original input size in values (0 = unknown; omits the reduction line).
   size_t input_value_count = 0;
 };

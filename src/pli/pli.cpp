@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/thread_pool.hpp"
+
 namespace normalize {
 
 Pli Pli::FromColumn(const Column& column) {
@@ -85,11 +87,12 @@ std::optional<std::pair<RowId, RowId>> Pli::FindViolation(
   return std::nullopt;
 }
 
-PliCache::PliCache(const RelationData& data) : data_(&data) {
-  column_plis_.reserve(static_cast<size_t>(data.num_columns()));
-  for (int c = 0; c < data.num_columns(); ++c) {
-    column_plis_.push_back(Pli::FromColumn(data.column(c)));
-  }
+PliCache::PliCache(const RelationData& data, ThreadPool* pool)
+    : data_(&data) {
+  column_plis_.resize(static_cast<size_t>(data.num_columns()));
+  ParallelFor(pool, column_plis_.size(), [this, &data](size_t c) {
+    column_plis_[c] = Pli::FromColumn(data.column(static_cast<int>(c)));
+  });
 }
 
 Pli PliCache::BuildPli(const std::vector<int>& columns) const {
@@ -113,6 +116,26 @@ Pli PliCache::BuildPli(const std::vector<int>& columns) const {
     pli = pli.Intersect(data_->column(order[i]));
   }
   return pli;
+}
+
+std::vector<Pli> PliCache::BuildPlis(
+    const std::vector<std::vector<int>>& column_sets, ThreadPool* pool) const {
+  std::vector<Pli> results(column_sets.size());
+  ParallelFor(pool, column_sets.size(),
+              [this, &column_sets, &results](size_t i) {
+                results[i] = BuildPli(column_sets[i]);
+              });
+  return results;
+}
+
+std::vector<Pli> IntersectAll(
+    const std::vector<std::pair<const Pli*, const Pli*>>& pairs,
+    ThreadPool* pool) {
+  std::vector<Pli> results(pairs.size());
+  ParallelFor(pool, pairs.size(), [&pairs, &results](size_t i) {
+    results[i] = pairs[i].first->Intersect(pairs[i].second->AsProbeVector());
+  });
+  return results;
 }
 
 }  // namespace normalize

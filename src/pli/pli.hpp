@@ -6,12 +6,15 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/attribute_set.hpp"
 #include "relation/relation_data.hpp"
 
 namespace normalize {
+
+class ThreadPool;
 
 /// Row index within a relation instance.
 using RowId = uint32_t;
@@ -70,7 +73,10 @@ class Pli {
 /// demand by intersection (smallest-first ordering).
 class PliCache {
  public:
-  explicit PliCache(const RelationData& data);
+  /// Builds all single-column PLIs, one task per column across `pool`
+  /// (serially when null). Each column's PLI is computed independently, so
+  /// the cache contents are identical for every thread count.
+  explicit PliCache(const RelationData& data, ThreadPool* pool = nullptr);
 
   const RelationData& data() const { return *data_; }
   int num_columns() const { return static_cast<int>(column_plis_.size()); }
@@ -85,9 +91,24 @@ class PliCache {
   /// fewest clustered rows.
   Pli BuildPli(const std::vector<int>& columns) const;
 
+  /// Batch variant: builds the PLI of every column set, one task per set
+  /// across `pool` (serially when null). results[i] corresponds to
+  /// column_sets[i], so the output is deterministic for any thread count.
+  std::vector<Pli> BuildPlis(const std::vector<std::vector<int>>& column_sets,
+                             ThreadPool* pool = nullptr) const;
+
  private:
   const RelationData* data_;
   std::vector<Pli> column_plis_;
 };
+
+/// Intersects pairs[i].first with pairs[i].second for every pair, one task
+/// per pair across `pool` (serially when null). Each intersection is a pure
+/// function of its two inputs and results keep the input order, so the
+/// output is bit-identical for any thread count. Used for Tane's
+/// next-level batches.
+std::vector<Pli> IntersectAll(
+    const std::vector<std::pair<const Pli*, const Pli*>>& pairs,
+    ThreadPool* pool = nullptr);
 
 }  // namespace normalize

@@ -1,0 +1,88 @@
+// Parallel-vs-serial equivalence: discovery must return the identical
+// minimal FD set at any thread count. `threads = 1` runs the legacy serial
+// code path, `threads = 2` exercises real work partitioning, `threads = 8`
+// oversubscribes the pool (and, under TSan, maximizes interleavings). The
+// datasets are the datagen TPC-H-like and MusicBrainz-like universal
+// relations the paper's evaluation normalizes.
+#include <gtest/gtest.h>
+
+#include "datagen/musicbrainz_like.hpp"
+#include "datagen/tpch_like.hpp"
+#include "discovery/fd_discovery.hpp"
+
+namespace normalize {
+namespace {
+
+const RelationData& TpchUniversal() {
+  static const RelationData data =
+      GenerateTpchLike(TpchScale{}.Scaled(0.12)).universal;
+  return data;
+}
+
+const RelationData& MusicBrainzUniversal() {
+  static const RelationData data =
+      GenerateMusicBrainzLike(MusicBrainzScale{}.Scaled(0.15)).universal;
+  return data;
+}
+
+FdSet Discover(const std::string& algo_name, const RelationData& data,
+               int threads) {
+  FdDiscoveryOptions options;
+  options.max_lhs_size = 2;  // the paper's pruned setting (§4.3)
+  options.threads = threads;
+  auto algo = MakeFdDiscovery(algo_name, options);
+  auto result = algo->Discover(data);
+  EXPECT_TRUE(result.ok()) << algo_name << ": " << result.status().ToString();
+  return std::move(result).value();
+}
+
+struct ParallelCase {
+  const char* algo;
+  const char* dataset;
+};
+
+class ParallelDiscoveryTest : public ::testing::TestWithParam<ParallelCase> {
+ protected:
+  const RelationData& data() const {
+    return std::string(GetParam().dataset) == "tpch" ? TpchUniversal()
+                                                     : MusicBrainzUniversal();
+  }
+};
+
+TEST_P(ParallelDiscoveryTest, ThreadCountsYieldIdenticalMinimalFdSets) {
+  FdSet serial = Discover(GetParam().algo, data(), /*threads=*/1);
+  ASSERT_GT(serial.CountUnaryFds(), 0u);
+  for (int threads : {2, 8}) {
+    FdSet parallel = Discover(GetParam().algo, data(), threads);
+    EXPECT_TRUE(parallel.EquivalentTo(serial))
+        << GetParam().algo << " on " << GetParam().dataset << " with "
+        << threads << " threads: " << parallel.CountUnaryFds() << " vs "
+        << serial.CountUnaryFds() << " unary FDs";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndDatasets, ParallelDiscoveryTest,
+    ::testing::Values(ParallelCase{"hyfd", "tpch"},
+                      ParallelCase{"hyfd", "musicbrainz"},
+                      ParallelCase{"tane", "tpch"},
+                      ParallelCase{"tane", "musicbrainz"}),
+    [](const ::testing::TestParamInfo<ParallelCase>& info) {
+      return std::string(info.param.algo) + "_" + info.param.dataset;
+    });
+
+// The two algorithms must also agree with each other at every thread count
+// (the cross-validation property, extended to the parallel paths).
+TEST(ParallelDiscoveryCrossCheck, HyFdAndTaneAgreeAtEveryThreadCount) {
+  FdSet reference = Discover("hyfd", TpchUniversal(), 1);
+  for (const char* algo : {"hyfd", "tane"}) {
+    for (int threads : {2, 8}) {
+      FdSet result = Discover(algo, TpchUniversal(), threads);
+      EXPECT_TRUE(result.EquivalentTo(reference))
+          << algo << " with " << threads << " threads disagrees";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace normalize

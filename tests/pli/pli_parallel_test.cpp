@@ -1,0 +1,96 @@
+// Parallel PLI construction and batch intersection must produce exactly the
+// partitions the serial code produces — cluster-for-cluster, row-for-row —
+// because discovery correctness depends on deterministic PLIs.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "datagen/tpch_like.hpp"
+#include "pli/pli.hpp"
+
+namespace normalize {
+namespace {
+
+const RelationData& TpchUniversal() {
+  static const RelationData data =
+      GenerateTpchLike(TpchScale{}.Scaled(0.12)).universal;
+  return data;
+}
+
+void ExpectSamePli(const Pli& a, const Pli& b) {
+  EXPECT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_clusters(), b.num_clusters());
+  EXPECT_EQ(a.clusters(), b.clusters());
+}
+
+TEST(ParallelPliTest, ParallelCacheBuildMatchesSerial) {
+  const RelationData& data = TpchUniversal();
+  PliCache serial(data);
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    PliCache parallel(data, &pool);
+    ASSERT_EQ(parallel.num_columns(), serial.num_columns());
+    for (int c = 0; c < serial.num_columns(); ++c) {
+      ExpectSamePli(parallel.ColumnPli(c), serial.ColumnPli(c));
+    }
+  }
+}
+
+TEST(ParallelPliTest, BatchSetPlisMatchSerial) {
+  const RelationData& data = TpchUniversal();
+  PliCache cache(data);
+  std::vector<std::vector<int>> sets;
+  for (int a = 0; a < data.num_columns(); a += 3) {
+    for (int b = a + 1; b < data.num_columns(); b += 7) {
+      sets.push_back({a, b});
+      if (b + 2 < data.num_columns()) sets.push_back({a, b, b + 2});
+    }
+  }
+  ASSERT_GT(sets.size(), 20u);
+
+  std::vector<Pli> serial = cache.BuildPlis(sets, /*pool=*/nullptr);
+  ASSERT_EQ(serial.size(), sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    ExpectSamePli(serial[i], cache.BuildPli(sets[i]));
+  }
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<Pli> parallel = cache.BuildPlis(sets, &pool);
+    ASSERT_EQ(parallel.size(), sets.size());
+    for (size_t i = 0; i < sets.size(); ++i) {
+      ExpectSamePli(parallel[i], serial[i]);
+    }
+  }
+}
+
+TEST(ParallelPliTest, IntersectAllMatchesPairwiseSerial) {
+  const RelationData& data = TpchUniversal();
+  PliCache cache(data);
+  std::vector<std::pair<const Pli*, const Pli*>> pairs;
+  for (int a = 0; a < data.num_columns(); ++a) {
+    for (int b = a + 1; b < data.num_columns(); b += 11) {
+      pairs.emplace_back(&cache.ColumnPli(a), &cache.ColumnPli(b));
+    }
+  }
+  ASSERT_GT(pairs.size(), 30u);
+
+  std::vector<Pli> serial = IntersectAll(pairs, /*pool=*/nullptr);
+  ASSERT_EQ(serial.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ExpectSamePli(serial[i],
+                  pairs[i].first->Intersect(pairs[i].second->AsProbeVector()));
+  }
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<Pli> parallel = IntersectAll(pairs, &pool);
+    ASSERT_EQ(parallel.size(), pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      ExpectSamePli(parallel[i], serial[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace normalize
