@@ -20,6 +20,7 @@
 #include "datagen/datasets.hpp"
 #include "datagen/tpch_like.hpp"
 #include "discovery/fd_discovery.hpp"
+#include "shard/sharded_discovery.hpp"
 
 using namespace normalize;
 using namespace normalize::bench;
@@ -74,8 +75,48 @@ std::vector<SweepResult> RunThreadSweep(const RelationData& universal,
   return results;
 }
 
+struct ShardSweepResult {
+  size_t shards = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;  // vs. the 1-shard (plain backend) run
+  size_t fd_count = 0;
+  size_t cross_shard_violations = 0;
+};
+
+// Partitioned discovery (src/shard/) on the same workload: HyFd per shard,
+// merge-and-validate, at 1/2/4/8 shards with the shard fan-out on all
+// hardware threads. The FD counts must match the thread sweep exactly.
+std::vector<ShardSweepResult> RunShardSweep(const RelationData& universal,
+                                            int max_lhs) {
+  std::vector<ShardSweepResult> results;
+  double baseline_seconds = 0.0;
+  for (size_t shards : {1, 2, 4, 8}) {
+    FdDiscoveryOptions options;
+    options.max_lhs_size = max_lhs;
+    options.threads = 1;  // serial backend per shard; the fan-out parallelizes
+    ShardOptions shard_options;
+    shard_options.shard_rows = (universal.num_rows() + shards - 1) / shards;
+    shard_options.threads = 0;  // hardware concurrency
+    ShardedDiscovery discovery("hyfd", options, shard_options);
+    Stopwatch watch;
+    auto result = discovery.Discover(universal);
+    double t = watch.ElapsedSeconds();
+    if (!result.ok()) continue;
+    if (shards == 1) baseline_seconds = t;
+    ShardSweepResult r;
+    r.shards = shards;
+    r.seconds = t;
+    r.speedup = t > 0 ? baseline_seconds / t : 1.0;
+    r.fd_count = result->CountUnaryFds();
+    r.cross_shard_violations = discovery.stats().cross_shard_violations;
+    results.push_back(r);
+  }
+  return results;
+}
+
 void WriteSweepJson(const std::string& path, const RelationData& universal,
-                    int max_lhs, const std::vector<SweepResult>& results) {
+                    int max_lhs, const std::vector<SweepResult>& results,
+                    const std::vector<ShardSweepResult>& shard_results) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     std::cerr << "cannot write " << path << "\n";
@@ -98,6 +139,20 @@ void WriteSweepJson(const std::string& path, const RelationData& universal,
                   "\"seconds\": %.6f, \"speedup\": %.3f, \"fds\": %zu}%s\n",
                   r.algo.c_str(), r.threads, r.seconds, r.speedup, r.fd_count,
                   i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ],\n"
+      << "  \"shard_sweep\": [\n";
+  for (size_t i = 0; i < shard_results.size(); ++i) {
+    const ShardSweepResult& r = shard_results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"algorithm\": \"hyfd\", \"shards\": %zu, "
+                  "\"seconds\": %.6f, \"speedup\": %.3f, \"fds\": %zu, "
+                  "\"cross_shard_violations\": %zu}%s\n",
+                  r.shards, r.seconds, r.speedup, r.fd_count,
+                  r.cross_shard_violations,
+                  i + 1 < shard_results.size() ? "," : "");
     out << line;
   }
   out << "  ]\n}\n";
@@ -183,8 +238,24 @@ int main(int argc, char** argv) {
                           FormatCount(static_cast<int64_t>(r.fd_count))});
     }
     sweep_table.Print();
+
+    std::cout << "\n=== Shard-count sweep (partitioned hyfd, same dataset) "
+                 "===\n";
+    std::vector<ShardSweepResult> shard_sweep =
+        RunShardSweep(universal, max_lhs);
+    TablePrinter shard_table(
+        {"Shards", "Time", "Speedup", "FDs", "XShardViol"});
+    for (const ShardSweepResult& r : shard_sweep) {
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx", r.speedup);
+      shard_table.AddRow({std::to_string(r.shards), FormatDuration(r.seconds),
+                          speedup,
+                          FormatCount(static_cast<int64_t>(r.fd_count)),
+                          std::to_string(r.cross_shard_violations)});
+    }
+    shard_table.Print();
     WriteSweepJson(args.Get("json", "BENCH_discovery.json"), universal,
-                   max_lhs, sweep);
+                   max_lhs, sweep, shard_sweep);
   }
   return 0;
 }

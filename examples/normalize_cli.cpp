@@ -6,11 +6,18 @@
 //   closure    --input=<csv> --fds=<file> [--algorithm=optimized]
 //              [--threads=<n>] [--fd-output=<file>]  # component (2)
 //   normalize  --input=<csv> [--max-lhs=<n>] [--threads=<n>] [--3nf] [--4nf]
+//              [--shard-rows=<n>] [--memory-budget=<bytes>]
 //              [--sql] [--output-dir=<dir>]          # the full pipeline
 //
 // --threads: worker threads for the parallel phases (PLI building, HyFD
 // validation, Tane levels, closure FD loop). 0 = hardware concurrency
 // (default), 1 = serial. The result is identical for every value.
+//
+// --shard-rows: partition the input into row-range shards of this size and
+// run per-shard discovery + merge-and-validate (src/shard/); with --input
+// the CSV is streamed through the bounded ingest buffer
+// (--memory-budget=<bytes>) instead of being loaded whole. The discovered
+// FD set — and hence the schema — is identical to the unsharded run.
 //
 // Without --input, the paper's address example is used, so every subcommand
 // runs out of the box:  normalize_cli normalize --sql
@@ -39,6 +46,8 @@ struct Flags {
       report;
   int max_lhs = -1;
   int threads = 0;  // 0 = hardware concurrency
+  long shard_rows = 0;      // 0 = unsharded
+  long memory_budget = 0;   // ingest buffer cap in bytes; 0 = default
   bool second_nf = false, third_nf = false, fourth_nf = false, sql = false;
 
   static Flags Parse(int argc, char** argv) {
@@ -60,6 +69,9 @@ struct Flags {
       if (const char* v = value("report")) f.report = v;
       if (const char* v = value("max-lhs")) f.max_lhs = std::atoi(v);
       if (const char* v = value("threads")) f.threads = std::atoi(v);
+      if (const char* v = value("shard-rows")) f.shard_rows = std::atol(v);
+      if (const char* v = value("memory-budget"))
+        f.memory_budget = std::atol(v);
       if (arg == "--2nf") f.second_nf = true;
       if (arg == "--3nf") f.third_nf = true;
       if (arg == "--4nf") f.fourth_nf = true;
@@ -146,20 +158,33 @@ int Closure(const Flags& flags) {
 }
 
 int NormalizeCommand(const Flags& flags) {
-  auto data = LoadInput(flags);
-  if (!data.ok()) {
-    std::cerr << data.status().ToString() << "\n";
-    return 1;
-  }
   NormalizerOptions options;
   options.discovery.max_lhs_size = flags.max_lhs;
   options.discovery.threads = flags.threads;
   options.closure_threads = flags.threads;
+  if (flags.shard_rows > 0)
+    options.shard.shard_rows = static_cast<size_t>(flags.shard_rows);
+  if (flags.memory_budget > 0)
+    options.shard.memory_budget_bytes =
+        static_cast<size_t>(flags.memory_budget);
+  options.shard.threads = flags.threads;
   if (!flags.algorithm.empty()) options.discovery_algorithm = flags.algorithm;
   if (flags.second_nf) options.normal_form = NormalForm::kSecondNf;
   if (flags.third_nf) options.normal_form = NormalForm::kThirdNf;
   Normalizer normalizer(options);
-  auto result = normalizer.Normalize(*data);
+
+  // With sharding requested on a file input, stream it through the bounded
+  // ingest buffer instead of loading the whole CSV up front.
+  size_t input_value_count = 0;
+  Result<NormalizationResult> result = [&]() -> Result<NormalizationResult> {
+    if (flags.shard_rows > 0 && !flags.input.empty()) {
+      return normalizer.NormalizeCsvFile(flags.input);
+    }
+    auto data = LoadInput(flags);
+    if (!data.ok()) return data.status();
+    input_value_count = data->TotalValueCount();
+    return normalizer.Normalize(*data);
+  }();
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
     return 1;
@@ -176,7 +201,7 @@ int NormalizeCommand(const Flags& flags) {
   std::cout << result->schema.ToString() << "\n";
   if (!flags.report.empty()) {
     ReportOptions report_options;
-    report_options.input_value_count = data->TotalValueCount();
+    report_options.input_value_count = input_value_count;
     std::ofstream out(flags.report, std::ios::binary);
     if (!out) {
       std::cerr << "cannot write " << flags.report << "\n";
@@ -225,10 +250,13 @@ int main(int argc, char** argv) {
          "  closure    --input=<csv> --fds=<file>\n"
          "             [--algorithm=optimized|improved|naive] [--threads=<n>]\n"
          "  normalize  --input=<csv> [--max-lhs=<n>] [--threads=<n>]\n"
+         "             [--shard-rows=<n>] [--memory-budget=<bytes>]\n"
          "             [--2nf|--3nf] [--4nf]\n"
          "             [--sql] [--output-dir=<dir>] [--schema-output=<file>]\n"
          "             [--report=<file.md>]\n"
          "Without --input the paper's address example is used.\n"
-         "--threads: 0 = hardware concurrency (default), 1 = serial.\n";
+         "--threads: 0 = hardware concurrency (default), 1 = serial.\n"
+         "--shard-rows: partitioned discovery; with --input the CSV is\n"
+         "  streamed in shards under the --memory-budget byte cap.\n";
   return flags.command.empty() ? 1 : 2;
 }

@@ -24,14 +24,19 @@ std::vector<SetTrie> BuildLhsTries(const FdSet& fds,
   return tries;
 }
 
-/// Runs fn(i) for all FDs, optionally across a thread pool.
-void ForEachFd(FdSet* fds, int num_threads,
+/// Runs fn(i) for all FDs, optionally across a thread pool (an externally
+/// owned one when the options carry it, else a temporary).
+void ForEachFd(FdSet* fds, const ClosureOptions& options,
                const std::function<void(size_t)>& fn) {
-  if (ResolveThreadCount(num_threads) == 1 || fds->size() < 2) {
+  if (ResolveThreadCount(options.num_threads) == 1 || fds->size() < 2) {
     for (size_t i = 0; i < fds->size(); ++i) fn(i);
     return;
   }
-  ThreadPool pool(num_threads);
+  if (options.pool != nullptr) {
+    options.pool->ParallelFor(fds->size(), fn);
+    return;
+  }
+  ThreadPool pool(options.num_threads);
   pool.ParallelFor(fds->size(), fn);
 }
 
@@ -63,7 +68,7 @@ void NaiveClosure::Extend(FdSet* fds, const AttributeSet& attributes) const {
 
 void ImprovedClosure::Extend(FdSet* fds, const AttributeSet& attributes) const {
   std::vector<SetTrie> lhs_tries = BuildLhsTries(*fds, attributes);
-  ForEachFd(fds, options_.num_threads, [&](size_t i) {
+  ForEachFd(fds, options_, [&](size_t i) {
     Fd& fd = (*fds)[i];
     bool something_changed = true;
     while (something_changed) {
@@ -84,7 +89,7 @@ void ImprovedClosure::Extend(FdSet* fds, const AttributeSet& attributes) const {
 
 void OptimizedClosure::Extend(FdSet* fds, const AttributeSet& attributes) const {
   std::vector<SetTrie> lhs_tries = BuildLhsTries(*fds, attributes);
-  ForEachFd(fds, options_.num_threads, [&](size_t i) {
+  ForEachFd(fds, options_, [&](size_t i) {
     Fd& fd = (*fds)[i];
     // Completeness + minimality of the input guarantee (Lemma 1) that every
     // valid extension attribute has a witness FD whose LHS is a subset of

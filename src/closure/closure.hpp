@@ -26,9 +26,16 @@
 
 namespace normalize {
 
+class ThreadPool;
+
 struct ClosureOptions {
   /// Worker threads for the FD loop; 1 = serial, <= 0 = hardware threads.
   int num_threads = 1;
+  /// Externally owned pool: when set and num_threads resolves above 1, the
+  /// FD loop runs on it instead of a per-Extend() pool (the Normalizer
+  /// passes its process-wide pool here). The pool's worker count then takes
+  /// precedence over num_threads; num_threads == 1 still means serial.
+  ThreadPool* pool = nullptr;
 };
 
 /// Interface of the three closure algorithms.

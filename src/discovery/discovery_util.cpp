@@ -1,6 +1,70 @@
 #include "discovery/discovery_util.hpp"
 
+#include <unordered_map>
+
 namespace normalize {
+
+namespace {
+
+struct CodeVecHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    size_t h = 1469598103934665603ull;
+    for (ValueId x : v) {
+      h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+std::optional<std::pair<RowId, RowId>> ValidateFdCandidate(
+    const RelationData& data, const PliCache& cache,
+    const std::vector<AttributeId>& lhs_attrs, AttributeId rhs_attr) {
+  size_t rows = data.num_rows();
+  const std::vector<ValueId>& rhs_codes = data.column(rhs_attr).codes();
+  if (lhs_attrs.empty()) {
+    // {} -> A holds iff column A is constant.
+    for (size_t r = 1; r < rows; ++r) {
+      if (rhs_codes[r] != rhs_codes[0]) {
+        return std::make_pair(static_cast<RowId>(0), static_cast<RowId>(r));
+      }
+    }
+    return std::nullopt;
+  }
+  if (lhs_attrs.size() == 1) {
+    return cache.ColumnPli(lhs_attrs[0]).FindViolation(rhs_codes);
+  }
+  // Pivot on the most selective LHS column; within its clusters, group rows
+  // by the remaining LHS codes and compare RHS codes.
+  int pivot = lhs_attrs[0];
+  for (AttributeId b : lhs_attrs) {
+    if (cache.ColumnPli(b).ClusteredRowCount() <
+        cache.ColumnPli(pivot).ClusteredRowCount()) {
+      pivot = b;
+    }
+  }
+  std::vector<AttributeId> others;
+  for (AttributeId b : lhs_attrs) {
+    if (b != pivot) others.push_back(b);
+  }
+  std::unordered_map<std::vector<ValueId>, RowId, CodeVecHash> reps;
+  std::vector<ValueId> key(others.size());
+  for (const auto& cluster : cache.ColumnPli(pivot).clusters()) {
+    reps.clear();
+    for (RowId r : cluster) {
+      for (size_t k = 0; k < others.size(); ++k) {
+        key[k] = data.column(others[k]).code(r);
+      }
+      auto [it, inserted] = reps.emplace(key, r);
+      if (!inserted && rhs_codes[it->second] != rhs_codes[r]) {
+        return std::make_pair(it->second, r);
+      }
+    }
+  }
+  return std::nullopt;
+}
 
 void MinimizeCover(FdTree* tree) {
   for (const Fd& fd : tree->CollectAllFds()) {
@@ -39,6 +103,30 @@ AttributeSet AgreeSetOf(const RelationData& data, RowId r1, RowId r2) {
     if (data.column(c).code(r1) == data.column(c).code(r2)) s.Set(c);
   }
   return s;
+}
+
+AttributeSet AgreeSetOf(const RelationData& a, RowId r1, const RelationData& b,
+                        RowId r2) {
+  int n = a.num_columns();
+  AttributeSet s(n);
+  for (int c = 0; c < n; ++c) {
+    if (a.column(c).code(r1) == b.column(c).code(r2)) s.Set(c);
+  }
+  return s;
+}
+
+FdTree BuildLocalFdTree(const FdSet& fds, const RelationData& data) {
+  FdTree tree(data.num_columns());
+  for (const Fd& fd : fds) {
+    AttributeSet lhs(data.num_columns());
+    for (AttributeId global : fd.lhs) {
+      lhs.Set(data.ColumnIndexOf(global));
+    }
+    for (AttributeId global : fd.rhs) {
+      tree.AddFd(lhs, data.ColumnIndexOf(global));
+    }
+  }
+  return tree;
 }
 
 }  // namespace normalize

@@ -1,6 +1,8 @@
 // Helpers shared by the discovery algorithms.
 #pragma once
 
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "fd/fd.hpp"
@@ -14,6 +16,15 @@ namespace normalize {
 /// leaving an antichain of minimal FDs per RHS attribute.
 void MinimizeCover(FdTree* tree);
 
+/// Checks lhs_attrs -> rhs_attr (local column indices) against the data and
+/// returns one violating row pair (rows agreeing on the LHS but disagreeing
+/// on rhs_attr), or nullopt if the FD holds. Pure read-only function of
+/// immutable inputs — safe to run for many candidates concurrently. HyFD's
+/// validation primitive, shared with the sharded merge-and-validate driver.
+std::optional<std::pair<RowId, RowId>> ValidateFdCandidate(
+    const RelationData& data, const PliCache& cache,
+    const std::vector<AttributeId>& lhs_attrs, AttributeId rhs_attr);
+
 /// Translates FDs expressed over local column indices (0..num_columns-1)
 /// into the relation's global attribute-id space (capacity =
 /// data.universe_size()) and aggregates them per LHS.
@@ -22,5 +33,16 @@ FdSet RemapToGlobal(const std::vector<Fd>& local_fds, const RelationData& data);
 /// The agree set of two rows: all columns on which they share codes
 /// (local column-index space).
 AttributeSet AgreeSetOf(const RelationData& data, RowId r1, RowId r2);
+
+/// Cross-relation agree set: all columns on which row r1 of `a` and row r2
+/// of `b` share codes. Only meaningful when the two relations' columns share
+/// value dictionaries (the sharded ingest guarantee) — codes then encode the
+/// same strings on both sides.
+AttributeSet AgreeSetOf(const RelationData& a, RowId r1, const RelationData& b,
+                        RowId r2);
+
+/// Rebuilds an FD cover tree (local column-index space) from a discovered
+/// FD set expressed over global attribute ids, inverting RemapToGlobal.
+FdTree BuildLocalFdTree(const FdSet& fds, const RelationData& data);
 
 }  // namespace normalize

@@ -17,6 +17,8 @@
 
 namespace normalize {
 
+class ThreadPool;
+
 /// Options shared by all discovery algorithms.
 struct FdDiscoveryOptions {
   /// Maximum LHS size; FDs with larger LHSs are not reported. <= 0 means
@@ -29,6 +31,13 @@ struct FdDiscoveryOptions {
   /// FD set is identical for every value — parallelism only changes wall
   /// time. Algorithms without parallel phases ignore the knob.
   int threads = 0;
+  /// Externally owned pool (not owned by the algorithm). When set and
+  /// `threads` resolves above 1, the parallel phases run on this pool
+  /// instead of a per-Discover() pool — the Normalizer passes its
+  /// process-wide pool here so repeated calls do not churn threads. The
+  /// pool's worker count then takes precedence over `threads`; `threads ==
+  /// 1` still forces the exact serial path.
+  ThreadPool* pool = nullptr;
 };
 
 /// Abstract FD discovery algorithm.

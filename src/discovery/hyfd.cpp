@@ -16,17 +16,6 @@ namespace normalize {
 
 namespace {
 
-struct CodeVecHash {
-  size_t operator()(const std::vector<ValueId>& v) const {
-    size_t h = 1469598103934665603ull;
-    for (ValueId x : v) {
-      h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ull;
-      h *= 1099511628211ull;
-    }
-    return h;
-  }
-};
-
 // The sampler walks each column's PLI clusters with a growing neighbor
 // window. Cluster rows are pre-sorted by their full records so that adjacent
 // rows are similar and yield large agree sets (HyFD's "focused sampling").
@@ -93,57 +82,6 @@ class Sampler {
   std::vector<size_t> windows_;
 };
 
-/// Checks lhs_attrs -> a against the data and returns one violating row pair
-/// (rows agreeing on the LHS but disagreeing on a), or nullopt if the FD
-/// holds. Pure read-only function of immutable inputs — safe to run for many
-/// candidates concurrently.
-std::optional<std::pair<RowId, RowId>> ValidateCandidate(
-    const RelationData& data, const PliCache& cache,
-    const std::vector<AttributeId>& lhs_attrs, AttributeId a) {
-  size_t rows = data.num_rows();
-  const std::vector<ValueId>& rhs_codes = data.column(a).codes();
-  if (lhs_attrs.empty()) {
-    // {} -> A holds iff column A is constant.
-    for (size_t r = 1; r < rows; ++r) {
-      if (rhs_codes[r] != rhs_codes[0]) {
-        return std::make_pair(static_cast<RowId>(0), static_cast<RowId>(r));
-      }
-    }
-    return std::nullopt;
-  }
-  if (lhs_attrs.size() == 1) {
-    return cache.ColumnPli(lhs_attrs[0]).FindViolation(rhs_codes);
-  }
-  // Pivot on the most selective LHS column; within its clusters, group rows
-  // by the remaining LHS codes and compare RHS codes.
-  int pivot = lhs_attrs[0];
-  for (AttributeId b : lhs_attrs) {
-    if (cache.ColumnPli(b).ClusteredRowCount() <
-        cache.ColumnPli(pivot).ClusteredRowCount()) {
-      pivot = b;
-    }
-  }
-  std::vector<AttributeId> others;
-  for (AttributeId b : lhs_attrs) {
-    if (b != pivot) others.push_back(b);
-  }
-  std::unordered_map<std::vector<ValueId>, RowId, CodeVecHash> reps;
-  std::vector<ValueId> key(others.size());
-  for (const auto& cluster : cache.ColumnPli(pivot).clusters()) {
-    reps.clear();
-    for (RowId r : cluster) {
-      for (size_t k = 0; k < others.size(); ++k) {
-        key[k] = data.column(others[k]).code(r);
-      }
-      auto [it, inserted] = reps.emplace(key, r);
-      if (!inserted && rhs_codes[it->second] != rhs_codes[r]) {
-        return std::make_pair(it->second, r);
-      }
-    }
-  }
-  return std::nullopt;
-}
-
 }  // namespace
 
 Result<FdSet> HyFd::Discover(const RelationData& data) {
@@ -163,10 +101,18 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
 
   // threads == 1 keeps everything on the calling thread (pool == nullptr
   // routes every ParallelFor serially and validation takes the legacy path).
+  // An externally owned pool (options_.pool) is preferred over spinning up
+  // a per-call one.
   int threads = ResolveThreadCount(options_.threads);
   std::optional<ThreadPool> pool_storage;
-  if (threads > 1) pool_storage.emplace(threads);
-  ThreadPool* pool = pool_storage ? &*pool_storage : nullptr;
+  ThreadPool* pool = nullptr;
+  if (threads > 1) {
+    pool = options_.pool;
+    if (pool == nullptr) {
+      pool_storage.emplace(threads);
+      pool = &*pool_storage;
+    }
+  }
 
   Stopwatch phase_watch;
   PliCache cache(data, pool);
@@ -228,7 +174,7 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
             if (!tree.ContainsFd(fd.lhs, a)) continue;
             ++checked;
             std::optional<std::pair<RowId, RowId>> violation =
-                ValidateCandidate(data, cache, lhs_attrs, a);
+                ValidateFdCandidate(data, cache, lhs_attrs, a);
             if (violation) {
               ++invalid;
               AttributeSet ag =
@@ -266,7 +212,7 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
         std::vector<std::optional<AttributeSet>> violations(units.size());
         pool->ParallelFor(units.size(), [&](size_t u) {
           const Unit& unit = units[u];
-          std::optional<std::pair<RowId, RowId>> violation = ValidateCandidate(
+          std::optional<std::pair<RowId, RowId>> violation = ValidateFdCandidate(
               data, cache, lhs_vecs[unit.candidate], unit.rhs);
           if (violation) {
             violations[u] = AgreeSetOf(data, violation->first, violation->second);

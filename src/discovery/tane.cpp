@@ -46,8 +46,14 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
   // count (threads == 1 keeps everything on the calling thread).
   int threads = ResolveThreadCount(options_.threads);
   std::optional<ThreadPool> pool_storage;
-  if (threads > 1) pool_storage.emplace(threads);
-  ThreadPool* pool = pool_storage ? &*pool_storage : nullptr;
+  ThreadPool* pool = nullptr;
+  if (threads > 1) {
+    pool = options_.pool;  // prefer the externally owned pool
+    if (pool == nullptr) {
+      pool_storage.emplace(threads);
+      pool = &*pool_storage;
+    }
+  }
 
   Stopwatch phase_watch;
   PliCache cache(data, pool);

@@ -6,10 +6,13 @@
 
 #include "closure/closure.hpp"
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "discovery/ucc.hpp"
 #include "normalize/decomposition.hpp"
 #include "normalize/key_derivation.hpp"
 #include "normalize/scoring.hpp"
+#include "shard/sharded_csv.hpp"
+#include "shard/sharded_discovery.hpp"
 
 namespace normalize {
 
@@ -39,31 +42,102 @@ Normalizer::Normalizer(NormalizerOptions options, Advisor* advisor)
     : options_(std::move(options)),
       advisor_(advisor != nullptr ? advisor : &auto_advisor_) {}
 
+Normalizer::~Normalizer() = default;
+
+ThreadPool* Normalizer::SharedPool() {
+  int want = std::max({ResolveThreadCount(options_.discovery.threads),
+                       ResolveThreadCount(options_.closure_threads),
+                       ResolveThreadCount(options_.shard.threads)});
+  if (want <= 1) return nullptr;
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(want);
+  return pool_.get();
+}
+
+void Normalizer::RecordDiscoveryStats(NormalizationStats* stats,
+                                      const FdSet& fds, double seconds,
+                                      const PhaseMetrics& discovery_phases) {
+  stats->fd_discovery_s = seconds;
+  stats->num_fds = fds.CountUnaryFds();
+  stats->avg_rhs_before = fds.AverageRhsSize();
+  stats->phases.Record("fd_discovery", seconds, stats->num_fds);
+  stats->phases.MergeFrom(discovery_phases, "discovery/");
+}
+
 Result<NormalizationResult> Normalizer::Normalize(const RelationData& input) {
   Stopwatch total_watch;
   NormalizationResult result;
-  NormalizationStats& stats = result.stats;
 
   // --- (1) FD discovery ---
-  std::unique_ptr<FdDiscovery> discovery =
-      MakeFdDiscovery(options_.discovery_algorithm, options_.discovery);
-  if (discovery == nullptr) {
-    return Status::InvalidArgument("unknown discovery algorithm: " +
-                                   options_.discovery_algorithm);
-  }
+  FdDiscoveryOptions discovery_options = options_.discovery;
+  discovery_options.pool = SharedPool();
   Stopwatch watch;
-  auto fds_result = discovery->Discover(input);
+  FdSet fds;
+  if (options_.shard.shard_rows > 0) {
+    ShardedDiscovery discovery(options_.discovery_algorithm, discovery_options,
+                               options_.shard);
+    auto fds_result = discovery.Discover(input);
+    if (!fds_result.ok()) return fds_result.status();
+    fds = std::move(fds_result).value();
+    RecordDiscoveryStats(&result.stats, fds, watch.ElapsedSeconds(),
+                         discovery.phase_metrics());
+  } else {
+    std::unique_ptr<FdDiscovery> discovery =
+        MakeFdDiscovery(options_.discovery_algorithm, discovery_options);
+    if (discovery == nullptr) {
+      return Status::InvalidArgument("unknown discovery algorithm: " +
+                                     options_.discovery_algorithm);
+    }
+    auto fds_result = discovery->Discover(input);
+    if (!fds_result.ok()) return fds_result.status();
+    fds = std::move(fds_result).value();
+    RecordDiscoveryStats(&result.stats, fds, watch.ElapsedSeconds(),
+                         discovery->phase_metrics());
+  }
+  return FinishNormalization(input, std::move(fds), std::move(result),
+                             total_watch);
+}
+
+Result<NormalizationResult> Normalizer::NormalizeCsvFile(
+    const std::string& path, const CsvOptions& csv_options) {
+  Stopwatch total_watch;
+  NormalizationResult result;
+
+  Stopwatch watch;
+  ShardedCsvReader reader(csv_options, options_.shard);
+  auto ingest_result = reader.ReadFile(path);
+  if (!ingest_result.ok()) return ingest_result.status();
+  ShardedRelation sharded = std::move(ingest_result).value();
+  result.stats.phases.Record("shard_ingest", watch.ElapsedSeconds(),
+                             sharded.total_rows);
+
+  FdDiscoveryOptions discovery_options = options_.discovery;
+  discovery_options.pool = SharedPool();
+  watch.Restart();
+  ShardedDiscovery discovery(options_.discovery_algorithm, discovery_options,
+                             options_.shard);
+  auto fds_result = discovery.Discover(sharded.shards);
   if (!fds_result.ok()) return fds_result.status();
   FdSet fds = std::move(fds_result).value();
-  stats.fd_discovery_s = watch.ElapsedSeconds();
-  stats.num_fds = fds.CountUnaryFds();
-  stats.avg_rhs_before = fds.AverageRhsSize();
-  stats.phases.Record("fd_discovery", stats.fd_discovery_s, stats.num_fds);
-  stats.phases.MergeFrom(discovery->phase_metrics(), "discovery/");
+  RecordDiscoveryStats(&result.stats, fds, watch.ElapsedSeconds(),
+                       discovery.phase_metrics());
+
+  // Decomposition works on the stitched relation: same dictionaries, so this
+  // costs one code vector per column, not a string re-parse.
+  RelationData input = sharded.Concatenate(sharded.name);
+  return FinishNormalization(input, std::move(fds), std::move(result),
+                             total_watch);
+}
+
+Result<NormalizationResult> Normalizer::FinishNormalization(
+    const RelationData& input, FdSet fds, NormalizationResult result,
+    const Stopwatch& total_watch) {
+  NormalizationStats& stats = result.stats;
+  Stopwatch watch;
 
   // --- (2) closure calculation ---
   std::unique_ptr<ClosureAlgorithm> closure = MakeClosure(
-      options_.closure_algorithm, ClosureOptions{options_.closure_threads});
+      options_.closure_algorithm,
+      ClosureOptions{options_.closure_threads, SharedPool()});
   if (closure == nullptr) {
     return Status::InvalidArgument("unknown closure algorithm: " +
                                    options_.closure_algorithm);

@@ -19,10 +19,14 @@
 #include "fd/fd.hpp"
 #include "normalize/advisor.hpp"
 #include "normalize/violation_detection.hpp"
+#include "relation/csv.hpp"
 #include "relation/relation_data.hpp"
 #include "relation/schema.hpp"
+#include "shard/shard_options.hpp"
 
 namespace normalize {
+
+class ThreadPool;
 
 struct NormalizerOptions {
   /// FD discovery algorithm: "hyfd" (default), "tane", "fdep", "naive".
@@ -38,6 +42,12 @@ struct NormalizerOptions {
   bool select_primary_keys = true;
   /// Safety bound on the number of decomposition steps.
   int max_decompositions = 100000;
+  /// Sharded / out-of-core pipeline (src/shard/): shard_rows > 0 makes
+  /// Normalize() run partitioned FD discovery over row-range shards of the
+  /// input, and NormalizeCsvFile() stream its input under
+  /// shard.memory_budget_bytes. The discovered FD set — and hence the
+  /// normalization result — is identical to the unsharded run.
+  ShardOptions shard;
 };
 
 /// Per-component wall-clock times and counters (the paper's Table 3 rows).
@@ -102,6 +112,8 @@ class Normalizer {
   explicit Normalizer(NormalizerOptions options = {},
                       Advisor* advisor = nullptr);
 
+  ~Normalizer();
+
   /// Normalizes a single relational instance into the target normal form.
   Result<NormalizationResult> Normalize(const RelationData& input);
 
@@ -109,10 +121,35 @@ class Normalizer {
   Result<std::vector<NormalizationResult>> NormalizeAll(
       const std::vector<RelationData>& inputs);
 
+  /// Streams a CSV file through the sharded ingest (text buffer bounded by
+  /// options.shard.memory_budget_bytes), discovers FDs per shard with
+  /// merge-and-validate, and normalizes. With shard_rows == 0 this is
+  /// equivalent to CsvReader::ReadFile + Normalize.
+  Result<NormalizationResult> NormalizeCsvFile(const std::string& path,
+                                               const CsvOptions& csv_options = {});
+
  private:
+  /// The lazily created process-wide pool shared by discovery, closure, and
+  /// sharded discovery — repeated Normalize() calls reuse one set of worker
+  /// threads. Returns nullptr when every thread knob resolves to serial.
+  ThreadPool* SharedPool();
+
+  /// Records component-(1) statistics common to all discovery paths.
+  void RecordDiscoveryStats(NormalizationStats* stats, const FdSet& fds,
+                            double seconds,
+                            const PhaseMetrics& discovery_phases);
+
+  /// Components (2)-(7) on pre-discovered FDs; discovery statistics must
+  /// already be recorded in result.stats.
+  Result<NormalizationResult> FinishNormalization(const RelationData& input,
+                                                  FdSet fds,
+                                                  NormalizationResult result,
+                                                  const Stopwatch& total_watch);
+
   NormalizerOptions options_;
   AutoAdvisor auto_advisor_;
   Advisor* advisor_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace normalize

@@ -34,34 +34,62 @@ std::vector<int32_t> Pli::AsProbeVector() const {
   return probe;
 }
 
-Pli Pli::Intersect(const std::vector<int32_t>& probe) const {
+namespace {
+
+// Shared grouping core of the two Intersect overloads. Group keys are dense
+// non-negative ids (probe cluster indices or dictionary codes), so a flat
+// slot table replaces the per-cluster hash map (HyFD's original trick);
+// `touched` undoes the slot writes between clusters and `scratch` recycles
+// row buffers, cutting allocation churn on large relations. Emission order
+// is first-touch order within each cluster — deterministic, unlike the
+// former unordered_map iteration.
+template <typename KeyOf>
+Pli IntersectClusters(const std::vector<std::vector<RowId>>& clusters,
+                      size_t num_rows, size_t num_groups, const KeyOf& key_of) {
   std::vector<std::vector<RowId>> result;
-  std::unordered_map<int32_t, std::vector<RowId>> groups;
-  for (const auto& cluster : clusters_) {
-    groups.clear();
+  std::vector<int32_t> slot_of_group(num_groups, -1);
+  std::vector<std::vector<RowId>> scratch;
+  std::vector<int32_t> touched;
+  for (const auto& cluster : clusters) {
+    touched.clear();
+    int32_t used = 0;
     for (RowId r : cluster) {
-      int32_t p = probe[r];
-      if (p < 0) continue;  // singleton in the other partition
-      groups[p].push_back(r);
+      int32_t key = key_of(r);
+      if (key < 0) continue;  // singleton in the other partition
+      int32_t slot = slot_of_group[static_cast<size_t>(key)];
+      if (slot < 0) {
+        slot = used++;
+        slot_of_group[static_cast<size_t>(key)] = slot;
+        touched.push_back(key);
+        if (static_cast<size_t>(slot) == scratch.size()) scratch.emplace_back();
+      }
+      scratch[static_cast<size_t>(slot)].push_back(r);
     }
-    for (auto& [p, rows] : groups) {
+    for (int32_t slot = 0; slot < used; ++slot) {
+      auto& rows = scratch[static_cast<size_t>(slot)];
       if (rows.size() >= 2) result.push_back(std::move(rows));
+      rows.clear();
     }
+    for (int32_t key : touched) slot_of_group[static_cast<size_t>(key)] = -1;
   }
-  return Pli(std::move(result), num_rows_);
+  return Pli(std::move(result), num_rows);
+}
+
+}  // namespace
+
+Pli Pli::Intersect(const std::vector<int32_t>& probe) const {
+  int32_t num_groups = 0;
+  for (int32_t p : probe) num_groups = std::max(num_groups, p + 1);
+  return IntersectClusters(clusters_, num_rows_,
+                           static_cast<size_t>(num_groups),
+                           [&probe](RowId r) { return probe[r]; });
 }
 
 Pli Pli::Intersect(const Column& column) const {
-  std::vector<std::vector<RowId>> result;
-  std::unordered_map<int32_t, std::vector<RowId>> groups;
-  for (const auto& cluster : clusters_) {
-    groups.clear();
-    for (RowId r : cluster) groups[column.code(r)].push_back(r);
-    for (auto& [p, rows] : groups) {
-      if (rows.size() >= 2) result.push_back(std::move(rows));
-    }
-  }
-  return Pli(std::move(result), num_rows_);
+  // Dictionary codes are dense in [0, DistinctCount) and never negative.
+  return IntersectClusters(
+      clusters_, num_rows_, column.DistinctCount(),
+      [&column](RowId r) { return static_cast<int32_t>(column.code(r)); });
 }
 
 bool Pli::Refines(const std::vector<ValueId>& codes) const {

@@ -5,20 +5,10 @@
 
 namespace normalize {
 
-namespace {
-
-struct ParsedCell {
-  std::string text;
-  bool quoted = false;
-};
-
-// Parses one CSV record starting at `pos`; advances `pos` past the record's
-// terminating newline. Handles quoted cells with "" escapes and embedded
-// newlines.
-Result<std::vector<ParsedCell>> ParseRecord(const std::string& s, size_t* pos,
+Result<std::vector<CsvCell>> ParseCsvRecord(std::string_view s, size_t* pos,
                                             const CsvOptions& opt) {
-  std::vector<ParsedCell> cells;
-  ParsedCell cell;
+  std::vector<CsvCell> cells;
+  CsvCell cell;
   bool in_quotes = false;
   bool cell_started_quoted = false;
   size_t i = *pos;
@@ -45,7 +35,7 @@ Result<std::vector<ParsedCell>> ParseRecord(const std::string& s, size_t* pos,
     }
     if (c == opt.delimiter) {
       cells.push_back(std::move(cell));
-      cell = ParsedCell{};
+      cell = CsvCell{};
       cell_started_quoted = false;
       continue;
     }
@@ -67,7 +57,26 @@ Result<std::vector<ParsedCell>> ParseRecord(const std::string& s, size_t* pos,
   return cells;
 }
 
-}  // namespace
+bool IsBlankCsvRecord(const std::vector<CsvCell>& record) {
+  return record.size() == 1 && record[0].text.empty() && !record[0].quoted;
+}
+
+void CsvRecordToRow(const std::vector<CsvCell>& record,
+                    const CsvOptions& options, std::vector<std::string>* row,
+                    std::vector<bool>* is_null) {
+  row->clear();
+  is_null->clear();
+  row->reserve(record.size());
+  is_null->reserve(record.size());
+  for (const CsvCell& c : record) {
+    bool null_cell =
+        !c.quoted &&
+        ((options.empty_is_null && c.text.empty()) ||
+         (!options.null_token.empty() && c.text == options.null_token));
+    is_null->push_back(null_cell);
+    row->push_back(c.text);
+  }
+}
 
 Result<RelationData> CsvReader::ReadString(const std::string& content,
                                            const std::string& relation_name) const {
@@ -77,22 +86,19 @@ Result<RelationData> CsvReader::ReadString(const std::string& content,
     if (pos >= content.size()) {
       return Status::InvalidArgument("empty CSV input but header expected");
     }
-    auto header = ParseRecord(content, &pos, options_);
+    auto header = ParseCsvRecord(content, &pos, options_);
     if (!header.ok()) return header.status();
-    for (const ParsedCell& c : *header) names.push_back(c.text);
+    for (const CsvCell& c : *header) names.push_back(c.text);
   }
 
   std::vector<std::vector<std::string>> rows;
   std::vector<std::vector<bool>> null_masks;
   while (pos < content.size()) {
-    auto record = ParseRecord(content, &pos, options_);
+    auto record = ParseCsvRecord(content, &pos, options_);
     if (!record.ok()) return record.status();
     // Skip blank lines — except in single-column relations, where an empty
     // unquoted line legitimately encodes a NULL cell (round-trip fidelity).
-    if (record->size() == 1 && (*record)[0].text.empty() &&
-        !(*record)[0].quoted && names.size() != 1) {
-      continue;
-    }
+    if (IsBlankCsvRecord(*record) && names.size() != 1) continue;
     if (names.empty()) {
       for (size_t i = 0; i < record->size(); ++i) {
         names.push_back("column" + std::to_string(i));
@@ -106,15 +112,7 @@ Result<RelationData> CsvReader::ReadString(const std::string& content,
     }
     std::vector<std::string> row;
     std::vector<bool> nulls;
-    row.reserve(record->size());
-    nulls.reserve(record->size());
-    for (const ParsedCell& c : *record) {
-      bool is_null = !c.quoted && ((options_.empty_is_null && c.text.empty()) ||
-                                   (!options_.null_token.empty() &&
-                                    c.text == options_.null_token));
-      nulls.push_back(is_null);
-      row.push_back(c.text);
-    }
+    CsvRecordToRow(*record, options_, &row, &nulls);
     rows.push_back(std::move(row));
     null_masks.push_back(std::move(nulls));
   }
@@ -127,19 +125,22 @@ Result<RelationData> CsvReader::ReadString(const std::string& content,
   return data;
 }
 
+std::string RelationNameFromPath(const std::string& path) {
+  size_t slash = path.find_last_of("/\\");
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return name;
+}
+
 Result<RelationData> CsvReader::ReadFile(const std::string& path,
                                          const std::string& relation_name) const {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open file: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  std::string name = relation_name;
-  if (name.empty()) {
-    size_t slash = path.find_last_of("/\\");
-    name = slash == std::string::npos ? path : path.substr(slash + 1);
-    size_t dot = name.find_last_of('.');
-    if (dot != std::string::npos) name = name.substr(0, dot);
-  }
+  std::string name =
+      relation_name.empty() ? RelationNameFromPath(path) : relation_name;
   return ReadString(buffer.str(), name);
 }
 

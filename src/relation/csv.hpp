@@ -4,6 +4,8 @@
 #pragma once
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/result.hpp"
 #include "relation/relation_data.hpp"
@@ -20,6 +22,35 @@ struct CsvOptions {
   std::string null_token = "";
   bool empty_is_null = true;
 };
+
+/// One parsed CSV cell. `quoted` records whether the cell was written in
+/// quotes — a quoted empty cell is an empty string, an unquoted one is NULL
+/// (under `empty_is_null`).
+struct CsvCell {
+  std::string text;
+  bool quoted = false;
+};
+
+/// Parses one CSV record starting at `*pos`; advances `*pos` past the
+/// record's terminating newline (or to s.size() for the final record).
+/// Handles quoted cells with "" escapes, embedded delimiters and newlines,
+/// and \r\n / \r / \n terminators. Shared grammar of CsvReader and
+/// ShardedCsvReader — the two must parse identically.
+Result<std::vector<CsvCell>> ParseCsvRecord(std::string_view s, size_t* pos,
+                                            const CsvOptions& options);
+
+/// True iff the record is a blank line (one empty unquoted cell). Blank
+/// lines are skipped except in single-column relations, where an empty
+/// unquoted line legitimately encodes a NULL cell (round-trip fidelity).
+bool IsBlankCsvRecord(const std::vector<CsvCell>& record);
+
+/// Converts a parsed record into row text plus NULL mask per the options.
+void CsvRecordToRow(const std::vector<CsvCell>& record,
+                    const CsvOptions& options, std::vector<std::string>* row,
+                    std::vector<bool>* is_null);
+
+/// Default relation name for a CSV file: basename without extension.
+std::string RelationNameFromPath(const std::string& path);
 
 class CsvReader {
  public:

@@ -8,36 +8,42 @@
 
 namespace normalize {
 
-ValueId Column::Append(std::string_view value) {
-  auto it = dictionary_index_.find(std::string(value));
-  ValueId code;
-  if (it != dictionary_index_.end()) {
-    code = it->second;
-  } else {
-    code = static_cast<ValueId>(dictionary_.size());
-    dictionary_.emplace_back(value);
-    dictionary_index_.emplace(dictionary_.back(), code);
-    max_value_length_ = std::max(max_value_length_, value.size());
+ValueId ValueDictionary::Intern(std::string_view value) {
+  auto it = index_.find(std::string(value));
+  if (it != index_.end()) return it->second;
+  ValueId code = static_cast<ValueId>(values_.size());
+  values_.emplace_back(value);
+  index_.emplace(values_.back(), code);
+  max_value_length_ = std::max(max_value_length_, value.size());
+  return code;
+}
+
+ValueId ValueDictionary::InternNull() {
+  if (null_code_ < 0) {
+    // NULL occupies a dictionary slot so codes stay dense, but the slot's
+    // string is never exposed through ValueAt.
+    null_code_ = static_cast<ValueId>(values_.size());
+    values_.emplace_back("\x00<NULL>");
   }
+  return null_code_;
+}
+
+ValueId Column::Append(std::string_view value) {
+  ValueId code = dict_->Intern(value);
   codes_.push_back(code);
   return code;
 }
 
 ValueId Column::AppendNull() {
-  if (null_code_ < 0) {
-    // NULL occupies a dictionary slot so codes stay dense, but the slot's
-    // string is never exposed through ValueAt.
-    null_code_ = static_cast<ValueId>(dictionary_.size());
-    dictionary_.emplace_back("\x00<NULL>");
-  }
-  codes_.push_back(null_code_);
-  return null_code_;
+  ValueId code = dict_->InternNull();
+  codes_.push_back(code);
+  return code;
 }
 
 std::string_view Column::ValueAt(size_t row, std::string_view null_token) const {
   ValueId code = codes_[row];
-  if (code == null_code_) return null_token;
-  return dictionary_[static_cast<size_t>(code)];
+  if (code == dict_->null_code()) return null_token;
+  return dict_->value(code);
 }
 
 RelationData::RelationData(std::string name,
@@ -50,6 +56,19 @@ RelationData::RelationData(std::string name,
   for (AttributeId a : attribute_ids_) {
     universe_size_ = std::max(universe_size_, a + 1);
   }
+}
+
+RelationData RelationData::EmptyLike(const RelationData& like,
+                                     std::string name) {
+  RelationData out;
+  out.name_ = std::move(name);
+  out.attribute_ids_ = like.attribute_ids_;
+  out.universe_size_ = like.universe_size_;
+  out.columns_.reserve(like.columns_.size());
+  for (const Column& c : like.columns_) {
+    out.columns_.emplace_back(c.name(), c.dictionary());
+  }
+  return out;
 }
 
 AttributeSet RelationData::AttributesAsSet(int universe_capacity) const {
@@ -87,6 +106,12 @@ void RelationData::AppendRow(const std::vector<std::string>& cells,
       columns_[i].Append(cells[i]);
     }
   }
+  ++num_rows_;
+}
+
+void RelationData::AppendRowCodes(const std::vector<ValueId>& codes) {
+  assert(codes.size() == columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) columns_[i].AppendCode(codes[i]);
   ++num_rows_;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -18,48 +19,92 @@ namespace normalize {
 /// Per-column dictionary code of a cell value.
 using ValueId = int32_t;
 
+/// The value dictionary of one attribute: interned strings with dense codes,
+/// NULL as a distinguished code. Normally owned by a single Column; the
+/// sharded ingest path (src/shard/) shares one dictionary across the shard
+/// columns of the same attribute so value codes agree across shards.
+/// Interning is single-writer (ingest is serial); concurrent readers are
+/// safe once interning has stopped.
+class ValueDictionary {
+ public:
+  /// Interns a value; returns its code. Equal strings get equal codes.
+  ValueId Intern(std::string_view value);
+  /// Interns the NULL sentinel (idempotent) and returns its code.
+  ValueId InternNull();
+
+  /// The code representing NULL, or -1 if NULL was never interned.
+  ValueId null_code() const { return null_code_; }
+  bool has_null() const { return null_code_ >= 0; }
+
+  /// Number of distinct values (NULL counts as one value if present).
+  size_t size() const { return values_.size(); }
+  /// The string for a code (must not be the NULL code).
+  const std::string& value(ValueId code) const {
+    return values_[static_cast<size_t>(code)];
+  }
+  /// Length in characters of the longest non-NULL value.
+  size_t max_value_length() const { return max_value_length_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, ValueId> index_;
+  ValueId null_code_ = -1;
+  size_t max_value_length_ = 0;
+};
+
 /// One dictionary-encoded column.
 class Column {
  public:
-  explicit Column(std::string name) : name_(std::move(name)) {}
+  explicit Column(std::string name)
+      : name_(std::move(name)), dict_(std::make_shared<ValueDictionary>()) {}
+  /// Creates a column that interns into an existing (shared) dictionary.
+  Column(std::string name, std::shared_ptr<ValueDictionary> dictionary)
+      : name_(std::move(name)), dict_(std::move(dictionary)) {}
 
   const std::string& name() const { return name_; }
   size_t size() const { return codes_.size(); }
 
-  /// Appends a value; returns its code. Equal strings get equal codes.
+  /// Appends a value; returns its code. Equal strings get equal codes (also
+  /// across every column sharing this column's dictionary).
   ValueId Append(std::string_view value);
   /// Appends a NULL cell.
   ValueId AppendNull();
+  /// Appends a cell by pre-interned code (must be a valid code of this
+  /// column's dictionary, or its NULL code). The shared-dictionary fast
+  /// path: no string lookup.
+  void AppendCode(ValueId code) { codes_.push_back(code); }
 
   ValueId code(size_t row) const { return codes_[row]; }
   const std::vector<ValueId>& codes() const { return codes_; }
 
   /// True iff the cell at `row` is NULL.
-  bool IsNull(size_t row) const { return codes_[row] == null_code_; }
-  /// True iff any cell of this column is NULL.
-  bool has_null() const { return null_code_ >= 0; }
-  /// The code representing NULL, or -1 if the column has no NULLs.
-  ValueId null_code() const { return null_code_; }
+  bool IsNull(size_t row) const { return codes_[row] == dict_->null_code(); }
+  /// True iff the dictionary carries a NULL code, i.e. some cell of this
+  /// column — or of a column sharing its dictionary — is NULL.
+  bool has_null() const { return dict_->has_null(); }
+  /// The code representing NULL, or -1 if the dictionary has no NULLs.
+  ValueId null_code() const { return dict_->null_code(); }
 
   /// The string of the cell at `row`; NULL renders as `null_token`.
   std::string_view ValueAt(size_t row, std::string_view null_token = "") const;
   /// The dictionary string for a code (must not be the NULL code).
   const std::string& DictionaryValue(ValueId code) const {
-    return dictionary_[static_cast<size_t>(code)];
+    return dict_->value(code);
   }
 
-  /// Number of distinct values (NULL counts as one value if present).
-  size_t DistinctCount() const { return dictionary_.size(); }
+  /// Number of distinct values in the dictionary (NULL counts as one value
+  /// if present; for shared dictionaries this spans all sharing columns).
+  size_t DistinctCount() const { return dict_->size(); }
   /// Length in characters of the longest non-NULL value.
-  size_t MaxValueLength() const { return max_value_length_; }
+  size_t MaxValueLength() const { return dict_->max_value_length(); }
+
+  /// This column's dictionary, for sharing with sibling shard columns.
+  const std::shared_ptr<ValueDictionary>& dictionary() const { return dict_; }
 
  private:
   std::string name_;
   std::vector<ValueId> codes_;
-  std::vector<std::string> dictionary_;
-  std::unordered_map<std::string, ValueId> dictionary_index_;
-  ValueId null_code_ = -1;
-  size_t max_value_length_ = 0;
+  std::shared_ptr<ValueDictionary> dict_;
 };
 
 /// A relational instance over a subset of the global attributes. Column i of
@@ -70,6 +115,11 @@ class RelationData {
   /// Creates an empty relation whose columns are the given global attributes.
   RelationData(std::string name, std::vector<AttributeId> attribute_ids,
                std::vector<std::string> attribute_names);
+
+  /// Creates an empty relation with the same attributes, names, and universe
+  /// as `like`, whose columns *share* `like`'s value dictionaries — value
+  /// codes agree between the two relations. The row-range-shard constructor.
+  static RelationData EmptyLike(const RelationData& like, std::string name);
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -103,6 +153,10 @@ class RelationData {
   /// Appends a row with explicit NULL positions.
   void AppendRow(const std::vector<std::string>& cells,
                  const std::vector<bool>& is_null);
+  /// Appends a row of pre-interned dictionary codes (codes[i] must be valid
+  /// in column i's dictionary). Used to slice/concatenate relations that
+  /// share dictionaries without re-interning strings.
+  void AppendRowCodes(const std::vector<ValueId>& codes);
 
   /// Column names in relation order.
   std::vector<std::string> ColumnNames() const;

@@ -1,0 +1,28 @@
+// Knob surface of the sharded / out-of-core pipeline (src/shard/): bounded
+// memory ingest plus partitioned FD discovery with merge-and-validate.
+#pragma once
+
+#include <cstddef>
+
+namespace normalize {
+
+struct ShardOptions {
+  /// Rows per shard. 0 disables sharding: ingest produces a single shard and
+  /// ShardedDiscovery degenerates to a plain backend call.
+  size_t shard_rows = 0;
+
+  /// Worker threads of the per-shard discovery fan-out and the merge
+  /// validation sweeps: <= 0 selects the hardware concurrency, 1 runs the
+  /// exact serial path. The discovered FD set is identical for every value.
+  int threads = 0;
+
+  /// Upper bound in bytes for the ingest text buffer (carry-over of an
+  /// incomplete record plus one read chunk). 0 selects a small default
+  /// (4 MiB). Ingest fails with InvalidArgument rather than exceed the
+  /// budget (a single CSV record larger than the budget cannot be parsed).
+  /// The budget covers the streaming text buffer, not the dictionary-encoded
+  /// shards it emits.
+  size_t memory_budget_bytes = 0;
+};
+
+}  // namespace normalize

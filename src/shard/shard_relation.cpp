@@ -1,0 +1,48 @@
+#include "shard/shard_relation.hpp"
+
+#include <algorithm>
+
+namespace normalize {
+
+RelationData ShardedRelation::Concatenate(const std::string& name) const {
+  return ConcatenateShards(shards, name);
+}
+
+std::vector<RelationData> SliceIntoShards(const RelationData& data,
+                                          size_t shard_rows) {
+  size_t rows = data.num_rows();
+  if (shard_rows == 0 || shard_rows >= rows) shard_rows = std::max<size_t>(rows, 1);
+  std::vector<RelationData> shards;
+  int n = data.num_columns();
+  std::vector<ValueId> codes(static_cast<size_t>(n));
+  for (size_t begin = 0; begin == 0 || begin < rows; begin += shard_rows) {
+    RelationData shard = RelationData::EmptyLike(
+        data, data.name() + ".shard" + std::to_string(shards.size()));
+    size_t end = std::min(rows, begin + shard_rows);
+    for (size_t r = begin; r < end; ++r) {
+      for (int c = 0; c < n; ++c) codes[static_cast<size_t>(c)] = data.column(c).code(r);
+      shard.AppendRowCodes(codes);
+    }
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+RelationData ConcatenateShards(const std::vector<RelationData>& shards,
+                               const std::string& name) {
+  if (shards.empty()) return RelationData(name, {}, {});
+  RelationData out = RelationData::EmptyLike(shards.front(), name);
+  int n = shards.front().num_columns();
+  std::vector<ValueId> codes(static_cast<size_t>(n));
+  for (const RelationData& shard : shards) {
+    for (size_t r = 0; r < shard.num_rows(); ++r) {
+      for (int c = 0; c < n; ++c) {
+        codes[static_cast<size_t>(c)] = shard.column(c).code(r);
+      }
+      out.AppendRowCodes(codes);
+    }
+  }
+  return out;
+}
+
+}  // namespace normalize

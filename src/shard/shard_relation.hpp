@@ -1,0 +1,43 @@
+// Row-range shards of a relation. All shards of one relation share their
+// columns' value dictionaries (relation_data.hpp), so a dictionary code
+// denotes the same string in every shard — the property the partitioned
+// discovery driver (sharded_discovery.hpp) relies on to compare cells across
+// shards without touching strings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "relation/relation_data.hpp"
+
+namespace normalize {
+
+/// A relation materialized as row-range shards with shared dictionaries.
+struct ShardedRelation {
+  /// Base relation name (shards are named "<name>.shard<i>").
+  std::string name;
+  std::vector<RelationData> shards;
+  /// Total data rows across all shards.
+  size_t total_rows = 0;
+  /// Peak size of the streaming ingest text buffer (carry + chunk). Stays
+  /// within ShardOptions::memory_budget_bytes; 0 for in-memory slicing.
+  size_t peak_ingest_buffer_bytes = 0;
+
+  /// Stitches the shards back into one relation (sharing the dictionaries).
+  RelationData Concatenate(const std::string& name) const;
+};
+
+/// Slices an in-memory relation into shards of at most `shard_rows` rows
+/// that share the source's dictionaries. `shard_rows == 0` (or >= num_rows)
+/// yields one shard covering all rows. Row order is preserved; no shard is
+/// empty unless the source has no rows.
+std::vector<RelationData> SliceIntoShards(const RelationData& data,
+                                          size_t shard_rows);
+
+/// Concatenates row-range shards (sharing dictionaries, identical schemas)
+/// back into one relation named `name`.
+RelationData ConcatenateShards(const std::vector<RelationData>& shards,
+                               const std::string& name);
+
+}  // namespace normalize

@@ -1,0 +1,267 @@
+#include "shard/sharded_csv.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace normalize {
+
+namespace {
+
+constexpr size_t kDefaultMemoryBudget = 4u << 20;  // 4 MiB
+
+/// Quote state carried across chunk boundaries.
+struct ScanState {
+  bool in_quotes = false;
+  /// The current cell started with an opening quote.
+  bool cell_quoted = false;
+  /// The current cell has accumulated unquoted text (mirrors
+  /// ParseCsvRecord's `!cell.text.empty()` gate for opening a quote).
+  bool cell_has_text = false;
+};
+
+/// Advances the scan over buffer[*scan_pos, end), locating record
+/// terminators under ParseCsvRecord's quoting rules. *last_boundary is set
+/// to one past the last terminator seen. Two look-ahead cases are ambiguous
+/// at the end of a non-final buffer and left unscanned for the next call:
+/// a quote inside a quoted cell (start of a `""` escape or a closing quote?)
+/// and a trailing '\r' (lone terminator or first half of "\r\n"?).
+void ScanRecordBoundaries(std::string_view buffer, const CsvOptions& opt,
+                          bool final_data, size_t* scan_pos, ScanState* st,
+                          size_t* last_boundary) {
+  size_t i = *scan_pos;
+  const size_t n = buffer.size();
+  while (i < n) {
+    char c = buffer[i];
+    if (st->in_quotes) {
+      if (c == opt.quote) {
+        if (i + 1 >= n && !final_data) break;
+        if (i + 1 < n && buffer[i + 1] == opt.quote) {
+          i += 2;  // escaped quote, still inside the cell
+        } else {
+          st->in_quotes = false;
+          ++i;
+        }
+      } else {
+        ++i;  // newlines and delimiters are content here
+      }
+      continue;
+    }
+    if (c == opt.quote && !st->cell_has_text && !st->cell_quoted) {
+      st->in_quotes = true;
+      st->cell_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == opt.delimiter) {
+      st->cell_quoted = false;
+      st->cell_has_text = false;
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      if (c == '\r') {
+        if (i + 1 >= n && !final_data) break;
+        if (i + 1 < n && buffer[i + 1] == '\n') ++i;
+      }
+      ++i;
+      *last_boundary = i;
+      st->cell_quoted = false;
+      st->cell_has_text = false;
+      continue;
+    }
+    st->cell_has_text = true;
+    ++i;
+  }
+  *scan_pos = i;
+}
+
+/// Streaming ingest state machine: accumulates bytes into a bounded buffer,
+/// parses every complete record out of it, and assembles shards that share
+/// one set of value dictionaries (via a row-less prototype relation).
+class Ingest {
+ public:
+  Ingest(const CsvOptions& csv_options, const ShardOptions& shard_options,
+         std::string name)
+      : opt_(csv_options),
+        shard_(shard_options),
+        name_(std::move(name)),
+        budget_(shard_options.memory_budget_bytes > 0
+                    ? shard_options.memory_budget_bytes
+                    : kDefaultMemoryBudget),
+        chunk_size_(std::max<size_t>(1, budget_ / 2)) {}
+
+  size_t chunk_size() const { return chunk_size_; }
+
+  Status Feed(std::string_view bytes) {
+    while (!bytes.empty()) {
+      size_t take = std::min(bytes.size(), chunk_size_);
+      if (buffer_.size() + take > budget_) {
+        // buffer_ holds exactly one incomplete record (everything before the
+        // last boundary has been parsed and erased), so the record needs
+        // more than budget - chunk_size >= budget/2 bytes.
+        return Status::InvalidArgument(
+            "CSV record larger than half the ingest memory budget (" +
+            std::to_string(budget_) + " bytes); raise memory_budget_bytes");
+      }
+      buffer_.append(bytes.data(), take);
+      bytes.remove_prefix(take);
+      peak_buffer_bytes_ = std::max(peak_buffer_bytes_, buffer_.size());
+      NORMALIZE_RETURN_IF_ERROR(ProcessBuffer(/*final_data=*/false));
+    }
+    return Status::OK();
+  }
+
+  Result<ShardedRelation> Finish() {
+    NORMALIZE_RETURN_IF_ERROR(ProcessBuffer(/*final_data=*/true));
+    // What remains is the final record without a trailing newline (or an
+    // unterminated quoted cell, which ParseCsvRecord rejects).
+    size_t pos = 0;
+    while (pos < buffer_.size()) {
+      auto record = ParseCsvRecord(buffer_, &pos, opt_);
+      if (!record.ok()) return record.status();
+      NORMALIZE_RETURN_IF_ERROR(EmitRecord(*record));
+    }
+    buffer_.clear();
+    if (opt_.has_header && !header_seen_) {
+      return Status::InvalidArgument("empty CSV input but header expected");
+    }
+    if (current_ && (current_->num_rows() > 0 || shards_.empty())) {
+      shards_.push_back(std::move(*current_));
+    }
+    current_.reset();
+    if (shards_.empty()) {
+      // Header-only (or entirely empty) input: one empty shard, mirroring
+      // CsvReader's empty relation.
+      std::vector<AttributeId> ids(names_.size());
+      for (size_t i = 0; i < names_.size(); ++i) {
+        ids[i] = static_cast<AttributeId>(i);
+      }
+      shards_.emplace_back(name_ + ".shard0", std::move(ids), names_);
+    }
+    ShardedRelation out;
+    out.name = name_;
+    out.shards = std::move(shards_);
+    out.total_rows = total_rows_;
+    out.peak_ingest_buffer_bytes = peak_buffer_bytes_;
+    return out;
+  }
+
+ private:
+  Status ProcessBuffer(bool final_data) {
+    ScanRecordBoundaries(buffer_, opt_, final_data, &scan_pos_, &scan_state_,
+                         &last_boundary_);
+    size_t pos = 0;
+    std::string_view complete =
+        std::string_view(buffer_).substr(0, last_boundary_);
+    while (pos < complete.size()) {
+      auto record = ParseCsvRecord(complete, &pos, opt_);
+      if (!record.ok()) return record.status();
+      NORMALIZE_RETURN_IF_ERROR(EmitRecord(*record));
+    }
+    if (pos > 0) {
+      buffer_.erase(0, pos);
+      scan_pos_ -= pos;
+      last_boundary_ -= pos;
+    }
+    return Status::OK();
+  }
+
+  Status EmitRecord(const std::vector<CsvCell>& record) {
+    if (opt_.has_header && !header_seen_) {
+      header_seen_ = true;
+      for (const CsvCell& c : record) names_.push_back(c.text);
+      return Status::OK();
+    }
+    // Blank-line handling as in CsvReader::ReadString.
+    if (IsBlankCsvRecord(record) && names_.size() != 1) return Status::OK();
+    if (names_.empty()) {
+      for (size_t i = 0; i < record.size(); ++i) {
+        names_.push_back("column" + std::to_string(i));
+      }
+    }
+    if (record.size() != names_.size()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(total_rows_ + 1) + " has " +
+          std::to_string(record.size()) + " cells, expected " +
+          std::to_string(names_.size()));
+    }
+    if (!prototype_) {
+      std::vector<AttributeId> ids(names_.size());
+      for (size_t i = 0; i < names_.size(); ++i) {
+        ids[i] = static_cast<AttributeId>(i);
+      }
+      prototype_.emplace(name_, std::move(ids), names_);
+      StartShard();
+    }
+    CsvRecordToRow(record, opt_, &row_, &nulls_);
+    current_->AppendRow(row_, nulls_);
+    ++total_rows_;
+    if (shard_.shard_rows > 0 && current_->num_rows() >= shard_.shard_rows) {
+      shards_.push_back(std::move(*current_));
+      StartShard();
+    }
+    return Status::OK();
+  }
+
+  void StartShard() {
+    current_.emplace(RelationData::EmptyLike(
+        *prototype_, name_ + ".shard" + std::to_string(shards_.size())));
+  }
+
+  const CsvOptions opt_;
+  const ShardOptions shard_;
+  const std::string name_;
+  const size_t budget_;
+  const size_t chunk_size_;
+
+  std::string buffer_;       // carry-over + current chunk, <= budget_
+  size_t scan_pos_ = 0;      // first unscanned byte of buffer_
+  size_t last_boundary_ = 0; // one past the last record terminator
+  ScanState scan_state_;
+  size_t peak_buffer_bytes_ = 0;
+
+  bool header_seen_ = false;
+  std::vector<std::string> names_;
+  /// Row-less relation owning the shared dictionaries; every shard is
+  /// EmptyLike(prototype_).
+  std::optional<RelationData> prototype_;
+  std::optional<RelationData> current_;
+  std::vector<RelationData> shards_;
+  size_t total_rows_ = 0;
+  std::vector<std::string> row_;
+  std::vector<bool> nulls_;
+};
+
+}  // namespace
+
+Result<ShardedRelation> ShardedCsvReader::ReadFile(
+    const std::string& path, const std::string& relation_name) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::string name =
+      relation_name.empty() ? RelationNameFromPath(path) : relation_name;
+  Ingest ingest(csv_options_, shard_options_, std::move(name));
+  std::string chunk(ingest.chunk_size(), '\0');
+  while (in) {
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    Status st = ingest.Feed(
+        std::string_view(chunk.data(), static_cast<size_t>(got)));
+    if (!st.ok()) return st;
+  }
+  return ingest.Finish();
+}
+
+Result<ShardedRelation> ShardedCsvReader::ReadString(
+    const std::string& content, const std::string& relation_name) const {
+  Ingest ingest(csv_options_, shard_options_, relation_name);
+  Status st = ingest.Feed(content);
+  if (!st.ok()) return st;
+  return ingest.Finish();
+}
+
+}  // namespace normalize

@@ -1,0 +1,43 @@
+// Out-of-core CSV ingest: streams a file in bounded-memory chunks and
+// materializes it as row-range shards with shared value dictionaries
+// (shard_relation.hpp). Record boundaries are found by an incremental
+// scanner that mirrors ParseCsvRecord's quoting rules, so quoted cells with
+// embedded newlines/delimiters survive arbitrary chunk splits; the actual
+// cell parsing reuses ParseCsvRecord on complete-record prefixes — the two
+// readers cannot diverge grammatically.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "relation/csv.hpp"
+#include "shard/shard_options.hpp"
+#include "shard/shard_relation.hpp"
+
+namespace normalize {
+
+class ShardedCsvReader {
+ public:
+  explicit ShardedCsvReader(CsvOptions csv_options = {},
+                            ShardOptions shard_options = {})
+      : csv_options_(csv_options), shard_options_(shard_options) {}
+
+  /// Streams a CSV file into shards of at most shard_options.shard_rows rows
+  /// (one shard when 0). The text buffer never exceeds
+  /// shard_options.memory_budget_bytes; a single record larger than the
+  /// budget fails with InvalidArgument. Parses identically to
+  /// CsvReader::ReadFile.
+  Result<ShardedRelation> ReadFile(const std::string& path,
+                                   const std::string& relation_name = "") const;
+
+  /// Same pipeline over an in-memory string, fed through the chunked code
+  /// path (chunk size derived from the memory budget) — primarily for tests.
+  Result<ShardedRelation> ReadString(const std::string& content,
+                                     const std::string& relation_name) const;
+
+ private:
+  CsvOptions csv_options_;
+  ShardOptions shard_options_;
+};
+
+}  // namespace normalize

@@ -1,0 +1,325 @@
+#include "shard/sharded_discovery.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "discovery/discovery_util.hpp"
+#include "discovery/induction.hpp"
+#include "fd/fd_tree.hpp"
+#include "pli/pli.hpp"
+#include "shard/shard_relation.hpp"
+
+namespace normalize {
+
+namespace {
+
+/// A row addressed by (shard index, row within shard).
+struct ShardRow {
+  size_t shard;
+  RowId row;
+};
+
+struct CodeVecHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    size_t h = 1469598103934665603ull;
+    for (ValueId x : v) {
+      h ^= static_cast<size_t>(static_cast<uint32_t>(x));
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+/// Checks lhs_attrs -> rhs_attr across the union of all shards' rows by
+/// grouping on LHS code tuples (codes agree across shards thanks to the
+/// shared dictionaries). Returns one violating row pair or nullopt. Only
+/// called for candidates already valid within every single shard, so any
+/// violation found here necessarily straddles two shards.
+std::optional<std::pair<ShardRow, ShardRow>> ValidateAcrossShards(
+    const std::vector<RelationData>& shards,
+    const std::vector<AttributeId>& lhs_attrs, AttributeId rhs_attr) {
+  if (lhs_attrs.empty()) {
+    // {} -> rhs: the column must be constant across all shards.
+    std::optional<ShardRow> first;
+    ValueId first_code = 0;
+    for (size_t s = 0; s < shards.size(); ++s) {
+      const std::vector<ValueId>& rhs_codes = shards[s].column(rhs_attr).codes();
+      for (size_t r = 0; r < rhs_codes.size(); ++r) {
+        if (!first) {
+          first = ShardRow{s, static_cast<RowId>(r)};
+          first_code = rhs_codes[r];
+        } else if (rhs_codes[r] != first_code) {
+          return std::make_pair(*first, ShardRow{s, static_cast<RowId>(r)});
+        }
+      }
+    }
+    return std::nullopt;
+  }
+  if (lhs_attrs.size() == 1) {
+    // Codes of the shared dictionary are dense in [0, DistinctCount):
+    // a flat representative table replaces the hash map.
+    size_t groups = shards.front().column(lhs_attrs[0]).DistinctCount();
+    std::vector<ValueId> rep_rhs(groups, -1);
+    std::vector<ShardRow> rep_row(groups);
+    for (size_t s = 0; s < shards.size(); ++s) {
+      const std::vector<ValueId>& lhs_codes =
+          shards[s].column(lhs_attrs[0]).codes();
+      const std::vector<ValueId>& rhs_codes = shards[s].column(rhs_attr).codes();
+      for (size_t r = 0; r < lhs_codes.size(); ++r) {
+        size_t g = static_cast<size_t>(lhs_codes[r]);
+        if (rep_rhs[g] < 0) {
+          rep_rhs[g] = rhs_codes[r];
+          rep_row[g] = ShardRow{s, static_cast<RowId>(r)};
+        } else if (rep_rhs[g] != rhs_codes[r]) {
+          return std::make_pair(rep_row[g], ShardRow{s, static_cast<RowId>(r)});
+        }
+      }
+    }
+    return std::nullopt;
+  }
+  std::unordered_map<std::vector<ValueId>, std::pair<ShardRow, ValueId>,
+                     CodeVecHash>
+      reps;
+  std::vector<ValueId> key(lhs_attrs.size());
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const RelationData& shard = shards[s];
+    for (size_t r = 0; r < shard.num_rows(); ++r) {
+      for (size_t j = 0; j < lhs_attrs.size(); ++j) {
+        key[j] = shard.column(lhs_attrs[j]).code(r);
+      }
+      ValueId rhs_code = shard.column(rhs_attr).code(r);
+      ShardRow here{s, static_cast<RowId>(r)};
+      auto [it, inserted] = reps.try_emplace(key, here, rhs_code);
+      if (!inserted && it->second.second != rhs_code) {
+        return std::make_pair(it->second.first, here);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ShardedDiscovery::ShardedDiscovery(std::string backend,
+                                   FdDiscoveryOptions options,
+                                   ShardOptions shard_options)
+    : backend_(std::move(backend)),
+      options_(options),
+      shard_options_(shard_options) {}
+
+Result<FdSet> ShardedDiscovery::Discover(const RelationData& data) {
+  if (shard_options_.shard_rows == 0 ||
+      shard_options_.shard_rows >= data.num_rows()) {
+    stats_ = Stats{};
+    phase_metrics_.Clear();
+    stats_.shard_count = 1;
+    auto algo = MakeFdDiscovery(backend_, options_);
+    if (!algo) {
+      return Status::InvalidArgument("unknown discovery algorithm: " + backend_);
+    }
+    auto result = algo->Discover(data);
+    if (result.ok()) phase_metrics_.MergeFrom(algo->phase_metrics());
+    return result;
+  }
+  return Discover(SliceIntoShards(data, shard_options_.shard_rows));
+}
+
+Result<FdSet> ShardedDiscovery::Discover(
+    const std::vector<RelationData>& shards) {
+  stats_ = Stats{};
+  phase_metrics_.Clear();
+  if (shards.empty()) {
+    return Status::InvalidArgument("sharded discovery needs at least one shard");
+  }
+  stats_.shard_count = shards.size();
+  const RelationData& first = shards.front();
+  int n = first.num_columns();
+  for (size_t s = 1; s < shards.size(); ++s) {
+    if (shards[s].num_columns() != n ||
+        shards[s].attribute_ids() != first.attribute_ids()) {
+      return Status::InvalidArgument("shards disagree on schema");
+    }
+    for (int c = 0; c < n; ++c) {
+      if (shards[s].column(c).dictionary() != first.column(c).dictionary()) {
+        return Status::InvalidArgument(
+            "shard columns must share value dictionaries (produce shards "
+            "with ShardedCsvReader or SliceIntoShards)");
+      }
+    }
+  }
+  if (shards.size() == 1) {
+    auto algo = MakeFdDiscovery(backend_, options_);
+    if (!algo) {
+      return Status::InvalidArgument("unknown discovery algorithm: " + backend_);
+    }
+    auto result = algo->Discover(first);
+    if (result.ok()) phase_metrics_.MergeFrom(algo->phase_metrics());
+    return result;
+  }
+  if (n == 0) return FdSet{};
+
+  size_t k = shards.size();
+  int threads = ResolveThreadCount(shard_options_.threads);
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (threads > 1) {
+    pool = options_.pool;  // prefer the externally owned pool
+    if (pool == nullptr) {
+      pool_storage.emplace(threads);
+      pool = &*pool_storage;
+    }
+  }
+
+  // --- Per-shard discovery fan-out ---
+  // Each shard runs the serial backend; the fan-out itself is the
+  // parallelism (per-shard threads would contend with it, and running the
+  // backend's ParallelFor on the outer pool could self-deadlock).
+  Stopwatch watch;
+  std::vector<FdSet> shard_fds(k);
+  std::vector<Status> statuses(k);
+  ParallelFor(pool, k, [&](size_t s) {
+    FdDiscoveryOptions per_shard = options_;
+    per_shard.threads = 1;
+    per_shard.pool = nullptr;
+    auto algo = MakeFdDiscovery(backend_, per_shard);
+    if (!algo) {
+      statuses[s] =
+          Status::InvalidArgument("unknown discovery algorithm: " + backend_);
+      return;
+    }
+    auto result = algo->Discover(shards[s]);
+    if (!result.ok()) {
+      statuses[s] = result.status();
+      return;
+    }
+    shard_fds[s] = std::move(result).value();
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  phase_metrics_.Record("shard_discovery", watch.ElapsedSeconds(), k);
+
+  // --- Merge machinery: per-shard cover trees and PLI caches ---
+  watch.Restart();
+  std::vector<FdTree> covers;
+  covers.reserve(k);
+  for (size_t s = 0; s < k; ++s) {
+    covers.push_back(BuildLocalFdTree(shard_fds[s], shards[s]));
+  }
+  phase_metrics_.Record("shard_covers", watch.ElapsedSeconds(), k);
+  watch.Restart();
+  std::vector<PliCache> caches;
+  caches.reserve(k);
+  for (size_t s = 0; s < k; ++s) caches.emplace_back(shards[s], pool);
+  phase_metrics_.Record("pli_build", watch.ElapsedSeconds(),
+                        k * static_cast<size_t>(n));
+
+  // --- Merge-and-validate ---
+  // Seed with shard 0's minimal cover: every globally valid FD holds on
+  // shard 0 and is therefore a specialization of some seed FD, so the tree
+  // is a positive cover from the start and stays one under
+  // SpecializeCover (violations come from real row pairs, which can never
+  // discharge a globally valid FD).
+  FdTree tree = BuildLocalFdTree(shard_fds[0], shards[0]);
+  stats_.seed_fds = tree.CountFds();
+
+  std::unordered_set<AttributeSet> seen_agree_sets;
+  int max_level = n - 1;
+  if (options_.max_lhs_size > 0) {
+    max_level = std::min(max_level, options_.max_lhs_size);
+  }
+
+  struct Violation {
+    AttributeSet agree;
+    bool cross_shard = false;
+  };
+
+  for (int level = 0; level <= max_level; ++level) {
+    while (true) {
+      // Snapshot this level's candidates; validate them concurrently
+      // against the immutable shards (the tree is not touched), then apply
+      // the violations serially in snapshot order — the same deterministic
+      // sweep structure as HyFD's parallel validation.
+      std::vector<Fd> candidates = tree.GetLevel(level);
+      std::vector<std::vector<AttributeId>> lhs_vecs(candidates.size());
+      struct Unit {
+        size_t candidate;
+        AttributeId rhs;
+      };
+      std::vector<Unit> units;
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        lhs_vecs[c] = candidates[c].lhs.ToVector();
+        for (AttributeId a : candidates[c].rhs) {
+          units.push_back(Unit{c, a});
+        }
+      }
+      if (units.empty()) break;
+      Stopwatch validation_watch;
+      std::vector<std::optional<Violation>> violations(units.size());
+      ParallelFor(pool, units.size(), [&](size_t u) {
+        const Unit& unit = units[u];
+        const AttributeSet& lhs = candidates[unit.candidate].lhs;
+        const std::vector<AttributeId>& lhs_attrs = lhs_vecs[unit.candidate];
+        // Within-shard tier: the covers are complete up to max_lhs_size, so
+        // a shard whose cover does not imply the candidate must violate it;
+        // targeted PLI validation on that shard finds a witness pair.
+        for (size_t s = 0; s < k; ++s) {
+          if (covers[s].ContainsFdOrGeneralization(lhs, unit.rhs)) continue;
+          auto pair = ValidateFdCandidate(shards[s], caches[s], lhs_attrs,
+                                          unit.rhs);
+          if (pair) {
+            violations[u] = Violation{
+                AgreeSetOf(shards[s], pair->first, shards[s], pair->second),
+                /*cross_shard=*/false};
+            return;
+          }
+        }
+        // Cross-shard tier: valid inside every shard — only a row pair
+        // straddling two shards can still break it.
+        auto pair = ValidateAcrossShards(shards, lhs_attrs, unit.rhs);
+        if (pair) {
+          violations[u] = Violation{
+              AgreeSetOf(shards[pair->first.shard], pair->first.row,
+                         shards[pair->second.shard], pair->second.row),
+              /*cross_shard=*/true};
+        }
+      });
+      size_t invalid = 0;
+      std::vector<AttributeSet> evidence;
+      for (size_t u = 0; u < units.size(); ++u) {
+        if (!violations[u]) continue;
+        ++invalid;
+        if (violations[u]->cross_shard) {
+          ++stats_.cross_shard_violations;
+        } else {
+          ++stats_.within_shard_violations;
+        }
+        const AttributeSet& ag = violations[u]->agree;
+        if (seen_agree_sets.insert(ag).second) evidence.push_back(ag);
+        // Even previously-seen evidence must be (re)applied to this
+        // candidate — it may have been added after the original induction.
+        SpecializeCover(&tree, ag, units[u].rhs, options_.max_lhs_size);
+      }
+      stats_.validated_candidates += units.size();
+      stats_.invalid_candidates += invalid;
+      phase_metrics_.Record("merge_validation", validation_watch.ElapsedSeconds(),
+                            units.size());
+      Stopwatch induction_watch;
+      for (const AttributeSet& ag : evidence) {
+        InduceFromAgreeSet(&tree, ag, options_.max_lhs_size);
+      }
+      phase_metrics_.Record("merge_induction", induction_watch.ElapsedSeconds(),
+                            evidence.size());
+      if (invalid == 0) break;
+    }
+  }
+
+  MinimizeCover(&tree);
+  return RemapToGlobal(tree.CollectAllFds(), shards[0]);
+}
+
+}  // namespace normalize

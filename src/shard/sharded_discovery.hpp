@@ -1,0 +1,81 @@
+// Partitioned FD discovery with merge-and-validate. Any single-node backend
+// (hyfd, tane, ...) runs independently on each row-range shard; the per-shard
+// minimal covers are then merged with the classic distributed-FD rule: an FD
+// holds globally only if it survives validation against every shard AND
+// against row pairs that straddle shards. The merge seeds a candidate tree
+// from shard 0's cover (every globally valid FD holds on shard 0, so the
+// tree starts as a positive cover) and runs HyFD's level-wise
+// specialization-on-violation loop:
+//
+//   * within-shard tier: a shard whose minimal cover does not imply the
+//     candidate must contain a violating pair — found with the backend's
+//     PLI validation primitive on that shard alone;
+//   * cross-shard tier: candidates valid in every shard are checked by
+//     hashing LHS code tuples across all shards (codes agree because the
+//     shards share value dictionaries).
+//
+// Violations specialize the cover (SpecializeCover/InduceFromAgreeSet)
+// exactly as in HyFD, so the result is the complete set of minimal FDs of
+// the concatenated relation — bit-identical to a single-shot run, for every
+// shard count, shard order, and thread count (the minimal cover is unique).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/stopwatch.hpp"
+#include "discovery/fd_discovery.hpp"
+#include "fd/fd.hpp"
+#include "relation/relation_data.hpp"
+#include "shard/shard_options.hpp"
+
+namespace normalize {
+
+class ShardedDiscovery {
+ public:
+  struct Stats {
+    size_t shard_count = 0;
+    /// Unary FDs in the seed cover (shard 0's minimal cover).
+    size_t seed_fds = 0;
+    /// Merge-phase candidate validations and how many failed.
+    size_t validated_candidates = 0;
+    size_t invalid_candidates = 0;
+    /// Failed candidates by violation locality: inside one shard vs. a row
+    /// pair straddling two shards (the case a naive per-shard union misses).
+    size_t within_shard_violations = 0;
+    size_t cross_shard_violations = 0;
+  };
+
+  /// `backend` is any MakeFdDiscovery() name; `options` configures the
+  /// per-shard runs and the merge (max_lhs_size, external pool).
+  /// `shard_options.threads` drives the shard fan-out and merge sweeps;
+  /// `shard_options.shard_rows` only matters for the slicing overload.
+  explicit ShardedDiscovery(std::string backend = "hyfd",
+                            FdDiscoveryOptions options = {},
+                            ShardOptions shard_options = {});
+
+  /// Discovers the minimal FDs of the concatenation of `shards`. The shards
+  /// must share one schema and per-column value dictionaries (as produced by
+  /// ShardedCsvReader or SliceIntoShards). A single shard degenerates to a
+  /// plain backend call.
+  Result<FdSet> Discover(const std::vector<RelationData>& shards);
+
+  /// Convenience: slices `data` into shard_options.shard_rows-row shards
+  /// (sharing its dictionaries) and merges. shard_rows == 0 or >= num_rows
+  /// runs the backend directly.
+  Result<FdSet> Discover(const RelationData& data);
+
+  const Stats& stats() const { return stats_; }
+  const PhaseMetrics& phase_metrics() const { return phase_metrics_; }
+
+ private:
+  std::string backend_;
+  FdDiscoveryOptions options_;
+  ShardOptions shard_options_;
+  Stats stats_;
+  PhaseMetrics phase_metrics_;
+};
+
+}  // namespace normalize

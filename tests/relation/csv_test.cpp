@@ -83,6 +83,70 @@ TEST(CsvReaderTest, CrLfLineEndings) {
   EXPECT_EQ(result->column(1).ValueAt(0), "2");
 }
 
+TEST(CsvReaderTest, TrailingRowWithoutNewline) {
+  CsvReader reader;
+  auto result = reader.ReadString("a,b\n1,2\n3,4", "t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->column(1).ValueAt(1), "4");
+}
+
+TEST(CsvReaderTest, QuotedCrLfStaysInCell) {
+  CsvReader reader;
+  auto result = reader.ReadString("a,b\r\n\"x\r\ny\",1\r\n", "t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->column(0).ValueAt(0), "x\r\ny");
+}
+
+TEST(CsvReaderTest, LoneCarriageReturnTerminatesRecord) {
+  CsvReader reader;
+  auto result = reader.ReadString("a\r1\r2", "t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->column(0).ValueAt(1), "2");
+}
+
+// The shared-grammar entry points (also driven by ShardedCsvReader).
+TEST(CsvRecordGrammarTest, ParseCsvRecordAdvancesPastTerminator) {
+  CsvOptions opt;
+  std::string s = "x,\"a\"\"b\"\r\nnext";
+  size_t pos = 0;
+  auto record = ParseCsvRecord(s, &pos, opt);
+  ASSERT_TRUE(record.ok());
+  ASSERT_EQ(record->size(), 2u);
+  EXPECT_EQ((*record)[0].text, "x");
+  EXPECT_FALSE((*record)[0].quoted);
+  EXPECT_EQ((*record)[1].text, "a\"b");
+  EXPECT_TRUE((*record)[1].quoted);
+  EXPECT_EQ(pos, s.size() - 4);  // just past "\r\n"
+}
+
+TEST(CsvRecordGrammarTest, BlankRecordDetection) {
+  CsvOptions opt;
+  size_t pos = 0;
+  auto blank = ParseCsvRecord("\n", &pos, opt);
+  ASSERT_TRUE(blank.ok());
+  EXPECT_TRUE(IsBlankCsvRecord(*blank));
+  pos = 0;
+  auto quoted_empty = ParseCsvRecord("\"\"\n", &pos, opt);
+  ASSERT_TRUE(quoted_empty.ok());
+  EXPECT_FALSE(IsBlankCsvRecord(*quoted_empty));
+}
+
+TEST(CsvRecordGrammarTest, RecordToRowAppliesNullRules) {
+  CsvOptions opt;
+  opt.null_token = "?";
+  size_t pos = 0;
+  auto record = ParseCsvRecord("x,,\"\",?\n", &pos, opt);
+  ASSERT_TRUE(record.ok());
+  std::vector<std::string> row;
+  std::vector<bool> nulls;
+  CsvRecordToRow(*record, opt, &row, &nulls);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(nulls, (std::vector<bool>{false, true, false, true}));
+}
+
 TEST(CsvReaderTest, RaggedRowIsError) {
   CsvReader reader;
   auto result = reader.ReadString("a,b\n1\n", "t");

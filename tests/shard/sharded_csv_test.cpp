@@ -1,0 +1,238 @@
+// ShardedCsvReader must parse byte-identically to CsvReader for every chunk
+// split the memory budget can induce — quoted newlines, escaped quotes, and
+// \r\n pairs falling exactly on a chunk boundary are the regression cases —
+// while keeping its text buffer within the budget and sharing one value
+// dictionary per column across all shards.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "relation/csv.hpp"
+#include "shard/shard_relation.hpp"
+#include "shard/sharded_csv.hpp"
+
+namespace normalize {
+namespace {
+
+void ExpectSameRelation(const RelationData& actual,
+                        const RelationData& expected,
+                        const std::string& context) {
+  ASSERT_EQ(actual.num_columns(), expected.num_columns()) << context;
+  ASSERT_EQ(actual.num_rows(), expected.num_rows()) << context;
+  for (int c = 0; c < expected.num_columns(); ++c) {
+    EXPECT_EQ(actual.column(c).name(), expected.column(c).name()) << context;
+    for (size_t r = 0; r < expected.num_rows(); ++r) {
+      EXPECT_EQ(actual.column(c).IsNull(r), expected.column(c).IsNull(r))
+          << context << " cell (" << r << "," << c << ")";
+      EXPECT_EQ(actual.column(c).ValueAt(r), expected.column(c).ValueAt(r))
+          << context << " cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+/// Parses `content` with ShardedCsvReader at the given budget and checks the
+/// concatenated shards against CsvReader on the same input.
+void ExpectMatchesCsvReader(const std::string& content, size_t budget,
+                            size_t shard_rows = 0, CsvOptions csv_options = {}) {
+  auto expected = CsvReader(csv_options).ReadString(content, "t");
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  ShardOptions shard_options;
+  shard_options.memory_budget_bytes = budget;
+  shard_options.shard_rows = shard_rows;
+  auto sharded =
+      ShardedCsvReader(csv_options, shard_options).ReadString(content, "t");
+  std::string context = "budget=" + std::to_string(budget) +
+                        " shard_rows=" + std::to_string(shard_rows);
+  ASSERT_TRUE(sharded.ok()) << context << ": " << sharded.status().ToString();
+  EXPECT_EQ(sharded->total_rows, expected->num_rows()) << context;
+  EXPECT_LE(sharded->peak_ingest_buffer_bytes, budget) << context;
+  ExpectSameRelation(sharded->Concatenate("t"), *expected, context);
+}
+
+TEST(ShardedCsvTest, BudgetSweepMatchesCsvReaderOnQuotingEdgeCases) {
+  // Every CSV nastiness in one input, records kept short so even tiny
+  // budgets can hold them: quoted embedded newline and \r\n, quoted
+  // delimiter, "" escapes (incl. at cell end), CRLF terminators, a blank
+  // line, and a final record without a newline.
+  std::string content =
+      "a,b\r\n"
+      "\"x\ny\",1\n"
+      "\"p\r\nq\",2\r\n"
+      "\"d,e\",3\n"
+      "\"q\"\"t\",4\r\n"
+      "\"\"\"\",5\n"
+      "\n"
+      "last,6";
+  // Sweeping the budget byte-by-byte moves the chunk boundary through every
+  // position of the input, including mid-escape and mid-CRLF.
+  for (size_t budget = 24; budget <= 2 * content.size(); ++budget) {
+    ExpectMatchesCsvReader(content, budget);
+    ExpectMatchesCsvReader(content, budget, /*shard_rows=*/2);
+  }
+}
+
+TEST(ShardedCsvTest, QuotedNewlineAcrossChunkBoundary) {
+  ShardOptions shard_options;
+  shard_options.memory_budget_bytes = 24;  // chunk = 12 bytes
+  auto result = ShardedCsvReader({}, shard_options)
+                    .ReadString("a,b\n\"one\ntwo\",x\n", "t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  RelationData data = result->Concatenate("t");
+  ASSERT_EQ(data.num_rows(), 1u);
+  EXPECT_EQ(data.column(0).ValueAt(0), "one\ntwo");
+  EXPECT_EQ(data.column(1).ValueAt(0), "x");
+}
+
+TEST(ShardedCsvTest, EscapedQuoteSplitAcrossChunks) {
+  std::string content = "a\n\"x\"\"y\"\n\"\"\"z\"\n";
+  for (size_t budget = 16; budget <= 2 * content.size(); ++budget) {
+    ShardOptions shard_options;
+    shard_options.memory_budget_bytes = budget;
+    auto result = ShardedCsvReader({}, shard_options).ReadString(content, "t");
+    ASSERT_TRUE(result.ok())
+        << "budget=" << budget << ": " << result.status().ToString();
+    RelationData data = result->Concatenate("t");
+    ASSERT_EQ(data.num_rows(), 2u) << "budget=" << budget;
+    EXPECT_EQ(data.column(0).ValueAt(0), "x\"y") << "budget=" << budget;
+    EXPECT_EQ(data.column(0).ValueAt(1), "\"z") << "budget=" << budget;
+  }
+}
+
+TEST(ShardedCsvTest, TrailingRowWithoutNewline) {
+  ShardOptions shard_options;
+  shard_options.shard_rows = 1;
+  auto result =
+      ShardedCsvReader({}, shard_options).ReadString("a,b\n1,2\n3,4", "t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_rows, 2u);
+  ASSERT_EQ(result->shards.size(), 2u);
+  EXPECT_EQ(result->shards[1].column(1).ValueAt(0), "4");
+}
+
+TEST(ShardedCsvTest, ShardsShareValueDictionaries) {
+  ShardOptions shard_options;
+  shard_options.shard_rows = 2;
+  auto result = ShardedCsvReader({}, shard_options)
+                    .ReadString("a,b\nv,1\nw,1\nv,2\nw,2\nv,1\n", "t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->shards.size(), 3u);
+  EXPECT_EQ(result->total_rows, 5u);
+  const auto& shards = result->shards;
+  for (size_t s = 1; s < shards.size(); ++s) {
+    for (int c = 0; c < shards[0].num_columns(); ++c) {
+      EXPECT_EQ(shards[s].column(c).dictionary(),
+                shards[0].column(c).dictionary());
+    }
+  }
+  // Equal strings get equal codes across shards: "v" in shard 0 row 0,
+  // shard 1 row 0, and shard 2 row 0.
+  EXPECT_EQ(shards[0].column(0).code(0), shards[1].column(0).code(0));
+  EXPECT_EQ(shards[0].column(0).code(0), shards[2].column(0).code(0));
+  EXPECT_NE(shards[0].column(0).code(0), shards[0].column(0).code(1));
+}
+
+TEST(ShardedCsvTest, MemoryBudgetBoundsPeakIngestBuffer) {
+  // A file several times larger than the budget must stream through without
+  // the text buffer ever exceeding the budget.
+  std::string path = ::testing::TempDir() + "/sharded_csv_budget_test.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "id,payload,group\n";
+    for (int i = 0; i < 4000; ++i) {
+      out << i << ",\"payload value number " << i << ", quoted\",g" << (i % 7)
+          << "\n";
+    }
+  }
+  constexpr size_t kBudget = 4096;
+  ShardOptions shard_options;
+  shard_options.memory_budget_bytes = kBudget;
+  shard_options.shard_rows = 1000;
+  auto result = ShardedCsvReader({}, shard_options).ReadFile(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_rows, 4000u);
+  EXPECT_EQ(result->shards.size(), 4u);
+  EXPECT_GT(result->peak_ingest_buffer_bytes, 0u);
+  EXPECT_LE(result->peak_ingest_buffer_bytes, kBudget);
+
+  auto expected = CsvReader().ReadFile(path);
+  ASSERT_TRUE(expected.ok());
+  ExpectSameRelation(result->Concatenate(expected->name()), *expected,
+                     "file ingest");
+  std::remove(path.c_str());
+}
+
+TEST(ShardedCsvTest, RecordLargerThanBudgetIsError) {
+  std::string big_cell(4096, 'x');
+  std::string content = "a\n\"" + big_cell + "\"\n";
+  ShardOptions shard_options;
+  shard_options.memory_budget_bytes = 256;
+  auto result = ShardedCsvReader({}, shard_options).ReadString(content, "t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedCsvTest, UnterminatedQuoteIsError) {
+  auto result = ShardedCsvReader().ReadString("a\n\"oops\n", "t");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ShardedCsvTest, RaggedRowIsError) {
+  auto result = ShardedCsvReader().ReadString("a,b\n1,2\n3\n", "t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedCsvTest, EmptyInputWithHeaderIsError) {
+  auto result = ShardedCsvReader().ReadString("", "t");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ShardedCsvTest, HeaderOnlyYieldsOneEmptyShard) {
+  auto result = ShardedCsvReader().ReadString("a,b\n", "t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_rows, 0u);
+  ASSERT_EQ(result->shards.size(), 1u);
+  EXPECT_EQ(result->shards[0].num_rows(), 0u);
+  EXPECT_EQ(result->shards[0].num_columns(), 2);
+}
+
+TEST(ShardedCsvTest, SingleColumnBlankLineIsNullRow) {
+  // Mirrors CsvReader: in single-column relations a blank line is a NULL
+  // cell, not a skipped line.
+  ExpectMatchesCsvReader("a\n1\n\n2\n", /*budget=*/64, /*shard_rows=*/1);
+}
+
+TEST(ShardedCsvTest, NoHeaderGeneratesColumnNames) {
+  CsvOptions csv_options;
+  csv_options.has_header = false;
+  ExpectMatchesCsvReader("1,2\n3,4\n", /*budget=*/64, /*shard_rows=*/1,
+                         csv_options);
+}
+
+TEST(ShardSliceTest, SliceSharesDictionariesAndConcatenateRestores) {
+  auto full = CsvReader().ReadString("a,b\nv,1\nw,1\nv,2\nw,2\nv,1\n", "t");
+  ASSERT_TRUE(full.ok());
+  std::vector<RelationData> shards = SliceIntoShards(*full, 2);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].num_rows(), 2u);
+  EXPECT_EQ(shards[2].num_rows(), 1u);
+  for (const RelationData& shard : shards) {
+    for (int c = 0; c < full->num_columns(); ++c) {
+      EXPECT_EQ(shard.column(c).dictionary(), full->column(c).dictionary());
+    }
+  }
+  ExpectSameRelation(ConcatenateShards(shards, "t"), *full, "slice roundtrip");
+}
+
+TEST(ShardSliceTest, ZeroShardRowsYieldsSingleShard) {
+  auto full = CsvReader().ReadString("a\n1\n2\n", "t");
+  ASSERT_TRUE(full.ok());
+  std::vector<RelationData> shards = SliceIntoShards(*full, 0);
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0].num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,210 @@
+// Partitioned discovery must be exact: for every shard count, shard order,
+// backend, and thread count, the merged result is bit-identical to a
+// single-shot run on the whole relation — including FDs that hold inside
+// every shard but break on row pairs straddling shards (the case a naive
+// per-shard union gets wrong).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "datagen/musicbrainz_like.hpp"
+#include "datagen/tpch_like.hpp"
+#include "discovery/fd_discovery.hpp"
+#include "shard/shard_relation.hpp"
+#include "shard/sharded_discovery.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+const RelationData& TpchUniversal() {
+  static const RelationData data =
+      GenerateTpchLike(TpchScale{}.Scaled(0.12)).universal;
+  return data;
+}
+
+const RelationData& MusicBrainzUniversal() {
+  static const RelationData data =
+      GenerateMusicBrainzLike(MusicBrainzScale{}.Scaled(0.15)).universal;
+  return data;
+}
+
+FdSet SingleShot(const std::string& backend, const RelationData& data) {
+  FdDiscoveryOptions options;
+  options.max_lhs_size = 2;  // the paper's pruned setting (§4.3)
+  options.threads = 1;
+  auto algo = MakeFdDiscovery(backend, options);
+  auto result = algo->Discover(data);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+FdSet Sharded(const std::string& backend, const RelationData& data,
+              size_t num_shards, int threads,
+              ShardedDiscovery::Stats* stats = nullptr) {
+  FdDiscoveryOptions options;
+  options.max_lhs_size = 2;
+  options.threads = 1;
+  ShardOptions shard_options;
+  shard_options.shard_rows =
+      std::max<size_t>(1, (data.num_rows() + num_shards - 1) / num_shards);
+  shard_options.threads = threads;
+  ShardedDiscovery discovery(backend, options, shard_options);
+  auto result = discovery.Discover(SliceIntoShards(
+      data, shard_options.shard_rows));
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (stats != nullptr) *stats = discovery.stats();
+  return std::move(result).value();
+}
+
+/// Bit-identical comparison: the unary expansions (sorted canonical form)
+/// must be exactly equal, not just equivalent.
+void ExpectBitIdentical(const FdSet& actual, const FdSet& expected,
+                        const std::string& context) {
+  std::vector<Fd> a = actual.ToUnary();
+  std::vector<Fd> e = expected.ToUnary();
+  ASSERT_EQ(a.size(), e.size()) << context;
+  for (size_t i = 0; i < e.size(); ++i) {
+    EXPECT_TRUE(a[i] == e[i])
+        << context << ": unary FD " << i << " is " << a[i].ToString()
+        << ", expected " << e[i].ToString();
+  }
+}
+
+struct ShardedCase {
+  const char* backend;
+  const char* dataset;
+};
+
+class ShardedDiscoveryEquivalenceTest
+    : public ::testing::TestWithParam<ShardedCase> {
+ protected:
+  const RelationData& data() const {
+    return std::string(GetParam().dataset) == "tpch" ? TpchUniversal()
+                                                     : MusicBrainzUniversal();
+  }
+};
+
+TEST_P(ShardedDiscoveryEquivalenceTest, ShardCountsYieldBitIdenticalFdSets) {
+  FdSet reference = SingleShot(GetParam().backend, data());
+  ASSERT_GT(reference.CountUnaryFds(), 0u);
+  for (size_t shards : {1u, 2u, 4u}) {
+    ShardedDiscovery::Stats stats;
+    FdSet merged =
+        Sharded(GetParam().backend, data(), shards, /*threads=*/1, &stats);
+    ExpectBitIdentical(merged, reference,
+                       std::string(GetParam().backend) + " on " +
+                           GetParam().dataset + " with " +
+                           std::to_string(shards) + " shards");
+    EXPECT_EQ(stats.shard_count, shards);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndDatasets, ShardedDiscoveryEquivalenceTest,
+    ::testing::Values(ShardedCase{"hyfd", "tpch"},
+                      ShardedCase{"hyfd", "musicbrainz"},
+                      ShardedCase{"tane", "tpch"}),
+    [](const ::testing::TestParamInfo<ShardedCase>& info) {
+      return std::string(info.param.backend) + "_" + info.param.dataset;
+    });
+
+TEST(ShardedDiscoveryTest, DeterministicAcrossThreadCounts) {
+  FdSet serial = Sharded("hyfd", TpchUniversal(), 4, /*threads=*/1);
+  for (int threads : {2, 8}) {
+    FdSet parallel = Sharded("hyfd", TpchUniversal(), 4, threads);
+    ExpectBitIdentical(parallel, serial,
+                       "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ShardedDiscoveryTest, DeterministicAcrossShardOrder) {
+  const RelationData& data = TpchUniversal();
+  std::vector<RelationData> shards = SliceIntoShards(data, data.num_rows() / 3);
+  ASSERT_GE(shards.size(), 3u);
+  FdDiscoveryOptions options;
+  options.max_lhs_size = 2;
+  options.threads = 1;
+  ShardedDiscovery discovery("hyfd", options);
+  auto forward = discovery.Discover(shards);
+  ASSERT_TRUE(forward.ok()) << forward.status().ToString();
+  std::reverse(shards.begin(), shards.end());
+  auto reversed = discovery.Discover(shards);
+  ASSERT_TRUE(reversed.ok()) << reversed.status().ToString();
+  ExpectBitIdentical(*reversed, *forward, "reversed shard order");
+}
+
+TEST(ShardedDiscoveryTest, CrossShardViolationIsCaught) {
+  // A -> B holds inside each 2-row shard (A is unique there) but fails
+  // globally: rows 0/2 agree on A yet disagree on B.
+  RelationData data = testing::MakeRelation(
+      {{"a", "1"}, {"b", "1"}, {"a", "2"}, {"b", "2"}});
+  FdSet reference = SingleShot("hyfd", data);
+  ShardedDiscovery::Stats stats;
+  FdSet merged = Sharded("hyfd", data, 2, /*threads=*/1, &stats);
+  ExpectBitIdentical(merged, reference, "cross-shard violation");
+  EXPECT_GT(stats.cross_shard_violations, 0u);
+  // And the bogus per-shard FD A -> B must be gone.
+  int n = data.num_columns();
+  for (const Fd& fd : merged) {
+    EXPECT_FALSE(fd.lhs == testing::Attrs(n, {0}) && fd.rhs.Test(1))
+        << "A -> B survived the merge";
+  }
+  EXPECT_TRUE(testing::AllFdsHold(data, merged));
+  EXPECT_TRUE(testing::AllFdsMinimal(data, merged));
+}
+
+TEST(ShardedDiscoveryTest, PerShardConstantColumnIsNotGloballyConstant) {
+  // {} -> B holds inside each shard (B is constant per shard) but not
+  // globally — exercises the empty-LHS cross-shard check.
+  RelationData data = testing::MakeRelation(
+      {{"w", "1"}, {"x", "1"}, {"y", "2"}, {"z", "2"}});
+  FdSet reference = SingleShot("hyfd", data);
+  FdSet merged = Sharded("hyfd", data, 2, /*threads=*/1);
+  ExpectBitIdentical(merged, reference, "per-shard constant column");
+}
+
+TEST(ShardedDiscoveryTest, SingleShardIsBackendPassthrough) {
+  ShardedDiscovery::Stats stats;
+  FdSet merged = Sharded("hyfd", TpchUniversal(), 1, /*threads=*/1, &stats);
+  ExpectBitIdentical(merged, SingleShot("hyfd", TpchUniversal()),
+                     "single shard");
+  EXPECT_EQ(stats.shard_count, 1u);
+  EXPECT_EQ(stats.cross_shard_violations, 0u);
+}
+
+TEST(ShardedDiscoveryTest, SlicingOverloadMatchesExplicitShards) {
+  FdDiscoveryOptions options;
+  options.max_lhs_size = 2;
+  ShardOptions shard_options;
+  shard_options.shard_rows = TpchUniversal().num_rows() / 4;
+  ShardedDiscovery discovery("hyfd", options, shard_options);
+  auto sliced = discovery.Discover(TpchUniversal());
+  ASSERT_TRUE(sliced.ok()) << sliced.status().ToString();
+  ExpectBitIdentical(*sliced, SingleShot("hyfd", TpchUniversal()),
+                     "slicing overload");
+}
+
+TEST(ShardedDiscoveryTest, ForeignDictionariesAreRejected) {
+  // Two relations built independently do not share dictionaries; merging
+  // them would compare incomparable codes, so it must be refused.
+  RelationData a = testing::MakeRelation({{"a", "1"}, {"b", "2"}});
+  RelationData b = testing::MakeRelation({{"c", "3"}, {"d", "4"}});
+  ShardedDiscovery discovery("hyfd");
+  auto result = discovery.Discover({a, b});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedDiscoveryTest, UnknownBackendIsRejected) {
+  ShardedDiscovery discovery("no-such-algorithm");
+  auto result =
+      discovery.Discover(SliceIntoShards(TpchUniversal(), 100));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace normalize

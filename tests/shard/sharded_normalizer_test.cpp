@@ -1,0 +1,97 @@
+// The shard knobs wired into the Normalizer: Normalize() with shard_rows > 0
+// and NormalizeCsvFile() must produce the same schema and FD closure as the
+// plain in-memory pipeline.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "datagen/tpch_like.hpp"
+#include "normalize/normalizer.hpp"
+#include "relation/csv.hpp"
+
+namespace normalize {
+namespace {
+
+NormalizerOptions BaseOptions() {
+  NormalizerOptions options;
+  options.discovery.max_lhs_size = 2;
+  return options;
+}
+
+void ExpectSameNormalization(const NormalizationResult& actual,
+                             const NormalizationResult& expected) {
+  EXPECT_TRUE(actual.extended_fds.EquivalentTo(expected.extended_fds));
+  ASSERT_EQ(actual.relations.size(), expected.relations.size());
+  for (size_t i = 0; i < expected.relations.size(); ++i) {
+    EXPECT_EQ(actual.schema.relation(static_cast<int>(i)).attributes(),
+              expected.schema.relation(static_cast<int>(i)).attributes());
+    EXPECT_EQ(actual.relations[i].num_rows(), expected.relations[i].num_rows());
+  }
+}
+
+TEST(ShardedNormalizerTest, ShardedDiscoveryMatchesUnsharded) {
+  RelationData universal =
+      GenerateTpchLike(TpchScale{}.Scaled(0.08)).universal;
+
+  Normalizer plain(BaseOptions());
+  auto expected = plain.Normalize(universal);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  NormalizerOptions sharded_options = BaseOptions();
+  sharded_options.shard.shard_rows = universal.num_rows() / 3 + 1;
+  sharded_options.shard.threads = 2;
+  Normalizer sharded(sharded_options);
+  auto actual = sharded.Normalize(universal);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+
+  ExpectSameNormalization(*actual, *expected);
+}
+
+TEST(ShardedNormalizerTest, NormalizeCsvFileMatchesInMemoryPipeline) {
+  RelationData universal =
+      GenerateTpchLike(TpchScale{}.Scaled(0.05)).universal;
+  std::string path = ::testing::TempDir() + "/sharded_normalizer_test.csv";
+  ASSERT_TRUE(CsvWriter().WriteFile(universal, path).ok());
+
+  CsvReader reader;
+  auto reread = reader.ReadFile(path);
+  ASSERT_TRUE(reread.ok());
+  Normalizer plain(BaseOptions());
+  auto expected = plain.Normalize(*reread);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  NormalizerOptions sharded_options = BaseOptions();
+  sharded_options.shard.shard_rows = universal.num_rows() / 4 + 1;
+  sharded_options.shard.memory_budget_bytes = 64 * 1024;
+  Normalizer sharded(sharded_options);
+  auto actual = sharded.NormalizeCsvFile(path);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+
+  ExpectSameNormalization(*actual, *expected);
+  std::remove(path.c_str());
+}
+
+TEST(ShardedNormalizerTest, NormalizeCsvFileWithoutShardingMatchesCsvReader) {
+  RelationData universal =
+      GenerateTpchLike(TpchScale{}.Scaled(0.03)).universal;
+  std::string path = ::testing::TempDir() + "/sharded_normalizer_plain.csv";
+  ASSERT_TRUE(CsvWriter().WriteFile(universal, path).ok());
+
+  CsvReader reader;
+  auto reread = reader.ReadFile(path);
+  ASSERT_TRUE(reread.ok());
+  Normalizer plain(BaseOptions());
+  auto expected = plain.Normalize(*reread);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  Normalizer streaming(BaseOptions());  // shard_rows == 0: single shard
+  auto actual = streaming.NormalizeCsvFile(path);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+
+  ExpectSameNormalization(*actual, *expected);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace normalize
