@@ -19,6 +19,18 @@
 // (--memory-budget=<bytes>) instead of being loaded whole. The discovered
 // FD set — and hence the schema — is identical to the unsharded run.
 //
+// --deadline-ms: wall-clock budget for the run. On expiry, discover prints
+// the sound partial cover found so far, and normalize degrades gracefully
+// (see NormalizerOptions::degrade_on_deadline); both warn on stderr.
+//
+// Exit codes (scriptable; one per StatusCode class):
+//   0  success (possibly degraded — check stderr for warnings)
+//   1  internal or unclassified error
+//   2  configuration error (bad flags, unknown algorithm)
+//   3  I/O error (missing/unreadable input, failed write)
+//   4  deadline exceeded or cancelled before a usable result existed
+//   5  resource exhausted (e.g. a record larger than the ingest budget)
+//
 // Without --input, the paper's address example is used, so every subcommand
 // runs out of the box:  normalize_cli normalize --sql
 #include <fstream>
@@ -26,6 +38,7 @@
 #include <string>
 
 #include "closure/closure.hpp"
+#include "common/run_context.hpp"
 #include "datagen/datasets.hpp"
 #include "discovery/fd_discovery.hpp"
 #include "fd/fd_io.hpp"
@@ -40,6 +53,34 @@ using namespace normalize;
 
 namespace {
 
+// Documented exit codes — one per class of StatusCode, so scripts can
+// distinguish "fix your flags" from "input unreadable" from "out of time".
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kUnimplemented:
+      return 2;
+    case StatusCode::kIoError:
+    case StatusCode::kNotFound:
+    case StatusCode::kUnavailable:
+      return 3;
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+      return 4;
+    case StatusCode::kResourceExhausted:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
+int Fail(const Status& status) {
+  std::cerr << status.ToString() << "\n";
+  return ExitCodeFor(status);
+}
+
 struct Flags {
   std::string command;
   std::string input, fds, fd_output, output_dir, algorithm, schema_output,
@@ -48,6 +89,7 @@ struct Flags {
   int threads = 0;  // 0 = hardware concurrency
   long shard_rows = 0;      // 0 = unsharded
   long memory_budget = 0;   // ingest buffer cap in bytes; 0 = default
+  long deadline_ms = 0;     // 0 = no deadline
   bool second_nf = false, third_nf = false, fourth_nf = false, sql = false;
 
   static Flags Parse(int argc, char** argv) {
@@ -72,12 +114,21 @@ struct Flags {
       if (const char* v = value("shard-rows")) f.shard_rows = std::atol(v);
       if (const char* v = value("memory-budget"))
         f.memory_budget = std::atol(v);
+      if (const char* v = value("deadline-ms")) f.deadline_ms = std::atol(v);
       if (arg == "--2nf") f.second_nf = true;
       if (arg == "--3nf") f.third_nf = true;
       if (arg == "--4nf") f.fourth_nf = true;
       if (arg == "--sql") f.sql = true;
     }
     return f;
+  }
+
+  RunContext MakeContext() const {
+    RunContext ctx;
+    if (deadline_ms > 0) {
+      ctx.deadline = Deadline::AfterMillis(static_cast<double>(deadline_ms));
+    }
+    return ctx;
   }
 };
 
@@ -88,23 +139,23 @@ Result<RelationData> LoadInput(const Flags& flags) {
 
 int Discover(const Flags& flags) {
   auto data = LoadInput(flags);
-  if (!data.ok()) {
-    std::cerr << data.status().ToString() << "\n";
-    return 1;
-  }
+  if (!data.ok()) return Fail(data.status());
+  RunContext ctx = flags.MakeContext();
   FdDiscoveryOptions options;
   options.max_lhs_size = flags.max_lhs;
   options.threads = flags.threads;
+  options.context = &ctx;
   std::string algo_name = flags.algorithm.empty() ? "hyfd" : flags.algorithm;
   auto algo = MakeFdDiscovery(algo_name, options);
   if (!algo) {
     std::cerr << "unknown discovery algorithm: " << algo_name << "\n";
-    return 1;
+    return 2;
   }
   auto fds = algo->Discover(*data);
-  if (!fds.ok()) {
-    std::cerr << fds.status().ToString() << "\n";
-    return 1;
+  if (!fds.ok()) return Fail(fds.status());
+  if (!algo->completion_status().ok()) {
+    std::cerr << "warning: " << algo->completion_status().ToString()
+              << " — emitting the sound partial cover found so far\n";
   }
   std::cerr << algo->name() << ": " << fds->CountUnaryFds()
             << " minimal FDs in " << data->name() << "\n";
@@ -113,51 +164,48 @@ int Discover(const Flags& flags) {
     std::cout << text;
   } else {
     Status st = WriteFdFile(*fds, data->ColumnNames(), flags.fd_output);
-    if (!st.ok()) {
-      std::cerr << st.ToString() << "\n";
-      return 1;
-    }
+    if (!st.ok()) return Fail(st);
   }
   return 0;
 }
 
 int Closure(const Flags& flags) {
   auto data = LoadInput(flags);
-  if (!data.ok()) {
-    std::cerr << data.status().ToString() << "\n";
-    return 1;
-  }
+  if (!data.ok()) return Fail(data.status());
   if (flags.fds.empty()) {
     std::cerr << "closure requires --fds=<file> (see 'discover')\n";
-    return 1;
+    return 2;
   }
   auto fds = ReadFdFile(flags.fds, data->ColumnNames());
-  if (!fds.ok()) {
-    std::cerr << fds.status().ToString() << "\n";
-    return 1;
-  }
+  if (!fds.ok()) return Fail(fds.status());
+  RunContext ctx = flags.MakeContext();
   std::string algo_name =
       flags.algorithm.empty() ? "optimized" : flags.algorithm;
-  auto closure = MakeClosure(algo_name, ClosureOptions{flags.threads});
+  auto closure =
+      MakeClosure(algo_name, ClosureOptions{flags.threads, nullptr, &ctx});
   if (!closure) {
     std::cerr << "unknown closure algorithm: " << algo_name << "\n";
-    return 1;
+    return 2;
   }
-  closure->Extend(&*fds, data->AttributesAsSet());
+  Status extended = closure->Extend(&*fds, data->AttributesAsSet());
+  if (!extended.ok()) {
+    // The partially extended set is still correct — print it, but exit
+    // non-zero so scripts notice the missing derivations.
+    std::cerr << "warning: " << extended.ToString()
+              << " — FDs extended only partially\n";
+  }
   std::string text = WriteFdsToString(*fds, data->ColumnNames());
   if (flags.fd_output.empty()) {
     std::cout << text;
   } else {
     Status st = WriteFdFile(*fds, data->ColumnNames(), flags.fd_output);
-    if (!st.ok()) {
-      std::cerr << st.ToString() << "\n";
-      return 1;
-    }
+    if (!st.ok()) return Fail(st);
   }
-  return 0;
+  return extended.ok() ? 0 : ExitCodeFor(extended);
 }
 
 int NormalizeCommand(const Flags& flags) {
+  RunContext ctx = flags.MakeContext();
   NormalizerOptions options;
   options.discovery.max_lhs_size = flags.max_lhs;
   options.discovery.threads = flags.threads;
@@ -171,6 +219,7 @@ int NormalizeCommand(const Flags& flags) {
   if (!flags.algorithm.empty()) options.discovery_algorithm = flags.algorithm;
   if (flags.second_nf) options.normal_form = NormalForm::kSecondNf;
   if (flags.third_nf) options.normal_form = NormalForm::kThirdNf;
+  options.context = &ctx;
   Normalizer normalizer(options);
 
   // With sharding requested on a file input, stream it through the bounded
@@ -185,9 +234,13 @@ int NormalizeCommand(const Flags& flags) {
     input_value_count = data->TotalValueCount();
     return normalizer.Normalize(*data);
   }();
-  if (!result.ok()) {
-    std::cerr << result.status().ToString() << "\n";
-    return 1;
+  if (!result.ok()) return Fail(result.status());
+  if (!result->stats.completion.ok()) {
+    std::cerr << "warning: run degraded (" +
+                     result->stats.completion.ToString() + "):\n";
+    for (const std::string& note : result->stats.skipped) {
+      std::cerr << "  " << note << "\n";
+    }
   }
   if (flags.fourth_nf) {
     auto splits = RefineTo4Nf(&*result);
@@ -205,17 +258,14 @@ int NormalizeCommand(const Flags& flags) {
     std::ofstream out(flags.report, std::ios::binary);
     if (!out) {
       std::cerr << "cannot write " << flags.report << "\n";
-      return 1;
+      return 3;
     }
     out << RenderReport(*result, report_options);
     std::cerr << "wrote " << flags.report << "\n";
   }
   if (!flags.schema_output.empty()) {
     Status st = WriteSchemaFile(result->schema, flags.schema_output);
-    if (!st.ok()) {
-      std::cerr << st.ToString() << "\n";
-      return 1;
-    }
+    if (!st.ok()) return Fail(st);
     std::cerr << "wrote " << flags.schema_output << "\n";
   }
   if (flags.sql) {
@@ -226,10 +276,7 @@ int NormalizeCommand(const Flags& flags) {
     for (const RelationData& rel : result->relations) {
       std::string path = flags.output_dir + "/" + rel.name() + ".csv";
       Status st = writer.WriteFile(rel, path);
-      if (!st.ok()) {
-        std::cerr << st.ToString() << "\n";
-        return 1;
-      }
+      if (!st.ok()) return Fail(st);
       std::cerr << "wrote " << path << "\n";
     }
   }
@@ -254,9 +301,15 @@ int main(int argc, char** argv) {
          "             [--2nf|--3nf] [--4nf]\n"
          "             [--sql] [--output-dir=<dir>] [--schema-output=<file>]\n"
          "             [--report=<file.md>]\n"
-         "Without --input the paper's address example is used.\n"
-         "--threads: 0 = hardware concurrency (default), 1 = serial.\n"
-         "--shard-rows: partitioned discovery; with --input the CSV is\n"
-         "  streamed in shards under the --memory-budget byte cap.\n";
+         "Common flags:\n"
+         "  --deadline-ms=<n>: wall-clock budget; on expiry the run degrades\n"
+         "    (partial FD cover, curtailed decomposition) with a warning.\n"
+         "  --threads: 0 = hardware concurrency (default), 1 = serial.\n"
+         "  --shard-rows: partitioned discovery; with --input the CSV is\n"
+         "    streamed in shards under the --memory-budget byte cap.\n"
+         "Exit codes: 0 ok (warnings on stderr if degraded), 1 internal,\n"
+         "  2 bad configuration, 3 I/O, 4 out of time / cancelled,\n"
+         "  5 resource exhausted.\n"
+         "Without --input the paper's address example is used.\n";
   return flags.command.empty() ? 1 : 2;
 }

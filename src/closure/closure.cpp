@@ -25,29 +25,46 @@ std::vector<SetTrie> BuildLhsTries(const FdSet& fds,
 }
 
 /// Runs fn(i) for all FDs, optionally across a thread pool (an externally
-/// owned one when the options carry it, else a temporary).
-void ForEachFd(FdSet* fds, const ClosureOptions& options,
-               const std::function<void(size_t)>& fn) {
+/// owned one when the options carry it, else a temporary). The worker `fn`
+/// is expected to poll the context itself where useful; this driver checks
+/// at chunk boundaries (serial path) and reports interruptions.
+Status ForEachFd(FdSet* fds, const ClosureOptions& options,
+                 const std::function<void(size_t)>& fn) {
+  const RunContext* ctx = options.context;
   if (ResolveThreadCount(options.num_threads) == 1 || fds->size() < 2) {
-    for (size_t i = 0; i < fds->size(); ++i) fn(i);
-    return;
+    for (size_t i = 0; i < fds->size(); ++i) {
+      if ((i & 63) == 0) NORMALIZE_RETURN_IF_ERROR(CheckRunContext(ctx));
+      fn(i);
+    }
+    return Status::OK();
   }
+  auto guarded = [&fn, ctx](size_t i) {
+    if (ctx != nullptr && ctx->SoftInterrupted()) return;
+    fn(i);
+  };
+  Status dispatch;
   if (options.pool != nullptr) {
-    options.pool->ParallelFor(fds->size(), fn);
-    return;
+    dispatch = options.pool->ParallelFor(fds->size(), guarded);
+  } else {
+    ThreadPool pool(options.num_threads);
+    if (ctx != nullptr) pool.SetCancellation(ctx->cancel);
+    dispatch = pool.ParallelFor(fds->size(), guarded);
   }
-  ThreadPool pool(options.num_threads);
-  pool.ParallelFor(fds->size(), fn);
+  NORMALIZE_RETURN_IF_ERROR(CheckRunContext(ctx));
+  return dispatch;
 }
 
 }  // namespace
 
-void NaiveClosure::Extend(FdSet* fds, const AttributeSet& attributes) const {
+Status NaiveClosure::Extend(FdSet* fds, const AttributeSet& attributes) const {
   (void)attributes;
   bool something_changed = true;
   while (something_changed) {
     something_changed = false;
     for (size_t i = 0; i < fds->size(); ++i) {
+      if ((i & 63) == 0) {
+        NORMALIZE_RETURN_IF_ERROR(CheckRunContext(options_.context));
+      }
       Fd& fd = (*fds)[i];
       AttributeSet lhs_rhs = fd.lhs.Union(fd.rhs);
       for (size_t j = 0; j < fds->size(); ++j) {
@@ -64,11 +81,13 @@ void NaiveClosure::Extend(FdSet* fds, const AttributeSet& attributes) const {
       }
     }
   }
+  return Status::OK();
 }
 
-void ImprovedClosure::Extend(FdSet* fds, const AttributeSet& attributes) const {
+Status ImprovedClosure::Extend(FdSet* fds,
+                               const AttributeSet& attributes) const {
   std::vector<SetTrie> lhs_tries = BuildLhsTries(*fds, attributes);
-  ForEachFd(fds, options_, [&](size_t i) {
+  return ForEachFd(fds, options_, [&](size_t i) {
     Fd& fd = (*fds)[i];
     bool something_changed = true;
     while (something_changed) {
@@ -87,9 +106,10 @@ void ImprovedClosure::Extend(FdSet* fds, const AttributeSet& attributes) const {
   });
 }
 
-void OptimizedClosure::Extend(FdSet* fds, const AttributeSet& attributes) const {
+Status OptimizedClosure::Extend(FdSet* fds,
+                                const AttributeSet& attributes) const {
   std::vector<SetTrie> lhs_tries = BuildLhsTries(*fds, attributes);
-  ForEachFd(fds, options_, [&](size_t i) {
+  return ForEachFd(fds, options_, [&](size_t i) {
     Fd& fd = (*fds)[i];
     // Completeness + minimality of the input guarantee (Lemma 1) that every
     // valid extension attribute has a witness FD whose LHS is a subset of

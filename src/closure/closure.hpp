@@ -22,6 +22,8 @@
 #include <string>
 
 #include "common/attribute_set.hpp"
+#include "common/run_context.hpp"
+#include "common/status.hpp"
 #include "fd/fd.hpp"
 
 namespace normalize {
@@ -36,6 +38,9 @@ struct ClosureOptions {
   /// passes its process-wide pool here). The pool's worker count then takes
   /// precedence over num_threads; num_threads == 1 still means serial.
   ThreadPool* pool = nullptr;
+  /// Robustness context (not owned; null = no limits), polled at FD-loop
+  /// boundaries. See Extend() for interruption semantics.
+  const RunContext* context = nullptr;
 };
 
 /// Interface of the three closure algorithms.
@@ -47,8 +52,12 @@ class ClosureAlgorithm {
 
   /// Extends every FD's RHS in place to its transitive closure, restricted
   /// to `attributes` (the attribute set of the FDs' relation). Maintains the
-  /// invariant rhs ∩ lhs = ∅.
-  virtual void Extend(FdSet* fds, const AttributeSet& attributes) const = 0;
+  /// invariant rhs ∩ lhs = ∅. Returns OK on completion; kCancelled /
+  /// kDeadlineExceeded when the options' RunContext interrupts the run. An
+  /// interrupted FdSet is still *valid* (RHS growth is monotone under
+  /// Armstrong's axioms — every added attribute is genuinely implied) but
+  /// some RHSs may not be maximal yet.
+  virtual Status Extend(FdSet* fds, const AttributeSet& attributes) const = 0;
 
   const ClosureOptions& options() const { return options_; }
 
@@ -64,7 +73,7 @@ class NaiveClosure : public ClosureAlgorithm {
   explicit NaiveClosure(ClosureOptions options = {})
       : ClosureAlgorithm(options) {}
   std::string name() const override { return "NaiveClosure"; }
-  void Extend(FdSet* fds, const AttributeSet& attributes) const override;
+  Status Extend(FdSet* fds, const AttributeSet& attributes) const override;
 };
 
 /// Algorithm 2: correct for arbitrary FD sets.
@@ -73,7 +82,7 @@ class ImprovedClosure : public ClosureAlgorithm {
   explicit ImprovedClosure(ClosureOptions options = {})
       : ClosureAlgorithm(options) {}
   std::string name() const override { return "ImprovedClosure"; }
-  void Extend(FdSet* fds, const AttributeSet& attributes) const override;
+  Status Extend(FdSet* fds, const AttributeSet& attributes) const override;
 };
 
 /// Algorithm 3: requires the input to be a complete set of minimal FDs
@@ -83,7 +92,7 @@ class OptimizedClosure : public ClosureAlgorithm {
   explicit OptimizedClosure(ClosureOptions options = {})
       : ClosureAlgorithm(options) {}
   std::string name() const override { return "OptimizedClosure"; }
-  void Extend(FdSet* fds, const AttributeSet& attributes) const override;
+  Status Extend(FdSet* fds, const AttributeSet& attributes) const override;
 };
 
 /// Factory by name ("naive", "improved", "optimized").

@@ -1,0 +1,38 @@
+#include "common/byte_source.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace normalize {
+
+Result<size_t> FileByteSource::Read(char* buf, size_t len) {
+  if (!in_.is_open()) return Status::IoError("cannot open file: " + path_);
+  if (len == 0 || in_.eof()) return size_t{0};
+  in_.read(buf, static_cast<std::streamsize>(len));
+  std::streamsize got = in_.gcount();
+  if (got <= 0) {
+    if (in_.eof()) return size_t{0};
+    return Status::IoError("read failed: " + path_);
+  }
+  return static_cast<size_t>(got);
+}
+
+Result<size_t> StringByteSource::Read(char* buf, size_t len) {
+  size_t take = std::min(len, content_.size() - pos_);
+  if (take > 0) {
+    std::memcpy(buf, content_.data() + pos_, take);
+    pos_ += take;
+  }
+  return take;
+}
+
+Result<size_t> FaultInjectingByteSource::Read(char* buf, size_t len) {
+  size_t want = len;
+  NORMALIZE_RETURN_IF_ERROR(faults_->OnRead(offset_, &want));
+  if (want == 0) return size_t{0};  // injected truncation
+  auto got = inner_->Read(buf, want);
+  if (got.ok()) offset_ += *got;
+  return got;
+}
+
+}  // namespace normalize

@@ -1,0 +1,77 @@
+// ByteSource: the byte-stream seam under the CSV readers. Production code
+// reads files through FileByteSource; tests substitute StringByteSource or
+// wrap any source in FaultInjectingByteSource to produce short reads,
+// transient errors, and truncation at chosen byte offsets — which is how the
+// ingest retry and degradation paths are exercised deterministically.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/run_context.hpp"
+
+namespace normalize {
+
+/// A pull-based byte stream. Read() returns the number of bytes produced;
+/// 0 means end of input. Short reads (fewer bytes than requested) are legal
+/// at any point, exactly like POSIX read(2) — consumers must loop.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// Reads up to `len` bytes into `buf`; returns the count, 0 at EOF.
+  virtual Result<size_t> Read(char* buf, size_t len) = 0;
+
+  /// Origin for error messages (a path, "<string>", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Streams a file. Construction opens it; a failed open surfaces as
+/// kIoError from the first Read() call.
+class FileByteSource final : public ByteSource {
+ public:
+  explicit FileByteSource(std::string path)
+      : path_(std::move(path)), in_(path_, std::ios::binary) {}
+
+  Result<size_t> Read(char* buf, size_t len) override;
+  std::string name() const override { return path_; }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+};
+
+/// Streams an in-memory string (tests and the ReadString code paths).
+class StringByteSource final : public ByteSource {
+ public:
+  explicit StringByteSource(std::string content)
+      : content_(std::move(content)) {}
+
+  Result<size_t> Read(char* buf, size_t len) override;
+  std::string name() const override { return "<string>"; }
+
+ private:
+  std::string content_;
+  size_t pos_ = 0;
+};
+
+/// Decorator consulting a FaultInjector before every read: the injector may
+/// fail the read, shorten it, or truncate the stream at a byte offset.
+/// Neither pointer is owned; both must outlive the source.
+class FaultInjectingByteSource final : public ByteSource {
+ public:
+  FaultInjectingByteSource(ByteSource* inner, FaultInjector* faults)
+      : inner_(inner), faults_(faults) {}
+
+  Result<size_t> Read(char* buf, size_t len) override;
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  ByteSource* inner_;
+  FaultInjector* faults_;
+  uint64_t offset_ = 0;
+};
+
+}  // namespace normalize

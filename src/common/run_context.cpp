@@ -1,0 +1,113 @@
+#include "common/run_context.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace normalize {
+
+namespace {
+
+/// splitmix64 — a tiny, well-mixed generator; enough for fault scheduling
+/// and cheaper than dragging a full Rng behind the injector's mutex.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void FaultInjector::FailNthRead(uint64_t nth, Status error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  read_faults_.push_back(ReadFault{nth, std::move(error), 0});
+}
+
+void FaultInjector::ShortNthRead(uint64_t nth, size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  read_faults_.push_back(ReadFault{nth, Status::OK(), max_bytes});
+}
+
+void FaultInjector::TruncateAtOffset(uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  truncate_offset_ = offset;
+}
+
+void FaultInjector::FailReadsRandomly(uint64_t seed, double probability,
+                                      Status error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rng_state_ = seed;
+  read_error_probability_ = probability;
+  random_read_error_ = std::move(error);
+}
+
+void FaultInjector::InterruptAtNthCheck(uint64_t nth, StatusCode code) {
+  interrupt_at_check_ = nth;
+  interrupt_code_ = code;
+  interrupt_latched_.store(false, std::memory_order_relaxed);
+}
+
+Status FaultInjector::OnRead(uint64_t offset, size_t* len) {
+  uint64_t n = reads_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (truncate_offset_.has_value()) {
+    if (offset >= *truncate_offset_) {
+      *len = 0;  // injected EOF
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    *len = std::min<uint64_t>(*len, *truncate_offset_ - offset);
+  }
+  for (const ReadFault& fault : read_faults_) {
+    if (fault.nth != n) continue;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    if (!fault.error.ok()) return fault.error;
+    *len = std::min(*len, fault.max_bytes);
+  }
+  if (read_error_probability_ > 0.0) {
+    double u = static_cast<double>(NextRandom(&rng_state_) >> 11) *
+               (1.0 / 9007199254740992.0);  // uniform in [0, 1)
+    if (u < read_error_probability_) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      return random_read_error_;
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnCheck() {
+  uint64_t n = checks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = interrupt_latched_.load(std::memory_order_relaxed);
+  if (!fire && interrupt_at_check_ != 0 && n >= interrupt_at_check_) {
+    interrupt_latched_.store(true, std::memory_order_relaxed);
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    fire = true;
+  }
+  if (!fire) return Status::OK();
+  return Status(interrupt_code_,
+                "injected interruption at context check #" +
+                    std::to_string(interrupt_at_check_));
+}
+
+double RetryPolicy::BackoffMillis(int retry_index) const {
+  double delay = initial_backoff_ms *
+                 std::pow(backoff_multiplier, static_cast<double>(retry_index));
+  return std::min(delay, max_backoff_ms);
+}
+
+Status RunContext::Check() const {
+  if (faults != nullptr) {
+    Status injected = faults->OnCheck();
+    if (!injected.ok()) {
+      // An injected cancel behaves like the real thing: trip the shared
+      // token so the ThreadPool rejects post-cancellation submissions too.
+      if (injected.code() == StatusCode::kCancelled) cancel.Cancel();
+      return injected;
+    }
+  }
+  if (cancel.IsCancelled()) return Status::Cancelled("run cancelled");
+  if (deadline.Expired()) return Status::DeadlineExceeded("deadline expired");
+  return Status::OK();
+}
+
+}  // namespace normalize

@@ -1,0 +1,204 @@
+// RunContext: the robustness layer of the pipeline. Every long-running stage
+// (FD discovery, closure, sharded ingest/discovery, the decomposition loop)
+// cooperatively polls a RunContext at its loop boundaries and, when the
+// context reports an interruption, stops early with kCancelled /
+// kDeadlineExceeded and a *sound* partial result (every emitted FD has been
+// verified). Three pieces:
+//
+//   * Deadline           — an absolute steady-clock cutoff;
+//   * CancellationToken  — shared cancel flag, any copy cancels all holders;
+//   * FaultInjector      — a deterministic schedule of I/O faults (short
+//                          reads, transient errors, truncation at byte
+//                          offsets) and interruption triggers (fire at the
+//                          Nth context check), so retry and degradation
+//                          paths are tested exactly, not probabilistically.
+//
+// A null RunContext pointer everywhere means "no limits" — the legacy
+// behavior, with near-zero overhead at the check sites.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace normalize {
+
+/// An absolute wall-clock cutoff (steady clock). Default: no deadline.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline Never() { return Deadline(); }
+  static Deadline AfterMillis(double ms) { return AfterSeconds(ms / 1e3); }
+  static Deadline AfterSeconds(double seconds) {
+    Deadline d;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool has_deadline() const { return at_.has_value(); }
+  bool Expired() const { return at_.has_value() && Clock::now() >= *at_; }
+
+  /// Seconds until expiry; +infinity without a deadline, <= 0 once expired.
+  double RemainingSeconds() const {
+    if (!at_.has_value()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(*at_ - Clock::now()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::optional<Clock::time_point> at_;
+};
+
+/// A copyable cancel flag: all copies share one state, Cancel() on any copy
+/// is visible to every holder (and to the ThreadPool it is installed on).
+class CancellationToken {
+ public:
+  CancellationToken()
+      : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() const { cancelled_->store(true, std::memory_order_relaxed); }
+  bool IsCancelled() const {
+    return cancelled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+/// A deterministic fault schedule. Configure before the run (the setters are
+/// not thread-safe); the On*() hooks are thread-safe and may be called from
+/// pool workers. Faults are keyed by global call indices (the Nth read, the
+/// Nth interruption check) or byte offsets, so a given schedule reproduces
+/// the exact same failure on every run.
+class FaultInjector {
+ public:
+  // --- schedule construction ---------------------------------------------
+
+  /// The `nth` ByteSource read (1-based, counted across all sources that
+  /// share this injector) fails with `error` instead of reading.
+  void FailNthRead(uint64_t nth, Status error);
+
+  /// The `nth` read returns at most `max_bytes` bytes (a short read).
+  void ShortNthRead(uint64_t nth, size_t max_bytes);
+
+  /// Reads at or past `offset` see end-of-file (silent truncation).
+  void TruncateAtOffset(uint64_t offset);
+
+  /// Every read fails with `error` independently with probability `p`,
+  /// driven by a private RNG seeded with `seed` (deterministic given the
+  /// read sequence).
+  void FailReadsRandomly(uint64_t seed, double probability, Status error);
+
+  /// The `nth` RunContext::Check() call (1-based, counted across threads)
+  /// reports `code` (kCancelled or kDeadlineExceeded) and latches: every
+  /// later check reports it too, exactly like a real expired deadline.
+  void InterruptAtNthCheck(uint64_t nth, StatusCode code);
+
+  // --- hooks (called by FaultInjectingByteSource / RunContext) -----------
+
+  /// Consulted before a read of `*len` bytes at byte `offset`. May fail the
+  /// read, shrink `*len` (short read), or zero it (truncated EOF).
+  Status OnRead(uint64_t offset, size_t* len);
+
+  /// Consulted by RunContext::Check(); returns the injected interruption
+  /// status once triggered, OK before.
+  Status OnCheck();
+
+  /// True once InterruptAtNthCheck has fired. Read-only: does not advance
+  /// the check counter, so hot loops may poll it without perturbing the
+  /// deterministic schedule.
+  bool InterruptLatched() const {
+    return interrupt_latched_.load(std::memory_order_relaxed);
+  }
+
+  // --- counters ----------------------------------------------------------
+
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t checks() const { return checks_.load(std::memory_order_relaxed); }
+  uint64_t injected_faults() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ReadFault {
+    uint64_t nth = 0;
+    Status error;          // OK means "short read" instead of failure
+    size_t max_bytes = 0;  // short-read cap when error is OK
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<ReadFault> read_faults_;
+  std::optional<uint64_t> truncate_offset_;
+  double read_error_probability_ = 0.0;
+  Status random_read_error_;
+  uint64_t rng_state_ = 0;
+
+  uint64_t interrupt_at_check_ = 0;  // 0 = disabled
+  StatusCode interrupt_code_ = StatusCode::kCancelled;
+  std::atomic<bool> interrupt_latched_{false};
+
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> checks_{0};
+  std::atomic<uint64_t> injected_{0};
+};
+
+/// Capped-exponential-backoff retry schedule for transient (kUnavailable)
+/// failures, used by the sharded ingest.
+struct RetryPolicy {
+  /// Total attempts including the first; <= 1 disables retrying.
+  int max_attempts = 4;
+  double initial_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 100.0;
+
+  /// Backoff before retry `retry_index` (0-based), capped at max_backoff_ms.
+  double BackoffMillis(int retry_index) const;
+
+  /// Only kUnavailable is transient; every other code fails permanently.
+  bool IsRetryable(const Status& status) const {
+    return status.code() == StatusCode::kUnavailable;
+  }
+};
+
+/// The bundle threaded through the pipeline. Stages receive it as a
+/// `const RunContext*` (nullptr = no limits) and poll Check() at loop
+/// boundaries; an I/O layer additionally routes reads through `faults`.
+struct RunContext {
+  Deadline deadline;
+  CancellationToken cancel;
+  /// Not owned; may be null. Wired under the ByteSource seam and into
+  /// Check() for deterministic interruption tests.
+  FaultInjector* faults = nullptr;
+
+  /// OK, or the first of: injected interruption, kCancelled, then
+  /// kDeadlineExceeded. An injected kCancelled also fires the real token so
+  /// the ThreadPool starts rejecting new tasks, exactly like a user cancel.
+  Status Check() const;
+
+  bool Interrupted() const { return !Check().ok(); }
+
+  /// Cheap latched probe for pool workers: true once the run is cancelled,
+  /// past its deadline, or the injector has latched an interruption. Unlike
+  /// Check() it never advances the injector's check counter, so polling it
+  /// from many threads keeps Nth-check schedules deterministic.
+  bool SoftInterrupted() const {
+    if (faults != nullptr && faults->InterruptLatched()) return true;
+    return cancel.IsCancelled() || deadline.Expired();
+  }
+};
+
+/// Null-safe probe: OK when `context` is null.
+inline Status CheckRunContext(const RunContext* context) {
+  return context == nullptr ? Status::OK() : context->Check();
+}
+
+}  // namespace normalize

@@ -18,6 +18,15 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kUnimplemented,
+  /// An explicit memory/size budget would be exceeded (e.g. a single CSV
+  /// record larger than the ingest buffer).
+  kResourceExhausted,
+  /// Cooperative cancellation via CancellationToken (run_context.hpp).
+  kCancelled,
+  /// A RunContext deadline expired; partial results may accompany this code.
+  kDeadlineExceeded,
+  /// Transient failure (e.g. an injected or flaky I/O error) — safe to retry.
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a status code (e.g. "InvalidArgument").
@@ -53,6 +62,18 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -69,6 +90,14 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// True for the two cooperative-interruption codes a RunContext can raise.
+/// Stages treat these differently from real errors: they stop early and
+/// return sound partial results instead of failing the pipeline.
+inline bool IsInterruption(StatusCode code) {
+  return code == StatusCode::kCancelled ||
+         code == StatusCode::kDeadlineExceeded;
+}
 
 /// Early-return helper: propagate a non-OK status to the caller.
 #define NORMALIZE_RETURN_IF_ERROR(expr)              \

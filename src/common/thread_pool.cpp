@@ -24,31 +24,58 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-std::future<void> ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::SetCancellation(CancellationToken token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cancellation_ = std::move(token);
+}
+
+void ThreadPool::ClearCancellation() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cancellation_.reset();
+}
+
+bool ThreadPool::cancelled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cancellation_.has_value() && cancellation_->IsCancelled();
+}
+
+Result<std::future<void>> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (cancellation_.has_value() && cancellation_->IsCancelled()) {
+      return Status::Cancelled("thread pool cancelled; task rejected");
+    }
     tasks_.push(std::move(packaged));
   }
   cv_.notify_one();
   return future;
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
-  size_t num_chunks =
-      std::min(n, static_cast<size_t>(num_threads()) * 4);
+Status ThreadPool::ParallelFor(size_t n,
+                               const std::function<void(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  size_t num_chunks = std::min(n, static_cast<size_t>(num_threads()) * 4);
   size_t chunk = (n + num_chunks - 1) / num_chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(num_chunks);
+  Status status;
   for (size_t begin = 0; begin < n; begin += chunk) {
     size_t end = std::min(begin + chunk, n);
-    futures.push_back(Submit([begin, end, &fn] {
+    auto submitted = Submit([begin, end, &fn] {
       for (size_t i = begin; i < end; ++i) fn(i);
-    }));
+    });
+    if (!submitted.ok()) {
+      // Cancelled mid-dispatch: stop handing out chunks, but wait for the
+      // ones already queued — their iterations still touch caller state.
+      status = submitted.status();
+      break;
+    }
+    futures.push_back(std::move(submitted).value());
   }
   for (auto& f : futures) f.get();
+  return status;
 }
 
 int ResolveThreadCount(int threads) {
@@ -57,13 +84,13 @@ int ResolveThreadCount(int threads) {
   return hardware > 0 ? hardware : 4;
 }
 
-void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& fn) {
+Status ParallelFor(ThreadPool* pool, size_t n,
+                   const std::function<void(size_t)>& fn) {
   if (pool == nullptr || n < 2) {
     for (size_t i = 0; i < n; ++i) fn(i);
-    return;
+    return Status::OK();
   }
-  pool->ParallelFor(n, fn);
+  return pool->ParallelFor(n, fn);
 }
 
 void ThreadPool::WorkerLoop() {

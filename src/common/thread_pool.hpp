@@ -3,15 +3,25 @@
 // algorithms can easily be parallelized by splitting the FD-loops to
 // different worker threads"), PLI building and batch intersection, HyFD's
 // per-level candidate validation, and Tane's level expansion.
+//
+// The pool can carry a CancellationToken (run_context.hpp): once the token
+// is cancelled, Submit() rejects new tasks fast with kCancelled — they
+// neither run nor vanish silently — and ParallelFor() stops dispatching
+// further chunks and reports kCancelled. Tasks already enqueued still run
+// (they are expected to poll the RunContext cooperatively).
 #pragma once
 
 #include <condition_variable>
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/result.hpp"
+#include "common/run_context.hpp"
 
 namespace normalize {
 
@@ -27,21 +37,34 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues a task; the returned future resolves when it has run.
-  std::future<void> Submit(std::function<void()> task);
+  /// Installs the token consulted by Submit/ParallelFor. Replacing or
+  /// clearing it is safe between parallel regions.
+  void SetCancellation(CancellationToken token);
+  void ClearCancellation();
+
+  /// True once an installed token has been cancelled.
+  bool cancelled() const;
+
+  /// Enqueues a task; the returned future resolves when it has run. Fails
+  /// fast with kCancelled once the pool's cancellation token is cancelled.
+  Result<std::future<void>> Submit(std::function<void()> task);
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all
-  /// iterations finished. Iterations are chunked to limit queue overhead.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  /// dispatched iterations finished. Iterations are chunked to limit queue
+  /// overhead. Returns kCancelled if cancellation prevented some (or all)
+  /// chunks from being dispatched — callers must then treat the iteration
+  /// space as incompletely covered.
+  Status ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::optional<CancellationToken> cancellation_;
 };
 
 /// Resolves a thread-count knob to an actual worker count: values <= 0
@@ -51,8 +74,9 @@ int ResolveThreadCount(int threads);
 
 /// Runs fn(i) for i in [0, n): across `pool` when non-null, else serially on
 /// the calling thread. Lets call sites share one loop body between the
-/// serial and parallel paths.
-void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& fn);
+/// serial and parallel paths. Propagates ParallelFor's kCancelled (the
+/// serial path always completes and returns OK).
+Status ParallelFor(ThreadPool* pool, size_t n,
+                   const std::function<void(size_t)>& fn);
 
 }  // namespace normalize

@@ -17,18 +17,22 @@ namespace {
 class RhsLattice {
  public:
   RhsLattice(const RelationData& data, const PliCache& cache,
-             AttributeId rhs_col, int max_lhs, Rng* rng)
+             AttributeId rhs_col, int max_lhs, Rng* rng,
+             const RunContext* ctx)
       : data_(&data),
         cache_(&cache),
         rhs_codes_(&data.column(rhs_col).codes()),
         rhs_col_(rhs_col),
         max_lhs_(max_lhs),
         rng_(rng),
+        ctx_(ctx),
         num_cols_(data.num_columns()) {}
 
-  /// Runs the walk-and-reseed loop; returns all minimal dependency LHSs
-  /// (local column space).
-  std::vector<AttributeSet> FindMinimalDependencies() {
+  /// Runs the walk-and-reseed loop; fills `out` with all minimal dependency
+  /// LHSs (local column space). On interruption returns kCancelled /
+  /// kDeadlineExceeded with `out` untouched — a half-walked lattice holds
+  /// unverified candidates, so the caller must drop this RHS entirely.
+  Status FindMinimalDependencies(std::vector<AttributeSet>* out) {
     // Initial seeds: the singletons.
     std::vector<AttributeSet> seeds;
     for (AttributeId c = 0; c < num_cols_; ++c) {
@@ -40,15 +44,16 @@ class RhsLattice {
     while (!seeds.empty()) {
       for (const AttributeSet& seed : seeds) {
         if (!Unclassified(seed)) continue;
-        Walk(seed);
+        NORMALIZE_RETURN_IF_ERROR(Walk(seed));
       }
       seeds = NextSeeds();
     }
-    return minimal_deps_;
+    *out = minimal_deps_;
+    return Status::OK();
   }
 
  private:
-  enum class Status { kDependency, kNonDependency };
+  enum class NodeClass { kDependency, kNonDependency };
 
   bool Unclassified(const AttributeSet& x) {
     if (min_dep_trie_.ContainsSubsetOf(x)) return false;
@@ -56,23 +61,28 @@ class RhsLattice {
     return !memo_.count(x);
   }
 
-  Status Classify(const AttributeSet& x) {
-    if (min_dep_trie_.ContainsSubsetOf(x)) return Status::kDependency;
-    if (max_nondep_trie_.ContainsSupersetOf(x)) return Status::kNonDependency;
+  NodeClass Classify(const AttributeSet& x) {
+    if (min_dep_trie_.ContainsSubsetOf(x)) return NodeClass::kDependency;
+    if (max_nondep_trie_.ContainsSupersetOf(x)) {
+      return NodeClass::kNonDependency;
+    }
     auto it = memo_.find(x);
     if (it != memo_.end()) {
-      return it->second ? Status::kDependency : Status::kNonDependency;
+      return it->second ? NodeClass::kDependency : NodeClass::kNonDependency;
     }
     bool valid = cache_->BuildPli(x.ToVector()).Refines(*rhs_codes_);
     memo_.emplace(x, valid);
-    return valid ? Status::kDependency : Status::kNonDependency;
+    return valid ? NodeClass::kDependency : NodeClass::kNonDependency;
   }
 
-  void Walk(const AttributeSet& seed) {
+  Status Walk(const AttributeSet& seed) {
     std::vector<AttributeSet> stack = {seed};
     while (!stack.empty()) {
+      // One check per node visit: each visit costs at most one on-demand
+      // PLI refinement, so cancellation latency is bounded by it.
+      NORMALIZE_RETURN_IF_ERROR(CheckRunContext(ctx_));
       AttributeSet x = stack.back();
-      if (Classify(x) == Status::kDependency) {
+      if (Classify(x) == NodeClass::kDependency) {
         // Descend towards a minimal dependency.
         std::vector<AttributeSet> untested;
         bool all_children_nondep = true;
@@ -83,7 +93,7 @@ class RhsLattice {
           if (Unclassified(child)) {
             untested.push_back(std::move(child));
             all_children_nondep = false;
-          } else if (Classify(child) == Status::kDependency) {
+          } else if (Classify(child) == NodeClass::kDependency) {
             all_children_nondep = false;
           }
         }
@@ -112,7 +122,7 @@ class RhsLattice {
             if (Unclassified(parent)) {
               untested.push_back(std::move(parent));
               all_parents_dep = false;
-            } else if (Classify(parent) == Status::kNonDependency) {
+            } else if (Classify(parent) == NodeClass::kNonDependency) {
               all_parents_dep = false;
             }
           }
@@ -131,6 +141,7 @@ class RhsLattice {
         stack.pop_back();
       }
     }
+    return Status::OK();
   }
 
   /// New seeds: minimal transversals of the complements of the maximal
@@ -158,6 +169,7 @@ class RhsLattice {
   AttributeId rhs_col_;
   int max_lhs_;
   Rng* rng_;
+  const RunContext* ctx_;
   int num_cols_;
 
   std::unordered_map<AttributeSet, bool> memo_;
@@ -170,6 +182,7 @@ class RhsLattice {
 }  // namespace
 
 Result<FdSet> Dfd::Discover(const RelationData& data) {
+  completion_ = Status::OK();
   int n = data.num_columns();
   size_t rows = data.num_rows();
   std::vector<Fd> output;  // unary, local space
@@ -192,8 +205,16 @@ Result<FdSet> Dfd::Discover(const RelationData& data) {
       continue;
     }
     if (n == 1) continue;
-    RhsLattice lattice(data, cache, a, max_lhs, &rng);
-    for (const AttributeSet& lhs : lattice.FindMinimalDependencies()) {
+    RhsLattice lattice(data, cache, a, max_lhs, &rng, options_.context);
+    std::vector<AttributeSet> deps;
+    Status walked = lattice.FindMinimalDependencies(&deps);
+    if (!walked.ok()) {
+      // Sound partial result: only fully explored RHS attributes were
+      // emitted; the interrupted lattice contributes nothing.
+      completion_ = std::move(walked);
+      return RemapToGlobal(output, data);
+    }
+    for (const AttributeSet& lhs : deps) {
       output.emplace_back(lhs, rhs);
     }
   }

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/result.hpp"
+#include "common/run_context.hpp"
 #include "common/stopwatch.hpp"
 #include "fd/fd.hpp"
 #include "relation/relation_data.hpp"
@@ -38,6 +39,12 @@ struct FdDiscoveryOptions {
   /// pool's worker count then takes precedence over `threads`; `threads ==
   /// 1` still forces the exact serial path.
   ThreadPool* pool = nullptr;
+  /// Robustness context (not owned; may be null = no limits). Algorithms
+  /// poll it cooperatively at loop boundaries: on cancellation or deadline
+  /// expiry Discover() stops early, returns a *sound* partial cover (every
+  /// emitted FD is a verified-minimal member of the full result), and
+  /// reports the interruption via completion_status().
+  const RunContext* context = nullptr;
 };
 
 /// Abstract FD discovery algorithm.
@@ -58,11 +65,20 @@ class FdDiscovery {
   /// for algorithms that do not record them).
   const PhaseMetrics& phase_metrics() const { return phase_metrics_; }
 
+  /// OK if the last Discover() ran to completion; kCancelled or
+  /// kDeadlineExceeded when it was interrupted and the returned FdSet is a
+  /// sound partial cover (a subset of the full minimal cover).
+  const Status& completion_status() const { return completion_; }
+
  protected:
   explicit FdDiscovery(FdDiscoveryOptions options) : options_(options) {}
 
+  /// Null-safe interruption probe for the discovery loops.
+  Status CheckContext() const { return CheckRunContext(options_.context); }
+
   FdDiscoveryOptions options_;
   PhaseMetrics phase_metrics_;
+  Status completion_;
 };
 
 /// Factory for the algorithms by name ("naive", "tane", "dfd", "fdep",

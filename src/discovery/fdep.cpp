@@ -10,8 +10,17 @@
 namespace normalize {
 
 Result<FdSet> Fdep::Discover(const RelationData& data) {
+  completion_ = Status::OK();
   int n = data.num_columns();
   size_t rows = data.num_rows();
+
+  // FDEP has no sound intermediate state: the positive-cover tree is an
+  // over-approximation until every agree set has been applied, so an
+  // interrupted run returns the empty (trivially sound) partial cover.
+  auto interrupted_result = [&](Status why) -> Result<FdSet> {
+    completion_ = std::move(why);
+    return RemapToGlobal({}, data);
+  };
 
   // Negative cover: the distinct agree sets over all record pairs. Instead
   // of all O(rows^2) pairs we only compare pairs that agree on at least one
@@ -50,6 +59,8 @@ Result<FdSet> Fdep::Discover(const RelationData& data) {
     if (!any_constant_column) agree_sets.insert(AttributeSet(n));
     for (int c = 0; c < n; ++c) {
       for (const auto& cluster : cache.ColumnPli(c).clusters()) {
+        Status check = CheckContext();
+        if (!check.ok()) return interrupted_result(std::move(check));
         for (size_t i = 0; i < cluster.size(); ++i) {
           for (size_t j = i + 1; j < cluster.size(); ++j) {
             AttributeSet ag = agree_set_of(cluster[i], cluster[j]);
@@ -67,7 +78,12 @@ Result<FdSet> Fdep::Discover(const RelationData& data) {
   FdTree tree(n);
   AttributeSet empty(n);
   for (AttributeId a = 0; a < n; ++a) tree.AddFd(empty, a);
+  size_t inductions = 0;
   for (const AttributeSet& ag : agree_sets) {
+    if ((inductions++ & 255) == 0) {
+      Status check = CheckContext();
+      if (!check.ok()) return interrupted_result(std::move(check));
+    }
     InduceFromAgreeSet(&tree, ag, options_.max_lhs_size);
   }
 

@@ -87,6 +87,7 @@ class Sampler {
 Result<FdSet> HyFd::Discover(const RelationData& data) {
   stats_ = Stats{};
   phase_metrics_.Clear();
+  completion_ = Status::OK();
   int n = data.num_columns();
   size_t rows = data.num_rows();
   if (n == 0) return FdSet{};
@@ -111,17 +112,51 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
     if (pool == nullptr) {
       pool_storage.emplace(threads);
       pool = &*pool_storage;
+      if (options_.context != nullptr) {
+        pool_storage->SetCancellation(options_.context->cancel);
+      }
     }
   }
+
+  std::unordered_set<AttributeSet> seen_agree_sets;
+
+  // Partial-result bookkeeping: a validation level is "complete" once its
+  // while-loop exits normally. On interruption, tree FDs whose LHS size is
+  // at most the last complete level have survived full validation and are
+  // exactly the minimal FDs of those sizes — real agree-set evidence never
+  // discharges a valid FD, specialization only pushes candidates to higher
+  // levels, and a candidate X -> A only enters the tree once every proper
+  // subset of X has been refuted by evidence (so X -> A is minimal on the
+  // data, not just minimal-so-far). The filtered cover is therefore a sound
+  // subset of the full minimal cover.
+  int last_complete_level = -1;
+  auto partial_result = [&](FdTree* cover, Status why) -> Result<FdSet> {
+    completion_ = std::move(why);
+    stats_.distinct_agree_sets = seen_agree_sets.size();
+    std::vector<Fd> kept;
+    if (last_complete_level >= 0) {
+      MinimizeCover(cover);
+      for (Fd& fd : cover->CollectAllFds()) {
+        if (static_cast<int>(fd.lhs.Count()) <= last_complete_level) {
+          kept.push_back(std::move(fd));
+        }
+      }
+    }
+    return RemapToGlobal(kept, data);
+  };
+
+  Status interrupted = CheckContext();
+  if (!interrupted.ok()) return partial_result(&tree, std::move(interrupted));
 
   Stopwatch phase_watch;
   PliCache cache(data, pool);
   phase_metrics_.Record("pli_build", phase_watch.ElapsedSeconds(),
                         static_cast<uint64_t>(n));
+  interrupted = CheckContext();
+  if (!interrupted.ok()) return partial_result(&tree, std::move(interrupted));
   phase_watch.Restart();
   Sampler sampler(data, cache, pool);
   phase_metrics_.Record("sampler_init", phase_watch.ElapsedSeconds());
-  std::unordered_set<AttributeSet> seen_agree_sets;
 
   auto run_sampling = [&]() {
     if (stats_.sampling_rounds >= config_.max_sampling_rounds ||
@@ -159,6 +194,10 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
   for (int level = 0; level <= max_level; ++level) {
     bool level_done = false;
     while (!level_done) {
+      interrupted = CheckContext();
+      if (!interrupted.ok()) {
+        return partial_result(&tree, std::move(interrupted));
+      }
       std::vector<Fd> candidates = tree.GetLevel(level);
       size_t checked = 0, invalid = 0;
       std::vector<AttributeSet> evidence;
@@ -172,6 +211,12 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
           std::vector<AttributeId> lhs_attrs = fd.lhs.ToVector();
           for (AttributeId a : fd.rhs) {
             if (!tree.ContainsFd(fd.lhs, a)) continue;
+            interrupted = CheckContext();
+            if (!interrupted.ok()) {
+              // Mid-sweep: this level is incomplete, but every prior level
+              // was validated in full — the partial filter keeps those.
+              return partial_result(&tree, std::move(interrupted));
+            }
             ++checked;
             std::optional<std::pair<RowId, RowId>> violation =
                 ValidateFdCandidate(data, cache, lhs_attrs, a);
@@ -210,7 +255,9 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
         // Agree set of the violating row pair, per violated unit. Workers
         // write disjoint slots; all other state they touch is read-only.
         std::vector<std::optional<AttributeSet>> violations(units.size());
-        pool->ParallelFor(units.size(), [&](size_t u) {
+        const RunContext* ctx = options_.context;
+        Status dispatch = pool->ParallelFor(units.size(), [&, ctx](size_t u) {
+          if (ctx != nullptr && ctx->SoftInterrupted()) return;
           const Unit& unit = units[u];
           std::optional<std::pair<RowId, RowId>> violation = ValidateFdCandidate(
               data, cache, lhs_vecs[unit.candidate], unit.rhs);
@@ -218,6 +265,13 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
             violations[u] = AgreeSetOf(data, violation->first, violation->second);
           }
         });
+        // An interrupted sweep leaves unset slots that merely *look* valid;
+        // bail before the merge would treat them as confirmation.
+        interrupted = CheckContext();
+        if (interrupted.ok() && !dispatch.ok()) interrupted = dispatch;
+        if (!interrupted.ok()) {
+          return partial_result(&tree, std::move(interrupted));
+        }
         checked = units.size();
         // Deterministic merge: snapshot order is the serial sweep order.
         for (size_t u = 0; u < units.size(); ++u) {
@@ -252,6 +306,7 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
         level_done = true;
       }
     }
+    last_complete_level = level;
   }
 
   MinimizeCover(&tree);

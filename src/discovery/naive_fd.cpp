@@ -45,6 +45,13 @@ Result<FdSet> NaiveFdDiscovery::Discover(const RelationData& data) {
   int capacity = data.universe_size();
 
   FdSet result;
+  completion_ = Status::OK();
+  // Every added FD is individually verified against the data and minimal by
+  // the level-order scan (any smaller valid LHS was found at a lower level
+  // and inserted into the trie first), so the result so far is always a
+  // sound partial cover when the run is interrupted.
+  Status interrupted;
+  size_t probes = 0;
   int max_lhs = options_.max_lhs_size > 0 ? options_.max_lhs_size : n - 1;
   for (int rhs_col = 0; rhs_col < n; ++rhs_col) {
     AttributeId rhs_attr = data.attribute_ids()[static_cast<size_t>(rhs_col)];
@@ -56,6 +63,11 @@ Result<FdSet> NaiveFdDiscovery::Discover(const RelationData& data) {
     for (int level = 0; level <= std::min<int>(max_lhs, static_cast<int>(pool.size()));
          ++level) {
       ForEachSubsetOfSize(pool, level, capacity, [&](const AttributeSet& lhs) {
+        if (!interrupted.ok()) return;  // drain the remaining enumeration
+        if ((probes++ & 255) == 0) {
+          interrupted = CheckContext();
+          if (!interrupted.ok()) return;
+        }
         if (found.ContainsSubsetOf(lhs)) return;  // not minimal
         if (FdHolds(data, lhs, rhs_attr)) {
           found.Insert(lhs);
@@ -64,8 +76,11 @@ Result<FdSet> NaiveFdDiscovery::Discover(const RelationData& data) {
           result.Add(Fd(lhs, rhs));
         }
       });
+      if (!interrupted.ok()) break;
     }
+    if (!interrupted.ok()) break;
   }
+  completion_ = interrupted;
   result.Aggregate();
   return result;
 }

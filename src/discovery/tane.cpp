@@ -24,10 +24,30 @@ struct LevelEntry {
 
 Result<FdSet> Tane::Discover(const RelationData& data) {
   phase_metrics_.Clear();
+  completion_ = Status::OK();
   int n = data.num_columns();
   size_t rows = data.num_rows();
   std::vector<Fd> output;  // unary FDs in local space
   if (n == 0) return RemapToGlobal(output, data);
+
+  // Emission is final: an FD emitted at level l depends only on fully
+  // processed lower levels (validity via stripped-partition errors,
+  // minimality via C+ / direct refinement checks), and later levels never
+  // retract it. On interruption the output so far is therefore a sound
+  // subset of the full minimal cover.
+  auto finalize = [&](Status why) -> Result<FdSet> {
+    completion_ = std::move(why);
+    if (options_.max_lhs_size > 0) {
+      std::vector<Fd> filtered;
+      for (Fd& fd : output) {
+        if (fd.lhs.Count() <= options_.max_lhs_size) {
+          filtered.push_back(std::move(fd));
+        }
+      }
+      output = std::move(filtered);
+    }
+    return RemapToGlobal(output, data);
+  };
 
   AttributeSet all_attrs = AttributeSet::Full(n);
   int max_level = n;
@@ -52,8 +72,12 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
     if (pool == nullptr) {
       pool_storage.emplace(threads);
       pool = &*pool_storage;
+      if (options_.context != nullptr) {
+        pool_storage->SetCancellation(options_.context->cancel);
+      }
     }
   }
+  const RunContext* ctx = options_.context;
 
   Stopwatch phase_watch;
   PliCache cache(data, pool);
@@ -80,12 +104,16 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
   }
 
   for (int l = 1; l <= max_level && !level.empty(); ++l) {
+    Status interrupted = CheckContext();
+    if (!interrupted.ok()) return finalize(std::move(interrupted));
+
     // --- COMPUTE_DEPENDENCIES ---
     // Per-entry C+ and error computations only read the previous level's
     // immutable maps and write their own entry.
     phase_watch.Restart();
     std::vector<size_t> errors(level.size());
-    ParallelFor(pool, level.size(), [&](size_t i) {
+    Status dispatch = ParallelFor(pool, level.size(), [&, ctx](size_t i) {
+      if (ctx != nullptr && ctx->SoftInterrupted()) return;
       LevelEntry& e = level[i];
       // C+(X) = ∩_{A∈X} C+(X \ {A})
       e.cplus = all_attrs;
@@ -101,6 +129,11 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
       }
       errors[i] = e.pli.Error();
     });
+    // Skipped workers leave zeroed error slots that would read as valid
+    // FDs — bail before the serial emit trusts them.
+    interrupted = CheckContext();
+    if (interrupted.ok() && !dispatch.ok()) interrupted = dispatch;
+    if (!interrupted.ok()) return finalize(std::move(interrupted));
     std::unordered_map<AttributeSet, size_t> cur_error;
     for (size_t i = 0; i < level.size(); ++i) {
       cur_error.emplace(level[i].x, errors[i]);
@@ -133,7 +166,8 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
     phase_watch.Restart();
     std::vector<std::vector<std::pair<AttributeSet, AttributeId>>> key_fds(
         level.size());
-    ParallelFor(pool, level.size(), [&](size_t i) {
+    dispatch = ParallelFor(pool, level.size(), [&, ctx](size_t i) {
+      if (ctx != nullptr && ctx->SoftInterrupted()) return;
       LevelEntry& e = level[i];
       if (e.cplus.Empty()) {
         e.pruned = true;
@@ -168,6 +202,12 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
         e.pruned = true;
       }
     });
+    // A skipped key-node check yields an empty (not wrong) slot, but the
+    // unprocessed entries also missed their pruning pass — stop here rather
+    // than generate a next level from half-pruned survivors.
+    interrupted = CheckContext();
+    if (interrupted.ok() && !dispatch.ok()) interrupted = dispatch;
+    if (!interrupted.ok()) return finalize(std::move(interrupted));
     for (const auto& per_entry : key_fds) {
       for (const auto& [lhs, a] : per_entry) emit(lhs, a);
     }
@@ -235,14 +275,7 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
     level = std::move(next);
   }
 
-  if (options_.max_lhs_size > 0) {
-    std::vector<Fd> filtered;
-    for (Fd& fd : output) {
-      if (fd.lhs.Count() <= options_.max_lhs_size) filtered.push_back(std::move(fd));
-    }
-    output = std::move(filtered);
-  }
-  return RemapToGlobal(output, data);
+  return finalize(Status::OK());
 }
 
 }  // namespace normalize

@@ -50,6 +50,10 @@ ThreadPool* Normalizer::SharedPool() {
                        ResolveThreadCount(options_.shard.threads)});
   if (want <= 1) return nullptr;
   if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(want);
+  if (options_.context != nullptr) {
+    // Cancelling the run makes the shared pool reject new tasks fast.
+    pool_->SetCancellation(options_.context->cancel);
+  }
   return pool_.get();
 }
 
@@ -66,85 +70,199 @@ void Normalizer::RecordDiscoveryStats(NormalizationStats* stats,
 Result<NormalizationResult> Normalizer::Normalize(const RelationData& input) {
   Stopwatch total_watch;
   NormalizationResult result;
+  const RunContext* ctx = options_.context;
 
   // --- (1) FD discovery ---
-  FdDiscoveryOptions discovery_options = options_.discovery;
-  discovery_options.pool = SharedPool();
-  Stopwatch watch;
-  FdSet fds;
-  if (options_.shard.shard_rows > 0) {
-    ShardedDiscovery discovery(options_.discovery_algorithm, discovery_options,
-                               options_.shard);
-    auto fds_result = discovery.Discover(input);
-    if (!fds_result.ok()) return fds_result.status();
-    fds = std::move(fds_result).value();
-    RecordDiscoveryStats(&result.stats, fds, watch.ElapsedSeconds(),
-                         discovery.phase_metrics());
-  } else {
+  // One attempt with the given options; completion reports interruptions.
+  auto run_discovery = [&](const FdDiscoveryOptions& opts,
+                           Status* completion) -> Result<FdSet> {
+    Stopwatch watch;
+    if (options_.shard.shard_rows > 0) {
+      ShardedDiscovery discovery(options_.discovery_algorithm, opts,
+                                 options_.shard);
+      auto fds_result = discovery.Discover(input);
+      if (!fds_result.ok()) return fds_result.status();
+      *completion = discovery.completion_status();
+      RecordDiscoveryStats(&result.stats, *fds_result, watch.ElapsedSeconds(),
+                           discovery.phase_metrics());
+      return std::move(fds_result).value();
+    }
     std::unique_ptr<FdDiscovery> discovery =
-        MakeFdDiscovery(options_.discovery_algorithm, discovery_options);
+        MakeFdDiscovery(options_.discovery_algorithm, opts);
     if (discovery == nullptr) {
       return Status::InvalidArgument("unknown discovery algorithm: " +
                                      options_.discovery_algorithm);
     }
     auto fds_result = discovery->Discover(input);
     if (!fds_result.ok()) return fds_result.status();
-    fds = std::move(fds_result).value();
-    RecordDiscoveryStats(&result.stats, fds, watch.ElapsedSeconds(),
+    *completion = discovery->completion_status();
+    RecordDiscoveryStats(&result.stats, *fds_result, watch.ElapsedSeconds(),
                          discovery->phase_metrics());
+    return std::move(fds_result).value();
+  };
+
+  FdDiscoveryOptions discovery_options = options_.discovery;
+  discovery_options.pool = SharedPool();
+  if (discovery_options.context == nullptr) discovery_options.context = ctx;
+
+  Status completion;
+  auto fds_result = run_discovery(discovery_options, &completion);
+  if (!fds_result.ok()) return fds_result.status();
+  FdSet fds = std::move(fds_result).value();
+  NORMALIZE_RETURN_IF_ERROR(ApplyDiscoveryDegradation(
+      std::move(completion), &fds, &result.stats, run_discovery));
+
+  // Once the deadline has tripped, finishing under it would skip every
+  // remaining stage — run them to completion on what discovery produced,
+  // but stay cancellable.
+  RunContext fallback_ctx;
+  const RunContext* finish_ctx = ctx;
+  if (!result.stats.completion.ok() && ctx != nullptr) {
+    fallback_ctx.cancel = ctx->cancel;
+    finish_ctx = &fallback_ctx;
   }
   return FinishNormalization(input, std::move(fds), std::move(result),
-                             total_watch);
+                             total_watch, finish_ctx);
+}
+
+Status Normalizer::ApplyDiscoveryDegradation(
+    Status completion, FdSet* fds, NormalizationStats* stats,
+    const std::function<Result<FdSet>(const FdDiscoveryOptions&, Status*)>&
+        rerun) {
+  if (completion.ok()) return Status::OK();
+  if (completion.code() == StatusCode::kCancelled) return completion;
+
+  // Deadline exceeded: try the bounded rerun first — the paper's LHS-size
+  // pruning (§4.3) reused as a time bound. Skip it when the original run
+  // was already at least as bounded (the rerun would redo the same work).
+  int bound = options_.degraded_max_lhs;
+  bool already_bounded = options_.discovery.max_lhs_size > 0 &&
+                         options_.discovery.max_lhs_size <= bound;
+  if (options_.degrade_on_deadline && bound > 0 && !already_bounded) {
+    // The rerun keeps the cancel token but drops the (already expired)
+    // deadline and the fault injector (whose latched interruption would
+    // fire again immediately).
+    RunContext degraded_ctx;
+    if (options_.context != nullptr) {
+      degraded_ctx.cancel = options_.context->cancel;
+    }
+    FdDiscoveryOptions degraded = options_.discovery;
+    degraded.pool = SharedPool();
+    degraded.max_lhs_size = bound;
+    degraded.context = &degraded_ctx;
+    Status degraded_completion;
+    Result<FdSet> degraded_fds = rerun(degraded, &degraded_completion);
+    if (!degraded_fds.ok()) return degraded_fds.status();
+    if (degraded_completion.ok()) {
+      *fds = std::move(degraded_fds).value();
+      stats->degraded_discovery = true;
+      stats->completion = std::move(completion);
+      stats->skipped.push_back(
+          "fd_discovery: deadline exceeded; rerun with max_lhs_size=" +
+          std::to_string(bound) +
+          " (FDs with larger LHSs are not explored)");
+      return Status::OK();
+    }
+    // Without a deadline the rerun can only be interrupted by cancellation.
+    if (degraded_completion.code() == StatusCode::kCancelled) {
+      return degraded_completion;
+    }
+    completion = std::move(degraded_completion);
+  }
+
+  // Continue on the interrupted run's sound partial cover.
+  stats->completion = std::move(completion);
+  stats->skipped.push_back(
+      "fd_discovery: deadline exceeded; continuing with the sound partial "
+      "cover (" +
+      std::to_string(fds->size()) + " aggregated FDs)");
+  return Status::OK();
 }
 
 Result<NormalizationResult> Normalizer::NormalizeCsvFile(
     const std::string& path, const CsvOptions& csv_options) {
   Stopwatch total_watch;
   NormalizationResult result;
+  const RunContext* ctx = options_.context;
 
   Stopwatch watch;
-  ShardedCsvReader reader(csv_options, options_.shard);
-  auto ingest_result = reader.ReadFile(path);
+  ShardedCsvReader reader(csv_options, options_.shard, ctx);
+  size_t ingest_retries = 0;
+  auto ingest_result =
+      reader.ReadFileWithRetry(path, options_.ingest_retry, &ingest_retries);
   if (!ingest_result.ok()) return ingest_result.status();
   ShardedRelation sharded = std::move(ingest_result).value();
+  result.stats.ingest_retries = ingest_retries;
   result.stats.phases.Record("shard_ingest", watch.ElapsedSeconds(),
                              sharded.total_rows);
 
+  auto run_discovery = [&](const FdDiscoveryOptions& opts,
+                           Status* completion) -> Result<FdSet> {
+    Stopwatch discovery_watch;
+    ShardedDiscovery discovery(options_.discovery_algorithm, opts,
+                               options_.shard);
+    auto fds_result = discovery.Discover(sharded.shards);
+    if (!fds_result.ok()) return fds_result.status();
+    *completion = discovery.completion_status();
+    RecordDiscoveryStats(&result.stats, *fds_result,
+                         discovery_watch.ElapsedSeconds(),
+                         discovery.phase_metrics());
+    return std::move(fds_result).value();
+  };
+
   FdDiscoveryOptions discovery_options = options_.discovery;
   discovery_options.pool = SharedPool();
-  watch.Restart();
-  ShardedDiscovery discovery(options_.discovery_algorithm, discovery_options,
-                             options_.shard);
-  auto fds_result = discovery.Discover(sharded.shards);
+  if (discovery_options.context == nullptr) discovery_options.context = ctx;
+
+  Status completion;
+  auto fds_result = run_discovery(discovery_options, &completion);
   if (!fds_result.ok()) return fds_result.status();
   FdSet fds = std::move(fds_result).value();
-  RecordDiscoveryStats(&result.stats, fds, watch.ElapsedSeconds(),
-                       discovery.phase_metrics());
+  NORMALIZE_RETURN_IF_ERROR(ApplyDiscoveryDegradation(
+      std::move(completion), &fds, &result.stats, run_discovery));
+
+  RunContext fallback_ctx;
+  const RunContext* finish_ctx = ctx;
+  if (!result.stats.completion.ok() && ctx != nullptr) {
+    fallback_ctx.cancel = ctx->cancel;
+    finish_ctx = &fallback_ctx;
+  }
 
   // Decomposition works on the stitched relation: same dictionaries, so this
   // costs one code vector per column, not a string re-parse.
   RelationData input = sharded.Concatenate(sharded.name);
   return FinishNormalization(input, std::move(fds), std::move(result),
-                             total_watch);
+                             total_watch, finish_ctx);
 }
 
 Result<NormalizationResult> Normalizer::FinishNormalization(
     const RelationData& input, FdSet fds, NormalizationResult result,
-    const Stopwatch& total_watch) {
+    const Stopwatch& total_watch, const RunContext* ctx) {
   NormalizationStats& stats = result.stats;
   Stopwatch watch;
 
   // --- (2) closure calculation ---
   std::unique_ptr<ClosureAlgorithm> closure = MakeClosure(
       options_.closure_algorithm,
-      ClosureOptions{options_.closure_threads, SharedPool()});
+      ClosureOptions{options_.closure_threads, SharedPool(), ctx});
   if (closure == nullptr) {
     return Status::InvalidArgument("unknown closure algorithm: " +
                                    options_.closure_algorithm);
   }
   AttributeSet all_attrs = input.AttributesAsSet();
   watch.Restart();
-  closure->Extend(&fds, all_attrs);
+  Status closure_status = closure->Extend(&fds, all_attrs);
+  if (!closure_status.ok()) {
+    if (closure_status.code() == StatusCode::kCancelled ||
+        !IsInterruption(closure_status.code())) {
+      return closure_status;
+    }
+    // An interrupted Extend leaves a valid (merely under-extended) FD set:
+    // RHS growth is monotone, so every derivation made so far stands.
+    stats.completion = closure_status;
+    stats.skipped.push_back(
+        "closure: deadline exceeded; FDs extended only partially");
+  }
   stats.closure_s = watch.ElapsedSeconds();
   stats.avg_rhs_after = fds.AverageRhsSize();
   stats.phases.Record("closure", stats.closure_s, fds.size());
@@ -175,6 +293,19 @@ Result<NormalizationResult> Normalizer::FinishNormalization(
   std::deque<int> worklist;
   worklist.push_back(0);
   while (!worklist.empty()) {
+    Status interrupted = CheckRunContext(ctx);
+    if (!interrupted.ok()) {
+      if (interrupted.code() == StatusCode::kCancelled) return interrupted;
+      // Deadline: the schema produced so far is a correct (if unfinished)
+      // decomposition — every split preserved the instance losslessly.
+      stats.completion = interrupted;
+      stats.skipped.push_back(
+          "decomposition: deadline exceeded with " +
+          std::to_string(worklist.size() + 1) +
+          " relations left to check; schema may retain normal-form "
+          "violations");
+      break;
+    }
     int rel_index = worklist.front();
     worklist.pop_front();
     const RelationSchema& rel = result.schema.relation(rel_index);
@@ -276,7 +407,18 @@ Result<NormalizationResult> Normalizer::FinishNormalization(
   }
 
   // --- (7) primary-key selection ---
-  if (options_.select_primary_keys) {
+  Status key_interrupted =
+      options_.select_primary_keys ? CheckRunContext(ctx) : Status::OK();
+  if (!key_interrupted.ok() &&
+      key_interrupted.code() == StatusCode::kCancelled) {
+    return key_interrupted;
+  }
+  if (options_.select_primary_keys && !key_interrupted.ok()) {
+    stats.completion = key_interrupted;
+    stats.skipped.push_back(
+        "primary_key_selection: deadline exceeded; key-less relations left "
+        "without primary keys");
+  } else if (options_.select_primary_keys) {
     for (size_t i = 0; i < result.relations.size(); ++i) {
       RelationSchema* rel = result.schema.mutable_relation(static_cast<int>(i));
       if (rel->has_primary_key()) continue;

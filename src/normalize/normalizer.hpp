@@ -9,11 +9,13 @@
 // Steps (3)-(6) loop until no relation violates the target normal form.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/run_context.hpp"
 #include "common/stopwatch.hpp"
 #include "discovery/fd_discovery.hpp"
 #include "fd/fd.hpp"
@@ -48,6 +50,23 @@ struct NormalizerOptions {
   /// shard.memory_budget_bytes. The discovered FD set — and hence the
   /// normalization result — is identical to the unsharded run.
   ShardOptions shard;
+  /// Robustness context threaded through every stage (not owned; null = no
+  /// limits). Cancellation aborts the run with kCancelled. A deadline makes
+  /// it degrade instead of fail: discovery keeps its sound partial cover
+  /// (or reruns bounded, see degrade_on_deadline), later stages run to
+  /// completion on what discovery produced, and NormalizationStats records
+  /// the interruption and everything that was skipped.
+  const RunContext* context = nullptr;
+  /// Retry schedule for transient (kUnavailable) shard-ingest I/O errors in
+  /// NormalizeCsvFile().
+  RetryPolicy ingest_retry;
+  /// When full FD discovery exceeds the deadline, rerun it once with
+  /// max_lhs_size bounded to this value — the paper's memory-pruning rule
+  /// doubling as a time-pruning rule. 0 disables the fallback (the partial
+  /// cover of the interrupted run is used instead). The degraded pass runs
+  /// without a deadline but stays cancellable.
+  int degraded_max_lhs = 2;
+  bool degrade_on_deadline = true;
 };
 
 /// Per-component wall-clock times and counters (the paper's Table 3 rows).
@@ -71,6 +90,20 @@ struct NormalizationStats {
   /// phases (prefixed "discovery/") plus the pipeline components above.
   /// Rendered by normalize/report and the benchmarks.
   PhaseMetrics phases;
+
+  /// OK for a complete run; kDeadlineExceeded when the deadline forced the
+  /// pipeline to degrade or skip work (`skipped` lists what). A cancelled
+  /// run returns an error instead of a result, so kCancelled never appears
+  /// here.
+  Status completion;
+  /// Transient shard-ingest read failures that were retried successfully.
+  size_t ingest_retries = 0;
+  /// FD discovery was rerun with max_lhs_size = degraded_max_lhs after the
+  /// full run exceeded the deadline.
+  bool degraded_discovery = false;
+  /// Human-readable notes on everything the deadline forced the run to
+  /// skip or curtail, in pipeline order.
+  std::vector<std::string> skipped;
 };
 
 /// One decision taken during normalization — the audit trail of the
@@ -139,12 +172,26 @@ class Normalizer {
                             double seconds,
                             const PhaseMetrics& discovery_phases);
 
+  /// The deadline-degradation ladder after discovery. `completion` is the
+  /// discovery run's completion status; `rerun` re-executes discovery with
+  /// degraded options and reports its completion through the out-param.
+  /// Returns kCancelled to abort the run; otherwise OK, with `fds`/`stats`
+  /// updated to the cover the pipeline should continue on.
+  Status ApplyDiscoveryDegradation(
+      Status completion, FdSet* fds, NormalizationStats* stats,
+      const std::function<Result<FdSet>(const FdDiscoveryOptions&, Status*)>&
+          rerun);
+
   /// Components (2)-(7) on pre-discovered FDs; discovery statistics must
-  /// already be recorded in result.stats.
+  /// already be recorded in result.stats. `ctx` (may be null) is polled at
+  /// stage boundaries: kCancelled aborts, a deadline curtails the
+  /// decomposition loop / primary-key selection with notes in
+  /// stats.skipped.
   Result<NormalizationResult> FinishNormalization(const RelationData& input,
                                                   FdSet fds,
                                                   NormalizationResult result,
-                                                  const Stopwatch& total_watch);
+                                                  const Stopwatch& total_watch,
+                                                  const RunContext* ctx);
 
   NormalizerOptions options_;
   AutoAdvisor auto_advisor_;

@@ -135,13 +135,23 @@ std::string RelationNameFromPath(const std::string& path) {
 
 Result<RelationData> CsvReader::ReadFile(const std::string& path,
                                          const std::string& relation_name) const {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
+  FileByteSource file(path);
   std::string name =
       relation_name.empty() ? RelationNameFromPath(path) : relation_name;
-  return ReadString(buffer.str(), name);
+  return ReadSource(&file, name);
+}
+
+Result<RelationData> CsvReader::ReadSource(
+    ByteSource* source, const std::string& relation_name) const {
+  std::string content;
+  char buf[1 << 16];
+  while (true) {
+    Result<size_t> got = source->Read(buf, sizeof(buf));
+    if (!got.ok()) return got.status();
+    if (*got == 0) break;
+    content.append(buf, *got);
+  }
+  return ReadString(content, relation_name);
 }
 
 std::string CsvWriter::WriteString(const RelationData& data) const {

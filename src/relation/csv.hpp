@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/byte_source.hpp"
 #include "common/result.hpp"
 #include "relation/relation_data.hpp"
 
@@ -64,6 +65,11 @@ class CsvReader {
   /// Reads and parses a CSV file.
   Result<RelationData> ReadFile(const std::string& path,
                                 const std::string& relation_name = "") const;
+
+  /// Drains `source` and parses like ReadString. The ByteSource seam both
+  /// file reading and fault-injection tests go through.
+  Result<RelationData> ReadSource(ByteSource* source,
+                                  const std::string& relation_name) const;
 
  private:
   CsvOptions options_;

@@ -1,9 +1,10 @@
 #include "shard/sharded_csv.hpp"
 
 #include <algorithm>
-#include <fstream>
+#include <chrono>
 #include <optional>
 #include <string_view>
+#include <thread>
 #include <utility>
 
 namespace normalize {
@@ -102,8 +103,9 @@ class Ingest {
         // buffer_ holds exactly one incomplete record (everything before the
         // last boundary has been parsed and erased), so the record needs
         // more than budget - chunk_size >= budget/2 bytes.
-        return Status::InvalidArgument(
-            "CSV record larger than half the ingest memory budget (" +
+        return Status::ResourceExhausted(
+            "CSV record at data row " + std::to_string(total_rows_ + 1) +
+            " larger than half the ingest memory budget (" +
             std::to_string(budget_) + " bytes); raise memory_budget_bytes");
       }
       buffer_.append(bytes.data(), take);
@@ -237,31 +239,64 @@ class Ingest {
 
 }  // namespace
 
-Result<ShardedRelation> ShardedCsvReader::ReadFile(
-    const std::string& path, const std::string& relation_name) const {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open file: " + path);
-  std::string name =
-      relation_name.empty() ? RelationNameFromPath(path) : relation_name;
-  Ingest ingest(csv_options_, shard_options_, std::move(name));
+Result<ShardedRelation> ShardedCsvReader::ReadSource(
+    ByteSource* source, const std::string& relation_name) const {
+  ByteSource* stream = source;
+  std::optional<FaultInjectingByteSource> faulty;
+  if (context_ != nullptr && context_->faults != nullptr) {
+    faulty.emplace(source, context_->faults);
+    stream = &*faulty;
+  }
+  Ingest ingest(csv_options_, shard_options_, relation_name);
   std::string chunk(ingest.chunk_size(), '\0');
-  while (in) {
-    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
-    std::streamsize got = in.gcount();
-    if (got <= 0) break;
-    Status st = ingest.Feed(
-        std::string_view(chunk.data(), static_cast<size_t>(got)));
-    if (!st.ok()) return st;
+  while (true) {
+    NORMALIZE_RETURN_IF_ERROR(CheckRunContext(context_));
+    Result<size_t> got = stream->Read(chunk.data(), chunk.size());
+    if (!got.ok()) return got.status();
+    if (*got == 0) break;
+    NORMALIZE_RETURN_IF_ERROR(
+        ingest.Feed(std::string_view(chunk.data(), *got)));
   }
   return ingest.Finish();
 }
 
+Result<ShardedRelation> ShardedCsvReader::ReadFile(
+    const std::string& path, const std::string& relation_name) const {
+  FileByteSource file(path);
+  std::string name =
+      relation_name.empty() ? RelationNameFromPath(path) : relation_name;
+  return ReadSource(&file, name);
+}
+
 Result<ShardedRelation> ShardedCsvReader::ReadString(
     const std::string& content, const std::string& relation_name) const {
-  Ingest ingest(csv_options_, shard_options_, relation_name);
-  Status st = ingest.Feed(content);
-  if (!st.ok()) return st;
-  return ingest.Finish();
+  StringByteSource source(content);
+  return ReadSource(&source, relation_name);
+}
+
+Result<ShardedRelation> ShardedCsvReader::ReadFileWithRetry(
+    const std::string& path, const RetryPolicy& policy, size_t* retries_out,
+    const std::string& relation_name) const {
+  size_t retries = 0;
+  int max_attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 0;; ++attempt) {
+    Result<ShardedRelation> result = ReadFile(path, relation_name);
+    if (result.ok() || !policy.IsRetryable(result.status()) ||
+        attempt + 1 >= max_attempts) {
+      if (retries_out != nullptr) *retries_out = retries;
+      return result;
+    }
+    ++retries;
+    double backoff_ms = policy.BackoffMillis(attempt);
+    if (context_ != nullptr && context_->deadline.has_deadline()) {
+      // Never sleep past the run's deadline; the next attempt's context
+      // check surfaces kDeadlineExceeded if it has already passed.
+      double remaining_ms = context_->deadline.RemainingSeconds() * 1e3;
+      backoff_ms = std::min(backoff_ms, std::max(0.0, remaining_ms));
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+  }
 }
 
 }  // namespace normalize

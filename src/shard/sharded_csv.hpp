@@ -5,11 +5,18 @@
 // embedded newlines/delimiters survive arbitrary chunk splits; the actual
 // cell parsing reuses ParseCsvRecord on complete-record prefixes — the two
 // readers cannot diverge grammatically.
+//
+// All bytes flow through the ByteSource seam (byte_source.hpp): production
+// reads use FileByteSource, and when the reader's RunContext carries a
+// FaultInjector the stream is transparently wrapped so short reads,
+// transient errors, and truncations can be injected at exact byte offsets.
 #pragma once
 
 #include <string>
 
+#include "common/byte_source.hpp"
 #include "common/result.hpp"
+#include "common/run_context.hpp"
 #include "relation/csv.hpp"
 #include "shard/shard_options.hpp"
 #include "shard/shard_relation.hpp"
@@ -19,14 +26,17 @@ namespace normalize {
 class ShardedCsvReader {
  public:
   explicit ShardedCsvReader(CsvOptions csv_options = {},
-                            ShardOptions shard_options = {})
-      : csv_options_(csv_options), shard_options_(shard_options) {}
+                            ShardOptions shard_options = {},
+                            const RunContext* context = nullptr)
+      : csv_options_(csv_options),
+        shard_options_(shard_options),
+        context_(context) {}
 
   /// Streams a CSV file into shards of at most shard_options.shard_rows rows
   /// (one shard when 0). The text buffer never exceeds
   /// shard_options.memory_budget_bytes; a single record larger than the
-  /// budget fails with InvalidArgument. Parses identically to
-  /// CsvReader::ReadFile.
+  /// budget fails with kResourceExhausted naming the offending row. Parses
+  /// identically to CsvReader::ReadFile.
   Result<ShardedRelation> ReadFile(const std::string& path,
                                    const std::string& relation_name = "") const;
 
@@ -35,9 +45,27 @@ class ShardedCsvReader {
   Result<ShardedRelation> ReadString(const std::string& content,
                                      const std::string& relation_name) const;
 
+  /// One ingest attempt over an arbitrary byte stream — the seam ReadFile
+  /// and ReadString feed. Polls the RunContext between chunks (kCancelled /
+  /// kDeadlineExceeded stop the ingest) and, when the context carries a
+  /// FaultInjector, routes every read through it.
+  Result<ShardedRelation> ReadSource(ByteSource* source,
+                                     const std::string& relation_name) const;
+
+  /// ReadFile with capped-exponential-backoff retries of transient
+  /// (kUnavailable) failures, per `policy`. Non-transient errors and
+  /// interruptions surface immediately; backoff sleeps never overshoot the
+  /// context deadline. `retries_out` (optional) receives the number of
+  /// retries performed.
+  Result<ShardedRelation> ReadFileWithRetry(
+      const std::string& path, const RetryPolicy& policy,
+      size_t* retries_out = nullptr,
+      const std::string& relation_name = "") const;
+
  private:
   CsvOptions csv_options_;
   ShardOptions shard_options_;
+  const RunContext* context_ = nullptr;
 };
 
 }  // namespace normalize

@@ -116,13 +116,17 @@ Result<FdSet> ShardedDiscovery::Discover(const RelationData& data) {
       shard_options_.shard_rows >= data.num_rows()) {
     stats_ = Stats{};
     phase_metrics_.Clear();
+    completion_ = Status::OK();
     stats_.shard_count = 1;
     auto algo = MakeFdDiscovery(backend_, options_);
     if (!algo) {
       return Status::InvalidArgument("unknown discovery algorithm: " + backend_);
     }
     auto result = algo->Discover(data);
-    if (result.ok()) phase_metrics_.MergeFrom(algo->phase_metrics());
+    if (result.ok()) {
+      phase_metrics_.MergeFrom(algo->phase_metrics());
+      completion_ = algo->completion_status();
+    }
     return result;
   }
   return Discover(SliceIntoShards(data, shard_options_.shard_rows));
@@ -132,6 +136,7 @@ Result<FdSet> ShardedDiscovery::Discover(
     const std::vector<RelationData>& shards) {
   stats_ = Stats{};
   phase_metrics_.Clear();
+  completion_ = Status::OK();
   if (shards.empty()) {
     return Status::InvalidArgument("sharded discovery needs at least one shard");
   }
@@ -157,7 +162,10 @@ Result<FdSet> ShardedDiscovery::Discover(
       return Status::InvalidArgument("unknown discovery algorithm: " + backend_);
     }
     auto result = algo->Discover(first);
-    if (result.ok()) phase_metrics_.MergeFrom(algo->phase_metrics());
+    if (result.ok()) {
+      phase_metrics_.MergeFrom(algo->phase_metrics());
+      completion_ = algo->completion_status();
+    }
     return result;
   }
   if (n == 0) return FdSet{};
@@ -171,17 +179,26 @@ Result<FdSet> ShardedDiscovery::Discover(
     if (pool == nullptr) {
       pool_storage.emplace(threads);
       pool = &*pool_storage;
+      if (options_.context != nullptr) {
+        pool_storage->SetCancellation(options_.context->cancel);
+      }
     }
   }
+  const RunContext* ctx = options_.context;
 
   // --- Per-shard discovery fan-out ---
   // Each shard runs the serial backend; the fan-out itself is the
   // parallelism (per-shard threads would contend with it, and running the
-  // backend's ParallelFor on the outer pool could self-deadlock).
+  // backend's ParallelFor on the outer pool could self-deadlock). The
+  // RunContext is forwarded so each per-shard run polls it too.
   Stopwatch watch;
   std::vector<FdSet> shard_fds(k);
   std::vector<Status> statuses(k);
-  ParallelFor(pool, k, [&](size_t s) {
+  Status dispatch = ParallelFor(pool, k, [&, ctx](size_t s) {
+    if (ctx != nullptr && ctx->SoftInterrupted()) {
+      statuses[s] = Status::Cancelled("shard fan-out interrupted");
+      return;
+    }
     FdDiscoveryOptions per_shard = options_;
     per_shard.threads = 1;
     per_shard.pool = nullptr;
@@ -196,10 +213,29 @@ Result<FdSet> ShardedDiscovery::Discover(
       statuses[s] = result.status();
       return;
     }
+    // An interrupted per-shard run yields a *partial* cover, which would
+    // poison the merge's completeness assumption — record it as a failure
+    // of this shard instead of merging it.
+    statuses[s] = algo->completion_status();
     shard_fds[s] = std::move(result).value();
   });
-  for (const Status& st : statuses) {
-    if (!st.ok()) return st;
+  {
+    Status interrupted = CheckRunContext(ctx);
+    if (interrupted.ok() && !dispatch.ok()) interrupted = dispatch;
+    for (const Status& st : statuses) {
+      if (st.ok()) continue;
+      if (IsInterruption(st.code())) {
+        if (interrupted.ok()) interrupted = st;
+      } else {
+        return st;  // real per-shard failure, not an interruption
+      }
+    }
+    if (!interrupted.ok()) {
+      // No merged level has been validated yet: the only sound partial
+      // result is the empty cover.
+      completion_ = std::move(interrupted);
+      return RemapToGlobal({}, shards[0]);
+    }
   }
   phase_metrics_.Record("shard_discovery", watch.ElapsedSeconds(), k);
 
@@ -233,6 +269,27 @@ Result<FdSet> ShardedDiscovery::Discover(
     max_level = std::min(max_level, options_.max_lhs_size);
   }
 
+  // Same partial-result rule as HyFD: tree FDs at fully-validated levels
+  // are exactly the minimal FDs of those LHS sizes on the concatenated
+  // relation (the seed is shard 0's *minimal* cover — every proper subset
+  // of a seed LHS is already violated on shard 0, hence globally — and
+  // specializations only enter once their generalizations are refuted by
+  // real row pairs).
+  int last_complete_level = -1;
+  auto partial_result = [&](Status why) -> Result<FdSet> {
+    completion_ = std::move(why);
+    std::vector<Fd> kept;
+    if (last_complete_level >= 0) {
+      MinimizeCover(&tree);
+      for (Fd& fd : tree.CollectAllFds()) {
+        if (static_cast<int>(fd.lhs.Count()) <= last_complete_level) {
+          kept.push_back(std::move(fd));
+        }
+      }
+    }
+    return RemapToGlobal(kept, shards[0]);
+  };
+
   struct Violation {
     AttributeSet agree;
     bool cross_shard = false;
@@ -240,6 +297,8 @@ Result<FdSet> ShardedDiscovery::Discover(
 
   for (int level = 0; level <= max_level; ++level) {
     while (true) {
+      Status interrupted = CheckRunContext(ctx);
+      if (!interrupted.ok()) return partial_result(std::move(interrupted));
       // Snapshot this level's candidates; validate them concurrently
       // against the immutable shards (the tree is not touched), then apply
       // the violations serially in snapshot order — the same deterministic
@@ -260,7 +319,8 @@ Result<FdSet> ShardedDiscovery::Discover(
       if (units.empty()) break;
       Stopwatch validation_watch;
       std::vector<std::optional<Violation>> violations(units.size());
-      ParallelFor(pool, units.size(), [&](size_t u) {
+      dispatch = ParallelFor(pool, units.size(), [&, ctx](size_t u) {
+        if (ctx != nullptr && ctx->SoftInterrupted()) return;
         const Unit& unit = units[u];
         const AttributeSet& lhs = candidates[unit.candidate].lhs;
         const std::vector<AttributeId>& lhs_attrs = lhs_vecs[unit.candidate];
@@ -288,6 +348,11 @@ Result<FdSet> ShardedDiscovery::Discover(
               /*cross_shard=*/true};
         }
       });
+      // Unset violation slots of a skipped sweep look like confirmations —
+      // bail before the merge trusts them.
+      interrupted = CheckRunContext(ctx);
+      if (interrupted.ok() && !dispatch.ok()) interrupted = dispatch;
+      if (!interrupted.ok()) return partial_result(std::move(interrupted));
       size_t invalid = 0;
       std::vector<AttributeSet> evidence;
       for (size_t u = 0; u < units.size(); ++u) {
@@ -316,6 +381,7 @@ Result<FdSet> ShardedDiscovery::Discover(
                             evidence.size());
       if (invalid == 0) break;
     }
+    last_complete_level = level;
   }
 
   MinimizeCover(&tree);

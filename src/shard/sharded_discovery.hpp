@@ -70,12 +70,20 @@ class ShardedDiscovery {
   const Stats& stats() const { return stats_; }
   const PhaseMetrics& phase_metrics() const { return phase_metrics_; }
 
+  /// OK if the last Discover() ran to completion; kCancelled /
+  /// kDeadlineExceeded when the run was interrupted (via
+  /// options.context) and the returned FdSet is a sound partial cover —
+  /// every emitted FD is a verified-minimal FD of the concatenated
+  /// relation. Mirrors FdDiscovery::completion_status().
+  const Status& completion_status() const { return completion_; }
+
  private:
   std::string backend_;
   FdDiscoveryOptions options_;
   ShardOptions shard_options_;
   Stats stats_;
   PhaseMetrics phase_metrics_;
+  Status completion_;
 };
 
 }  // namespace normalize

@@ -1,0 +1,140 @@
+// Unit tests for the robustness primitives: Deadline, CancellationToken,
+// FaultInjector, RetryPolicy, and the RunContext::Check() precedence rules.
+#include "common/run_context.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace normalize {
+namespace {
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.has_deadline());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(std::isinf(d.RemainingSeconds()));
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpired) {
+  Deadline d = Deadline::AfterSeconds(60.0);
+  EXPECT_TRUE(d.has_deadline());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingSeconds(), 30.0);
+  EXPECT_LE(d.RemainingSeconds(), 60.0);
+}
+
+TEST(DeadlineTest, PastDeadlineExpired) {
+  Deadline d = Deadline::AfterSeconds(-1.0);
+  EXPECT_TRUE(d.Expired());
+  EXPECT_LE(d.RemainingSeconds(), 0.0);
+  EXPECT_TRUE(Deadline::AfterMillis(-5.0).Expired());
+}
+
+TEST(CancellationTokenTest, CopiesShareOneState) {
+  CancellationToken a;
+  CancellationToken b = a;
+  EXPECT_FALSE(a.IsCancelled());
+  EXPECT_FALSE(b.IsCancelled());
+  b.Cancel();
+  EXPECT_TRUE(a.IsCancelled());
+  EXPECT_TRUE(b.IsCancelled());
+}
+
+TEST(CancellationTokenTest, CheckReportsCancellationBeforeDeadline) {
+  RunContext ctx;
+  ctx.deadline = Deadline::AfterSeconds(-1.0);  // already expired
+  ctx.cancel.Cancel();
+  // Cancellation outranks the deadline in Check().
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(ctx.Interrupted());
+  EXPECT_TRUE(ctx.SoftInterrupted());
+}
+
+TEST(CancellationTokenTest, NullContextProbeIsOk) {
+  EXPECT_TRUE(CheckRunContext(nullptr).ok());
+  RunContext ctx;
+  EXPECT_TRUE(CheckRunContext(&ctx).ok());
+  EXPECT_FALSE(ctx.SoftInterrupted());
+}
+
+TEST(DeadlineTest, CheckReportsDeadline) {
+  RunContext ctx;
+  ctx.deadline = Deadline::AfterSeconds(-1.0);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(ctx.SoftInterrupted());
+}
+
+TEST(FaultInjectorTest, InterruptAtNthCheckFiresAndLatches) {
+  FaultInjector faults;
+  faults.InterruptAtNthCheck(3, StatusCode::kDeadlineExceeded);
+  RunContext ctx;
+  ctx.faults = &faults;
+
+  EXPECT_TRUE(ctx.Check().ok());  // check #1
+  EXPECT_FALSE(faults.InterruptLatched());
+  EXPECT_FALSE(ctx.SoftInterrupted());
+  EXPECT_TRUE(ctx.Check().ok());  // check #2
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);  // check #3
+  // Latched: every later check reports it too, like a real expired deadline.
+  EXPECT_TRUE(faults.InterruptLatched());
+  EXPECT_TRUE(ctx.SoftInterrupted());
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(faults.checks(), 4u);
+  EXPECT_GE(faults.injected_faults(), 1u);
+}
+
+TEST(FaultInjectorTest, InjectedCancelTripsTheRealToken) {
+  FaultInjector faults;
+  faults.InterruptAtNthCheck(1, StatusCode::kCancelled);
+  RunContext ctx;
+  ctx.faults = &faults;
+  EXPECT_FALSE(ctx.cancel.IsCancelled());
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+  // The shared token is now cancelled, so a ThreadPool holding a copy
+  // rejects new work exactly as after a user cancel.
+  EXPECT_TRUE(ctx.cancel.IsCancelled());
+}
+
+TEST(FaultInjectorTest, SoftInterruptedDoesNotAdvanceTheCheckCounter) {
+  FaultInjector faults;
+  faults.InterruptAtNthCheck(2, StatusCode::kDeadlineExceeded);
+  RunContext ctx;
+  ctx.faults = &faults;
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(ctx.SoftInterrupted());
+  EXPECT_EQ(faults.checks(), 0u);
+  EXPECT_TRUE(ctx.Check().ok());                                 // #1
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);  // #2
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 2.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 10.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(0), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(1), 4.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(2), 8.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(3), 10.0);  // capped
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(10), 10.0);
+}
+
+TEST(RetryPolicyTest, OnlyUnavailableIsRetryable) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.IsRetryable(Status::Unavailable("flaky disk")));
+  EXPECT_FALSE(policy.IsRetryable(Status::IoError("gone")));
+  EXPECT_FALSE(policy.IsRetryable(Status::Cancelled("stop")));
+  EXPECT_FALSE(policy.IsRetryable(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(policy.IsRetryable(Status::OK()));
+}
+
+TEST(FaultInjectorTest, InterruptionPredicateCoversBothCodes) {
+  EXPECT_TRUE(IsInterruption(StatusCode::kCancelled));
+  EXPECT_TRUE(IsInterruption(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsInterruption(StatusCode::kOk));
+  EXPECT_FALSE(IsInterruption(StatusCode::kIoError));
+  EXPECT_FALSE(IsInterruption(StatusCode::kUnavailable));
+}
+
+}  // namespace
+}  // namespace normalize

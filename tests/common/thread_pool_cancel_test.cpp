@@ -1,0 +1,88 @@
+// Cancellation semantics of the shared ThreadPool: post-cancel submissions
+// fail fast with kCancelled (they neither run nor vanish silently), and
+// ParallelFor reports an incompletely covered iteration space.
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "common/run_context.hpp"
+#include "common/thread_pool.hpp"
+
+namespace normalize {
+namespace {
+
+TEST(ThreadPoolCancelTest, SubmitAfterCancelFailsFast) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  pool.SetCancellation(token);
+  EXPECT_FALSE(pool.cancelled());
+
+  std::atomic<int> ran{0};
+  auto before = pool.Submit([&] { ran.fetch_add(1); });
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  before.value().wait();
+
+  token.Cancel();
+  EXPECT_TRUE(pool.cancelled());
+  auto after = pool.Submit([&] { ran.fetch_add(1); });
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(ran.load(), 1);  // the rejected task never ran
+}
+
+TEST(ThreadPoolCancelTest, ParallelForAfterCancelReportsCancelled) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  pool.SetCancellation(token);
+  token.Cancel();
+
+  std::atomic<size_t> iterations{0};
+  Status st = pool.ParallelFor(1000, [&](size_t) { iterations.fetch_add(1); });
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  // The iteration space must not be silently treated as covered.
+  EXPECT_LT(iterations.load(), 1000u);
+}
+
+TEST(ThreadPoolCancelTest, ClearCancellationRestoresSubmission) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  pool.SetCancellation(token);
+  token.Cancel();
+  ASSERT_FALSE(pool.Submit([] {}).ok());
+
+  pool.ClearCancellation();
+  EXPECT_FALSE(pool.cancelled());
+  auto task = pool.Submit([] {});
+  ASSERT_TRUE(task.ok()) << task.status().ToString();
+  task.value().wait();
+}
+
+TEST(ThreadPoolCancelTest, FreeParallelForPropagatesPoolCancellation) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  pool.SetCancellation(token);
+  token.Cancel();
+  Status st = ParallelFor(&pool, 64, [](size_t) {});
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  // The serial path has no pool to cancel and always completes.
+  EXPECT_TRUE(ParallelFor(nullptr, 64, [](size_t) {}).ok());
+}
+
+TEST(ThreadPoolCancelTest, InjectedCancelViaContextCheckStopsThePool) {
+  ThreadPool pool(2);
+  FaultInjector faults;
+  faults.InterruptAtNthCheck(1, StatusCode::kCancelled);
+  RunContext ctx;
+  ctx.faults = &faults;
+  pool.SetCancellation(ctx.cancel);
+
+  EXPECT_FALSE(pool.cancelled());
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+  // The injected cancel tripped the shared token, so the pool now rejects
+  // new work exactly like after a user-initiated cancel.
+  EXPECT_TRUE(pool.cancelled());
+  EXPECT_FALSE(pool.Submit([] {}).ok());
+}
+
+}  // namespace
+}  // namespace normalize

@@ -14,7 +14,8 @@ TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
   std::atomic<int> counter{0};
   std::vector<std::future<void>> futures;
   for (int i = 0; i < 100; ++i) {
-    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+    futures.push_back(
+        std::move(pool.Submit([&counter] { counter.fetch_add(1); })).value());
   }
   for (auto& f : futures) f.get();
   EXPECT_EQ(counter.load(), 100);

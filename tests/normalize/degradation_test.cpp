@@ -1,0 +1,168 @@
+// Graceful degradation of the end-to-end pipeline: a deadline mid-discovery
+// must still yield a usable normalization (bounded rerun or sound partial
+// cover, with the interruption recorded in the stats), cancellation must
+// abort with kCancelled, and transient ingest faults must be retried to a
+// result identical to the fault-free run.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/run_context.hpp"
+#include "normalize/normalizer.hpp"
+#include "relation/csv.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+/// A denormalized relation with enough structure to decompose: id is a key,
+/// zip determines city/mayor/state, city determines state. 400 rows keep
+/// discovery non-trivial but fast.
+const RelationData& DenormalizedInput() {
+  static const RelationData* data = [] {
+    std::vector<std::vector<std::string>> rows;
+    for (int i = 0; i < 400; ++i) {
+      int zip = i % 40;
+      rows.push_back({std::to_string(i),                      // id
+                      "person" + std::to_string(i % 80),      // name
+                      "z" + std::to_string(zip),              // zip
+                      "city" + std::to_string(zip % 20),      // city
+                      "mayor" + std::to_string(zip % 20),     // mayor
+                      "state" + std::to_string(zip % 5),      // state
+                      std::to_string(i % 7)});                // bucket
+    }
+    return new RelationData(normalize::testing::MakeRelation(
+        rows, {"id", "name", "zip", "city", "mayor", "state", "bucket"},
+        "denorm"));
+  }();
+  return *data;
+}
+
+TEST(DeadlineDegradationTest, DeadlineMidDiscoveryDegradesToBoundedRerun) {
+  FaultInjector faults;
+  faults.InterruptAtNthCheck(2, StatusCode::kDeadlineExceeded);
+  RunContext ctx;
+  ctx.faults = &faults;
+
+  NormalizerOptions options;
+  options.discovery.threads = 1;
+  options.context = &ctx;
+  ASSERT_TRUE(options.degrade_on_deadline);
+  Normalizer normalizer(options);
+  auto result = normalizer.Normalize(DenormalizedInput());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The run degraded instead of failing: the stats carry the deadline, the
+  // skip log says what was curtailed, and the discovery was rerun bounded.
+  EXPECT_EQ(result->stats.completion.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(result->stats.skipped.empty());
+  EXPECT_TRUE(result->stats.degraded_discovery);
+  EXPECT_FALSE(result->schema.relations().empty());
+  EXPECT_GT(result->stats.num_fds, 0u);
+}
+
+TEST(DeadlineDegradationTest, DisabledFallbackContinuesOnPartialCover) {
+  FaultInjector faults;
+  faults.InterruptAtNthCheck(2, StatusCode::kDeadlineExceeded);
+  RunContext ctx;
+  ctx.faults = &faults;
+
+  NormalizerOptions options;
+  options.discovery.threads = 1;
+  options.context = &ctx;
+  options.degrade_on_deadline = false;
+  Normalizer normalizer(options);
+  auto result = normalizer.Normalize(DenormalizedInput());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.completion.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(result->stats.degraded_discovery);
+  EXPECT_FALSE(result->stats.skipped.empty());
+}
+
+TEST(DeadlineDegradationTest, CompletedRunReportsOkCompletion) {
+  RunContext ctx;
+  ctx.deadline = Deadline::AfterSeconds(3600.0);  // generous
+  NormalizerOptions options;
+  options.discovery.threads = 1;
+  options.context = &ctx;
+  Normalizer normalizer(options);
+  auto result = normalizer.Normalize(DenormalizedInput());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->stats.completion.ok());
+  EXPECT_TRUE(result->stats.skipped.empty());
+  EXPECT_FALSE(result->stats.degraded_discovery);
+  // The deadline never fired, so the run matches an unconstrained one.
+  auto unconstrained = Normalizer(NormalizerOptions{}).Normalize(
+      DenormalizedInput());
+  ASSERT_TRUE(unconstrained.ok());
+  EXPECT_EQ(result->schema.ToString(), unconstrained->schema.ToString());
+}
+
+TEST(DeadlineDegradationTest, CancellationAbortsTheRun) {
+  RunContext ctx;
+  ctx.cancel.Cancel();
+  NormalizerOptions options;
+  options.discovery.threads = 1;
+  options.context = &ctx;
+  Normalizer normalizer(options);
+  auto result = normalizer.Normalize(DenormalizedInput());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(NormalizeIngestFaultTest, TransientIngestFaultsAreRetriedToSameResult) {
+  std::string path = ::testing::TempDir() + "/degradation_ingest_test.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << CsvWriter().WriteString(DenormalizedInput());
+  }
+
+  NormalizerOptions base;
+  base.discovery.threads = 1;
+  base.shard.shard_rows = 64;
+  base.shard.memory_budget_bytes = 4096;
+  auto baseline = Normalizer(base).NormalizeCsvFile(path);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(baseline->stats.ingest_retries, 0u);
+
+  FaultInjector faults;
+  faults.FailNthRead(2, Status::Unavailable("injected transient EIO"));
+  faults.FailNthRead(5, Status::Unavailable("injected transient EIO"));
+  RunContext ctx;
+  ctx.faults = &faults;
+  NormalizerOptions faulty = base;
+  faulty.context = &ctx;
+  faulty.ingest_retry.initial_backoff_ms = 0.1;
+  faulty.ingest_retry.max_backoff_ms = 0.5;
+  auto retried = Normalizer(faulty).NormalizeCsvFile(path);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+
+  EXPECT_GE(retried->stats.ingest_retries, 1u);
+  EXPECT_TRUE(retried->stats.completion.ok())
+      << retried->stats.completion.ToString();
+  // The faulting run recovered to the identical schema and FD count.
+  EXPECT_EQ(retried->schema.ToString(), baseline->schema.ToString());
+  EXPECT_EQ(retried->stats.num_fds, baseline->stats.num_fds);
+  std::remove(path.c_str());
+}
+
+TEST(NormalizeIngestFaultTest, OversizedRecordSurfacesResourceExhausted) {
+  std::string path = ::testing::TempDir() + "/degradation_oversized_test.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\n1,\"" << std::string(4096, 'x') << "\"\n";
+  }
+  NormalizerOptions options;
+  options.shard.shard_rows = 4;
+  options.shard.memory_budget_bytes = 256;
+  auto result = Normalizer(options).NormalizeCsvFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace normalize

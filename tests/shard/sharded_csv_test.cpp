@@ -170,7 +170,24 @@ TEST(ShardedCsvTest, RecordLargerThanBudgetIsError) {
   shard_options.memory_budget_bytes = 256;
   auto result = ShardedCsvReader({}, shard_options).ReadString(content, "t");
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // A record that can never fit in the budget is resource exhaustion, not a
+  // syntax problem — and the message names the offending row.
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("data row 1"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ShardedCsvTest, OversizedRecordErrorReportsLaterRowIndex) {
+  std::string big_cell(4096, 'x');
+  std::string content = "a\n1\n2\n\"" + big_cell + "\"\n";
+  ShardOptions shard_options;
+  shard_options.memory_budget_bytes = 256;
+  shard_options.shard_rows = 1;
+  auto result = ShardedCsvReader({}, shard_options).ReadString(content, "t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("data row 3"), std::string::npos)
+      << result.status().ToString();
 }
 
 TEST(ShardedCsvTest, UnterminatedQuoteIsError) {
