@@ -33,8 +33,12 @@ double TimeClosure(const ClosureAlgorithm& algo, const FdSet& input,
   for (int r = 0; r < repeats; ++r) {
     FdSet copy = input;
     Stopwatch watch;
-    algo.Extend(&copy, attrs);
+    Status st = algo.Extend(&copy, attrs);
     best = std::min(best, watch.ElapsedSeconds());
+    if (!st.ok()) {
+      std::cerr << "closure failed: " << st.ToString() << "\n";
+      std::exit(1);
+    }
   }
   return best;
 }

@@ -52,21 +52,29 @@ void RunCase(const DatasetCase& c, bool with_naive, int threads,
   // Closure: improved and optimized on identical copies.
   FdSet improved_fds = minimal;
   watch.Restart();
-  ImprovedClosure(ClosureOptions{threads}).Extend(&improved_fds, attrs);
+  Status improved_st =
+      ImprovedClosure(ClosureOptions{threads}).Extend(&improved_fds, attrs);
   double improved_s = watch.ElapsedSeconds();
 
   FdSet extended = minimal;
   watch.Restart();
-  OptimizedClosure(ClosureOptions{threads}).Extend(&extended, attrs);
+  Status optimized_st =
+      OptimizedClosure(ClosureOptions{threads}).Extend(&extended, attrs);
   double optimized_s = watch.ElapsedSeconds();
+  if (!improved_st.ok() || !optimized_st.ok()) {
+    std::cerr << c.name << ": closure failed: "
+              << (improved_st.ok() ? optimized_st : improved_st).ToString()
+              << "\n";
+    return;
+  }
   double avg_rhs_after = extended.AverageRhsSize();
 
   double naive_s = -1.0;
   if (with_naive && c.small_enough_for_naive) {
     FdSet naive_fds = minimal;
     watch.Restart();
-    NaiveClosure().Extend(&naive_fds, attrs);
-    naive_s = watch.ElapsedSeconds();
+    Status naive_st = NaiveClosure().Extend(&naive_fds, attrs);
+    naive_s = naive_st.ok() ? watch.ElapsedSeconds() : -1.0;
   }
 
   // Key derivation (Table 3's "FD-Keys" and "Key Der." columns).

@@ -6,8 +6,13 @@
 //   closure    --input=<csv> --fds=<file> [--algorithm=optimized]
 //              [--threads=<n>] [--fd-output=<file>]  # component (2)
 //   normalize  --input=<csv> [--max-lhs=<n>] [--threads=<n>] [--3nf] [--4nf]
-//              [--shard-rows=<n>] [--memory-budget=<bytes>]
+//              [--shard-rows=<n>] [--memory-budget=<bytes>] [--audit]
 //              [--sql] [--output-dir=<dir>]          # the full pipeline
+//
+// --dataset=<address|tpch|musicbrainz>: run on a generated dataset instead
+// of --input (--scale=<f> shrinks/grows the entity counts). --audit runs the
+// correctness auditor (audit/decomposition_auditor.hpp) on the result and
+// exits 6 when a fatal finding falsifies a guarantee.
 //
 // --threads: worker threads for the parallel phases (PLI building, HyFD
 // validation, Tane levels, closure FD loop). 0 = hardware concurrency
@@ -40,6 +45,8 @@
 #include "closure/closure.hpp"
 #include "common/run_context.hpp"
 #include "datagen/datasets.hpp"
+#include "datagen/musicbrainz_like.hpp"
+#include "datagen/tpch_like.hpp"
 #include "discovery/fd_discovery.hpp"
 #include "fd/fd_io.hpp"
 #include "normalize/fourth_nf.hpp"
@@ -84,13 +91,15 @@ int Fail(const Status& status) {
 struct Flags {
   std::string command;
   std::string input, fds, fd_output, output_dir, algorithm, schema_output,
-      report;
+      report, dataset;
   int max_lhs = -1;
   int threads = 0;  // 0 = hardware concurrency
   long shard_rows = 0;      // 0 = unsharded
   long memory_budget = 0;   // ingest buffer cap in bytes; 0 = default
   long deadline_ms = 0;     // 0 = no deadline
+  double scale = 1.0;       // entity-count multiplier for --dataset
   bool second_nf = false, third_nf = false, fourth_nf = false, sql = false;
+  bool audit = false;
 
   static Flags Parse(int argc, char** argv) {
     Flags f;
@@ -115,6 +124,9 @@ struct Flags {
       if (const char* v = value("memory-budget"))
         f.memory_budget = std::atol(v);
       if (const char* v = value("deadline-ms")) f.deadline_ms = std::atol(v);
+      if (const char* v = value("dataset")) f.dataset = v;
+      if (const char* v = value("scale")) f.scale = std::atof(v);
+      if (arg == "--audit") f.audit = true;
       if (arg == "--2nf") f.second_nf = true;
       if (arg == "--3nf") f.third_nf = true;
       if (arg == "--4nf") f.fourth_nf = true;
@@ -133,6 +145,21 @@ struct Flags {
 };
 
 Result<RelationData> LoadInput(const Flags& flags) {
+  if (!flags.dataset.empty()) {
+    if (!flags.input.empty()) {
+      return Status::InvalidArgument("--input and --dataset are exclusive");
+    }
+    if (flags.dataset == "address") return AddressExample();
+    if (flags.dataset == "tpch") {
+      return GenerateTpchLike(TpchScale{}.Scaled(flags.scale)).universal;
+    }
+    if (flags.dataset == "musicbrainz") {
+      return GenerateMusicBrainzLike(MusicBrainzScale{}.Scaled(flags.scale))
+          .universal;
+    }
+    return Status::InvalidArgument(
+        "unknown --dataset (address|tpch|musicbrainz): " + flags.dataset);
+  }
   if (flags.input.empty()) return AddressExample();
   return CsvReader().ReadFile(flags.input);
 }
@@ -219,6 +246,7 @@ int NormalizeCommand(const Flags& flags) {
   if (!flags.algorithm.empty()) options.discovery_algorithm = flags.algorithm;
   if (flags.second_nf) options.normal_form = NormalForm::kSecondNf;
   if (flags.third_nf) options.normal_form = NormalForm::kThirdNf;
+  options.audit = flags.audit;
   options.context = &ctx;
   Normalizer normalizer(options);
 
@@ -280,6 +308,10 @@ int NormalizeCommand(const Flags& flags) {
       std::cerr << "wrote " << path << "\n";
     }
   }
+  if (result->audit.has_value()) {
+    std::cout << result->audit->ToString();
+    if (!result->audit->passed()) return 6;
+  }
   return 0;
 }
 
@@ -298,18 +330,22 @@ int main(int argc, char** argv) {
          "             [--algorithm=optimized|improved|naive] [--threads=<n>]\n"
          "  normalize  --input=<csv> [--max-lhs=<n>] [--threads=<n>]\n"
          "             [--shard-rows=<n>] [--memory-budget=<bytes>]\n"
-         "             [--2nf|--3nf] [--4nf]\n"
+         "             [--2nf|--3nf] [--4nf] [--audit]\n"
          "             [--sql] [--output-dir=<dir>] [--schema-output=<file>]\n"
          "             [--report=<file.md>]\n"
          "Common flags:\n"
+         "  --dataset=<address|tpch|musicbrainz>: use a generated dataset\n"
+         "    instead of --input; --scale=<f> shrinks/grows entity counts.\n"
          "  --deadline-ms=<n>: wall-clock budget; on expiry the run degrades\n"
          "    (partial FD cover, curtailed decomposition) with a warning.\n"
          "  --threads: 0 = hardware concurrency (default), 1 = serial.\n"
          "  --shard-rows: partitioned discovery; with --input the CSV is\n"
          "    streamed in shards under the --memory-budget byte cap.\n"
+         "  --audit: run the correctness auditor (lossless join, normal-form\n"
+         "    compliance, FD-cover soundness) and print its report.\n"
          "Exit codes: 0 ok (warnings on stderr if degraded), 1 internal,\n"
          "  2 bad configuration, 3 I/O, 4 out of time / cancelled,\n"
-         "  5 resource exhausted.\n"
+         "  5 resource exhausted, 6 audit failed.\n"
          "Without --input the paper's address example is used.\n";
   return flags.command.empty() ? 1 : 2;
 }

@@ -34,7 +34,10 @@ int main() {
             << fds.ToString(names) << "\n";
 
   OptimizedClosure closure;
-  closure.Extend(&fds, address.AttributesAsSet());
+  if (Status st = closure.Extend(&fds, address.AttributesAsSet()); !st.ok()) {
+    std::cerr << "closure failed: " << st.ToString() << "\n";
+    return 1;
+  }
   std::cout << "=== (2) Extended FDs (closure) ===\n"
             << fds.ToString(names) << "\n";
 

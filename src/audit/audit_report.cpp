@@ -1,0 +1,83 @@
+#include "audit/audit_report.hpp"
+
+#include <sstream>
+
+namespace normalize {
+
+const char* AuditCheckName(AuditIssue::Check check) {
+  switch (check) {
+    case AuditIssue::Check::kConsistency:
+      return "consistency";
+    case AuditIssue::Check::kLosslessJoin:
+      return "lossless-join";
+    case AuditIssue::Check::kJoinInstance:
+      return "join-instance";
+    case AuditIssue::Check::kBcnf:
+      return "normal-form";
+    case AuditIssue::Check::kCoverValidity:
+      return "cover-validity";
+    case AuditIssue::Check::kCoverMinimality:
+      return "cover-minimality";
+    case AuditIssue::Check::kCoverCompleteness:
+      return "cover-completeness";
+  }
+  return "unknown";
+}
+
+const char* AuditSeverityName(AuditIssue::Severity severity) {
+  switch (severity) {
+    case AuditIssue::Severity::kFatal:
+      return "FATAL";
+    case AuditIssue::Severity::kAdvisory:
+      return "advisory";
+    case AuditIssue::Severity::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+std::string AuditIssue::ToString() const {
+  std::ostringstream out;
+  out << "[" << AuditSeverityName(severity) << "] " << AuditCheckName(check);
+  if (!relation.empty()) out << " (" << relation << ")";
+  out << ": " << detail;
+  return out.str();
+}
+
+bool AuditReport::passed() const { return fatal_count() == 0; }
+
+size_t AuditReport::fatal_count() const {
+  size_t n = 0;
+  for (const AuditIssue& issue : issues) {
+    if (issue.severity == AuditIssue::Severity::kFatal) ++n;
+  }
+  return n;
+}
+
+size_t AuditReport::advisory_count() const {
+  size_t n = 0;
+  for (const AuditIssue& issue : issues) {
+    if (issue.severity == AuditIssue::Severity::kAdvisory) ++n;
+  }
+  return n;
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream out;
+  out << "audit: " << (passed() ? "PASS" : "FAIL") << " (" << fatal_count()
+      << " fatal, " << advisory_count() << " advisory, "
+      << issues.size() - fatal_count() - advisory_count() << " notes)\n";
+  out << "  relations checked: " << relations_checked
+      << ", FDs validated: " << fds_validated
+      << ", minimality-checked: " << fds_minimality_checked << "\n";
+  out << "  chase: " << (chase_ran ? "ran" : "skipped")
+      << ", instance join: " << (instance_join_ran ? "ran" : "skipped")
+      << ", completeness oracle: " << (completeness_ran ? "ran" : "skipped")
+      << "\n";
+  for (const AuditIssue& issue : issues) {
+    out << "  " << issue.ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace normalize

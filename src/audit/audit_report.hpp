@@ -1,0 +1,89 @@
+// Audit findings of the decomposition auditor (audit/decomposition_auditor
+// .hpp): structured issues with a severity, the check that raised them, and a
+// human-readable diagnostic. Kept free of normalizer includes so both the
+// normalizer (which embeds a report in its result) and the auditor can depend
+// on it without a cycle.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace normalize {
+
+/// Cost knobs of the auditor. The symbolic checks (chase, BCNF, schema
+/// consistency) are always cheap; the instance-level oracles re-scan the data
+/// and are bounded by these limits — exceeded limits downgrade a check to a
+/// skip note, never to silence.
+struct AuditOptions {
+  /// Skip the instance-level rejoin (JoinAll vs. distinct input) when the
+  /// input has more rows than this. The symbolic chase still runs.
+  size_t max_join_rows = 100000;
+  /// Upper bound on unary FDs re-validated against the instance (validity
+  /// and minimality checks). Excess FDs are skipped with a note.
+  size_t max_validated_fds = 5000;
+  /// The naive-oracle completeness check only runs when the input is at most
+  /// this many rows and columns (the oracle is exponential in columns).
+  size_t max_oracle_rows = 500;
+  int max_oracle_columns = 12;
+  /// Master switches for the instance-level tiers.
+  bool check_instance_join = true;
+  bool check_completeness = true;
+};
+
+/// One audit finding.
+struct AuditIssue {
+  /// Which verification tier raised the issue.
+  enum class Check {
+    kConsistency,        // schema/instance bookkeeping invariants
+    kLosslessJoin,       // symbolic chase (tableau) test
+    kJoinInstance,       // JoinAll(fragments) vs. distinct input
+    kBcnf,               // normal-form compliance of an output relation
+    kCoverValidity,      // a discovered FD does not hold on the instance
+    kCoverMinimality,    // a discovered FD has a reducible LHS
+    kCoverCompleteness,  // the cover misses FDs the naive oracle finds
+  };
+  /// kFatal findings falsify a correctness guarantee of a completed run.
+  /// kAdvisory findings are expected consequences of a degraded (deadline-
+  /// curtailed) or advisor-declined run. kNote records skipped or informative
+  /// outcomes (e.g. an oracle gated off by size limits).
+  enum class Severity { kFatal, kAdvisory, kNote };
+
+  Check check;
+  Severity severity = Severity::kFatal;
+  /// Name of the output relation concerned, empty for global checks.
+  std::string relation;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// The auditor's verdict: every finding plus counters describing how much of
+/// each tier actually ran (so "no findings" is distinguishable from "nothing
+/// was checked").
+struct AuditReport {
+  std::vector<AuditIssue> issues;
+
+  size_t relations_checked = 0;
+  size_t fds_validated = 0;
+  size_t fds_minimality_checked = 0;
+  bool chase_ran = false;
+  bool instance_join_ran = false;
+  bool completeness_ran = false;
+
+  /// True iff no kFatal issue was found.
+  bool passed() const;
+  size_t fatal_count() const;
+  size_t advisory_count() const;
+
+  void Add(AuditIssue issue) { issues.push_back(std::move(issue)); }
+
+  /// Multi-line summary: verdict, per-tier coverage, then each issue.
+  std::string ToString() const;
+};
+
+/// Short names for the enums ("lossless-join", "fatal", ...).
+const char* AuditCheckName(AuditIssue::Check check);
+const char* AuditSeverityName(AuditIssue::Severity severity);
+
+}  // namespace normalize

@@ -1,0 +1,408 @@
+#include "audit/decomposition_auditor.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "discovery/fd_discovery.hpp"
+#include "fd/armstrong.hpp"
+#include "normalize/key_derivation.hpp"
+#include "normalize/violation_detection.hpp"
+#include "relation/operations.hpp"
+
+namespace normalize {
+
+namespace {
+
+AuditIssue MakeIssue(AuditIssue::Check check, AuditIssue::Severity severity,
+                     std::string relation, std::string detail) {
+  AuditIssue issue;
+  issue.check = check;
+  issue.severity = severity;
+  issue.relation = std::move(relation);
+  issue.detail = std::move(detail);
+  return issue;
+}
+
+}  // namespace
+
+bool DecompositionAuditor::ChaseLosslessJoin(
+    const std::vector<AttributeSet>& fragments, const FdSet& fds,
+    const AttributeSet& universe) {
+  if (fragments.empty()) return universe.Empty();
+  const int capacity = universe.capacity();
+  const std::vector<AttributeId> attrs = universe.ToVector();
+  // tableau[i][a]: symbol of fragment row i in column a; 0 = distinguished.
+  // Every non-member cell starts with a fresh symbol, so symbols are unique
+  // per cell and equating them within a column is the classic FD chase.
+  std::vector<std::vector<int>> tableau(
+      fragments.size(), std::vector<int>(static_cast<size_t>(capacity), 0));
+  int next_symbol = 1;
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    for (AttributeId a : attrs) {
+      tableau[i][static_cast<size_t>(a)] =
+          fragments[i].Test(a) ? 0 : next_symbol++;
+    }
+  }
+
+  auto has_distinguished_row = [&]() {
+    for (const auto& row : tableau) {
+      bool all = true;
+      for (AttributeId a : attrs) {
+        if (row[static_cast<size_t>(a)] != 0) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+    }
+    return false;
+  };
+
+  if (has_distinguished_row()) return true;
+
+  // Each equating step strictly reduces the number of distinct symbols in
+  // one column, so the fixpoint loop terminates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : fds) {
+      if (!fd.lhs.IsSubsetOf(universe)) continue;
+      const std::vector<AttributeId> lhs = fd.lhs.ToVector();
+      const std::vector<AttributeId> rhs =
+          fd.rhs.Intersect(universe).ToVector();
+      if (rhs.empty()) continue;
+      for (size_t i = 0; i < tableau.size(); ++i) {
+        for (size_t j = i + 1; j < tableau.size(); ++j) {
+          bool agree = true;
+          for (AttributeId l : lhs) {
+            if (tableau[i][static_cast<size_t>(l)] !=
+                tableau[j][static_cast<size_t>(l)]) {
+              agree = false;
+              break;
+            }
+          }
+          if (!agree) continue;
+          for (AttributeId r : rhs) {
+            const size_t col = static_cast<size_t>(r);
+            int a = tableau[i][col];
+            int b = tableau[j][col];
+            if (a == b) continue;
+            const int keep = std::min(a, b);
+            const int drop = std::max(a, b);
+            for (auto& row : tableau) {
+              if (row[col] == drop) row[col] = keep;
+            }
+            changed = true;
+          }
+        }
+      }
+    }
+    if (has_distinguished_row()) return true;
+  }
+  return false;
+}
+
+std::vector<AuditIssue> DecompositionAuditor::CheckRelationNormalForm(
+    const RelationSchema& rel, const FdSet& projected,
+    const AttributeSet& nullable, NormalForm normal_form,
+    AuditIssue::Severity residual_severity) const {
+  std::vector<AuditIssue> issues;
+  const std::vector<AttributeSet> keys = DeriveKeys(projected, rel.attributes());
+  // The pipeline's own detector, with the same exemptions Algorithm 4
+  // applies: anything it still reports is a violation the normalizer should
+  // have decomposed away.
+  const std::vector<Fd> residual =
+      DetectViolatingFds(projected, keys, rel, nullable, normal_form);
+  for (const Fd& fd : residual) {
+    issues.push_back(MakeIssue(
+        AuditIssue::Check::kBcnf, residual_severity, rel.name(),
+        "violating FD remains after normalization: " + fd.ToString()));
+  }
+
+  // Strict textbook BCNF probe: X -> Y with X not a superkey. Violations the
+  // detector exempted (NULL LHS, primary-/foreign-key preservation) are
+  // legitimate residue — surfaced as notes so the report explains why the
+  // relation is not textbook BCNF.
+  if (normal_form == NormalForm::kBcnf) {
+    size_t exempted = 0;
+    std::string example;
+    for (const Fd& fd : projected) {
+      if (fd.rhs.Empty()) continue;
+      const AttributeSet closure = AttributeClosure(fd.lhs, projected);
+      if (rel.attributes().IsSubsetOf(closure)) continue;  // superkey LHS
+      const bool reported =
+          std::any_of(residual.begin(), residual.end(),
+                      [&fd](const Fd& v) { return v.lhs == fd.lhs; });
+      if (reported) continue;
+      ++exempted;
+      if (example.empty()) example = fd.ToString();
+    }
+    if (exempted > 0) {
+      issues.push_back(MakeIssue(
+          AuditIssue::Check::kBcnf, AuditIssue::Severity::kNote, rel.name(),
+          "not textbook BCNF: " + std::to_string(exempted) +
+              " FD(s) exempted by NULL-LHS/constraint-preservation rules, "
+              "e.g. " +
+              example));
+    }
+  }
+  return issues;
+}
+
+std::vector<AuditIssue> DecompositionAuditor::CheckCoverValidity(
+    const RelationData& data, const FdSet& cover, size_t* validated) const {
+  std::vector<AuditIssue> issues;
+  const AttributeSet universe = data.AttributesAsSet();
+  for (const Fd& fd : cover) {
+    if (!fd.lhs.IsSubsetOf(universe) || !fd.rhs.IsSubsetOf(universe)) {
+      issues.push_back(MakeIssue(
+          AuditIssue::Check::kCoverValidity, AuditIssue::Severity::kFatal, "",
+          "FD mentions attributes outside the input relation: " +
+              fd.ToString()));
+      continue;
+    }
+    for (AttributeId a : fd.rhs) {
+      if (*validated >= options_.max_validated_fds) {
+        issues.push_back(MakeIssue(
+            AuditIssue::Check::kCoverValidity, AuditIssue::Severity::kNote, "",
+            "validity check truncated at " +
+                std::to_string(options_.max_validated_fds) + " unary FDs"));
+        return issues;
+      }
+      ++*validated;
+      if (!FdHolds(data, fd.lhs, a)) {
+        issues.push_back(MakeIssue(
+            AuditIssue::Check::kCoverValidity, AuditIssue::Severity::kFatal,
+            "",
+            "discovered FD does not hold on the instance: " +
+                Fd(fd.lhs, AttributeSet(fd.rhs.capacity(), {a})).ToString()));
+      }
+    }
+  }
+  return issues;
+}
+
+std::vector<AuditIssue> DecompositionAuditor::CheckCoverMinimality(
+    const RelationData& data, const FdSet& cover, size_t* checked) const {
+  std::vector<AuditIssue> issues;
+  const AttributeSet universe = data.AttributesAsSet();
+  for (const Fd& fd : cover) {
+    if (!fd.lhs.IsSubsetOf(universe)) continue;  // reported by validity
+    if (fd.lhs.Empty()) continue;  // ∅ -> A has no proper LHS subset
+    for (AttributeId a : fd.rhs) {
+      if (!universe.Test(a)) continue;
+      if (*checked >= options_.max_validated_fds) {
+        issues.push_back(MakeIssue(
+            AuditIssue::Check::kCoverMinimality, AuditIssue::Severity::kNote,
+            "",
+            "minimality check truncated at " +
+                std::to_string(options_.max_validated_fds) + " unary FDs"));
+        return issues;
+      }
+      ++*checked;
+      // Single-attribute removals suffice: any proper subset of X lies
+      // inside some X \ {B}, and FD validity is monotone in the LHS.
+      for (AttributeId b : fd.lhs) {
+        AttributeSet reduced = fd.lhs;
+        reduced.Reset(b);
+        if (FdHolds(data, reduced, a)) {
+          issues.push_back(MakeIssue(
+              AuditIssue::Check::kCoverMinimality,
+              AuditIssue::Severity::kFatal, "",
+              "FD is not LHS-minimal: " +
+                  Fd(fd.lhs, AttributeSet(fd.rhs.capacity(), {a}))
+                      .ToString() +
+                  " still holds without attribute " + std::to_string(b)));
+          break;
+        }
+      }
+    }
+  }
+  return issues;
+}
+
+std::vector<AuditIssue> DecompositionAuditor::CheckCoverCompleteness(
+    const RelationData& data, const FdSet& cover, int max_lhs,
+    AuditIssue::Severity severity) const {
+  std::vector<AuditIssue> issues;
+  FdDiscoveryOptions oracle_options;
+  oracle_options.max_lhs_size = max_lhs;
+  oracle_options.threads = 1;
+  auto oracle = MakeFdDiscovery("naive", oracle_options);
+  auto expected_result = oracle->Discover(data);
+  if (!expected_result.ok()) {
+    issues.push_back(MakeIssue(
+        AuditIssue::Check::kCoverCompleteness, AuditIssue::Severity::kNote, "",
+        "naive oracle failed: " + expected_result.status().ToString()));
+    return issues;
+  }
+  const std::vector<Fd> expected = expected_result->ToUnary();
+  const std::vector<Fd> actual = cover.ToUnary();
+  for (const Fd& fd : expected) {
+    if (std::find(actual.begin(), actual.end(), fd) == actual.end()) {
+      issues.push_back(MakeIssue(
+          AuditIssue::Check::kCoverCompleteness, severity, "",
+          "cover misses a minimal FD the oracle finds: " + fd.ToString()));
+    }
+  }
+  for (const Fd& fd : actual) {
+    if (std::find(expected.begin(), expected.end(), fd) == expected.end()) {
+      // Even an interrupted run's partial cover must be a subset of the
+      // full minimal cover, so spurious FDs are always fatal.
+      issues.push_back(MakeIssue(
+          AuditIssue::Check::kCoverCompleteness, AuditIssue::Severity::kFatal,
+          "", "cover contains an FD the oracle rejects: " + fd.ToString()));
+    }
+  }
+  return issues;
+}
+
+AuditReport DecompositionAuditor::Audit(const RelationData& input,
+                                        const NormalizationResult& result,
+                                        NormalForm normal_form,
+                                        int discovery_max_lhs) const {
+  AuditReport report;
+  const Schema& schema = result.schema;
+  const AttributeSet universe = input.AttributesAsSet();
+
+  // --- bookkeeping invariants ---
+  if (result.relations.size() != schema.relations().size()) {
+    report.Add(MakeIssue(
+        AuditIssue::Check::kConsistency, AuditIssue::Severity::kFatal, "",
+        "schema has " + std::to_string(schema.relations().size()) +
+            " relations but " + std::to_string(result.relations.size()) +
+            " instances"));
+    return report;  // parallel-vector invariant broken; nothing else is safe
+  }
+  AttributeSet covered(universe.capacity());
+  for (size_t i = 0; i < result.relations.size(); ++i) {
+    const RelationSchema& rel = schema.relation(static_cast<int>(i));
+    const AttributeSet data_attrs =
+        result.relations[i].AttributesAsSet(universe.capacity());
+    if (data_attrs != rel.attributes()) {
+      report.Add(MakeIssue(
+          AuditIssue::Check::kConsistency, AuditIssue::Severity::kFatal,
+          rel.name(), "schema attributes " + rel.attributes().ToString() +
+                          " differ from instance attributes " +
+                          data_attrs.ToString()));
+    }
+    covered.UnionWith(rel.attributes());
+  }
+  if (covered != universe) {
+    report.Add(MakeIssue(
+        AuditIssue::Check::kConsistency, AuditIssue::Severity::kFatal, "",
+        "output relations cover " + covered.ToString() +
+            " but the input has " + universe.ToString()));
+  }
+
+  // Degradations that legitimately explain residual violations or missing
+  // FDs: a deadline-curtailed run, or an advisor that declined splits.
+  const bool degraded =
+      !result.stats.completion.ok() || result.stats.degraded_discovery;
+  const bool declined = std::any_of(
+      result.decisions.begin(), result.decisions.end(),
+      [](const DecisionRecord& d) {
+        return d.kind == DecisionRecord::Kind::kSplitDeclined;
+      });
+  const AuditIssue::Severity normal_form_severity =
+      (degraded || declined) ? AuditIssue::Severity::kAdvisory
+                             : AuditIssue::Severity::kFatal;
+  const AuditIssue::Severity completeness_severity =
+      degraded ? AuditIssue::Severity::kAdvisory
+               : AuditIssue::Severity::kFatal;
+
+  // The pre-closure minimal cover drives the cover checks (the extended FDs
+  // are intentionally not LHS-minimal per RHS attribute).
+  const FdSet& cover =
+      result.discovered_fds.empty() ? result.extended_fds
+                                    : result.discovered_fds;
+  if (result.discovered_fds.empty() && !result.extended_fds.empty()) {
+    report.Add(MakeIssue(
+        AuditIssue::Check::kConsistency, AuditIssue::Severity::kNote, "",
+        "discovered_fds not populated; auditing the extended FDs instead "
+        "(minimality findings may be spurious)"));
+  }
+
+  // --- lossless join: symbolic chase ---
+  std::vector<AttributeSet> fragments;
+  fragments.reserve(schema.relations().size());
+  for (const RelationSchema& rel : schema.relations()) {
+    fragments.push_back(rel.attributes());
+  }
+  report.chase_ran = true;
+  if (!ChaseLosslessJoin(fragments, cover, universe)) {
+    report.Add(MakeIssue(
+        AuditIssue::Check::kLosslessJoin, AuditIssue::Severity::kFatal, "",
+        "chase tableau does not reach a distinguished row: the schema is "
+        "not provably lossless under the discovered FDs"));
+  }
+
+  // --- lossless join: instance-level rejoin ---
+  if (options_.check_instance_join &&
+      input.num_rows() <= options_.max_join_rows) {
+    const RelationData rejoined = JoinAll(result.relations);
+    const RelationData dedup = Project(input, universe, /*distinct=*/true);
+    report.instance_join_ran = true;
+    if (!InstancesEqual(rejoined, dedup)) {
+      report.Add(MakeIssue(
+          AuditIssue::Check::kJoinInstance, AuditIssue::Severity::kFatal, "",
+          "rejoined instance (" + std::to_string(rejoined.num_rows()) +
+              " rows) differs from the distinct input (" +
+              std::to_string(dedup.num_rows()) + " rows)"));
+    }
+  } else if (options_.check_instance_join) {
+    report.Add(MakeIssue(
+        AuditIssue::Check::kJoinInstance, AuditIssue::Severity::kNote, "",
+        "instance rejoin skipped: " + std::to_string(input.num_rows()) +
+            " rows exceed max_join_rows=" +
+            std::to_string(options_.max_join_rows)));
+  }
+
+  // --- normal-form compliance per output relation ---
+  AttributeSet nullable(input.universe_size());
+  for (int c = 0; c < input.num_columns(); ++c) {
+    if (input.column(c).has_null()) {
+      nullable.Set(input.attribute_ids()[static_cast<size_t>(c)]);
+    }
+  }
+  for (const RelationSchema& rel : schema.relations()) {
+    const FdSet projected = ProjectFds(result.extended_fds, rel.attributes());
+    for (AuditIssue& issue : CheckRelationNormalForm(
+             rel, projected, nullable, normal_form, normal_form_severity)) {
+      report.Add(std::move(issue));
+    }
+    ++report.relations_checked;
+  }
+
+  // --- cover soundness against the input instance ---
+  for (AuditIssue& issue :
+       CheckCoverValidity(input, cover, &report.fds_validated)) {
+    report.Add(std::move(issue));
+  }
+  for (AuditIssue& issue :
+       CheckCoverMinimality(input, cover, &report.fds_minimality_checked)) {
+    report.Add(std::move(issue));
+  }
+  if (options_.check_completeness) {
+    if (input.num_rows() <= options_.max_oracle_rows &&
+        input.num_columns() <= options_.max_oracle_columns) {
+      report.completeness_ran = true;
+      for (AuditIssue& issue : CheckCoverCompleteness(
+               input, cover, discovery_max_lhs, completeness_severity)) {
+        report.Add(std::move(issue));
+      }
+    } else {
+      report.Add(MakeIssue(
+          AuditIssue::Check::kCoverCompleteness, AuditIssue::Severity::kNote,
+          "",
+          "completeness oracle skipped: input exceeds " +
+              std::to_string(options_.max_oracle_rows) + " rows / " +
+              std::to_string(options_.max_oracle_columns) + " columns"));
+    }
+  }
+
+  return report;
+}
+
+}  // namespace normalize

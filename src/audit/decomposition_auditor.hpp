@@ -1,0 +1,96 @@
+// Correctness auditor for normalization runs. Independently re-derives the
+// guarantees the pipeline claims (paper §3) and reports every discrepancy:
+//
+//   * lossless join — the symbolic chase (tableau) test proves the output
+//     schema rejoins to the input relation under the discovered FDs, and an
+//     instance-level JoinAll comparison confirms it on the data itself;
+//   * normal-form compliance — every output relation is re-checked against
+//     its projected extended FDs with the same exemptions Algorithm 4
+//     applies (NULL LHSs, constraint preservation), plus a strict textbook
+//     BCNF probe that reports exempted residual violations as notes;
+//   * cover soundness — every discovered FD is re-validated against the
+//     input instance, LHS minimality is verified by single-attribute
+//     removals (sufficient: any proper subset of X lies inside some
+//     X \ {B}, and FD validity is monotone in the LHS), and on small
+//     inputs the cover is compared against the naive brute-force oracle
+//     for completeness.
+//
+// The auditor is read-only and side-effect-free; it never fails the
+// normalization run itself. Degraded runs (deadline-curtailed discovery or
+// advisor-declined splits) downgrade the checks whose failure those
+// degradations legitimately explain — completeness and normal-form findings
+// become advisory — while soundness findings (validity, minimality,
+// losslessness) stay fatal: no degradation excuses an unsound result.
+#pragma once
+
+#include <vector>
+
+#include "audit/audit_report.hpp"
+#include "common/attribute_set.hpp"
+#include "fd/fd.hpp"
+#include "normalize/normalizer.hpp"
+#include "relation/relation_data.hpp"
+#include "relation/schema.hpp"
+
+namespace normalize {
+
+class DecompositionAuditor {
+ public:
+  explicit DecompositionAuditor(AuditOptions options = {})
+      : options_(options) {}
+
+  const AuditOptions& options() const { return options_; }
+
+  /// Full audit of a normalization run: `input` is the relation that was
+  /// normalized, `result` the pipeline's output (discovered_fds must be
+  /// populated). `normal_form` and `discovery_max_lhs` must mirror the
+  /// NormalizerOptions of the run so the auditor re-checks the guarantees
+  /// that were actually promised.
+  AuditReport Audit(const RelationData& input,
+                    const NormalizationResult& result,
+                    NormalForm normal_form = NormalForm::kBcnf,
+                    int discovery_max_lhs = -1) const;
+
+  /// The chase (tableau) test: true iff decomposing a relation over
+  /// `universe` into `fragments` is lossless under `fds`. Rows of the
+  /// tableau are fragments, columns the universe attributes; FDs equate
+  /// symbols until some row becomes all-distinguished or a fixpoint is
+  /// reached.
+  static bool ChaseLosslessJoin(const std::vector<AttributeSet>& fragments,
+                                const FdSet& fds,
+                                const AttributeSet& universe);
+
+  /// Normal-form compliance of one output relation. `projected` must be the
+  /// extended FDs projected onto the relation (Lemma 3), `nullable` the
+  /// NULL-carrying attributes of the input. Residual violations that
+  /// Algorithm 4 would have acted on are reported at `residual_severity`;
+  /// exempted ones (NULL LHS / constraint preservation) as notes.
+  std::vector<AuditIssue> CheckRelationNormalForm(
+      const RelationSchema& rel, const FdSet& projected,
+      const AttributeSet& nullable, NormalForm normal_form,
+      AuditIssue::Severity residual_severity) const;
+
+  /// Re-validates every unary FD of `cover` against `data` (bounded by
+  /// options().max_validated_fds). `validated` reports how many ran.
+  std::vector<AuditIssue> CheckCoverValidity(const RelationData& data,
+                                             const FdSet& cover,
+                                             size_t* validated) const;
+
+  /// Verifies LHS minimality of every unary FD of `cover` on `data` by
+  /// single-attribute removals (bounded by options().max_validated_fds).
+  std::vector<AuditIssue> CheckCoverMinimality(const RelationData& data,
+                                               const FdSet& cover,
+                                               size_t* checked) const;
+
+  /// Compares `cover` against the naive discovery oracle on `data`
+  /// (honouring `max_lhs`). Only call when the input fits the oracle
+  /// limits; missing and spurious FDs are reported at `severity`.
+  std::vector<AuditIssue> CheckCoverCompleteness(
+      const RelationData& data, const FdSet& cover, int max_lhs,
+      AuditIssue::Severity severity) const;
+
+ private:
+  AuditOptions options_;
+};
+
+}  // namespace normalize

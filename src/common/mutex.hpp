@@ -1,0 +1,55 @@
+// An annotated mutex + RAII lock, the capability types the thread-safety
+// analysis (common/thread_annotations.hpp) reasons about. Thin wrappers over
+// std::mutex / std::unique_lock: libstdc++'s std::mutex carries no capability
+// attributes, so locking it directly is invisible to Clang's -Wthread-safety;
+// routing every lock through these types makes the discipline checkable.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace normalize {
+
+/// A standard mutex, annotated as a capability.
+class NORMALIZE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() NORMALIZE_ACQUIRE() { mu_.lock(); }
+  void Unlock() NORMALIZE_RELEASE() { mu_.unlock(); }
+  bool TryLock() NORMALIZE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex, annotated as a scoped capability. Also the
+/// condition-variable wait handle: Wait() atomically releases and reacquires
+/// the mutex around the blocking wait, so from the analysis's point of view
+/// the capability is held throughout — which matches the caller's view, as
+/// the lock is held whenever the caller's code runs.
+class NORMALIZE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NORMALIZE_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() NORMALIZE_RELEASE() {}  // unique_lock unlocks
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// One blocking wait on `cv` (releases the mutex while blocked, holds it
+  /// again on return). Callers re-test their predicate in a loop, which
+  /// keeps the predicate's guarded-field reads inside the annotated caller
+  /// instead of inside an opaque lambda:
+  ///   while (!ready_) lock.Wait(cv_);
+  void Wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace normalize

@@ -10,9 +10,11 @@
 namespace normalize {
 
 /// Holds either a value of type T or a non-OK Status describing why the
-/// value could not be produced.
+/// value could not be produced. [[nodiscard]] for the same reason as Status:
+/// dropping a Result discards the error path, and the build turns that into
+/// an error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

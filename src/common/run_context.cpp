@@ -19,37 +19,37 @@ uint64_t NextRandom(uint64_t* state) {
 }  // namespace
 
 void FaultInjector::FailNthRead(uint64_t nth, Status error) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   read_faults_.push_back(ReadFault{nth, std::move(error), 0});
 }
 
 void FaultInjector::ShortNthRead(uint64_t nth, size_t max_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   read_faults_.push_back(ReadFault{nth, Status::OK(), max_bytes});
 }
 
 void FaultInjector::TruncateAtOffset(uint64_t offset) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   truncate_offset_ = offset;
 }
 
 void FaultInjector::FailReadsRandomly(uint64_t seed, double probability,
                                       Status error) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   rng_state_ = seed;
   read_error_probability_ = probability;
   random_read_error_ = std::move(error);
 }
 
 void FaultInjector::InterruptAtNthCheck(uint64_t nth, StatusCode code) {
-  interrupt_at_check_ = nth;
-  interrupt_code_ = code;
+  interrupt_at_check_.store(nth, std::memory_order_relaxed);
+  interrupt_code_.store(code, std::memory_order_relaxed);
   interrupt_latched_.store(false, std::memory_order_relaxed);
 }
 
 Status FaultInjector::OnRead(uint64_t offset, size_t* len) {
   uint64_t n = reads_.fetch_add(1, std::memory_order_relaxed) + 1;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (truncate_offset_.has_value()) {
     if (offset >= *truncate_offset_) {
       *len = 0;  // injected EOF
@@ -77,16 +77,17 @@ Status FaultInjector::OnRead(uint64_t offset, size_t* len) {
 
 Status FaultInjector::OnCheck() {
   uint64_t n = checks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t at = interrupt_at_check_.load(std::memory_order_relaxed);
   bool fire = interrupt_latched_.load(std::memory_order_relaxed);
-  if (!fire && interrupt_at_check_ != 0 && n >= interrupt_at_check_) {
+  if (!fire && at != 0 && n >= at) {
     interrupt_latched_.store(true, std::memory_order_relaxed);
     injected_.fetch_add(1, std::memory_order_relaxed);
     fire = true;
   }
   if (!fire) return Status::OK();
-  return Status(interrupt_code_,
+  return Status(interrupt_code_.load(std::memory_order_relaxed),
                 "injected interruption at context check #" +
-                    std::to_string(interrupt_at_check_));
+                    std::to_string(at));
 }
 
 double RetryPolicy::BackoffMillis(int retry_index) const {

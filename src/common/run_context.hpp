@@ -22,11 +22,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace normalize {
 
@@ -74,29 +75,31 @@ class CancellationToken {
   std::shared_ptr<std::atomic<bool>> cancelled_;
 };
 
-/// A deterministic fault schedule. Configure before the run (the setters are
-/// not thread-safe); the On*() hooks are thread-safe and may be called from
-/// pool workers. Faults are keyed by global call indices (the Nth read, the
-/// Nth interruption check) or byte offsets, so a given schedule reproduces
-/// the exact same failure on every run.
+/// A deterministic fault schedule. Configure before the run (concurrent
+/// calls to the setters are serialized but a schedule changed mid-run races
+/// with the hooks' decisions); the On*() hooks are thread-safe and may be
+/// called from pool workers. Faults are keyed by global call indices (the
+/// Nth read, the Nth interruption check) or byte offsets, so a given
+/// schedule reproduces the exact same failure on every run.
 class FaultInjector {
  public:
   // --- schedule construction ---------------------------------------------
 
   /// The `nth` ByteSource read (1-based, counted across all sources that
   /// share this injector) fails with `error` instead of reading.
-  void FailNthRead(uint64_t nth, Status error);
+  void FailNthRead(uint64_t nth, Status error) NORMALIZE_EXCLUDES(mutex_);
 
   /// The `nth` read returns at most `max_bytes` bytes (a short read).
-  void ShortNthRead(uint64_t nth, size_t max_bytes);
+  void ShortNthRead(uint64_t nth, size_t max_bytes) NORMALIZE_EXCLUDES(mutex_);
 
   /// Reads at or past `offset` see end-of-file (silent truncation).
-  void TruncateAtOffset(uint64_t offset);
+  void TruncateAtOffset(uint64_t offset) NORMALIZE_EXCLUDES(mutex_);
 
   /// Every read fails with `error` independently with probability `p`,
   /// driven by a private RNG seeded with `seed` (deterministic given the
   /// read sequence).
-  void FailReadsRandomly(uint64_t seed, double probability, Status error);
+  void FailReadsRandomly(uint64_t seed, double probability, Status error)
+      NORMALIZE_EXCLUDES(mutex_);
 
   /// The `nth` RunContext::Check() call (1-based, counted across threads)
   /// reports `code` (kCancelled or kDeadlineExceeded) and latches: every
@@ -107,7 +110,7 @@ class FaultInjector {
 
   /// Consulted before a read of `*len` bytes at byte `offset`. May fail the
   /// read, shrink `*len` (short read), or zero it (truncated EOF).
-  Status OnRead(uint64_t offset, size_t* len);
+  Status OnRead(uint64_t offset, size_t* len) NORMALIZE_EXCLUDES(mutex_);
 
   /// Consulted by RunContext::Check(); returns the injected interruption
   /// status once triggered, OK before.
@@ -135,15 +138,20 @@ class FaultInjector {
     size_t max_bytes = 0;  // short-read cap when error is OK
   };
 
-  mutable std::mutex mutex_;
-  std::vector<ReadFault> read_faults_;
-  std::optional<uint64_t> truncate_offset_;
-  double read_error_probability_ = 0.0;
-  Status random_read_error_;
-  uint64_t rng_state_ = 0;
+  // Locking contract: mutex_ guards the read-fault schedule and the RNG the
+  // probabilistic faults draw from (OnRead mutates rng_state_, so concurrent
+  // readers must serialize). The interruption schedule and every counter are
+  // lock-free atomics — OnCheck() sits on the discovery loops' check path
+  // and must not contend with concurrent OnRead() calls.
+  mutable Mutex mutex_;
+  std::vector<ReadFault> read_faults_ NORMALIZE_GUARDED_BY(mutex_);
+  std::optional<uint64_t> truncate_offset_ NORMALIZE_GUARDED_BY(mutex_);
+  double read_error_probability_ NORMALIZE_GUARDED_BY(mutex_) = 0.0;
+  Status random_read_error_ NORMALIZE_GUARDED_BY(mutex_);
+  uint64_t rng_state_ NORMALIZE_GUARDED_BY(mutex_) = 0;
 
-  uint64_t interrupt_at_check_ = 0;  // 0 = disabled
-  StatusCode interrupt_code_ = StatusCode::kCancelled;
+  std::atomic<uint64_t> interrupt_at_check_{0};  // 0 = disabled
+  std::atomic<StatusCode> interrupt_code_{StatusCode::kCancelled};
   std::atomic<bool> interrupt_latched_{false};
 
   std::atomic<uint64_t> reads_{0};

@@ -33,7 +33,13 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the success case.
-class Status {
+///
+/// [[nodiscard]] on the class makes every API returning a Status by value
+/// warn when the caller drops it on the floor — and the build promotes that
+/// warning to an error (-Werror=unused-result), so a swallowed error status
+/// cannot land silently. Intentional discards must spell out
+/// `(void)expr;  // why` at the call site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,86 @@
+// Clang thread-safety ("capability") annotation macros, after the pattern of
+// Abseil's thread_annotations.h and the Clang -Wthread-safety documentation.
+// Under Clang the macros expand to the capability attributes, so every Clang
+// build (including CI's clang-thread-safety job, which adds -Werror) proves
+// the annotated lock discipline statically: a GUARDED_BY field read without
+// its mutex held, a REQUIRES contract violated by a caller, or a forgotten
+// unlock is a compile error, for *every* interleaving — not just the ones a
+// TSan run happens to execute. Under GCC (and any compiler without the
+// attributes) the macros expand to nothing.
+//
+// Conventions used across this codebase:
+//   * Fields protected by a mutex carry NORMALIZE_GUARDED_BY(mutex_).
+//   * Private member functions that must run under a lock already held by
+//     the caller carry NORMALIZE_REQUIRES(mutex_).
+//   * Public entry points that take a lock internally carry
+//     NORMALIZE_EXCLUDES(mutex_) so in-class callers cannot self-deadlock.
+//   * Lock-free shared state uses std::atomic and needs no annotation; state
+//     shared by *phase discipline* instead of locks (written single-threaded
+//     or by disjoint-index parallel writes, then read concurrently — e.g.
+//     PliCache contents, ValueDictionary interning, the parallel sweeps'
+//     per-unit result slots) is documented at the declaration, since the
+//     capability analysis has no vocabulary for it.
+//
+// Use the annotated Mutex/MutexLock wrappers from common/mutex.hpp rather
+// than std::mutex directly: libstdc++'s std::mutex is not itself annotated
+// as a capability, so locking it is invisible to the analysis.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define NORMALIZE_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define NORMALIZE_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (lockable) type. The given name
+/// ("mutex") appears in diagnostics.
+#define NORMALIZE_CAPABILITY(x) \
+  NORMALIZE_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define NORMALIZE_SCOPED_CAPABILITY \
+  NORMALIZE_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// The annotated field may only be accessed while holding the given
+/// capability.
+#define NORMALIZE_GUARDED_BY(x) \
+  NORMALIZE_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// The pointee of the annotated pointer field may only be accessed while
+/// holding the given capability (the pointer itself is unguarded).
+#define NORMALIZE_PT_GUARDED_BY(x) \
+  NORMALIZE_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// The annotated function acquires the capability and does not release it
+/// before returning.
+#define NORMALIZE_ACQUIRE(...) \
+  NORMALIZE_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// The annotated function releases the capability.
+#define NORMALIZE_RELEASE(...) \
+  NORMALIZE_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// The annotated function tries to acquire the capability and returns the
+/// given boolean on success.
+#define NORMALIZE_TRY_ACQUIRE(...) \
+  NORMALIZE_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Callers of the annotated function must hold the capability on entry (and
+/// still hold it on exit).
+#define NORMALIZE_REQUIRES(...) \
+  NORMALIZE_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Callers of the annotated function must NOT hold the capability — the
+/// function acquires it itself (deadlock guard for in-class callers).
+#define NORMALIZE_EXCLUDES(...) \
+  NORMALIZE_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// The annotated function returns a reference to the given capability.
+#define NORMALIZE_RETURN_CAPABILITY(x) \
+  NORMALIZE_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the annotated function is exempt from the analysis. Use
+/// only with a comment explaining why the discipline cannot be expressed.
+#define NORMALIZE_NO_THREAD_SAFETY_ANALYSIS \
+  NORMALIZE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

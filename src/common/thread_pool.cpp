@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -25,17 +25,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::SetCancellation(CancellationToken token) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   cancellation_ = std::move(token);
 }
 
 void ThreadPool::ClearCancellation() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   cancellation_.reset();
 }
 
 bool ThreadPool::cancelled() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return cancellation_.has_value() && cancellation_->IsCancelled();
 }
 
@@ -43,7 +43,7 @@ Result<std::future<void>> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (cancellation_.has_value() && cancellation_->IsCancelled()) {
       return Status::Cancelled("thread pool cancelled; task rejected");
     }
@@ -97,8 +97,11 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      // The wait predicate is re-tested here (not in a lambda handed to
+      // cv_.wait) so the guarded-field reads stay visible to the
+      // thread-safety analysis.
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) lock.Wait(cv_);
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

@@ -14,14 +14,15 @@
 #include <condition_variable>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/result.hpp"
 #include "common/run_context.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace normalize {
 
@@ -39,32 +40,39 @@ class ThreadPool {
 
   /// Installs the token consulted by Submit/ParallelFor. Replacing or
   /// clearing it is safe between parallel regions.
-  void SetCancellation(CancellationToken token);
-  void ClearCancellation();
+  void SetCancellation(CancellationToken token) NORMALIZE_EXCLUDES(mutex_);
+  void ClearCancellation() NORMALIZE_EXCLUDES(mutex_);
 
   /// True once an installed token has been cancelled.
-  bool cancelled() const;
+  bool cancelled() const NORMALIZE_EXCLUDES(mutex_);
 
   /// Enqueues a task; the returned future resolves when it has run. Fails
   /// fast with kCancelled once the pool's cancellation token is cancelled.
-  Result<std::future<void>> Submit(std::function<void()> task);
+  Result<std::future<void>> Submit(std::function<void()> task)
+      NORMALIZE_EXCLUDES(mutex_);
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all
   /// dispatched iterations finished. Iterations are chunked to limit queue
   /// overhead. Returns kCancelled if cancellation prevented some (or all)
   /// chunks from being dispatched — callers must then treat the iteration
   /// space as incompletely covered.
-  Status ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  Status ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      NORMALIZE_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() NORMALIZE_EXCLUDES(mutex_);
 
+  // Locking contract: mutex_ guards the task queue and every field the
+  // workers share with the submitting thread; cv_ signals queue/stop
+  // transitions made under mutex_. The workers_ vector itself is written
+  // only in the constructor and joined in the destructor (no concurrent
+  // access), so it carries no capability.
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable cv_;
-  bool stopping_ = false;
-  std::optional<CancellationToken> cancellation_;
+  std::queue<std::packaged_task<void()>> tasks_ NORMALIZE_GUARDED_BY(mutex_);
+  bool stopping_ NORMALIZE_GUARDED_BY(mutex_) = false;
+  std::optional<CancellationToken> cancellation_ NORMALIZE_GUARDED_BY(mutex_);
 };
 
 /// Resolves a thread-count knob to an actual worker count: values <= 0

@@ -27,8 +27,12 @@ class Sampler {
     sorted_clusters_.resize(static_cast<size_t>(n));
     windows_.assign(static_cast<size_t>(n), 0);
     // Each column's cluster list sorts independently; the comparator only
-    // reads the immutable relation data.
-    ParallelFor(pool, static_cast<size_t>(n), [this, &data, &cache, n](size_t c) {
+    // reads the immutable relation data. A cancelled dispatch leaves some
+    // clusters unsorted, which only degrades sampling efficiency — any row
+    // pair is valid agree-set evidence — and the discovery loop re-polls
+    // the RunContext right after sampling, so the status can be dropped.
+    (void)ParallelFor(pool, static_cast<size_t>(n), [this, &data, &cache,
+                                                     n](size_t c) {
       sorted_clusters_[c] = cache.ColumnPli(static_cast<int>(c)).clusters();
       for (auto& cluster : sorted_clusters_[c]) {
         std::sort(cluster.begin(), cluster.end(), [&](RowId a, RowId b) {

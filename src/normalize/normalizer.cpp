@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <deque>
 
+#include "audit/decomposition_auditor.hpp"
 #include "closure/closure.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
@@ -240,6 +241,9 @@ Result<NormalizationResult> Normalizer::FinishNormalization(
     const Stopwatch& total_watch, const RunContext* ctx) {
   NormalizationStats& stats = result.stats;
   Stopwatch watch;
+  // Keep the pre-closure minimal cover: the auditor's minimality and
+  // completeness checks are only meaningful on this form.
+  result.discovered_fds = fds;
 
   // --- (2) closure calculation ---
   std::unique_ptr<ClosureAlgorithm> closure = MakeClosure(
@@ -459,6 +463,17 @@ Result<NormalizationResult> Normalizer::FinishNormalization(
   }
 
   result.extended_fds = std::move(fds);
+
+  // --- correctness audit (opt-in; read-only, never fails the run) ---
+  if (options_.audit) {
+    watch.Restart();
+    DecompositionAuditor auditor(options_.audit_options);
+    result.audit = auditor.Audit(input, result, options_.normal_form,
+                                 options_.discovery.max_lhs_size);
+    stats.phases.Record("audit", watch.ElapsedSeconds(),
+                        result.audit->issues.size());
+  }
+
   stats.total_s = total_watch.ElapsedSeconds();
   stats.phases.Record("key_derivation", stats.key_derivation_total_s);
   stats.phases.Record("violation_detection", stats.violation_detection_total_s);

@@ -11,9 +11,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "audit/audit_report.hpp"
 #include "common/result.hpp"
 #include "common/run_context.hpp"
 #include "common/stopwatch.hpp"
@@ -67,6 +69,13 @@ struct NormalizerOptions {
   /// without a deadline but stays cancellable.
   int degraded_max_lhs = 2;
   bool degrade_on_deadline = true;
+  /// Run the correctness auditor (audit/decomposition_auditor.hpp) on the
+  /// finished result: chase-based lossless-join proof, instance rejoin,
+  /// normal-form compliance of every output relation, and cover soundness.
+  /// The report lands in NormalizationResult::audit; a failed audit never
+  /// fails the run (callers decide — the CLI maps it to a nonzero exit).
+  bool audit = false;
+  AuditOptions audit_options;
 };
 
 /// Per-component wall-clock times and counters (the paper's Table 3 rows).
@@ -134,8 +143,14 @@ struct NormalizationResult {
   Schema schema;
   std::vector<RelationData> relations;
   FdSet extended_fds;  // the global closure, for inspection/reports
+  /// The minimal cover exactly as discovery produced it, before closure
+  /// extension. The auditor's minimality/completeness checks need this form
+  /// (extended RHSs are intentionally not per-attribute LHS-minimal).
+  FdSet discovered_fds;
   NormalizationStats stats;
   std::vector<DecisionRecord> decisions;  // audit trail, in order
+  /// Present iff NormalizerOptions::audit was set.
+  std::optional<AuditReport> audit;
 };
 
 /// The end-to-end normalization algorithm.

@@ -118,7 +118,11 @@ std::optional<std::pair<RowId, RowId>> Pli::FindViolation(
 PliCache::PliCache(const RelationData& data, ThreadPool* pool)
     : data_(&data) {
   column_plis_.resize(static_cast<size_t>(data.num_columns()));
-  ParallelFor(pool, column_plis_.size(), [this, &data](size_t c) {
+  // A cancelled dispatch leaves default-constructed slots, which read as
+  // unique columns. That is only reachable when the pool's cancellation
+  // token already fired, and every discovery/merge loop polls its RunContext
+  // before trusting PLI answers, so the stale slots are never consumed.
+  (void)ParallelFor(pool, column_plis_.size(), [this, &data](size_t c) {
     column_plis_[c] = Pli::FromColumn(data.column(static_cast<int>(c)));
   });
 }
@@ -149,10 +153,12 @@ Pli PliCache::BuildPli(const std::vector<int>& columns) const {
 std::vector<Pli> PliCache::BuildPlis(
     const std::vector<std::vector<int>>& column_sets, ThreadPool* pool) const {
   std::vector<Pli> results(column_sets.size());
-  ParallelFor(pool, column_sets.size(),
-              [this, &column_sets, &results](size_t i) {
-                results[i] = BuildPli(column_sets[i]);
-              });
+  // See the constructor: a cancelled dispatch leaves default slots, and
+  // callers re-check their RunContext before consuming the batch.
+  (void)ParallelFor(pool, column_sets.size(),
+                    [this, &column_sets, &results](size_t i) {
+                      results[i] = BuildPli(column_sets[i]);
+                    });
   return results;
 }
 
@@ -160,7 +166,9 @@ std::vector<Pli> IntersectAll(
     const std::vector<std::pair<const Pli*, const Pli*>>& pairs,
     ThreadPool* pool) {
   std::vector<Pli> results(pairs.size());
-  ParallelFor(pool, pairs.size(), [&pairs, &results](size_t i) {
+  // See PliCache::PliCache: a cancelled dispatch leaves default slots, and
+  // Tane's level loop re-checks its RunContext before consuming the batch.
+  (void)ParallelFor(pool, pairs.size(), [&pairs, &results](size_t i) {
     results[i] = pairs[i].first->Intersect(pairs[i].second->AsProbeVector());
   });
   return results;

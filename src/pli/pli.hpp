@@ -71,6 +71,14 @@ class Pli {
 
 /// Builds and caches single-column PLIs of a relation; computes set PLIs on
 /// demand by intersection (smallest-first ordering).
+///
+/// Concurrency contract (phase discipline, not locks — see
+/// common/thread_annotations.hpp): column_plis_ is written only during
+/// construction, by disjoint-index tasks joined before the constructor
+/// returns; afterwards the cache is immutable and any number of discovery /
+/// merge-validation workers may read it concurrently. The const-only public
+/// surface encodes the read phase; the capability analysis cannot express
+/// the construction barrier, so it is documented here instead.
 class PliCache {
  public:
   /// Builds all single-column PLIs, one task per column across `pool`

@@ -23,8 +23,9 @@ using ValueId = int32_t;
 /// NULL as a distinguished code. Normally owned by a single Column; the
 /// sharded ingest path (src/shard/) shares one dictionary across the shard
 /// columns of the same attribute so value codes agree across shards.
-/// Interning is single-writer (ingest is serial); concurrent readers are
-/// safe once interning has stopped.
+/// Concurrency contract (phase discipline, not locks — see
+/// common/thread_annotations.hpp): interning is single-writer (ingest is
+/// serial); concurrent readers are safe once interning has stopped.
 class ValueDictionary {
  public:
   /// Interns a value; returns its code. Equal strings get equal codes.

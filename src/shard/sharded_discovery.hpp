@@ -78,6 +78,14 @@ class ShardedDiscovery {
   const Status& completion_status() const { return completion_; }
 
  private:
+  // Concurrency contract (phase discipline, not locks — see
+  // common/thread_annotations.hpp): all merge state below is written only by
+  // the coordinating thread. The parallel sweeps inside Discover() hand the
+  // workers immutable inputs (shards, per-shard covers, PLI caches) plus
+  // disjoint per-unit result slots, and every sweep joins at a ParallelFor
+  // barrier before the coordinator folds the slots into stats_ / the cover
+  // tree. Nothing here is touched while workers run, so no field carries a
+  // capability.
   std::string backend_;
   FdDiscoveryOptions options_;
   ShardOptions shard_options_;

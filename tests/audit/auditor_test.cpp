@@ -1,0 +1,300 @@
+// Tests for the decomposition auditor: the positive path on real pipeline
+// output, and negative paths proving that a lossy decomposition, a non-BCNF
+// relation, an invalid cover, a non-minimal cover, and an incomplete cover
+// are each rejected with a precise diagnostic.
+#include "audit/decomposition_auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "closure/closure.hpp"
+#include "datagen/datasets.hpp"
+#include "datagen/tpch_like.hpp"
+#include "discovery/fd_discovery.hpp"
+#include "normalize/normalizer.hpp"
+#include "relation/operations.hpp"
+
+namespace normalize {
+namespace {
+
+AttributeSet Attrs(int capacity, std::initializer_list<AttributeId> ids) {
+  return AttributeSet(capacity, ids);
+}
+
+bool HasIssue(const AuditReport& report, AuditIssue::Check check,
+              AuditIssue::Severity severity,
+              const std::string& detail_substring = "") {
+  return std::any_of(
+      report.issues.begin(), report.issues.end(), [&](const AuditIssue& i) {
+        return i.check == check && i.severity == severity &&
+               i.detail.find(detail_substring) != std::string::npos;
+      });
+}
+
+// Discovers the minimal cover of `data` and its closure extension.
+void DiscoverCovers(const RelationData& data, FdSet* minimal, FdSet* extended) {
+  auto fds = MakeFdDiscovery("hyfd")->Discover(data);
+  ASSERT_TRUE(fds.ok());
+  *minimal = *fds;
+  *extended = *fds;
+  ASSERT_TRUE(
+      OptimizedClosure().Extend(extended, data.AttributesAsSet()).ok());
+}
+
+// A NormalizationResult whose schema is the single undecomposed relation.
+NormalizationResult SingleRelationResult(const RelationData& data,
+                                         FdSet minimal, FdSet extended) {
+  NormalizationResult result;
+  result.schema = Schema(data.ColumnNames());
+  result.schema.AddRelation(RelationSchema(data.name(), data.AttributesAsSet()));
+  result.relations.push_back(data);
+  result.discovered_fds = std::move(minimal);
+  result.extended_fds = std::move(extended);
+  return result;
+}
+
+// --- chase (tableau) unit tests -------------------------------------------
+
+TEST(ChaseLosslessJoinTest, PaperDecompositionIsLossless) {
+  // Address split on Postcode -> City, Mayor: R1 = {First, Last, Postcode},
+  // R2 = {Postcode, City, Mayor}; Postcode is a key of R2.
+  FdSet fds;
+  fds.Add(Fd(Attrs(5, {2}), Attrs(5, {3, 4})));
+  EXPECT_TRUE(DecompositionAuditor::ChaseLosslessJoin(
+      {Attrs(5, {0, 1, 2}), Attrs(5, {2, 3, 4})}, fds, AttributeSet::Full(5)));
+}
+
+TEST(ChaseLosslessJoinTest, DisjointFragmentsAreLossy) {
+  FdSet fds;
+  fds.Add(Fd(Attrs(5, {2}), Attrs(5, {3, 4})));
+  EXPECT_FALSE(DecompositionAuditor::ChaseLosslessJoin(
+      {Attrs(5, {0, 1}), Attrs(5, {2, 3, 4})}, fds, AttributeSet::Full(5)));
+}
+
+TEST(ChaseLosslessJoinTest, SharedNonKeyAttributeIsLossy) {
+  // R(A, B, C) with A -> B: {A, B} ⋈ {A, C} is lossless (shared A is a key
+  // of {A, B}), but {B, C} ⋈ {A, B} shares only non-key B.
+  FdSet fds;
+  fds.Add(Fd(Attrs(3, {0}), Attrs(3, {1})));
+  EXPECT_TRUE(DecompositionAuditor::ChaseLosslessJoin(
+      {Attrs(3, {0, 1}), Attrs(3, {0, 2})}, fds, AttributeSet::Full(3)));
+  EXPECT_FALSE(DecompositionAuditor::ChaseLosslessJoin(
+      {Attrs(3, {1, 2}), Attrs(3, {0, 1})}, fds, AttributeSet::Full(3)));
+}
+
+TEST(ChaseLosslessJoinTest, TransitiveChainNeedsTwoChaseRounds) {
+  // R(A, B, C, D) with A -> B, B -> C: {A, B}, {B, C}, {A, D} is lossless
+  // but requires chasing A -> B before B -> C can fire on the {A, D} row.
+  FdSet fds;
+  fds.Add(Fd(Attrs(4, {0}), Attrs(4, {1})));
+  fds.Add(Fd(Attrs(4, {1}), Attrs(4, {2})));
+  EXPECT_TRUE(DecompositionAuditor::ChaseLosslessJoin(
+      {Attrs(4, {0, 1}), Attrs(4, {1, 2}), Attrs(4, {0, 3})}, fds,
+      AttributeSet::Full(4)));
+}
+
+// --- full-audit positive paths --------------------------------------------
+
+TEST(DecompositionAuditorTest, PipelineOutputPassesOnAddress) {
+  RelationData address = AddressExample();
+  NormalizerOptions options;
+  options.audit = true;
+  Normalizer normalizer(options);
+  auto result = normalizer.Normalize(address);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->audit.has_value());
+  EXPECT_TRUE(result->audit->passed()) << result->audit->ToString();
+  EXPECT_EQ(result->audit->fatal_count(), 0u);
+  EXPECT_TRUE(result->audit->chase_ran);
+  EXPECT_TRUE(result->audit->instance_join_ran);
+  EXPECT_TRUE(result->audit->completeness_ran);
+  EXPECT_GT(result->audit->fds_validated, 0u);
+  EXPECT_EQ(result->audit->relations_checked,
+            result->schema.relations().size());
+}
+
+TEST(DecompositionAuditorTest, PipelineOutputPassesOnTpchLike) {
+  TpchDataset ds = GenerateTpchLike(TpchScale{}.Scaled(0.1));
+  NormalizerOptions options;
+  options.discovery.max_lhs_size = 2;
+  options.audit = true;
+  Normalizer normalizer(options);
+  auto result = normalizer.Normalize(ds.universal);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->audit.has_value());
+  EXPECT_TRUE(result->audit->passed()) << result->audit->ToString();
+}
+
+// --- negative paths: each guarantee violated and rejected ------------------
+
+TEST(DecompositionAuditorTest, RejectsLossyDecomposition) {
+  RelationData address = AddressExample();
+  FdSet minimal, extended;
+  DiscoverCovers(address, &minimal, &extended);
+
+  // {First, Last} and {Postcode, City, Mayor} share no attribute: the
+  // rejoin degenerates to a cross product.
+  AttributeSet r1 = Attrs(5, {0, 1});
+  AttributeSet r2 = Attrs(5, {2, 3, 4});
+  NormalizationResult result;
+  result.schema = Schema(address.ColumnNames());
+  result.schema.AddRelation(RelationSchema("r1", r1));
+  result.schema.AddRelation(RelationSchema("r2", r2));
+  result.relations.push_back(Project(address, r1, /*distinct=*/true, "r1"));
+  result.relations.push_back(Project(address, r2, /*distinct=*/true, "r2"));
+  result.discovered_fds = minimal;
+  result.extended_fds = extended;
+
+  AuditReport report = DecompositionAuditor().Audit(address, result);
+  EXPECT_FALSE(report.passed());
+  EXPECT_TRUE(HasIssue(report, AuditIssue::Check::kLosslessJoin,
+                       AuditIssue::Severity::kFatal, "chase tableau"))
+      << report.ToString();
+  EXPECT_TRUE(HasIssue(report, AuditIssue::Check::kJoinInstance,
+                       AuditIssue::Severity::kFatal, "differs"))
+      << report.ToString();
+}
+
+TEST(DecompositionAuditorTest, RejectsNonBcnfRelation) {
+  RelationData address = AddressExample();
+  FdSet minimal, extended;
+  DiscoverCovers(address, &minimal, &extended);
+  // The undecomposed address relation retains Postcode -> City, Mayor with
+  // a non-superkey LHS.
+  NormalizationResult result =
+      SingleRelationResult(address, minimal, extended);
+
+  AuditReport report = DecompositionAuditor().Audit(address, result);
+  EXPECT_FALSE(report.passed());
+  EXPECT_TRUE(HasIssue(report, AuditIssue::Check::kBcnf,
+                       AuditIssue::Severity::kFatal, "violating FD remains"))
+      << report.ToString();
+}
+
+TEST(DecompositionAuditorTest, DegradedRunDowngradesBcnfToAdvisory) {
+  RelationData address = AddressExample();
+  FdSet minimal, extended;
+  DiscoverCovers(address, &minimal, &extended);
+  NormalizationResult result =
+      SingleRelationResult(address, minimal, extended);
+  // A deadline-curtailed run legitimately leaves residual violations …
+  result.stats.completion = Status::DeadlineExceeded("deadline");
+
+  AuditReport report = DecompositionAuditor().Audit(address, result);
+  // … so the finding is advisory and the audit passes, but is still visible.
+  EXPECT_TRUE(report.passed()) << report.ToString();
+  EXPECT_TRUE(HasIssue(report, AuditIssue::Check::kBcnf,
+                       AuditIssue::Severity::kAdvisory, "violating FD"))
+      << report.ToString();
+}
+
+TEST(DecompositionAuditorTest, RejectsInvalidFd) {
+  RelationData address = AddressExample();
+  // First -> Last does not hold (two Thomases with different last names).
+  ASSERT_FALSE(FdHolds(address, Attrs(5, {0}), 1));
+  FdSet cover;
+  cover.Add(Fd(Attrs(5, {0}), Attrs(5, {1})));
+
+  size_t validated = 0;
+  auto issues =
+      DecompositionAuditor().CheckCoverValidity(address, cover, &validated);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].check, AuditIssue::Check::kCoverValidity);
+  EXPECT_EQ(issues[0].severity, AuditIssue::Severity::kFatal);
+  EXPECT_NE(issues[0].detail.find("does not hold"), std::string::npos);
+  EXPECT_EQ(validated, 1u);
+}
+
+TEST(DecompositionAuditorTest, RejectsNonMinimalCover) {
+  RelationData address = AddressExample();
+  // {First, Postcode} -> City holds but is reducible: Postcode -> City.
+  ASSERT_TRUE(FdHolds(address, Attrs(5, {0, 2}), 3));
+  FdSet cover;
+  cover.Add(Fd(Attrs(5, {0, 2}), Attrs(5, {3})));
+
+  size_t checked = 0;
+  auto issues =
+      DecompositionAuditor().CheckCoverMinimality(address, cover, &checked);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].check, AuditIssue::Check::kCoverMinimality);
+  EXPECT_EQ(issues[0].severity, AuditIssue::Severity::kFatal);
+  EXPECT_NE(issues[0].detail.find("not LHS-minimal"), std::string::npos);
+  // The diagnostic names the removable attribute (First = 0).
+  EXPECT_NE(issues[0].detail.find("without attribute 0"), std::string::npos);
+}
+
+TEST(DecompositionAuditorTest, RejectsIncompleteCover) {
+  RelationData address = AddressExample();
+  FdSet minimal, extended;
+  DiscoverCovers(address, &minimal, &extended);
+  // Drop one discovered FD; the naive oracle must notice the gap.
+  ASSERT_GT(minimal.size(), 1u);
+  FdSet incomplete;
+  for (size_t i = 0; i + 1 < minimal.size(); ++i) incomplete.Add(minimal[i]);
+
+  auto issues = DecompositionAuditor().CheckCoverCompleteness(
+      address, incomplete, /*max_lhs=*/-1, AuditIssue::Severity::kFatal);
+  EXPECT_TRUE(std::any_of(issues.begin(), issues.end(), [](const AuditIssue&
+                                                               i) {
+    return i.check == AuditIssue::Check::kCoverCompleteness &&
+           i.severity == AuditIssue::Severity::kFatal &&
+           i.detail.find("misses a minimal FD") != std::string::npos;
+  })) << "dropping an FD must surface a completeness finding";
+}
+
+TEST(DecompositionAuditorTest, RejectsSpuriousFd) {
+  RelationData address = AddressExample();
+  FdSet minimal, extended;
+  DiscoverCovers(address, &minimal, &extended);
+  // A non-minimal (though valid) FD is not a member of the minimal cover.
+  FdSet padded = minimal;
+  padded.Add(Fd(Attrs(5, {0, 2}), Attrs(5, {3})));
+
+  auto issues = DecompositionAuditor().CheckCoverCompleteness(
+      address, padded, /*max_lhs=*/-1, AuditIssue::Severity::kFatal);
+  EXPECT_TRUE(std::any_of(
+      issues.begin(), issues.end(), [](const AuditIssue& i) {
+        return i.check == AuditIssue::Check::kCoverCompleteness &&
+               i.detail.find("oracle rejects") != std::string::npos;
+      }))
+      << "a spurious FD must surface a completeness finding";
+}
+
+TEST(DecompositionAuditorTest, RejectsInconsistentBookkeeping) {
+  RelationData address = AddressExample();
+  FdSet minimal, extended;
+  DiscoverCovers(address, &minimal, &extended);
+  NormalizationResult result =
+      SingleRelationResult(address, minimal, extended);
+  // Claim an attribute set the instance does not have.
+  result.schema.mutable_relation(0)->set_attributes(Attrs(5, {0, 1}));
+
+  AuditReport report = DecompositionAuditor().Audit(address, result);
+  EXPECT_FALSE(report.passed());
+  EXPECT_TRUE(HasIssue(report, AuditIssue::Check::kConsistency,
+                       AuditIssue::Severity::kFatal, "differ"))
+      << report.ToString();
+}
+
+TEST(AuditReportTest, RendersVerdictAndIssues) {
+  AuditReport report;
+  EXPECT_TRUE(report.passed());
+  AuditIssue issue;
+  issue.check = AuditIssue::Check::kLosslessJoin;
+  issue.severity = AuditIssue::Severity::kFatal;
+  issue.relation = "r1";
+  issue.detail = "example";
+  report.Add(issue);
+  EXPECT_FALSE(report.passed());
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("lossless-join"), std::string::npos);
+  EXPECT_NE(text.find("(r1)"), std::string::npos);
+  EXPECT_NE(text.find("example"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace normalize

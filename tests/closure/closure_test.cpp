@@ -37,7 +37,7 @@ class GeneralClosureTest : public ClosureAlgorithmTest {};
 
 TEST_P(GeneralClosureTest, TransitiveExtension) {
   FdSet fds = PaperExampleFds();
-  Algo()->Extend(&fds, AttributeSet::Full(3));
+  ASSERT_TRUE(Algo()->Extend(&fds, AttributeSet::Full(3)).ok());
   EXPECT_EQ(fds[0].rhs, Attrs(3, {1, 2}));  // Postcode -> City, Mayor
   EXPECT_EQ(fds[1].rhs, Attrs(3, {2}));     // City -> Mayor unchanged
 }
@@ -48,7 +48,7 @@ TEST_P(GeneralClosureTest, ChainOfTransitivity) {
   for (int i = 0; i < 4; ++i) {
     fds.Add(Fd(Attrs(5, {i}), Attrs(5, {i + 1})));
   }
-  Algo()->Extend(&fds, AttributeSet::Full(5));
+  ASSERT_TRUE(Algo()->Extend(&fds, AttributeSet::Full(5)).ok());
   EXPECT_EQ(fds[0].rhs, Attrs(5, {1, 2, 3, 4}));
   EXPECT_EQ(fds[2].rhs, Attrs(5, {3, 4}));
 }
@@ -58,7 +58,7 @@ TEST_P(ClosureAlgorithmTest, RhsNeverOverlapsLhs) {
   fds.Add(Fd(Attrs(4, {0}), Attrs(4, {1})));
   fds.Add(Fd(Attrs(4, {1}), Attrs(4, {0, 2})));
   fds.Add(Fd(Attrs(4, {0, 2}), Attrs(4, {3})));
-  Algo()->Extend(&fds, AttributeSet::Full(4));
+  ASSERT_TRUE(Algo()->Extend(&fds, AttributeSet::Full(4)).ok());
   for (const Fd& fd : fds) {
     EXPECT_FALSE(fd.lhs.Intersects(fd.rhs)) << fd.ToString();
   }
@@ -66,12 +66,12 @@ TEST_P(ClosureAlgorithmTest, RhsNeverOverlapsLhs) {
 
 TEST_P(ClosureAlgorithmTest, EmptySetAndSingleFd) {
   FdSet empty;
-  Algo()->Extend(&empty, AttributeSet::Full(3));
+  ASSERT_TRUE(Algo()->Extend(&empty, AttributeSet::Full(3)).ok());
   EXPECT_TRUE(empty.empty());
 
   FdSet one;
   one.Add(Fd(Attrs(3, {0}), Attrs(3, {1})));
-  Algo()->Extend(&one, AttributeSet::Full(3));
+  ASSERT_TRUE(Algo()->Extend(&one, AttributeSet::Full(3)).ok());
   EXPECT_EQ(one[0].rhs, Attrs(3, {1}));
 }
 
@@ -82,7 +82,7 @@ TEST_P(GeneralClosureTest, ImplicitReflexivityViaLhsSubsets) {
   FdSet fds;
   fds.Add(Fd(Attrs(4, {0, 1}), Attrs(4, {3})));
   fds.Add(Fd(Attrs(4, {0, 2}), Attrs(4, {1})));
-  Algo()->Extend(&fds, AttributeSet::Full(4));
+  ASSERT_TRUE(Algo()->Extend(&fds, AttributeSet::Full(4)).ok());
   EXPECT_TRUE(fds[1].rhs.Test(3))
       << "reflexivity must let {First,Postcode} reach Mayor";
 }
@@ -99,8 +99,8 @@ TEST_P(ClosureAlgorithmTest, ParallelMatchesSerial) {
 
   FdSet serial = *fds_result;
   FdSet parallel = *fds_result;
-  Algo(1)->Extend(&serial, AttributeSet::Full(9));
-  Algo(4)->Extend(&parallel, AttributeSet::Full(9));
+  ASSERT_TRUE(Algo(1)->Extend(&serial, AttributeSet::Full(9)).ok());
+  ASSERT_TRUE(Algo(4)->Extend(&parallel, AttributeSet::Full(9)).ok());
   EXPECT_TRUE(serial.EquivalentTo(parallel));
 }
 
@@ -117,8 +117,8 @@ TEST(ClosureEquivalenceTest, ImprovedMatchesNaiveOnArbitrarySets) {
   for (uint64_t seed = 1; seed <= 20; ++seed) {
     FdSet a = GenerateRandomFdSet(10, 40, 4, seed);
     FdSet b = a;
-    NaiveClosure().Extend(&a, AttributeSet::Full(10));
-    ImprovedClosure().Extend(&b, AttributeSet::Full(10));
+    ASSERT_TRUE(NaiveClosure().Extend(&a, AttributeSet::Full(10)).ok());
+    ASSERT_TRUE(ImprovedClosure().Extend(&b, AttributeSet::Full(10)).ok());
     ASSERT_TRUE(a.EquivalentTo(b)) << "seed " << seed;
   }
 }
@@ -136,9 +136,9 @@ TEST(ClosureEquivalenceTest, AllThreeAgreeOnCompleteMinimalCovers) {
     ASSERT_TRUE(fds_result.ok());
 
     FdSet naive = *fds_result, improved = *fds_result, optimized = *fds_result;
-    NaiveClosure().Extend(&naive, AttributeSet::Full(8));
-    ImprovedClosure().Extend(&improved, AttributeSet::Full(8));
-    OptimizedClosure().Extend(&optimized, AttributeSet::Full(8));
+    ASSERT_TRUE(NaiveClosure().Extend(&naive, AttributeSet::Full(8)).ok());
+    ASSERT_TRUE(ImprovedClosure().Extend(&improved, AttributeSet::Full(8)).ok());
+    ASSERT_TRUE(OptimizedClosure().Extend(&optimized, AttributeSet::Full(8)).ok());
     ASSERT_TRUE(naive.EquivalentTo(improved)) << "seed " << seed;
     ASSERT_TRUE(naive.EquivalentTo(optimized)) << "seed " << seed;
   }
@@ -158,14 +158,14 @@ TEST(ClosureEquivalenceTest, MaxLhsPruningPreservesClosureOfRemainder) {
 
   // Closure of the full set, then filtered to LHS <= 2.
   FdSet full = *full_result;
-  OptimizedClosure().Extend(&full, AttributeSet::Full(8));
+  ASSERT_TRUE(OptimizedClosure().Extend(&full, AttributeSet::Full(8)).ok());
   full.PruneByLhsSize(2);
   full.Aggregate();
 
   // Closure computed only on the pruned FDs.
   FdSet pruned = *full_result;
   pruned.PruneByLhsSize(2);
-  OptimizedClosure().Extend(&pruned, AttributeSet::Full(8));
+  ASSERT_TRUE(OptimizedClosure().Extend(&pruned, AttributeSet::Full(8)).ok());
   pruned.Aggregate();
 
   EXPECT_TRUE(full.EquivalentTo(pruned));
@@ -185,7 +185,7 @@ TEST(ClosurePaperTest, AddressExampleExtension) {
   auto fds_result = MakeFdDiscovery("hyfd")->Discover(address);
   ASSERT_TRUE(fds_result.ok());
   FdSet fds = *fds_result;
-  OptimizedClosure().Extend(&fds, address.AttributesAsSet());
+  ASSERT_TRUE(OptimizedClosure().Extend(&fds, address.AttributesAsSet()).ok());
   bool found = false;
   for (const Fd& fd : fds) {
     if (fd.lhs == Attrs(5, {0, 1})) {

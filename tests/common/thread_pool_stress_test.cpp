@@ -52,13 +52,16 @@ TEST(ThreadPoolStressTest, ConcurrentParallelForDrivers) {
   std::vector<std::vector<uint32_t>> hits(
       kDrivers, std::vector<uint32_t>(kN, 0));
   std::vector<std::thread> drivers;
+  std::vector<Status> statuses(kDrivers);
   for (int d = 0; d < kDrivers; ++d) {
-    drivers.emplace_back([&pool, &hits, d] {
+    drivers.emplace_back([&pool, &hits, &statuses, d] {
       auto& mine = hits[static_cast<size_t>(d)];
-      pool.ParallelFor(kN, [&mine](size_t i) { mine[i] += 1; });
+      statuses[static_cast<size_t>(d)] =
+          pool.ParallelFor(kN, [&mine](size_t i) { mine[i] += 1; });
     });
   }
   for (auto& thread : drivers) thread.join();
+  for (const Status& st : statuses) EXPECT_TRUE(st.ok()) << st.ToString();
   for (const auto& per_driver : hits) {
     for (uint32_t h : per_driver) EXPECT_EQ(h, 1u);
   }
@@ -71,7 +74,9 @@ TEST(ThreadPoolStressTest, ManySmallBatchesStayDeterministic) {
   ThreadPool pool(8);
   std::vector<int64_t> slots(64, 0);
   for (int round = 0; round < 300; ++round) {
-    pool.ParallelFor(slots.size(), [&slots](size_t i) { slots[i] += 1; });
+    ASSERT_TRUE(
+        pool.ParallelFor(slots.size(), [&slots](size_t i) { slots[i] += 1; })
+            .ok());
   }
   for (int64_t s : slots) EXPECT_EQ(s, 300);
 }
@@ -82,7 +87,8 @@ TEST(ThreadPoolStressTest, HeavyParallelSumMatchesSerial) {
   std::vector<int64_t> values(kN);
   std::iota(values.begin(), values.end(), 1);
   std::atomic<int64_t> sum{0};
-  pool.ParallelFor(kN, [&](size_t i) { sum.fetch_add(values[i]); });
+  ASSERT_TRUE(
+      pool.ParallelFor(kN, [&](size_t i) { sum.fetch_add(values[i]); }).ok());
   EXPECT_EQ(sum.load(), static_cast<int64_t>(kN) * (kN + 1) / 2);
 }
 

@@ -24,22 +24,24 @@ TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
 TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);
-  pool.ParallelFor(1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  ASSERT_TRUE(
+      pool.ParallelFor(1000, [&hits](size_t i) { hits[i].fetch_add(1); }).ok());
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
   ThreadPool pool(2);
-  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+  ASSERT_TRUE(
+      pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; }).ok());
 }
 
 TEST(ThreadPoolTest, ParallelForSingleElement) {
   ThreadPool pool(8);
   std::atomic<int> calls{0};
-  pool.ParallelFor(1, [&calls](size_t i) {
-    EXPECT_EQ(i, 0u);
-    calls.fetch_add(1);
-  });
+  ASSERT_TRUE(pool.ParallelFor(1, [&calls](size_t i) {
+                    EXPECT_EQ(i, 0u);
+                    calls.fetch_add(1);
+                  }).ok());
   EXPECT_EQ(calls.load(), 1);
 }
 
@@ -53,8 +55,9 @@ TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
   std::vector<int64_t> values(10000);
   std::iota(values.begin(), values.end(), 0);
   std::atomic<int64_t> sum{0};
-  pool.ParallelFor(values.size(),
-                   [&](size_t i) { sum.fetch_add(values[i]); });
+  ASSERT_TRUE(pool.ParallelFor(values.size(),
+                               [&](size_t i) { sum.fetch_add(values[i]); })
+                  .ok());
   EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
 }
 

@@ -114,7 +114,8 @@ TEST(AttributeClosureTest, AgreesWithRhsExtension) {
   ASSERT_TRUE(fds_result.ok());
   FdSet minimal = *fds_result;
   FdSet extended = minimal;
-  OptimizedClosure().Extend(&extended, address.AttributesAsSet());
+  ASSERT_TRUE(
+      OptimizedClosure().Extend(&extended, address.AttributesAsSet()).ok());
   for (const Fd& fd : extended) {
     AttributeSet plus = AttributeClosure(fd.lhs, minimal);
     EXPECT_EQ(fd.rhs, plus.Difference(fd.lhs)) << fd.ToString();

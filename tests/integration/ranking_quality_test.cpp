@@ -23,7 +23,8 @@ TEST(RankingQualityTest, TpchFirstSplitIsAnEntityKey) {
   auto fds = hyfd.Discover(ds.universal);
   ASSERT_TRUE(fds.ok());
   FdSet extended = *fds;
-  OptimizedClosure().Extend(&extended, ds.universal.AttributesAsSet());
+  ASSERT_TRUE(
+      OptimizedClosure().Extend(&extended, ds.universal.AttributesAsSet()).ok());
 
   auto keys = DeriveKeys(extended, ds.universal.AttributesAsSet());
   RelationSchema rel("universal", ds.universal.AttributesAsSet());

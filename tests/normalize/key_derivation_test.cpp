@@ -17,7 +17,7 @@ TEST(KeyDerivationTest, PaperExampleKeys) {
   auto fds = MakeFdDiscovery("hyfd")->Discover(address);
   ASSERT_TRUE(fds.ok());
   FdSet extended = *fds;
-  OptimizedClosure().Extend(&extended, address.AttributesAsSet());
+  ASSERT_TRUE(OptimizedClosure().Extend(&extended, address.AttributesAsSet()).ok());
   auto keys = DeriveKeys(extended, address.AttributesAsSet());
   // {First, Last} is derivable (First,Last -> Postcode,City,Mayor).
   EXPECT_NE(std::find(keys.begin(), keys.end(), Attrs(5, {0, 1})), keys.end());
@@ -30,7 +30,7 @@ TEST(KeyDerivationTest, KeysFormAnAntichain) {
   auto fds = MakeFdDiscovery("hyfd")->Discover(address);
   ASSERT_TRUE(fds.ok());
   FdSet extended = *fds;
-  OptimizedClosure().Extend(&extended, address.AttributesAsSet());
+  ASSERT_TRUE(OptimizedClosure().Extend(&extended, address.AttributesAsSet()).ok());
   auto keys = DeriveKeys(extended, address.AttributesAsSet());
   for (size_t i = 0; i < keys.size(); ++i) {
     for (size_t j = 0; j < keys.size(); ++j) {
@@ -49,7 +49,7 @@ TEST(KeyDerivationTest, MissingKeysAreSkipped) {
   FdSet fds;
   fds.Add(Fd(Attrs(6, {0}), Attrs(6, {2, 3})));
   fds.Add(Fd(Attrs(6, {1}), Attrs(6, {4, 5})));
-  OptimizedClosure().Extend(&fds, AttributeSet::Full(6));
+  ASSERT_TRUE(OptimizedClosure().Extend(&fds, AttributeSet::Full(6)).ok());
   auto keys = DeriveKeys(fds, AttributeSet::Full(6));
   EXPECT_TRUE(keys.empty())
       << "the join key {name,label} must not be derivable";
@@ -89,7 +89,7 @@ TEST(ProjectFdsTest, ProjectionMatchesRediscovery) {
   auto fds = MakeFdDiscovery("hyfd")->Discover(address);
   ASSERT_TRUE(fds.ok());
   FdSet extended = *fds;
-  OptimizedClosure().Extend(&extended, address.AttributesAsSet());
+  ASSERT_TRUE(OptimizedClosure().Extend(&extended, address.AttributesAsSet()).ok());
 
   // Project onto {Postcode, City, Mayor} with duplicate removal (this is R2
   // of the paper's decomposition).
@@ -98,7 +98,7 @@ TEST(ProjectFdsTest, ProjectionMatchesRediscovery) {
   auto rediscovered = MakeFdDiscovery("naive")->Discover(r2_data);
   ASSERT_TRUE(rediscovered.ok());
   FdSet re_extended = *rediscovered;
-  OptimizedClosure().Extend(&re_extended, r2);
+  ASSERT_TRUE(OptimizedClosure().Extend(&re_extended, r2).ok());
 
   FdSet projected = ProjectFds(extended, r2);
   projected.Aggregate();

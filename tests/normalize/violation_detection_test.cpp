@@ -22,8 +22,10 @@ struct AddressSetup {
 
   AddressSetup() {
     auto fds = MakeFdDiscovery("hyfd")->Discover(data);
+    EXPECT_TRUE(fds.ok());
     extended = *fds;
-    OptimizedClosure().Extend(&extended, data.AttributesAsSet());
+    EXPECT_TRUE(
+        OptimizedClosure().Extend(&extended, data.AttributesAsSet()).ok());
     keys = DeriveKeys(extended, data.AttributesAsSet());
     rel = RelationSchema("address", data.AttributesAsSet());
   }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Reports clang-format drift (config: .clang-format) as a diff without
+# rewriting anything. Exits 0 when clang-format is not installed so the
+# script is safe to call unconditionally.
+#
+#   tools/check_format.sh          # report drift, exit 1 if any
+#   tools/check_format.sh --fix    # rewrite files in place
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+FORMAT="${CLANG_FORMAT:-}"
+if [ -z "$FORMAT" ]; then
+  for candidate in clang-format clang-format-18 clang-format-17 \
+                   clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      FORMAT="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$FORMAT" ]; then
+  echo "check_format: clang-format not installed; skipping (runs in CI)" >&2
+  exit 0
+fi
+
+mapfile -t SOURCES < <(git ls-files '*.cpp' '*.hpp')
+if [ "${#SOURCES[@]}" -eq 0 ]; then
+  echo "check_format: no sources found" >&2
+  exit 1
+fi
+
+if [ "${1:-}" = "--fix" ]; then
+  "$FORMAT" -i "${SOURCES[@]}"
+  exit 0
+fi
+
+DRIFT=0
+for f in "${SOURCES[@]}"; do
+  if ! diff -u --label "$f (tracked)" --label "$f (formatted)" \
+       "$f" <("$FORMAT" "$f"); then
+    DRIFT=1
+  fi
+done
+if [ "$DRIFT" -ne 0 ]; then
+  echo "check_format: drift found; run tools/check_format.sh --fix" >&2
+fi
+exit "$DRIFT"

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over every first-party translation
+# unit, using the compile commands of a CMake build directory.
+#
+#   tools/run_clang_tidy.sh [build-dir]
+#
+# The build directory defaults to ./build and is configured on the fly when
+# it lacks compile_commands.json. Exits 0 when clang-tidy is not installed
+# (local GCC-only containers) so the script is safe to call unconditionally;
+# CI installs clang-tidy and therefore gets the full -WarningsAsErrors gate.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-}"
+if [ -z "$TIDY" ]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      TIDY="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$TIDY" ]; then
+  echo "run_clang_tidy: clang-tidy not installed; skipping (lint runs in CI)" >&2
+  exit 0
+fi
+
+BUILD_DIR="${1:-build}"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+mapfile -t SOURCES < <(git ls-files 'src/**/*.cpp' 'examples/*.cpp' \
+                                    'bench/*.cpp')
+if [ "${#SOURCES[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no sources found" >&2
+  exit 1
+fi
+
+JOBS="$(nproc 2> /dev/null || echo 4)"
+echo "run_clang_tidy: $TIDY over ${#SOURCES[@]} files ($JOBS jobs)" >&2
+printf '%s\n' "${SOURCES[@]}" |
+  xargs -P "$JOBS" -n 1 "$TIDY" -p "$BUILD_DIR" --quiet
+STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+  echo "run_clang_tidy: findings above must be fixed (see .clang-tidy)" >&2
+fi
+exit "$STATUS"
