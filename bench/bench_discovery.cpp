@@ -8,9 +8,15 @@
 // the TPC-H-like universal relation, prints the per-phase breakdown, and
 // records the results to a JSON file for tracking across commits.
 //
+// A third section measures the checkpoint tax: partitioned discovery with a
+// CheckpointManager sink (covers + PLIs + merge frontier flushed to disk
+// between sweeps) against the same run without one, plus the time to resume
+// from that state and the bytes it occupies on disk.
+//
 // Flags: --scale=<f>, --max-lhs=<n>, --skip-tane (Tane's lattice is
 // expensive on wide relations), --sweep-scale=<f>, --skip-sweep,
 // --json=<path> (default BENCH_discovery.json).
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <thread>
@@ -20,6 +26,7 @@
 #include "datagen/datasets.hpp"
 #include "datagen/tpch_like.hpp"
 #include "discovery/fd_discovery.hpp"
+#include "persist/checkpoint.hpp"
 #include "shard/sharded_discovery.hpp"
 
 using namespace normalize;
@@ -114,9 +121,97 @@ std::vector<ShardSweepResult> RunShardSweep(const RelationData& universal,
   return results;
 }
 
+struct CheckpointOverheadResult {
+  size_t shards = 2;
+  double plain_seconds = 0.0;        // sharded run, no checkpoint sink
+  double checkpointed_seconds = 0.0;  // same run, state flushed every sweep
+  double overhead_pct = 0.0;
+  double resume_seconds = 0.0;  // rediscovery from the flushed state
+  size_t checkpoint_bytes = 0;  // on-disk size of the checkpoint directory
+  size_t plis_reused = 0;       // shard PLIs served from the checkpoint
+  size_t fd_count = 0;
+};
+
+// The checkpoint tax: partitioned hyfd with the CheckpointManager wired in
+// as the discovery sink (per-shard covers, PLIs, and the merge frontier hit
+// disk between validation sweeps) vs. the identical run without it, and the
+// time a resumed run needs when all of that state is already on disk.
+// Single-shard runs never call the sink, so the sweep starts at 2.
+std::vector<CheckpointOverheadResult> RunCheckpointOverhead(
+    const RelationData& universal, int max_lhs) {
+  std::vector<CheckpointOverheadResult> results;
+  for (size_t shards : {2, 4}) {
+    FdDiscoveryOptions options;
+    options.max_lhs_size = max_lhs;
+    options.threads = 1;
+    ShardOptions shard_options;
+    shard_options.shard_rows = (universal.num_rows() + shards - 1) / shards;
+    shard_options.threads = 0;
+
+    CheckpointOverheadResult r;
+    r.shards = shards;
+    {
+      ShardedDiscovery plain("hyfd", options, shard_options);
+      Stopwatch watch;
+      auto result = plain.Discover(universal);
+      r.plain_seconds = watch.ElapsedSeconds();
+      if (!result.ok()) continue;
+      r.fd_count = result->CountUnaryFds();
+    }
+
+    std::string dir = (std::filesystem::temp_directory_path() /
+                       ("bench_discovery_ckpt_" + std::to_string(shards)))
+                          .string();
+    std::filesystem::remove_all(dir);
+    CheckpointOptions ckpt;
+    ckpt.dir = dir;
+    CheckpointFingerprint fp;
+    fp.source = "bench_discovery_tpch_universal";
+    fp.source_size = universal.num_rows();
+    fp.backend = "hyfd";
+    fp.max_lhs_size = max_lhs;
+    fp.shard_rows = shard_options.shard_rows;
+    fp.columns = static_cast<int>(universal.num_columns());
+    CheckpointManager manager(ckpt, fp);
+    {
+      ShardedDiscovery checkpointed("hyfd", options, shard_options);
+      checkpointed.SetCheckpointSink(&manager);
+      Stopwatch watch;
+      auto result = checkpointed.Discover(universal);
+      r.checkpointed_seconds = watch.ElapsedSeconds();
+      if (!result.ok()) continue;
+    }
+    r.overhead_pct =
+        r.plain_seconds > 0
+            ? (r.checkpointed_seconds / r.plain_seconds - 1.0) * 100.0
+            : 0.0;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+      if (entry.is_regular_file()) {
+        r.checkpoint_bytes += static_cast<size_t>(entry.file_size());
+      }
+    }
+
+    auto resume = manager.LoadDiscoveryResume(shards);
+    if (resume.ok()) {
+      ShardedDiscovery resumed("hyfd", options, shard_options);
+      resumed.SetResumeState(std::move(*resume));
+      Stopwatch watch;
+      auto result = resumed.Discover(universal);
+      r.resume_seconds = watch.ElapsedSeconds();
+      if (result.ok()) r.plis_reused = resumed.stats().plis_reused;
+    }
+    std::filesystem::remove_all(dir);
+    results.push_back(r);
+  }
+  return results;
+}
+
 void WriteSweepJson(const std::string& path, const RelationData& universal,
                     int max_lhs, const std::vector<SweepResult>& results,
-                    const std::vector<ShardSweepResult>& shard_results) {
+                    const std::vector<ShardSweepResult>& shard_results,
+                    const std::vector<CheckpointOverheadResult>& ckpt_results) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     std::cerr << "cannot write " << path << "\n";
@@ -153,6 +248,22 @@ void WriteSweepJson(const std::string& path, const RelationData& universal,
                   r.shards, r.seconds, r.speedup, r.fd_count,
                   r.cross_shard_violations,
                   i + 1 < shard_results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ],\n"
+      << "  \"checkpoint_overhead\": [\n";
+  for (size_t i = 0; i < ckpt_results.size(); ++i) {
+    const CheckpointOverheadResult& r = ckpt_results[i];
+    char line[320];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"shards\": %zu, \"plain_seconds\": %.6f, "
+        "\"checkpointed_seconds\": %.6f, \"overhead_pct\": %.2f, "
+        "\"resume_seconds\": %.6f, \"checkpoint_bytes\": %zu, "
+        "\"plis_reused\": %zu, \"fds\": %zu}%s\n",
+        r.shards, r.plain_seconds, r.checkpointed_seconds, r.overhead_pct,
+        r.resume_seconds, r.checkpoint_bytes, r.plis_reused, r.fd_count,
+        i + 1 < ckpt_results.size() ? "," : "");
     out << line;
   }
   out << "  ]\n}\n";
@@ -254,8 +365,30 @@ int main(int argc, char** argv) {
                           std::to_string(r.cross_shard_violations)});
     }
     shard_table.Print();
+
+    std::cout << "\n=== Checkpoint overhead (partitioned hyfd + snapshot "
+                 "sink) ===\n";
+    std::vector<CheckpointOverheadResult> ckpt_sweep =
+        RunCheckpointOverhead(universal, max_lhs);
+    TablePrinter ckpt_table({"Shards", "Plain", "Checkpointed", "Overhead",
+                             "Resume", "Bytes", "PLIsReused"});
+    for (const CheckpointOverheadResult& r : ckpt_sweep) {
+      char overhead[32];
+      std::snprintf(overhead, sizeof(overhead), "%+.1f%%", r.overhead_pct);
+      ckpt_table.AddRow({std::to_string(r.shards),
+                         FormatDuration(r.plain_seconds),
+                         FormatDuration(r.checkpointed_seconds), overhead,
+                         FormatDuration(r.resume_seconds),
+                         FormatCount(static_cast<int64_t>(r.checkpoint_bytes)),
+                         std::to_string(r.plis_reused)});
+    }
+    ckpt_table.Print();
+    std::cout << "(resume skips the per-shard fan-out and every validated "
+                 "merge level;\ncheckpoint bytes are the whole directory: "
+                 "covers, per-shard PLIs, frontier.)\n";
+
     WriteSweepJson(args.Get("json", "BENCH_discovery.json"), universal,
-                   max_lhs, sweep, shard_sweep);
+                   max_lhs, sweep, shard_sweep, ckpt_sweep);
   }
   return 0;
 }

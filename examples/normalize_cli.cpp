@@ -28,6 +28,14 @@
 // the sound partial cover found so far, and normalize degrades gracefully
 // (see NormalizerOptions::degrade_on_deadline); both warn on stderr.
 //
+// --checkpoint-dir=<dir>: persist each completed pipeline stage (ingest
+// shards, per-shard covers + PLIs, merge frontier, final cover) as
+// checksummed snapshots. An interrupted run exits 4 with its state flushed;
+// rerunning with --resume continues from the last completed stage and
+// produces the same schema an uninterrupted run would have.
+// --interrupt-at-check=<n> injects a deterministic interruption at the Nth
+// run-context check (fault-injection hook for testing the above).
+//
 // Exit codes (scriptable; one per StatusCode class):
 //   0  success (possibly degraded — check stderr for warnings)
 //   1  internal or unclassified error
@@ -72,7 +80,10 @@ int ExitCodeFor(const Status& status) {
     case StatusCode::kIoError:
     case StatusCode::kNotFound:
     case StatusCode::kUnavailable:
+    case StatusCode::kDataLoss:  // corrupted / truncated checkpoint file
       return 3;
+    case StatusCode::kFailedPrecondition:  // checkpoint from a different run
+      return 2;
     case StatusCode::kDeadlineExceeded:
     case StatusCode::kCancelled:
       return 4;
@@ -97,6 +108,9 @@ struct Flags {
   long shard_rows = 0;      // 0 = unsharded
   long memory_budget = 0;   // ingest buffer cap in bytes; 0 = default
   long deadline_ms = 0;     // 0 = no deadline
+  long interrupt_at_check = 0;  // fault injection: die at the Nth check
+  std::string checkpoint_dir;   // empty = no checkpointing
+  bool resume = false;
   double scale = 1.0;       // entity-count multiplier for --dataset
   bool second_nf = false, third_nf = false, fourth_nf = false, sql = false;
   bool audit = false;
@@ -124,8 +138,12 @@ struct Flags {
       if (const char* v = value("memory-budget"))
         f.memory_budget = std::atol(v);
       if (const char* v = value("deadline-ms")) f.deadline_ms = std::atol(v);
+      if (const char* v = value("interrupt-at-check"))
+        f.interrupt_at_check = std::atol(v);
+      if (const char* v = value("checkpoint-dir")) f.checkpoint_dir = v;
       if (const char* v = value("dataset")) f.dataset = v;
       if (const char* v = value("scale")) f.scale = std::atof(v);
+      if (arg == "--resume") f.resume = true;
       if (arg == "--audit") f.audit = true;
       if (arg == "--2nf") f.second_nf = true;
       if (arg == "--3nf") f.third_nf = true;
@@ -231,8 +249,32 @@ int Closure(const Flags& flags) {
   return extended.ok() ? 0 : ExitCodeFor(extended);
 }
 
+// Writes a generated dataset (--dataset/--scale) as a single universal CSV —
+// the input producer for scripted runs that exercise the file pipeline
+// (sharded ingest, checkpoint/resume) on synthetic data.
+int Generate(const Flags& flags) {
+  auto data = LoadInput(flags);
+  if (!data.ok()) return Fail(data.status());
+  if (flags.output_dir.empty()) {
+    std::cerr << "generate requires --output-dir=<dir>\n";
+    return 2;
+  }
+  std::string path = flags.output_dir + "/" + data->name() + ".csv";
+  Status st = CsvWriter().WriteFile(*data, path);
+  if (!st.ok()) return Fail(st);
+  std::cerr << "wrote " << path << " (" << data->num_rows() << " rows)\n";
+  return 0;
+}
+
 int NormalizeCommand(const Flags& flags) {
+  // Declared before ctx: the context holds a raw pointer to the injector.
+  FaultInjector injector;
   RunContext ctx = flags.MakeContext();
+  if (flags.interrupt_at_check > 0) {
+    injector.InterruptAtNthCheck(static_cast<uint64_t>(flags.interrupt_at_check),
+                                 StatusCode::kDeadlineExceeded);
+    ctx.faults = &injector;
+  }
   NormalizerOptions options;
   options.discovery.max_lhs_size = flags.max_lhs;
   options.discovery.threads = flags.threads;
@@ -247,6 +289,8 @@ int NormalizeCommand(const Flags& flags) {
   if (flags.second_nf) options.normal_form = NormalForm::kSecondNf;
   if (flags.third_nf) options.normal_form = NormalForm::kThirdNf;
   options.audit = flags.audit;
+  options.checkpoint.dir = flags.checkpoint_dir;
+  options.checkpoint.resume = flags.resume;
   options.context = &ctx;
   Normalizer normalizer(options);
 
@@ -263,6 +307,13 @@ int NormalizeCommand(const Flags& flags) {
     return normalizer.Normalize(*data);
   }();
   if (!result.ok()) return Fail(result.status());
+  if (result->stats.resumed) {
+    std::cerr << "resumed from " << flags.checkpoint_dir << ":";
+    for (const std::string& stage : result->stats.resumed_stages) {
+      std::cerr << " " << stage;
+    }
+    std::cerr << "\n";
+  }
   if (!result->stats.completion.ok()) {
     std::cerr << "warning: run degraded (" +
                      result->stats.completion.ToString() + "):\n";
@@ -322,6 +373,7 @@ int main(int argc, char** argv) {
   if (flags.command == "discover") return Discover(flags);
   if (flags.command == "closure") return Closure(flags);
   if (flags.command == "normalize") return NormalizeCommand(flags);
+  if (flags.command == "generate") return Generate(flags);
   std::cerr
       << "usage: normalize_cli <discover|closure|normalize> [flags]\n"
          "  discover   --input=<csv> [--algorithm=hyfd|tane|fdep]\n"
@@ -330,9 +382,12 @@ int main(int argc, char** argv) {
          "             [--algorithm=optimized|improved|naive] [--threads=<n>]\n"
          "  normalize  --input=<csv> [--max-lhs=<n>] [--threads=<n>]\n"
          "             [--shard-rows=<n>] [--memory-budget=<bytes>]\n"
+         "             [--checkpoint-dir=<dir>] [--resume]\n"
          "             [--2nf|--3nf] [--4nf] [--audit]\n"
          "             [--sql] [--output-dir=<dir>] [--schema-output=<file>]\n"
          "             [--report=<file.md>]\n"
+         "  generate   --dataset=<name> [--scale=<f>] --output-dir=<dir>\n"
+         "             (writes the generated universal relation as CSV)\n"
          "Common flags:\n"
          "  --dataset=<address|tpch|musicbrainz>: use a generated dataset\n"
          "    instead of --input; --scale=<f> shrinks/grows entity counts.\n"
@@ -341,6 +396,9 @@ int main(int argc, char** argv) {
          "  --threads: 0 = hardware concurrency (default), 1 = serial.\n"
          "  --shard-rows: partitioned discovery; with --input the CSV is\n"
          "    streamed in shards under the --memory-budget byte cap.\n"
+         "  --checkpoint-dir: persist completed stages; an interrupted run\n"
+         "    exits 4 with its state flushed, and --resume continues it,\n"
+         "    reproducing the uninterrupted schema bit for bit.\n"
          "  --audit: run the correctness auditor (lossless join, normal-form\n"
          "    compliance, FD-cover soundness) and print its report.\n"
          "Exit codes: 0 ok (warnings on stderr if degraded), 1 internal,\n"

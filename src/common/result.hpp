@@ -56,10 +56,18 @@ class [[nodiscard]] Result {
 };
 
 /// Early-return helper: assign the value of a Result expression to `lhs`, or
-/// propagate its error status.
-#define NORMALIZE_ASSIGN_OR_RETURN(lhs, expr)       \
-  auto _res_##__LINE__ = (expr);                    \
-  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
-  lhs = std::move(_res_##__LINE__).value();
+/// propagate its error status. The temporary's name embeds the line number
+/// (via the two-step concat below) so several uses can share one scope.
+#define NORMALIZE_INTERNAL_CONCAT2(a, b) a##b
+#define NORMALIZE_INTERNAL_CONCAT(a, b) NORMALIZE_INTERNAL_CONCAT2(a, b)
+
+#define NORMALIZE_ASSIGN_OR_RETURN(lhs, expr) \
+  NORMALIZE_ASSIGN_OR_RETURN_IMPL(            \
+      NORMALIZE_INTERNAL_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define NORMALIZE_ASSIGN_OR_RETURN_IMPL(res, lhs, expr) \
+  auto res = (expr);                                    \
+  if (!res.ok()) return res.status();                   \
+  lhs = std::move(res).value();
 
 }  // namespace normalize

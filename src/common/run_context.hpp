@@ -42,11 +42,18 @@ class Deadline {
     Deadline d;
     d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                std::chrono::duration<double>(seconds));
+    d.budget_seconds_ = seconds;
     return d;
   }
 
   bool has_deadline() const { return at_.has_value(); }
   bool Expired() const { return at_.has_value() && Clock::now() >= *at_; }
+
+  /// The total budget this deadline was created with (AfterSeconds /
+  /// AfterMillis); +infinity for Never(). Adaptive degradation sizes its
+  /// bounded rerun against this, not against the (already exhausted)
+  /// remaining time.
+  double budget_seconds() const { return budget_seconds_; }
 
   /// Seconds until expiry; +infinity without a deadline, <= 0 once expired.
   double RemainingSeconds() const {
@@ -57,6 +64,7 @@ class Deadline {
  private:
   using Clock = std::chrono::steady_clock;
   std::optional<Clock::time_point> at_;
+  double budget_seconds_ = std::numeric_limits<double>::infinity();
 };
 
 /// A copyable cancel flag: all copies share one state, Cancel() on any copy
@@ -177,6 +185,19 @@ struct RetryPolicy {
   }
 };
 
+/// Observer for the moment a stage first notices an interruption. The
+/// persistence layer installs one so in-flight state (partial covers, the
+/// validation frontier, run stats) is flushed to the checkpoint directory
+/// *before* the pipeline unwinds. Implementations must be idempotent and
+/// thread-safe: several stages may observe the same interruption.
+class CheckpointHook {
+ public:
+  virtual ~CheckpointHook() = default;
+
+  /// `why` carries the interruption code (kCancelled / kDeadlineExceeded).
+  virtual void OnInterruption(const Status& why) = 0;
+};
+
 /// The bundle threaded through the pipeline. Stages receive it as a
 /// `const RunContext*` (nullptr = no limits) and poll Check() at loop
 /// boundaries; an I/O layer additionally routes reads through `faults`.
@@ -186,6 +207,9 @@ struct RunContext {
   /// Not owned; may be null. Wired under the ByteSource seam and into
   /// Check() for deterministic interruption tests.
   FaultInjector* faults = nullptr;
+  /// Not owned; may be null. Notified (via NotifyInterruption) when a stage
+  /// observes an interruption, so durable state can be flushed.
+  CheckpointHook* checkpoint_hook = nullptr;
 
   /// OK, or the first of: injected interruption, kCancelled, then
   /// kDeadlineExceeded. An injected kCancelled also fires the real token so
@@ -201,6 +225,15 @@ struct RunContext {
   bool SoftInterrupted() const {
     if (faults != nullptr && faults->InterruptLatched()) return true;
     return cancel.IsCancelled() || deadline.Expired();
+  }
+
+  /// Forwards an observed interruption to the checkpoint hook (if any).
+  /// No-op for OK and non-interruption statuses, so stages can call it
+  /// unconditionally on their early-exit paths.
+  void NotifyInterruption(const Status& why) const {
+    if (checkpoint_hook != nullptr && !why.ok() && IsInterruption(why.code())) {
+      checkpoint_hook->OnInterruption(why);
+    }
   }
 };
 

@@ -27,6 +27,10 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// Transient failure (e.g. an injected or flaky I/O error) — safe to retry.
   kUnavailable,
+  /// Stored state is corrupt or unreadable: bad magic, unsupported format
+  /// version, CRC mismatch, or truncation. Unlike kIoError the bytes were
+  /// read fine — they just cannot be trusted. Not retryable.
+  kDataLoss,
 };
 
 /// Returns a short human-readable name for a status code (e.g. "InvalidArgument").
@@ -79,6 +83,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.hpp"
 #include "common/run_context.hpp"
@@ -18,6 +19,7 @@
 
 namespace normalize {
 
+class PliCache;
 class ThreadPool;
 
 /// Options shared by all discovery algorithms.
@@ -69,6 +71,30 @@ class FdDiscovery {
   /// kDeadlineExceeded when it was interrupted and the returned FdSet is a
   /// sound partial cover (a subset of the full minimal cover).
   const Status& completion_status() const { return completion_; }
+
+  /// Agree-set evidence (negative-cover witnesses, in the relation's local
+  /// column space) accumulated by the last Discover() call, in canonical
+  /// sorted order. The evidence fully determines the candidate tree the run
+  /// had reached, so checkpoints persist it and a resumed run imports it.
+  /// Empty for algorithms that do not track evidence.
+  virtual std::vector<AttributeSet> ExportEvidence() const { return {}; }
+
+  /// Pre-seeds the next Discover() call with previously exported evidence:
+  /// the run re-induces it before sampling, skipping the row comparisons and
+  /// validation violations that originally produced it. A no-op for
+  /// algorithms without evidence tracking; evidence whose capacity does not
+  /// match the next input is ignored.
+  virtual void ImportEvidence(std::vector<AttributeSet> evidence) {
+    (void)evidence;
+  }
+
+  /// The single-column PLI cache the last Discover() call built over its
+  /// input, shared so downstream consumers (merge validation, checkpoints)
+  /// reuse it instead of rebuilding. Null for algorithms that do not expose
+  /// one; valid only while the discovered relation is alive.
+  virtual std::shared_ptr<const PliCache> shared_pli_cache() const {
+    return nullptr;
+  }
 
  protected:
   explicit FdDiscovery(FdDiscoveryOptions options) : options_(options) {}

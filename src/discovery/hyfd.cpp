@@ -1,7 +1,9 @@
 #include "discovery/hyfd.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -92,6 +94,8 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
   stats_ = Stats{};
   phase_metrics_.Clear();
   completion_ = Status::OK();
+  evidence_.clear();
+  cache_.reset();
   int n = data.num_columns();
   size_t rows = data.num_rows();
   if (n == 0) return FdSet{};
@@ -133,10 +137,18 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
   // subset of X has been refuted by evidence (so X -> A is minimal on the
   // data, not just minimal-so-far). The filtered cover is therefore a sound
   // subset of the full minimal cover.
+  // Canonical (sorted) evidence snapshot for ExportEvidence() — taken on
+  // every exit path so checkpoints always see the final negative cover.
+  auto export_evidence = [&]() {
+    evidence_.assign(seen_agree_sets.begin(), seen_agree_sets.end());
+    std::sort(evidence_.begin(), evidence_.end());
+  };
+
   int last_complete_level = -1;
   auto partial_result = [&](FdTree* cover, Status why) -> Result<FdSet> {
     completion_ = std::move(why);
     stats_.distinct_agree_sets = seen_agree_sets.size();
+    export_evidence();
     std::vector<Fd> kept;
     if (last_complete_level >= 0) {
       MinimizeCover(cover);
@@ -153,7 +165,11 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
   if (!interrupted.ok()) return partial_result(&tree, std::move(interrupted));
 
   Stopwatch phase_watch;
-  PliCache cache(data, pool);
+  // The cache is shared (shared_pli_cache()) so the merge driver and
+  // checkpoints can reuse it after Discover() returns.
+  auto cache_shared = std::make_shared<PliCache>(data, pool);
+  const PliCache& cache = *cache_shared;
+  cache_ = cache_shared;
   phase_metrics_.Record("pli_build", phase_watch.ElapsedSeconds(),
                         static_cast<uint64_t>(n));
   interrupted = CheckContext();
@@ -161,6 +177,24 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
   phase_watch.Restart();
   Sampler sampler(data, cache, pool);
   phase_metrics_.Record("sampler_init", phase_watch.ElapsedSeconds());
+
+  // Resume path: re-induce checkpointed evidence before any sampling. The
+  // negative cover fully determines the candidate tree, so this restores
+  // the interrupted run's state without re-validating what it had refuted.
+  if (!imported_evidence_.empty()) {
+    phase_watch.Restart();
+    size_t imported = 0;
+    for (const AttributeSet& ag : imported_evidence_) {
+      if (ag.capacity() != n) continue;  // stale evidence for another schema
+      if (seen_agree_sets.insert(ag).second) {
+        InduceFromAgreeSet(&tree, ag, options_.max_lhs_size);
+        ++imported;
+      }
+    }
+    imported_evidence_.clear();
+    phase_metrics_.Record("evidence_import", phase_watch.ElapsedSeconds(),
+                          imported);
+  }
 
   auto run_sampling = [&]() {
     if (stats_.sampling_rounds >= config_.max_sampling_rounds ||
@@ -288,8 +322,12 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
       }
       stats_.validated_candidates += checked;
       stats_.invalid_candidates += invalid;
-      phase_metrics_.Record("validation", validation_watch.ElapsedSeconds(),
-                            checked);
+      double validation_s = validation_watch.ElapsedSeconds();
+      phase_metrics_.Record("validation", validation_s, checked);
+      // Per-level record: the adaptive degradation picker reads these to
+      // find the deepest level that fits the time budget.
+      phase_metrics_.Record("validation_L" + std::to_string(level),
+                            validation_s, checked);
       Stopwatch induction_watch;
       for (const AttributeSet& ag : evidence) {
         InduceFromAgreeSet(&tree, ag, options_.max_lhs_size);
@@ -315,6 +353,7 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
 
   MinimizeCover(&tree);
   stats_.distinct_agree_sets = seen_agree_sets.size();
+  export_evidence();
   return RemapToGlobal(tree.CollectAllFds(), data);
 }
 

@@ -39,6 +39,16 @@ class HyFd : public FdDiscovery {
   std::string name() const override { return "HyFd"; }
   Result<FdSet> Discover(const RelationData& data) override;
 
+  std::vector<AttributeSet> ExportEvidence() const override {
+    return evidence_;
+  }
+  void ImportEvidence(std::vector<AttributeSet> evidence) override {
+    imported_evidence_ = std::move(evidence);
+  }
+  std::shared_ptr<const PliCache> shared_pli_cache() const override {
+    return cache_;
+  }
+
   /// Statistics of the last run (for the evaluation harness).
   struct Stats {
     int sampling_rounds = 0;
@@ -52,6 +62,12 @@ class HyFd : public FdDiscovery {
  private:
   HyFdConfig config_;
   Stats stats_;
+  /// Sorted agree sets of the last run (see ExportEvidence).
+  std::vector<AttributeSet> evidence_;
+  /// Evidence to re-induce at the start of the next run (consumed once).
+  std::vector<AttributeSet> imported_evidence_;
+  /// The last run's PLI cache, kept alive for shared_pli_cache().
+  std::shared_ptr<const PliCache> cache_;
 };
 
 }  // namespace normalize

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "common/stopwatch.hpp"
@@ -155,7 +156,11 @@ Result<FdSet> Tane::Discover(const RelationData& data) {
         }
       }
     }
-    phase_metrics_.Record("compute_deps", phase_watch.ElapsedSeconds(),
+    double deps_s = phase_watch.ElapsedSeconds();
+    phase_metrics_.Record("compute_deps", deps_s, level.size());
+    // Level l emits FDs with LHS size l-1; the per-level record feeds the
+    // adaptive degradation picker.
+    phase_metrics_.Record("compute_deps_L" + std::to_string(l - 1), deps_s,
                           level.size());
 
     // --- PRUNE ---

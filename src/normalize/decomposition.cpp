@@ -1,5 +1,7 @@
 #include "normalize/decomposition.hpp"
 
+#include <algorithm>
+
 #include "relation/operations.hpp"
 
 namespace normalize {
@@ -17,6 +19,26 @@ Decomposition DecomposeData(const RelationData& data, const Fd& violating_fd,
       Project(data, r1_attrs, /*distinct=*/true, data.name()),
       Project(data, r2_attrs, /*distinct=*/true, r2_name),
   };
+  return result;
+}
+
+ShardedDecomposition DecomposeDataShards(
+    const std::vector<RelationData>& shards, const Fd& violating_fd,
+    const std::string& r2_name, size_t* transient_bytes) {
+  const RelationData& first = shards.front();
+  AttributeSet all = first.AttributesAsSet();
+  AttributeSet r2_attrs = violating_fd.lhs.Union(violating_fd.rhs);
+  AttributeSet r1_attrs = all.Difference(violating_fd.rhs);
+
+  size_t r1_bytes = 0;
+  size_t r2_bytes = 0;
+  ShardedDecomposition result{
+      ProjectShardsDistinct(shards, r1_attrs, first.name(), &r1_bytes),
+      ProjectShardsDistinct(shards, r2_attrs, r2_name, &r2_bytes),
+  };
+  if (transient_bytes != nullptr) {
+    *transient_bytes = std::max(r1_bytes, r2_bytes);
+  }
   return result;
 }
 

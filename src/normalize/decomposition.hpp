@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/attribute_set.hpp"
 #include "fd/fd.hpp"
@@ -23,6 +24,23 @@ struct Decomposition {
 /// relation; R1 keeps the original name.
 Decomposition DecomposeData(const RelationData& data, const Fd& violating_fd,
                             const std::string& r2_name);
+
+/// The instance-level result of one out-of-core decomposition step: R1 and
+/// R2 as shard vectors (shard i of each output projects input shard i).
+struct ShardedDecomposition {
+  std::vector<RelationData> r1;
+  std::vector<RelationData> r2;
+};
+
+/// Sharded DecomposeData: splits a dictionary-sharing shard vector without
+/// concatenating it (relation/operations.hpp, ProjectShardsDistinct).
+/// Concatenating each output equals DecomposeData on the concatenated input
+/// bit-for-bit. `transient_bytes`, when non-null, receives the larger of the
+/// two projections' cross-shard dedup footprints — the step's transient
+/// working memory.
+ShardedDecomposition DecomposeDataShards(
+    const std::vector<RelationData>& shards, const Fd& violating_fd,
+    const std::string& r2_name, size_t* transient_bytes = nullptr);
 
 /// Applies one decomposition to the schema: relation `relation_index` is
 /// replaced in place by R1 (its index — and thus all foreign keys pointing

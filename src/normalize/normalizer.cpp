@@ -1,21 +1,43 @@
 #include "normalize/normalizer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
+#include <map>
+#include <optional>
+
+#include <filesystem>
 
 #include "audit/decomposition_auditor.hpp"
 #include "closure/closure.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "discovery/ucc.hpp"
+#include "persist/checkpoint.hpp"
 #include "normalize/decomposition.hpp"
 #include "normalize/key_derivation.hpp"
 #include "normalize/scoring.hpp"
+#include "shard/shard_relation.hpp"
 #include "shard/sharded_csv.hpp"
 #include "shard/sharded_discovery.hpp"
 
 namespace normalize {
+
+namespace {
+
+/// The error a checkpointed run returns when an interruption ends it: the
+/// interruption itself, annotated with where the state went and how to
+/// continue. Degrading instead would finish with a *different* schema than
+/// the checkpoint promises to resume to.
+Status CheckpointedInterruption(const Status& why, const std::string& dir) {
+  return Status(why.code(), why.message() + "; pipeline state checkpointed to " +
+                                dir + " (rerun with --checkpoint-dir=" + dir +
+                                " --resume to continue)");
+}
+
+}  // namespace
 
 std::string DecisionRecord::ToString(
     const std::vector<std::string>& attribute_names) const {
@@ -73,45 +95,147 @@ Result<NormalizationResult> Normalizer::Normalize(const RelationData& input) {
   NormalizationResult result;
   const RunContext* ctx = options_.context;
 
+  // With sharding requested, one slicing drives both partitioned discovery
+  // and the out-of-core decomposition — same result, bounded transient
+  // memory (FinishNormalization).
+  std::vector<RelationData> input_shards;
+  if (options_.shard.shard_rows > 0) {
+    input_shards = SliceIntoShards(input, options_.shard.shard_rows);
+  } else {
+    input_shards.push_back(input);
+  }
+
+  // Checkpointing mirrors NormalizeCsvFile, minus the ingest stage (the
+  // input is already in memory; the fingerprint still pins its identity).
+  std::optional<CheckpointManager> checkpoint;
+  RunContext hook_ctx;
+  if (options_.checkpoint.enabled()) {
+    CheckpointFingerprint fp;
+    fp.source = input.name();
+    fp.source_size = input.num_rows();
+    fp.backend = options_.discovery_algorithm;
+    fp.max_lhs_size = options_.discovery.max_lhs_size;
+    fp.shard_rows = options_.shard.shard_rows;
+    fp.columns = input.num_columns();
+    checkpoint.emplace(options_.checkpoint, fp);
+    if (ctx != nullptr) {
+      hook_ctx = *ctx;
+      hook_ctx.checkpoint_hook = &*checkpoint;
+      ctx = &hook_ctx;
+    }
+  }
+
   // --- (1) FD discovery ---
-  // One attempt with the given options; completion reports interruptions.
-  auto run_discovery = [&](const FdDiscoveryOptions& opts,
-                           Status* completion) -> Result<FdSet> {
-    Stopwatch watch;
-    if (options_.shard.shard_rows > 0) {
-      ShardedDiscovery discovery(options_.discovery_algorithm, opts,
-                                 options_.shard);
-      auto fds_result = discovery.Discover(input);
+  FdSet fds;
+  bool cover_loaded = false;
+  if (checkpoint.has_value() && options_.checkpoint.resume) {
+    auto cover = checkpoint->LoadCover();
+    if (cover.ok()) {
+      fds = std::move(cover).value();
+      cover_loaded = true;
+      result.stats.resumed = true;
+      result.stats.resumed_stages.push_back("cover");
+      RecordDiscoveryStats(&result.stats, fds, 0.0, PhaseMetrics());
+    } else if (cover.status().code() != StatusCode::kNotFound) {
+      return cover.status();
+    }
+  }
+  if (!cover_loaded) {
+    // Resume state: the sharded merge path restores covers/PLIs/frontier;
+    // the plain backend path re-imports agree-set evidence (the negative
+    // cover, which fully determines the positive cover).
+    DiscoveryResumeState resume_state;
+    std::vector<AttributeSet> resume_evidence;
+    if (checkpoint.has_value() && options_.checkpoint.resume) {
+      if (options_.shard.shard_rows > 0) {
+        auto loaded = checkpoint->LoadDiscoveryResume(input_shards.size());
+        if (!loaded.ok()) return loaded.status();
+        resume_state = std::move(loaded).value();
+        if (!resume_state.shard_covers.empty()) {
+          result.stats.resumed = true;
+          result.stats.resumed_stages.push_back("shard_covers");
+        }
+        if (resume_state.has_frontier) {
+          result.stats.resumed = true;
+          result.stats.resumed_stages.push_back("merge_frontier");
+        }
+      } else {
+        auto loaded = checkpoint->LoadEvidence();
+        if (loaded.ok()) {
+          resume_evidence = std::move(loaded).value();
+          if (!resume_evidence.empty()) {
+            result.stats.resumed = true;
+            result.stats.resumed_stages.push_back("evidence");
+          }
+        } else if (loaded.status().code() != StatusCode::kNotFound) {
+          return loaded.status();
+        }
+      }
+    }
+
+    // One attempt with the given options; completion reports interruptions.
+    auto run_discovery = [&](const FdDiscoveryOptions& opts,
+                             Status* completion) -> Result<FdSet> {
+      Stopwatch watch;
+      if (options_.shard.shard_rows > 0) {
+        ShardedDiscovery discovery(options_.discovery_algorithm, opts,
+                                   options_.shard);
+        if (checkpoint.has_value()) {
+          discovery.SetCheckpointSink(&*checkpoint);
+          discovery.SetResumeState(std::move(resume_state));
+          resume_state = DiscoveryResumeState{};
+        }
+        auto fds_result = discovery.Discover(input_shards);
+        if (!fds_result.ok()) return fds_result.status();
+        *completion = discovery.completion_status();
+        result.stats.plis_reused += discovery.stats().plis_reused;
+        RecordDiscoveryStats(&result.stats, *fds_result, watch.ElapsedSeconds(),
+                             discovery.phase_metrics());
+        return std::move(fds_result).value();
+      }
+      std::unique_ptr<FdDiscovery> discovery =
+          MakeFdDiscovery(options_.discovery_algorithm, opts);
+      if (discovery == nullptr) {
+        return Status::InvalidArgument("unknown discovery algorithm: " +
+                                       options_.discovery_algorithm);
+      }
+      if (!resume_evidence.empty()) {
+        discovery->ImportEvidence(std::move(resume_evidence));
+        resume_evidence.clear();
+      }
+      auto fds_result = discovery->Discover(input);
       if (!fds_result.ok()) return fds_result.status();
-      *completion = discovery.completion_status();
+      *completion = discovery->completion_status();
+      if (checkpoint.has_value() && !completion->ok()) {
+        NORMALIZE_RETURN_IF_ERROR(
+            checkpoint->SaveEvidence(discovery->ExportEvidence()));
+      }
       RecordDiscoveryStats(&result.stats, *fds_result, watch.ElapsedSeconds(),
-                           discovery.phase_metrics());
+                           discovery->phase_metrics());
       return std::move(fds_result).value();
-    }
-    std::unique_ptr<FdDiscovery> discovery =
-        MakeFdDiscovery(options_.discovery_algorithm, opts);
-    if (discovery == nullptr) {
-      return Status::InvalidArgument("unknown discovery algorithm: " +
-                                     options_.discovery_algorithm);
-    }
-    auto fds_result = discovery->Discover(input);
+    };
+
+    FdDiscoveryOptions discovery_options = options_.discovery;
+    discovery_options.pool = SharedPool();
+    if (discovery_options.context == nullptr) discovery_options.context = ctx;
+
+    Status completion;
+    auto fds_result = run_discovery(discovery_options, &completion);
     if (!fds_result.ok()) return fds_result.status();
-    *completion = discovery->completion_status();
-    RecordDiscoveryStats(&result.stats, *fds_result, watch.ElapsedSeconds(),
-                         discovery->phase_metrics());
-    return std::move(fds_result).value();
-  };
-
-  FdDiscoveryOptions discovery_options = options_.discovery;
-  discovery_options.pool = SharedPool();
-  if (discovery_options.context == nullptr) discovery_options.context = ctx;
-
-  Status completion;
-  auto fds_result = run_discovery(discovery_options, &completion);
-  if (!fds_result.ok()) return fds_result.status();
-  FdSet fds = std::move(fds_result).value();
-  NORMALIZE_RETURN_IF_ERROR(ApplyDiscoveryDegradation(
-      std::move(completion), &fds, &result.stats, run_discovery));
+    fds = std::move(fds_result).value();
+    if (checkpoint.has_value()) {
+      // A checkpointed run never degrades — degrading would finish with a
+      // different schema than the checkpoint promises a resume will reach.
+      if (!completion.ok()) {
+        checkpoint->OnInterruption(completion);
+        return CheckpointedInterruption(completion, options_.checkpoint.dir);
+      }
+      NORMALIZE_RETURN_IF_ERROR(checkpoint->SaveCover(fds));
+    } else {
+      NORMALIZE_RETURN_IF_ERROR(ApplyDiscoveryDegradation(
+          std::move(completion), &fds, &result.stats, run_discovery));
+    }
+  }
 
   // Once the deadline has tripped, finishing under it would skip every
   // remaining stage — run them to completion on what discovery produced,
@@ -122,8 +246,41 @@ Result<NormalizationResult> Normalizer::Normalize(const RelationData& input) {
     fallback_ctx.cancel = ctx->cancel;
     finish_ctx = &fallback_ctx;
   }
-  return FinishNormalization(input, std::move(fds), std::move(result),
-                             total_watch, finish_ctx);
+  return FinishNormalization(input.name(), std::move(input_shards),
+                             std::move(fds), std::move(result), total_watch,
+                             finish_ctx);
+}
+
+int PickDegradedMaxLhs(const PhaseMetrics& discovery_phases,
+                       double budget_seconds) {
+  if (!(budget_seconds > 0) || !std::isfinite(budget_seconds)) return 0;
+  // Accumulate per-LHS-size times across the "*_L<k>" records (they may
+  // carry the "discovery/" prefix after the stats merge).
+  std::map<int, double> level_seconds;
+  for (const PhaseMetrics::Phase& phase : discovery_phases.phases()) {
+    size_t pos = phase.name.rfind("_L");
+    if (pos == std::string::npos) continue;
+    std::string digits = phase.name.substr(pos + 2);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    int level = std::atoi(digits.c_str());
+    if (level <= 0) continue;  // an LHS-size bound of 0 is meaningless
+    level_seconds[level] += phase.seconds;
+  }
+  // Half the budget re-pays the levels the interrupted run already timed;
+  // the other half is headroom for sampling, induction, and the stages
+  // after discovery.
+  double budget = 0.5 * budget_seconds;
+  double cumulative = 0.0;
+  int pick = 0;
+  for (const auto& entry : level_seconds) {
+    cumulative += entry.second;
+    if (cumulative > budget) break;
+    pick = entry.first;
+  }
+  return pick;
 }
 
 Status Normalizer::ApplyDiscoveryDegradation(
@@ -134,9 +291,20 @@ Status Normalizer::ApplyDiscoveryDegradation(
   if (completion.code() == StatusCode::kCancelled) return completion;
 
   // Deadline exceeded: try the bounded rerun first — the paper's LHS-size
-  // pruning (§4.3) reused as a time bound. Skip it when the original run
-  // was already at least as bounded (the rerun would redo the same work).
+  // pruning (§4.3) reused as a time bound. The bound comes from the
+  // interrupted run's own per-level timings when they support a choice, and
+  // from the degraded_max_lhs constant otherwise. Skip the rerun when the
+  // original run was already at least as bounded (it would redo the same
+  // work).
   int bound = options_.degraded_max_lhs;
+  if (options_.adaptive_degradation && options_.context != nullptr) {
+    int adaptive = PickDegradedMaxLhs(
+        stats->phases, options_.context->deadline.budget_seconds());
+    if (adaptive > 0) {
+      bound = adaptive;
+      stats->adaptive_degraded_max_lhs = adaptive;
+    }
+  }
   bool already_bounded = options_.discovery.max_lhs_size > 0 &&
                          options_.discovery.max_lhs_size <= bound;
   if (options_.degrade_on_deadline && bound > 0 && !already_bounded) {
@@ -161,6 +329,7 @@ Status Normalizer::ApplyDiscoveryDegradation(
       stats->skipped.push_back(
           "fd_discovery: deadline exceeded; rerun with max_lhs_size=" +
           std::to_string(bound) +
+          (stats->adaptive_degraded_max_lhs > 0 ? " (adaptive)" : "") +
           " (FDs with larger LHSs are not explored)");
       return Status::OK();
     }
@@ -186,41 +355,132 @@ Result<NormalizationResult> Normalizer::NormalizeCsvFile(
   NormalizationResult result;
   const RunContext* ctx = options_.context;
 
+  // Checkpointing: one manager per run, keyed by a fingerprint of the input
+  // file and the run configuration. Installed as the context's checkpoint
+  // hook so stages flush interruption notes before unwinding.
+  std::optional<CheckpointManager> checkpoint;
+  RunContext hook_ctx;
+  if (options_.checkpoint.enabled()) {
+    CheckpointFingerprint fp;
+    fp.source = path;
+    std::error_code ec;
+    uint64_t size = std::filesystem::file_size(path, ec);
+    fp.source_size = ec ? 0 : size;
+    fp.backend = options_.discovery_algorithm;
+    fp.max_lhs_size = options_.discovery.max_lhs_size;
+    fp.shard_rows = options_.shard.shard_rows;
+    fp.columns = 0;  // unknown before ingest; constant for CSV fingerprints
+    checkpoint.emplace(options_.checkpoint, fp);
+    if (ctx != nullptr) {
+      hook_ctx = *ctx;
+      hook_ctx.checkpoint_hook = &*checkpoint;
+      ctx = &hook_ctx;
+    }
+  }
+
   Stopwatch watch;
-  ShardedCsvReader reader(csv_options, options_.shard, ctx);
-  size_t ingest_retries = 0;
-  auto ingest_result =
-      reader.ReadFileWithRetry(path, options_.ingest_retry, &ingest_retries);
-  if (!ingest_result.ok()) return ingest_result.status();
-  ShardedRelation sharded = std::move(ingest_result).value();
-  result.stats.ingest_retries = ingest_retries;
+  ShardedRelation sharded;
+  bool ingest_loaded = false;
+  if (checkpoint.has_value() && options_.checkpoint.resume) {
+    auto loaded = checkpoint->LoadIngest();
+    if (loaded.ok()) {
+      sharded = std::move(loaded).value();
+      ingest_loaded = true;
+      result.stats.resumed = true;
+      result.stats.resumed_stages.push_back("ingest");
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  }
+  if (!ingest_loaded) {
+    ShardedCsvReader reader(csv_options, options_.shard, ctx);
+    size_t ingest_retries = 0;
+    auto ingest_result =
+        reader.ReadFileWithRetry(path, options_.ingest_retry, &ingest_retries);
+    if (!ingest_result.ok()) return ingest_result.status();
+    sharded = std::move(ingest_result).value();
+    result.stats.ingest_retries = ingest_retries;
+    if (checkpoint.has_value()) {
+      NORMALIZE_RETURN_IF_ERROR(checkpoint->SaveIngest(sharded));
+    }
+  }
+  result.stats.peak_ingest_buffer_bytes = sharded.peak_ingest_buffer_bytes;
   result.stats.phases.Record("shard_ingest", watch.ElapsedSeconds(),
                              sharded.total_rows);
 
-  auto run_discovery = [&](const FdDiscoveryOptions& opts,
-                           Status* completion) -> Result<FdSet> {
-    Stopwatch discovery_watch;
-    ShardedDiscovery discovery(options_.discovery_algorithm, opts,
-                               options_.shard);
-    auto fds_result = discovery.Discover(sharded.shards);
+  // A checkpointed final cover supersedes discovery: the minimal cover is
+  // unique, and the decomposition is deterministic given cover + input.
+  FdSet fds;
+  bool cover_loaded = false;
+  if (checkpoint.has_value() && options_.checkpoint.resume) {
+    auto cover = checkpoint->LoadCover();
+    if (cover.ok()) {
+      fds = std::move(cover).value();
+      cover_loaded = true;
+      result.stats.resumed = true;
+      result.stats.resumed_stages.push_back("cover");
+      RecordDiscoveryStats(&result.stats, fds, 0.0, PhaseMetrics());
+    } else if (cover.status().code() != StatusCode::kNotFound) {
+      return cover.status();
+    }
+  }
+  if (!cover_loaded) {
+    DiscoveryResumeState resume_state;
+    if (checkpoint.has_value() && options_.checkpoint.resume) {
+      auto loaded = checkpoint->LoadDiscoveryResume(sharded.shards.size());
+      if (!loaded.ok()) return loaded.status();
+      resume_state = std::move(loaded).value();
+      if (!resume_state.shard_covers.empty()) {
+        result.stats.resumed = true;
+        result.stats.resumed_stages.push_back("shard_covers");
+      }
+      if (resume_state.has_frontier) {
+        result.stats.resumed = true;
+        result.stats.resumed_stages.push_back("merge_frontier");
+      }
+    }
+
+    auto run_discovery = [&](const FdDiscoveryOptions& opts,
+                             Status* completion) -> Result<FdSet> {
+      Stopwatch discovery_watch;
+      ShardedDiscovery discovery(options_.discovery_algorithm, opts,
+                                 options_.shard);
+      if (checkpoint.has_value()) {
+        discovery.SetCheckpointSink(&*checkpoint);
+        discovery.SetResumeState(std::move(resume_state));
+        resume_state = DiscoveryResumeState{};
+      }
+      auto fds_result = discovery.Discover(sharded.shards);
+      if (!fds_result.ok()) return fds_result.status();
+      *completion = discovery.completion_status();
+      result.stats.plis_reused += discovery.stats().plis_reused;
+      RecordDiscoveryStats(&result.stats, *fds_result,
+                           discovery_watch.ElapsedSeconds(),
+                           discovery.phase_metrics());
+      return std::move(fds_result).value();
+    };
+
+    FdDiscoveryOptions discovery_options = options_.discovery;
+    discovery_options.pool = SharedPool();
+    if (discovery_options.context == nullptr) discovery_options.context = ctx;
+
+    Status completion;
+    auto fds_result = run_discovery(discovery_options, &completion);
     if (!fds_result.ok()) return fds_result.status();
-    *completion = discovery.completion_status();
-    RecordDiscoveryStats(&result.stats, *fds_result,
-                         discovery_watch.ElapsedSeconds(),
-                         discovery.phase_metrics());
-    return std::move(fds_result).value();
-  };
-
-  FdDiscoveryOptions discovery_options = options_.discovery;
-  discovery_options.pool = SharedPool();
-  if (discovery_options.context == nullptr) discovery_options.context = ctx;
-
-  Status completion;
-  auto fds_result = run_discovery(discovery_options, &completion);
-  if (!fds_result.ok()) return fds_result.status();
-  FdSet fds = std::move(fds_result).value();
-  NORMALIZE_RETURN_IF_ERROR(ApplyDiscoveryDegradation(
-      std::move(completion), &fds, &result.stats, run_discovery));
+    fds = std::move(fds_result).value();
+    if (checkpoint.has_value()) {
+      // A checkpointed run never degrades — degrading would finish with a
+      // different schema than the checkpoint promises a resume will reach.
+      if (!completion.ok()) {
+        checkpoint->OnInterruption(completion);
+        return CheckpointedInterruption(completion, options_.checkpoint.dir);
+      }
+      NORMALIZE_RETURN_IF_ERROR(checkpoint->SaveCover(fds));
+    } else {
+      NORMALIZE_RETURN_IF_ERROR(ApplyDiscoveryDegradation(
+          std::move(completion), &fds, &result.stats, run_discovery));
+    }
+  }
 
   RunContext fallback_ctx;
   const RunContext* finish_ctx = ctx;
@@ -229,18 +489,40 @@ Result<NormalizationResult> Normalizer::NormalizeCsvFile(
     finish_ctx = &fallback_ctx;
   }
 
-  // Decomposition works on the stitched relation: same dictionaries, so this
-  // costs one code vector per column, not a string re-parse.
-  RelationData input = sharded.Concatenate(sharded.name);
-  return FinishNormalization(input, std::move(fds), std::move(result),
-                             total_watch, finish_ctx);
+  // Decomposition works directly on the ingest shards — the input is never
+  // stitched into one relation; only the final result's instances are.
+  return FinishNormalization(sharded.name, std::move(sharded.shards),
+                             std::move(fds), std::move(result), total_watch,
+                             finish_ctx);
 }
 
 Result<NormalizationResult> Normalizer::FinishNormalization(
-    const RelationData& input, FdSet fds, NormalizationResult result,
-    const Stopwatch& total_watch, const RunContext* ctx) {
+    const std::string& input_name, std::vector<RelationData> input_shards,
+    FdSet fds, NormalizationResult result, const Stopwatch& total_watch,
+    const RunContext* ctx) {
   NormalizationStats& stats = result.stats;
   Stopwatch watch;
+  if (input_shards.empty()) {
+    input_shards.emplace_back(input_name, std::vector<AttributeId>{},
+                              std::vector<std::string>{});
+  }
+  // The auditor compares against the original instance, which the
+  // decomposition loop consumes — materialize it up front (the audit is an
+  // opt-in diagnostic, deliberately not out-of-core).
+  std::optional<RelationData> audit_input;
+  if (options_.audit) {
+    audit_input = input_shards.size() == 1
+                      ? input_shards.front()
+                      : ConcatenateShards(input_shards, input_name);
+    audit_input->set_name(input_name);
+  }
+  // Per-relation working sets: working[i] holds schema relation i as
+  // dictionary-sharing row-range shards (exactly one on the in-memory
+  // path). `proto` is only valid until the loop starts replacing working
+  // sets — everything schema-shaped is derived from it before that.
+  std::vector<std::vector<RelationData>> working;
+  working.push_back(std::move(input_shards));
+  const RelationData& proto = working.front().front();
   // Keep the pre-closure minimal cover: the auditor's minimality and
   // completeness checks are only meaningful on this form.
   result.discovered_fds = fds;
@@ -253,7 +535,7 @@ Result<NormalizationResult> Normalizer::FinishNormalization(
     return Status::InvalidArgument("unknown closure algorithm: " +
                                    options_.closure_algorithm);
   }
-  AttributeSet all_attrs = input.AttributesAsSet();
+  AttributeSet all_attrs = proto.AttributesAsSet();
   watch.Restart();
   Status closure_status = closure->Extend(&fds, all_attrs);
   if (!closure_status.ok()) {
@@ -272,21 +554,22 @@ Result<NormalizationResult> Normalizer::FinishNormalization(
   stats.phases.Record("closure", stats.closure_s, fds.size());
 
   // --- schema setup ---
-  int universe = input.universe_size();
+  int universe = proto.universe_size();
   std::vector<std::string> names(static_cast<size_t>(universe));
-  for (int c = 0; c < input.num_columns(); ++c) {
-    names[static_cast<size_t>(input.attribute_ids()[static_cast<size_t>(c)])] =
-        input.column(c).name();
+  for (int c = 0; c < proto.num_columns(); ++c) {
+    names[static_cast<size_t>(proto.attribute_ids()[static_cast<size_t>(c)])] =
+        proto.column(c).name();
   }
   result.schema = Schema(std::move(names));
-  result.schema.AddRelation(RelationSchema(input.name(), all_attrs));
-  result.relations.push_back(input);
+  result.schema.AddRelation(RelationSchema(input_name, all_attrs));
 
   // Attributes with NULLs (their FDs cannot yield primary keys, Alg. 4).
+  // Column::has_null reads the dictionary, which all shards share, so the
+  // first shard answers for the whole instance.
   AttributeSet nullable(universe);
-  for (int c = 0; c < input.num_columns(); ++c) {
-    if (input.column(c).has_null()) {
-      nullable.Set(input.attribute_ids()[static_cast<size_t>(c)]);
+  for (int c = 0; c < proto.num_columns(); ++c) {
+    if (proto.column(c).has_null()) {
+      nullable.Set(proto.attribute_ids()[static_cast<size_t>(c)]);
     }
   }
 
@@ -322,9 +605,15 @@ Result<NormalizationResult> Normalizer::FinishNormalization(
     if (options_.normal_form == NormalForm::kSecondNf) {
       // 2NF judges *partial* dependencies against candidate keys, and not
       // every key is FD-derivable (paper §5's join-key example) — augment
-      // with the instance's minimal uniques.
-      for (AttributeSet& ucc : DiscoverMinimalUccs(
-               result.relations[static_cast<size_t>(rel_index)])) {
+      // with the instance's minimal uniques (UCC discovery needs the
+      // relation in one piece, so this path stitches the working set).
+      std::optional<RelationData> stitched;
+      const std::vector<RelationData>& w =
+          working[static_cast<size_t>(rel_index)];
+      const RelationData& instance =
+          w.size() == 1 ? w.front()
+                        : stitched.emplace(ConcatenateShards(w, rel.name()));
+      for (AttributeSet& ucc : DiscoverMinimalUccs(instance)) {
         if (std::find(keys.begin(), keys.end(), ucc) == keys.end()) {
           keys.push_back(std::move(ucc));
         }
@@ -350,8 +639,14 @@ Result<NormalizationResult> Normalizer::FinishNormalization(
     }
     if (violations.empty()) continue;
 
-    // (5) violating-FD selection.
-    ConstraintScorer scorer(result.relations[static_cast<size_t>(rel_index)]);
+    // (5) violating-FD selection. The scorer reads the working set in shard
+    // form; its features equal the concatenated relation's features.
+    std::vector<const RelationData*> scorer_shards;
+    scorer_shards.reserve(working[static_cast<size_t>(rel_index)].size());
+    for (const RelationData& shard : working[static_cast<size_t>(rel_index)]) {
+      scorer_shards.push_back(&shard);
+    }
+    ConstraintScorer scorer(std::move(scorer_shards));
     std::vector<ScoredFd> ranked = scorer.RankFds(violations);
     int choice = advisor_->ChooseViolatingFd(result.schema, rel_index, ranked);
     if (choice < 0 || choice >= static_cast<int>(ranked.size())) {
@@ -397,18 +692,54 @@ Result<NormalizationResult> Normalizer::FinishNormalization(
     std::string r2_name =
         "R" + std::to_string(++split_counter) + "_" +
         result.schema.attribute_name(chosen.lhs.First());
-    Decomposition decomposition = DecomposeData(
-        result.relations[static_cast<size_t>(rel_index)], chosen, r2_name);
+    std::vector<RelationData> r1_shards;
+    std::vector<RelationData> r2_shards;
+    {
+      const std::vector<RelationData>& parent =
+          working[static_cast<size_t>(rel_index)];
+      if (parent.size() == 1) {
+        Decomposition decomposition =
+            DecomposeData(parent.front(), chosen, r2_name);
+        r1_shards.push_back(std::move(decomposition.r1));
+        r2_shards.push_back(std::move(decomposition.r2));
+      } else {
+        // Out-of-core: project shard by shard with cross-shard dedup. Only
+        // the dedup set is transient working memory — that peak is what the
+        // memory budget governs.
+        size_t transient_bytes = 0;
+        ShardedDecomposition decomposition =
+            DecomposeDataShards(parent, chosen, r2_name, &transient_bytes);
+        stats.peak_projection_buffer_bytes =
+            std::max(stats.peak_projection_buffer_bytes, transient_bytes);
+        r1_shards = std::move(decomposition.r1);
+        r2_shards = std::move(decomposition.r2);
+      }
+    }
     int r2_index =
         DecomposeSchema(&result.schema, rel_index, chosen, r2_name);
-    result.relations[static_cast<size_t>(rel_index)] =
-        std::move(decomposition.r1);
-    result.relations.push_back(std::move(decomposition.r2));
+    working[static_cast<size_t>(rel_index)] = std::move(r1_shards);
+    working.push_back(std::move(r2_shards));
 
     // New keys may have appeared in both parts — re-enter the loop at (3).
     worklist.push_back(rel_index);
     worklist.push_back(r2_index);
   }
+
+  // Materialize the final instances (the projections' transient working
+  // memory is already released; stitching shares dictionaries, so this
+  // copies code vectors, not strings).
+  result.relations.reserve(working.size());
+  for (size_t i = 0; i < working.size(); ++i) {
+    const std::string& rel_name =
+        result.schema.relation(static_cast<int>(i)).name();
+    if (working[i].size() == 1) {
+      result.relations.push_back(std::move(working[i].front()));
+      result.relations.back().set_name(rel_name);
+    } else {
+      result.relations.push_back(ConcatenateShards(working[i], rel_name));
+    }
+  }
+  working.clear();
 
   // --- (7) primary-key selection ---
   Status key_interrupted =
@@ -468,7 +799,7 @@ Result<NormalizationResult> Normalizer::FinishNormalization(
   if (options_.audit) {
     watch.Restart();
     DecompositionAuditor auditor(options_.audit_options);
-    result.audit = auditor.Audit(input, result, options_.normal_form,
+    result.audit = auditor.Audit(*audit_input, result, options_.normal_form,
                                  options_.discovery.max_lhs_size);
     stats.phases.Record("audit", watch.ElapsedSeconds(),
                         result.audit->issues.size());

@@ -23,6 +23,7 @@
 #include "fd/fd.hpp"
 #include "normalize/advisor.hpp"
 #include "normalize/violation_detection.hpp"
+#include "persist/checkpoint_options.hpp"
 #include "relation/csv.hpp"
 #include "relation/relation_data.hpp"
 #include "relation/schema.hpp"
@@ -69,6 +70,18 @@ struct NormalizerOptions {
   /// without a deadline but stays cancellable.
   int degraded_max_lhs = 2;
   bool degrade_on_deadline = true;
+  /// Pick the degraded max_lhs_size from the interrupted run's per-level
+  /// phase timings (PickDegradedMaxLhs) instead of the degraded_max_lhs
+  /// constant. Falls back to the constant when the interrupted run produced
+  /// no usable per-level records (e.g. it died in sampling).
+  bool adaptive_degradation = true;
+  /// Persistent pipeline state (src/persist/): with a checkpoint directory
+  /// set, NormalizeCsvFile() and Normalize() persist each completed stage
+  /// (ingest shards, per-shard covers + PLIs, merge frontier, final cover),
+  /// and an interrupted run returns its interruption instead of degrading —
+  /// rerunning with `checkpoint.resume` continues from the last completed
+  /// stage and produces the schema an uninterrupted run would have.
+  CheckpointOptions checkpoint;
   /// Run the correctness auditor (audit/decomposition_auditor.hpp) on the
   /// finished result: chase-based lossless-join proof, instance rejoin,
   /// normal-form compliance of every output relation, and cover soundness.
@@ -107,13 +120,45 @@ struct NormalizationStats {
   Status completion;
   /// Transient shard-ingest read failures that were retried successfully.
   size_t ingest_retries = 0;
-  /// FD discovery was rerun with max_lhs_size = degraded_max_lhs after the
-  /// full run exceeded the deadline.
+  /// FD discovery was rerun with a bounded max_lhs_size after the full run
+  /// exceeded the deadline.
   bool degraded_discovery = false;
+  /// The adaptively chosen bound of that rerun (PickDegradedMaxLhs); 0 when
+  /// the constant NormalizerOptions::degraded_max_lhs was used instead.
+  int adaptive_degraded_max_lhs = 0;
   /// Human-readable notes on everything the deadline forced the run to
   /// skip or curtail, in pipeline order.
   std::vector<std::string> skipped;
+
+  /// Peak size of the streaming ingest text buffer (NormalizeCsvFile; stays
+  /// within ShardOptions::memory_budget_bytes).
+  size_t peak_ingest_buffer_bytes = 0;
+  /// Peak transient working memory of one out-of-core decomposition step —
+  /// the cross-shard dedup set of ProjectShardsDistinct, released after each
+  /// step. Like the ingest buffer, this is the number the memory budget
+  /// governs; the dictionary-encoded shards themselves are not counted
+  /// (matching the sharded-ingest budget semantics).
+  size_t peak_projection_buffer_bytes = 0;
+  /// Per-shard PLI sets served from a checkpoint (or the discovery handoff)
+  /// instead of being rebuilt.
+  size_t plis_reused = 0;
+  /// This run resumed from a checkpoint directory; `resumed_stages` lists
+  /// the stages that were loaded instead of recomputed, in pipeline order.
+  bool resumed = false;
+  std::vector<std::string> resumed_stages;
 };
+
+/// Picks the LHS-size bound for the degraded discovery rerun from the
+/// interrupted run's per-level phase records — "validation_L<k>" (HyFD),
+/// "merge_validation_L<k>" (sharded merge), "compute_deps_L<k>" (TANE),
+/// with or without the "discovery/" prefix, where k is the LHS size.
+/// Returns the largest bound whose cumulative per-level time still fits in
+/// half the deadline budget (the rest pays for sampling, induction, and the
+/// stages after discovery); 0 when no record supports even level 1 — the
+/// caller then falls back to the NormalizerOptions::degraded_max_lhs
+/// constant.
+int PickDegradedMaxLhs(const PhaseMetrics& discovery_phases,
+                       double budget_seconds);
 
 /// One decision taken during normalization — the audit trail of the
 /// (semi-)automatic process, whether the advisor was a human or the
@@ -198,15 +243,18 @@ class Normalizer {
           rerun);
 
   /// Components (2)-(7) on pre-discovered FDs; discovery statistics must
-  /// already be recorded in result.stats. `ctx` (may be null) is polled at
-  /// stage boundaries: kCancelled aborts, a deadline curtails the
-  /// decomposition loop / primary-key selection with notes in
+  /// already be recorded in result.stats. `input_shards` is the instance as
+  /// dictionary-sharing row-range shards (a single shard = the in-memory
+  /// path); with several shards the decomposition loop stays out-of-core
+  /// (ProjectShardsDistinct), and relations are only concatenated for the
+  /// final result — the output is bit-identical either way. `ctx` (may be
+  /// null) is polled at stage boundaries: kCancelled aborts, a deadline
+  /// curtails the decomposition loop / primary-key selection with notes in
   /// stats.skipped.
-  Result<NormalizationResult> FinishNormalization(const RelationData& input,
-                                                  FdSet fds,
-                                                  NormalizationResult result,
-                                                  const Stopwatch& total_watch,
-                                                  const RunContext* ctx);
+  Result<NormalizationResult> FinishNormalization(
+      const std::string& input_name, std::vector<RelationData> input_shards,
+      FdSet fds, NormalizationResult result, const Stopwatch& total_watch,
+      const RunContext* ctx);
 
   NormalizerOptions options_;
   AutoAdvisor auto_advisor_;

@@ -29,10 +29,16 @@ std::string FdScore::ToString() const {
          ", duplication=" + FormatScore(duplication) + ")";
 }
 
-ConstraintScorer::ConstraintScorer(const RelationData& data) : data_(&data) {}
+ConstraintScorer::ConstraintScorer(const RelationData& data)
+    : ConstraintScorer(std::vector<const RelationData*>{&data}) {}
+
+ConstraintScorer::ConstraintScorer(std::vector<const RelationData*> shards)
+    : shards_(std::move(shards)) {
+  for (const RelationData* shard : shards_) total_rows_ += shard->num_rows();
+}
 
 int ConstraintScorer::PositionOf(AttributeId a) const {
-  return data_->ColumnIndexOf(a);
+  return schema().ColumnIndexOf(a);
 }
 
 size_t ConstraintScorer::MaxConcatenatedLength(const AttributeSet& x) const {
@@ -42,10 +48,12 @@ size_t ConstraintScorer::MaxConcatenatedLength(const AttributeSet& x) const {
     if (ci >= 0) cols.push_back(ci);
   }
   size_t max_len = 0;
-  for (size_t r = 0; r < data_->num_rows(); ++r) {
-    size_t len = 0;
-    for (int ci : cols) len += data_->column(ci).ValueAt(r, "").size();
-    max_len = std::max(max_len, len);
+  for (const RelationData* shard : shards_) {
+    for (size_t r = 0; r < shard->num_rows(); ++r) {
+      size_t len = 0;
+      for (int ci : cols) len += shard->column(ci).ValueAt(r, "").size();
+      max_len = std::max(max_len, len);
+    }
   }
   return max_len;
 }
@@ -56,30 +64,36 @@ double ConstraintScorer::EstimateDistinct(const AttributeSet& x) const {
     int ci = PositionOf(a);
     if (ci >= 0) cols.push_back(ci);
   }
-  if (cols.empty() || data_->num_rows() == 0) return 0.0;
+  if (cols.empty() || total_rows_ == 0) return 0.0;
+  // The Bloom filter is sized by the total row count and fed codes from the
+  // shared dictionaries, so the estimate is shard-layout independent.
   if (cols.size() == 1) {
     // A single column's distinct count is known from the dictionary, but we
     // still use the Bloom estimate to match the paper's method (and tests
     // verify the estimate against this exact count).
-    BloomFilter bloom(data_->num_rows());
-    const Column& col = data_->column(cols[0]);
-    for (size_t r = 0; r < data_->num_rows(); ++r) {
-      bloom.InsertHash(static_cast<uint64_t>(col.code(r)) * 0x9e3779b97f4a7c15ull + 1);
+    BloomFilter bloom(total_rows_);
+    for (const RelationData* shard : shards_) {
+      const Column& col = shard->column(cols[0]);
+      for (size_t r = 0; r < shard->num_rows(); ++r) {
+        bloom.InsertHash(static_cast<uint64_t>(col.code(r)) * 0x9e3779b97f4a7c15ull + 1);
+      }
     }
     return std::min(bloom.EstimateCardinality(),
-                    static_cast<double>(data_->num_rows()));
+                    static_cast<double>(total_rows_));
   }
-  BloomFilter bloom(data_->num_rows());
-  for (size_t r = 0; r < data_->num_rows(); ++r) {
-    uint64_t h = 1469598103934665603ull;
-    for (int ci : cols) {
-      h ^= static_cast<uint64_t>(data_->column(ci).code(r)) + 0x9e3779b97f4a7c15ull;
-      h *= 1099511628211ull;
+  BloomFilter bloom(total_rows_);
+  for (const RelationData* shard : shards_) {
+    for (size_t r = 0; r < shard->num_rows(); ++r) {
+      uint64_t h = 1469598103934665603ull;
+      for (int ci : cols) {
+        h ^= static_cast<uint64_t>(shard->column(ci).code(r)) + 0x9e3779b97f4a7c15ull;
+        h *= 1099511628211ull;
+      }
+      bloom.InsertHash(h);
     }
-    bloom.InsertHash(h);
   }
   return std::min(bloom.EstimateCardinality(),
-                  static_cast<double>(data_->num_rows()));
+                  static_cast<double>(total_rows_));
 }
 
 double ConstraintScorer::LengthScoreKey(const AttributeSet& x) const {
@@ -124,7 +138,7 @@ double ConstraintScorer::LengthScoreFd(const Fd& fd) const {
   // the maximum possible RHS size, so the second term normalizes to [0,1].
   int x = fd.lhs.Count();
   int y = fd.rhs.Count();
-  int r = data_->num_columns();
+  int r = schema().num_columns();
   double lhs_score = x == 0 ? 0.0 : 1.0 / x;
   double rhs_score = r <= 2 ? 1.0 : static_cast<double>(y) / (r - 2);
   return 0.5 * (lhs_score + std::min(1.0, rhs_score));
@@ -149,7 +163,7 @@ double ConstraintScorer::DuplicationScore(const Fd& fd) const {
   // 1/2 (2 - uniques(X)/values(X) - uniques(Y)/values(Y)): the more
   // duplication on both sides, the more redundancy the split removes — and
   // many LHS duplicates without a violation indicate semantic correctness.
-  double rows = static_cast<double>(data_->num_rows());
+  double rows = static_cast<double>(total_rows_);
   if (rows == 0) return 0.0;
   double ux = EstimateDistinct(fd.lhs) / rows;
   double uy = EstimateDistinct(fd.rhs) / rows;

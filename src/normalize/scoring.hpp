@@ -52,6 +52,12 @@ struct ScoredFd {
 class ConstraintScorer {
  public:
   explicit ConstraintScorer(const RelationData& data);
+  /// Scores against a sharded instance: `shards` must be non-empty row-range
+  /// shards sharing one schema and one set of value dictionaries (the
+  /// sharded-ingest invariant), in concatenation order. Every feature —
+  /// including the Bloom estimates, which hash dictionary codes — equals the
+  /// concatenated relation's feature, without materializing it.
+  explicit ConstraintScorer(std::vector<const RelationData*> shards);
 
   KeyScore ScoreKey(const AttributeSet& key) const;
   FdScore ScoreFd(const Fd& violating_fd) const;
@@ -76,8 +82,12 @@ class ConstraintScorer {
   double EstimateDistinct(const AttributeSet& x) const;
   /// Position (index) of attribute a in the relation's column order.
   int PositionOf(AttributeId a) const;
+  /// The relation schema (ids, names, column order): shard 0 carries it for
+  /// every shard.
+  const RelationData& schema() const { return *shards_.front(); }
 
-  const RelationData* data_;
+  std::vector<const RelationData*> shards_;
+  size_t total_rows_ = 0;
 };
 
 }  // namespace normalize

@@ -1,0 +1,25 @@
+// CheckpointOptions: the knob surface for persistent pipeline state, kept in
+// its own light header so NormalizerOptions can embed it without pulling the
+// whole persist subsystem into every normalizer consumer.
+#pragma once
+
+#include <string>
+
+namespace normalize {
+
+/// Where (and whether) to persist pipeline state. An empty `dir` disables
+/// checkpointing entirely — the default, zero-overhead path.
+struct CheckpointOptions {
+  /// Directory for the checkpoint files; created on first write. One
+  /// directory holds one run's state (keyed by a stored fingerprint, so
+  /// reusing it for a different input fails loudly instead of mixing runs).
+  std::string dir;
+  /// Load whatever stages the directory already holds (ingest shards,
+  /// per-shard covers, merge frontier, final cover) and continue from the
+  /// furthest one, instead of starting fresh and overwriting.
+  bool resume = false;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+}  // namespace normalize

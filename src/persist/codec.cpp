@@ -1,0 +1,145 @@
+#include "persist/codec.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace normalize {
+
+void SnapshotEncoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void SnapshotEncoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void SnapshotEncoder::PutDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void SnapshotEncoder::PutString(std::string_view s) {
+  PutU64(s.size());
+  out_.append(s.data(), s.size());
+}
+
+Status SnapshotDecoder::Need(size_t n, const char* what) const {
+  if (in_.size() - pos_ < n) {
+    return Status::DataLoss(std::string("snapshot payload truncated reading ") +
+                            what + " at offset " + std::to_string(pos_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> SnapshotDecoder::GetU8() {
+  NORMALIZE_RETURN_IF_ERROR(Need(1, "u8"));
+  return static_cast<uint8_t>(in_[pos_++]);
+}
+
+Result<uint32_t> SnapshotDecoder::GetU32() {
+  NORMALIZE_RETURN_IF_ERROR(Need(4, "u32"));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(in_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> SnapshotDecoder::GetU64() {
+  NORMALIZE_RETURN_IF_ERROR(Need(8, "u64"));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int32_t> SnapshotDecoder::GetI32() {
+  NORMALIZE_ASSIGN_OR_RETURN(uint32_t v, GetU32());
+  return static_cast<int32_t>(v);
+}
+
+Result<int64_t> SnapshotDecoder::GetI64() {
+  NORMALIZE_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<bool> SnapshotDecoder::GetBool() {
+  NORMALIZE_ASSIGN_OR_RETURN(uint8_t v, GetU8());
+  if (v > 1) {
+    return Status::DataLoss("snapshot bool cell holds " + std::to_string(v));
+  }
+  return v == 1;
+}
+
+Result<double> SnapshotDecoder::GetDouble() {
+  NORMALIZE_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> SnapshotDecoder::GetString() {
+  NORMALIZE_ASSIGN_OR_RETURN(uint64_t len, GetU64());
+  if (len > in_.size() - pos_) {
+    return Status::DataLoss("snapshot string length " + std::to_string(len) +
+                            " overruns payload at offset " +
+                            std::to_string(pos_));
+  }
+  std::string out(in_.substr(pos_, static_cast<size_t>(len)));
+  pos_ += static_cast<size_t>(len);
+  return out;
+}
+
+Result<std::string_view> SnapshotDecoder::GetRaw(size_t n) {
+  NORMALIZE_RETURN_IF_ERROR(Need(n, "raw bytes"));
+  std::string_view out = in_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Status SnapshotDecoder::ExpectEnd() const {
+  if (!AtEnd()) {
+    return Status::DataLoss("snapshot payload has " +
+                            std::to_string(remaining()) +
+                            " trailing bytes after the last field");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (char ch : bytes) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace normalize

@@ -1,0 +1,83 @@
+// Fixed-width little-endian encode/decode primitives for the snapshot
+// format (snapshot.hpp). The encoder appends to a growable byte string; the
+// decoder is a bounds-checked cursor over an immutable byte view — every
+// underflow or malformed length surfaces as a kDataLoss Status instead of
+// reading past the buffer, which is what makes corrupted snapshots safe to
+// open.
+//
+// All integers are little-endian regardless of host order; doubles travel as
+// their IEEE-754 bit pattern in a u64. Strings are a u64 length followed by
+// raw bytes (binary-safe: embedded NULs round-trip).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "common/status.hpp"
+
+namespace normalize {
+
+/// Append-only byte-string builder for snapshot payloads.
+class SnapshotEncoder {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  /// IEEE-754 bit pattern as a u64.
+  void PutDouble(double v);
+  /// u64 length + raw bytes (binary-safe).
+  void PutString(std::string_view s);
+  /// Raw bytes, no length prefix (the caller knows the width).
+  void PutRaw(std::string_view s) { out_.append(s.data(), s.size()); }
+
+  size_t size() const { return out_.size(); }
+  const std::string& bytes() const& { return out_; }
+  std::string bytes() && { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked cursor over an encoded payload. The view is not owned;
+/// the underlying bytes must outlive the decoder (GetString copies out, so
+/// decoded values are safe past the view's lifetime).
+class SnapshotDecoder {
+ public:
+  explicit SnapshotDecoder(std::string_view bytes) : in_(bytes) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int32_t> GetI32();
+  Result<int64_t> GetI64();
+  Result<bool> GetBool();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  /// `n` raw bytes without a length prefix; the view aliases the input.
+  Result<std::string_view> GetRaw(size_t n);
+
+  size_t remaining() const { return in_.size() - pos_; }
+  bool AtEnd() const { return pos_ == in_.size(); }
+  /// kDataLoss unless the whole payload was consumed — trailing garbage in a
+  /// section is corruption, not padding.
+  Status ExpectEnd() const;
+
+ private:
+  /// kDataLoss unless `n` more bytes are available.
+  Status Need(size_t n, const char* what) const;
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) over `bytes`.
+/// Implemented locally so snapshots need no external checksum dependency.
+uint32_t Crc32(std::string_view bytes);
+
+}  // namespace normalize

@@ -1,0 +1,175 @@
+#include "persist/shard_store.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "persist/snapshot.hpp"
+
+namespace normalize {
+
+namespace {
+
+// Section ids within the store's snapshot files (kFingerprintSectionId = 1).
+constexpr uint32_t kSectionPrototype = 2;
+constexpr uint32_t kSectionManifestMeta = 3;
+constexpr uint32_t kSectionShardRows = 4;
+constexpr uint32_t kSectionColumnPlis = 5;
+
+Status EnsureDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create checkpoint directory " + dir + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ShardStore::ManifestPath() const { return dir_ + "/ingest.snap"; }
+
+std::string ShardStore::ShardPath(size_t index) const {
+  return dir_ + "/shard_" + std::to_string(index) + ".snap";
+}
+
+std::string ShardStore::PliPath(size_t index) const {
+  return dir_ + "/pli_" + std::to_string(index) + ".snap";
+}
+
+Status ShardStore::SaveSharded(const ShardedRelation& sharded,
+                               const CheckpointFingerprint& fingerprint) const {
+  NORMALIZE_RETURN_IF_ERROR(EnsureDir(dir_));
+  if (sharded.shards.empty()) {
+    return Status::InvalidArgument(
+        "cannot persist a sharded relation with no shards");
+  }
+  // Shards first, manifest last: a readable manifest implies every shard
+  // file it references was already published (atomic rename per file).
+  for (size_t i = 0; i < sharded.shards.size(); ++i) {
+    SnapshotEncoder rows;
+    EncodeShardRows(&rows, sharded.shards[i]);
+    SnapshotWriter writer;
+    writer.AddSection(kSectionShardRows, std::move(rows).bytes());
+    NORMALIZE_RETURN_IF_ERROR(writer.WriteToFile(ShardPath(i)));
+  }
+
+  SnapshotEncoder proto;
+  // Shard 0 carries the shared dictionaries; any shard would do since all
+  // shards of one relation share them.
+  EncodeRelationPrototype(&proto, sharded.shards[0]);
+  SnapshotEncoder meta;
+  meta.PutString(sharded.name);
+  meta.PutU64(sharded.shards.size());
+  meta.PutU64(sharded.total_rows);
+  meta.PutU64(sharded.peak_ingest_buffer_bytes);
+
+  SnapshotWriter writer;
+  AddFingerprintSection(&writer, fingerprint);
+  writer.AddSection(kSectionPrototype, std::move(proto).bytes());
+  writer.AddSection(kSectionManifestMeta, std::move(meta).bytes());
+  return writer.WriteToFile(ManifestPath());
+}
+
+Status ShardStore::LoadManifest(const CheckpointFingerprint& expected,
+                                RelationData* proto, size_t* shard_count,
+                                size_t* peak_ingest_buffer_bytes) const {
+  NORMALIZE_ASSIGN_OR_RETURN(SnapshotReader reader,
+                             OpenVerifiedSnapshot(ManifestPath(), expected));
+
+  NORMALIZE_ASSIGN_OR_RETURN(std::string_view proto_bytes,
+                             reader.Section(kSectionPrototype));
+  SnapshotDecoder proto_dec(proto_bytes);
+  NORMALIZE_ASSIGN_OR_RETURN(*proto, DecodeRelationPrototype(&proto_dec));
+  NORMALIZE_RETURN_IF_ERROR(proto_dec.ExpectEnd());
+
+  NORMALIZE_ASSIGN_OR_RETURN(std::string_view meta_bytes,
+                             reader.Section(kSectionManifestMeta));
+  SnapshotDecoder meta_dec(meta_bytes);
+  NORMALIZE_ASSIGN_OR_RETURN(std::string name, meta_dec.GetString());
+  NORMALIZE_ASSIGN_OR_RETURN(uint64_t count, meta_dec.GetU64());
+  NORMALIZE_ASSIGN_OR_RETURN(uint64_t total_rows, meta_dec.GetU64());
+  NORMALIZE_ASSIGN_OR_RETURN(uint64_t peak, meta_dec.GetU64());
+  NORMALIZE_RETURN_IF_ERROR(meta_dec.ExpectEnd());
+  (void)total_rows;
+  if (count == 0 || count > (1u << 24)) {
+    return Status::DataLoss("checkpoint manifest shard count " +
+                            std::to_string(count) + " is implausible");
+  }
+  proto->set_name(name);
+  *shard_count = static_cast<size_t>(count);
+  *peak_ingest_buffer_bytes = static_cast<size_t>(peak);
+  return Status::OK();
+}
+
+Result<RelationData> ShardStore::LoadPrototype(
+    const CheckpointFingerprint& expected) const {
+  RelationData proto("", {}, {});
+  size_t shard_count = 0;
+  size_t peak = 0;
+  NORMALIZE_RETURN_IF_ERROR(
+      LoadManifest(expected, &proto, &shard_count, &peak));
+  return proto;
+}
+
+Result<size_t> ShardStore::ShardCount(
+    const CheckpointFingerprint& expected) const {
+  RelationData proto("", {}, {});
+  size_t shard_count = 0;
+  size_t peak = 0;
+  NORMALIZE_RETURN_IF_ERROR(
+      LoadManifest(expected, &proto, &shard_count, &peak));
+  return shard_count;
+}
+
+Result<RelationData> ShardStore::LoadShard(size_t index,
+                                           const RelationData& proto) const {
+  NORMALIZE_ASSIGN_OR_RETURN(SnapshotReader reader,
+                             SnapshotReader::FromFile(ShardPath(index)));
+  NORMALIZE_ASSIGN_OR_RETURN(std::string_view bytes,
+                             reader.Section(kSectionShardRows));
+  SnapshotDecoder dec(bytes);
+  NORMALIZE_ASSIGN_OR_RETURN(RelationData shard,
+                             DecodeShardRows(&dec, proto, ""));
+  NORMALIZE_RETURN_IF_ERROR(dec.ExpectEnd());
+  return shard;
+}
+
+Result<ShardedRelation> ShardStore::LoadSharded(
+    const CheckpointFingerprint& expected) const {
+  ShardedRelation out;
+  RelationData proto("", {}, {});
+  size_t shard_count = 0;
+  NORMALIZE_RETURN_IF_ERROR(LoadManifest(expected, &proto, &shard_count,
+                                         &out.peak_ingest_buffer_bytes));
+  out.name = proto.name();
+  out.shards.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    NORMALIZE_ASSIGN_OR_RETURN(RelationData shard, LoadShard(i, proto));
+    out.total_rows += shard.num_rows();
+    out.shards.push_back(std::move(shard));
+  }
+  return out;
+}
+
+Status ShardStore::SavePlis(size_t index, const PliCache& cache) const {
+  NORMALIZE_RETURN_IF_ERROR(EnsureDir(dir_));
+  SnapshotEncoder enc;
+  EncodeColumnPlis(&enc, cache);
+  SnapshotWriter writer;
+  writer.AddSection(kSectionColumnPlis, std::move(enc).bytes());
+  return writer.WriteToFile(PliPath(index));
+}
+
+Result<std::vector<Pli>> ShardStore::LoadPlis(size_t index) const {
+  NORMALIZE_ASSIGN_OR_RETURN(SnapshotReader reader,
+                             SnapshotReader::FromFile(PliPath(index)));
+  NORMALIZE_ASSIGN_OR_RETURN(std::string_view bytes,
+                             reader.Section(kSectionColumnPlis));
+  SnapshotDecoder dec(bytes);
+  NORMALIZE_ASSIGN_OR_RETURN(std::vector<Pli> plis, DecodeColumnPlis(&dec));
+  NORMALIZE_RETURN_IF_ERROR(dec.ExpectEnd());
+  return plis;
+}
+
+}  // namespace normalize

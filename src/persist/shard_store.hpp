@@ -1,0 +1,89 @@
+// Spill-to-disk store for row-range shards and their per-shard PLIs.
+//
+// The store is a directory of snapshot files (snapshot.hpp):
+//
+//   ingest.snap    fingerprint + relation prototype (schema + dictionaries)
+//                  + shard count + peak ingest buffer bytes
+//   shard_<i>.snap one shard's rows as raw dictionary codes
+//   pli_<i>.snap   shard i's single-column PLIs (optional; written by the
+//                  discovery handoff so resumed runs skip the rebuild)
+//
+// Saving a ShardedRelation persists the dictionaries once (in the prototype)
+// and each shard's codes separately, so a consumer can stream shards back
+// one at a time — the basis of out-of-core BCNF decomposition, which never
+// needs all shards' text in memory at once.
+//
+// Every load verifies the stored CheckpointFingerprint against the caller's:
+// resuming against a different source file, backend, or shard layout would
+// silently produce a different schema, so mismatches fail loudly with
+// kFailedPrecondition. Corrupt files fail with kDataLoss (snapshot layer);
+// a missing store is kNotFound so callers can distinguish "no checkpoint
+// yet" from "checkpoint damaged".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/state_io.hpp"
+#include "pli/pli.hpp"
+#include "shard/shard_relation.hpp"
+
+namespace normalize {
+
+/// Directory-backed persistence for one sharded relation. Stateless between
+/// calls apart from the directory path; safe to create fresh per operation.
+class ShardStore {
+ public:
+  /// `dir` is created on first save if absent.
+  explicit ShardStore(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+
+  /// Persists the manifest (fingerprint, prototype, shard count, peak
+  /// buffer bytes) and every shard's rows. Each file is written atomically;
+  /// the manifest is written last so a complete ingest.snap implies the
+  /// shard files it references were published first.
+  Status SaveSharded(const ShardedRelation& sharded,
+                     const CheckpointFingerprint& fingerprint) const;
+
+  /// Loads the full sharded relation back. kNotFound when no manifest
+  /// exists; kFailedPrecondition when the stored fingerprint differs from
+  /// `expected`; kDataLoss on any corruption.
+  Result<ShardedRelation> LoadSharded(
+      const CheckpointFingerprint& expected) const;
+
+  /// Loads the manifest's prototype relation (schema + dictionaries, no
+  /// rows) after fingerprint verification.
+  Result<RelationData> LoadPrototype(
+      const CheckpointFingerprint& expected) const;
+
+  /// Number of shards recorded in the manifest (after fingerprint check).
+  Result<size_t> ShardCount(const CheckpointFingerprint& expected) const;
+
+  /// Loads a single shard's rows against `proto` (from LoadPrototype), for
+  /// shard-at-a-time streaming.
+  Result<RelationData> LoadShard(size_t index, const RelationData& proto) const;
+
+  /// Persists shard `index`'s single-column PLIs.
+  Status SavePlis(size_t index, const PliCache& cache) const;
+
+  /// Loads shard `index`'s single-column PLIs. kNotFound when that shard's
+  /// PLI file was never written (callers rebuild instead).
+  Result<std::vector<Pli>> LoadPlis(size_t index) const;
+
+ private:
+  std::string ManifestPath() const;
+  std::string ShardPath(size_t index) const;
+  std::string PliPath(size_t index) const;
+
+  /// Reads ingest.snap and verifies the fingerprint; returns the decoded
+  /// manifest pieces via out-params.
+  Status LoadManifest(const CheckpointFingerprint& expected,
+                      RelationData* proto, size_t* shard_count,
+                      size_t* peak_ingest_buffer_bytes) const;
+
+  std::string dir_;
+};
+
+}  // namespace normalize

@@ -1,0 +1,149 @@
+#include "persist/snapshot.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "persist/codec.hpp"
+
+namespace normalize {
+
+namespace {
+
+constexpr char kMagic[] = "NRMZSNAP";  // 8 bytes, no terminator written
+constexpr size_t kMagicSize = 8;
+
+/// Drains a ByteSource into one string. I/O errors pass through verbatim;
+/// short reads are looped over like every other consumer of the seam.
+Result<std::string> ReadAll(ByteSource* source) {
+  std::string out;
+  char buf[64 * 1024];
+  for (;;) {
+    NORMALIZE_ASSIGN_OR_RETURN(size_t n, source->Read(buf, sizeof(buf)));
+    if (n == 0) break;
+    out.append(buf, n);
+  }
+  return out;
+}
+
+}  // namespace
+
+void SnapshotWriter::AddSection(uint32_t id, std::string payload) {
+  sections_.emplace_back(id, std::move(payload));
+}
+
+std::string SnapshotWriter::Serialize() const {
+  SnapshotEncoder enc;
+  enc.PutRaw(std::string_view(kMagic, kMagicSize));
+  enc.PutU32(kSnapshotFormatVersion);
+  enc.PutU32(static_cast<uint32_t>(sections_.size()));
+  for (const auto& [id, payload] : sections_) {
+    enc.PutU32(id);
+    enc.PutU64(payload.size());
+    enc.PutU32(Crc32(payload));
+    enc.PutRaw(payload);
+  }
+  return std::move(enc).bytes();
+}
+
+Status SnapshotWriter::WriteToFile(const std::string& path) const {
+  const std::string bytes = Serialize();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open " + tmp + " for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IoError("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " over " + path);
+  }
+  return Status::OK();
+}
+
+Result<SnapshotReader> SnapshotReader::FromBytes(std::string bytes) {
+  if (bytes.size() < kMagicSize + 8) {
+    return Status::DataLoss("snapshot truncated: " +
+                            std::to_string(bytes.size()) +
+                            " bytes is smaller than the header");
+  }
+  if (std::string_view(bytes).substr(0, kMagicSize) !=
+      std::string_view(kMagic, kMagicSize)) {
+    return Status::DataLoss("snapshot magic mismatch (not a snapshot file)");
+  }
+  SnapshotDecoder dec(std::string_view(bytes).substr(kMagicSize));
+  NORMALIZE_ASSIGN_OR_RETURN(uint32_t version, dec.GetU32());
+  if (version != kSnapshotFormatVersion) {
+    return Status::DataLoss(
+        "snapshot format version " + std::to_string(version) +
+        " unsupported (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  NORMALIZE_ASSIGN_OR_RETURN(uint32_t count, dec.GetU32());
+
+  SnapshotReader reader;
+  for (uint32_t i = 0; i < count; ++i) {
+    NORMALIZE_ASSIGN_OR_RETURN(uint32_t id, dec.GetU32());
+    NORMALIZE_ASSIGN_OR_RETURN(uint64_t size, dec.GetU64());
+    NORMALIZE_ASSIGN_OR_RETURN(uint32_t crc, dec.GetU32());
+    if (size > dec.remaining()) {
+      return Status::DataLoss("snapshot section " + std::to_string(id) +
+                              " truncated: payload claims " +
+                              std::to_string(size) + " bytes, " +
+                              std::to_string(dec.remaining()) + " remain");
+    }
+    NORMALIZE_ASSIGN_OR_RETURN(std::string_view payload,
+                               dec.GetRaw(static_cast<size_t>(size)));
+    if (Crc32(payload) != crc) {
+      return Status::DataLoss("snapshot section " + std::to_string(id) +
+                              " CRC mismatch (corrupted payload)");
+    }
+    if (reader.index_.count(id) > 0) {
+      return Status::DataLoss("snapshot section " + std::to_string(id) +
+                              " appears twice");
+    }
+    reader.index_.emplace(id, reader.sections_.size());
+    reader.sections_.emplace_back(id, std::string(payload));
+  }
+  NORMALIZE_RETURN_IF_ERROR(dec.ExpectEnd());
+  return reader;
+}
+
+Result<std::string_view> SnapshotReader::Section(uint32_t id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound("snapshot has no section " + std::to_string(id));
+  }
+  return std::string_view(sections_[it->second].second);
+}
+
+std::vector<uint32_t> SnapshotReader::SectionIds() const {
+  std::vector<uint32_t> ids;
+  ids.reserve(sections_.size());
+  for (const auto& [id, payload] : sections_) ids.push_back(id);
+  return ids;
+}
+
+Result<SnapshotReader> SnapshotReader::FromSource(ByteSource* source) {
+  NORMALIZE_ASSIGN_OR_RETURN(std::string bytes, ReadAll(source));
+  return FromBytes(std::move(bytes));
+}
+
+Result<SnapshotReader> SnapshotReader::FromFile(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return Status::NotFound("snapshot file " + path + " does not exist");
+  }
+  FileByteSource source(path);
+  return FromSource(&source);
+}
+
+}  // namespace normalize

@@ -1,0 +1,88 @@
+// The snapshot container format: a small, versioned, checksummed binary
+// envelope holding named sections of encoded pipeline state.
+//
+//   offset  width  field
+//   0       8      magic "NRMZSNAP"
+//   8       4      format version (u32, currently 1)
+//   12      4      section count (u32)
+//   per section:
+//           4      section id (u32, snapshot_section_ids.hpp-style constants
+//                  owned by the writer; the container does not interpret it)
+//           8      payload size in bytes (u64)
+//           4      CRC-32 of the payload (codec.hpp Crc32)
+//           n      payload bytes
+//
+// Writers produce the container in memory and publish it atomically: the
+// bytes go to "<path>.tmp" which is then renamed over <path>, so a reader
+// never observes a half-written snapshot — it sees the old file, the new
+// file, or no file. Readers verify magic, version, structural sizes, and
+// every section CRC before exposing any payload; all corruption (bad magic,
+// unsupported version, truncation, bit flips) surfaces as kDataLoss with no
+// partial state applied.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/byte_source.hpp"
+#include "common/result.hpp"
+#include "common/status.hpp"
+
+namespace normalize {
+
+/// Format version written by this build; readers accept exactly this.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Builds a snapshot container from encoded sections and publishes it
+/// atomically.
+class SnapshotWriter {
+ public:
+  /// Appends a section. Ids must be unique within one snapshot.
+  void AddSection(uint32_t id, std::string payload);
+
+  /// The full container bytes (magic, version, sections).
+  std::string Serialize() const;
+
+  /// Serializes to "<path>.tmp", then renames over `path` (atomic publish on
+  /// POSIX filesystems). Any I/O failure leaves `path` untouched.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<uint32_t, std::string>> sections_;
+};
+
+/// Parses and verifies a snapshot container; owns the decoded payloads.
+class SnapshotReader {
+ public:
+  /// Parses in-memory container bytes. kDataLoss on any corruption.
+  static Result<SnapshotReader> FromBytes(std::string bytes);
+
+  /// Drains `source` and parses. The ByteSource seam lets tests inject read
+  /// faults and truncation under the parser.
+  static Result<SnapshotReader> FromSource(ByteSource* source);
+
+  /// Opens and parses a snapshot file. kNotFound when the file is absent —
+  /// callers use that to distinguish "no checkpoint yet" from corruption.
+  static Result<SnapshotReader> FromFile(const std::string& path);
+
+  bool HasSection(uint32_t id) const { return index_.count(id) > 0; }
+
+  /// The payload of section `id`; kNotFound when absent. The view points
+  /// into this reader — it must outlive the use.
+  Result<std::string_view> Section(uint32_t id) const;
+
+  /// Section ids in file order.
+  std::vector<uint32_t> SectionIds() const;
+
+ private:
+  SnapshotReader() = default;
+
+  std::vector<std::pair<uint32_t, std::string>> sections_;
+  std::unordered_map<uint32_t, size_t> index_;
+};
+
+}  // namespace normalize

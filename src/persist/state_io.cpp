@@ -1,0 +1,364 @@
+#include "persist/state_io.hpp"
+
+#include <utility>
+
+namespace normalize {
+
+namespace {
+
+/// Guard against absurd element counts from corrupted length fields: no
+/// decoded container may claim more elements than remaining payload bytes
+/// (every element encodes to at least one byte).
+Status CheckCount(const SnapshotDecoder& dec, uint64_t count,
+                  const char* what) {
+  if (count > dec.remaining()) {
+    return Status::DataLoss(std::string("snapshot ") + what + " count " +
+                            std::to_string(count) +
+                            " exceeds the remaining payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeAttributeSet(SnapshotEncoder* enc, const AttributeSet& set) {
+  enc->PutI32(set.capacity());
+  std::vector<AttributeId> ids = set.ToVector();
+  enc->PutU32(static_cast<uint32_t>(ids.size()));
+  for (AttributeId a : ids) enc->PutI32(a);
+}
+
+Result<AttributeSet> DecodeAttributeSet(SnapshotDecoder* dec) {
+  NORMALIZE_ASSIGN_OR_RETURN(int32_t capacity, dec->GetI32());
+  if (capacity < 0 || capacity > (1 << 24)) {
+    return Status::DataLoss("snapshot attribute-set capacity " +
+                            std::to_string(capacity) + " is implausible");
+  }
+  NORMALIZE_ASSIGN_OR_RETURN(uint32_t count, dec->GetU32());
+  NORMALIZE_RETURN_IF_ERROR(CheckCount(*dec, count, "attribute"));
+  AttributeSet set(capacity);
+  for (uint32_t i = 0; i < count; ++i) {
+    NORMALIZE_ASSIGN_OR_RETURN(int32_t a, dec->GetI32());
+    if (a < 0 || a >= capacity) {
+      return Status::DataLoss("snapshot attribute id " + std::to_string(a) +
+                              " outside capacity " + std::to_string(capacity));
+    }
+    set.Set(a);
+  }
+  return set;
+}
+
+void EncodeFd(SnapshotEncoder* enc, const Fd& fd) {
+  EncodeAttributeSet(enc, fd.lhs);
+  EncodeAttributeSet(enc, fd.rhs);
+}
+
+Result<Fd> DecodeFd(SnapshotDecoder* dec) {
+  NORMALIZE_ASSIGN_OR_RETURN(AttributeSet lhs, DecodeAttributeSet(dec));
+  NORMALIZE_ASSIGN_OR_RETURN(AttributeSet rhs, DecodeAttributeSet(dec));
+  return Fd(std::move(lhs), std::move(rhs));
+}
+
+void EncodeFdVector(SnapshotEncoder* enc, const std::vector<Fd>& fds) {
+  enc->PutU64(fds.size());
+  for (const Fd& fd : fds) EncodeFd(enc, fd);
+}
+
+Result<std::vector<Fd>> DecodeFdVector(SnapshotDecoder* dec) {
+  NORMALIZE_ASSIGN_OR_RETURN(uint64_t count, dec->GetU64());
+  NORMALIZE_RETURN_IF_ERROR(CheckCount(*dec, count, "FD"));
+  std::vector<Fd> fds;
+  fds.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    NORMALIZE_ASSIGN_OR_RETURN(Fd fd, DecodeFd(dec));
+    fds.push_back(std::move(fd));
+  }
+  return fds;
+}
+
+void EncodeFdSet(SnapshotEncoder* enc, const FdSet& fds) {
+  EncodeFdVector(enc, fds.fds());
+}
+
+Result<FdSet> DecodeFdSet(SnapshotDecoder* dec) {
+  NORMALIZE_ASSIGN_OR_RETURN(std::vector<Fd> fds, DecodeFdVector(dec));
+  return FdSet(std::move(fds));
+}
+
+void EncodeAttributeSetVector(SnapshotEncoder* enc,
+                              const std::vector<AttributeSet>& sets) {
+  enc->PutU64(sets.size());
+  for (const AttributeSet& set : sets) EncodeAttributeSet(enc, set);
+}
+
+Result<std::vector<AttributeSet>> DecodeAttributeSetVector(
+    SnapshotDecoder* dec) {
+  NORMALIZE_ASSIGN_OR_RETURN(uint64_t count, dec->GetU64());
+  NORMALIZE_RETURN_IF_ERROR(CheckCount(*dec, count, "attribute-set"));
+  std::vector<AttributeSet> sets;
+  sets.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    NORMALIZE_ASSIGN_OR_RETURN(AttributeSet set, DecodeAttributeSet(dec));
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+void EncodeRelationPrototype(SnapshotEncoder* enc, const RelationData& proto) {
+  enc->PutString(proto.name());
+  enc->PutI32(proto.universe_size());
+  enc->PutU32(static_cast<uint32_t>(proto.num_columns()));
+  for (int c = 0; c < proto.num_columns(); ++c) {
+    const Column& col = proto.column(c);
+    enc->PutI32(proto.attribute_ids()[static_cast<size_t>(c)]);
+    enc->PutString(col.name());
+    // The dictionary in code order: re-interning in this order reproduces
+    // the exact code assignment, so stored shard rows stay valid.
+    const ValueDictionary& dict = *col.dictionary();
+    enc->PutU64(dict.size());
+    enc->PutI32(dict.null_code());
+    for (size_t code = 0; code < dict.size(); ++code) {
+      if (static_cast<ValueId>(code) == dict.null_code()) continue;
+      enc->PutString(dict.value(static_cast<ValueId>(code)));
+    }
+  }
+}
+
+Result<RelationData> DecodeRelationPrototype(SnapshotDecoder* dec) {
+  NORMALIZE_ASSIGN_OR_RETURN(std::string name, dec->GetString());
+  NORMALIZE_ASSIGN_OR_RETURN(int32_t universe, dec->GetI32());
+  NORMALIZE_ASSIGN_OR_RETURN(uint32_t ncols, dec->GetU32());
+  NORMALIZE_RETURN_IF_ERROR(CheckCount(*dec, ncols, "column"));
+  std::vector<AttributeId> ids;
+  std::vector<std::string> names;
+  struct DictSpec {
+    uint64_t size;
+    int32_t null_code;
+    std::vector<std::string> values;  // non-NULL values in code order
+  };
+  std::vector<DictSpec> dicts;
+  ids.reserve(ncols);
+  names.reserve(ncols);
+  dicts.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    NORMALIZE_ASSIGN_OR_RETURN(int32_t id, dec->GetI32());
+    NORMALIZE_ASSIGN_OR_RETURN(std::string col_name, dec->GetString());
+    DictSpec spec;
+    NORMALIZE_ASSIGN_OR_RETURN(spec.size, dec->GetU64());
+    NORMALIZE_RETURN_IF_ERROR(CheckCount(*dec, spec.size, "dictionary"));
+    NORMALIZE_ASSIGN_OR_RETURN(spec.null_code, dec->GetI32());
+    if (spec.null_code >= 0 &&
+        static_cast<uint64_t>(spec.null_code) >= spec.size) {
+      return Status::DataLoss("snapshot dictionary NULL code " +
+                              std::to_string(spec.null_code) +
+                              " outside dictionary of size " +
+                              std::to_string(spec.size));
+    }
+    uint64_t value_count = spec.size - (spec.null_code >= 0 ? 1 : 0);
+    spec.values.reserve(static_cast<size_t>(value_count));
+    for (uint64_t i = 0; i < value_count; ++i) {
+      NORMALIZE_ASSIGN_OR_RETURN(std::string value, dec->GetString());
+      spec.values.push_back(std::move(value));
+    }
+    ids.push_back(id);
+    names.push_back(std::move(col_name));
+    dicts.push_back(std::move(spec));
+  }
+  RelationData proto(std::move(name), std::move(ids), std::move(names));
+  if (universe < proto.universe_size()) {
+    return Status::DataLoss("snapshot universe size " +
+                            std::to_string(universe) +
+                            " too small for its attribute ids");
+  }
+  proto.set_universe_size(universe);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    const DictSpec& spec = dicts[c];
+    ValueDictionary* dict = proto.column(static_cast<int>(c)).dictionary().get();
+    size_t next_value = 0;
+    for (uint64_t code = 0; code < spec.size; ++code) {
+      ValueId assigned;
+      if (static_cast<int64_t>(code) == spec.null_code) {
+        assigned = dict->InternNull();
+      } else {
+        assigned = dict->Intern(spec.values[next_value++]);
+      }
+      if (assigned != static_cast<ValueId>(code)) {
+        // A duplicate string in the stored value list would make Intern
+        // return an earlier code — corrupted input, not a logic error.
+        return Status::DataLoss(
+            "snapshot dictionary replay diverged at code " +
+            std::to_string(code) + " (duplicate or reordered values)");
+      }
+    }
+  }
+  return proto;
+}
+
+void EncodeShardRows(SnapshotEncoder* enc, const RelationData& shard) {
+  enc->PutString(shard.name());
+  enc->PutU64(shard.num_rows());
+  enc->PutU32(static_cast<uint32_t>(shard.num_columns()));
+  for (int c = 0; c < shard.num_columns(); ++c) {
+    for (ValueId code : shard.column(c).codes()) enc->PutI32(code);
+  }
+}
+
+Result<RelationData> DecodeShardRows(SnapshotDecoder* dec,
+                                     const RelationData& proto,
+                                     const std::string& shard_name) {
+  NORMALIZE_ASSIGN_OR_RETURN(std::string stored_name, dec->GetString());
+  NORMALIZE_ASSIGN_OR_RETURN(uint64_t rows, dec->GetU64());
+  NORMALIZE_ASSIGN_OR_RETURN(uint32_t ncols, dec->GetU32());
+  if (static_cast<int>(ncols) != proto.num_columns()) {
+    return Status::DataLoss("snapshot shard has " + std::to_string(ncols) +
+                            " columns, prototype has " +
+                            std::to_string(proto.num_columns()));
+  }
+  if (rows * ncols > dec->remaining() / 4) {
+    return Status::DataLoss("snapshot shard row count " +
+                            std::to_string(rows) + " overruns the payload");
+  }
+  RelationData shard = RelationData::EmptyLike(
+      proto, shard_name.empty() ? stored_name : shard_name);
+  // Column-major decode mirroring EncodeShardRows; validate every code
+  // against the (already rebuilt) dictionary before appending.
+  std::vector<std::vector<ValueId>> columns(
+      ncols, std::vector<ValueId>(static_cast<size_t>(rows)));
+  for (uint32_t c = 0; c < ncols; ++c) {
+    const ValueDictionary& dict = *proto.column(static_cast<int>(c)).dictionary();
+    for (uint64_t r = 0; r < rows; ++r) {
+      NORMALIZE_ASSIGN_OR_RETURN(int32_t code, dec->GetI32());
+      if (code < 0 || static_cast<size_t>(code) >= dict.size()) {
+        return Status::DataLoss("snapshot shard code " + std::to_string(code) +
+                                " outside dictionary of size " +
+                                std::to_string(dict.size()));
+      }
+      columns[c][static_cast<size_t>(r)] = code;
+    }
+  }
+  std::vector<ValueId> row(ncols);
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < ncols; ++c) row[c] = columns[c][r];
+    shard.AppendRowCodes(row);
+  }
+  return shard;
+}
+
+void EncodePli(SnapshotEncoder* enc, const Pli& pli) {
+  enc->PutU64(pli.num_rows());
+  enc->PutU64(pli.num_clusters());
+  for (const std::vector<RowId>& cluster : pli.clusters()) {
+    enc->PutU64(cluster.size());
+    for (RowId r : cluster) enc->PutU32(r);
+  }
+}
+
+Result<Pli> DecodePli(SnapshotDecoder* dec) {
+  NORMALIZE_ASSIGN_OR_RETURN(uint64_t num_rows, dec->GetU64());
+  NORMALIZE_ASSIGN_OR_RETURN(uint64_t num_clusters, dec->GetU64());
+  NORMALIZE_RETURN_IF_ERROR(CheckCount(*dec, num_clusters, "PLI cluster"));
+  std::vector<std::vector<RowId>> clusters;
+  clusters.reserve(static_cast<size_t>(num_clusters));
+  for (uint64_t i = 0; i < num_clusters; ++i) {
+    NORMALIZE_ASSIGN_OR_RETURN(uint64_t size, dec->GetU64());
+    if (size < 2 || size > num_rows) {
+      return Status::DataLoss("snapshot PLI cluster of size " +
+                              std::to_string(size) +
+                              " is not a stripped cluster");
+    }
+    NORMALIZE_RETURN_IF_ERROR(CheckCount(*dec, size, "PLI row"));
+    std::vector<RowId> cluster;
+    cluster.reserve(static_cast<size_t>(size));
+    for (uint64_t j = 0; j < size; ++j) {
+      NORMALIZE_ASSIGN_OR_RETURN(uint32_t r, dec->GetU32());
+      if (r >= num_rows) {
+        return Status::DataLoss("snapshot PLI row id " + std::to_string(r) +
+                                " outside relation of " +
+                                std::to_string(num_rows) + " rows");
+      }
+      cluster.push_back(r);
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  return Pli(std::move(clusters), static_cast<size_t>(num_rows));
+}
+
+void EncodeColumnPlis(SnapshotEncoder* enc, const PliCache& cache) {
+  enc->PutU32(static_cast<uint32_t>(cache.num_columns()));
+  for (int c = 0; c < cache.num_columns(); ++c) {
+    EncodePli(enc, cache.ColumnPli(c));
+  }
+}
+
+Result<std::vector<Pli>> DecodeColumnPlis(SnapshotDecoder* dec) {
+  NORMALIZE_ASSIGN_OR_RETURN(uint32_t ncols, dec->GetU32());
+  NORMALIZE_RETURN_IF_ERROR(CheckCount(*dec, ncols, "column-PLI"));
+  std::vector<Pli> plis;
+  plis.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    NORMALIZE_ASSIGN_OR_RETURN(Pli pli, DecodePli(dec));
+    plis.push_back(std::move(pli));
+  }
+  return plis;
+}
+
+bool CheckpointFingerprint::operator==(
+    const CheckpointFingerprint& other) const {
+  return source == other.source && source_size == other.source_size &&
+         backend == other.backend && max_lhs_size == other.max_lhs_size &&
+         shard_rows == other.shard_rows && columns == other.columns;
+}
+
+std::string CheckpointFingerprint::Describe() const {
+  return "source=" + source + " size=" + std::to_string(source_size) +
+         " backend=" + backend + " max_lhs=" + std::to_string(max_lhs_size) +
+         " shard_rows=" + std::to_string(shard_rows) +
+         " columns=" + std::to_string(columns);
+}
+
+void EncodeFingerprint(SnapshotEncoder* enc, const CheckpointFingerprint& fp) {
+  enc->PutString(fp.source);
+  enc->PutU64(fp.source_size);
+  enc->PutString(fp.backend);
+  enc->PutI32(fp.max_lhs_size);
+  enc->PutU64(fp.shard_rows);
+  enc->PutI32(fp.columns);
+}
+
+Result<CheckpointFingerprint> DecodeFingerprint(SnapshotDecoder* dec) {
+  CheckpointFingerprint fp;
+  NORMALIZE_ASSIGN_OR_RETURN(fp.source, dec->GetString());
+  NORMALIZE_ASSIGN_OR_RETURN(fp.source_size, dec->GetU64());
+  NORMALIZE_ASSIGN_OR_RETURN(fp.backend, dec->GetString());
+  NORMALIZE_ASSIGN_OR_RETURN(fp.max_lhs_size, dec->GetI32());
+  NORMALIZE_ASSIGN_OR_RETURN(fp.shard_rows, dec->GetU64());
+  NORMALIZE_ASSIGN_OR_RETURN(fp.columns, dec->GetI32());
+  return fp;
+}
+
+void AddFingerprintSection(SnapshotWriter* writer,
+                           const CheckpointFingerprint& fp) {
+  SnapshotEncoder enc;
+  EncodeFingerprint(&enc, fp);
+  writer->AddSection(kFingerprintSectionId, std::move(enc).bytes());
+}
+
+Result<SnapshotReader> OpenVerifiedSnapshot(
+    const std::string& path, const CheckpointFingerprint& expected) {
+  NORMALIZE_ASSIGN_OR_RETURN(SnapshotReader reader,
+                             SnapshotReader::FromFile(path));
+  NORMALIZE_ASSIGN_OR_RETURN(std::string_view fp_bytes,
+                             reader.Section(kFingerprintSectionId));
+  SnapshotDecoder dec(fp_bytes);
+  NORMALIZE_ASSIGN_OR_RETURN(CheckpointFingerprint stored,
+                             DecodeFingerprint(&dec));
+  NORMALIZE_RETURN_IF_ERROR(dec.ExpectEnd());
+  if (stored != expected) {
+    return Status::FailedPrecondition(
+        "checkpoint " + path + " belongs to a different run: stored {" +
+        stored.Describe() + "}, expected {" + expected.Describe() + "}");
+  }
+  return reader;
+}
+
+}  // namespace normalize

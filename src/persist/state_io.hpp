@@ -1,0 +1,118 @@
+// Serializers for the pipeline state that checkpoints persist: attribute
+// sets, FD covers, value dictionaries, row-range shards, column PLIs, and
+// the run-stats snapshot. Each Encode* appends to a SnapshotEncoder; each
+// Decode* reads from a SnapshotDecoder and fails with kDataLoss on any
+// malformed input (no partial state escapes a failed decode).
+//
+// Encoding is canonical: the same state always produces the same bytes
+// (containers are written in deterministic order), so round-trip tests can
+// assert bit-identical re-encoding.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.hpp"
+#include "fd/fd.hpp"
+#include "persist/codec.hpp"
+#include "persist/snapshot.hpp"
+#include "pli/pli.hpp"
+#include "relation/relation_data.hpp"
+#include "shard/shard_relation.hpp"
+
+namespace normalize {
+
+// --- attribute sets and FDs ------------------------------------------------
+
+void EncodeAttributeSet(SnapshotEncoder* enc, const AttributeSet& set);
+Result<AttributeSet> DecodeAttributeSet(SnapshotDecoder* dec);
+
+void EncodeFd(SnapshotEncoder* enc, const Fd& fd);
+Result<Fd> DecodeFd(SnapshotDecoder* dec);
+
+void EncodeFdVector(SnapshotEncoder* enc, const std::vector<Fd>& fds);
+Result<std::vector<Fd>> DecodeFdVector(SnapshotDecoder* dec);
+
+void EncodeFdSet(SnapshotEncoder* enc, const FdSet& fds);
+Result<FdSet> DecodeFdSet(SnapshotDecoder* dec);
+
+void EncodeAttributeSetVector(SnapshotEncoder* enc,
+                              const std::vector<AttributeSet>& sets);
+Result<std::vector<AttributeSet>> DecodeAttributeSetVector(
+    SnapshotDecoder* dec);
+
+// --- relations and shards --------------------------------------------------
+
+/// Encodes the schema and shared dictionaries of a sharded relation (its
+/// "prototype"): relation name, attribute ids/names, universe size, and each
+/// column's dictionary in code order (so decoding re-interns to identical
+/// codes).
+void EncodeRelationPrototype(SnapshotEncoder* enc, const RelationData& proto);
+
+/// Rebuilds an empty relation with freshly interned dictionaries whose codes
+/// match the encoded ones exactly. Shards decoded against this prototype
+/// (DecodeShardRows) share its dictionaries, mirroring the ingest layout.
+Result<RelationData> DecodeRelationPrototype(SnapshotDecoder* dec);
+
+/// Encodes one shard's rows as raw dictionary codes (columns share the
+/// prototype's dictionaries, so codes are self-contained).
+void EncodeShardRows(SnapshotEncoder* enc, const RelationData& shard);
+
+/// Decodes rows into a new shard of `proto` (shares its dictionaries).
+Result<RelationData> DecodeShardRows(SnapshotDecoder* dec,
+                                     const RelationData& proto,
+                                     const std::string& shard_name);
+
+// --- PLIs ------------------------------------------------------------------
+
+void EncodePli(SnapshotEncoder* enc, const Pli& pli);
+Result<Pli> DecodePli(SnapshotDecoder* dec);
+
+/// All single-column PLIs of one shard, in column order.
+void EncodeColumnPlis(SnapshotEncoder* enc, const PliCache& cache);
+Result<std::vector<Pli>> DecodeColumnPlis(SnapshotDecoder* dec);
+
+// --- run identity ----------------------------------------------------------
+
+/// Identifies the run configuration a checkpoint belongs to. Resuming with a
+/// different source, backend, or sharding would silently change the result,
+/// so loads verify the stored fingerprint and fail with kFailedPrecondition
+/// on mismatch.
+struct CheckpointFingerprint {
+  /// Source identity: the CSV path (NormalizeCsvFile) or relation name
+  /// (Normalize).
+  std::string source;
+  /// File size in bytes, or total input rows for in-memory runs.
+  uint64_t source_size = 0;
+  std::string backend;
+  int max_lhs_size = -1;
+  uint64_t shard_rows = 0;
+  int columns = 0;
+
+  bool operator==(const CheckpointFingerprint& other) const;
+  bool operator!=(const CheckpointFingerprint& other) const {
+    return !(*this == other);
+  }
+  std::string Describe() const;
+};
+
+void EncodeFingerprint(SnapshotEncoder* enc, const CheckpointFingerprint& fp);
+Result<CheckpointFingerprint> DecodeFingerprint(SnapshotDecoder* dec);
+
+/// Every checkpoint file stores the run fingerprint in this section id;
+/// payloads live in higher-numbered sections.
+inline constexpr uint32_t kFingerprintSectionId = 1;
+
+/// Appends the fingerprint section to a snapshot under construction.
+void AddFingerprintSection(SnapshotWriter* writer,
+                           const CheckpointFingerprint& fp);
+
+/// Opens `path` as a snapshot and verifies its fingerprint section against
+/// `expected`. kNotFound passes through for absent files; a mismatch is
+/// kFailedPrecondition naming both fingerprints (resuming a checkpoint from
+/// a different run would silently change the result).
+Result<SnapshotReader> OpenVerifiedSnapshot(
+    const std::string& path, const CheckpointFingerprint& expected);
+
+}  // namespace normalize

@@ -86,6 +86,13 @@ class PliCache {
   /// the cache contents are identical for every thread count.
   explicit PliCache(const RelationData& data, ThreadPool* pool = nullptr);
 
+  /// Adopts precomputed single-column PLIs (e.g. loaded from a checkpoint)
+  /// instead of rebuilding them from the rows. `column_plis` must hold one
+  /// PLI per column of `data`, in column order — the same layout the
+  /// building constructor produces.
+  PliCache(const RelationData& data, std::vector<Pli> column_plis)
+      : data_(&data), column_plis_(std::move(column_plis)) {}
+
   const RelationData& data() const { return *data_; }
   int num_columns() const { return static_cast<int>(column_plis_.size()); }
 

@@ -80,6 +80,73 @@ RelationData Project(const RelationData& input, const AttributeSet& attrs,
   return out;
 }
 
+std::vector<RelationData> ProjectShardsDistinct(
+    const std::vector<RelationData>& shards, const AttributeSet& attrs,
+    std::string result_name, size_t* transient_bytes) {
+  assert(!shards.empty() && "cannot project an empty shard vector");
+  const RelationData& first = shards.front();
+  std::vector<AttributeId> ids;
+  std::vector<std::string> names;
+  std::vector<int> col_indices;
+  for (AttributeId a : attrs) {
+    int ci = first.ColumnIndexOf(a);
+    assert(ci >= 0 && "projection attribute missing from input");
+    ids.push_back(a);
+    names.push_back(first.column(ci).name());
+    col_indices.push_back(ci);
+  }
+  if (result_name.empty()) result_name = first.name() + "_proj";
+
+  // Dedup on input-dictionary code tuples. The NULL sentinel is itself a
+  // dictionary code, so a code tuple determines the (value, NULL) tuple that
+  // Project's string-based dedup keys on — and vice versa.
+  struct CodeTupleHash {
+    size_t operator()(const std::vector<ValueId>& codes) const {
+      uint64_t h = 1469598103934665603ull;
+      for (ValueId c : codes) {
+        h ^= static_cast<uint64_t>(static_cast<uint32_t>(c)) +
+             0x9e3779b97f4a7c15ull;
+        h *= 1099511628211ull;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  std::unordered_set<std::vector<ValueId>, CodeTupleHash> seen;
+
+  std::vector<RelationData> out;
+  out.reserve(shards.size());
+  std::vector<ValueId> codes(col_indices.size());
+  std::vector<std::string> values(col_indices.size());
+  std::vector<bool> nulls(col_indices.size());
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const RelationData& shard = shards[s];
+    RelationData proj = s == 0
+                            ? RelationData(result_name, ids, names)
+                            : RelationData::EmptyLike(out.front(), result_name);
+    if (s == 0) proj.set_universe_size(first.universe_size());
+    for (size_t r = 0; r < shard.num_rows(); ++r) {
+      for (size_t i = 0; i < col_indices.size(); ++i) {
+        codes[i] = shard.column(col_indices[i]).code(r);
+      }
+      if (!seen.insert(codes).second) continue;
+      // Surviving rows re-intern by string in global first-occurrence order,
+      // exactly reproducing Project's fresh output dictionaries.
+      for (size_t i = 0; i < col_indices.size(); ++i) {
+        const Column& col = shard.column(col_indices[i]);
+        nulls[i] = col.IsNull(r);
+        std::string_view v = col.ValueAt(r, "");
+        values[i].assign(v.data(), v.size());
+      }
+      proj.AppendRow(values, nulls);
+    }
+    out.push_back(std::move(proj));
+  }
+  if (transient_bytes != nullptr) {
+    *transient_bytes = seen.size() * col_indices.size() * sizeof(ValueId);
+  }
+  return out;
+}
+
 RelationData NaturalJoin(const RelationData& left, const RelationData& right,
                          std::string result_name) {
   // Determine shared global attributes; they appear once in the output.

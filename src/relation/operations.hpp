@@ -19,6 +19,23 @@ namespace normalize {
 RelationData Project(const RelationData& input, const AttributeSet& attrs,
                      bool distinct, std::string result_name = "");
 
+/// Sharded π with duplicate elimination — the out-of-core decomposition
+/// primitive. `shards` must be non-empty row-range shards sharing one schema
+/// and one set of value dictionaries (the sharded-ingest invariant), in
+/// concatenation order. Output shard i holds input shard i's surviving rows;
+/// the output shards share fresh dictionaries, and their concatenation is
+/// bit-identical (row order, interning order, codes) to
+/// `Project(concatenated_input, attrs, /*distinct=*/true, result_name)` —
+/// without ever materializing the concatenation. Deduplication runs on
+/// dictionary-code tuples, which is exact because the shared dictionaries
+/// make code equality coincide with (value, NULL)-tuple equality.
+/// `transient_bytes`, when non-null, receives the footprint of the
+/// cross-shard dedup set this call held (released on return) — the number
+/// callers charge against a memory budget.
+std::vector<RelationData> ProjectShardsDistinct(
+    const std::vector<RelationData>& shards, const AttributeSet& attrs,
+    std::string result_name = "", size_t* transient_bytes = nullptr);
+
 /// Natural join of two relations on their shared global attributes. NULL
 /// join keys never match (SQL semantics). If the relations share no
 /// attributes the result is the cross product.

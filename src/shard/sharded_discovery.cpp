@@ -1,7 +1,9 @@
 #include "shard/sharded_discovery.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -186,58 +188,79 @@ Result<FdSet> ShardedDiscovery::Discover(
   }
   const RunContext* ctx = options_.context;
 
+  // Consume any installed resume state (one-shot: a second Discover() call
+  // starts fresh unless the caller installs new state).
+  DiscoveryResumeState resume = std::move(resume_);
+  resume_ = DiscoveryResumeState{};
+  if (!resume.shard_covers.empty() && resume.shard_covers.size() != k) {
+    return Status::FailedPrecondition(
+        "resume state has " + std::to_string(resume.shard_covers.size()) +
+        " shard covers but the input has " + std::to_string(k) + " shards");
+  }
+
   // --- Per-shard discovery fan-out ---
   // Each shard runs the serial backend; the fan-out itself is the
   // parallelism (per-shard threads would contend with it, and running the
   // backend's ParallelFor on the outer pool could self-deadlock). The
   // RunContext is forwarded so each per-shard run polls it too.
+  // A checkpoint resume replaces the whole fan-out with the stored covers.
   Stopwatch watch;
   std::vector<FdSet> shard_fds(k);
-  std::vector<Status> statuses(k);
-  Status dispatch = ParallelFor(pool, k, [&, ctx](size_t s) {
-    if (ctx != nullptr && ctx->SoftInterrupted()) {
-      statuses[s] = Status::Cancelled("shard fan-out interrupted");
-      return;
-    }
-    FdDiscoveryOptions per_shard = options_;
-    per_shard.threads = 1;
-    per_shard.pool = nullptr;
-    auto algo = MakeFdDiscovery(backend_, per_shard);
-    if (!algo) {
-      statuses[s] =
-          Status::InvalidArgument("unknown discovery algorithm: " + backend_);
-      return;
-    }
-    auto result = algo->Discover(shards[s]);
-    if (!result.ok()) {
-      statuses[s] = result.status();
-      return;
-    }
-    // An interrupted per-shard run yields a *partial* cover, which would
-    // poison the merge's completeness assumption — record it as a failure
-    // of this shard instead of merging it.
-    statuses[s] = algo->completion_status();
-    shard_fds[s] = std::move(result).value();
-  });
-  {
-    Status interrupted = CheckRunContext(ctx);
-    if (interrupted.ok() && !dispatch.ok()) interrupted = dispatch;
-    for (const Status& st : statuses) {
-      if (st.ok()) continue;
-      if (IsInterruption(st.code())) {
-        if (interrupted.ok()) interrupted = st;
-      } else {
-        return st;  // real per-shard failure, not an interruption
+  std::vector<std::shared_ptr<const PliCache>> handoff(k);
+  if (!resume.shard_covers.empty()) {
+    shard_fds = std::move(resume.shard_covers);
+    stats_.resumed_covers = true;
+  } else {
+    std::vector<Status> statuses(k);
+    Status dispatch = ParallelFor(pool, k, [&, ctx](size_t s) {
+      if (ctx != nullptr && ctx->SoftInterrupted()) {
+        statuses[s] = Status::Cancelled("shard fan-out interrupted");
+        return;
+      }
+      FdDiscoveryOptions per_shard = options_;
+      per_shard.threads = 1;
+      per_shard.pool = nullptr;
+      auto algo = MakeFdDiscovery(backend_, per_shard);
+      if (!algo) {
+        statuses[s] =
+            Status::InvalidArgument("unknown discovery algorithm: " + backend_);
+        return;
+      }
+      auto result = algo->Discover(shards[s]);
+      if (!result.ok()) {
+        statuses[s] = result.status();
+        return;
+      }
+      // An interrupted per-shard run yields a *partial* cover, which would
+      // poison the merge's completeness assumption — record it as a failure
+      // of this shard instead of merging it.
+      statuses[s] = algo->completion_status();
+      shard_fds[s] = std::move(result).value();
+      // Keep the backend's PLI cache alive: the merge validates against the
+      // very same single-column PLIs, so rebuilding them would be pure
+      // duplicate work.
+      handoff[s] = algo->shared_pli_cache();
+    });
+    {
+      Status interrupted = CheckRunContext(ctx);
+      if (interrupted.ok() && !dispatch.ok()) interrupted = dispatch;
+      for (const Status& st : statuses) {
+        if (st.ok()) continue;
+        if (IsInterruption(st.code())) {
+          if (interrupted.ok()) interrupted = st;
+        } else {
+          return st;  // real per-shard failure, not an interruption
+        }
+      }
+      if (!interrupted.ok()) {
+        // No merged level has been validated yet: the only sound partial
+        // result is the empty cover.
+        completion_ = std::move(interrupted);
+        return RemapToGlobal({}, shards[0]);
       }
     }
-    if (!interrupted.ok()) {
-      // No merged level has been validated yet: the only sound partial
-      // result is the empty cover.
-      completion_ = std::move(interrupted);
-      return RemapToGlobal({}, shards[0]);
-    }
+    phase_metrics_.Record("shard_discovery", watch.ElapsedSeconds(), k);
   }
-  phase_metrics_.Record("shard_discovery", watch.ElapsedSeconds(), k);
 
   // --- Merge machinery: per-shard cover trees and PLI caches ---
   watch.Restart();
@@ -248,11 +271,33 @@ Result<FdSet> ShardedDiscovery::Discover(
   }
   phase_metrics_.Record("shard_covers", watch.ElapsedSeconds(), k);
   watch.Restart();
-  std::vector<PliCache> caches;
-  caches.reserve(k);
-  for (size_t s = 0; s < k; ++s) caches.emplace_back(shards[s], pool);
+  // Per-shard PLI preference order: checkpointed PLIs (resume), then the
+  // backend's handoff cache (fresh fan-out), then a rebuild from the rows.
+  std::vector<std::shared_ptr<const PliCache>> caches(k);
+  bool resume_plis = resume.shard_plis.size() == k;
+  for (size_t s = 0; s < k; ++s) {
+    if (resume_plis &&
+        resume.shard_plis[s].size() == static_cast<size_t>(n)) {
+      caches[s] = std::make_shared<PliCache>(shards[s],
+                                             std::move(resume.shard_plis[s]));
+      ++stats_.plis_reused;
+    } else if (handoff[s] != nullptr) {
+      caches[s] = std::move(handoff[s]);
+      ++stats_.plis_reused;
+    } else {
+      caches[s] = std::make_shared<PliCache>(shards[s], pool);
+    }
+  }
   phase_metrics_.Record("pli_build", watch.ElapsedSeconds(),
                         k * static_cast<size_t>(n));
+
+  // First checkpoint: per-shard covers plus the PLIs the merge will use. A
+  // resumed run's covers are already on disk, so only fresh runs report.
+  if (sink_ != nullptr && !stats_.resumed_covers) {
+    watch.Restart();
+    NORMALIZE_RETURN_IF_ERROR(sink_->OnShardState(shard_fds, caches));
+    phase_metrics_.Record("checkpoint_shard_state", watch.ElapsedSeconds(), k);
+  }
 
   // --- Merge-and-validate ---
   // Seed with shard 0's minimal cover: every globally valid FD holds on
@@ -264,6 +309,22 @@ Result<FdSet> ShardedDiscovery::Discover(
   stats_.seed_fds = tree.CountFds();
 
   std::unordered_set<AttributeSet> seen_agree_sets;
+  int start_level = 0;
+  int resumed_last_complete = -1;
+  if (resume.has_frontier) {
+    // Rebuild the candidate tree exactly as the checkpoint recorded it and
+    // restart after the last fully validated level. The stored agree sets
+    // re-seed the dedup set so old evidence is not re-collected.
+    tree = FdTree(n);
+    for (const Fd& fd : resume.frontier_fds) {
+      for (AttributeId a : fd.rhs) tree.AddFd(fd.lhs, a);
+    }
+    seen_agree_sets.insert(resume.agree_sets.begin(),
+                           resume.agree_sets.end());
+    resumed_last_complete = resume.last_complete_level;
+    start_level = resume.last_complete_level + 1;
+    stats_.resumed_frontier = true;
+  }
   int max_level = n - 1;
   if (options_.max_lhs_size > 0) {
     max_level = std::min(max_level, options_.max_lhs_size);
@@ -275,7 +336,7 @@ Result<FdSet> ShardedDiscovery::Discover(
   // of a seed LHS is already violated on shard 0, hence globally — and
   // specializations only enter once their generalizations are refuted by
   // real row pairs).
-  int last_complete_level = -1;
+  int last_complete_level = resumed_last_complete;
   auto partial_result = [&](Status why) -> Result<FdSet> {
     completion_ = std::move(why);
     std::vector<Fd> kept;
@@ -295,7 +356,7 @@ Result<FdSet> ShardedDiscovery::Discover(
     bool cross_shard = false;
   };
 
-  for (int level = 0; level <= max_level; ++level) {
+  for (int level = start_level; level <= max_level; ++level) {
     while (true) {
       Status interrupted = CheckRunContext(ctx);
       if (!interrupted.ok()) return partial_result(std::move(interrupted));
@@ -319,7 +380,7 @@ Result<FdSet> ShardedDiscovery::Discover(
       if (units.empty()) break;
       Stopwatch validation_watch;
       std::vector<std::optional<Violation>> violations(units.size());
-      dispatch = ParallelFor(pool, units.size(), [&, ctx](size_t u) {
+      Status dispatch = ParallelFor(pool, units.size(), [&, ctx](size_t u) {
         if (ctx != nullptr && ctx->SoftInterrupted()) return;
         const Unit& unit = units[u];
         const AttributeSet& lhs = candidates[unit.candidate].lhs;
@@ -329,7 +390,7 @@ Result<FdSet> ShardedDiscovery::Discover(
         // targeted PLI validation on that shard finds a witness pair.
         for (size_t s = 0; s < k; ++s) {
           if (covers[s].ContainsFdOrGeneralization(lhs, unit.rhs)) continue;
-          auto pair = ValidateFdCandidate(shards[s], caches[s], lhs_attrs,
+          auto pair = ValidateFdCandidate(shards[s], *caches[s], lhs_attrs,
                                           unit.rhs);
           if (pair) {
             violations[u] = Violation{
@@ -371,8 +432,12 @@ Result<FdSet> ShardedDiscovery::Discover(
       }
       stats_.validated_candidates += units.size();
       stats_.invalid_candidates += invalid;
-      phase_metrics_.Record("merge_validation", validation_watch.ElapsedSeconds(),
-                            units.size());
+      double validation_s = validation_watch.ElapsedSeconds();
+      phase_metrics_.Record("merge_validation", validation_s, units.size());
+      // Per-level record: the adaptive degradation picker reads these to
+      // find the deepest level that fits the time budget.
+      phase_metrics_.Record("merge_validation_L" + std::to_string(level),
+                            validation_s, units.size());
       Stopwatch induction_watch;
       for (const AttributeSet& ag : evidence) {
         InduceFromAgreeSet(&tree, ag, options_.max_lhs_size);
@@ -382,6 +447,19 @@ Result<FdSet> ShardedDiscovery::Discover(
       if (invalid == 0) break;
     }
     last_complete_level = level;
+    // Checkpoint the fully validated level: the tree's FDs (pre-minimize —
+    // this is resume state) and the evidence that shaped them, canonically
+    // sorted so identical state yields identical snapshot bytes.
+    if (sink_ != nullptr) {
+      Stopwatch ckpt_watch;
+      std::vector<AttributeSet> evidence_sorted(seen_agree_sets.begin(),
+                                                seen_agree_sets.end());
+      std::sort(evidence_sorted.begin(), evidence_sorted.end());
+      NORMALIZE_RETURN_IF_ERROR(
+          sink_->OnMergeLevel(level, tree.CollectAllFds(), evidence_sorted));
+      phase_metrics_.Record("checkpoint_merge_level",
+                            ckpt_watch.ElapsedSeconds());
+    }
   }
 
   MinimizeCover(&tree);

@@ -28,10 +28,51 @@
 #include "common/stopwatch.hpp"
 #include "discovery/fd_discovery.hpp"
 #include "fd/fd.hpp"
+#include "pli/pli.hpp"
 #include "relation/relation_data.hpp"
 #include "shard/shard_options.hpp"
 
 namespace normalize {
+
+/// Receives checkpoint-worthy state during a sharded merge run. All calls
+/// happen on the coordinating thread, strictly between merge sweeps (never
+/// while workers run). A non-OK return aborts the run with that status —
+/// a checkpoint that cannot be written must not silently evaporate.
+class DiscoveryCheckpointSink {
+ public:
+  virtual ~DiscoveryCheckpointSink() = default;
+
+  /// After the per-shard fan-out completes: every shard's minimal cover and
+  /// the PLI caches the merge will validate against. Covers are in global
+  /// attribute space (as Discover() returns them); PLI entries may be null
+  /// for backends that do not expose their cache.
+  virtual Status OnShardState(
+      const std::vector<FdSet>& shard_covers,
+      const std::vector<std::shared_ptr<const PliCache>>& shard_plis) = 0;
+
+  /// After merge level `level` is fully validated: the candidate tree's FDs
+  /// (local column space, pre-minimization — this is resume state, not a
+  /// result) and all agree-set evidence seen so far, sorted canonically.
+  virtual Status OnMergeLevel(int level, const std::vector<Fd>& frontier_fds,
+                              const std::vector<AttributeSet>& agree_sets) = 0;
+};
+
+/// Previously checkpointed state to resume a sharded merge run from.
+/// Default-constructed = nothing to resume (fresh run).
+struct DiscoveryResumeState {
+  /// Per-shard minimal covers (global attribute space). Non-empty skips the
+  /// per-shard fan-out; the size must match the shard count.
+  std::vector<FdSet> shard_covers;
+  /// Per-shard single-column PLIs; an empty inner vector means "rebuild
+  /// this shard's PLIs". Ignored unless sized like the shard count.
+  std::vector<std::vector<Pli>> shard_plis;
+  /// Merge frontier: the candidate tree's FDs (local column space) after
+  /// the last fully validated level, plus the evidence that shaped it.
+  bool has_frontier = false;
+  std::vector<Fd> frontier_fds;
+  int last_complete_level = -1;
+  std::vector<AttributeSet> agree_sets;
+};
 
 class ShardedDiscovery {
  public:
@@ -46,6 +87,14 @@ class ShardedDiscovery {
     /// pair straddling two shards (the case a naive per-shard union misses).
     size_t within_shard_violations = 0;
     size_t cross_shard_violations = 0;
+    /// Shards whose single-column PLIs were reused (backend handoff or
+    /// checkpoint resume) instead of rebuilt for the merge.
+    size_t plis_reused = 0;
+    /// The per-shard fan-out was skipped: covers came from a checkpoint.
+    bool resumed_covers = false;
+    /// The merge loop started past level 0: the frontier came from a
+    /// checkpoint.
+    bool resumed_frontier = false;
   };
 
   /// `backend` is any MakeFdDiscovery() name; `options` configures the
@@ -70,6 +119,17 @@ class ShardedDiscovery {
   const Stats& stats() const { return stats_; }
   const PhaseMetrics& phase_metrics() const { return phase_metrics_; }
 
+  /// Installs a checkpoint sink (not owned; may be null to detach). The
+  /// multi-shard Discover() path reports state through it; the degenerate
+  /// single-shard paths do not (callers checkpoint the backend's evidence
+  /// directly via FdDiscovery::ExportEvidence).
+  void SetCheckpointSink(DiscoveryCheckpointSink* sink) { sink_ = sink; }
+
+  /// Installs resume state consumed by the next multi-shard Discover()
+  /// call. Covers sized unlike the shard count fail that call with
+  /// kFailedPrecondition rather than silently rediscovering.
+  void SetResumeState(DiscoveryResumeState state) { resume_ = std::move(state); }
+
   /// OK if the last Discover() ran to completion; kCancelled /
   /// kDeadlineExceeded when the run was interrupted (via
   /// options.context) and the returned FdSet is a sound partial cover —
@@ -92,6 +152,8 @@ class ShardedDiscovery {
   Stats stats_;
   PhaseMetrics phase_metrics_;
   Status completion_;
+  DiscoveryCheckpointSink* sink_ = nullptr;
+  DiscoveryResumeState resume_;
 };
 
 }  // namespace normalize

@@ -5,6 +5,7 @@
 // result identical to the fault-free run.
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -111,6 +112,113 @@ TEST(DeadlineDegradationTest, CancellationAbortsTheRun) {
   auto result = normalizer.Normalize(DenormalizedInput());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+// --- adaptive degradation: PickDegradedMaxLhs ------------------------------
+
+TEST(AdaptiveDegradationTest, PicksLargestLevelFittingHalfTheBudget) {
+  PhaseMetrics phases;
+  phases.Record("discovery/validation_L1", 0.1);
+  phases.Record("discovery/validation_L2", 0.3);
+  phases.Record("discovery/validation_L3", 2.0);
+  // Half of the 1.0s budget is 0.5s: L1 (0.1) and L1+L2 (0.4) fit, L3 not.
+  EXPECT_EQ(PickDegradedMaxLhs(phases, 1.0), 2);
+  // A bigger budget admits the deepest recorded level.
+  EXPECT_EQ(PickDegradedMaxLhs(phases, 10.0), 3);
+  // A budget too tight for even level 1 yields 0 (constant fallback).
+  EXPECT_EQ(PickDegradedMaxLhs(phases, 0.1), 0);
+}
+
+TEST(AdaptiveDegradationTest, ParsesEveryBackendsLevelRecords) {
+  PhaseMetrics merge;
+  merge.Record("merge_validation_L1", 0.05);
+  merge.Record("merge_validation_L2", 0.05);
+  EXPECT_EQ(PickDegradedMaxLhs(merge, 1.0), 2);
+
+  PhaseMetrics tane;
+  tane.Record("discovery/compute_deps_L1", 0.05);
+  tane.Record("discovery/compute_deps_L2", 0.1);
+  tane.Record("discovery/compute_deps_L3", 5.0);
+  EXPECT_EQ(PickDegradedMaxLhs(tane, 1.0), 2);
+}
+
+TEST(AdaptiveDegradationTest, IgnoresNonLevelRecordsAndBadBudgets) {
+  PhaseMetrics phases;
+  phases.Record("discovery/sampling", 0.2);
+  phases.Record("discovery/induction", 0.1);
+  EXPECT_EQ(PickDegradedMaxLhs(phases, 10.0), 0);  // no level records
+
+  phases.Record("discovery/validation_L1", 0.01);
+  EXPECT_EQ(PickDegradedMaxLhs(phases, 10.0), 1);
+  // Injected interruptions come with no real deadline: an infinite or
+  // non-positive budget must not pick the max level by accident.
+  EXPECT_EQ(PickDegradedMaxLhs(
+                phases, std::numeric_limits<double>::infinity()),
+            0);
+  EXPECT_EQ(PickDegradedMaxLhs(phases, 0.0), 0);
+  EXPECT_EQ(PickDegradedMaxLhs(phases, -1.0), 0);
+}
+
+TEST(AdaptiveDegradationTest, RealDeadlinePicksBoundFromRecordedLevels) {
+  // A real (generous) deadline plus an injected interruption after level-1
+  // validation completed: the rerun bound comes from the recorded levels,
+  // not the constant.
+  FaultInjector faults;
+  faults.InterruptAtNthCheck(30, StatusCode::kDeadlineExceeded);
+  RunContext ctx;
+  ctx.deadline = Deadline::AfterSeconds(3600.0);
+  ctx.faults = &faults;
+
+  NormalizerOptions options;
+  options.discovery.threads = 1;
+  options.context = &ctx;
+  Normalizer normalizer(options);
+  auto result = normalizer.Normalize(DenormalizedInput());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->stats.degraded_discovery);
+  EXPECT_GT(result->stats.adaptive_degraded_max_lhs, 0);
+  // The skip log names the adaptive choice.
+  bool noted = false;
+  for (const std::string& note : result->stats.skipped) {
+    if (note.find("(adaptive)") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(AdaptiveDegradationTest, ConstantFallbackWhenDisabledOrNoRecords) {
+  // Disabled: the constant bound is used even with usable level records.
+  {
+    FaultInjector faults;
+    faults.InterruptAtNthCheck(30, StatusCode::kDeadlineExceeded);
+    RunContext ctx;
+    ctx.deadline = Deadline::AfterSeconds(3600.0);
+    ctx.faults = &faults;
+    NormalizerOptions options;
+    options.discovery.threads = 1;
+    options.context = &ctx;
+    options.adaptive_degradation = false;
+    auto result = Normalizer(options).Normalize(DenormalizedInput());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->stats.degraded_discovery);
+    EXPECT_EQ(result->stats.adaptive_degraded_max_lhs, 0);
+  }
+  // Interrupted before any validation level completed (check #2 fires in
+  // sampling): no per-level records exist, so adaptive yields 0 and the
+  // constant bound drives the rerun.
+  {
+    FaultInjector faults;
+    faults.InterruptAtNthCheck(2, StatusCode::kDeadlineExceeded);
+    RunContext ctx;
+    ctx.deadline = Deadline::AfterSeconds(3600.0);
+    ctx.faults = &faults;
+    NormalizerOptions options;
+    options.discovery.threads = 1;
+    options.context = &ctx;
+    auto result = Normalizer(options).Normalize(DenormalizedInput());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->stats.degraded_discovery);
+    EXPECT_EQ(result->stats.adaptive_degraded_max_lhs, 0);
+  }
 }
 
 TEST(NormalizeIngestFaultTest, TransientIngestFaultsAreRetriedToSameResult) {

@@ -1,0 +1,162 @@
+// ShardStore (persist/shard_store.hpp): spilled shards must stream back with
+// identical rows, dictionaries, and codes; the manifest gates everything on
+// the run fingerprint; and a damaged store fails loudly instead of feeding
+// the pipeline corrupt rows.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "persist/shard_store.hpp"
+#include "relation/csv.hpp"
+#include "shard/shard_relation.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using normalize::testing::MakeRelation;
+
+CheckpointFingerprint TestFingerprint() {
+  CheckpointFingerprint fp;
+  fp.source = "shard_store_test";
+  fp.source_size = 9;
+  fp.backend = "hyfd";
+  fp.max_lhs_size = -1;
+  fp.shard_rows = 4;
+  fp.columns = 3;
+  return fp;
+}
+
+ShardedRelation TestSharded() {
+  RelationData whole = MakeRelation({{"1", "a", "x"},
+                                     {"2", "b", "x"},
+                                     {"3", "a", ""},
+                                     {"4", "c", "y"},
+                                     {"5", "b", "y"},
+                                     {"6", "a", "x"},
+                                     {"7", "c", ""},
+                                     {"8", "b", "z"},
+                                     {"9", "a", "z"}},
+                                    {"id", "grp", "tag"}, "store_input");
+  ShardedRelation sharded;
+  sharded.name = whole.name();
+  sharded.shards = SliceIntoShards(whole, 4);
+  sharded.total_rows = 9;
+  sharded.peak_ingest_buffer_bytes = 123;
+  return sharded;
+}
+
+std::string FreshDir(const std::string& leaf) {
+  std::string dir = ::testing::TempDir() + "/" + leaf;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(ShardStoreTest, SaveAndLoadRoundTripsShardsBitIdentical) {
+  ShardedRelation sharded = TestSharded();
+  ShardStore store(FreshDir("shard_store_roundtrip"));
+  ASSERT_TRUE(store.SaveSharded(sharded, TestFingerprint()).ok());
+
+  auto back = store.LoadSharded(TestFingerprint());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->name, sharded.name);
+  EXPECT_EQ(back->peak_ingest_buffer_bytes, sharded.peak_ingest_buffer_bytes);
+  ASSERT_EQ(back->shards.size(), sharded.shards.size());
+  for (size_t s = 0; s < sharded.shards.size(); ++s) {
+    EXPECT_EQ(CsvWriter().WriteString(back->shards[s]),
+              CsvWriter().WriteString(sharded.shards[s]));
+    for (size_t c = 0; c < sharded.shards[s].num_columns(); ++c) {
+      EXPECT_EQ(back->shards[s].column(c).codes(),
+                sharded.shards[s].column(c).codes())
+          << "shard " << s << " col " << c;
+    }
+  }
+  // Concatenating the loaded shards reproduces the original relation.
+  RelationData merged = ConcatenateShards(back->shards, sharded.name);
+  RelationData expected = ConcatenateShards(sharded.shards, sharded.name);
+  EXPECT_EQ(CsvWriter().WriteString(merged), CsvWriter().WriteString(expected));
+}
+
+TEST(ShardStoreTest, StreamsShardsOneAtATime) {
+  ShardedRelation sharded = TestSharded();
+  ShardStore store(FreshDir("shard_store_stream"));
+  ASSERT_TRUE(store.SaveSharded(sharded, TestFingerprint()).ok());
+
+  auto count = store.ShardCount(TestFingerprint());
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, sharded.shards.size());
+  auto proto = store.LoadPrototype(TestFingerprint());
+  ASSERT_TRUE(proto.ok()) << proto.status().ToString();
+  EXPECT_EQ(proto->num_rows(), 0u);
+  for (size_t s = 0; s < *count; ++s) {
+    auto shard = store.LoadShard(s, *proto);
+    ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+    EXPECT_EQ(CsvWriter().WriteString(*shard),
+              CsvWriter().WriteString(sharded.shards[s]));
+  }
+}
+
+TEST(ShardStoreTest, EmptyDirectoryIsNotFound) {
+  ShardStore store(FreshDir("shard_store_empty"));
+  auto load = store.LoadSharded(TestFingerprint());
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardStoreTest, FingerprintMismatchIsFailedPrecondition) {
+  ShardStore store(FreshDir("shard_store_mismatch"));
+  ASSERT_TRUE(store.SaveSharded(TestSharded(), TestFingerprint()).ok());
+  CheckpointFingerprint other = TestFingerprint();
+  other.source = "some_other_input";
+  auto load = store.LoadSharded(other);
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardStoreTest, CorruptShardFileIsDataLoss) {
+  std::string dir = FreshDir("shard_store_corrupt");
+  ShardStore store(dir);
+  ASSERT_TRUE(store.SaveSharded(TestSharded(), TestFingerprint()).ok());
+  // Flip one byte near the end of a shard file (inside its payload).
+  std::string victim = dir + "/shard_1.snap";
+  std::string bytes;
+  {
+    std::ifstream in(victim, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() - 3] ^= 0x10;
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  auto load = store.LoadSharded(TestFingerprint());
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ShardStoreTest, MissingPlisAreNotFoundButPresentOnesRoundTrip) {
+  ShardedRelation sharded = TestSharded();
+  ShardStore store(FreshDir("shard_store_plis"));
+  ASSERT_TRUE(store.SaveSharded(sharded, TestFingerprint()).ok());
+
+  EXPECT_EQ(store.LoadPlis(0).status().code(), StatusCode::kNotFound);
+
+  PliCache cache(sharded.shards[0]);
+  ASSERT_TRUE(store.SavePlis(0, cache).ok());
+  auto plis = store.LoadPlis(0);
+  ASSERT_TRUE(plis.ok()) << plis.status().ToString();
+  ASSERT_EQ(plis->size(), sharded.shards[0].num_columns());
+  for (size_t c = 0; c < plis->size(); ++c) {
+    EXPECT_EQ((*plis)[c].clusters(),
+              cache.ColumnPli(static_cast<int>(c)).clusters());
+  }
+}
+
+}  // namespace
+}  // namespace normalize

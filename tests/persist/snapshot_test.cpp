@@ -1,0 +1,286 @@
+// Robustness of the snapshot container (persist/snapshot.hpp) and the state
+// serializers on top of it (persist/state_io.hpp): round trips must be
+// bit-identical, publishes atomic, and every corruption — truncation at any
+// byte, a flipped CRC or payload byte, a wrong format version, foreign bytes
+// — must surface as a clean kDataLoss with no partial state and no crash.
+// The ByteSource seam lets the fault injector drive the same paths through
+// failing and short reads.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/byte_source.hpp"
+#include "persist/codec.hpp"
+#include "persist/snapshot.hpp"
+#include "persist/state_io.hpp"
+#include "pli/pli.hpp"
+#include "relation/csv.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using normalize::testing::MakeRelation;
+
+// A two-section container with binary-safe payloads (embedded NULs).
+SnapshotWriter SampleWriter() {
+  SnapshotWriter writer;
+  writer.AddSection(2, std::string("alpha\0beta", 10));
+  writer.AddSection(7, "second section payload");
+  return writer;
+}
+
+TEST(SnapshotFormatTest, RoundTripsSectionsBitIdentical) {
+  auto reader = SnapshotReader::FromBytes(SampleWriter().Serialize());
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  ASSERT_TRUE(reader->HasSection(2));
+  ASSERT_TRUE(reader->HasSection(7));
+  EXPECT_FALSE(reader->HasSection(3));
+  auto a = reader->Section(2);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, std::string_view("alpha\0beta", 10));
+  auto b = reader->Section(7);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, "second section payload");
+  EXPECT_EQ(reader->SectionIds(), (std::vector<uint32_t>{2, 7}));
+  EXPECT_EQ(reader->Section(3).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotFormatTest, SerializationIsCanonical) {
+  // The same sections always produce the same bytes — the property that lets
+  // resume tests assert bit-identical re-encoding.
+  EXPECT_EQ(SampleWriter().Serialize(), SampleWriter().Serialize());
+}
+
+TEST(SnapshotFormatTest, FileRoundTripPublishesAtomically) {
+  std::string path = ::testing::TempDir() + "/snapshot_roundtrip.snap";
+  ASSERT_TRUE(SampleWriter().WriteToFile(path).ok());
+  {
+    // No temp file survives a successful publish.
+    std::ifstream tmp(path + ".tmp", std::ios::binary);
+    EXPECT_FALSE(tmp.good());
+  }
+  auto reader = SnapshotReader::FromFile(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto payload = reader->Section(7);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, "second section payload");
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFormatTest, MissingFileIsNotFound) {
+  auto reader =
+      SnapshotReader::FromFile(::testing::TempDir() + "/no_such_file.snap");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotFormatTest, EveryTruncationIsRejected) {
+  const std::string bytes = SampleWriter().Serialize();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto reader = SnapshotReader::FromBytes(bytes.substr(0, len));
+    ASSERT_FALSE(reader.ok()) << "prefix of " << len << " bytes parsed";
+    EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss) << "len " << len;
+  }
+}
+
+TEST(SnapshotFormatTest, FlippedBytesAreRejected) {
+  const std::string bytes = SampleWriter().Serialize();
+  // Section-id bytes are the only field not covered by a checksum — flipping
+  // one yields a (validly formed) container for a different section id, so
+  // those offsets are excluded. Layout: 16-byte header, then per section
+  // id(4) size(8) crc(4) payload.
+  std::vector<bool> is_section_id(bytes.size(), false);
+  size_t offset = 16;
+  for (size_t payload : {size_t{10}, size_t{22}}) {
+    for (size_t b = 0; b < 4; ++b) is_section_id[offset + b] = true;
+    offset += 4 + 8 + 4 + payload;
+  }
+  ASSERT_EQ(offset, bytes.size());
+
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    if (is_section_id[pos]) continue;
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0xFF);
+    auto reader = SnapshotReader::FromBytes(std::move(corrupt));
+    ASSERT_FALSE(reader.ok()) << "flip at byte " << pos << " parsed";
+    EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss) << "pos " << pos;
+  }
+}
+
+TEST(SnapshotFormatTest, WrongFormatVersionIsRejected) {
+  std::string bytes = SampleWriter().Serialize();
+  bytes[8] = 2;  // version lives at offset 8, little-endian
+  auto reader = SnapshotReader::FromBytes(std::move(bytes));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(reader.status().message().find("version"), std::string::npos)
+      << reader.status().ToString();
+}
+
+TEST(SnapshotFormatTest, ForeignFileIsRejectedAsNotASnapshot) {
+  auto reader = SnapshotReader::FromBytes("id,name\n1,alice\n2,bob\n");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(reader.status().message().find("magic"), std::string::npos);
+}
+
+TEST(SnapshotFormatTest, TrailingGarbageIsRejected) {
+  std::string bytes = SampleWriter().Serialize() + "x";
+  auto reader = SnapshotReader::FromBytes(std::move(bytes));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+}
+
+// --- the ByteSource seam: injected I/O faults under the parser -------------
+
+TEST(SnapshotFaultTest, TruncatedStreamIsRejectedAtEveryOffset) {
+  const std::string bytes = SampleWriter().Serialize();
+  for (uint64_t offset : {uint64_t{0}, uint64_t{7}, uint64_t{17},
+                          uint64_t{bytes.size() - 1}}) {
+    FaultInjector faults;
+    faults.TruncateAtOffset(offset);
+    StringByteSource inner(bytes);
+    FaultInjectingByteSource source(&inner, &faults);
+    auto reader = SnapshotReader::FromSource(&source);
+    ASSERT_FALSE(reader.ok()) << "truncation at " << offset << " parsed";
+    EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(SnapshotFaultTest, FailingReadPropagatesVerbatim) {
+  FaultInjector faults;
+  faults.FailNthRead(1, Status::Unavailable("injected EIO"));
+  StringByteSource inner(SampleWriter().Serialize());
+  FaultInjectingByteSource source(&inner, &faults);
+  auto reader = SnapshotReader::FromSource(&source);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SnapshotFaultTest, ShortReadsStillParse) {
+  FaultInjector faults;
+  faults.ShortNthRead(1, 3);
+  faults.ShortNthRead(2, 1);
+  StringByteSource inner(SampleWriter().Serialize());
+  FaultInjectingByteSource source(&inner, &faults);
+  auto reader = SnapshotReader::FromSource(&source);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto payload = reader->Section(7);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, "second section payload");
+}
+
+// --- state serializers -----------------------------------------------------
+
+TEST(StateIoTest, FdSetRoundTripsBitIdentical) {
+  FdSet fds;
+  fds.Add(Fd{normalize::testing::Attrs(6, {0, 2}),
+             normalize::testing::Attrs(6, {3})});
+  fds.Add(Fd{normalize::testing::Attrs(6, {1}),
+             normalize::testing::Attrs(6, {4, 5})});
+
+  SnapshotEncoder enc;
+  EncodeFdSet(&enc, fds);
+  std::string first = enc.bytes();
+
+  SnapshotDecoder dec(first);
+  auto back = DecodeFdSet(&dec);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_TRUE(dec.ExpectEnd().ok());
+
+  SnapshotEncoder again;
+  EncodeFdSet(&again, *back);
+  EXPECT_EQ(first, again.bytes());
+  EXPECT_TRUE(back->EquivalentTo(fds));
+}
+
+TEST(StateIoTest, PrototypeAndShardRowsRoundTrip) {
+  RelationData data = MakeRelation({{"1", "a", "x"},
+                                    {"2", "b", ""},
+                                    {"3", "a", "x"},
+                                    {"4", "c", "y"}},
+                                   {"id", "grp", "tag"}, "roundtrip");
+  SnapshotEncoder enc;
+  EncodeRelationPrototype(&enc, data);
+  EncodeShardRows(&enc, data);
+  SnapshotDecoder dec(enc.bytes());
+  auto proto = DecodeRelationPrototype(&dec);
+  ASSERT_TRUE(proto.ok()) << proto.status().ToString();
+  auto shard = DecodeShardRows(&dec, *proto, "roundtrip");
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  ASSERT_TRUE(dec.ExpectEnd().ok());
+  // Identical text, NULLs, and dictionary codes.
+  EXPECT_EQ(CsvWriter().WriteString(*shard), CsvWriter().WriteString(data));
+  for (size_t c = 0; c < data.num_columns(); ++c) {
+    EXPECT_EQ(shard->column(c).codes(), data.column(c).codes()) << "col " << c;
+  }
+}
+
+TEST(StateIoTest, ColumnPlisRoundTrip) {
+  RelationData data = MakeRelation(
+      {{"1", "a"}, {"2", "a"}, {"3", "b"}, {"4", "b"}, {"5", "c"}});
+  PliCache cache(data);
+  SnapshotEncoder enc;
+  EncodeColumnPlis(&enc, cache);
+  SnapshotDecoder dec(enc.bytes());
+  auto plis = DecodeColumnPlis(&dec);
+  ASSERT_TRUE(plis.ok()) << plis.status().ToString();
+  ASSERT_TRUE(dec.ExpectEnd().ok());
+  ASSERT_EQ(plis->size(), data.num_columns());
+  for (size_t c = 0; c < plis->size(); ++c) {
+    EXPECT_EQ((*plis)[c].clusters(),
+              cache.ColumnPli(static_cast<int>(c)).clusters());
+    EXPECT_EQ((*plis)[c].num_rows(), cache.ColumnPli(static_cast<int>(c)).num_rows());
+  }
+}
+
+TEST(StateIoTest, FingerprintMismatchIsFailedPrecondition) {
+  CheckpointFingerprint fp;
+  fp.source = "/data/a.csv";
+  fp.source_size = 1234;
+  fp.backend = "hyfd";
+  fp.max_lhs_size = 3;
+  fp.shard_rows = 100;
+  fp.columns = 7;
+
+  std::string path = ::testing::TempDir() + "/fingerprint_test.snap";
+  SnapshotWriter writer;
+  AddFingerprintSection(&writer, fp);
+  writer.AddSection(2, "payload");
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+
+  auto same = OpenVerifiedSnapshot(path, fp);
+  EXPECT_TRUE(same.ok()) << same.status().ToString();
+
+  CheckpointFingerprint other = fp;
+  other.shard_rows = 50;
+  auto mismatch = OpenVerifiedSnapshot(path, other);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(StateIoTest, CorruptPayloadUnderFingerprintIsDataLoss) {
+  CheckpointFingerprint fp;
+  fp.source = "x";
+  std::string path = ::testing::TempDir() + "/corrupt_verified_test.snap";
+  SnapshotWriter writer;
+  AddFingerprintSection(&writer, fp);
+  writer.AddSection(2, "payload");
+  std::string bytes = writer.Serialize();
+  bytes[bytes.size() - 2] ^= 0x01;  // flip a payload bit of the last section
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << bytes;
+  }
+  auto reader = OpenVerifiedSnapshot(path, fp);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace normalize
