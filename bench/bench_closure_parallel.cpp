@@ -63,7 +63,8 @@ int main(int argc, char** argv) {
   std::vector<int> thread_counts = {1, 2, 4};
   for (int t = 8; t <= hw; t *= 2) thread_counts.push_back(t);
 
-  TablePrinter table({"threads", "improved", "speedup", "optimized", "speedup"});
+  TablePrinter table(
+      {"threads", "improved", "speedup", "optimized", "speedup"});
   double impr_base = 0, opt_base = 0;
   for (int t : thread_counts) {
     double impr = TimeClosure(ImprovedClosure(ClosureOptions{t}), fds, attrs,

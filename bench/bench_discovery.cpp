@@ -340,7 +340,8 @@ int main(int argc, char** argv) {
     std::vector<SweepResult> sweep =
         RunThreadSweep(universal, max_lhs, skip_tane);
 
-    TablePrinter sweep_table({"Algorithm", "Threads", "Time", "Speedup", "FDs"});
+    TablePrinter sweep_table(
+        {"Algorithm", "Threads", "Time", "Speedup", "FDs"});
     for (const SweepResult& r : sweep) {
       char speedup[32];
       std::snprintf(speedup, sizeof(speedup), "%.2fx", r.speedup);

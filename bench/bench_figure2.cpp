@@ -59,7 +59,8 @@ int main(int argc, char** argv) {
   RelationData data = [&] {
     if (dataset == "amalgam1") return Amalgam1Like(scale);
     if (dataset == "musicbrainz") {
-      return GenerateMusicBrainzLike(MusicBrainzScale{}.Scaled(scale)).universal;
+      return GenerateMusicBrainzLike(MusicBrainzScale{}.Scaled(scale))
+          .universal;
     }
     return HorseLike(scale);
   }();
@@ -71,7 +72,8 @@ int main(int argc, char** argv) {
   Stopwatch discovery_watch;
   auto pool_result = hyfd.Discover(data);
   if (!pool_result.ok()) {
-    std::cerr << "discovery failed: " << pool_result.status().ToString() << "\n";
+    std::cerr << "discovery failed: " << pool_result.status().ToString()
+              << "\n";
     return 1;
   }
   FdSet pool = std::move(pool_result).value();

@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
 
   AttributeSet ignored(ds.universal.universe_size());
   ignored.Set(38);  // o_shippriority is constant; its placement is data-driven
-  RecoveryReport report = CompareToGold(ds.gold_schema, result->schema, ignored);
+  RecoveryReport report =
+      CompareToGold(ds.gold_schema, result->schema, ignored);
   std::cout << "--- recovery vs original TPC-H schema ---\n"
             << report.ToString(ds.gold_schema, result->schema) << "\n";
 

@@ -39,7 +39,8 @@ void BM_SetTrieSubsetQuery(benchmark::State& state) {
   for (const auto& s : stored) trie.Insert(s);
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(trie.ContainsSubsetOf(queries[i++ % queries.size()]));
+    benchmark::DoNotOptimize(
+        trie.ContainsSubsetOf(queries[i++ % queries.size()]));
   }
 }
 BENCHMARK(BM_SetTrieSubsetQuery)->Range(256, 65536);
@@ -103,7 +104,8 @@ void BM_FdTreeGeneralizationLookup(benchmark::State& state) {
   for (auto _ : state) {
     const AttributeSet& q = queries[i++ % queries.size()];
     benchmark::DoNotOptimize(
-        tree.ContainsFdOrGeneralization(q, static_cast<AttributeId>(i % capacity)));
+        tree.ContainsFdOrGeneralization(
+            q, static_cast<AttributeId>(i % capacity)));
   }
 }
 BENCHMARK(BM_FdTreeGeneralizationLookup)->Range(256, 16384);

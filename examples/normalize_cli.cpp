@@ -271,8 +271,9 @@ int NormalizeCommand(const Flags& flags) {
   FaultInjector injector;
   RunContext ctx = flags.MakeContext();
   if (flags.interrupt_at_check > 0) {
-    injector.InterruptAtNthCheck(static_cast<uint64_t>(flags.interrupt_at_check),
-                                 StatusCode::kDeadlineExceeded);
+    injector.InterruptAtNthCheck(
+        static_cast<uint64_t>(flags.interrupt_at_check),
+        StatusCode::kDeadlineExceeded);
     ctx.faults = &injector;
   }
   NormalizerOptions options;

@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
 
   AttributeSet ignored(ds.universal.universe_size());
   ignored.Set(38);  // constant o_shippriority: placement is data-driven
-  RecoveryReport report = CompareToGold(ds.gold_schema, result->schema, ignored);
+  RecoveryReport report =
+      CompareToGold(ds.gold_schema, result->schema, ignored);
   std::cout << "recovery vs gold schema:\n"
             << report.ToString(ds.gold_schema, result->schema) << "\n";
 

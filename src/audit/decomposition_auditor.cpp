@@ -108,7 +108,8 @@ std::vector<AuditIssue> DecompositionAuditor::CheckRelationNormalForm(
     const AttributeSet& nullable, NormalForm normal_form,
     AuditIssue::Severity residual_severity) const {
   std::vector<AuditIssue> issues;
-  const std::vector<AttributeSet> keys = DeriveKeys(projected, rel.attributes());
+  const std::vector<AttributeSet> keys =
+      DeriveKeys(projected, rel.attributes());
   // The pipeline's own detector, with the same exemptions Algorithm 4
   // applies: anything it still reports is a violation the normalizer should
   // have decomposed away.

@@ -112,7 +112,8 @@ std::string AttributeSet::ToString() const {
   return os.str();
 }
 
-std::string AttributeSet::ToString(const std::vector<std::string>& names) const {
+std::string AttributeSet::ToString(
+    const std::vector<std::string>& names) const {
   std::ostringstream os;
   os << "[";
   bool first = true;

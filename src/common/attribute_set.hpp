@@ -43,8 +43,12 @@ class AttributeSet {
   bool Test(AttributeId a) const {
     return (words_[static_cast<size_t>(a) >> 6] >> (a & 63)) & 1u;
   }
-  void Set(AttributeId a) { words_[static_cast<size_t>(a) >> 6] |= 1ull << (a & 63); }
-  void Reset(AttributeId a) { words_[static_cast<size_t>(a) >> 6] &= ~(1ull << (a & 63)); }
+  void Set(AttributeId a) {
+    words_[static_cast<size_t>(a) >> 6] |= 1ull << (a & 63);
+  }
+  void Reset(AttributeId a) {
+    words_[static_cast<size_t>(a) >> 6] &= ~(1ull << (a & 63));
+  }
   void Clear() { std::fill(words_.begin(), words_.end(), 0); }
 
   /// Number of attributes in the set.
@@ -93,7 +97,9 @@ class AttributeSet {
   bool operator!=(const AttributeSet& other) const { return !(*this == other); }
   /// Lexicographic order on the underlying words; a total order usable as a
   /// map key. Requires equal capacities.
-  bool operator<(const AttributeSet& other) const { return words_ < other.words_; }
+  bool operator<(const AttributeSet& other) const {
+    return words_ < other.words_;
+  }
 
   size_t Hash() const;
 

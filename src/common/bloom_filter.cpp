@@ -34,15 +34,20 @@ BloomFilter::BloomFilter(size_t expected_items, double fpp) {
   double ln2 = std::log(2.0);
   double m = -static_cast<double>(expected_items) * std::log(fpp) / (ln2 * ln2);
   num_bits_ = std::max<size_t>(64, static_cast<size_t>(std::ceil(m)));
-  num_hashes_ = std::max(1, static_cast<int>(std::round(
-                                m / static_cast<double>(expected_items) * ln2)));
+  num_hashes_ = std::max(
+      1, static_cast<int>(
+             std::round(m / static_cast<double>(expected_items) * ln2)));
   bits_.assign((num_bits_ + 63) / 64, 0);
 }
 
-void BloomFilter::Insert(std::string_view key) { InsertHash(HashString64(key)); }
+void BloomFilter::Insert(std::string_view key) {
+  InsertHash(HashString64(key));
+}
 
 void BloomFilter::InsertHash(uint64_t hash) {
-  for (int i = 0; i < num_hashes_; ++i) SetBit(ProbePosition(hash, i, num_bits_));
+  for (int i = 0; i < num_hashes_; ++i) {
+    SetBit(ProbePosition(hash, i, num_bits_));
+  }
 }
 
 bool BloomFilter::MayContain(std::string_view key) const {

@@ -1,4 +1,5 @@
-// Result<T>: a value-or-Status holder, mirroring arrow::Result / absl::StatusOr.
+// Result<T>: a value-or-Status holder, mirroring arrow::Result /
+// absl::StatusOr.
 #pragma once
 
 #include <cassert>

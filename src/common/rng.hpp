@@ -41,7 +41,8 @@ class Rng {
   /// Picks a random element of a non-empty vector.
   template <typename T>
   const T& Pick(const std::vector<T>& v) {
-    return v[static_cast<size_t>(Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+    return v[static_cast<size_t>(
+        Uniform(0, static_cast<int64_t>(v.size()) - 1))];
   }
 
   /// Fisher-Yates shuffle.

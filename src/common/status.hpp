@@ -33,7 +33,8 @@ enum class StatusCode {
   kDataLoss,
 };
 
-/// Returns a short human-readable name for a status code (e.g. "InvalidArgument").
+/// Returns a short human-readable name for a status code
+/// (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the success case.

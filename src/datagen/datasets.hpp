@@ -51,6 +51,6 @@ RelationData GenerateRandomDataset(const RandomDatasetSpec& spec);
 RelationData HorseLike(double scale = 1.0, uint64_t seed = 1);      // 27 x 368
 RelationData PlistaLike(double scale = 1.0, uint64_t seed = 2);     // 63 x 1000
 RelationData Amalgam1Like(double scale = 1.0, uint64_t seed = 3);   // 87 x 50
-RelationData FlightLike(double scale = 1.0, uint64_t seed = 4);     // 109 x 1000
+RelationData FlightLike(double scale = 1.0, uint64_t seed = 4);  // 109 x 1000
 
 }  // namespace normalize

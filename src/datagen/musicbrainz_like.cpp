@@ -197,11 +197,13 @@ MusicBrainzDataset GenerateMusicBrainzLike(const MusicBrainzScale& scale) {
   std::vector<int> medium_release(static_cast<size_t>(scale.media));
   std::vector<int> release_medium_count(static_cast<size_t>(scale.releases), 0);
   for (int i = 0; i < scale.media; ++i) {
-    int r = i < scale.releases ? i  // every release gets at least one medium
-                               : static_cast<int>(rng.Uniform(0, scale.releases - 1));
+    int r = i < scale.releases
+                ? i  // every release gets at least one medium
+                : static_cast<int>(rng.Uniform(0, scale.releases - 1));
     medium_release[static_cast<size_t>(i)] = r;
     medium.AppendRow({std::to_string(i), std::to_string(r),
-                      std::to_string(++release_medium_count[static_cast<size_t>(r)]),
+                      std::to_string(
+                          ++release_medium_count[static_cast<size_t>(r)]),
                       kFormats[rng.Uniform(0, 3)]});
   }
 
@@ -223,7 +225,8 @@ MusicBrainzDataset GenerateMusicBrainzLike(const MusicBrainzScale& scale) {
     int rec = static_cast<int>(rng.Uniform(0, scale.recordings - 1));
     track.AppendRow({std::to_string(i), std::to_string(m),
                      std::to_string(rec),
-                     std::to_string(++medium_track_count[static_cast<size_t>(m)]),
+                     std::to_string(
+                         ++medium_track_count[static_cast<size_t>(m)]),
                      "Track " + rng.Identifier(6),
                      std::to_string(rng.Uniform(90000, 480000))});
   }

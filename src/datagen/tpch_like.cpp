@@ -151,9 +151,9 @@ TpchDataset GenerateTpchLike(const TpchScale& scale) {
                                       "4-NOT SPECIFIED", "5-LOW"};
   static const char* kContainers[] = {"SM CASE", "LG BOX", "MED BAG",
                                       "JUMBO JAR", "WRAP PKG"};
-  static const char* kTypes[] = {"STANDARD BRUSHED TIN", "SMALL PLATED COPPER",
-                                 "ECONOMY POLISHED STEEL", "LARGE BURNISHED BRASS",
-                                 "PROMO ANODIZED NICKEL"};
+  static const char* kTypes[] = {
+      "STANDARD BRUSHED TIN", "SMALL PLATED COPPER", "ECONOMY POLISHED STEEL",
+      "LARGE BURNISHED BRASS", "PROMO ANODIZED NICKEL"};
   static const char* kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD",
                                      "NONE", "TAKE BACK RETURN"};
   static const char* kModes[] = {"AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
@@ -320,7 +320,9 @@ TpchDataset GenerateTpchLike(const TpchScale& scale) {
 
   // Gold-standard schema for §8.3-style comparisons.
   std::vector<std::string> names(kNumAttrs);
-  for (AttributeId a = 0; a < kNumAttrs; ++a) names[static_cast<size_t>(a)] = AttrName(a);
+  for (AttributeId a = 0; a < kNumAttrs; ++a) {
+    names[static_cast<size_t>(a)] = AttrName(a);
+  }
   ds.gold_schema = Schema(names);
   auto add = [&](const RelationData& t, std::vector<AttributeId> pk) {
     RelationSchema rel(t.name(), t.AttributesAsSet(kNumAttrs));

@@ -158,7 +158,9 @@ class RhsLattice {
     }
     std::vector<AttributeSet> seeds;
     for (AttributeSet& h : MinimalHittingSets(complements, num_cols_)) {
-      if (h.Count() <= max_lhs_ && Unclassified(h)) seeds.push_back(std::move(h));
+      if (h.Count() <= max_lhs_ && Unclassified(h)) {
+        seeds.push_back(std::move(h));
+      }
     }
     return seeds;
   }

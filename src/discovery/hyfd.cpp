@@ -79,7 +79,9 @@ class Sampler {
  private:
   size_t MaxClusterSize(size_t c) const {
     size_t m = 1;
-    for (const auto& cluster : sorted_clusters_[c]) m = std::max(m, cluster.size());
+    for (const auto& cluster : sorted_clusters_[c]) {
+      m = std::max(m, cluster.size());
+    }
     return m;
   }
 
@@ -227,7 +229,9 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
 
   // --- Level-wise validation ---
   int max_level = n - 1;
-  if (options_.max_lhs_size > 0) max_level = std::min(max_level, options_.max_lhs_size);
+  if (options_.max_lhs_size > 0) {
+    max_level = std::min(max_level, options_.max_lhs_size);
+  }
 
   for (int level = 0; level <= max_level; ++level) {
     bool level_done = false;
@@ -297,10 +301,12 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
         Status dispatch = pool->ParallelFor(units.size(), [&, ctx](size_t u) {
           if (ctx != nullptr && ctx->SoftInterrupted()) return;
           const Unit& unit = units[u];
-          std::optional<std::pair<RowId, RowId>> violation = ValidateFdCandidate(
-              data, cache, lhs_vecs[unit.candidate], unit.rhs);
+          std::optional<std::pair<RowId, RowId>> violation =
+              ValidateFdCandidate(data, cache, lhs_vecs[unit.candidate],
+                                  unit.rhs);
           if (violation) {
-            violations[u] = AgreeSetOf(data, violation->first, violation->second);
+            violations[u] =
+                AgreeSetOf(data, violation->first, violation->second);
           }
         });
         // An interrupted sweep leaves unset slots that merely *look* valid;

@@ -57,10 +57,13 @@ Result<FdSet> NaiveFdDiscovery::Discover(const RelationData& data) {
     AttributeId rhs_attr = data.attribute_ids()[static_cast<size_t>(rhs_col)];
     std::vector<AttributeId> pool;
     for (int c = 0; c < n; ++c) {
-      if (c != rhs_col) pool.push_back(data.attribute_ids()[static_cast<size_t>(c)]);
+      if (c != rhs_col) {
+        pool.push_back(data.attribute_ids()[static_cast<size_t>(c)]);
+      }
     }
     SetTrie found;  // minimal LHSs discovered for this RHS
-    for (int level = 0; level <= std::min<int>(max_lhs, static_cast<int>(pool.size()));
+    for (int level = 0;
+         level <= std::min<int>(max_lhs, static_cast<int>(pool.size()));
          ++level) {
       ForEachSubsetOfSize(pool, level, capacity, [&](const AttributeSet& lhs) {
         if (!interrupted.ok()) return;  // drain the remaining enumeration

@@ -12,7 +12,8 @@ FdTree::Node* FdTree::Node::Child(AttributeId a) const {
   return nullptr;
 }
 
-FdTree::Node* FdTree::Node::GetOrCreateChild(AttributeId a, int num_attributes) {
+FdTree::Node* FdTree::Node::GetOrCreateChild(AttributeId a,
+                                             int num_attributes) {
   auto it = std::lower_bound(
       children.begin(), children.end(), a,
       [](const auto& entry, AttributeId key) { return entry.first < key; });
@@ -48,7 +49,8 @@ bool FdTree::ContainsFd(const AttributeSet& lhs, AttributeId rhs_attr) const {
 }
 
 bool FdTree::SearchGeneralization(const Node* node, const AttributeSet& lhs,
-                                  AttributeId rhs_attr, AttributeId from) const {
+                                  AttributeId rhs_attr,
+                                  AttributeId from) const {
   if (node->rhs.Test(rhs_attr)) return true;
   for (const auto& [attr, child] : node->children) {
     if (attr < from) continue;

@@ -45,11 +45,14 @@ std::vector<ValueId> CodesAt(const RelationData& data,
 /// Groups the distinct rows of `data` by their code tuple over `group_cols`;
 /// each group holds one representative row id per distinct full row.
 std::unordered_map<std::vector<ValueId>, std::vector<RowId>, CodeVecHash>
-GroupDistinctRows(const RelationData& data, const std::vector<int>& group_cols) {
+GroupDistinctRows(const RelationData& data,
+                  const std::vector<int>& group_cols) {
   // Distinct over ALL columns first (relations are sets; generated inputs
   // may carry duplicates).
   std::vector<int> all_cols(static_cast<size_t>(data.num_columns()));
-  for (int i = 0; i < data.num_columns(); ++i) all_cols[static_cast<size_t>(i)] = i;
+  for (int i = 0; i < data.num_columns(); ++i) {
+    all_cols[static_cast<size_t>(i)] = i;
+  }
   std::unordered_set<std::vector<ValueId>, CodeVecHash> seen_rows;
   std::unordered_map<std::vector<ValueId>, std::vector<RowId>, CodeVecHash>
       groups;
@@ -149,7 +152,9 @@ std::vector<Mvd> FindViolatingMvds(const RelationData& data,
         }
         return v;
       };
-      auto unite = [&](int a, int b) { parent[static_cast<size_t>(find(a))] = find(b); };
+      auto unite = [&](int a, int b) {
+        parent[static_cast<size_t>(find(a))] = find(b);
+      };
 
       for (int i = 0; i < m; ++i) {
         int ci = data.ColumnIndexOf(rest_attrs[static_cast<size_t>(i)]);
@@ -165,8 +170,9 @@ std::vector<Mvd> FindViolatingMvds(const RelationData& data,
               ValueId b = data.column(cj).code(r);
               vi.insert(a);
               vj.insert(b);
-              vij.insert((static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
-                         static_cast<uint32_t>(b));
+              vij.insert(
+                  (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+                  static_cast<uint32_t>(b));
             }
             if (vij.size() != vi.size() * vj.size()) {
               unite(i, j);

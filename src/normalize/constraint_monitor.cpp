@@ -122,7 +122,8 @@ std::vector<ConstraintViolation> CheckSchemaConstraints(
           fk.target_relation >= static_cast<int>(relations.size())) {
         continue;
       }
-      const RelationData& target = relations[static_cast<size_t>(fk.target_relation)];
+      const RelationData& target =
+          relations[static_cast<size_t>(fk.target_relation)];
       std::vector<int> src_cols = ColumnsOf(data, fk.attributes);
       std::vector<int> dst_cols = ColumnsOf(target, fk.attributes);
       if (src_cols.size() != dst_cols.size()) continue;

@@ -32,9 +32,10 @@ namespace {
 /// continue. Degrading instead would finish with a *different* schema than
 /// the checkpoint promises to resume to.
 Status CheckpointedInterruption(const Status& why, const std::string& dir) {
-  return Status(why.code(), why.message() + "; pipeline state checkpointed to " +
-                                dir + " (rerun with --checkpoint-dir=" + dir +
-                                " --resume to continue)");
+  return Status(why.code(),
+                why.message() + "; pipeline state checkpointed to " + dir +
+                    " (rerun with --checkpoint-dir=" + dir +
+                    " --resume to continue)");
 }
 
 }  // namespace
@@ -775,8 +776,8 @@ Result<NormalizationResult> Normalizer::FinishNormalization(
 
       ConstraintScorer scorer(data);
       std::vector<ScoredKey> ranked = scorer.RankKeys(candidates);
-      int choice =
-          advisor_->ChoosePrimaryKey(result.schema, static_cast<int>(i), ranked);
+      int choice = advisor_->ChoosePrimaryKey(result.schema,
+                                              static_cast<int>(i), ranked);
       DecisionRecord record;
       record.relation = rel->name();
       record.num_candidates = static_cast<int>(ranked.size());

@@ -218,8 +218,8 @@ class Normalizer {
   /// options.shard.memory_budget_bytes), discovers FDs per shard with
   /// merge-and-validate, and normalizes. With shard_rows == 0 this is
   /// equivalent to CsvReader::ReadFile + Normalize.
-  Result<NormalizationResult> NormalizeCsvFile(const std::string& path,
-                                               const CsvOptions& csv_options = {});
+  Result<NormalizationResult> NormalizeCsvFile(
+      const std::string& path, const CsvOptions& csv_options = {});
 
  private:
   /// The lazily created process-wide pool shared by discovery, closure, and

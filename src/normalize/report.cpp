@@ -59,7 +59,8 @@ std::string RenderReport(const NormalizationResult& result,
      << result.schema.ToString() << "```\n";
 
   if (options.include_sizes) {
-    os << "\n## Relation sizes\n\n| relation | rows | values |\n|---|---|---|\n";
+    os << "\n## Relation sizes\n\n"
+       << "| relation | rows | values |\n|---|---|---|\n";
     size_t total = 0;
     for (size_t i = 0; i < result.relations.size(); ++i) {
       const RelationData& rel = result.relations[i];

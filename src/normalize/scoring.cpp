@@ -19,13 +19,15 @@ std::string FormatScore(double v) {
 
 std::string KeyScore::ToString() const {
   return "total=" + FormatScore(total) + " (length=" + FormatScore(length) +
-         ", value=" + FormatScore(value) + ", position=" + FormatScore(position) +
+         ", value=" + FormatScore(value) +
+         ", position=" + FormatScore(position) +
          ")";
 }
 
 std::string FdScore::ToString() const {
   return "total=" + FormatScore(total) + " (length=" + FormatScore(length) +
-         ", value=" + FormatScore(value) + ", position=" + FormatScore(position) +
+         ", value=" + FormatScore(value) +
+         ", position=" + FormatScore(position) +
          ", duplication=" + FormatScore(duplication) + ")";
 }
 
@@ -75,7 +77,8 @@ double ConstraintScorer::EstimateDistinct(const AttributeSet& x) const {
     for (const RelationData* shard : shards_) {
       const Column& col = shard->column(cols[0]);
       for (size_t r = 0; r < shard->num_rows(); ++r) {
-        bloom.InsertHash(static_cast<uint64_t>(col.code(r)) * 0x9e3779b97f4a7c15ull + 1);
+        bloom.InsertHash(
+            static_cast<uint64_t>(col.code(r)) * 0x9e3779b97f4a7c15ull + 1);
       }
     }
     return std::min(bloom.EstimateCardinality(),
@@ -86,7 +89,8 @@ double ConstraintScorer::EstimateDistinct(const AttributeSet& x) const {
     for (size_t r = 0; r < shard->num_rows(); ++r) {
       uint64_t h = 1469598103934665603ull;
       for (int ci : cols) {
-        h ^= static_cast<uint64_t>(shard->column(ci).code(r)) + 0x9e3779b97f4a7c15ull;
+        h ^= static_cast<uint64_t>(shard->column(ci).code(r)) +
+             0x9e3779b97f4a7c15ull;
         h *= 1099511628211ull;
       }
       bloom.InsertHash(h);
@@ -156,7 +160,8 @@ double ConstraintScorer::PositionScoreFd(const Fd& fd) const {
     int span = positions.back() - positions.front() + 1;
     return span - static_cast<int>(positions.size());
   };
-  return 0.5 * (1.0 / (between_of(fd.lhs) + 1) + 1.0 / (between_of(fd.rhs) + 1));
+  return 0.5 *
+         (1.0 / (between_of(fd.lhs) + 1) + 1.0 / (between_of(fd.rhs) + 1));
 }
 
 double ConstraintScorer::DuplicationScore(const Fd& fd) const {

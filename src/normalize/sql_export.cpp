@@ -86,7 +86,8 @@ std::string ExportSqlDdl(const Schema& schema,
     for (size_t i = 0; i < n; ++i) {
       if (emitted[i]) continue;
       bool deps_ready = true;
-      for (const ForeignKey& fk : schema.relation(static_cast<int>(i)).foreign_keys()) {
+      for (const ForeignKey& fk :
+           schema.relation(static_cast<int>(i)).foreign_keys()) {
         if (fk.target_relation >= 0 &&
             !emitted[static_cast<size_t>(fk.target_relation)]) {
           deps_ready = false;

@@ -32,7 +32,8 @@
 
 namespace normalize {
 
-class CheckpointManager : public DiscoveryCheckpointSink, public CheckpointHook {
+class CheckpointManager : public DiscoveryCheckpointSink,
+                          public CheckpointHook {
  public:
   /// Creates the checkpoint directory if needed (best-effort: a directory
   /// that cannot be created surfaces as a precise write error on the first

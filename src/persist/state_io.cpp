@@ -173,7 +173,8 @@ Result<RelationData> DecodeRelationPrototype(SnapshotDecoder* dec) {
   proto.set_universe_size(universe);
   for (uint32_t c = 0; c < ncols; ++c) {
     const DictSpec& spec = dicts[c];
-    ValueDictionary* dict = proto.column(static_cast<int>(c)).dictionary().get();
+    ValueDictionary* dict =
+        proto.column(static_cast<int>(c)).dictionary().get();
     size_t next_value = 0;
     for (uint64_t code = 0; code < spec.size; ++code) {
       ValueId assigned;
@@ -225,7 +226,8 @@ Result<RelationData> DecodeShardRows(SnapshotDecoder* dec,
   std::vector<std::vector<ValueId>> columns(
       ncols, std::vector<ValueId>(static_cast<size_t>(rows)));
   for (uint32_t c = 0; c < ncols; ++c) {
-    const ValueDictionary& dict = *proto.column(static_cast<int>(c)).dictionary();
+    const ValueDictionary& dict =
+        *proto.column(static_cast<int>(c)).dictionary();
     for (uint64_t r = 0; r < rows; ++r) {
       NORMALIZE_ASSIGN_OR_RETURN(int32_t code, dec->GetI32());
       if (code < 0 || static_cast<size_t>(code) >= dict.size()) {

@@ -78,8 +78,8 @@ void CsvRecordToRow(const std::vector<CsvCell>& record,
   }
 }
 
-Result<RelationData> CsvReader::ReadString(const std::string& content,
-                                           const std::string& relation_name) const {
+Result<RelationData> CsvReader::ReadString(
+    const std::string& content, const std::string& relation_name) const {
   size_t pos = 0;
   std::vector<std::string> names;
   if (options_.has_header) {
@@ -118,10 +118,14 @@ Result<RelationData> CsvReader::ReadString(const std::string& content,
   }
 
   std::vector<AttributeId> ids(names.size());
-  for (size_t i = 0; i < names.size(); ++i) ids[i] = static_cast<AttributeId>(i);
+  for (size_t i = 0; i < names.size(); ++i) {
+    ids[i] = static_cast<AttributeId>(i);
+  }
   RelationData data(relation_name.empty() ? "relation" : relation_name,
                     std::move(ids), names);
-  for (size_t r = 0; r < rows.size(); ++r) data.AppendRow(rows[r], null_masks[r]);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    data.AppendRow(rows[r], null_masks[r]);
+  }
   return data;
 }
 
@@ -133,8 +137,8 @@ std::string RelationNameFromPath(const std::string& path) {
   return name;
 }
 
-Result<RelationData> CsvReader::ReadFile(const std::string& path,
-                                         const std::string& relation_name) const {
+Result<RelationData> CsvReader::ReadFile(
+    const std::string& path, const std::string& relation_name) const {
   FileByteSource file(path);
   std::string name =
       relation_name.empty() ? RelationNameFromPath(path) : relation_name;

@@ -164,7 +164,9 @@ RelationData NaturalJoin(const RelationData& left, const RelationData& right,
 
   std::vector<AttributeId> ids = left.attribute_ids();
   std::vector<std::string> names;
-  for (int c = 0; c < left.num_columns(); ++c) names.push_back(left.column(c).name());
+  for (int c = 0; c < left.num_columns(); ++c) {
+    names.push_back(left.column(c).name());
+  }
   for (int rc : right_extra) {
     ids.push_back(right.attribute_ids()[static_cast<size_t>(rc)]);
     names.push_back(right.column(rc).name());
@@ -193,8 +195,10 @@ RelationData NaturalJoin(const RelationData& left, const RelationData& right,
       for (size_t i = 0; i < right.num_rows(); ++i) all_rows[i] = i;
       matches = &all_rows;
     } else {
-      if (std::find(key.nulls.begin(), key.nulls.end(), true) != key.nulls.end())
+      if (std::find(key.nulls.begin(), key.nulls.end(), true) !=
+          key.nulls.end()) {
         continue;
+      }
       auto it = right_index.find(key);
       if (it == right_index.end()) continue;
       matches = &it->second;
@@ -333,7 +337,9 @@ bool IsUnique(const RelationData& data, const AttributeSet& attrs) {
   std::unordered_set<std::vector<ValueId>, CodeVecHash> seen;
   std::vector<ValueId> key(cols.size());
   for (size_t r = 0; r < data.num_rows(); ++r) {
-    for (size_t i = 0; i < cols.size(); ++i) key[i] = data.column(cols[i]).code(r);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      key[i] = data.column(cols[i]).code(r);
+    }
     if (!seen.insert(key).second) return false;
   }
   return true;

@@ -40,7 +40,8 @@ ValueId Column::AppendNull() {
   return code;
 }
 
-std::string_view Column::ValueAt(size_t row, std::string_view null_token) const {
+std::string_view Column::ValueAt(size_t row,
+                                 std::string_view null_token) const {
   ValueId code = codes_[row];
   if (code == dict_->null_code()) return null_token;
   return dict_->value(code);
@@ -139,7 +140,8 @@ std::string RelationData::ToString(size_t max_rows) const {
   os << "\n";
   for (size_t r = 0; r < rows; ++r) {
     for (size_t i = 0; i < columns_.size(); ++i) {
-      os << (i ? " | " : "") << PadRight(columns_[i].ValueAt(r, "NULL"), widths[i]);
+      os << (i ? " | " : "")
+         << PadRight(columns_[i].ValueAt(r, "NULL"), widths[i]);
     }
     os << "\n";
   }

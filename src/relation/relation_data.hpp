@@ -134,9 +134,13 @@ class RelationData {
   int universe_size() const { return universe_size_; }
   void set_universe_size(int n) { universe_size_ = n; }
 
-  const std::vector<AttributeId>& attribute_ids() const { return attribute_ids_; }
+  const std::vector<AttributeId>& attribute_ids() const {
+    return attribute_ids_;
+  }
   /// The set form of attribute_ids(), sized to universe_size().
-  AttributeSet AttributesAsSet() const { return AttributesAsSet(universe_size_); }
+  AttributeSet AttributesAsSet() const {
+    return AttributesAsSet(universe_size_);
+  }
   /// The set form of attribute_ids(), sized to `universe_capacity`.
   AttributeSet AttributesAsSet(int universe_capacity) const;
 

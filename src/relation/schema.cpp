@@ -18,8 +18,8 @@ std::string Schema::ToString() const {
     }
     os << ")\n";
     for (const ForeignKey& fk : rel.foreign_keys()) {
-      os << "  FK: " << rel.name() << "." << fk.attributes.ToString(attribute_names_)
-         << " -> "
+      os << "  FK: " << rel.name() << "."
+         << fk.attributes.ToString(attribute_names_) << " -> "
          << (fk.target_relation >= 0 &&
                      fk.target_relation < static_cast<int>(relations_.size())
                  ? relations_[static_cast<size_t>(fk.target_relation)].name()

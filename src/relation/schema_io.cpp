@@ -94,7 +94,8 @@ Result<Schema> ReadSchemaFromString(const std::string& text) {
     if (key == "attributes") {
       for (const std::string& token : SplitString(value, ',')) {
         std::string name = Trim(token);
-        attr_index.emplace(name, static_cast<AttributeId>(attribute_names.size()));
+        attr_index.emplace(
+            name, static_cast<AttributeId>(attribute_names.size()));
         attribute_names.push_back(name);
       }
       schema = Schema(attribute_names);

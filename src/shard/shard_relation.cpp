@@ -11,7 +11,9 @@ RelationData ShardedRelation::Concatenate(const std::string& name) const {
 std::vector<RelationData> SliceIntoShards(const RelationData& data,
                                           size_t shard_rows) {
   size_t rows = data.num_rows();
-  if (shard_rows == 0 || shard_rows >= rows) shard_rows = std::max<size_t>(rows, 1);
+  if (shard_rows == 0 || shard_rows >= rows) {
+    shard_rows = std::max<size_t>(rows, 1);
+  }
   std::vector<RelationData> shards;
   int n = data.num_columns();
   std::vector<ValueId> codes(static_cast<size_t>(n));
@@ -20,7 +22,9 @@ std::vector<RelationData> SliceIntoShards(const RelationData& data,
         data, data.name() + ".shard" + std::to_string(shards.size()));
     size_t end = std::min(rows, begin + shard_rows);
     for (size_t r = begin; r < end; ++r) {
-      for (int c = 0; c < n; ++c) codes[static_cast<size_t>(c)] = data.column(c).code(r);
+      for (int c = 0; c < n; ++c) {
+        codes[static_cast<size_t>(c)] = data.column(c).code(r);
+      }
       shard.AppendRowCodes(codes);
     }
     shards.push_back(std::move(shard));

@@ -49,7 +49,8 @@ std::optional<std::pair<ShardRow, ShardRow>> ValidateAcrossShards(
     std::optional<ShardRow> first;
     ValueId first_code = 0;
     for (size_t s = 0; s < shards.size(); ++s) {
-      const std::vector<ValueId>& rhs_codes = shards[s].column(rhs_attr).codes();
+      const std::vector<ValueId>& rhs_codes =
+          shards[s].column(rhs_attr).codes();
       for (size_t r = 0; r < rhs_codes.size(); ++r) {
         if (!first) {
           first = ShardRow{s, static_cast<RowId>(r)};
@@ -70,7 +71,8 @@ std::optional<std::pair<ShardRow, ShardRow>> ValidateAcrossShards(
     for (size_t s = 0; s < shards.size(); ++s) {
       const std::vector<ValueId>& lhs_codes =
           shards[s].column(lhs_attrs[0]).codes();
-      const std::vector<ValueId>& rhs_codes = shards[s].column(rhs_attr).codes();
+      const std::vector<ValueId>& rhs_codes =
+          shards[s].column(rhs_attr).codes();
       for (size_t r = 0; r < lhs_codes.size(); ++r) {
         size_t g = static_cast<size_t>(lhs_codes[r]);
         if (rep_rhs[g] < 0) {
@@ -122,7 +124,8 @@ Result<FdSet> ShardedDiscovery::Discover(const RelationData& data) {
     stats_.shard_count = 1;
     auto algo = MakeFdDiscovery(backend_, options_);
     if (!algo) {
-      return Status::InvalidArgument("unknown discovery algorithm: " + backend_);
+      return Status::InvalidArgument("unknown discovery algorithm: " +
+                                     backend_);
     }
     auto result = algo->Discover(data);
     if (result.ok()) {
@@ -140,7 +143,8 @@ Result<FdSet> ShardedDiscovery::Discover(
   phase_metrics_.Clear();
   completion_ = Status::OK();
   if (shards.empty()) {
-    return Status::InvalidArgument("sharded discovery needs at least one shard");
+    return Status::InvalidArgument(
+        "sharded discovery needs at least one shard");
   }
   stats_.shard_count = shards.size();
   const RelationData& first = shards.front();
@@ -161,7 +165,8 @@ Result<FdSet> ShardedDiscovery::Discover(
   if (shards.size() == 1) {
     auto algo = MakeFdDiscovery(backend_, options_);
     if (!algo) {
-      return Status::InvalidArgument("unknown discovery algorithm: " + backend_);
+      return Status::InvalidArgument("unknown discovery algorithm: " +
+                                     backend_);
     }
     auto result = algo->Discover(first);
     if (result.ok()) {

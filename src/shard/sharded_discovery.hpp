@@ -128,7 +128,9 @@ class ShardedDiscovery {
   /// Installs resume state consumed by the next multi-shard Discover()
   /// call. Covers sized unlike the shard count fail that call with
   /// kFailedPrecondition rather than silently rediscovering.
-  void SetResumeState(DiscoveryResumeState state) { resume_ = std::move(state); }
+  void SetResumeState(DiscoveryResumeState state) {
+    resume_ = std::move(state);
+  }
 
   /// OK if the last Discover() ran to completion; kCancelled /
   /// kDeadlineExceeded when the run was interrupted (via

@@ -49,7 +49,8 @@ NormalizationResult SingleRelationResult(const RelationData& data,
                                          FdSet minimal, FdSet extended) {
   NormalizationResult result;
   result.schema = Schema(data.ColumnNames());
-  result.schema.AddRelation(RelationSchema(data.name(), data.AttributesAsSet()));
+  result.schema.AddRelation(
+      RelationSchema(data.name(), data.AttributesAsSet()));
   result.relations.push_back(data);
   result.discovered_fds = std::move(minimal);
   result.extended_fds = std::move(extended);

@@ -137,8 +137,10 @@ TEST(ClosureEquivalenceTest, AllThreeAgreeOnCompleteMinimalCovers) {
 
     FdSet naive = *fds_result, improved = *fds_result, optimized = *fds_result;
     ASSERT_TRUE(NaiveClosure().Extend(&naive, AttributeSet::Full(8)).ok());
-    ASSERT_TRUE(ImprovedClosure().Extend(&improved, AttributeSet::Full(8)).ok());
-    ASSERT_TRUE(OptimizedClosure().Extend(&optimized, AttributeSet::Full(8)).ok());
+    ASSERT_TRUE(
+        ImprovedClosure().Extend(&improved, AttributeSet::Full(8)).ok());
+    ASSERT_TRUE(
+        OptimizedClosure().Extend(&optimized, AttributeSet::Full(8)).ok());
     ASSERT_TRUE(naive.EquivalentTo(improved)) << "seed " << seed;
     ASSERT_TRUE(naive.EquivalentTo(optimized)) << "seed " << seed;
   }

@@ -26,7 +26,8 @@ TEST(ThreadPoolStressTest, ConcurrentSubmittersFromManyThreads) {
       futures[static_cast<size_t>(s)].reserve(kTasksPerSubmitter);
       for (int t = 0; t < kTasksPerSubmitter; ++t) {
         futures[static_cast<size_t>(s)].push_back(
-            std::move(pool.Submit([&sum, s, t] { sum.fetch_add(s * 1000 + t); }))
+            std::move(
+                pool.Submit([&sum, s, t] { sum.fetch_add(s * 1000 + t); }))
                 .value());
       }
     });

@@ -59,7 +59,8 @@ INSTANTIATE_TEST_SUITE_P(
         CrossCase{6, 60, 0.15, 2, 0.0, 103}, CrossCase{6, 30, 0.5, 0, 0.0, 104},
         CrossCase{7, 80, 0.1, 3, 0.0, 105}, CrossCase{7, 50, 0.25, 3, 0.1, 106},
         CrossCase{8, 100, 0.1, 3, 0.0, 107}, CrossCase{8, 40, 0.4, 2, 0.2, 108},
-        CrossCase{9, 120, 0.08, 4, 0.0, 109}, CrossCase{9, 60, 0.3, 4, 0.1, 110},
+        CrossCase{9, 120, 0.08, 4, 0.0, 109},
+        CrossCase{9, 60, 0.3, 4, 0.1, 110},
         CrossCase{10, 150, 0.07, 4, 0.0, 111},
         CrossCase{10, 80, 0.2, 5, 0.15, 112},
         CrossCase{5, 2, 0.5, 0, 0.0, 113},     // tiny: 2 rows

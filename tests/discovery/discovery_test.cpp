@@ -116,9 +116,10 @@ TEST_P(DiscoveryAlgorithmTest, MaxLhsSizePruning) {
   EXPECT_TRUE(pruned_copy.EquivalentTo(full));
 }
 
-INSTANTIATE_TEST_SUITE_P(AllAlgorithms, DiscoveryAlgorithmTest,
-                         ::testing::Values("naive", "tane", "dfd", "fdep", "hyfd"),
-                         [](const auto& info) { return info.param; });
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, DiscoveryAlgorithmTest,
+    ::testing::Values("naive", "tane", "dfd", "fdep", "hyfd"),
+    [](const auto& info) { return info.param; });
 
 TEST(MakeFdDiscoveryTest, UnknownNameReturnsNull) {
   EXPECT_EQ(MakeFdDiscovery("bogus"), nullptr);

@@ -34,8 +34,10 @@ TEST(IndDiscoveryTest, FindsTheForeignKeyInd) {
       found = true;
     }
     // Every reported IND must actually hold.
-    const RelationData& dep = tables[static_cast<size_t>(ind.dependent_relation)];
-    const RelationData& ref = tables[static_cast<size_t>(ind.referenced_relation)];
+    const RelationData& dep =
+        tables[static_cast<size_t>(ind.dependent_relation)];
+    const RelationData& ref =
+        tables[static_cast<size_t>(ind.referenced_relation)];
     for (size_t r = 0; r < dep.num_rows(); ++r) {
       if (dep.column(ind.dependent_column).IsNull(r)) continue;
       std::string_view v = dep.column(ind.dependent_column).ValueAt(r);
@@ -117,10 +119,13 @@ TEST(IndDiscoveryTest, RecoversTpchForeignKeyEdges) {
   auto inds = DiscoverUnaryInds(ds.tables);
   auto has = [&](const std::string& dep, const std::string& ref) {
     for (const Ind& ind : inds) {
-      const RelationData& d = ds.tables[static_cast<size_t>(ind.dependent_relation)];
-      const RelationData& r = ds.tables[static_cast<size_t>(ind.referenced_relation)];
+      const RelationData& d =
+          ds.tables[static_cast<size_t>(ind.dependent_relation)];
+      const RelationData& r =
+          ds.tables[static_cast<size_t>(ind.referenced_relation)];
       std::string key = d.name() + "." + d.column(ind.dependent_column).name() +
-                        "<=" + r.name() + "." + r.column(ind.referenced_column).name();
+                        "<=" + r.name() + "." +
+                        r.column(ind.referenced_column).name();
       if (key == dep + "<=" + ref) return true;
     }
     return false;

@@ -83,8 +83,9 @@ TEST(MusicBrainzEndToEnd, RecoversLinkStructure) {
   MusicBrainzDataset ds = GenerateMusicBrainzLike();
   NormalizationResult result = NormalizePruned(ds.universal);
 
-  RecoveryReport report = CompareToGold(
-      ds.gold_schema, result.schema, AttributeSet(ds.universal.universe_size()));
+  RecoveryReport report =
+      CompareToGold(ds.gold_schema, result.schema,
+                    AttributeSet(ds.universal.universe_size()));
 
   // The paper: "Normalize was still able to reconstruct almost all original
   // relations. Only ARTIST_CREDIT_NAME was not reconstructed."

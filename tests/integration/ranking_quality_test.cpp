@@ -23,8 +23,9 @@ TEST(RankingQualityTest, TpchFirstSplitIsAnEntityKey) {
   auto fds = hyfd.Discover(ds.universal);
   ASSERT_TRUE(fds.ok());
   FdSet extended = *fds;
-  ASSERT_TRUE(
-      OptimizedClosure().Extend(&extended, ds.universal.AttributesAsSet()).ok());
+  ASSERT_TRUE(OptimizedClosure()
+                  .Extend(&extended, ds.universal.AttributesAsSet())
+                  .ok());
 
   auto keys = DeriveKeys(extended, ds.universal.AttributesAsSet());
   RelationSchema rel("universal", ds.universal.AttributesAsSet());

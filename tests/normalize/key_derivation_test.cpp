@@ -17,7 +17,8 @@ TEST(KeyDerivationTest, PaperExampleKeys) {
   auto fds = MakeFdDiscovery("hyfd")->Discover(address);
   ASSERT_TRUE(fds.ok());
   FdSet extended = *fds;
-  ASSERT_TRUE(OptimizedClosure().Extend(&extended, address.AttributesAsSet()).ok());
+  ASSERT_TRUE(
+      OptimizedClosure().Extend(&extended, address.AttributesAsSet()).ok());
   auto keys = DeriveKeys(extended, address.AttributesAsSet());
   // {First, Last} is derivable (First,Last -> Postcode,City,Mayor).
   EXPECT_NE(std::find(keys.begin(), keys.end(), Attrs(5, {0, 1})), keys.end());
@@ -30,7 +31,8 @@ TEST(KeyDerivationTest, KeysFormAnAntichain) {
   auto fds = MakeFdDiscovery("hyfd")->Discover(address);
   ASSERT_TRUE(fds.ok());
   FdSet extended = *fds;
-  ASSERT_TRUE(OptimizedClosure().Extend(&extended, address.AttributesAsSet()).ok());
+  ASSERT_TRUE(
+      OptimizedClosure().Extend(&extended, address.AttributesAsSet()).ok());
   auto keys = DeriveKeys(extended, address.AttributesAsSet());
   for (size_t i = 0; i < keys.size(); ++i) {
     for (size_t j = 0; j < keys.size(); ++j) {
@@ -89,7 +91,8 @@ TEST(ProjectFdsTest, ProjectionMatchesRediscovery) {
   auto fds = MakeFdDiscovery("hyfd")->Discover(address);
   ASSERT_TRUE(fds.ok());
   FdSet extended = *fds;
-  ASSERT_TRUE(OptimizedClosure().Extend(&extended, address.AttributesAsSet()).ok());
+  ASSERT_TRUE(
+      OptimizedClosure().Extend(&extended, address.AttributesAsSet()).ok());
 
   // Project onto {Postcode, City, Mayor} with duplicate removal (this is R2
   // of the paper's decomposition).

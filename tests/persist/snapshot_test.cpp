@@ -233,7 +233,8 @@ TEST(StateIoTest, ColumnPlisRoundTrip) {
   for (size_t c = 0; c < plis->size(); ++c) {
     EXPECT_EQ((*plis)[c].clusters(),
               cache.ColumnPli(static_cast<int>(c)).clusters());
-    EXPECT_EQ((*plis)[c].num_rows(), cache.ColumnPli(static_cast<int>(c)).num_rows());
+    EXPECT_EQ((*plis)[c].num_rows(),
+              cache.ColumnPli(static_cast<int>(c)).num_rows());
   }
 }
 

@@ -30,8 +30,8 @@ TEST(CsvReaderTest, NoHeaderGeneratesNames) {
 
 TEST(CsvReaderTest, QuotedCellsWithEscapesAndNewlines) {
   CsvReader reader;
-  auto result =
-      reader.ReadString("a,b\n\"x,1\",\"say \"\"hi\"\"\"\n\"multi\nline\",z\n", "t");
+  auto result = reader.ReadString(
+      "a,b\n\"x,1\",\"say \"\"hi\"\"\"\n\"multi\nline\",z\n", "t");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_EQ(result->num_rows(), 2u);
   EXPECT_EQ(result->column(0).ValueAt(0), "x,1");

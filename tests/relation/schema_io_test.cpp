@@ -21,7 +21,8 @@ Schema AddressSchema() {
   r2.set_primary_key(Attrs(5, {2}));
   schema.AddRelation(std::move(r1));
   int r2_index = schema.AddRelation(std::move(r2));
-  schema.mutable_relation(0)->AddForeignKey(ForeignKey{Attrs(5, {2}), r2_index});
+  schema.mutable_relation(0)->AddForeignKey(
+      ForeignKey{Attrs(5, {2}), r2_index});
   return schema;
 }
 

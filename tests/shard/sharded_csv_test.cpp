@@ -35,7 +35,8 @@ void ExpectSameRelation(const RelationData& actual,
 /// Parses `content` with ShardedCsvReader at the given budget and checks the
 /// concatenated shards against CsvReader on the same input.
 void ExpectMatchesCsvReader(const std::string& content, size_t budget,
-                            size_t shard_rows = 0, CsvOptions csv_options = {}) {
+                            size_t shard_rows = 0,
+                            CsvOptions csv_options = {}) {
   auto expected = CsvReader(csv_options).ReadString(content, "t");
   ASSERT_TRUE(expected.ok()) << expected.status().ToString();
   ShardOptions shard_options;

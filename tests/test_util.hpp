@@ -34,7 +34,8 @@ inline RelationData MakeRelation(
 }
 
 /// Attribute set literal helper over a given capacity.
-inline AttributeSet Attrs(int capacity, std::initializer_list<AttributeId> ids) {
+inline AttributeSet Attrs(int capacity,
+                          std::initializer_list<AttributeId> ids) {
   return AttributeSet(capacity, ids);
 }
 
