@@ -15,7 +15,10 @@
 //
 // Flags: --scale=<f>, --max-lhs=<n>, --skip-tane (Tane's lattice is
 // expensive on wide relations), --sweep-scale=<f>, --skip-sweep,
-// --json=<path> (default BENCH_discovery.json).
+// --json=<path> (default BENCH_discovery.json), --quick (CI perf-smoke
+// mode: only the hyfd thread sweep and the shard sweep, no comparison
+// table, no Tane, no checkpoint section — same JSON schema, so
+// tools/check_bench_json.py validates either output).
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -88,6 +91,8 @@ struct ShardSweepResult {
   double speedup = 1.0;  // vs. the 1-shard (plain backend) run
   size_t fd_count = 0;
   size_t cross_shard_violations = 0;
+  size_t exchanged_evidence_sets = 0;
+  size_t cross_shard_sampled = 0;
 };
 
 // Partitioned discovery (src/shard/) on the same workload: HyFd per shard,
@@ -116,7 +121,17 @@ std::vector<ShardSweepResult> RunShardSweep(const RelationData& universal,
     r.speedup = t > 0 ? baseline_seconds / t : 1.0;
     r.fd_count = result->CountUnaryFds();
     r.cross_shard_violations = discovery.stats().cross_shard_violations;
+    r.exchanged_evidence_sets = discovery.stats().exchanged_evidence_sets;
+    r.cross_shard_sampled = discovery.stats().cross_shard_sampled_sets;
     results.push_back(r);
+
+    if (shards == 2) {
+      std::cout << "  [2 shards] phases:";
+      for (const auto& phase : discovery.phase_metrics().phases()) {
+        std::cout << " " << phase.name << "=" << FormatDuration(phase.seconds);
+      }
+      std::cout << "\n";
+    }
   }
   return results;
 }
@@ -240,13 +255,16 @@ void WriteSweepJson(const std::string& path, const RelationData& universal,
       << "  \"shard_sweep\": [\n";
   for (size_t i = 0; i < shard_results.size(); ++i) {
     const ShardSweepResult& r = shard_results[i];
-    char line[256];
+    char line[320];
     std::snprintf(line, sizeof(line),
                   "    {\"algorithm\": \"hyfd\", \"shards\": %zu, "
                   "\"seconds\": %.6f, \"speedup\": %.3f, \"fds\": %zu, "
-                  "\"cross_shard_violations\": %zu}%s\n",
+                  "\"cross_shard_violations\": %zu, "
+                  "\"exchanged_evidence_sets\": %zu, "
+                  "\"cross_shard_sampled\": %zu}%s\n",
                   r.shards, r.seconds, r.speedup, r.fd_count,
-                  r.cross_shard_violations,
+                  r.cross_shard_violations, r.exchanged_evidence_sets,
+                  r.cross_shard_sampled,
                   i + 1 < shard_results.size() ? "," : "");
     out << line;
   }
@@ -276,56 +294,62 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   double scale = args.GetDouble("scale", 1.0);
   int max_lhs = args.GetInt("max-lhs", 2);
-  bool skip_tane = args.Has("skip-tane");
+  // --quick: the CI perf-smoke configuration. Runs only what the gate
+  // reads — the hyfd thread sweep and the shard sweep — and writes the
+  // same JSON schema (with an empty checkpoint_overhead section).
+  bool quick = args.Has("quick");
+  bool skip_tane = args.Has("skip-tane") || quick;
 
-  std::cout << "=== FD discovery algorithm comparison (component 1) ===\n"
-            << "(max LHS size " << max_lhs << "; all algorithms must return "
-            << "the identical minimal FD set)\n\n";
+  if (!quick) {
+    std::cout << "=== FD discovery algorithm comparison (component 1) ===\n"
+              << "(max LHS size " << max_lhs << "; all algorithms must "
+              << "return the identical minimal FD set)\n\n";
 
-  struct Case {
-    std::string name;
-    RelationData data;
-    bool run_lattice;  // Tane/DFD lattices are prohibitive on the widest tables
-  };
-  std::vector<Case> cases;
-  cases.push_back({"Horse(27x368)", HorseLike(scale), true});
-  cases.push_back({"Plista(63x500)", PlistaLike(scale * 0.5), true});
-  cases.push_back({"Amalgam1(87x50)", Amalgam1Like(scale), false});
-  cases.push_back({"Flight(109x400)", FlightLike(scale * 0.4), false});
+    struct Case {
+      std::string name;
+      RelationData data;
+      bool run_lattice;  // Tane/DFD lattices are prohibitive on wide tables
+    };
+    std::vector<Case> cases;
+    cases.push_back({"Horse(27x368)", HorseLike(scale), true});
+    cases.push_back({"Plista(63x500)", PlistaLike(scale * 0.5), true});
+    cases.push_back({"Amalgam1(87x50)", Amalgam1Like(scale), false});
+    cases.push_back({"Flight(109x400)", FlightLike(scale * 0.4), false});
 
-  TablePrinter table({"Dataset", "Tane", "Dfd", "Fdep", "HyFd", "FDs"});
-  for (const Case& c : cases) {
-    std::vector<std::string> row = {c.name};
-    size_t fd_count = 0;
-    for (const char* algo_name : {"tane", "dfd", "fdep", "hyfd"}) {
-      bool lattice_algo = std::string(algo_name) == "tane" ||
-                          std::string(algo_name) == "dfd";
-      if ((skip_tane || !c.run_lattice) && lattice_algo) {
-        row.push_back("-");
-        continue;
+    TablePrinter table({"Dataset", "Tane", "Dfd", "Fdep", "HyFd", "FDs"});
+    for (const Case& c : cases) {
+      std::vector<std::string> row = {c.name};
+      size_t fd_count = 0;
+      for (const char* algo_name : {"tane", "dfd", "fdep", "hyfd"}) {
+        bool lattice_algo = std::string(algo_name) == "tane" ||
+                            std::string(algo_name) == "dfd";
+        if ((skip_tane || !c.run_lattice) && lattice_algo) {
+          row.push_back("-");
+          continue;
+        }
+        FdDiscoveryOptions options;
+        options.max_lhs_size = max_lhs;
+        auto algo = MakeFdDiscovery(algo_name, options);
+        Stopwatch watch;
+        auto result = algo->Discover(c.data);
+        double t = watch.ElapsedSeconds();
+        if (!result.ok()) {
+          row.push_back("ERR");
+          continue;
+        }
+        fd_count = result->CountUnaryFds();
+        row.push_back(FormatDuration(t));
       }
-      FdDiscoveryOptions options;
-      options.max_lhs_size = max_lhs;
-      auto algo = MakeFdDiscovery(algo_name, options);
-      Stopwatch watch;
-      auto result = algo->Discover(c.data);
-      double t = watch.ElapsedSeconds();
-      if (!result.ok()) {
-        row.push_back("ERR");
-        continue;
-      }
-      fd_count = result->CountUnaryFds();
-      row.push_back(FormatDuration(t));
+      row.push_back(FormatCount(static_cast<int64_t>(fd_count)));
+      table.AddRow(std::move(row));
     }
-    row.push_back(FormatCount(static_cast<int64_t>(fd_count)));
-    table.AddRow(std::move(row));
-  }
-  table.Print();
+    table.Print();
 
-  std::cout << "\nExpected shape: HyFd is the fastest or competitive on "
-               "every dataset;\nFdep wins on wide-but-short tables "
-               "(Amalgam1) but degrades with row count;\nTane struggles as "
-               "width grows (skipped on the two widest tables).\n";
+    std::cout << "\nExpected shape: HyFd is the fastest or competitive on "
+                 "every dataset;\nFdep wins on wide-but-short tables "
+                 "(Amalgam1) but degrades with row count;\nTane struggles as "
+                 "width grows (skipped on the two widest tables).\n";
+  }
 
   if (!args.Has("skip-sweep")) {
     double sweep_scale = args.GetDouble("sweep-scale", 0.5);
@@ -356,37 +380,40 @@ int main(int argc, char** argv) {
     std::vector<ShardSweepResult> shard_sweep =
         RunShardSweep(universal, max_lhs);
     TablePrinter shard_table(
-        {"Shards", "Time", "Speedup", "FDs", "XShardViol"});
+        {"Shards", "Time", "Speedup", "FDs", "XShardViol", "Evidence"});
     for (const ShardSweepResult& r : shard_sweep) {
       char speedup[32];
       std::snprintf(speedup, sizeof(speedup), "%.2fx", r.speedup);
       shard_table.AddRow({std::to_string(r.shards), FormatDuration(r.seconds),
                           speedup,
                           FormatCount(static_cast<int64_t>(r.fd_count)),
-                          std::to_string(r.cross_shard_violations)});
+                          std::to_string(r.cross_shard_violations),
+                          std::to_string(r.exchanged_evidence_sets)});
     }
     shard_table.Print();
 
-    std::cout << "\n=== Checkpoint overhead (partitioned hyfd + snapshot "
-                 "sink) ===\n";
-    std::vector<CheckpointOverheadResult> ckpt_sweep =
-        RunCheckpointOverhead(universal, max_lhs);
-    TablePrinter ckpt_table({"Shards", "Plain", "Checkpointed", "Overhead",
-                             "Resume", "Bytes", "PLIsReused"});
-    for (const CheckpointOverheadResult& r : ckpt_sweep) {
-      char overhead[32];
-      std::snprintf(overhead, sizeof(overhead), "%+.1f%%", r.overhead_pct);
-      ckpt_table.AddRow({std::to_string(r.shards),
-                         FormatDuration(r.plain_seconds),
-                         FormatDuration(r.checkpointed_seconds), overhead,
-                         FormatDuration(r.resume_seconds),
-                         FormatCount(static_cast<int64_t>(r.checkpoint_bytes)),
-                         std::to_string(r.plis_reused)});
+    std::vector<CheckpointOverheadResult> ckpt_sweep;
+    if (!quick) {
+      std::cout << "\n=== Checkpoint overhead (partitioned hyfd + snapshot "
+                   "sink) ===\n";
+      ckpt_sweep = RunCheckpointOverhead(universal, max_lhs);
+      TablePrinter ckpt_table({"Shards", "Plain", "Checkpointed", "Overhead",
+                               "Resume", "Bytes", "PLIsReused"});
+      for (const CheckpointOverheadResult& r : ckpt_sweep) {
+        char overhead[32];
+        std::snprintf(overhead, sizeof(overhead), "%+.1f%%", r.overhead_pct);
+        ckpt_table.AddRow(
+            {std::to_string(r.shards), FormatDuration(r.plain_seconds),
+             FormatDuration(r.checkpointed_seconds), overhead,
+             FormatDuration(r.resume_seconds),
+             FormatCount(static_cast<int64_t>(r.checkpoint_bytes)),
+             std::to_string(r.plis_reused)});
+      }
+      ckpt_table.Print();
+      std::cout << "(resume skips the per-shard fan-out and every validated "
+                   "merge level;\ncheckpoint bytes are the whole directory: "
+                   "covers, per-shard PLIs, frontier.)\n";
     }
-    ckpt_table.Print();
-    std::cout << "(resume skips the per-shard fan-out and every validated "
-                 "merge level;\ncheckpoint bytes are the whole directory: "
-                 "covers, per-shard PLIs, frontier.)\n";
 
     WriteSweepJson(args.Get("json", "BENCH_discovery.json"), universal,
                    max_lhs, sweep, shard_sweep, ckpt_sweep);

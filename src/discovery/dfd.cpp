@@ -1,9 +1,12 @@
 #include "discovery/dfd.hpp"
 
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "discovery/discovery_util.hpp"
 #include "fd/hitting_set.hpp"
 #include "fd/set_trie.hpp"
@@ -185,41 +188,96 @@ class RhsLattice {
 
 Result<FdSet> Dfd::Discover(const RelationData& data) {
   completion_ = Status::OK();
+  phase_metrics_.Clear();
   int n = data.num_columns();
   size_t rows = data.num_rows();
   std::vector<Fd> output;  // unary, local space
   if (n == 0) return RemapToGlobal(output, data);
 
-  PliCache cache(data);
-  Rng rng(4242);
+  // threads == 1 keeps everything on the calling thread; an externally owned
+  // pool is preferred over spinning up a per-call one (same contract as
+  // HyFd).
+  int threads = ResolveThreadCount(options_.threads);
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (threads > 1) {
+    pool = options_.pool;
+    if (pool == nullptr) {
+      pool_storage.emplace(threads);
+      pool = &*pool_storage;
+      if (options_.context != nullptr) {
+        pool_storage->SetCancellation(options_.context->cancel);
+      }
+    }
+  }
+
+  Stopwatch watch;
+  PliCache cache(data, pool);
+  phase_metrics_.Record("pli_build", watch.ElapsedSeconds(),
+                        static_cast<uint64_t>(n));
   int max_lhs = options_.max_lhs_size > 0
                     ? std::min(options_.max_lhs_size, n - 1)
                     : n - 1;
 
+  // One lattice per RHS attribute, walked independently on the pool: the
+  // walks only read the immutable data and the (construction-frozen) PLI
+  // cache, and each writes a disjoint result slot. Every RHS gets its own
+  // deterministic Rng stream, so a lattice's walk — and therefore its
+  // classification work — is identical at every thread count; the discovered
+  // minimal dependencies are exact regardless (DFD is complete), so the FD
+  // set is bit-identical to the serial path either way.
+  std::vector<char> trivial(static_cast<size_t>(n), 0);
   for (AttributeId a = 0; a < n; ++a) {
-    AttributeSet empty(n);
-    AttributeSet rhs(n);
-    rhs.Set(a);
     // {} -> A holds iff the column is constant (or the relation has < 2
     // rows); then no larger LHS is minimal for A.
     if (rows < 2 || data.column(a).DistinctCount() <= 1) {
-      output.emplace_back(empty, rhs);
+      trivial[static_cast<size_t>(a)] = 1;
+    }
+  }
+  std::vector<std::vector<AttributeSet>> per_rhs(static_cast<size_t>(n));
+  std::vector<Status> statuses(static_cast<size_t>(n), Status::OK());
+  const RunContext* ctx = options_.context;
+  watch.Restart();
+  Status dispatch = ParallelFor(pool, static_cast<size_t>(n), [&,
+                                                               ctx](size_t s) {
+    AttributeId a = static_cast<AttributeId>(s);
+    if (trivial[s] || n == 1) return;
+    if (ctx != nullptr && ctx->SoftInterrupted()) {
+      statuses[s] = Status::Cancelled("lattice walk not started");
+      return;
+    }
+    Rng rng(4242 + 0x9e3779b9ull * static_cast<uint64_t>(a));
+    RhsLattice lattice(data, cache, a, max_lhs, &rng, ctx);
+    statuses[s] = lattice.FindMinimalDependencies(&per_rhs[s]);
+  });
+  phase_metrics_.Record("lattice_walks", watch.ElapsedSeconds(),
+                        static_cast<uint64_t>(n));
+
+  // Sound partial result: a fully walked lattice's dependencies are exactly
+  // the minimal FDs of its RHS, so completed RHS attributes are emitted and
+  // interrupted ones contribute nothing.
+  Status interrupted = CheckContext();
+  if (interrupted.ok() && !dispatch.ok()) interrupted = dispatch;
+  for (AttributeId a = 0; a < n; ++a) {
+    size_t s = static_cast<size_t>(a);
+    if (trivial[s]) {
+      AttributeSet rhs(n);
+      rhs.Set(a);
+      output.emplace_back(AttributeSet(n), rhs);
       continue;
     }
-    if (n == 1) continue;
-    RhsLattice lattice(data, cache, a, max_lhs, &rng, options_.context);
-    std::vector<AttributeSet> deps;
-    Status walked = lattice.FindMinimalDependencies(&deps);
-    if (!walked.ok()) {
-      // Sound partial result: only fully explored RHS attributes were
-      // emitted; the interrupted lattice contributes nothing.
-      completion_ = std::move(walked);
-      return RemapToGlobal(output, data);
+    if (!statuses[s].ok()) {
+      if (!IsInterruption(statuses[s].code())) return statuses[s];
+      if (interrupted.ok()) interrupted = statuses[s];
+      continue;
     }
-    for (const AttributeSet& lhs : deps) {
+    AttributeSet rhs(n);
+    rhs.Set(a);
+    for (const AttributeSet& lhs : per_rhs[s]) {
       output.emplace_back(lhs, rhs);
     }
   }
+  if (!interrupted.ok()) completion_ = std::move(interrupted);
   return RemapToGlobal(output, data);
 }
 

@@ -1,7 +1,12 @@
 #include "discovery/fdep.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <unordered_set>
+#include <vector>
 
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "discovery/discovery_util.hpp"
 #include "discovery/induction.hpp"
 #include "fd/fd_tree.hpp"
@@ -11,26 +16,53 @@ namespace normalize {
 
 Result<FdSet> Fdep::Discover(const RelationData& data) {
   completion_ = Status::OK();
+  phase_metrics_.Clear();
   int n = data.num_columns();
   size_t rows = data.num_rows();
+  if (n == 0) return FdSet{};
 
-  // FDEP has no sound intermediate state: the positive-cover tree is an
-  // over-approximation until every agree set has been applied, so an
-  // interrupted run returns the empty (trivially sound) partial cover.
+  // threads == 1 keeps everything on the calling thread; an externally owned
+  // pool is preferred over spinning up a per-call one (same contract as
+  // HyFd).
+  int threads = ResolveThreadCount(options_.threads);
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (threads > 1) {
+    pool = options_.pool;
+    if (pool == nullptr) {
+      pool_storage.emplace(threads);
+      pool = &*pool_storage;
+      if (options_.context != nullptr) {
+        pool_storage->SetCancellation(options_.context->cancel);
+      }
+    }
+  }
+  const RunContext* ctx = options_.context;
+
+  // The negative cover is an over-approximation until every record pair has
+  // been compared, so an interrupted collection returns the empty (trivially
+  // sound) partial cover.
   auto interrupted_result = [&](Status why) -> Result<FdSet> {
     completion_ = std::move(why);
     return RemapToGlobal({}, data);
   };
 
-  // Negative cover: the distinct agree sets over all record pairs. Instead
-  // of all O(rows^2) pairs we only compare pairs that agree on at least one
-  // attribute — pairs from single-column PLI clusters — because a pair with
-  // an empty agree set only witnesses non-FDs with empty LHS evidence, which
-  // the empty agree set itself covers; we add it once if any pair of rows
-  // exists at all.
+  // --- Negative cover: the distinct agree sets over all record pairs ---
+  // Instead of all O(rows^2) pairs we only compare pairs that agree on at
+  // least one attribute — pairs from single-column PLI clusters — because a
+  // pair with an empty agree set only witnesses non-FDs with empty LHS
+  // evidence, which the empty agree set itself covers; we add it once if any
+  // pair of rows exists at all.
+  //
+  // The per-column cluster scans are independent, so they run on the pool
+  // (each agree set is recorded only at its first agreeing column, which
+  // makes the per-column outputs disjoint up to duplicates); the coordinator
+  // merges them in column order, which reproduces the serial insertion
+  // sequence exactly.
   std::unordered_set<AttributeSet> agree_sets;
+  Stopwatch watch;
   if (rows >= 2) {
-    PliCache cache(data);
+    PliCache cache(data, pool);
     std::vector<const Column*> cols;
     cols.reserve(static_cast<size_t>(n));
     for (int c = 0; c < n; ++c) cols.push_back(&data.column(c));
@@ -57,38 +89,103 @@ Result<FdSet> Fdep::Discover(const RelationData& data) {
       if (data.column(c).DistinctCount() <= 1) any_constant_column = true;
     }
     if (!any_constant_column) agree_sets.insert(AttributeSet(n));
-    for (int c = 0; c < n; ++c) {
-      for (const auto& cluster : cache.ColumnPli(c).clusters()) {
-        Status check = CheckContext();
-        if (!check.ok()) return interrupted_result(std::move(check));
-        for (size_t i = 0; i < cluster.size(); ++i) {
-          for (size_t j = i + 1; j < cluster.size(); ++j) {
-            AttributeSet ag = agree_set_of(cluster[i], cluster[j]);
-            // Only record the agree set at its first (smallest) agreeing
-            // column to avoid rediscovering it in every cluster it spans.
-            if (ag.First() == c) agree_sets.insert(std::move(ag));
+    std::vector<std::vector<AttributeSet>> local(static_cast<size_t>(n));
+    std::vector<Status> statuses(static_cast<size_t>(n), Status::OK());
+    Status dispatch =
+        ParallelFor(pool, static_cast<size_t>(n), [&, ctx](size_t c) {
+          std::unordered_set<AttributeSet> column_seen;
+          for (const auto& cluster :
+               cache.ColumnPli(static_cast<int>(c)).clusters()) {
+            Status check = CheckRunContext(ctx);
+            if (!check.ok()) {
+              statuses[c] = std::move(check);
+              return;
+            }
+            for (size_t i = 0; i < cluster.size(); ++i) {
+              for (size_t j = i + 1; j < cluster.size(); ++j) {
+                AttributeSet ag = agree_set_of(cluster[i], cluster[j]);
+                // Only record the agree set at its first (smallest) agreeing
+                // column to avoid rediscovering it in every cluster it spans.
+                if (ag.First() == static_cast<int>(c) &&
+                    column_seen.insert(ag).second) {
+                  local[c].push_back(std::move(ag));
+                }
+              }
+            }
           }
-        }
+        });
+    Status interrupted = CheckContext();
+    if (interrupted.ok() && !dispatch.ok()) interrupted = dispatch;
+    for (Status& st : statuses) {
+      if (!interrupted.ok()) break;
+      if (!st.ok()) interrupted = std::move(st);
+    }
+    if (!interrupted.ok()) return interrupted_result(std::move(interrupted));
+    for (size_t c = 0; c < local.size(); ++c) {
+      for (AttributeSet& ag : local[c]) {
+        agree_sets.insert(std::move(ag));
       }
     }
   }
+  phase_metrics_.Record("negative_cover", watch.ElapsedSeconds(),
+                        agree_sets.size());
 
-  // Positive cover: start from {} -> A for every attribute and specialize
-  // with each piece of negative evidence.
-  FdTree tree(n);
-  AttributeSet empty(n);
-  for (AttributeId a = 0; a < n; ++a) tree.AddFd(empty, a);
-  size_t inductions = 0;
-  for (const AttributeSet& ag : agree_sets) {
-    if ((inductions++ & 255) == 0) {
-      Status check = CheckContext();
-      if (!check.ok()) return interrupted_result(std::move(check));
+  // --- Inversion: negative cover -> positive cover ---
+  // The positive cover per RHS attribute is independent of every other RHS:
+  // starting from {} -> A, each agree set not containing A specializes the
+  // tree for A alone. So the inversion fans out one cover tree per RHS on
+  // the pool — the same total specialization work as the serial single-tree
+  // loop, partitioned exactly along the axis InduceFromAgreeSet iterates.
+  // The evidence list is canonically sorted, so every tree sees the same
+  // deterministic sequence at every thread count.
+  watch.Restart();
+  std::vector<AttributeSet> evidence(agree_sets.begin(), agree_sets.end());
+  std::sort(evidence.begin(), evidence.end());
+  std::vector<FdTree> trees;
+  trees.reserve(static_cast<size_t>(n));
+  for (int a = 0; a < n; ++a) trees.emplace_back(n);
+  std::vector<Status> statuses(static_cast<size_t>(n), Status::OK());
+  Status dispatch =
+      ParallelFor(pool, static_cast<size_t>(n), [&, ctx](size_t s) {
+        AttributeId a = static_cast<AttributeId>(s);
+        FdTree& tree = trees[s];
+        tree.AddFd(AttributeSet(n), a);
+        size_t inductions = 0;
+        for (const AttributeSet& ag : evidence) {
+          if ((inductions++ & 255) == 0) {
+            Status check = CheckRunContext(ctx);
+            if (!check.ok()) {
+              statuses[s] = std::move(check);
+              return;
+            }
+          }
+          if (!ag.Test(a)) {
+            SpecializeCover(&tree, ag, a, options_.max_lhs_size);
+          }
+        }
+        MinimizeCover(&tree);
+      });
+
+  // A fully inverted RHS tree holds exactly the minimal FDs of that RHS
+  // (its negative cover is complete), so completed RHS attributes form a
+  // sound partial cover; interrupted ones contribute nothing.
+  Status interrupted = CheckContext();
+  if (interrupted.ok() && !dispatch.ok()) interrupted = dispatch;
+  std::vector<Fd> output;
+  for (int a = 0; a < n; ++a) {
+    size_t s = static_cast<size_t>(a);
+    if (!statuses[s].ok()) {
+      if (!IsInterruption(statuses[s].code())) return statuses[s];
+      if (interrupted.ok()) interrupted = statuses[s];
+      continue;
     }
-    InduceFromAgreeSet(&tree, ag, options_.max_lhs_size);
+    for (Fd& fd : trees[s].CollectAllFds()) {
+      output.push_back(std::move(fd));
+    }
   }
-
-  MinimizeCover(&tree);
-  return RemapToGlobal(tree.CollectAllFds(), data);
+  phase_metrics_.Record("inversion", watch.ElapsedSeconds(), evidence.size());
+  if (!interrupted.ok()) completion_ = std::move(interrupted);
+  return RemapToGlobal(output, data);
 }
 
 }  // namespace normalize

@@ -21,10 +21,17 @@ namespace {
 // The sampler walks each column's PLI clusters with a growing neighbor
 // window. Cluster rows are pre-sorted by their full records so that adjacent
 // rows are similar and yield large agree sets (HyFD's "focused sampling").
+//
+// Rounds are parallel: each column's comparison window is independent of
+// every other column's, so the per-column scans run on the pool and the
+// coordinator merges their agree sets in column order afterwards. That merge
+// order is exactly the serial sweep order, so the negative cover — and with
+// it the induced candidate tree and the final FD set — is bit-identical at
+// every thread count.
 class Sampler {
  public:
   Sampler(const RelationData& data, const PliCache& cache, ThreadPool* pool)
-      : data_(&data) {
+      : data_(&data), pool_(pool) {
     int n = data.num_columns();
     sorted_clusters_.resize(static_cast<size_t>(n));
     windows_.assign(static_cast<size_t>(n), 0);
@@ -57,20 +64,45 @@ class Sampler {
   }
 
   /// Grows every column's window by one and emits the agree sets of the new
-  /// comparisons. Returns the number of comparisons performed.
+  /// comparisons. Returns the number of comparisons performed. The scans run
+  /// on the pool, one task per active column; results merge in column order
+  /// (see the class comment), so `fresh` is identical at every thread count.
   size_t Round(std::unordered_set<AttributeSet>* seen,
                std::vector<AttributeSet>* fresh) {
-    size_t comparisons = 0;
+    std::vector<size_t> active;
     for (size_t c = 0; c < sorted_clusters_.size(); ++c) {
       if (windows_[c] + 1 >= MaxClusterSize(c)) continue;
-      size_t w = ++windows_[c];
+      ++windows_[c];
+      active.push_back(c);
+    }
+    // Workers write disjoint slots; everything they read is immutable during
+    // the round. Local first-occurrence dedup keeps each column's list in
+    // serial scan order; the column-ordered merge below re-checks against
+    // the global dedup set, so cross-column duplicates resolve exactly as a
+    // serial sweep would. A cancelled dispatch merges whatever columns
+    // finished — every agree set is sound evidence regardless — and the
+    // discovery loop re-polls the RunContext right after sampling.
+    std::vector<std::vector<AttributeSet>> local(active.size());
+    std::vector<size_t> local_comparisons(active.size(), 0);
+    (void)ParallelFor(pool_, active.size(), [this, &active, &local,
+                                             &local_comparisons](size_t i) {
+      size_t c = active[i];
+      size_t w = windows_[c];
+      std::unordered_set<AttributeSet> column_seen;
       for (const auto& cluster : sorted_clusters_[c]) {
         if (cluster.size() <= w) continue;
-        for (size_t i = 0; i + w < cluster.size(); ++i) {
-          ++comparisons;
-          AttributeSet ag = AgreeSetOf(*data_, cluster[i], cluster[i + w]);
-          if (seen->insert(ag).second) fresh->push_back(std::move(ag));
+        for (size_t j = 0; j + w < cluster.size(); ++j) {
+          ++local_comparisons[i];
+          AttributeSet ag = AgreeSetOf(*data_, cluster[j], cluster[j + w]);
+          if (column_seen.insert(ag).second) local[i].push_back(std::move(ag));
         }
+      }
+    });
+    size_t comparisons = 0;
+    for (size_t i = 0; i < active.size(); ++i) {
+      comparisons += local_comparisons[i];
+      for (AttributeSet& ag : local[i]) {
+        if (seen->insert(ag).second) fresh->push_back(std::move(ag));
       }
     }
     return comparisons;
@@ -86,6 +118,7 @@ class Sampler {
   }
 
   const RelationData* data_;
+  ThreadPool* pool_;
   std::vector<std::vector<std::vector<RowId>>> sorted_clusters_;
   std::vector<size_t> windows_;
 };

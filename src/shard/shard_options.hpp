@@ -16,6 +16,16 @@ struct ShardOptions {
   /// exact serial path. The discovered FD set is identical for every value.
   int threads = 0;
 
+  /// Exchange negative-cover evidence between shards before the merge
+  /// validates candidates: every shard's agree-set evidence (for backends
+  /// that track it, e.g. hyfd) plus focused samples of row pairs straddling
+  /// shard boundaries specialize the seed cover up front, so cross-shard
+  /// violations are mostly pre-pruned instead of being discovered one
+  /// expensive specialize-on-violation sweep at a time. The merged FD set is
+  /// bit-identical either way (validation stays complete); the knob exists
+  /// so benchmarks and tests can measure the naive merge.
+  bool exchange_evidence = true;
+
   /// Upper bound in bytes for the ingest text buffer (carry-over of an
   /// incomplete record plus one read chunk). 0 selects a small default
   /// (4 MiB). Ingest fails with InvalidArgument rather than exceed the

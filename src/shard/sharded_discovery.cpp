@@ -36,74 +36,152 @@ struct CodeVecHash {
   }
 };
 
+/// Per column: masks[c][code] != 0 iff the dictionary code occurs in at
+/// least two shards. Rows whose LHS contains a code private to one shard
+/// can never be part of a straddling pair, so the cross-shard tier skips
+/// them — and skips the whole scan when an LHS column has no shared codes
+/// at all (any_shared[c] == 0), the common case for key-like columns.
+struct SharedCodeMasks {
+  std::vector<std::vector<char>> masks;
+  std::vector<char> any_shared;
+};
+
 /// Checks lhs_attrs -> rhs_attr across the union of all shards' rows by
 /// grouping on LHS code tuples (codes agree across shards thanks to the
 /// shared dictionaries). Returns one violating row pair or nullopt. Only
 /// called for candidates already valid within every single shard, so any
-/// violation found here necessarily straddles two shards.
-std::optional<std::pair<ShardRow, ShardRow>> ValidateAcrossShards(
+/// violation found here necessarily straddles two shards — which is why a
+/// non-null `shared` mask soundly restricts the scan to rows whose LHS codes
+/// all occur in >= 2 shards: both rows of a straddling pair share each LHS
+/// code across their two shards, so every member of a violating pair
+/// survives the filter, and rows it drops can only have formed same-shard
+/// pairs, which the within-shard tier already proved consistent.
+/// One violating row pair per RHS attribute (or nullopt), found in a single
+/// scan: out[j] answers lhs_attrs -> rhs_attrs[j]. Batching the RHS attrs
+/// matters because the scan groups rows by LHS code tuple — identical work
+/// for every RHS of the same candidate — and the post-exchange candidate
+/// tree is dominated by few-LHS/many-RHS nodes.
+void ValidateAcrossShards(
     const std::vector<RelationData>& shards,
-    const std::vector<AttributeId>& lhs_attrs, AttributeId rhs_attr) {
+    const std::vector<AttributeId>& lhs_attrs,
+    const std::vector<AttributeId>& rhs_attrs, const SharedCodeMasks* shared,
+    std::vector<std::optional<std::pair<ShardRow, ShardRow>>>* out) {
+  size_t m = rhs_attrs.size();
+  out->assign(m, std::nullopt);
+  if (m == 0) return;
+  if (shared != nullptr && !lhs_attrs.empty()) {
+    for (AttributeId a : lhs_attrs) {
+      if (!shared->any_shared[static_cast<size_t>(a)]) return;
+    }
+  }
+  std::vector<const std::vector<ValueId>*> rhs_codes(m);
+  size_t open = m;  // RHS attrs still without a violation
+  auto compare = [&](size_t j, ValueId rep_code, const ShardRow& rep,
+                     ValueId code, const ShardRow& here) {
+    if ((*out)[j] || rep_code == code) return;
+    (*out)[j] = std::make_pair(rep, here);
+    --open;
+  };
   if (lhs_attrs.empty()) {
-    // {} -> rhs: the column must be constant across all shards.
+    // {} -> rhs: each RHS column must be constant across all shards.
     std::optional<ShardRow> first;
-    ValueId first_code = 0;
-    for (size_t s = 0; s < shards.size(); ++s) {
-      const std::vector<ValueId>& rhs_codes =
-          shards[s].column(rhs_attr).codes();
-      for (size_t r = 0; r < rhs_codes.size(); ++r) {
+    std::vector<ValueId> first_codes(m);
+    for (size_t s = 0; s < shards.size() && open > 0; ++s) {
+      for (size_t j = 0; j < m; ++j) {
+        rhs_codes[j] = &shards[s].column(rhs_attrs[j]).codes();
+      }
+      size_t rows = shards[s].num_rows();
+      for (size_t r = 0; r < rows && open > 0; ++r) {
+        ShardRow here{s, static_cast<RowId>(r)};
         if (!first) {
-          first = ShardRow{s, static_cast<RowId>(r)};
-          first_code = rhs_codes[r];
-        } else if (rhs_codes[r] != first_code) {
-          return std::make_pair(*first, ShardRow{s, static_cast<RowId>(r)});
+          first = here;
+          for (size_t j = 0; j < m; ++j) first_codes[j] = (*rhs_codes[j])[r];
+          continue;
+        }
+        for (size_t j = 0; j < m; ++j) {
+          compare(j, first_codes[j], *first, (*rhs_codes[j])[r], here);
         }
       }
     }
-    return std::nullopt;
+    return;
   }
   if (lhs_attrs.size() == 1) {
     // Codes of the shared dictionary are dense in [0, DistinctCount):
     // a flat representative table replaces the hash map.
+    const std::vector<char>* mask =
+        shared != nullptr ? &shared->masks[static_cast<size_t>(lhs_attrs[0])]
+                          : nullptr;
     size_t groups = shards.front().column(lhs_attrs[0]).DistinctCount();
-    std::vector<ValueId> rep_rhs(groups, -1);
+    std::vector<char> seen(groups, 0);
     std::vector<ShardRow> rep_row(groups);
-    for (size_t s = 0; s < shards.size(); ++s) {
+    std::vector<ValueId> rep_codes(groups * m);
+    for (size_t s = 0; s < shards.size() && open > 0; ++s) {
       const std::vector<ValueId>& lhs_codes =
           shards[s].column(lhs_attrs[0]).codes();
-      const std::vector<ValueId>& rhs_codes =
-          shards[s].column(rhs_attr).codes();
-      for (size_t r = 0; r < lhs_codes.size(); ++r) {
+      for (size_t j = 0; j < m; ++j) {
+        rhs_codes[j] = &shards[s].column(rhs_attrs[j]).codes();
+      }
+      for (size_t r = 0; r < lhs_codes.size() && open > 0; ++r) {
         size_t g = static_cast<size_t>(lhs_codes[r]);
-        if (rep_rhs[g] < 0) {
-          rep_rhs[g] = rhs_codes[r];
-          rep_row[g] = ShardRow{s, static_cast<RowId>(r)};
-        } else if (rep_rhs[g] != rhs_codes[r]) {
-          return std::make_pair(rep_row[g], ShardRow{s, static_cast<RowId>(r)});
+        if (mask != nullptr && !(*mask)[g]) continue;
+        ShardRow here{s, static_cast<RowId>(r)};
+        if (!seen[g]) {
+          seen[g] = 1;
+          rep_row[g] = here;
+          for (size_t j = 0; j < m; ++j) {
+            rep_codes[g * m + j] = (*rhs_codes[j])[r];
+          }
+          continue;
+        }
+        for (size_t j = 0; j < m; ++j) {
+          compare(j, rep_codes[g * m + j], rep_row[g], (*rhs_codes[j])[r],
+                  here);
         }
       }
     }
-    return std::nullopt;
+    return;
   }
-  std::unordered_map<std::vector<ValueId>, std::pair<ShardRow, ValueId>,
-                     CodeVecHash>
-      reps;
+  struct Rep {
+    ShardRow row;
+    std::vector<ValueId> codes;
+  };
+  std::unordered_map<std::vector<ValueId>, Rep, CodeVecHash> reps;
   std::vector<ValueId> key(lhs_attrs.size());
-  for (size_t s = 0; s < shards.size(); ++s) {
+  for (size_t s = 0; s < shards.size() && open > 0; ++s) {
     const RelationData& shard = shards[s];
-    for (size_t r = 0; r < shard.num_rows(); ++r) {
+    for (size_t j = 0; j < m; ++j) {
+      rhs_codes[j] = &shard.column(rhs_attrs[j]).codes();
+    }
+    size_t rows = shard.num_rows();
+    for (size_t r = 0; r < rows && open > 0; ++r) {
+      bool skip = false;
       for (size_t j = 0; j < lhs_attrs.size(); ++j) {
-        key[j] = shard.column(lhs_attrs[j]).code(r);
+        ValueId code = shard.column(lhs_attrs[j]).code(r);
+        if (shared != nullptr &&
+            !shared->masks[static_cast<size_t>(lhs_attrs[j])]
+                          [static_cast<size_t>(code)]) {
+          skip = true;
+          break;
+        }
+        key[j] = code;
       }
-      ValueId rhs_code = shard.column(rhs_attr).code(r);
+      if (skip) continue;
       ShardRow here{s, static_cast<RowId>(r)};
-      auto [it, inserted] = reps.try_emplace(key, here, rhs_code);
-      if (!inserted && it->second.second != rhs_code) {
-        return std::make_pair(it->second.first, here);
+      auto [it, inserted] = reps.try_emplace(key);
+      if (inserted) {
+        it->second.row = here;
+        it->second.codes.resize(m);
+        for (size_t j = 0; j < m; ++j) {
+          it->second.codes[j] = (*rhs_codes[j])[r];
+        }
+        continue;
+      }
+      for (size_t j = 0; j < m; ++j) {
+        compare(j, it->second.codes[j], it->second.row, (*rhs_codes[j])[r],
+                here);
       }
     }
   }
-  return std::nullopt;
 }
 
 }  // namespace
@@ -212,6 +290,11 @@ Result<FdSet> ShardedDiscovery::Discover(
   Stopwatch watch;
   std::vector<FdSet> shard_fds(k);
   std::vector<std::shared_ptr<const PliCache>> handoff(k);
+  // Per-shard negative covers for the evidence exchange below. Backends that
+  // do not track evidence (e.g. tane) export an empty list, which gracefully
+  // degrades to cross-shard sampling only. Stays empty on a checkpoint
+  // resume: no per-shard algorithms ran.
+  std::vector<std::vector<AttributeSet>> shard_evidence(k);
   if (!resume.shard_covers.empty()) {
     shard_fds = std::move(resume.shard_covers);
     stats_.resumed_covers = true;
@@ -245,6 +328,9 @@ Result<FdSet> ShardedDiscovery::Discover(
       // very same single-column PLIs, so rebuilding them would be pure
       // duplicate work.
       handoff[s] = algo->shared_pli_cache();
+      if (shard_options_.exchange_evidence) {
+        shard_evidence[s] = algo->ExportEvidence();
+      }
     });
     {
       Status interrupted = CheckRunContext(ctx);
@@ -356,6 +442,112 @@ Result<FdSet> ShardedDiscovery::Discover(
     return RemapToGlobal(kept, shards[0]);
   };
 
+  // --- Evidence exchange: pre-prune the seed cover before any validation ---
+  // Two evidence sources, both agree sets of real row pairs (so applying
+  // them preserves the positive-cover invariant and cannot change the final
+  // minimal cover — it only moves refutations ahead of the validation
+  // sweeps):
+  //   1. every shard's exported negative cover, which fully determines that
+  //      shard's minimal cover and hence refutes every candidate the shard
+  //      disagrees with (the within-shard violations);
+  //   2. focused cross-shard samples — per column, the first row of each
+  //      shared dictionary code in consecutive shards that contain it. These
+  //      are exactly the cheap straddling pairs HyFD-style sampling would
+  //      pick first, and they refute most cross-shard violations up front.
+  // The same pass derives the shared-code masks that restrict the
+  // cross-shard validation tier (see ValidateAcrossShards).
+  // Skipped on a frontier resume: the checkpointed tree already absorbed
+  // all evidence, and re-inducing below start_level would be wasted work.
+  SharedCodeMasks shared_masks;
+  if (shard_options_.exchange_evidence) {
+    watch.Restart();
+    constexpr size_t kNoShard = static_cast<size_t>(-1);
+    const bool do_sampling = !resume.has_frontier;
+    shared_masks.masks.assign(static_cast<size_t>(n), {});
+    shared_masks.any_shared.assign(static_cast<size_t>(n), 0);
+    std::vector<std::vector<AttributeSet>> sampled(static_cast<size_t>(n));
+    std::vector<size_t> comparisons(static_cast<size_t>(n), 0);
+    Status dispatch =
+        ParallelFor(pool, static_cast<size_t>(n), [&](size_t c) {
+          size_t groups =
+              first.column(static_cast<int>(c)).DistinctCount();
+          std::vector<char>& mask = shared_masks.masks[c];
+          mask.assign(groups, 0);
+          // prev_rep[g]: first row of code g in the most recent shard that
+          // contains it; a first occurrence in a later shard forms one
+          // straddling sample pair and marks the code shared.
+          std::vector<ShardRow> prev_rep(groups, ShardRow{kNoShard, 0});
+          std::unordered_set<AttributeSet> column_seen;
+          for (size_t s = 0; s < k; ++s) {
+            const std::vector<ValueId>& codes =
+                shards[s].column(static_cast<int>(c)).codes();
+            std::vector<char> seen_in_shard(groups, 0);
+            for (size_t r = 0; r < codes.size(); ++r) {
+              size_t g = static_cast<size_t>(codes[r]);
+              if (seen_in_shard[g]) continue;
+              seen_in_shard[g] = 1;
+              if (prev_rep[g].shard != kNoShard) {
+                mask[g] = 1;
+                shared_masks.any_shared[c] = 1;
+                if (do_sampling) {
+                  ++comparisons[c];
+                  AttributeSet ag = AgreeSetOf(
+                      shards[prev_rep[g].shard], prev_rep[g].row, shards[s],
+                      static_cast<RowId>(r));
+                  if (column_seen.insert(ag).second) {
+                    sampled[c].push_back(std::move(ag));
+                  }
+                }
+              }
+              prev_rep[g] = ShardRow{s, static_cast<RowId>(r)};
+            }
+          }
+        });
+    if (dispatch.ok()) dispatch = CheckRunContext(ctx);
+    if (!dispatch.ok()) return partial_result(std::move(dispatch));
+    if (do_sampling) {
+      // Deterministic application order — shard order for the exported
+      // covers, then column order for the samples — so the induction
+      // sequence is identical at every thread count. Shard 0's own evidence
+      // is skipped: the seed IS shard 0's minimal cover, so by completeness
+      // none of its evidence can specialize the initial tree — every
+      // application would be a paid-for no-op. Per shard, only the largest
+      // (most subsuming) sets are applied, mirroring HyFd's induction cap:
+      // pre-pruning is an accelerator, validation guarantees exactness, so
+      // skipping low-value evidence trades a few extra validation
+      // violations for a much cheaper exchange.
+      constexpr size_t kMaxEvidencePerShard = 2000;
+      for (size_t s = 1; s < k; ++s) {
+        std::vector<AttributeSet> ranked = shard_evidence[s];
+        if (ranked.size() > kMaxEvidencePerShard) {
+          std::stable_sort(ranked.begin(), ranked.end(),
+                           [](const AttributeSet& a, const AttributeSet& b) {
+                             return a.Count() > b.Count();
+                           });
+          ranked.resize(kMaxEvidencePerShard);
+        }
+        for (const AttributeSet& ag : ranked) {
+          if (!seen_agree_sets.insert(ag).second) continue;
+          InduceFromAgreeSet(&tree, ag, options_.max_lhs_size);
+          ++stats_.exchanged_evidence_sets;
+        }
+      }
+      for (size_t c = 0; c < sampled.size(); ++c) {
+        stats_.cross_shard_comparisons += comparisons[c];
+        for (const AttributeSet& ag : sampled[c]) {
+          if (!seen_agree_sets.insert(ag).second) continue;
+          InduceFromAgreeSet(&tree, ag, options_.max_lhs_size);
+          ++stats_.exchanged_evidence_sets;
+          ++stats_.cross_shard_sampled_sets;
+        }
+      }
+    }
+    phase_metrics_.Record("evidence_exchange", watch.ElapsedSeconds(),
+                          stats_.exchanged_evidence_sets);
+  }
+  const SharedCodeMasks* validation_masks =
+      shard_options_.exchange_evidence ? &shared_masks : nullptr;
+
   struct Violation {
     AttributeSet agree;
     bool cross_shard = false;
@@ -370,50 +562,71 @@ Result<FdSet> ShardedDiscovery::Discover(
       // the violations serially in snapshot order — the same deterministic
       // sweep structure as HyFD's parallel validation.
       std::vector<Fd> candidates = tree.GetLevel(level);
+      if (candidates.empty()) break;
+      size_t total_units = 0;
       std::vector<std::vector<AttributeId>> lhs_vecs(candidates.size());
-      struct Unit {
-        size_t candidate;
-        AttributeId rhs;
-      };
-      std::vector<Unit> units;
+      std::vector<std::vector<AttributeId>> rhs_vecs(candidates.size());
       for (size_t c = 0; c < candidates.size(); ++c) {
         lhs_vecs[c] = candidates[c].lhs.ToVector();
-        for (AttributeId a : candidates[c].rhs) {
-          units.push_back(Unit{c, a});
-        }
+        for (AttributeId a : candidates[c].rhs) rhs_vecs[c].push_back(a);
+        total_units += rhs_vecs[c].size();
       }
-      if (units.empty()) break;
       Stopwatch validation_watch;
-      std::vector<std::optional<Violation>> violations(units.size());
-      Status dispatch = ParallelFor(pool, units.size(), [&, ctx](size_t u) {
-        if (ctx != nullptr && ctx->SoftInterrupted()) return;
-        const Unit& unit = units[u];
-        const AttributeSet& lhs = candidates[unit.candidate].lhs;
-        const std::vector<AttributeId>& lhs_attrs = lhs_vecs[unit.candidate];
-        // Within-shard tier: the covers are complete up to max_lhs_size, so
-        // a shard whose cover does not imply the candidate must violate it;
-        // targeted PLI validation on that shard finds a witness pair.
-        for (size_t s = 0; s < k; ++s) {
-          if (covers[s].ContainsFdOrGeneralization(lhs, unit.rhs)) continue;
-          auto pair = ValidateFdCandidate(shards[s], *caches[s], lhs_attrs,
-                                          unit.rhs);
-          if (pair) {
-            violations[u] = Violation{
-                AgreeSetOf(shards[s], pair->first, shards[s], pair->second),
-                /*cross_shard=*/false};
-            return;
-          }
-        }
-        // Cross-shard tier: valid inside every shard — only a row pair
-        // straddling two shards can still break it.
-        auto pair = ValidateAcrossShards(shards, lhs_attrs, unit.rhs);
-        if (pair) {
-          violations[u] = Violation{
-              AgreeSetOf(shards[pair->first.shard], pair->first.row,
-                         shards[pair->second.shard], pair->second.row),
-              /*cross_shard=*/true};
-        }
-      });
+      // Per-candidate violation slots, one per RHS attribute (in rhs_vecs
+      // order); the cross-shard scan is shared by every RHS of a candidate.
+      std::vector<std::vector<std::optional<Violation>>> violations(
+          candidates.size());
+      Status dispatch =
+          ParallelFor(pool, candidates.size(), [&, ctx](size_t c) {
+            if (ctx != nullptr && ctx->SoftInterrupted()) return;
+            const AttributeSet& lhs = candidates[c].lhs;
+            const std::vector<AttributeId>& lhs_attrs = lhs_vecs[c];
+            const std::vector<AttributeId>& rhs_attrs = rhs_vecs[c];
+            size_t m = rhs_attrs.size();
+            violations[c].assign(m, std::nullopt);
+            // Within-shard tier: the covers are complete up to
+            // max_lhs_size, so a shard whose cover does not imply the
+            // candidate must violate it; targeted PLI validation on that
+            // shard finds a witness pair.
+            std::vector<AttributeId> cross_rhs;
+            std::vector<size_t> cross_slot;
+            for (size_t j = 0; j < m; ++j) {
+              bool violated = false;
+              for (size_t s = 0; s < k && !violated; ++s) {
+                if (covers[s].ContainsFdOrGeneralization(lhs, rhs_attrs[j])) {
+                  continue;
+                }
+                auto pair = ValidateFdCandidate(shards[s], *caches[s],
+                                                lhs_attrs, rhs_attrs[j]);
+                if (pair) {
+                  violations[c][j] = Violation{
+                      AgreeSetOf(shards[s], pair->first, shards[s],
+                                 pair->second),
+                      /*cross_shard=*/false};
+                  violated = true;
+                }
+              }
+              if (!violated) {
+                cross_rhs.push_back(rhs_attrs[j]);
+                cross_slot.push_back(j);
+              }
+            }
+            // Cross-shard tier: valid inside every shard — only a row pair
+            // straddling two shards can still break it. One scan covers
+            // every surviving RHS of this candidate.
+            std::vector<std::optional<std::pair<ShardRow, ShardRow>>> pairs;
+            ValidateAcrossShards(shards, lhs_attrs, cross_rhs,
+                                 validation_masks, &pairs);
+            for (size_t j = 0; j < cross_rhs.size(); ++j) {
+              if (!pairs[j]) continue;
+              violations[c][cross_slot[j]] = Violation{
+                  AgreeSetOf(shards[pairs[j]->first.shard],
+                             pairs[j]->first.row,
+                             shards[pairs[j]->second.shard],
+                             pairs[j]->second.row),
+                  /*cross_shard=*/true};
+            }
+          });
       // Unset violation slots of a skipped sweep look like confirmations —
       // bail before the merge trusts them.
       interrupted = CheckRunContext(ctx);
@@ -421,28 +634,30 @@ Result<FdSet> ShardedDiscovery::Discover(
       if (!interrupted.ok()) return partial_result(std::move(interrupted));
       size_t invalid = 0;
       std::vector<AttributeSet> evidence;
-      for (size_t u = 0; u < units.size(); ++u) {
-        if (!violations[u]) continue;
-        ++invalid;
-        if (violations[u]->cross_shard) {
-          ++stats_.cross_shard_violations;
-        } else {
-          ++stats_.within_shard_violations;
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        for (size_t j = 0; j < violations[c].size(); ++j) {
+          if (!violations[c][j]) continue;
+          ++invalid;
+          if (violations[c][j]->cross_shard) {
+            ++stats_.cross_shard_violations;
+          } else {
+            ++stats_.within_shard_violations;
+          }
+          const AttributeSet& ag = violations[c][j]->agree;
+          if (seen_agree_sets.insert(ag).second) evidence.push_back(ag);
+          // Even previously-seen evidence must be (re)applied to this
+          // candidate — it may have been added after the original induction.
+          SpecializeCover(&tree, ag, rhs_vecs[c][j], options_.max_lhs_size);
         }
-        const AttributeSet& ag = violations[u]->agree;
-        if (seen_agree_sets.insert(ag).second) evidence.push_back(ag);
-        // Even previously-seen evidence must be (re)applied to this
-        // candidate — it may have been added after the original induction.
-        SpecializeCover(&tree, ag, units[u].rhs, options_.max_lhs_size);
       }
-      stats_.validated_candidates += units.size();
+      stats_.validated_candidates += total_units;
       stats_.invalid_candidates += invalid;
       double validation_s = validation_watch.ElapsedSeconds();
-      phase_metrics_.Record("merge_validation", validation_s, units.size());
+      phase_metrics_.Record("merge_validation", validation_s, total_units);
       // Per-level record: the adaptive degradation picker reads these to
       // find the deepest level that fits the time budget.
       phase_metrics_.Record("merge_validation_L" + std::to_string(level),
-                            validation_s, units.size());
+                            validation_s, total_units);
       Stopwatch induction_watch;
       for (const AttributeSet& ag : evidence) {
         InduceFromAgreeSet(&tree, ag, options_.max_lhs_size);

@@ -12,7 +12,17 @@
 //     PLI validation primitive on that shard alone;
 //   * cross-shard tier: candidates valid in every shard are checked by
 //     hashing LHS code tuples across all shards (codes agree because the
-//     shards share value dictionaries).
+//     shards share value dictionaries), restricted to rows whose LHS codes
+//     appear in at least two shards (only those can form straddling pairs).
+//
+// Before any validation, the shards exchange evidence (see
+// ShardOptions::exchange_evidence): each shard's exported negative cover —
+// which fully determines its minimal cover, so it refutes every candidate
+// some shard disagrees with — plus focused samples of row pairs straddling
+// shard boundaries (the first row of every shared dictionary code in
+// consecutive shards) specialize the seed tree up front. Validation then
+// confirms mostly-true candidates instead of discovering violations one
+// specialize-and-resweep at a time.
 //
 // Violations specialize the cover (SpecializeCover/InduceFromAgreeSet)
 // exactly as in HyFD, so the result is the complete set of minimal FDs of
@@ -87,6 +97,15 @@ class ShardedDiscovery {
     /// pair straddling two shards (the case a naive per-shard union misses).
     size_t within_shard_violations = 0;
     size_t cross_shard_violations = 0;
+    /// Evidence-exchange pre-pruning (ShardOptions::exchange_evidence):
+    /// distinct agree sets applied to the seed cover before validation —
+    /// per-shard negative covers plus cross-shard boundary samples.
+    size_t exchanged_evidence_sets = 0;
+    /// Of those, the distinct agree sets harvested by comparing row pairs
+    /// that straddle shards (per shared dictionary code), and the number of
+    /// such comparisons performed.
+    size_t cross_shard_sampled_sets = 0;
+    size_t cross_shard_comparisons = 0;
     /// Shards whose single-column PLIs were reused (backend handoff or
     /// checkpoint resume) instead of rebuilt for the merge.
     size_t plis_reused = 0;

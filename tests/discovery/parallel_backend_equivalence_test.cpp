@@ -1,0 +1,126 @@
+// Bit-identity of the newly parallelized discovery paths: DFD's per-RHS
+// lattice walks, FDEP's negative-cover collection and per-RHS inversion,
+// and HyFd's parallel focused sampling must return the *identical* minimal
+// FD set — same unary expansion, not just an equivalent cover — at every
+// thread count. EquivalentTo-style checks would hide nondeterministic
+// merges that happen to produce logically equal covers; these tests pin
+// the stronger contract the deterministic column-order / per-RHS merges
+// guarantee.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/musicbrainz_like.hpp"
+#include "datagen/tpch_like.hpp"
+#include "discovery/fd_discovery.hpp"
+#include "discovery/hyfd.hpp"
+
+namespace normalize {
+namespace {
+
+const RelationData& TpchUniversal() {
+  static const RelationData data =
+      GenerateTpchLike(TpchScale{}.Scaled(0.12)).universal;
+  return data;
+}
+
+const RelationData& MusicBrainzUniversal() {
+  static const RelationData data =
+      GenerateMusicBrainzLike(MusicBrainzScale{}.Scaled(0.15)).universal;
+  return data;
+}
+
+/// Bit-identical comparison: the unary expansions (sorted canonical form)
+/// must be exactly equal, not just equivalent.
+void ExpectBitIdentical(const FdSet& actual, const FdSet& expected,
+                        const std::string& context) {
+  std::vector<Fd> a = actual.ToUnary();
+  std::vector<Fd> e = expected.ToUnary();
+  ASSERT_EQ(a.size(), e.size()) << context;
+  for (size_t i = 0; i < e.size(); ++i) {
+    EXPECT_TRUE(a[i] == e[i])
+        << context << ": unary FD " << i << " is " << a[i].ToString()
+        << ", expected " << e[i].ToString();
+  }
+}
+
+FdSet Discover(const std::string& algo_name, const RelationData& data,
+               int threads) {
+  FdDiscoveryOptions options;
+  options.max_lhs_size = 2;  // the paper's pruned setting (§4.3)
+  options.threads = threads;
+  auto algo = MakeFdDiscovery(algo_name, options);
+  auto result = algo->Discover(data);
+  EXPECT_TRUE(result.ok()) << algo_name << ": " << result.status().ToString();
+  return std::move(result).value();
+}
+
+struct BackendCase {
+  const char* algo;
+  const char* dataset;
+};
+
+class ParallelBackendEquivalenceTest
+    : public ::testing::TestWithParam<BackendCase> {
+ protected:
+  const RelationData& data() const {
+    return std::string(GetParam().dataset) == "tpch" ? TpchUniversal()
+                                                     : MusicBrainzUniversal();
+  }
+};
+
+TEST_P(ParallelBackendEquivalenceTest, ThreadCountsYieldBitIdenticalFdSets) {
+  FdSet serial = Discover(GetParam().algo, data(), /*threads=*/1);
+  ASSERT_GT(serial.CountUnaryFds(), 0u);
+  for (int threads : {2, 8}) {
+    FdSet parallel = Discover(GetParam().algo, data(), threads);
+    ExpectBitIdentical(parallel, serial,
+                       std::string(GetParam().algo) + " on " +
+                           GetParam().dataset + " with " +
+                           std::to_string(threads) + " threads");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndDatasets, ParallelBackendEquivalenceTest,
+    ::testing::Values(BackendCase{"dfd", "tpch"},
+                      BackendCase{"dfd", "musicbrainz"},
+                      BackendCase{"fdep", "tpch"},
+                      BackendCase{"fdep", "musicbrainz"},
+                      BackendCase{"hyfd", "tpch"},
+                      BackendCase{"hyfd", "musicbrainz"}),
+    [](const ::testing::TestParamInfo<BackendCase>& info) {
+      return std::string(info.param.algo) + "_" + info.param.dataset;
+    });
+
+// Force HyFd through many sampling rounds (the parallel per-column windows
+// plus the deterministic column-order merge) before validation: the sampled
+// negative cover — and hence the induction sequence — must be identical at
+// every thread count, not just the validated end result.
+TEST(ParallelSamplingTest, SamplingHeavyHyFdIsBitIdenticalAcrossThreads) {
+  HyFdConfig config;
+  config.initial_sampling_rounds = 8;
+  config.switch_to_sampling_threshold = 0.05;  // re-enter sampling eagerly
+
+  auto run = [&](int threads) {
+    FdDiscoveryOptions options;
+    options.max_lhs_size = 2;
+    options.threads = threads;
+    HyFd algo(options, config);
+    auto result = algo.Discover(TpchUniversal());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  };
+
+  FdSet serial = run(1);
+  ASSERT_GT(serial.CountUnaryFds(), 0u);
+  for (int threads : {2, 8}) {
+    ExpectBitIdentical(run(threads), serial,
+                       "sampling-heavy hyfd with " + std::to_string(threads) +
+                           " threads");
+  }
+}
+
+}  // namespace
+}  // namespace normalize

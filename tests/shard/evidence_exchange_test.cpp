@@ -1,0 +1,129 @@
+// The evidence exchange (ShardOptions::exchange_evidence) is a pure
+// accelerator: with it on or off, the merged FD set must stay bit-identical
+// to a single-shot run at every shard count — while the number of
+// cross-shard violations the validation tier has to discover one
+// specialize-and-resweep at a time drops sharply, because the exchanged
+// negative covers and boundary samples refute those candidates up front.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/tpch_like.hpp"
+#include "discovery/fd_discovery.hpp"
+#include "shard/shard_relation.hpp"
+#include "shard/sharded_discovery.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+const RelationData& TpchUniversal() {
+  static const RelationData data =
+      GenerateTpchLike(TpchScale{}.Scaled(0.12)).universal;
+  return data;
+}
+
+FdSet SingleShot(const std::string& backend, const RelationData& data) {
+  FdDiscoveryOptions options;
+  options.max_lhs_size = 2;
+  options.threads = 1;
+  auto algo = MakeFdDiscovery(backend, options);
+  auto result = algo->Discover(data);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+FdSet Sharded(const std::string& backend, const RelationData& data,
+              size_t num_shards, bool exchange_evidence,
+              ShardedDiscovery::Stats* stats = nullptr) {
+  FdDiscoveryOptions options;
+  options.max_lhs_size = 2;
+  options.threads = 1;
+  ShardOptions shard_options;
+  shard_options.shard_rows =
+      std::max<size_t>(1, (data.num_rows() + num_shards - 1) / num_shards);
+  shard_options.threads = 1;
+  shard_options.exchange_evidence = exchange_evidence;
+  ShardedDiscovery discovery(backend, options, shard_options);
+  auto result =
+      discovery.Discover(SliceIntoShards(data, shard_options.shard_rows));
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (stats != nullptr) *stats = discovery.stats();
+  return std::move(result).value();
+}
+
+/// Bit-identical comparison: the unary expansions (sorted canonical form)
+/// must be exactly equal, not just equivalent.
+void ExpectBitIdentical(const FdSet& actual, const FdSet& expected,
+                        const std::string& context) {
+  std::vector<Fd> a = actual.ToUnary();
+  std::vector<Fd> e = expected.ToUnary();
+  ASSERT_EQ(a.size(), e.size()) << context;
+  for (size_t i = 0; i < e.size(); ++i) {
+    EXPECT_TRUE(a[i] == e[i])
+        << context << ": unary FD " << i << " is " << a[i].ToString()
+        << ", expected " << e[i].ToString();
+  }
+}
+
+TEST(EvidenceExchangeTest, OnAndOffAreBitIdenticalToSingleShot) {
+  FdSet reference = SingleShot("hyfd", TpchUniversal());
+  ASSERT_GT(reference.CountUnaryFds(), 0u);
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    for (bool exchange : {false, true}) {
+      FdSet merged =
+          Sharded("hyfd", TpchUniversal(), shards, exchange);
+      ExpectBitIdentical(merged, reference,
+                         std::to_string(shards) + " shards, exchange " +
+                             (exchange ? "on" : "off"));
+    }
+  }
+}
+
+TEST(EvidenceExchangeTest, ExchangePrePrunesCrossShardViolations) {
+  for (size_t shards : {2u, 4u, 8u}) {
+    ShardedDiscovery::Stats off;
+    Sharded("hyfd", TpchUniversal(), shards, /*exchange_evidence=*/false,
+            &off);
+    ShardedDiscovery::Stats on;
+    Sharded("hyfd", TpchUniversal(), shards, /*exchange_evidence=*/true, &on);
+
+    EXPECT_EQ(off.exchanged_evidence_sets, 0u);
+    EXPECT_GT(on.exchanged_evidence_sets, 0u)
+        << shards << " shards: no evidence was exchanged";
+    EXPECT_GT(on.cross_shard_sampled_sets, 0u)
+        << shards << " shards: no boundary pairs were sampled";
+
+    // The acceptance bar: at least a 5x reduction in violations the merge
+    // has to discover during validation (when there are enough of them for
+    // the ratio to be meaningful; tiny counts just must not grow).
+    if (off.cross_shard_violations >= 25) {
+      EXPECT_LE(on.cross_shard_violations, off.cross_shard_violations / 5)
+          << shards << " shards: " << on.cross_shard_violations << " vs "
+          << off.cross_shard_violations << " cross-shard violations";
+    } else {
+      EXPECT_LE(on.cross_shard_violations, off.cross_shard_violations)
+          << shards << " shards";
+    }
+    EXPECT_LE(on.within_shard_violations, off.within_shard_violations)
+        << shards << " shards: per-shard negative covers should pre-prune "
+        << "within-shard violations too";
+  }
+}
+
+// A backend with no evidence to export (tane) degrades to boundary sampling
+// only — still bit-identical, still pre-pruning straddling violations.
+TEST(EvidenceExchangeTest, EvidencelessBackendFallsBackToSampling) {
+  FdSet reference = SingleShot("tane", TpchUniversal());
+  ShardedDiscovery::Stats stats;
+  FdSet merged = Sharded("tane", TpchUniversal(), 4,
+                         /*exchange_evidence=*/true, &stats);
+  ExpectBitIdentical(merged, reference, "tane with evidence exchange");
+  EXPECT_GT(stats.cross_shard_sampled_sets, 0u);
+  EXPECT_EQ(stats.exchanged_evidence_sets, stats.cross_shard_sampled_sets)
+      << "tane exports no negative cover; all evidence must be sampled";
+}
+
+}  // namespace
+}  // namespace normalize

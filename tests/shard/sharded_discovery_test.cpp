@@ -145,7 +145,10 @@ TEST(ShardedDiscoveryTest, CrossShardViolationIsCaught) {
   ShardedDiscovery::Stats stats;
   FdSet merged = Sharded("hyfd", data, 2, /*threads=*/1, &stats);
   ExpectBitIdentical(merged, reference, "cross-shard violation");
-  EXPECT_GT(stats.cross_shard_violations, 0u);
+  // The straddling violation is either refuted up front by the evidence
+  // exchange's boundary samples or caught by the cross-shard validation
+  // tier — one of the two must have seen it.
+  EXPECT_GT(stats.cross_shard_violations + stats.cross_shard_sampled_sets, 0u);
   // And the bogus per-shard FD A -> B must be gone.
   int n = data.num_columns();
   for (const Fd& fd : merged) {

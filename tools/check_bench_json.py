@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files written by bench_discovery.
+
+Two layers, selected by flags:
+
+  Schema validation (always on): required top-level keys, per-algorithm
+  thread sweeps that start at threads=1 / speedup~1.0 and use strictly
+  increasing thread counts, a shard sweep with strictly increasing shard
+  counts starting at 1, and one FD count that every sweep entry agrees on
+  (the discovered FD set must be invariant across threads AND shards).
+
+  Perf gates (opt-in): --min-speedup FLOOR[@THREADS] fails when the hyfd
+  thread sweep's speedup at THREADS (default: the largest recorded count)
+  is below FLOOR; --max-shard-overhead RATIO fails when the 2-shard run
+  takes more than RATIO times the single-shot baseline. CI passes a floor
+  matched to the runner; on a single-core box both numbers are meaningless
+  (thread rounds and shard fan-out serialize), so the gates require
+  --min-hw (default 2) hardware threads recorded in the file and degrade
+  to warnings below that.
+
+Exit codes: 0 ok, 1 schema violation, 2 perf gate failure. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_ERRORS = []
+GATE_ERRORS = []
+
+
+def schema_error(msg):
+    SCHEMA_ERRORS.append(msg)
+
+
+def gate_error(msg):
+    GATE_ERRORS.append(msg)
+
+
+def check_entry_keys(entry, keys, where):
+    for key in keys:
+        if key not in entry:
+            schema_error(f"{where}: missing key '{key}'")
+            return False
+    return True
+
+
+def check_thread_sweep(results):
+    """Per-algorithm: threads strictly increasing from 1, speedup sane."""
+    by_algo = {}
+    for i, entry in enumerate(results):
+        if not check_entry_keys(
+            entry, ("algorithm", "threads", "seconds", "speedup", "fds"),
+            f"results[{i}]"):
+            continue
+        by_algo.setdefault(entry["algorithm"], []).append(entry)
+    for algo, entries in by_algo.items():
+        threads = [e["threads"] for e in entries]
+        if threads[0] != 1:
+            schema_error(f"{algo}: thread sweep must start at threads=1, "
+                         f"got {threads[0]}")
+        if any(b <= a for a, b in zip(threads, threads[1:])):
+            schema_error(f"{algo}: thread counts not strictly increasing: "
+                         f"{threads}")
+        if abs(entries[0]["speedup"] - 1.0) > 1e-6:
+            schema_error(f"{algo}: speedup at threads=1 must be 1.0, got "
+                         f"{entries[0]['speedup']}")
+        for e in entries:
+            if e["seconds"] <= 0 or e["speedup"] <= 0:
+                schema_error(f"{algo} threads={e['threads']}: non-positive "
+                             f"seconds/speedup")
+    return by_algo
+
+
+def check_shard_sweep(sweep):
+    shards = []
+    for i, entry in enumerate(sweep):
+        if not check_entry_keys(
+            entry, ("algorithm", "shards", "seconds", "speedup", "fds",
+                    "cross_shard_violations"),
+            f"shard_sweep[{i}]"):
+            continue
+        shards.append(entry["shards"])
+    if shards and shards[0] != 1:
+        schema_error(f"shard sweep must start at shards=1, got {shards[0]}")
+    if any(b <= a for a, b in zip(shards, shards[1:])):
+        schema_error(f"shard counts not strictly increasing: {shards}")
+
+
+def check_fds_invariant(data):
+    """One FD count across every thread AND shard entry: the discovered set
+    must not depend on the execution strategy."""
+    counts = {e["fds"] for e in data.get("results", []) if "fds" in e}
+    counts |= {e["fds"] for e in data.get("shard_sweep", []) if "fds" in e}
+    if len(counts) > 1:
+        schema_error(f"FD counts disagree across sweep entries: "
+                     f"{sorted(counts)}")
+
+
+def apply_speedup_gate(by_algo, spec, min_hw, hw):
+    floor_str, _, at = spec.partition("@")
+    floor = float(floor_str)
+    entries = by_algo.get("hyfd", [])
+    if not entries:
+        gate_error("--min-speedup: no hyfd thread sweep in file")
+        return
+    threads = int(at) if at else max(e["threads"] for e in entries)
+    entry = next((e for e in entries if e["threads"] == threads), None)
+    if entry is None:
+        gate_error(f"--min-speedup: no hyfd entry at threads={threads}")
+        return
+    if hw < min_hw:
+        print(f"warning: hardware_concurrency={hw} < {min_hw}; "
+              f"speedup gate skipped (recorded speedup at threads={threads}: "
+              f"{entry['speedup']:.3f})")
+        return
+    if entry["speedup"] < floor:
+        gate_error(f"hyfd speedup at {threads} threads is "
+                   f"{entry['speedup']:.3f}, below the floor {floor}")
+
+
+def apply_shard_overhead_gate(sweep, ratio, min_hw, hw):
+    two = next((e for e in sweep if e.get("shards") == 2), None)
+    if two is None:
+        gate_error("--max-shard-overhead: no 2-shard entry in shard sweep")
+        return
+    overhead = 1.0 / two["speedup"] if two["speedup"] > 0 else float("inf")
+    if hw < min_hw:
+        # Per-shard discovery fans out across cores; on a serial box the
+        # shards run back to back and the overhead ratio is meaningless.
+        print(f"warning: hardware_concurrency={hw} < {min_hw}; "
+              f"shard overhead gate skipped (recorded 2-shard overhead: "
+              f"{overhead:.2f}x)")
+        return
+    if overhead > ratio:
+        gate_error(f"2-shard run is {overhead:.2f}x the single-shot "
+                   f"baseline, above the allowed {ratio}x")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="BENCH_*.json files")
+    parser.add_argument("--min-speedup", metavar="FLOOR[@THREADS]",
+                        help="fail if hyfd speedup at THREADS (default: max "
+                        "recorded) is below FLOOR")
+    parser.add_argument("--max-shard-overhead", type=float, metavar="RATIO",
+                        help="fail if the 2-shard run exceeds RATIO times "
+                        "the single-shot baseline")
+    parser.add_argument("--min-hw", type=int, default=2,
+                        help="hardware threads the speedup gate needs; below "
+                        "this it only warns (default: 2)")
+    args = parser.parse_args()
+
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            schema_error(f"{path}: {e}")
+            continue
+
+        for key in ("benchmark", "dataset", "rows", "columns", "max_lhs",
+                    "hardware_concurrency", "results", "shard_sweep"):
+            if key not in data:
+                schema_error(f"{path}: missing top-level key '{key}'")
+        if SCHEMA_ERRORS:
+            continue
+
+        by_algo = check_thread_sweep(data["results"])
+        check_shard_sweep(data["shard_sweep"])
+        check_fds_invariant(data)
+
+        if args.min_speedup:
+            apply_speedup_gate(by_algo, args.min_speedup, args.min_hw,
+                               data["hardware_concurrency"])
+        if args.max_shard_overhead:
+            apply_shard_overhead_gate(data["shard_sweep"],
+                                      args.max_shard_overhead, args.min_hw,
+                                      data["hardware_concurrency"])
+
+    for msg in SCHEMA_ERRORS:
+        print(f"schema: {msg}", file=sys.stderr)
+    for msg in GATE_ERRORS:
+        print(f"gate: {msg}", file=sys.stderr)
+    if SCHEMA_ERRORS:
+        return 1
+    if GATE_ERRORS:
+        return 2
+    print(f"ok: {', '.join(args.files)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
