@@ -1,0 +1,304 @@
+// Churn benchmark for the incremental engine (src/live/): drives a
+// NURand-skewed update stream (datagen/update_stream.hpp) through a
+// LiveRelation + DeltaFdMaintainer and reports sustained update throughput
+// and per-batch cover-maintenance latency against the full-rerun baseline
+// (one-shot HyFd on the materialized live rows — what a non-incremental
+// pipeline would pay per batch). A second section measures re-normalization
+// latency: Normalizer::RenormalizeWithCover on the maintained snapshot
+// versus a full Normalize() including discovery.
+//
+// Flags: --scale=<f>, --max-lhs=<n>, --batches=<n>, --json=<path> (default
+// BENCH_churn.json), --quick (CI perf-smoke mode: small scale, one batch
+// size, fewer batches — same JSON schema, so tools/check_bench_json.py
+// validates either output; the CI row is report-only, not a gate).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "datagen/tpch_like.hpp"
+#include "datagen/update_stream.hpp"
+#include "discovery/hyfd.hpp"
+#include "live/delta_fd_maintainer.hpp"
+#include "live/live_relation.hpp"
+#include "normalize/normalizer.hpp"
+
+using namespace normalize;
+using namespace normalize::bench;
+
+namespace {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+struct ChurnResult {
+  size_t batch_size = 0;
+  int threads = 1;
+  size_t batches = 0;
+  size_t ops = 0;
+  double init_seconds = 0.0;
+  double maintain_seconds = 0.0;  // all ApplyBatch calls
+  double updates_per_sec = 0.0;
+  double avg_batch_ms = 0.0;
+  double full_rerun_seconds = 0.0;  // one-shot HyFd on the final instance
+  double speedup_vs_rerun = 0.0;    // full rerun vs. mean batch latency
+  size_t final_fds = 0;
+  bool cover_matches_oneshot = false;
+};
+
+ChurnResult RunChurn(const RelationData& initial, size_t batch_size,
+                     int threads, size_t batches, int max_lhs) {
+  ChurnResult r;
+  r.batch_size = batch_size;
+  r.threads = threads;
+  r.batches = batches;
+
+  LiveRelation live(initial);
+  DeltaFdMaintainerOptions options;
+  options.max_lhs_size = max_lhs;
+  options.threads = threads;
+  DeltaFdMaintainer maintainer(&live, options);
+  Stopwatch init_watch;
+  if (Status init = maintainer.Initialize(); !init.ok()) {
+    std::cerr << "Initialize failed: " << init.ToString() << "\n";
+    return r;
+  }
+  r.init_seconds = init_watch.ElapsedSeconds();
+
+  UpdateStreamSpec spec;
+  spec.batch_size = batch_size;
+  UpdateStreamGenerator stream(initial, spec);
+  Stopwatch maintain_watch;
+  for (size_t b = 0; b < batches; ++b) {
+    LiveBatch batch = stream.NextBatch(live);
+    r.ops += batch.size();
+    if (Status applied = maintainer.ApplyBatch(batch); !applied.ok()) {
+      std::cerr << "ApplyBatch failed: " << applied.ToString() << "\n";
+      return r;
+    }
+  }
+  r.maintain_seconds = maintain_watch.ElapsedSeconds();
+  r.updates_per_sec = r.maintain_seconds > 0
+                          ? static_cast<double>(r.ops) / r.maintain_seconds
+                          : 0.0;
+  r.avg_batch_ms = batches > 0
+                       ? r.maintain_seconds * 1000.0 /
+                             static_cast<double>(batches)
+                       : 0.0;
+  r.final_fds = maintainer.snapshot()->cover.CountUnaryFds();
+
+  // Baseline: what a non-incremental pipeline pays per batch — a full
+  // discovery over the final live instance.
+  RelationData final_instance = live.Materialize("tpch_churned");
+  FdDiscoveryOptions dopts;
+  dopts.max_lhs_size = max_lhs;
+  dopts.threads = threads;
+  HyFd oneshot(dopts);
+  Stopwatch rerun_watch;
+  Result<FdSet> rerun = oneshot.Discover(final_instance);
+  r.full_rerun_seconds = rerun_watch.ElapsedSeconds();
+  if (rerun.ok()) {
+    r.cover_matches_oneshot =
+        rerun->EquivalentTo(maintainer.snapshot()->cover);
+    double per_batch = r.maintain_seconds / static_cast<double>(batches);
+    r.speedup_vs_rerun =
+        per_batch > 0 ? r.full_rerun_seconds / per_batch : 0.0;
+  }
+  return r;
+}
+
+struct RenormalizeResult {
+  int threads = 1;
+  double renormalize_seconds = 0.0;     // components (2)-(7) on the snapshot
+  double full_normalize_seconds = 0.0;  // discovery included
+  double speedup = 0.0;
+  size_t relations = 0;
+  bool schema_matches = false;
+};
+
+RenormalizeResult RunRenormalize(const LiveRelation& live,
+                                 const FdSet& cover, int threads,
+                                 int max_lhs) {
+  RenormalizeResult r;
+  r.threads = threads;
+  RelationData instance = live.Materialize("tpch_churned");
+  NormalizerOptions options;
+  options.discovery.max_lhs_size = max_lhs;
+  options.discovery.threads = threads;
+
+  Normalizer renormalizer(options);
+  Stopwatch renorm_watch;
+  Result<NormalizationResult> renorm =
+      renormalizer.RenormalizeWithCover(instance, cover);
+  r.renormalize_seconds = renorm_watch.ElapsedSeconds();
+
+  Normalizer full(options);
+  Stopwatch full_watch;
+  Result<NormalizationResult> baseline = full.Normalize(instance);
+  r.full_normalize_seconds = full_watch.ElapsedSeconds();
+
+  if (renorm.ok() && baseline.ok()) {
+    r.relations = renorm->relations.size();
+    r.schema_matches =
+        renorm->schema.ToString() == baseline->schema.ToString();
+    r.speedup = r.renormalize_seconds > 0
+                    ? r.full_normalize_seconds / r.renormalize_seconds
+                    : 0.0;
+  }
+  return r;
+}
+
+void WriteChurnJson(const std::string& path, const RelationData& initial,
+                    int max_lhs, const std::vector<ChurnResult>& churn,
+                    const std::vector<RenormalizeResult>& renorm) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"bench_churn\",\n"
+      << "  \"dataset\": \"tpch_universal\",\n"
+      << "  \"rows\": " << initial.num_rows() << ",\n"
+      << "  \"columns\": " << initial.num_columns() << ",\n"
+      << "  \"max_lhs\": " << max_lhs << ",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"churn\": [\n";
+  for (size_t i = 0; i < churn.size(); ++i) {
+    const ChurnResult& r = churn[i];
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"batch_size\": %zu, \"threads\": %d, \"batches\": %zu, "
+        "\"ops\": %zu, \"init_seconds\": %.6f, \"maintain_seconds\": %.6f, "
+        "\"updates_per_sec\": %.1f, \"avg_batch_ms\": %.3f, "
+        "\"full_rerun_seconds\": %.6f, \"speedup_vs_rerun\": %.2f, "
+        "\"final_fds\": %zu, \"cover_matches_oneshot\": %s}%s\n",
+        r.batch_size, r.threads, r.batches, r.ops, r.init_seconds,
+        r.maintain_seconds, r.updates_per_sec, r.avg_batch_ms,
+        r.full_rerun_seconds, r.speedup_vs_rerun, r.final_fds,
+        r.cover_matches_oneshot ? "true" : "false",
+        i + 1 < churn.size() ? "," : "");
+    out << line;
+  }
+  out << "  ],\n"
+      << "  \"renormalize\": [\n";
+  for (size_t i = 0; i < renorm.size(); ++i) {
+    const RenormalizeResult& r = renorm[i];
+    char line[320];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"threads\": %d, \"renormalize_seconds\": %.6f, "
+        "\"full_normalize_seconds\": %.6f, \"speedup\": %.2f, "
+        "\"relations\": %zu, \"schema_matches\": %s}%s\n",
+        r.threads, r.renormalize_seconds, r.full_normalize_seconds,
+        r.speedup, r.relations, r.schema_matches ? "true" : "false",
+        i + 1 < renorm.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  bool quick = args.Has("quick");
+  double scale = args.GetDouble("scale", quick ? 0.2 : 1.0);
+  int max_lhs = args.GetInt("max-lhs", 2);
+  size_t batches =
+      static_cast<size_t>(args.GetInt("batches", quick ? 8 : 32));
+
+  std::cout << "=== Incremental FD maintenance under churn (src/live/) ===\n";
+  RelationData universal =
+      GenerateTpchLike(TpchScale{}.Scaled(scale)).universal;
+  std::cout << "dataset: tpch_universal rows=" << universal.num_rows()
+            << " columns=" << universal.num_columns()
+            << " max_lhs=" << max_lhs << " batches=" << batches << "\n\n";
+
+  std::vector<size_t> batch_sizes =
+      quick ? std::vector<size_t>{64} : std::vector<size_t>{16, 64, 256};
+  std::vector<int> thread_counts = quick ? std::vector<int>{1}
+                                         : std::vector<int>{1, 8};
+
+  std::vector<ChurnResult> churn;
+  TablePrinter table({"batch", "threads", "ops", "updates/s", "batch ms",
+                      "rerun s", "speedup", "fds", "exact"});
+  for (size_t batch_size : batch_sizes) {
+    for (int threads : thread_counts) {
+      ChurnResult r =
+          RunChurn(universal, batch_size, threads, batches, max_lhs);
+      churn.push_back(r);
+      table.AddRow({std::to_string(r.batch_size), std::to_string(r.threads),
+                    std::to_string(r.ops),
+                    FormatDouble(r.updates_per_sec, 1),
+                    FormatDouble(r.avg_batch_ms, 3),
+                    FormatDouble(r.full_rerun_seconds, 3),
+                    FormatDouble(r.speedup_vs_rerun, 1),
+                    std::to_string(r.final_fds),
+                    r.cover_matches_oneshot ? "yes" : "NO"});
+    }
+  }
+  table.Print();
+
+  std::cout << "\n=== Re-normalization latency (maintained cover vs. full "
+               "pipeline) ===\n";
+  // Re-create the final churned state once (deterministic stream) and
+  // normalize it both ways.
+  LiveRelation live(universal);
+  DeltaFdMaintainerOptions moptions;
+  moptions.max_lhs_size = max_lhs;
+  DeltaFdMaintainer maintainer(&live, moptions);
+  std::vector<RenormalizeResult> renorm;
+  if (Status init = maintainer.Initialize(); init.ok()) {
+    UpdateStreamSpec spec;
+    spec.batch_size = batch_sizes.back();
+    UpdateStreamGenerator stream(universal, spec);
+    bool stream_ok = true;
+    for (size_t b = 0; b < batches; ++b) {
+      if (Status s = maintainer.ApplyBatch(stream.NextBatch(live)); !s.ok()) {
+        std::cerr << "ApplyBatch failed: " << s.ToString() << "\n";
+        stream_ok = false;
+        break;
+      }
+    }
+    if (stream_ok) {
+      TablePrinter rtable({"threads", "renorm s", "full s", "speedup",
+                           "relations", "schema match"});
+      for (int threads : thread_counts) {
+        RenormalizeResult r = RunRenormalize(
+            live, maintainer.snapshot()->cover, threads, max_lhs);
+        renorm.push_back(r);
+        rtable.AddRow({std::to_string(r.threads),
+                       FormatDouble(r.renormalize_seconds, 3),
+                       FormatDouble(r.full_normalize_seconds, 3),
+                       FormatDouble(r.speedup, 1),
+                       std::to_string(r.relations),
+                       r.schema_matches ? "yes" : "NO"});
+      }
+      rtable.Print();
+    }
+  } else {
+    std::cerr << "maintainer Initialize failed\n";
+  }
+
+  WriteChurnJson(args.Get("json", "BENCH_churn.json"), universal, max_lhs,
+                 churn, renorm);
+
+  // Report-only correctness signal for the perf-smoke artifact: flag any
+  // divergence loudly in the exit code so a human looks at it.
+  for (const ChurnResult& r : churn) {
+    if (!r.cover_matches_oneshot) {
+      std::cerr << "maintained cover diverged from one-shot discovery\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "datagen/update_stream.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace normalize {
+
+UpdateStreamGenerator::UpdateStreamGenerator(const RelationData& initial,
+                                             UpdateStreamSpec spec)
+    : spec_(spec), rng_(spec.seed) {
+  nurand_c_ = rng_.Uniform(0, spec_.nurand_a);
+  int n = initial.num_columns();
+  pools_.resize(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    std::unordered_set<std::string> seen;
+    for (size_t r = 0; r < initial.num_rows(); ++r) {
+      std::string value(initial.column(c).ValueAt(r));
+      if (seen.insert(value).second) {
+        pools_[static_cast<size_t>(c)].push_back(std::move(value));
+      }
+    }
+    // A pool is never empty: rows are generated even for an empty seed.
+    if (pools_[static_cast<size_t>(c)].empty()) {
+      pools_[static_cast<size_t>(c)].push_back("v0");
+    }
+  }
+}
+
+size_t UpdateStreamGenerator::NurandIndex(size_t n) {
+  if (n <= 1) return 0;
+  int64_t limit = static_cast<int64_t>(n);
+  int64_t windowed = rng_.Uniform(0, spec_.nurand_a);
+  int64_t uniform = rng_.Uniform(0, limit - 1);
+  return static_cast<size_t>(((windowed | uniform) + nurand_c_) % limit);
+}
+
+std::vector<std::string> UpdateStreamGenerator::MakeRow() {
+  std::vector<std::string> cells;
+  cells.reserve(pools_.size());
+  for (auto& pool : pools_) {
+    if (rng_.Chance(spec_.fresh_value_fraction)) {
+      cells.push_back("fresh_" + std::to_string(fresh_counter_++));
+    } else {
+      // Skewed pool draw: early (first-seen) values stay hot, mirroring the
+      // NURand row targeting on the value side.
+      cells.push_back(
+          pool[static_cast<size_t>(rng_.Skewed(
+              static_cast<int64_t>(pool.size())))]);
+    }
+  }
+  return cells;
+}
+
+LiveBatch UpdateStreamGenerator::NextBatch(const LiveRelation& relation) {
+  double mix = spec_.insert_fraction + spec_.update_fraction +
+               spec_.delete_fraction;
+  if (mix <= 0.0) mix = 1.0;
+  size_t updates = static_cast<size_t>(
+      static_cast<double>(spec_.batch_size) * spec_.update_fraction / mix);
+  size_t deletes = static_cast<size_t>(
+      static_cast<double>(spec_.batch_size) * spec_.delete_fraction / mix);
+
+  // Never drain the store: each batch keeps at least two live rows so FDs
+  // stay falsifiable. Shortfall becomes inserts.
+  size_t live = relation.live_rows();
+  size_t removable = live > 2 ? live - 2 : 0;
+  deletes = std::min(deletes, removable);
+  size_t targetable = std::min(updates + deletes, live);
+
+  LiveBatch batch;
+  std::unordered_set<RowId> targeted;
+  // One NURand draw per requested target; collisions within the batch are
+  // simply dropped (a row may be targeted at most once per batch), which
+  // preserves the draw sequence — and so determinism — independent of the
+  // collision pattern.
+  for (size_t i = 0; i < targetable; ++i) {
+    RowId target = relation.NthLiveRow(NurandIndex(live));
+    if (!targeted.insert(target).second) continue;
+    if (batch.deletes.size() < deletes) {
+      batch.deletes.push_back(target);
+    } else if (batch.updates.size() < updates) {
+      batch.updates.emplace_back(target, MakeRow());
+    }
+  }
+  while (batch.size() < spec_.batch_size) {
+    batch.inserts.push_back(MakeRow());
+  }
+  return batch;
+}
+
+}  // namespace normalize

@@ -1,0 +1,72 @@
+// Skewed update-stream generator for the incremental engine (src/live/):
+// produces insert/update/delete batches against a mutating LiveRelation,
+// with TPC-C-style NURand target selection — the first slice of the
+// ROADMAP's TPC-C-like transactional workload. Hot rows are hit far more
+// often than cold ones (the classic non-uniform access pattern incremental
+// maintenance must survive), and the whole stream is a deterministic
+// function of (initial instance, spec): same seed, same batches, byte for
+// byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "live/live_relation.hpp"
+#include "relation/relation_data.hpp"
+
+namespace normalize {
+
+struct UpdateStreamSpec {
+  /// Operations per generated batch (split by the fractions below; inserts
+  /// absorb rounding).
+  size_t batch_size = 64;
+  /// Operation mix. Fractions are normalized over their sum; when the
+  /// relation runs low on live rows, updates/deletes degrade to inserts so
+  /// a batch never empties the store.
+  double insert_fraction = 0.5;
+  double update_fraction = 0.3;
+  double delete_fraction = 0.2;
+  /// TPC-C NURand window parameter A: targets concentrate on roughly A+1
+  /// hot positions of the live-row order. Use a (power of two) - 1.
+  int64_t nurand_a = 255;
+  /// Probability that a generated cell is a fresh, never-seen value instead
+  /// of a skewed draw from the column's observed pool. Fresh values create
+  /// FD violations; pool values create agreeing pairs.
+  double fresh_value_fraction = 0.15;
+  uint64_t seed = 42;
+};
+
+/// Generates batches against the *current* live state of a relation; the
+/// caller applies each batch (LiveRelation::Apply or through a
+/// DeltaFdMaintainer) before requesting the next.
+class UpdateStreamGenerator {
+ public:
+  /// Builds per-column value pools from the initial instance's cells.
+  UpdateStreamGenerator(const RelationData& initial, UpdateStreamSpec spec);
+
+  /// The next batch. Delete/update targets are NURand-skewed positions of
+  /// `relation`'s live-row order, deduplicated within the batch; insert and
+  /// update rows mix pool values with fresh ones per the spec.
+  LiveBatch NextBatch(const LiveRelation& relation);
+
+  /// The TPC-C non-uniform random index in [0, n):
+  /// ((random(0, A) | random(0, n-1)) + C) mod n. Exposed for the skew
+  /// tests.
+  size_t NurandIndex(size_t n);
+
+ private:
+  std::vector<std::string> MakeRow();
+
+  UpdateStreamSpec spec_;
+  Rng rng_;
+  /// The per-run NURand constant C (TPC-C draws it once per run).
+  int64_t nurand_c_;
+  /// Observed values per column, deduplicated, in first-seen row order.
+  std::vector<std::vector<std::string>> pools_;
+  /// Monotonic counter making fresh values unique across the stream.
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace normalize

@@ -1,0 +1,320 @@
+#include "live/delta_fd_maintainer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/thread_pool.hpp"
+#include "discovery/discovery_util.hpp"
+#include "discovery/hyfd.hpp"
+#include "discovery/induction.hpp"
+
+namespace normalize {
+
+namespace {
+
+struct CodeVecHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    size_t h = 1469598103934665603ull;
+    for (ValueId x : v) {
+      h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+void SeedFullCover(FdTree* tree) {
+  AttributeSet empty(tree->num_attributes());
+  for (AttributeId a = 0; a < tree->num_attributes(); ++a) {
+    tree->AddFd(empty, a);
+  }
+}
+
+}  // namespace
+
+DeltaFdMaintainer::DeltaFdMaintainer(LiveRelation* relation,
+                                     DeltaFdMaintainerOptions options)
+    : relation_(relation),
+      options_(options),
+      tree_(relation->num_columns()) {
+  if (options_.pool == nullptr && options_.threads != 1) {
+    own_pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+}
+
+DeltaFdMaintainer::~DeltaFdMaintainer() = default;
+
+Status DeltaFdMaintainer::Initialize() {
+  int n = relation_->num_columns();
+  tree_ = FdTree(n);
+  SeedFullCover(&tree_);
+  evidence_.clear();
+  unwitnessed_refutations_ = false;
+  stats_ = Stats{};
+
+  if (options_.hyfd_bootstrap && relation_->live_rows() >= 2) {
+    // Seed the candidate tree with a HyFd run's negative cover over the
+    // initial instance: its evidence fully determines the tree it reached
+    // (fd_discovery.hpp), so the bootstrap sweep below mostly confirms
+    // already-exact candidates instead of refuting from {} -> A. The agree
+    // sets are attribute sets in local column space — they transfer from the
+    // materialized copy verbatim — but they carry no live witness pair, so
+    // they only shape the tree and never enter evidence_.
+    FdDiscoveryOptions dopts;
+    dopts.max_lhs_size = options_.max_lhs_size;
+    dopts.threads = options_.threads;
+    dopts.pool = options_.pool != nullptr ? options_.pool : own_pool_.get();
+    HyFd bootstrap(dopts);
+    RelationData initial = relation_->Materialize();
+    Result<FdSet> discovered = bootstrap.Discover(initial);
+    if (!discovered.ok()) return discovered.status();
+    std::vector<AttributeSet> seeds = bootstrap.ExportEvidence();
+    for (const AttributeSet& agree : seeds) {
+      InduceFromAgreeSet(&tree_, agree, options_.max_lhs_size);
+    }
+    unwitnessed_refutations_ = !seeds.empty();
+  }
+
+  Status swept = RunSweep(nullptr, std::vector<RowId>());
+  if (!swept.ok()) return swept;
+  ++stats_.batches_applied;
+  Publish();
+  return Status::OK();
+}
+
+Status DeltaFdMaintainer::ApplyBatch(const LiveBatch& batch) {
+  Result<BatchDelta> applied = relation_->Apply(batch);
+  if (!applied.ok()) return applied.status();
+  const BatchDelta& delta = *applied;
+
+  // The pre-batch cover: every member was validated against the pre-batch
+  // instance, so during the sweep it is either carried (delete-only batch)
+  // or re-checked with a guided probe. Snapshotted up front because tree_
+  // mutates as the sweep specializes.
+  FdTree old_valid(relation_->num_columns());
+  for (const Fd& fd : tree_.CollectAllFds()) {
+    for (AttributeId a : fd.rhs) old_valid.AddFd(fd.lhs, a);
+  }
+
+  if (!delta.deleted.empty()) {
+    // Deletes can only validate. Drop evidence whose witness pair died —
+    // its g3-style support is gone, the agree set may no longer be real —
+    // and re-induce the tree from the surviving negative cover; only the
+    // candidates that newly appear (generalizations freed by the dropped
+    // refutations) miss from old_valid and get revalidated below.
+    size_t dropped = 0;
+    for (auto it = evidence_.begin(); it != evidence_.end();) {
+      if (!relation_->IsLive(it->second.first) ||
+          !relation_->IsLive(it->second.second)) {
+        it = evidence_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    stats_.evidence_dropped += dropped;
+    if (dropped > 0 || unwitnessed_refutations_) {
+      RebuildTreeFromEvidence();
+      unwitnessed_refutations_ = false;
+    }
+  }
+
+  Status swept = RunSweep(&old_valid, delta.inserted);
+  if (!swept.ok()) return swept;
+  ++stats_.batches_applied;
+  Publish();
+  return Status::OK();
+}
+
+std::shared_ptr<const CoverSnapshot> DeltaFdMaintainer::snapshot() const {
+  MutexLock lock(mu_);
+  return published_;
+}
+
+std::optional<std::pair<RowId, RowId>> DeltaFdMaintainer::FullValidate(
+    const std::vector<AttributeId>& lhs_attrs, AttributeId rhs) const {
+  size_t total = relation_->total_rows();
+  if (lhs_attrs.empty()) {
+    // {} -> A holds iff A is constant over the live rows.
+    bool have_first = false;
+    RowId first = 0;
+    ValueId first_code = 0;
+    for (size_t r = 0; r < total; ++r) {
+      RowId row = static_cast<RowId>(r);
+      if (!relation_->IsLive(row)) continue;
+      ValueId code = relation_->code(rhs, row);
+      if (!have_first) {
+        have_first = true;
+        first = row;
+        first_code = code;
+      } else if (code != first_code) {
+        return std::make_pair(first, row);
+      }
+    }
+    return std::nullopt;
+  }
+  // One hash scan over the live rows in ascending id order: group by LHS
+  // codes, remember each group's first row and its RHS code, report the
+  // first disagreement. Deterministic function of the store alone.
+  std::unordered_map<std::vector<ValueId>, std::pair<RowId, ValueId>,
+                     CodeVecHash>
+      groups;
+  std::vector<ValueId> key(lhs_attrs.size());
+  for (size_t r = 0; r < total; ++r) {
+    RowId row = static_cast<RowId>(r);
+    if (!relation_->IsLive(row)) continue;
+    for (size_t k = 0; k < lhs_attrs.size(); ++k) {
+      key[k] = relation_->code(lhs_attrs[k], row);
+    }
+    ValueId rhs_code = relation_->code(rhs, row);
+    auto [it, is_new] = groups.emplace(key, std::make_pair(row, rhs_code));
+    if (!is_new && it->second.second != rhs_code) {
+      return std::make_pair(it->second.first, row);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<RowId, RowId>> DeltaFdMaintainer::GuidedValidate(
+    const std::vector<AttributeId>& lhs_attrs, AttributeId rhs,
+    const std::vector<RowId>& inserted) const {
+  if (lhs_attrs.empty()) {
+    // The whole-relation group; the full constant check is already one
+    // early-exiting column scan.
+    return FullValidate(lhs_attrs, rhs);
+  }
+  // The candidate held before the batch and surviving rows are unchanged,
+  // so a new violation must involve an inserted row: probe each inserted
+  // row's smallest LHS cluster for a live partner agreeing on the whole LHS
+  // but not on the RHS.
+  for (RowId t : inserted) {
+    AttributeId pivot = lhs_attrs[0];
+    size_t pivot_size = relation_->column_index(pivot).ClusterSizeOf(t);
+    for (AttributeId c : lhs_attrs) {
+      size_t size = relation_->column_index(c).ClusterSizeOf(t);
+      if (size < pivot_size) {
+        pivot_size = size;
+        pivot = c;
+      }
+    }
+    const std::vector<RowId>& cluster =
+        relation_->column_index(pivot).Cluster(relation_->code(pivot, t));
+    ValueId t_rhs = relation_->code(rhs, t);
+    for (RowId r : cluster) {
+      if (r == t) continue;
+      bool agrees = true;
+      for (AttributeId c : lhs_attrs) {
+        if (c == pivot) continue;
+        if (relation_->code(c, r) != relation_->code(c, t)) {
+          agrees = false;
+          break;
+        }
+      }
+      if (agrees && relation_->code(rhs, r) != t_rhs) {
+        return std::make_pair(std::min(t, r), std::max(t, r));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Status DeltaFdMaintainer::RunSweep(const FdTree* old_valid,
+                                   const std::vector<RowId>& inserted) {
+  ThreadPool* pool =
+      options_.pool != nullptr ? options_.pool : own_pool_.get();
+  int n = relation_->num_columns();
+  int max_level =
+      options_.max_lhs_size > 0 ? std::min(options_.max_lhs_size, n) : n;
+  for (int level = 0; level <= max_level; ++level) {
+    std::vector<Fd> level_fds = tree_.GetLevel(level);
+    if (level_fds.empty()) continue;
+    std::vector<Unit> units;
+    for (const Fd& fd : level_fds) {
+      for (AttributeId rhs : fd.rhs) {
+        bool was_valid =
+            old_valid != nullptr && old_valid->ContainsFd(fd.lhs, rhs);
+        if (was_valid && inserted.empty()) {
+          // Deletes only shrink evidence: a pre-batch-valid FD stays valid
+          // with no scan at all.
+          ++stats_.carried_valid;
+          continue;
+        }
+        Unit unit;
+        unit.lhs = fd.lhs;
+        unit.lhs_attrs = fd.lhs.ToVector();
+        unit.rhs = rhs;
+        unit.guided = was_valid;
+        if (was_valid) {
+          ++stats_.guided_probes;
+        } else {
+          ++stats_.full_validations;
+        }
+        units.push_back(std::move(unit));
+      }
+    }
+    if (units.empty()) continue;
+
+    // Each probe is a pure read of the (quiescent) store writing one
+    // disjoint slot; violations then apply serially in unit order. Both
+    // together make the maintained state bit-identical at any thread count.
+    std::vector<std::optional<std::pair<RowId, RowId>>> hits(units.size());
+    Status ran = ParallelFor(pool, units.size(), [&](size_t i) {
+      const Unit& unit = units[i];
+      hits[i] = unit.guided ? GuidedValidate(unit.lhs_attrs, unit.rhs, inserted)
+                            : FullValidate(unit.lhs_attrs, unit.rhs);
+    });
+    if (!ran.ok()) return ran;
+
+    for (size_t i = 0; i < units.size(); ++i) {
+      if (!hits[i].has_value()) continue;
+      ++stats_.violations;
+      AttributeSet agree =
+          relation_->AgreeSet(hits[i]->first, hits[i]->second);
+      // Keep the first witness per agree set; a later duplicate changes
+      // nothing (the tree is already consistent with the evidence).
+      evidence_.emplace(agree, *hits[i]);
+      // Apply the full evidence (every RHS outside the agree set), exactly
+      // like negative-cover induction: tree_ then stays the pure function
+      // Induce(evidence_) that RebuildTreeFromEvidence reproduces.
+      InduceFromAgreeSet(&tree_, agree, options_.max_lhs_size);
+    }
+  }
+  return Status::OK();
+}
+
+void DeltaFdMaintainer::RebuildTreeFromEvidence() {
+  tree_ = FdTree(relation_->num_columns());
+  SeedFullCover(&tree_);
+  std::vector<AttributeSet> keys;
+  keys.reserve(evidence_.size());
+  for (const auto& [agree, witness] : evidence_) keys.push_back(agree);
+  // Canonical order so the rebuilt tree's node layout is independent of the
+  // hash map's iteration order (the induced FD set itself is already
+  // order-independent).
+  std::sort(keys.begin(), keys.end());
+  for (const AttributeSet& agree : keys) {
+    InduceFromAgreeSet(&tree_, agree, options_.max_lhs_size);
+  }
+  ++stats_.tree_rebuilds;
+}
+
+void DeltaFdMaintainer::Publish() {
+  // Minimize a scratch copy (tree_ must keep being Induce(evidence_)) and
+  // remap through the same tail as one-shot discovery; RemapToGlobal
+  // aggregates and sorts, so the snapshot is canonical.
+  FdTree minimal(relation_->num_columns());
+  for (const Fd& fd : tree_.CollectAllFds()) {
+    for (AttributeId a : fd.rhs) minimal.AddFd(fd.lhs, a);
+  }
+  MinimizeCover(&minimal);
+  auto snap = std::make_shared<CoverSnapshot>();
+  snap->epoch = epoch_ + 1;
+  snap->live_rows = relation_->live_rows();
+  snap->cover = RemapToGlobal(minimal.CollectAllFds(), relation_->data());
+  ++epoch_;
+  stats_.witnessed_evidence = evidence_.size();
+  MutexLock lock(mu_);
+  published_ = std::move(snap);
+}
+
+}  // namespace normalize

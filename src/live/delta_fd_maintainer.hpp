@@ -1,0 +1,178 @@
+// DeltaFdMaintainer: keeps the minimal FD cover of a LiveRelation
+// continuously exact under insert/update/delete batches — the incremental
+// maintenance core the future normalization daemon sits on. After every
+// applied batch the maintained cover is bit-identical to one-shot discovery
+// on the materialized live rows, at a fraction of the cost: only the lattice
+// region a batch actually touched is re-examined.
+//
+// The delta argument, per mutation direction:
+//
+//   Inserts can only *invalidate* FDs (agree-set evidence grows, validity
+//   shrinks). Every old pair of surviving rows is unchanged, so an FD that
+//   held before the batch can only be broken by a pair involving an inserted
+//   row — cover members are therefore re-checked with a *guided* probe that
+//   scans each inserted row's smallest LHS cluster (served by the
+//   delta-maintained MutableColumnPli indexes) instead of the whole store.
+//   Violations feed the existing HyFD induction path (SpecializeCover), and
+//   only the specialized candidates — the affected lattice region — get a
+//   full validation.
+//
+//   Deletes can only *validate* FDs (evidence shrinks). The maintainer
+//   stores every agree set it has ever applied together with a witness row
+//   pair — a g3-style violation support in the spirit of
+//   normalize/constraint_monitor and fd/approximate: evidence is real
+//   exactly while its witness pair is live (its g3 contribution is > 0).
+//   A delete batch drops evidence whose witness died, marks the refutations
+//   that depended on it stale, and lazily revalidates just those candidates:
+//   the tree is re-induced from the surviving (still-witnessed) negative
+//   cover, candidates equal to previously valid cover members are carried
+//   over without a scan (deletes preserve validity), and only the newly
+//   optimistic generalizations are validated against the store.
+//
+//   Updates are delete(old version) + insert(new version) in one batch;
+//   both passes above run once, over the combined delta.
+//
+// Covers are published under epoch/snapshot semantics: readers obtain an
+// immutable shared snapshot (schema/cover/advisor queries never observe a
+// half-updated cover) while ApplyBatch() swaps in the next epoch atomically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/attribute_set.hpp"
+#include "common/mutex.hpp"
+#include "common/result.hpp"
+#include "fd/fd.hpp"
+#include "fd/fd_tree.hpp"
+#include "live/live_relation.hpp"
+
+namespace normalize {
+
+class ThreadPool;
+
+/// One published cover: immutable once returned from snapshot(), shared by
+/// any number of concurrent readers.
+struct CoverSnapshot {
+  /// Monotonic publication counter; epoch e+1 reflects exactly one more
+  /// applied batch than epoch e.
+  uint64_t epoch = 0;
+  /// Live rows at publication time.
+  size_t live_rows = 0;
+  /// The minimal cover in global attribute space, aggregated and sorted —
+  /// the same form one-shot discovery returns.
+  FdSet cover;
+};
+
+struct DeltaFdMaintainerOptions {
+  /// Maximum LHS size, as FdDiscoveryOptions::max_lhs_size. The equivalence
+  /// guarantee is against one-shot discovery under the same bound.
+  int max_lhs_size = -1;
+  /// Worker threads for the validation sweeps: <= 1 is serial; an external
+  /// `pool` takes precedence. The maintained cover is bit-identical at
+  /// every thread count — probes are pure reads with disjoint result slots
+  /// and violations apply in snapshot order.
+  int threads = 1;
+  ThreadPool* pool = nullptr;
+  /// Bootstrap the negative cover from a HyFd run over the initial instance
+  /// (cheap sampling evidence) instead of refuting from scratch. Seeded
+  /// refutations carry no witness, so the first batch containing deletes
+  /// forces one full tree re-induction; afterwards all evidence is
+  /// witnessed and delete handling is incremental.
+  bool hyfd_bootstrap = true;
+};
+
+class DeltaFdMaintainer {
+ public:
+  struct Stats {
+    uint64_t batches_applied = 0;
+    /// Probe counts, cumulative over all sweeps (bootstrap included).
+    size_t full_validations = 0;
+    size_t guided_probes = 0;
+    /// Cover members carried over without any scan (delete-only batches).
+    size_t carried_valid = 0;
+    size_t violations = 0;
+    /// Witnessed evidence entries dropped because a witness row died.
+    size_t evidence_dropped = 0;
+    /// Tree re-inductions from the surviving negative cover.
+    size_t tree_rebuilds = 0;
+    /// Current witnessed negative-cover size.
+    size_t witnessed_evidence = 0;
+  };
+
+  /// The relation must outlive the maintainer. Call Initialize() before the
+  /// first ApplyBatch().
+  explicit DeltaFdMaintainer(LiveRelation* relation,
+                             DeltaFdMaintainerOptions options = {});
+  ~DeltaFdMaintainer();
+
+  /// Bootstraps the cover for the relation's current contents and publishes
+  /// epoch 1. Idempotent only in the sense that calling it again rebuilds
+  /// from scratch.
+  Status Initialize();
+
+  /// Applies the batch to the store, maintains the cover, and publishes the
+  /// next epoch. On a batch validation error (kInvalidArgument) neither the
+  /// store nor the cover changes.
+  Status ApplyBatch(const LiveBatch& batch);
+
+  /// The latest published cover. Never null after Initialize(); safe to
+  /// call from any thread concurrently with ApplyBatch().
+  std::shared_ptr<const CoverSnapshot> snapshot() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Unit {
+    AttributeSet lhs;
+    std::vector<AttributeId> lhs_attrs;
+    AttributeId rhs;
+    bool guided = false;  // probe only pairs involving inserted rows
+  };
+
+  /// Full validation of lhs -> rhs over all live rows: one hash scan,
+  /// first violating pair in ascending row order, or nullopt.
+  std::optional<std::pair<RowId, RowId>> FullValidate(
+      const std::vector<AttributeId>& lhs_attrs, AttributeId rhs) const;
+
+  /// Guided probe: a violating pair involving at least one row of
+  /// `inserted`, found through the smallest LHS cluster index.
+  std::optional<std::pair<RowId, RowId>> GuidedValidate(
+      const std::vector<AttributeId>& lhs_attrs, AttributeId rhs,
+      const std::vector<RowId>& inserted) const;
+
+  /// Level-wise validation of the candidate tree. `old_valid` holds the
+  /// pre-batch cover (carried-valid skips); `inserted` drives the guided
+  /// probes (empty = deletes only, old members skip entirely).
+  Status RunSweep(const FdTree* old_valid, const std::vector<RowId>& inserted);
+
+  /// Re-induces tree_ from the witnessed evidence (canonical order).
+  void RebuildTreeFromEvidence();
+
+  void Publish();
+
+  LiveRelation* relation_;
+  DeltaFdMaintainerOptions options_;
+  /// Owned worker pool when `options_.threads` asks for parallelism and no
+  /// external pool was supplied.
+  std::unique_ptr<ThreadPool> own_pool_;
+  FdTree tree_;
+  /// Witnessed negative cover: agree set -> one live row pair realizing it.
+  /// The map owns the maintainer's delete-side exactness: an entry is
+  /// guaranteed-real while both witness rows live.
+  std::unordered_map<AttributeSet, std::pair<RowId, RowId>> evidence_;
+  /// The bootstrap seeded refutations that are not in evidence_; the next
+  /// delete batch must rebuild unconditionally (see hyfd_bootstrap).
+  bool unwitnessed_refutations_ = false;
+  Stats stats_;
+  uint64_t epoch_ = 0;
+
+  mutable Mutex mu_;
+  std::shared_ptr<const CoverSnapshot> published_ NORMALIZE_GUARDED_BY(mu_);
+};
+
+}  // namespace normalize

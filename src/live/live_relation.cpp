@@ -1,0 +1,135 @@
+#include "live/live_relation.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace normalize {
+
+LiveRelation::LiveRelation(const RelationData& initial) : data_(initial) {
+  // The copy shares `initial`'s value dictionaries (Column holds them by
+  // shared_ptr), so codes stay comparable with relations derived from it.
+  size_t rows = data_.num_rows();
+  int n = data_.num_columns();
+  live_.assign(rows, 1);
+  live_list_.resize(rows);
+  live_pos_.resize(rows);
+  indexes_.resize(static_cast<size_t>(n));
+  for (size_t r = 0; r < rows; ++r) {
+    live_list_[r] = static_cast<RowId>(r);
+    live_pos_[r] = static_cast<uint32_t>(r);
+    for (int c = 0; c < n; ++c) {
+      indexes_[static_cast<size_t>(c)].Insert(static_cast<RowId>(r),
+                                              data_.column(c).code(r));
+    }
+  }
+}
+
+std::vector<RowId> LiveRelation::LiveRowIds() const {
+  std::vector<RowId> ids = live_list_;
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void LiveRelation::AppendLiveRow(const std::vector<std::string>& cells) {
+  RowId row = static_cast<RowId>(data_.num_rows());
+  data_.AppendRow(cells);
+  live_.push_back(1);
+  live_pos_.push_back(static_cast<uint32_t>(live_list_.size()));
+  live_list_.push_back(row);
+  for (int c = 0; c < data_.num_columns(); ++c) {
+    indexes_[static_cast<size_t>(c)].Insert(row, data_.column(c).code(row));
+  }
+}
+
+void LiveRelation::KillRow(RowId row) {
+  live_[static_cast<size_t>(row)] = 0;
+  uint32_t pos = live_pos_[static_cast<size_t>(row)];
+  RowId moved = live_list_.back();
+  live_list_[pos] = moved;
+  live_pos_[static_cast<size_t>(moved)] = pos;
+  live_list_.pop_back();
+  for (auto& index : indexes_) index.Erase(row);
+}
+
+Result<BatchDelta> LiveRelation::Apply(const LiveBatch& batch) {
+  size_t cols = static_cast<size_t>(data_.num_columns());
+  // Validate everything up front so a bad batch leaves the store untouched.
+  std::unordered_set<RowId> targets;
+  for (RowId row : batch.deletes) {
+    if (!IsLive(row)) {
+      return Status::InvalidArgument("delete of non-live row " +
+                                     std::to_string(row));
+    }
+    if (!targets.insert(row).second) {
+      return Status::InvalidArgument("row " + std::to_string(row) +
+                                     " targeted twice in one batch");
+    }
+  }
+  for (const auto& [row, cells] : batch.updates) {
+    if (!IsLive(row)) {
+      return Status::InvalidArgument("update of non-live row " +
+                                     std::to_string(row));
+    }
+    if (!targets.insert(row).second) {
+      return Status::InvalidArgument("row " + std::to_string(row) +
+                                     " targeted twice in one batch");
+    }
+    if (cells.size() != cols) {
+      return Status::InvalidArgument("update row has " +
+                                     std::to_string(cells.size()) +
+                                     " cells, relation has " +
+                                     std::to_string(cols) + " columns");
+    }
+  }
+  for (const auto& cells : batch.inserts) {
+    if (cells.size() != cols) {
+      return Status::InvalidArgument("insert row has " +
+                                     std::to_string(cells.size()) +
+                                     " cells, relation has " +
+                                     std::to_string(cols) + " columns");
+    }
+  }
+
+  BatchDelta delta;
+  for (RowId row : batch.deletes) {
+    KillRow(row);
+    delta.deleted.push_back(row);
+  }
+  for (const auto& [row, cells] : batch.updates) {
+    KillRow(row);
+    delta.deleted.push_back(row);
+    delta.inserted.push_back(static_cast<RowId>(data_.num_rows()));
+    AppendLiveRow(cells);
+  }
+  for (const auto& cells : batch.inserts) {
+    delta.inserted.push_back(static_cast<RowId>(data_.num_rows()));
+    AppendLiveRow(cells);
+  }
+  return delta;
+}
+
+AttributeSet LiveRelation::AgreeSet(RowId r1, RowId r2) const {
+  int n = data_.num_columns();
+  AttributeSet s(n);
+  for (int c = 0; c < n; ++c) {
+    if (data_.column(c).code(r1) == data_.column(c).code(r2)) s.Set(c);
+  }
+  return s;
+}
+
+RelationData LiveRelation::Materialize(const std::string& name) const {
+  RelationData out = RelationData::EmptyLike(
+      data_, name.empty() ? data_.name() : name);
+  int n = data_.num_columns();
+  std::vector<ValueId> codes(static_cast<size_t>(n));
+  for (size_t r = 0; r < data_.num_rows(); ++r) {
+    if (live_[r] == 0) continue;
+    for (int c = 0; c < n; ++c) {
+      codes[static_cast<size_t>(c)] = data_.column(c).code(r);
+    }
+    out.AppendRowCodes(codes);
+  }
+  return out;
+}
+
+}  // namespace normalize

@@ -1,0 +1,135 @@
+// LiveRelation: the mutable store of the incremental normalization engine
+// (the ROADMAP's "normalization-as-a-service" substrate). It wraps the
+// dictionary-encoded columnar store in an append-only row log with a
+// liveness mask and accepts insert/update/delete batches; single-column
+// position indexes (pli/MutableColumnPli) are maintained per batch as
+// cluster deltas instead of partition rebuilds, so violation probes and
+// stripped-PLI materialization stay cheap under churn.
+//
+// Row identity: Apply() assigns every inserted row a stable RowId (its index
+// in the append-only log) that is never reused; deletes only flip liveness.
+// Updates are full-row replacements = delete(old) + insert(new), so an
+// updated row gets a fresh id — exactly the version discipline the delta FD
+// maintainer's witnessed evidence relies on (a witness row id either stays
+// live with unchanged values or is dead, never silently mutated).
+//
+// Concurrency contract (phase discipline, not locks — see
+// common/thread_annotations.hpp): Apply() is single-writer; the const read
+// surface (codes, clusters, Materialize) may be used by any number of
+// threads only while no Apply() runs. DeltaFdMaintainer enforces this by
+// running its read-only validation sweeps strictly between mutations and
+// publishing covers through an epoch snapshot readers consume instead of
+// touching the store.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/attribute_set.hpp"
+#include "common/result.hpp"
+#include "pli/pli.hpp"
+#include "relation/relation_data.hpp"
+
+namespace normalize {
+
+/// One batch of mutations, applied atomically with respect to the published
+/// cover: readers either see the cover before the whole batch or after it.
+/// Cells are taken verbatim (the empty string is the empty string, not
+/// NULL), matching RelationData::AppendRow(cells).
+struct LiveBatch {
+  /// New rows (one cell per column, relation column order).
+  std::vector<std::vector<std::string>> inserts;
+  /// Full-row replacements of live rows: the target is deleted and the new
+  /// version appended under a fresh RowId.
+  std::vector<std::pair<RowId, std::vector<std::string>>> updates;
+  /// Live rows to delete.
+  std::vector<RowId> deletes;
+
+  bool empty() const {
+    return inserts.empty() && updates.empty() && deletes.empty();
+  }
+  size_t size() const {
+    return inserts.size() + updates.size() + deletes.size();
+  }
+};
+
+/// What one Apply() call changed, in application order: all row ids that
+/// died (explicit deletes, then the old versions of updates) and all row ids
+/// that were born (update replacements, then inserts).
+struct BatchDelta {
+  std::vector<RowId> deleted;
+  std::vector<RowId> inserted;
+};
+
+class LiveRelation {
+ public:
+  /// Seeds the store with an initial instance (copied; value dictionaries
+  /// are shared with the copy, so codes agree with relations derived from
+  /// `initial`). All initial rows are live.
+  explicit LiveRelation(const RelationData& initial);
+
+  /// The append-only backing store, dead rows included. Row ids index into
+  /// it; attribute ids / universe metadata are the initial relation's.
+  const RelationData& data() const { return data_; }
+  int num_columns() const { return data_.num_columns(); }
+  /// Rows ever appended, dead ones included (the RowId space).
+  size_t total_rows() const { return data_.num_rows(); }
+  size_t live_rows() const { return live_list_.size(); }
+
+  bool IsLive(RowId row) const {
+    return static_cast<size_t>(row) < live_.size() &&
+           live_[static_cast<size_t>(row)] != 0;
+  }
+  ValueId code(int column, RowId row) const {
+    return data_.column(column).code(row);
+  }
+
+  /// The k-th live row under the engine's internal O(1) order (perturbed by
+  /// deletions, deterministic for a given mutation history). The NURand
+  /// update-stream applier resolves its skewed target indexes through this.
+  RowId NthLiveRow(size_t k) const { return live_list_[k]; }
+  /// All live row ids, ascending.
+  std::vector<RowId> LiveRowIds() const;
+
+  /// Applies one batch: deletes first, then updates (delete old + append new
+  /// version), then inserts. Fails with kInvalidArgument — leaving the store
+  /// untouched — when a target row is not live, is named twice, or a new row
+  /// has the wrong arity. Returns the delta for the FD maintainer.
+  Result<BatchDelta> Apply(const LiveBatch& batch);
+
+  /// The delta-maintained position index of one column (all live rows,
+  /// singletons included).
+  const MutableColumnPli& column_index(int column) const {
+    return indexes_[static_cast<size_t>(column)];
+  }
+  /// Canonical stripped partition of one column over the live rows, served
+  /// from the maintained index (no rebuild). Row ids are this store's stable
+  /// ids, not materialized positions.
+  Pli ColumnPli(int column) const {
+    return indexes_[static_cast<size_t>(column)].ToStripped(total_rows());
+  }
+
+  /// Agree set of two (live) rows in local column space.
+  AttributeSet AgreeSet(RowId r1, RowId r2) const;
+
+  /// Compacts the live rows (ascending row id) into a standalone
+  /// RelationData sharing this store's dictionaries — the instance one-shot
+  /// discovery sees. The maintained cover is bit-identical to discovery on
+  /// this materialization; tests and the re-normalization path consume it.
+  RelationData Materialize(const std::string& name = "") const;
+
+ private:
+  void AppendLiveRow(const std::vector<std::string>& cells);
+  void KillRow(RowId row);
+
+  RelationData data_;
+  std::vector<char> live_;
+  /// Live row ids in internal order + each live row's index therein
+  /// (swap-remove on death), giving O(1) NthLiveRow and deletion.
+  std::vector<RowId> live_list_;
+  std::vector<uint32_t> live_pos_;
+  std::vector<MutableColumnPli> indexes_;
+};
+
+}  // namespace normalize

@@ -350,6 +350,26 @@ Status Normalizer::ApplyDiscoveryDegradation(
   return Status::OK();
 }
 
+Result<NormalizationResult> Normalizer::RenormalizeWithCover(
+    const RelationData& input, FdSet cover) {
+  Stopwatch total_watch;
+  NormalizationResult result;
+  // Same slicing as Normalize(): with sharding configured the decomposition
+  // loop stays out-of-core; the result is bit-identical either way.
+  std::vector<RelationData> input_shards;
+  if (options_.shard.shard_rows > 0) {
+    input_shards = SliceIntoShards(input, options_.shard.shard_rows);
+  } else {
+    input_shards.push_back(input);
+  }
+  // Discovery already happened (incrementally); its cost is reported as 0
+  // here — bench_churn charges maintenance per batch instead.
+  RecordDiscoveryStats(&result.stats, cover, 0.0, PhaseMetrics());
+  return FinishNormalization(input.name(), std::move(input_shards),
+                             std::move(cover), std::move(result), total_watch,
+                             options_.context);
+}
+
 Result<NormalizationResult> Normalizer::NormalizeCsvFile(
     const std::string& path, const CsvOptions& csv_options) {
   Stopwatch total_watch;

@@ -210,6 +210,17 @@ class Normalizer {
   /// Normalizes a single relational instance into the target normal form.
   Result<NormalizationResult> Normalize(const RelationData& input);
 
+  /// Components (2)-(7) on a pre-discovered minimal cover of `input` —
+  /// the re-normalization path of the incremental engine (src/live/): a
+  /// DeltaFdMaintainer keeps the cover exact under churn, and every
+  /// published epoch can be turned into a fresh normalized schema without
+  /// re-running discovery. `cover` must be the complete set of minimal FDs
+  /// of `input` in global attribute space (a CoverSnapshot::cover or any
+  /// Discover() result); the output is then identical to Normalize(input)
+  /// under the same options, minus the discovery time.
+  Result<NormalizationResult> RenormalizeWithCover(const RelationData& input,
+                                                   FdSet cover);
+
   /// Convenience: normalizes several independent instances.
   Result<std::vector<NormalizationResult>> NormalizeAll(
       const std::vector<RelationData>& inputs);

@@ -174,4 +174,55 @@ std::vector<Pli> IntersectAll(
   return results;
 }
 
+void MutableColumnPli::Insert(RowId row, ValueId code) {
+  size_t r = static_cast<size_t>(row);
+  size_t c = static_cast<size_t>(code);
+  if (r >= row_code_.size()) {
+    row_code_.resize(r + 1, -1);
+    row_pos_.resize(r + 1, 0);
+  }
+  if (c >= clusters_.size()) clusters_.resize(c + 1);
+  std::vector<RowId>& cluster = clusters_[c];
+  if (cluster.empty()) ++distinct_values_;
+  row_code_[r] = code;
+  row_pos_[r] = static_cast<uint32_t>(cluster.size());
+  cluster.push_back(row);
+  ++live_rows_;
+}
+
+void MutableColumnPli::Erase(RowId row) {
+  size_t r = static_cast<size_t>(row);
+  std::vector<RowId>& cluster = clusters_[static_cast<size_t>(row_code_[r])];
+  uint32_t pos = row_pos_[r];
+  RowId moved = cluster.back();
+  cluster[pos] = moved;
+  row_pos_[moved] = pos;
+  cluster.pop_back();
+  if (cluster.empty()) --distinct_values_;
+  row_code_[r] = -1;
+  --live_rows_;
+}
+
+const std::vector<RowId>& MutableColumnPli::Cluster(ValueId code) const {
+  static const std::vector<RowId> kEmpty;
+  size_t c = static_cast<size_t>(code);
+  return c < clusters_.size() ? clusters_[c] : kEmpty;
+}
+
+Pli MutableColumnPli::ToStripped(size_t num_rows) const {
+  std::vector<std::vector<RowId>> stripped;
+  for (const std::vector<RowId>& cluster : clusters_) {
+    if (cluster.size() < 2) continue;
+    std::vector<RowId> sorted = cluster;
+    std::sort(sorted.begin(), sorted.end());
+    stripped.push_back(std::move(sorted));
+  }
+  // Canonical order: by smallest member, independent of mutation history.
+  std::sort(stripped.begin(), stripped.end(),
+            [](const std::vector<RowId>& a, const std::vector<RowId>& b) {
+              return a.front() < b.front();
+            });
+  return Pli(std::move(stripped), num_rows);
+}
+
 }  // namespace normalize

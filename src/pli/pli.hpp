@@ -126,4 +126,59 @@ std::vector<Pli> IntersectAll(
     const std::vector<std::pair<const Pli*, const Pli*>>& pairs,
     ThreadPool* pool = nullptr);
 
+/// A delta-maintained single-column position index: code -> live rows, with
+/// O(1) Insert/Erase through a per-row position table (erase swap-removes
+/// inside the cluster, so cluster order is perturbed by deletions but fully
+/// determined by the mutation history). The live engine (src/live/) keeps
+/// one per column and applies per-batch cluster deltas instead of rebuilding
+/// the partition; ToStripped() materializes the classic stripped Pli over
+/// the live rows on demand.
+///
+/// Row ids are the owner's stable row ids (append-only, never reused); codes
+/// are the column's dictionary codes. Unlike Pli, singleton clusters are
+/// kept — the guided violation checks probe clusters of size 1 too.
+class MutableColumnPli {
+ public:
+  /// Adds a live row with its code. The row must not be present.
+  void Insert(RowId row, ValueId code);
+  /// Removes a present row (O(1), swap-remove within its cluster).
+  void Erase(RowId row);
+
+  bool Contains(RowId row) const {
+    return static_cast<size_t>(row) < row_code_.size() &&
+           row_code_[row] >= 0;
+  }
+  /// The code of a present row.
+  ValueId CodeOf(RowId row) const { return row_code_[row]; }
+
+  /// Live rows sharing `code` (empty for unseen codes). Order is
+  /// deterministic for a given mutation history but otherwise unspecified.
+  const std::vector<RowId>& Cluster(ValueId code) const;
+  /// Size of the cluster containing `row`; 0 when the row is absent.
+  size_t ClusterSizeOf(RowId row) const {
+    return Contains(row) ? clusters_[static_cast<size_t>(row_code_[row])].size()
+                         : 0;
+  }
+
+  /// Number of distinct codes with at least one live row.
+  size_t DistinctLiveValues() const { return distinct_values_; }
+  size_t LiveRowCount() const { return live_rows_; }
+
+  /// Canonical stripped partition over the live rows: clusters of size >= 2
+  /// with ascending row ids, ordered by their smallest row id — identical to
+  /// what a from-scratch rebuild over the same live rows would produce,
+  /// whatever the mutation history. `num_rows` sizes the Pli's row universe
+  /// (pass the owner's total row count including dead rows).
+  Pli ToStripped(size_t num_rows) const;
+
+ private:
+  std::vector<std::vector<RowId>> clusters_;  // indexed by code
+  /// Per row: its code, or -1 when absent/erased.
+  std::vector<ValueId> row_code_;
+  /// Per row: its index within clusters_[row_code_[row]].
+  std::vector<uint32_t> row_pos_;
+  size_t distinct_values_ = 0;
+  size_t live_rows_ = 0;
+};
+
 }  // namespace normalize

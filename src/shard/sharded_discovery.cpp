@@ -518,6 +518,13 @@ Result<FdSet> ShardedDiscovery::Discover(
       // violations for a much cheaper exchange.
       constexpr size_t kMaxEvidencePerShard = 2000;
       for (size_t s = 1; s < k; ++s) {
+        if (shard_evidence[s].empty()) {
+          // ExportEvidence defaults to {} for backends without evidence
+          // tracking — record the skipped exchange instead of letting it
+          // pass silently (Stats::evidence_less_shards).
+          ++stats_.evidence_less_shards;
+          continue;
+        }
         std::vector<AttributeSet> ranked = shard_evidence[s];
         if (ranked.size() > kMaxEvidencePerShard) {
           std::stable_sort(ranked.begin(), ranked.end(),
@@ -544,6 +551,10 @@ Result<FdSet> ShardedDiscovery::Discover(
     }
     phase_metrics_.Record("evidence_exchange", watch.ElapsedSeconds(),
                           stats_.exchanged_evidence_sets);
+    if (stats_.evidence_less_shards > 0) {
+      phase_metrics_.Record("evidence_less_shards", 0.0,
+                            stats_.evidence_less_shards);
+    }
   }
   const SharedCodeMasks* validation_masks =
       shard_options_.exchange_evidence ? &shared_masks : nullptr;

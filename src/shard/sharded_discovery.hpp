@@ -106,6 +106,13 @@ class ShardedDiscovery {
     /// such comparisons performed.
     size_t cross_shard_sampled_sets = 0;
     size_t cross_shard_comparisons = 0;
+    /// Shards (beyond the seed) whose backend exported no agree-set
+    /// evidence while exchange_evidence was on. Backends without evidence
+    /// tracking (e.g. Tane, Naive) silently return {} from ExportEvidence,
+    /// so their negative covers cannot pre-prune the seed tree and the
+    /// merge pays for their disagreements one validation violation at a
+    /// time — this counter makes that silent skip visible.
+    size_t evidence_less_shards = 0;
     /// Shards whose single-column PLIs were reused (backend handoff or
     /// checkpoint resume) instead of rebuilt for the merge.
     size_t plis_reused = 0;

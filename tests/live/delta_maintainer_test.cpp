@@ -1,0 +1,303 @@
+// The incremental engine's correctness bar (ISSUE 7): after ANY applied
+// batch sequence, the maintained cover must be bit-identical to one-shot
+// discovery on the materialized live rows — across datasets, batch sizes,
+// and thread counts. Plus the delta-argument specifics: inserts only
+// invalidate (guided probes), deletes only validate (carried cover members,
+// witnessed-evidence drops), updates compose both; epochs publish
+// atomically and snapshots stay safe under concurrent readers (the `live`
+// label puts this suite in the TSan CI lane).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/datasets.hpp"
+#include "datagen/update_stream.hpp"
+#include "discovery/hyfd.hpp"
+#include "live/delta_fd_maintainer.hpp"
+#include "live/live_relation.hpp"
+#include "normalize/normalizer.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::MakeRelation;
+
+FdSet OneShot(const RelationData& data, int max_lhs) {
+  FdDiscoveryOptions options;
+  options.max_lhs_size = max_lhs;
+  HyFd hyfd(options);
+  auto result = hyfd.Discover(data);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Bit-identical: equal sorted unary expansions, not just equivalence.
+void ExpectBitIdentical(const FdSet& actual, const FdSet& expected,
+                        const std::string& context) {
+  std::vector<Fd> a = actual.ToUnary();
+  std::vector<Fd> e = expected.ToUnary();
+  ASSERT_EQ(a.size(), e.size()) << context;
+  for (size_t i = 0; i < e.size(); ++i) {
+    ASSERT_TRUE(a[i] == e[i])
+        << context << ": unary FD " << i << " is " << a[i].ToString()
+        << ", expected " << e[i].ToString();
+  }
+}
+
+bool ContainsUnary(const FdSet& fds, const AttributeSet& lhs,
+                   AttributeId rhs) {
+  for (const Fd& fd : fds.ToUnary()) {
+    if (fd.lhs == lhs && fd.rhs.Test(rhs)) return true;
+  }
+  return false;
+}
+
+RelationData SmallRandom() {
+  RandomDatasetSpec spec;
+  spec.name = "churn_random";
+  spec.num_attributes = 8;
+  spec.num_rows = 80;
+  spec.num_planted_fds = 4;
+  spec.seed = 7;
+  return GenerateRandomDataset(spec);
+}
+
+// The headline equivalence sweep: datasets x batch sizes x 1/2/8 threads,
+// cover checked against one-shot discovery after EVERY batch.
+TEST(DeltaMaintainerTest, CoverIsBitIdenticalToOneShotUnderChurn) {
+  const int max_lhs = 3;
+  std::vector<RelationData> datasets = {AddressExample(), SmallRandom()};
+  for (const RelationData& initial : datasets) {
+    for (size_t batch_size : {4u, 16u}) {
+      for (int threads : {1, 2, 8}) {
+        LiveRelation live(initial);
+        DeltaFdMaintainerOptions options;
+        options.max_lhs_size = max_lhs;
+        options.threads = threads;
+        DeltaFdMaintainer maintainer(&live, options);
+        ASSERT_TRUE(maintainer.Initialize().ok());
+        ExpectBitIdentical(maintainer.snapshot()->cover,
+                           OneShot(live.Materialize(), max_lhs),
+                           initial.name() + " bootstrap");
+
+        UpdateStreamSpec spec;
+        spec.batch_size = batch_size;
+        spec.seed = 11;
+        UpdateStreamGenerator stream(initial, spec);
+        for (int b = 0; b < 5; ++b) {
+          ASSERT_TRUE(maintainer.ApplyBatch(stream.NextBatch(live)).ok());
+          ExpectBitIdentical(
+              maintainer.snapshot()->cover,
+              OneShot(live.Materialize(), max_lhs),
+              initial.name() + " batch " + std::to_string(b) +
+                  ", batch_size " + std::to_string(batch_size) +
+                  ", threads " + std::to_string(threads));
+        }
+      }
+    }
+  }
+}
+
+// Inserts can only invalidate: a violating row knocks A -> B out of the
+// cover via a guided probe; deleting that row restores it through the
+// witnessed-evidence drop.
+TEST(DeltaMaintainerTest, InsertBreaksFdAndDeleteRestoresIt) {
+  RelationData initial = MakeRelation({
+      {"a1", "b1", "c1"},
+      {"a1", "b1", "c2"},
+      {"a2", "b2", "c1"},
+  });
+  LiveRelation live(initial);
+  DeltaFdMaintainer maintainer(&live);
+  ASSERT_TRUE(maintainer.Initialize().ok());
+  AttributeSet a = testing::Attrs(3, {0});
+  ASSERT_TRUE(ContainsUnary(maintainer.snapshot()->cover, a, 1))
+      << "A -> B must hold initially";
+
+  LiveBatch violate;
+  violate.inserts = {{"a1", "b2", "c3"}};  // same A, different B
+  ASSERT_TRUE(maintainer.ApplyBatch(violate).ok());
+  EXPECT_FALSE(ContainsUnary(maintainer.snapshot()->cover, a, 1));
+  EXPECT_GT(maintainer.stats().violations, 0u);
+  EXPECT_GT(maintainer.stats().guided_probes, 0u);
+  ExpectBitIdentical(maintainer.snapshot()->cover,
+                     OneShot(live.Materialize(), -1), "after violation");
+
+  LiveBatch restore;
+  restore.deletes = {3};  // the violating row's id
+  ASSERT_TRUE(maintainer.ApplyBatch(restore).ok());
+  EXPECT_TRUE(ContainsUnary(maintainer.snapshot()->cover, a, 1))
+      << "A -> B must come back once its only violation dies";
+  EXPECT_GT(maintainer.stats().evidence_dropped, 0u);
+  ExpectBitIdentical(maintainer.snapshot()->cover,
+                     OneShot(live.Materialize(), -1), "after restore");
+}
+
+// Deletes can only validate: with fully witnessed evidence (no bootstrap),
+// a delete-only batch carries previously valid members with zero scans.
+TEST(DeltaMaintainerTest, DeleteOnlyBatchCarriesValidCoverMembers) {
+  RelationData initial = SmallRandom();
+  LiveRelation live(initial);
+  DeltaFdMaintainerOptions options;
+  options.max_lhs_size = 2;
+  options.hyfd_bootstrap = false;
+  DeltaFdMaintainer maintainer(&live, options);
+  ASSERT_TRUE(maintainer.Initialize().ok());
+  size_t full_before = maintainer.stats().full_validations;
+
+  LiveBatch batch;
+  batch.deletes = {3, 17, 42};
+  ASSERT_TRUE(maintainer.ApplyBatch(batch).ok());
+  EXPECT_GT(maintainer.stats().carried_valid, 0u);
+  EXPECT_EQ(maintainer.stats().guided_probes, 0u)
+      << "no inserted rows, so no guided probes";
+  ExpectBitIdentical(maintainer.snapshot()->cover,
+                     OneShot(live.Materialize(), 2), "delete-only batch");
+  // Full scans are spent only on candidates freed by dropped evidence,
+  // never on the carried cover members.
+  EXPECT_LT(maintainer.stats().full_validations - full_before,
+            maintainer.stats().carried_valid);
+}
+
+// The bootstrap is an accelerator, not a semantic switch: covers published
+// with and without it are identical at every epoch.
+TEST(DeltaMaintainerTest, BootstrapOnAndOffPublishIdenticalCovers) {
+  RelationData initial = SmallRandom();
+  LiveRelation with_live(initial);
+  LiveRelation without_live(initial);
+  DeltaFdMaintainerOptions with_options;
+  with_options.max_lhs_size = 2;
+  with_options.hyfd_bootstrap = true;
+  DeltaFdMaintainerOptions without_options = with_options;
+  without_options.hyfd_bootstrap = false;
+  DeltaFdMaintainer with(&with_live, with_options);
+  DeltaFdMaintainer without(&without_live, without_options);
+  ASSERT_TRUE(with.Initialize().ok());
+  ASSERT_TRUE(without.Initialize().ok());
+
+  UpdateStreamSpec spec;
+  spec.batch_size = 8;
+  UpdateStreamGenerator stream(initial, spec);
+  for (int b = 0; b < 4; ++b) {
+    LiveBatch batch = stream.NextBatch(with_live);
+    ASSERT_TRUE(with.ApplyBatch(batch).ok());
+    ASSERT_TRUE(without.ApplyBatch(batch).ok());
+    ExpectBitIdentical(with.snapshot()->cover, without.snapshot()->cover,
+                       "epoch " + std::to_string(b + 2));
+  }
+}
+
+TEST(DeltaMaintainerTest, InvalidBatchIsANoOp) {
+  LiveRelation live(AddressExample());
+  DeltaFdMaintainer maintainer(&live);
+  ASSERT_TRUE(maintainer.Initialize().ok());
+  auto before = maintainer.snapshot();
+
+  LiveBatch bad;
+  bad.deletes = {999};
+  Status status = maintainer.ApplyBatch(bad);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  auto after = maintainer.snapshot();
+  EXPECT_EQ(after->epoch, before->epoch);
+  EXPECT_EQ(after->live_rows, before->live_rows);
+  ExpectBitIdentical(after->cover, before->cover, "no-op batch");
+}
+
+TEST(DeltaMaintainerTest, EpochsAdvanceMonotonicallyWithLiveRows) {
+  RelationData initial = AddressExample();
+  LiveRelation live(initial);
+  DeltaFdMaintainer maintainer(&live);
+  ASSERT_TRUE(maintainer.Initialize().ok());
+  EXPECT_EQ(maintainer.snapshot()->epoch, 1u);
+  EXPECT_EQ(maintainer.snapshot()->live_rows, initial.num_rows());
+
+  UpdateStreamSpec spec;
+  spec.batch_size = 4;
+  UpdateStreamGenerator stream(initial, spec);
+  for (uint64_t b = 0; b < 6; ++b) {
+    ASSERT_TRUE(maintainer.ApplyBatch(stream.NextBatch(live)).ok());
+    auto snap = maintainer.snapshot();
+    EXPECT_EQ(snap->epoch, b + 2);
+    EXPECT_EQ(snap->live_rows, live.live_rows());
+  }
+  EXPECT_EQ(maintainer.stats().batches_applied, 7u);
+}
+
+// Readers hammer snapshot() while the writer applies batches: snapshots are
+// immutable shared state, so TSan (this suite runs in the `live` CI lane)
+// must see no races, and every observed epoch is internally consistent.
+TEST(DeltaMaintainerTest, SnapshotIsSafeUnderConcurrentReaders) {
+  RelationData initial = SmallRandom();
+  LiveRelation live(initial);
+  DeltaFdMaintainerOptions options;
+  options.max_lhs_size = 2;
+  DeltaFdMaintainer maintainer(&live, options);
+  ASSERT_TRUE(maintainer.Initialize().ok());
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&maintainer, &done] {
+      uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        std::shared_ptr<const CoverSnapshot> snap = maintainer.snapshot();
+        ASSERT_NE(snap, nullptr);
+        ASSERT_GE(snap->epoch, last_epoch) << "epochs went backwards";
+        last_epoch = snap->epoch;
+        // Touch the cover to force reads of the published payload.
+        ASSERT_GE(snap->live_rows + snap->cover.CountUnaryFds(), 1u);
+      }
+    });
+  }
+
+  UpdateStreamSpec spec;
+  spec.batch_size = 16;
+  UpdateStreamGenerator stream(initial, spec);
+  for (int b = 0; b < 10; ++b) {
+    ASSERT_TRUE(maintainer.ApplyBatch(stream.NextBatch(live)).ok());
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(maintainer.snapshot()->epoch, 11u);
+}
+
+// The re-normalization path: feeding the maintained snapshot into
+// RenormalizeWithCover yields the same schema as the full pipeline
+// (discovery included) on the materialized instance.
+TEST(DeltaMaintainerTest, RenormalizeWithCoverMatchesFullPipeline) {
+  RelationData initial = SmallRandom();
+  LiveRelation live(initial);
+  DeltaFdMaintainerOptions options;
+  options.max_lhs_size = 2;
+  DeltaFdMaintainer maintainer(&live, options);
+  ASSERT_TRUE(maintainer.Initialize().ok());
+  UpdateStreamSpec spec;
+  spec.batch_size = 12;
+  UpdateStreamGenerator stream(initial, spec);
+  for (int b = 0; b < 3; ++b) {
+    ASSERT_TRUE(maintainer.ApplyBatch(stream.NextBatch(live)).ok());
+  }
+
+  RelationData instance = live.Materialize("churned");
+  NormalizerOptions nopts;
+  nopts.discovery.max_lhs_size = 2;
+  Normalizer renormalizer(nopts);
+  auto renorm =
+      renormalizer.RenormalizeWithCover(instance,
+                                        maintainer.snapshot()->cover);
+  ASSERT_TRUE(renorm.ok()) << renorm.status().ToString();
+  Normalizer full(nopts);
+  auto baseline = full.Normalize(instance);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(renorm->schema.ToString(), baseline->schema.ToString());
+  EXPECT_EQ(renorm->relations.size(), baseline->relations.size());
+}
+
+}  // namespace
+}  // namespace normalize

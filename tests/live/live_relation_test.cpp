@@ -1,0 +1,210 @@
+// LiveRelation store semantics: stable row identity under churn, atomic
+// batch validation (a bad batch leaves the store untouched), delta-maintained
+// column indexes that always agree with a from-scratch partition of the live
+// rows, and a Materialize() that compacts exactly the live rows in ascending
+// id order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "live/live_relation.hpp"
+#include "pli/pli.hpp"
+#include "relation/relation_data.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+using testing::MakeRelation;
+
+LiveRelation MakeLive() {
+  return LiveRelation(MakeRelation({
+      {"a1", "b1", "c1"},
+      {"a2", "b1", "c2"},
+      {"a3", "b2", "c1"},
+      {"a4", "b2", "c2"},
+  }));
+}
+
+/// Brute-force stripped partition of one column over the live rows.
+Pli BruteForcePli(const LiveRelation& live, int column) {
+  std::map<ValueId, std::vector<RowId>> groups;
+  for (RowId row : live.LiveRowIds()) {
+    groups[live.code(column, row)].push_back(row);
+  }
+  std::vector<std::vector<RowId>> clusters;
+  for (auto& [code, rows] : groups) {
+    if (rows.size() >= 2) clusters.push_back(std::move(rows));
+  }
+  return Pli(std::move(clusters), live.total_rows());
+}
+
+void ExpectSamePartition(const Pli& actual, const Pli& expected) {
+  auto canon = [](const Pli& pli) {
+    std::vector<std::vector<RowId>> clusters = pli.clusters();
+    for (auto& c : clusters) std::sort(c.begin(), c.end());
+    std::sort(clusters.begin(), clusters.end());
+    return clusters;
+  };
+  EXPECT_EQ(canon(actual), canon(expected));
+}
+
+TEST(LiveRelationTest, SeedRowsAreLive) {
+  LiveRelation live = MakeLive();
+  EXPECT_EQ(live.live_rows(), 4u);
+  EXPECT_EQ(live.total_rows(), 4u);
+  for (RowId r = 0; r < 4; ++r) EXPECT_TRUE(live.IsLive(r));
+}
+
+TEST(LiveRelationTest, InsertAssignsFreshStableIds) {
+  LiveRelation live = MakeLive();
+  LiveBatch batch;
+  batch.inserts = {{"a5", "b3", "c3"}, {"a6", "b3", "c4"}};
+  auto delta = live.Apply(batch);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_EQ(delta->inserted, (std::vector<RowId>{4, 5}));
+  EXPECT_TRUE(delta->deleted.empty());
+  EXPECT_EQ(live.live_rows(), 6u);
+  EXPECT_EQ(live.total_rows(), 6u);
+}
+
+TEST(LiveRelationTest, DeleteOnlyFlipsLiveness) {
+  LiveRelation live = MakeLive();
+  LiveBatch batch;
+  batch.deletes = {1, 3};
+  auto delta = live.Apply(batch);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_EQ(delta->deleted, (std::vector<RowId>{1, 3}));
+  EXPECT_EQ(live.live_rows(), 2u);
+  // The RowId space never shrinks: dead rows stay addressable in the log.
+  EXPECT_EQ(live.total_rows(), 4u);
+  EXPECT_FALSE(live.IsLive(1));
+  EXPECT_TRUE(live.IsLive(0));
+  EXPECT_EQ(live.LiveRowIds(), (std::vector<RowId>{0, 2}));
+}
+
+TEST(LiveRelationTest, UpdateIsDeletePlusInsertWithFreshId) {
+  LiveRelation live = MakeLive();
+  LiveBatch batch;
+  batch.updates = {{2, {"a3", "b9", "c1"}}};
+  auto delta = live.Apply(batch);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_EQ(delta->deleted, (std::vector<RowId>{2}));
+  EXPECT_EQ(delta->inserted, (std::vector<RowId>{4}));
+  EXPECT_FALSE(live.IsLive(2));
+  EXPECT_TRUE(live.IsLive(4));
+  // The new version carries the new cells under the shared dictionaries.
+  EXPECT_EQ(live.data().column(0).ValueAt(4), "a3");
+  EXPECT_EQ(live.data().column(1).ValueAt(4), "b9");
+}
+
+TEST(LiveRelationTest, InvalidBatchesLeaveTheStoreUntouched) {
+  LiveRelation live = MakeLive();
+  LiveBatch dead_target;
+  dead_target.deletes = {1};
+  ASSERT_TRUE(live.Apply(dead_target).ok());
+
+  struct Case {
+    const char* what;
+    LiveBatch batch;
+  };
+  std::vector<Case> cases;
+  {
+    LiveBatch b;  // target row is dead
+    b.deletes = {1};
+    cases.push_back({"delete of dead row", b});
+  }
+  {
+    LiveBatch b;  // same row named twice
+    b.deletes = {0};
+    b.updates = {{0, {"x", "y", "z"}}};
+    cases.push_back({"double-targeted row", b});
+  }
+  {
+    LiveBatch b;  // wrong arity
+    b.inserts = {{"only", "two"}};
+    cases.push_back({"wrong insert arity", b});
+  }
+  {
+    LiveBatch b;  // out-of-range id
+    b.deletes = {99};
+    cases.push_back({"out-of-range target", b});
+  }
+
+  size_t live_before = live.live_rows();
+  size_t total_before = live.total_rows();
+  for (const Case& c : cases) {
+    auto delta = live.Apply(c.batch);
+    EXPECT_FALSE(delta.ok()) << c.what;
+    EXPECT_EQ(delta.status().code(), StatusCode::kInvalidArgument) << c.what;
+    EXPECT_EQ(live.live_rows(), live_before) << c.what;
+    EXPECT_EQ(live.total_rows(), total_before) << c.what;
+  }
+}
+
+TEST(LiveRelationTest, ColumnIndexesTrackChurn) {
+  LiveRelation live = MakeLive();
+  LiveBatch batch;
+  batch.inserts = {{"a5", "b1", "c1"}, {"a2", "b2", "c3"}};
+  batch.updates = {{0, {"a1", "b2", "c2"}}};
+  batch.deletes = {3};
+  ASSERT_TRUE(live.Apply(batch).ok());
+  for (int c = 0; c < live.num_columns(); ++c) {
+    ExpectSamePartition(live.ColumnPli(c), BruteForcePli(live, c));
+  }
+  // And again after a second wave, to exercise cluster erase paths.
+  LiveBatch second;
+  second.deletes = live.LiveRowIds();
+  second.deletes.resize(2);
+  second.inserts = {{"a1", "b1", "c1"}};
+  ASSERT_TRUE(live.Apply(second).ok());
+  for (int c = 0; c < live.num_columns(); ++c) {
+    ExpectSamePartition(live.ColumnPli(c), BruteForcePli(live, c));
+  }
+}
+
+TEST(LiveRelationTest, ClusterSizeMatchesIndex) {
+  LiveRelation live = MakeLive();
+  // Column 1 ("B") has clusters {0,1} and {2,3} of size 2 each.
+  EXPECT_EQ(live.column_index(1).ClusterSizeOf(0), 2u);
+  LiveBatch batch;
+  batch.inserts = {{"a5", "b1", "c3"}};
+  ASSERT_TRUE(live.Apply(batch).ok());
+  EXPECT_EQ(live.column_index(1).ClusterSizeOf(0), 3u);
+  EXPECT_EQ(live.column_index(1).ClusterSizeOf(4), 3u);
+}
+
+TEST(LiveRelationTest, AgreeSetMatchesCellComparison) {
+  LiveRelation live = MakeLive();
+  // Rows 0 and 1 share B; rows 0 and 2 share C; rows 0 and 3 share nothing.
+  EXPECT_EQ(live.AgreeSet(0, 1), testing::Attrs(3, {1}));
+  EXPECT_EQ(live.AgreeSet(0, 2), testing::Attrs(3, {2}));
+  EXPECT_EQ(live.AgreeSet(0, 3), testing::Attrs(3, {}));
+}
+
+TEST(LiveRelationTest, MaterializeCompactsLiveRowsInIdOrder) {
+  LiveRelation live = MakeLive();
+  LiveBatch batch;
+  batch.deletes = {0};
+  batch.updates = {{1, {"a2", "b7", "c2"}}};
+  batch.inserts = {{"a9", "b9", "c9"}};
+  ASSERT_TRUE(live.Apply(batch).ok());
+  // Live ids are now {2, 3, 4 (update of 1), 5 (insert)}.
+  RelationData flat = live.Materialize("flat");
+  ASSERT_EQ(flat.num_rows(), 4u);
+  EXPECT_EQ(flat.name(), "flat");
+  std::vector<RowId> ids = live.LiveRowIds();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (int c = 0; c < live.num_columns(); ++c) {
+      EXPECT_EQ(flat.column(c).ValueAt(i),
+                live.data().column(c).ValueAt(ids[i]))
+          << "row " << i << " column " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace normalize

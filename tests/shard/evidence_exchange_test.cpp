@@ -92,6 +92,9 @@ TEST(EvidenceExchangeTest, ExchangePrePrunesCrossShardViolations) {
     EXPECT_EQ(off.exchanged_evidence_sets, 0u);
     EXPECT_GT(on.exchanged_evidence_sets, 0u)
         << shards << " shards: no evidence was exchanged";
+    EXPECT_EQ(on.evidence_less_shards, 0u)
+        << shards << " shards: hyfd backends export evidence, so no shard "
+        << "may be skipped as evidence-less";
     EXPECT_GT(on.cross_shard_sampled_sets, 0u)
         << shards << " shards: no boundary pairs were sampled";
 
@@ -123,6 +126,9 @@ TEST(EvidenceExchangeTest, EvidencelessBackendFallsBackToSampling) {
   EXPECT_GT(stats.cross_shard_sampled_sets, 0u);
   EXPECT_EQ(stats.exchanged_evidence_sets, stats.cross_shard_sampled_sets)
       << "tane exports no negative cover; all evidence must be sampled";
+  // Every non-seed shard's ExportEvidence defaulted to {}, and the skip is
+  // recorded instead of silent: 4 shards -> 3 evidence-less ones.
+  EXPECT_EQ(stats.evidence_less_shards, 3u);
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate BENCH_*.json files written by bench_discovery.
+"""Validate BENCH_*.json files written by bench_discovery and bench_churn.
 
 Two layers, selected by flags:
 
@@ -8,6 +8,11 @@ Two layers, selected by flags:
   increasing thread counts, a shard sweep with strictly increasing shard
   counts starting at 1, and one FD count that every sweep entry agrees on
   (the discovered FD set must be invariant across threads AND shards).
+  Files with a top-level "churn" key are bench_churn records instead:
+  per-configuration churn entries plus a "renormalize" section, with the
+  correctness booleans (cover_matches_oneshot, schema_matches) required to
+  be true — a maintained cover diverging from one-shot discovery is a
+  schema failure, not a perf regression.
 
   Perf gates (opt-in): --min-speedup FLOOR[@THREADS] fails when the hyfd
   thread sweep's speedup at THREADS (default: the largest recorded count)
@@ -97,6 +102,47 @@ def check_fds_invariant(data):
                      f"{sorted(counts)}")
 
 
+def check_churn_file(path, data):
+    """bench_churn schema: churn + renormalize sections, correctness
+    booleans true, sane counters."""
+    for key in ("benchmark", "dataset", "rows", "columns", "max_lhs",
+                "hardware_concurrency", "churn", "renormalize"):
+        if key not in data:
+            schema_error(f"{path}: missing top-level key '{key}'")
+    if SCHEMA_ERRORS:
+        return
+    if not data["churn"]:
+        schema_error(f"{path}: empty churn section")
+    for i, entry in enumerate(data["churn"]):
+        where = f"churn[{i}]"
+        if not check_entry_keys(
+            entry, ("batch_size", "threads", "batches", "ops",
+                    "init_seconds", "maintain_seconds", "updates_per_sec",
+                    "avg_batch_ms", "full_rerun_seconds",
+                    "speedup_vs_rerun", "final_fds",
+                    "cover_matches_oneshot"),
+            where):
+            continue
+        if entry["ops"] <= 0 or entry["maintain_seconds"] <= 0:
+            schema_error(f"{where}: non-positive ops/maintain_seconds")
+        if entry["cover_matches_oneshot"] is not True:
+            schema_error(f"{where}: maintained cover diverged from "
+                         f"one-shot discovery (batch_size="
+                         f"{entry['batch_size']}, "
+                         f"threads={entry['threads']})")
+    for i, entry in enumerate(data["renormalize"]):
+        where = f"renormalize[{i}]"
+        if not check_entry_keys(
+            entry, ("threads", "renormalize_seconds",
+                    "full_normalize_seconds", "speedup", "relations",
+                    "schema_matches"),
+            where):
+            continue
+        if entry["schema_matches"] is not True:
+            schema_error(f"{where}: renormalized schema diverged from the "
+                         f"full pipeline (threads={entry['threads']})")
+
+
 def apply_speedup_gate(by_algo, spec, min_hw, hw):
     floor_str, _, at = spec.partition("@")
     floor = float(floor_str)
@@ -157,6 +203,12 @@ def main():
                 data = json.load(f)
         except (OSError, json.JSONDecodeError) as e:
             schema_error(f"{path}: {e}")
+            continue
+
+        if "churn" in data:
+            # bench_churn record: its own schema, no thread/shard gates
+            # (the churn row is report-only in CI).
+            check_churn_file(path, data)
             continue
 
         for key in ("benchmark", "dataset", "rows", "columns", "max_lhs",
