@@ -5,7 +5,12 @@
 // (one-shot HyFd on the materialized live rows — what a non-incremental
 // pipeline would pay per batch). A second section measures re-normalization
 // latency: Normalizer::RenormalizeWithCover on the maintained snapshot
-// versus a full Normalize() including discovery.
+// versus a full Normalize() including discovery. A third section prices
+// durability: the same stream through a ServiceCore (writer queue + WAL +
+// checkpoint ticks, src/service/), ack latency vs. the bare maintainer,
+// with and without per-append fdatasync. A fourth section runs a
+// delete-heavy stream with witness re-seating on and off: re-seating must
+// never cost tree rebuilds and never change a cover.
 //
 // Flags: --scale=<f>, --max-lhs=<n>, --batches=<n>, --json=<path> (default
 // BENCH_churn.json), --quick (CI perf-smoke mode: small scale, one batch
@@ -14,6 +19,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -24,6 +30,7 @@
 #include "live/delta_fd_maintainer.hpp"
 #include "live/live_relation.hpp"
 #include "normalize/normalizer.hpp"
+#include "service/service_core.hpp"
 
 using namespace normalize;
 using namespace normalize::bench;
@@ -153,9 +160,166 @@ RenormalizeResult RunRenormalize(const LiveRelation& live,
   return r;
 }
 
+// The durable-service overhead: the same stream pushed through a
+// ServiceCore (queue + WAL + checkpoint ticks) instead of a bare
+// maintainer. avg_ack_ms vs. the direct path's avg_batch_ms is the price
+// of durability; cover_matches_direct is the correctness signal (the
+// queued, logged, checkpointed path must publish the identical cover).
+struct ServiceResult {
+  size_t batch_size = 0;
+  size_t batches = 0;
+  size_t ops = 0;
+  bool sync_wal = false;
+  double apply_seconds = 0.0;  // sum of Apply() round-trips
+  double avg_ack_ms = 0.0;
+  double direct_avg_batch_ms = 0.0;  // bare maintainer on the same stream
+  double overhead_ratio = 0.0;       // ack / direct
+  uint64_t wal_bytes = 0;
+  uint64_t checkpoints = 0;
+  bool cover_matches_direct = false;
+};
+
+ServiceResult RunService(const RelationData& initial, size_t batch_size,
+                         size_t batches, int max_lhs, bool sync_wal) {
+  ServiceResult r;
+  r.batch_size = batch_size;
+  r.batches = batches;
+  r.sync_wal = sync_wal;
+
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("bench_churn_service" + std::string(sync_wal ? "_sync"
+                                                                   : "")))
+                        .string();
+  std::filesystem::remove_all(dir);
+  ServiceCoreOptions options;
+  options.dir = dir;
+  options.checkpoint_every = 16;
+  options.sync_wal = sync_wal;
+  options.max_lhs_size = max_lhs;
+  auto core = ServiceCore::Open(initial, options);
+  if (!core.ok()) {
+    std::cerr << "ServiceCore::Open failed: " << core.status().ToString()
+              << "\n";
+    return r;
+  }
+
+  // The direct path fed the identical batches — the durability-free
+  // baseline and the cover oracle.
+  LiveRelation direct_live(initial);
+  DeltaFdMaintainerOptions moptions;
+  moptions.max_lhs_size = max_lhs;
+  DeltaFdMaintainer direct(&direct_live, moptions);
+  if (Status init = direct.Initialize(); !init.ok()) {
+    std::cerr << "Initialize failed: " << init.ToString() << "\n";
+    return r;
+  }
+
+  LiveRelation mirror(initial);
+  UpdateStreamSpec spec;
+  spec.batch_size = batch_size;
+  UpdateStreamGenerator stream(initial, spec);
+  double service_seconds = 0.0;
+  double direct_seconds = 0.0;
+  for (size_t b = 0; b < batches; ++b) {
+    LiveBatch batch = stream.NextBatch(mirror);
+    r.ops += batch.size();
+    Stopwatch ack_watch;
+    if (Status applied = (*core)->Apply(b + 1, batch); !applied.ok()) {
+      std::cerr << "service Apply failed: " << applied.ToString() << "\n";
+      return r;
+    }
+    service_seconds += ack_watch.ElapsedSeconds();
+    Stopwatch direct_watch;
+    if (Status applied = direct.ApplyBatch(batch); !applied.ok()) {
+      std::cerr << "direct ApplyBatch failed: " << applied.ToString() << "\n";
+      return r;
+    }
+    direct_seconds += direct_watch.ElapsedSeconds();
+    if (!mirror.Apply(batch).ok()) return r;
+  }
+  r.apply_seconds = service_seconds;
+  r.avg_ack_ms = service_seconds * 1000.0 / static_cast<double>(batches);
+  r.direct_avg_batch_ms =
+      direct_seconds * 1000.0 / static_cast<double>(batches);
+  r.overhead_ratio =
+      r.direct_avg_batch_ms > 0 ? r.avg_ack_ms / r.direct_avg_batch_ms : 0.0;
+
+  ServiceStats stats = (*core)->stats();
+  r.wal_bytes = stats.wal_bytes;
+  r.checkpoints = stats.checkpoints;
+  r.cover_matches_direct =
+      (*core)->Cover()->cover.EquivalentTo(direct.snapshot()->cover);
+  if (Status down = (*core)->Shutdown(); !down.ok()) {
+    std::cerr << "Shutdown failed: " << down.ToString() << "\n";
+  }
+  std::filesystem::remove_all(dir);
+  return r;
+}
+
+// Witness re-seating under a delete-heavy stream: the ROADMAP-named fix
+// for hot-row deletes killing witnesses and forcing tree re-inductions.
+// Both maintainers see the identical DeleteHeavy stream; re-seating must
+// never cost rebuilds (fewer or equal) and never change a cover.
+struct ReseatResult {
+  size_t batch_size = 0;
+  size_t batches = 0;
+  size_t rebuilds_with = 0;
+  size_t rebuilds_without = 0;
+  size_t evidence_reseated = 0;
+  double maintain_seconds_with = 0.0;
+  double maintain_seconds_without = 0.0;
+  bool covers_match = false;
+};
+
+ReseatResult RunReseat(const RelationData& initial, size_t batch_size,
+                       size_t batches, int max_lhs) {
+  ReseatResult r;
+  r.batch_size = batch_size;
+  r.batches = batches;
+
+  auto run = [&](bool reseat, double* seconds,
+                 DeltaFdMaintainer::Stats* stats) {
+    LiveRelation live(initial);
+    DeltaFdMaintainerOptions options;
+    options.max_lhs_size = max_lhs;
+    options.witness_reseat = reseat;
+    auto maintainer = std::make_unique<DeltaFdMaintainer>(&live, options);
+    if (Status init = maintainer->Initialize(); !init.ok()) {
+      std::cerr << "Initialize failed: " << init.ToString() << "\n";
+      return std::shared_ptr<const CoverSnapshot>();
+    }
+    UpdateStreamSpec spec = UpdateStreamSpec::DeleteHeavy();
+    spec.batch_size = batch_size;
+    UpdateStreamGenerator stream(initial, spec);
+    Stopwatch watch;
+    for (size_t b = 0; b < batches; ++b) {
+      if (Status s = maintainer->ApplyBatch(stream.NextBatch(live));
+          !s.ok()) {
+        std::cerr << "ApplyBatch failed: " << s.ToString() << "\n";
+        return std::shared_ptr<const CoverSnapshot>();
+      }
+    }
+    *seconds = watch.ElapsedSeconds();
+    *stats = maintainer->stats();
+    return maintainer->snapshot();
+  };
+
+  DeltaFdMaintainer::Stats with_stats, without_stats;
+  auto with = run(true, &r.maintain_seconds_with, &with_stats);
+  auto without = run(false, &r.maintain_seconds_without, &without_stats);
+  if (!with || !without) return r;
+  r.rebuilds_with = with_stats.tree_rebuilds;
+  r.rebuilds_without = without_stats.tree_rebuilds;
+  r.evidence_reseated = with_stats.evidence_reseated;
+  r.covers_match = with->cover.EquivalentTo(without->cover);
+  return r;
+}
+
 void WriteChurnJson(const std::string& path, const RelationData& initial,
                     int max_lhs, const std::vector<ChurnResult>& churn,
-                    const std::vector<RenormalizeResult>& renorm) {
+                    const std::vector<RenormalizeResult>& renorm,
+                    const std::vector<ServiceResult>& service,
+                    const ReseatResult& reseat) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     std::cerr << "cannot write " << path << "\n";
@@ -202,7 +366,43 @@ void WriteChurnJson(const std::string& path, const RelationData& initial,
         i + 1 < renorm.size() ? "," : "");
     out << line;
   }
-  out << "  ]\n}\n";
+  out << "  ],\n"
+      << "  \"service\": [\n";
+  for (size_t i = 0; i < service.size(); ++i) {
+    const ServiceResult& r = service[i];
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"batch_size\": %zu, \"batches\": %zu, \"ops\": %zu, "
+        "\"sync_wal\": %s, \"apply_seconds\": %.6f, \"avg_ack_ms\": %.3f, "
+        "\"direct_avg_batch_ms\": %.3f, \"overhead_ratio\": %.2f, "
+        "\"wal_bytes\": %llu, \"checkpoints\": %llu, "
+        "\"cover_matches_direct\": %s}%s\n",
+        r.batch_size, r.batches, r.ops, r.sync_wal ? "true" : "false",
+        r.apply_seconds, r.avg_ack_ms, r.direct_avg_batch_ms,
+        r.overhead_ratio, static_cast<unsigned long long>(r.wal_bytes),
+        static_cast<unsigned long long>(r.checkpoints),
+        r.cover_matches_direct ? "true" : "false",
+        i + 1 < service.size() ? "," : "");
+    out << line;
+  }
+  out << "  ],\n"
+      << "  \"reseat\": ";
+  {
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"batch_size\": %zu, \"batches\": %zu, "
+        "\"rebuilds_with\": %zu, \"rebuilds_without\": %zu, "
+        "\"evidence_reseated\": %zu, \"maintain_seconds_with\": %.6f, "
+        "\"maintain_seconds_without\": %.6f, \"covers_match\": %s}\n",
+        reseat.batch_size, reseat.batches, reseat.rebuilds_with,
+        reseat.rebuilds_without, reseat.evidence_reseated,
+        reseat.maintain_seconds_with, reseat.maintain_seconds_without,
+        reseat.covers_match ? "true" : "false");
+    out << line;
+  }
+  out << "}\n";
   std::cerr << "wrote " << path << "\n";
 }
 
@@ -289,8 +489,42 @@ int main(int argc, char** argv) {
     std::cerr << "maintainer Initialize failed\n";
   }
 
+  std::cout << "\n=== Durable service overhead (src/service/: queue + WAL "
+               "+ checkpoints) ===\n";
+  std::vector<ServiceResult> service;
+  TablePrinter stable({"batch", "sync", "ops", "ack ms", "direct ms",
+                       "overhead", "wal KiB", "ckpts", "exact"});
+  for (bool sync_wal : {false, true}) {
+    ServiceResult r = RunService(universal, batch_sizes.back(), batches,
+                                 max_lhs, sync_wal);
+    service.push_back(r);
+    stable.AddRow({std::to_string(r.batch_size), sync_wal ? "yes" : "no",
+                   std::to_string(r.ops), FormatDouble(r.avg_ack_ms, 3),
+                   FormatDouble(r.direct_avg_batch_ms, 3),
+                   FormatDouble(r.overhead_ratio, 2),
+                   std::to_string(r.wal_bytes / 1024),
+                   std::to_string(r.checkpoints),
+                   r.cover_matches_direct ? "yes" : "NO"});
+  }
+  stable.Print();
+
+  std::cout << "\n=== Witness re-seating (delete-heavy stream, reseat on "
+               "vs. off) ===\n";
+  ReseatResult reseat =
+      RunReseat(universal, batch_sizes.back(), batches, max_lhs);
+  TablePrinter wtable({"batch", "rebuilds on", "rebuilds off", "reseated",
+                       "s on", "s off", "covers"});
+  wtable.AddRow({std::to_string(reseat.batch_size),
+                 std::to_string(reseat.rebuilds_with),
+                 std::to_string(reseat.rebuilds_without),
+                 std::to_string(reseat.evidence_reseated),
+                 FormatDouble(reseat.maintain_seconds_with, 3),
+                 FormatDouble(reseat.maintain_seconds_without, 3),
+                 reseat.covers_match ? "match" : "DIVERGED"});
+  wtable.Print();
+
   WriteChurnJson(args.Get("json", "BENCH_churn.json"), universal, max_lhs,
-                 churn, renorm);
+                 churn, renorm, service, reseat);
 
   // Report-only correctness signal for the perf-smoke artifact: flag any
   // divergence loudly in the exit code so a human looks at it.
@@ -299,6 +533,22 @@ int main(int argc, char** argv) {
       std::cerr << "maintained cover diverged from one-shot discovery\n";
       return 1;
     }
+  }
+  for (const ServiceResult& r : service) {
+    if (!r.cover_matches_direct) {
+      std::cerr << "service cover diverged from the direct maintainer\n";
+      return 1;
+    }
+  }
+  if (!reseat.covers_match) {
+    std::cerr << "witness re-seating changed a cover\n";
+    return 1;
+  }
+  if (reseat.rebuilds_with > reseat.rebuilds_without) {
+    std::cerr << "witness re-seating cost tree rebuilds ("
+              << reseat.rebuilds_with << " > " << reseat.rebuilds_without
+              << ")\n";
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,384 @@
+// normalize_serve — the durable normalization service CLI (src/service/).
+// One binary plays every role in the kill-and-recover drill:
+//
+//   serve     --dir=<dir> --socket=<path> [--dataset=.. --scale=..|--input=..]
+//             [--queue-capacity=<n>] [--checkpoint-every=<n>] [--sync-wal]
+//             [--max-lhs=<n>] [--threads=<n>]
+//             Runs the daemon: ServiceCore (WAL + checkpoints in --dir)
+//             behind the Unix-socket server. SIGTERM/SIGINT (or a client
+//             shutdown request) drains gracefully: in-flight batches are
+//             acked, a final checkpoint is written, then the process exits.
+//             SIGKILL at any point is recoverable — the next `serve` over
+//             the same --dir replays checkpoint + WAL tail to the exact
+//             cover an uninterrupted run would hold.
+//
+//   drive     --socket=<path> [--dataset=..] [--batches=<n>]
+//             [--batch-size=<n>] [--mix=default|delete-heavy] [--seed=<n>]
+//             [--deadline-ms=<n>] [--cover-output=<file>]
+//             Streams generated update batches at the daemon with
+//             client-assigned seqs 1..N. The driver survives server
+//             restarts: a failed or in-doubt call reconnects (jittered
+//             backoff) and resends the same seq — the server's dedup makes
+//             the resend exactly-once. The stream is generated against a
+//             local mirror that advances only on acks, so the batch
+//             sequence is a deterministic function of (seed dataset, spec)
+//             no matter how often the server dies.
+//
+//   cover | schema | stats   --socket=<path> [--output=<file>]
+//             One read request; text to stdout or --output.
+//
+//   shutdown  --socket=<path>
+//             Asks the daemon to drain and exit.
+//
+// Exit codes follow normalize_cli's contract: 0 ok, 2 config, 3 I/O or
+// unreachable/corrupt, 4 deadline/cancelled, 5 resource exhausted.
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/run_context.hpp"
+#include "datagen/datasets.hpp"
+#include "datagen/musicbrainz_like.hpp"
+#include "datagen/tpch_like.hpp"
+#include "datagen/update_stream.hpp"
+#include "live/live_relation.hpp"
+#include "relation/csv.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "service/service_core.hpp"
+
+using namespace normalize;
+
+namespace {
+
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kUnimplemented:
+    case StatusCode::kFailedPrecondition:  // directory from a different run
+      return 2;
+    case StatusCode::kIoError:
+    case StatusCode::kNotFound:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDataLoss:  // corrupt checkpoint / WAL / frame
+      return 3;
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+      return 4;
+    case StatusCode::kResourceExhausted:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
+int Fail(const Status& status) {
+  std::cerr << status.ToString() << "\n";
+  return ExitCodeFor(status);
+}
+
+struct Flags {
+  std::string command;
+  std::string socket_path, dir, input, dataset, output, cover_output, mix;
+  double scale = 1.0;
+  long batches = 64;
+  long batch_size = 0;       // 0 = spec default
+  long queue_capacity = 64;
+  long checkpoint_every = 64;
+  long deadline_ms = 0;
+  long max_lhs = -1;
+  long threads = 1;
+  long seed = 42;
+  bool sync_wal = false;
+
+  static Flags Parse(int argc, char** argv) {
+    Flags f;
+    if (argc >= 2 && argv[1][0] != '-') f.command = argv[1];
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto value = [&](const char* name) -> const char* {
+        std::string prefix = std::string("--") + name + "=";
+        return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size()
+                                         : nullptr;
+      };
+      if (const char* v = value("socket")) f.socket_path = v;
+      if (const char* v = value("dir")) f.dir = v;
+      if (const char* v = value("input")) f.input = v;
+      if (const char* v = value("dataset")) f.dataset = v;
+      if (const char* v = value("output")) f.output = v;
+      if (const char* v = value("cover-output")) f.cover_output = v;
+      if (const char* v = value("mix")) f.mix = v;
+      if (const char* v = value("scale")) f.scale = std::atof(v);
+      if (const char* v = value("batches")) f.batches = std::atol(v);
+      if (const char* v = value("batch-size")) f.batch_size = std::atol(v);
+      if (const char* v = value("queue-capacity"))
+        f.queue_capacity = std::atol(v);
+      if (const char* v = value("checkpoint-every"))
+        f.checkpoint_every = std::atol(v);
+      if (const char* v = value("deadline-ms")) f.deadline_ms = std::atol(v);
+      if (const char* v = value("max-lhs")) f.max_lhs = std::atol(v);
+      if (const char* v = value("threads")) f.threads = std::atol(v);
+      if (const char* v = value("seed")) f.seed = std::atol(v);
+      if (arg == "--sync-wal") f.sync_wal = true;
+    }
+    return f;
+  }
+};
+
+// The seed instance both `serve` and `drive` must agree on (the checkpoint
+// fingerprint enforces the serve side; the drive side mirrors it).
+Result<RelationData> LoadSeed(const Flags& flags) {
+  if (!flags.dataset.empty()) {
+    if (!flags.input.empty()) {
+      return Status::InvalidArgument("--input and --dataset are exclusive");
+    }
+    if (flags.dataset == "address") return AddressExample();
+    if (flags.dataset == "tpch") {
+      return GenerateTpchLike(TpchScale{}.Scaled(flags.scale)).universal;
+    }
+    if (flags.dataset == "musicbrainz") {
+      return GenerateMusicBrainzLike(MusicBrainzScale{}.Scaled(flags.scale))
+          .universal;
+    }
+    return Status::InvalidArgument(
+        "unknown --dataset (address|tpch|musicbrainz): " + flags.dataset);
+  }
+  if (flags.input.empty()) return AddressExample();
+  return CsvReader().ReadFile(flags.input);
+}
+
+// SIGTERM/SIGINT handlers may only touch this flag; the serve loop polls.
+volatile std::sig_atomic_t g_stop_requested = 0;
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int Serve(const Flags& flags) {
+  if (flags.dir.empty() || flags.socket_path.empty()) {
+    std::cerr << "serve requires --dir=<dir> and --socket=<path>\n";
+    return 2;
+  }
+  auto seed = LoadSeed(flags);
+  if (!seed.ok()) return Fail(seed.status());
+
+  ServiceCoreOptions core_options;
+  core_options.dir = flags.dir;
+  core_options.queue_capacity =
+      static_cast<size_t>(std::max(flags.queue_capacity, 1L));
+  core_options.shed_read_depth = core_options.queue_capacity * 3 / 4;
+  core_options.checkpoint_every =
+      static_cast<uint64_t>(std::max(flags.checkpoint_every, 0L));
+  core_options.sync_wal = flags.sync_wal;
+  core_options.max_lhs_size = static_cast<int>(flags.max_lhs);
+  core_options.threads = static_cast<int>(flags.threads);
+  auto core = ServiceCore::Open(*seed, core_options);
+  if (!core.ok()) return Fail(core.status());
+  const ServiceStats recovered = (*core)->stats();
+  std::cerr << "normalize_serve: recovered"
+            << (recovered.recovered_from_checkpoint ? " from checkpoint"
+                                                    : " from seed")
+            << ", replayed " << recovered.recovered_wal_records
+            << " wal records (dropped "
+            << recovered.recovery_tail_dropped_bytes
+            << " torn tail bytes), last_applied_seq="
+            << recovered.last_applied_seq << "\n";
+
+  ServiceServer server(core->get(), ServiceServerOptions{flags.socket_path});
+  server.set_on_shutdown_request([] { g_stop_requested = 1; });
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+  std::cerr << "normalize_serve: listening on " << flags.socket_path << "\n";
+
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::cerr << "normalize_serve: draining\n";
+  server.Stop();                        // finish in-flight requests first
+  Status drained = (*core)->Shutdown();  // then drain the writer queue
+  if (!drained.ok()) return Fail(drained);
+  std::cerr << "normalize_serve: clean shutdown\n";
+  return 0;
+}
+
+// One in-doubt-safe request: (re)connect if needed, send, and treat
+// transport failures and backpressure as retryable. Batches are safe to
+// resend verbatim because the seq dedups on the server.
+Result<ServiceResponse> CallWithRecovery(
+    const Flags& flags, Result<ServiceClient>* client,
+    const ServiceRequest& request, Rng* rng) {
+  RetryPolicy connect_policy;
+  connect_policy.max_attempts = 200;
+  connect_policy.initial_backoff_ms = 5.0;
+  connect_policy.max_backoff_ms = 250.0;
+  connect_policy.jitter = 0.5;
+  Deadline give_up = Deadline::AfterMillis(60e3);
+  Status last = Status::Unavailable("not connected");
+  for (int attempt = 0; attempt < 400; ++attempt) {
+    if (give_up.Expired()) break;
+    if (!client->ok()) {
+      *client = ServiceClient::ConnectWithRetry(flags.socket_path,
+                                                connect_policy, rng, give_up);
+      if (!client->ok()) {
+        last = client->status();
+        continue;
+      }
+    }
+    Result<ServiceResponse> response = (*client)->Call(request);
+    if (!response.ok()) {
+      // Transport broke mid-call (server died): drop the connection and
+      // resend the same request on a fresh one.
+      last = response.status();
+      *client = last;
+      continue;
+    }
+    Status application = response->ToStatus();
+    if (application.ok()) return response;
+    if (application.code() == StatusCode::kResourceExhausted ||
+        application.code() == StatusCode::kUnavailable) {
+      // Backpressure / draining: honor the server's retry hint.
+      double delay_ms =
+          response->retry_after_ms > 0 ? response->retry_after_ms : 25.0;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+      last = application;
+      continue;
+    }
+    return response;  // non-retryable application error; caller decides
+  }
+  return last;
+}
+
+int Drive(const Flags& flags) {
+  if (flags.socket_path.empty()) {
+    std::cerr << "drive requires --socket=<path>\n";
+    return 2;
+  }
+  auto seed = LoadSeed(flags);
+  if (!seed.ok()) return Fail(seed.status());
+
+  UpdateStreamSpec spec;
+  if (flags.mix == "delete-heavy") {
+    spec = UpdateStreamSpec::DeleteHeavy(static_cast<uint64_t>(flags.seed));
+  } else if (flags.mix.empty() || flags.mix == "default") {
+    spec.seed = static_cast<uint64_t>(flags.seed);
+  } else {
+    std::cerr << "unknown --mix (default|delete-heavy): " << flags.mix
+              << "\n";
+    return 2;
+  }
+  if (flags.batch_size > 0) {
+    spec.batch_size = static_cast<size_t>(flags.batch_size);
+  }
+
+  // The mirror advances only on acked batches, so the generated stream is
+  // identical across server crashes and restarts.
+  LiveRelation mirror(*seed);
+  UpdateStreamGenerator generator(*seed, spec);
+  Rng retry_rng(static_cast<uint64_t>(flags.seed) ^ 0x9e3779b97f4a7c15ull);
+  Result<ServiceClient> client =
+      ServiceClient::Connect(flags.socket_path);  // lazily retried
+
+  uint64_t applied = 0;
+  for (long i = 1; i <= flags.batches; ++i) {
+    LiveBatch batch = generator.NextBatch(mirror);
+    ServiceRequest request;
+    request.type = ServiceRequestType::kApplyBatch;
+    request.seq = static_cast<uint64_t>(i);
+    request.deadline_ms = static_cast<uint32_t>(flags.deadline_ms);
+    request.batch = batch;
+    Result<ServiceResponse> response =
+        CallWithRecovery(flags, &client, request, &retry_rng);
+    if (!response.ok()) return Fail(response.status());
+    Status acked = response->ToStatus();
+    if (!acked.ok()) return Fail(acked);
+    auto delta = mirror.Apply(batch);
+    if (!delta.ok()) return Fail(delta.status());
+    ++applied;
+  }
+  std::cerr << "normalize_serve: drove " << applied << " batches ("
+            << mirror.live_rows() << " live rows in mirror)\n";
+
+  if (!flags.cover_output.empty()) {
+    ServiceRequest request;
+    request.type = ServiceRequestType::kGetCover;
+    Result<ServiceResponse> response =
+        CallWithRecovery(flags, &client, request, &retry_rng);
+    if (!response.ok()) return Fail(response.status());
+    std::ofstream out(flags.cover_output);
+    out << response->text;
+    if (!out.good()) {
+      return Fail(Status::IoError("cannot write " + flags.cover_output));
+    }
+    std::cerr << "normalize_serve: wrote cover (epoch " << response->epoch
+              << ", " << response->live_rows << " live rows) to "
+              << flags.cover_output << "\n";
+  }
+  return 0;
+}
+
+int ReadCommand(const Flags& flags, ServiceRequestType type) {
+  if (flags.socket_path.empty()) {
+    std::cerr << flags.command << " requires --socket=<path>\n";
+    return 2;
+  }
+  auto client = ServiceClient::Connect(flags.socket_path);
+  if (!client.ok()) return Fail(client.status());
+  ServiceRequest request;
+  request.type = type;
+  request.deadline_ms = static_cast<uint32_t>(flags.deadline_ms);
+  auto response = client->Call(request);
+  if (!response.ok()) return Fail(response.status());
+  Status application = response->ToStatus();
+  if (!application.ok()) return Fail(application);
+  if (flags.output.empty()) {
+    std::cout << response->text;
+  } else {
+    std::ofstream out(flags.output);
+    out << response->text;
+    if (!out.good()) {
+      return Fail(Status::IoError("cannot write " + flags.output));
+    }
+  }
+  return 0;
+}
+
+int ShutdownCommand(const Flags& flags) {
+  if (flags.socket_path.empty()) {
+    std::cerr << "shutdown requires --socket=<path>\n";
+    return 2;
+  }
+  auto client = ServiceClient::Connect(flags.socket_path);
+  if (!client.ok()) return Fail(client.status());
+  auto response = client->RequestShutdown();
+  if (!response.ok()) return Fail(response.status());
+  return ExitCodeFor(response->ToStatus());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  if (flags.command == "serve") return Serve(flags);
+  if (flags.command == "drive") return Drive(flags);
+  if (flags.command == "cover") {
+    return ReadCommand(flags, ServiceRequestType::kGetCover);
+  }
+  if (flags.command == "schema") {
+    return ReadCommand(flags, ServiceRequestType::kGetSchema);
+  }
+  if (flags.command == "stats") {
+    return ReadCommand(flags, ServiceRequestType::kGetStats);
+  }
+  if (flags.command == "shutdown") return ShutdownCommand(flags);
+  std::cerr
+      << "usage: normalize_serve serve|drive|cover|schema|stats|shutdown "
+         "[--socket=<path>] [--dir=<dir>] ...\n"
+         "(see the comment at the top of examples/normalize_serve.cpp)\n";
+  return 2;
+}

@@ -5,6 +5,7 @@
 // routing every lock through these types makes the discipline checkable.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -47,6 +48,17 @@ class NORMALIZE_SCOPED_CAPABILITY MutexLock {
   /// instead of inside an opaque lambda:
   ///   while (!ready_) lock.Wait(cv_);
   void Wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+  /// Like Wait() but bounded: returns false if `timeout` elapsed before a
+  /// notification, true otherwise. Deadline-bounded admission queues use
+  /// this so a caller's wait-for-space never outlives its request deadline:
+  ///   while (full_ && !deadline.Expired())
+  ///     lock.WaitFor(cv_, std::chrono::milliseconds(5));
+  template <class Rep, class Period>
+  bool WaitFor(std::condition_variable& cv,
+               const std::chrono::duration<Rep, Period>& timeout) {
+    return cv.wait_for(lock_, timeout) == std::cv_status::no_timeout;
+  }
 
  private:
   std::unique_lock<std::mutex> lock_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/rng.hpp"
+
 namespace normalize {
 
 namespace {
@@ -94,6 +96,14 @@ double RetryPolicy::BackoffMillis(int retry_index) const {
   double delay = initial_backoff_ms *
                  std::pow(backoff_multiplier, static_cast<double>(retry_index));
   return std::min(delay, max_backoff_ms);
+}
+
+double RetryPolicy::JitteredBackoffMillis(int retry_index, Rng* rng) const {
+  double delay = BackoffMillis(retry_index);
+  if (rng == nullptr) return delay;
+  double fraction = std::clamp(jitter, 0.0, 1.0);
+  if (fraction <= 0.0) return delay;
+  return delay * (1.0 - fraction * rng->UniformReal());
 }
 
 Status RunContext::Check() const {

@@ -167,17 +167,30 @@ class FaultInjector {
   std::atomic<uint64_t> injected_{0};
 };
 
+class Rng;
+
 /// Capped-exponential-backoff retry schedule for transient (kUnavailable)
-/// failures, used by the sharded ingest.
+/// failures, used by the sharded ingest and the service clients.
 struct RetryPolicy {
   /// Total attempts including the first; <= 1 disables retrying.
   int max_attempts = 4;
   double initial_backoff_ms = 1.0;
   double backoff_multiplier = 2.0;
   double max_backoff_ms = 100.0;
+  /// Fraction of each backoff randomized away so concurrent clients retrying
+  /// against one backpressured service don't synchronize into retry storms:
+  /// JitteredBackoffMillis draws uniformly from [d * (1 - jitter), d] where
+  /// d = BackoffMillis(retry_index). 0 (the default) keeps the deterministic
+  /// schedule; values are clamped to [0, 1].
+  double jitter = 0.0;
 
   /// Backoff before retry `retry_index` (0-based), capped at max_backoff_ms.
   double BackoffMillis(int retry_index) const;
+
+  /// BackoffMillis with the jitter fraction applied, driven by the caller's
+  /// seeded `rng` so schedules stay reproducible. A null rng (or jitter 0)
+  /// falls back to the deterministic delay.
+  double JitteredBackoffMillis(int retry_index, Rng* rng) const;
 
   /// Only kUnavailable is transient; every other code fails permanently.
   bool IsRetryable(const Status& status) const {

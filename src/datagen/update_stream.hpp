@@ -36,6 +36,20 @@ struct UpdateStreamSpec {
   /// FD violations; pool values create agreeing pairs.
   double fresh_value_fraction = 0.15;
   uint64_t seed = 42;
+
+  /// Delete-dominant mix: 60% deletes, 10% updates, 30% inserts. The store
+  /// shrinks toward the generator's never-drain floor, after which delete
+  /// shortfall degrades to inserts — a sustained stress on the witnessed-
+  /// evidence delete path (witness re-seating, recovery of delete-heavy
+  /// WALs) that the default mix only grazes.
+  static UpdateStreamSpec DeleteHeavy(uint64_t seed = 42) {
+    UpdateStreamSpec spec;
+    spec.insert_fraction = 0.3;
+    spec.update_fraction = 0.1;
+    spec.delete_fraction = 0.6;
+    spec.seed = seed;
+    return spec;
+  }
 };
 
 /// Generates batches against the *current* live state of a relation; the

@@ -104,12 +104,29 @@ Status DeltaFdMaintainer::ApplyBatch(const LiveBatch& batch) {
     // refutations) miss from old_valid and get revalidated below.
     size_t dropped = 0;
     for (auto it = evidence_.begin(); it != evidence_.end();) {
-      if (!relation_->IsLive(it->second.first) ||
-          !relation_->IsLive(it->second.second)) {
+      bool first_live = relation_->IsLive(it->second.first);
+      bool second_live = relation_->IsLive(it->second.second);
+      if (first_live && second_live) {
+        ++it;
+        continue;
+      }
+      // Before discarding: if one witness survived, the agree set is often
+      // still realized — hot rows die constantly under NURand skew, but the
+      // value combination they carried rarely dies with them. Re-seating on
+      // a surviving pair keeps the entry and, when every dead-witness entry
+      // re-seats, skips the tree re-induction entirely.
+      std::optional<std::pair<RowId, RowId>> replacement;
+      if (options_.witness_reseat && (first_live || second_live)) {
+        replacement = ReseatWitness(
+            it->first, first_live ? it->second.first : it->second.second);
+      }
+      if (replacement.has_value()) {
+        it->second = *replacement;
+        ++stats_.evidence_reseated;
+        ++it;
+      } else {
         it = evidence_.erase(it);
         ++dropped;
-      } else {
-        ++it;
       }
     }
     stats_.evidence_dropped += dropped;
@@ -280,6 +297,46 @@ Status DeltaFdMaintainer::RunSweep(const FdTree* old_valid,
     }
   }
   return Status::OK();
+}
+
+std::optional<std::pair<RowId, RowId>> DeltaFdMaintainer::ReseatWitness(
+    const AttributeSet& agree, RowId survivor) const {
+  std::vector<AttributeId> attrs = agree.ToVector();
+  // An all-disagreeing pair has no cluster to probe; let the entry drop.
+  if (attrs.empty()) return std::nullopt;
+  AttributeId pivot = attrs[0];
+  size_t pivot_size = relation_->column_index(pivot).ClusterSizeOf(survivor);
+  for (AttributeId c : attrs) {
+    size_t size = relation_->column_index(c).ClusterSizeOf(survivor);
+    if (size < pivot_size) {
+      pivot_size = size;
+      pivot = c;
+    }
+  }
+  // Candidates agreeing with the survivor on the pivot, all live by index
+  // maintenance; the exact-agree check filters the rest. The scan bound
+  // keeps a pathological mega-cluster from turning one delete into a table
+  // scan — past it we drop the entry, which is always correct.
+  const std::vector<RowId>& cluster =
+      relation_->column_index(pivot).Cluster(relation_->code(pivot, survivor));
+  size_t scanned = 0;
+  for (RowId r : cluster) {
+    if (r == survivor) continue;
+    if (++scanned > options_.reseat_probe_limit) break;
+    if (relation_->AgreeSet(survivor, r) == agree) {
+      return std::make_pair(std::min(survivor, r), std::max(survivor, r));
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<AttributeSet, std::pair<RowId, RowId>>>
+DeltaFdMaintainer::ExportWitnessedEvidence() const {
+  std::vector<std::pair<AttributeSet, std::pair<RowId, RowId>>> out(
+      evidence_.begin(), evidence_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 void DeltaFdMaintainer::RebuildTreeFromEvidence() {

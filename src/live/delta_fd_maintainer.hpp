@@ -84,6 +84,17 @@ struct DeltaFdMaintainerOptions {
   /// forces one full tree re-induction; afterwards all evidence is
   /// witnessed and delete handling is incremental.
   bool hyfd_bootstrap = true;
+  /// Before dropping evidence whose witness row died, probe the surviving
+  /// witness's smallest cluster for a replacement pair realizing the exact
+  /// same agree set. Under NURand skew hot rows die nearly every batch, and
+  /// without re-seating each death discards still-real evidence and forces
+  /// a tree re-induction; a successful re-seat keeps the entry (the tree is
+  /// untouched — the agree set is unchanged) at the cost of one bounded
+  /// cluster scan. Covers are bit-identical either way.
+  bool witness_reseat = true;
+  /// Cap on candidate rows scanned per re-seat probe; past it the entry is
+  /// dropped as if unwitnessed (correct, just slower on the next batch).
+  size_t reseat_probe_limit = 128;
 };
 
 class DeltaFdMaintainer {
@@ -98,6 +109,9 @@ class DeltaFdMaintainer {
     size_t violations = 0;
     /// Witnessed evidence entries dropped because a witness row died.
     size_t evidence_dropped = 0;
+    /// Evidence entries whose dead witness was replaced in place by a
+    /// surviving pair with the identical agree set (no drop, no rebuild).
+    size_t evidence_reseated = 0;
     /// Tree re-inductions from the surviving negative cover.
     size_t tree_rebuilds = 0;
     /// Current witnessed negative-cover size.
@@ -126,6 +140,14 @@ class DeltaFdMaintainer {
 
   const Stats& stats() const { return stats_; }
 
+  /// The witnessed negative cover in canonical (sorted agree set) order,
+  /// for the service checkpoint. Restoring is not supported — recovery
+  /// re-runs Initialize() — but persisting it lets recovery cross-check
+  /// the rebuilt evidence against what the checkpointed cover was built
+  /// from.
+  std::vector<std::pair<AttributeSet, std::pair<RowId, RowId>>>
+  ExportWitnessedEvidence() const;
+
  private:
   struct Unit {
     AttributeSet lhs;
@@ -152,6 +174,15 @@ class DeltaFdMaintainer {
 
   /// Re-induces tree_ from the witnessed evidence (canonical order).
   void RebuildTreeFromEvidence();
+
+  /// Searches for a live pair realizing exactly `agree`, starting from the
+  /// surviving witness row: scans `survivor`'s smallest cluster over the
+  /// agree set's attributes (bounded by reseat_probe_limit) for a live
+  /// partner whose agree set with `survivor` is exactly `agree`. nullopt if
+  /// none is found within the bound (the entry is then dropped).
+  std::optional<std::pair<RowId, RowId>> ReseatWitness(
+      const AttributeSet& agree,
+                                                       RowId survivor) const;
 
   void Publish();
 

@@ -24,6 +24,26 @@ LiveRelation::LiveRelation(const RelationData& initial) : data_(initial) {
   }
 }
 
+LiveRelation::LiveRelation(const RelationData& full_log,
+                           const std::vector<char>& live_mask)
+    : data_(full_log) {
+  size_t rows = data_.num_rows();
+  int n = data_.num_columns();
+  live_.assign(live_mask.begin(), live_mask.end());
+  live_.resize(rows, 0);
+  live_pos_.assign(rows, 0);
+  indexes_.resize(static_cast<size_t>(n));
+  for (size_t r = 0; r < rows; ++r) {
+    if (live_[r] == 0) continue;
+    live_pos_[r] = static_cast<uint32_t>(live_list_.size());
+    live_list_.push_back(static_cast<RowId>(r));
+    for (int c = 0; c < n; ++c) {
+      indexes_[static_cast<size_t>(c)].Insert(static_cast<RowId>(r),
+                                              data_.column(c).code(r));
+    }
+  }
+}
+
 std::vector<RowId> LiveRelation::LiveRowIds() const {
   std::vector<RowId> ids = live_list_;
   std::sort(ids.begin(), ids.end());
@@ -51,9 +71,8 @@ void LiveRelation::KillRow(RowId row) {
   for (auto& index : indexes_) index.Erase(row);
 }
 
-Result<BatchDelta> LiveRelation::Apply(const LiveBatch& batch) {
+Status LiveRelation::ValidateBatch(const LiveBatch& batch) const {
   size_t cols = static_cast<size_t>(data_.num_columns());
-  // Validate everything up front so a bad batch leaves the store untouched.
   std::unordered_set<RowId> targets;
   for (RowId row : batch.deletes) {
     if (!IsLive(row)) {
@@ -89,6 +108,12 @@ Result<BatchDelta> LiveRelation::Apply(const LiveBatch& batch) {
                                      std::to_string(cols) + " columns");
     }
   }
+  return Status::OK();
+}
+
+Result<BatchDelta> LiveRelation::Apply(const LiveBatch& batch) {
+  // Validate everything up front so a bad batch leaves the store untouched.
+  NORMALIZE_RETURN_IF_ERROR(ValidateBatch(batch));
 
   BatchDelta delta;
   for (RowId row : batch.deletes) {

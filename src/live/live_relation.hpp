@@ -69,6 +69,16 @@ class LiveRelation {
   /// `initial`). All initial rows are live.
   explicit LiveRelation(const RelationData& initial);
 
+  /// Restores a store from a persisted append-only row log plus its liveness
+  /// mask (the service checkpoint path): row r of `full_log` is live iff
+  /// `live_mask[r] != 0`. The RowId space is reproduced exactly — dead rows
+  /// keep their slots — so WAL records captured before the crash replay
+  /// against the same ids. The internal live order is rebuilt ascending, not
+  /// the pre-crash swap-remove order; only NthLiveRow observes that order,
+  /// and the service never calls it (clients drive target selection).
+  LiveRelation(const RelationData& full_log,
+               const std::vector<char>& live_mask);
+
   /// The append-only backing store, dead rows included. Row ids index into
   /// it; attribute ids / universe metadata are the initial relation's.
   const RelationData& data() const { return data_; }
@@ -97,6 +107,12 @@ class LiveRelation {
   /// untouched — when a target row is not live, is named twice, or a new row
   /// has the wrong arity. Returns the delta for the FD maintainer.
   Result<BatchDelta> Apply(const LiveBatch& batch);
+
+  /// The admission check Apply() runs before mutating anything, exposed so
+  /// the service can reject a malformed batch *before* logging it to the
+  /// WAL (a rejected batch must never reach the durable log — replay only
+  /// sees batches that applied). OK iff Apply(batch) would succeed now.
+  [[nodiscard]] Status ValidateBatch(const LiveBatch& batch) const;
 
   /// The delta-maintained position index of one column (all live rows,
   /// singletons included).

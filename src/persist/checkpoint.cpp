@@ -25,6 +25,10 @@ constexpr uint32_t kSectionFrontier = 3;
 constexpr uint32_t kSectionEvidence = 4;
 constexpr uint32_t kSectionCover = 5;
 constexpr uint32_t kSectionInterruption = 6;
+constexpr uint32_t kSectionLiveMeta = 7;
+constexpr uint32_t kSectionLiveStore = 8;
+constexpr uint32_t kSectionLiveCover = 9;
+constexpr uint32_t kSectionLiveEvidence = 10;
 
 }  // namespace
 
@@ -163,6 +167,96 @@ Result<FdSet> CheckpointManager::LoadCover() {
   NORMALIZE_ASSIGN_OR_RETURN(FdSet cover, DecodeFdSet(&dec));
   NORMALIZE_RETURN_IF_ERROR(dec.ExpectEnd());
   return cover;
+}
+
+Status CheckpointManager::SaveLiveState(const LiveServiceState& state) {
+  SnapshotEncoder meta;
+  meta.PutU64(state.epoch);
+  meta.PutU64(state.last_applied_seq);
+  meta.PutU64(state.batches_applied);
+
+  SnapshotEncoder store;
+  EncodeRelationPrototype(&store, state.log);
+  EncodeShardRows(&store, state.log);
+  store.PutString(state.live_mask);
+
+  SnapshotEncoder cover;
+  EncodeFdSet(&cover, state.cover);
+
+  SnapshotEncoder evidence;
+  evidence.PutU64(state.evidence.size());
+  for (const auto& [agree, witness] : state.evidence) {
+    EncodeAttributeSet(&evidence, agree);
+    evidence.PutU64(witness.first);
+    evidence.PutU64(witness.second);
+  }
+
+  SnapshotWriter writer;
+  AddFingerprintSection(&writer, fingerprint_);
+  writer.AddSection(kSectionLiveMeta, std::move(meta).bytes());
+  writer.AddSection(kSectionLiveStore, std::move(store).bytes());
+  writer.AddSection(kSectionLiveCover, std::move(cover).bytes());
+  writer.AddSection(kSectionLiveEvidence, std::move(evidence).bytes());
+  return writer.WriteToFile(options_.dir + "/live.snap");
+}
+
+Result<LiveServiceState> CheckpointManager::LoadLiveState() {
+  NORMALIZE_ASSIGN_OR_RETURN(
+      SnapshotReader reader,
+      OpenVerifiedSnapshot(options_.dir + "/live.snap", fingerprint_));
+  LiveServiceState state;
+  {
+    NORMALIZE_ASSIGN_OR_RETURN(std::string_view bytes,
+                               reader.Section(kSectionLiveMeta));
+    SnapshotDecoder dec(bytes);
+    NORMALIZE_ASSIGN_OR_RETURN(state.epoch, dec.GetU64());
+    NORMALIZE_ASSIGN_OR_RETURN(state.last_applied_seq, dec.GetU64());
+    NORMALIZE_ASSIGN_OR_RETURN(state.batches_applied, dec.GetU64());
+    NORMALIZE_RETURN_IF_ERROR(dec.ExpectEnd());
+  }
+  {
+    NORMALIZE_ASSIGN_OR_RETURN(std::string_view bytes,
+                               reader.Section(kSectionLiveStore));
+    SnapshotDecoder dec(bytes);
+    NORMALIZE_ASSIGN_OR_RETURN(RelationData proto,
+                               DecodeRelationPrototype(&dec));
+    NORMALIZE_ASSIGN_OR_RETURN(state.log,
+                               DecodeShardRows(&dec, proto, proto.name()));
+    NORMALIZE_ASSIGN_OR_RETURN(state.live_mask, dec.GetString());
+    NORMALIZE_RETURN_IF_ERROR(dec.ExpectEnd());
+    if (state.live_mask.size() != state.log.num_rows()) {
+      return Status::DataLoss(
+          "live.snap mask covers " + std::to_string(state.live_mask.size()) +
+          " rows but the log holds " + std::to_string(state.log.num_rows()));
+    }
+  }
+  {
+    NORMALIZE_ASSIGN_OR_RETURN(std::string_view bytes,
+                               reader.Section(kSectionLiveCover));
+    SnapshotDecoder dec(bytes);
+    NORMALIZE_ASSIGN_OR_RETURN(state.cover, DecodeFdSet(&dec));
+    NORMALIZE_RETURN_IF_ERROR(dec.ExpectEnd());
+  }
+  {
+    NORMALIZE_ASSIGN_OR_RETURN(std::string_view bytes,
+                               reader.Section(kSectionLiveEvidence));
+    SnapshotDecoder dec(bytes);
+    NORMALIZE_ASSIGN_OR_RETURN(uint64_t count, dec.GetU64());
+    state.evidence.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      NORMALIZE_ASSIGN_OR_RETURN(AttributeSet agree, DecodeAttributeSet(&dec));
+      NORMALIZE_ASSIGN_OR_RETURN(uint64_t first, dec.GetU64());
+      NORMALIZE_ASSIGN_OR_RETURN(uint64_t second, dec.GetU64());
+      if (first >= state.log.num_rows() || second >= state.log.num_rows()) {
+        return Status::DataLoss("live.snap evidence witness row out of range");
+      }
+      state.evidence.emplace_back(
+          std::move(agree), std::make_pair(static_cast<RowId>(first),
+                                           static_cast<RowId>(second)));
+    }
+    NORMALIZE_RETURN_IF_ERROR(dec.ExpectEnd());
+  }
+  return state;
 }
 
 void CheckpointManager::OnInterruption(const Status& why) {

@@ -20,8 +20,10 @@
 // the hook may race with them in principle, so its latch is mutex-guarded.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/run_context.hpp"
@@ -31,6 +33,26 @@
 #include "shard/sharded_discovery.hpp"
 
 namespace normalize {
+
+/// The durable image of a live normalization service at one checkpoint tick
+/// (live.snap): the full append-only row log — dead rows included, so the
+/// RowId space WAL records address is reproduced exactly — its liveness
+/// mask, the published cover plus witnessed evidence, and the sequence
+/// high-water mark the image covers (WAL records at or below it are
+/// truncated away after the save).
+struct LiveServiceState {
+  RelationData log;
+  /// One byte per log row: 0 dead, 1 live.
+  std::string live_mask;
+  uint64_t epoch = 0;
+  uint64_t last_applied_seq = 0;
+  uint64_t batches_applied = 0;
+  FdSet cover;
+  /// Witnessed negative cover (sorted agree sets). Recovery re-derives its
+  /// own evidence via Initialize(); the persisted copy documents what the
+  /// checkpointed cover was built from and feeds integrity cross-checks.
+  std::vector<std::pair<AttributeSet, std::pair<RowId, RowId>>> evidence;
+};
 
 class CheckpointManager : public DiscoveryCheckpointSink,
                           public CheckpointHook {
@@ -83,6 +105,18 @@ class CheckpointManager : public DiscoveryCheckpointSink,
   Status SaveCover(const FdSet& cover);
   /// kNotFound when no final cover was checkpointed.
   Result<FdSet> LoadCover();
+
+  // --- live service stage ---
+
+  /// Persists the service image atomically (live.snap, tmp + rename): a
+  /// crash mid-save leaves the previous image intact, and a crash between
+  /// the save and the WAL truncation only makes replay skip already-covered
+  /// sequence numbers.
+  Status SaveLiveState(const LiveServiceState& state);
+  /// kNotFound when no live image exists (fresh service start); corruption
+  /// is kDataLoss and a fingerprint mismatch kFailedPrecondition, exactly
+  /// like the pipeline snapshots.
+  Result<LiveServiceState> LoadLiveState();
 
   // --- interruption hook (CheckpointHook) ---
 

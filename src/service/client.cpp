@@ -1,0 +1,130 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace normalize {
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<ServiceClient> ServiceClient::Connect(const std::string& socket_path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket() failed: ") +
+                           std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    // ENOENT / ECONNREFUSED are the restarting-daemon cases — transient by
+    // contract, so ConnectWithRetry keeps trying them.
+    return Status::Unavailable("connect(" + socket_path + ") failed: " +
+                               std::strerror(err));
+  }
+  return ServiceClient(fd);
+}
+
+Result<ServiceClient> ServiceClient::ConnectWithRetry(
+    const std::string& socket_path, const RetryPolicy& policy, Rng* rng,
+    Deadline give_up) {
+  Status last = Status::Unavailable("no connection attempt made");
+  for (int attempt = 0; attempt < std::max(policy.max_attempts, 1);
+       ++attempt) {
+    if (give_up.Expired()) {
+      return Status::DeadlineExceeded("gave up connecting to " + socket_path +
+                                      ": " + last.message());
+    }
+    Result<ServiceClient> connected = Connect(socket_path);
+    if (connected.ok()) return connected;
+    last = connected.status();
+    if (!policy.IsRetryable(last)) return last;
+    double delay_ms = policy.JitteredBackoffMillis(attempt, rng);
+    if (give_up.has_deadline()) {
+      delay_ms = std::min(delay_ms, give_up.RemainingSeconds() * 1e3);
+    }
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+  }
+  return last;
+}
+
+Result<ServiceResponse> ServiceClient::Call(const ServiceRequest& request) {
+  NORMALIZE_RETURN_IF_ERROR(WriteFrame(fd_, EncodeServiceRequest(request)));
+  NORMALIZE_ASSIGN_OR_RETURN(std::string payload, ReadFrame(fd_));
+  return DecodeServiceResponse(payload);
+}
+
+Result<ServiceResponse> ServiceClient::Ping() {
+  ServiceRequest request;
+  request.type = ServiceRequestType::kPing;
+  return Call(request);
+}
+
+Result<ServiceResponse> ServiceClient::Apply(uint64_t seq,
+                                             const LiveBatch& batch,
+                                             uint32_t deadline_ms) {
+  ServiceRequest request;
+  request.type = ServiceRequestType::kApplyBatch;
+  request.seq = seq;
+  request.deadline_ms = deadline_ms;
+  request.batch = batch;
+  return Call(request);
+}
+
+Result<ServiceResponse> ServiceClient::Cover() {
+  ServiceRequest request;
+  request.type = ServiceRequestType::kGetCover;
+  return Call(request);
+}
+
+Result<ServiceResponse> ServiceClient::Schema(uint32_t deadline_ms) {
+  ServiceRequest request;
+  request.type = ServiceRequestType::kGetSchema;
+  request.deadline_ms = deadline_ms;
+  return Call(request);
+}
+
+Result<ServiceResponse> ServiceClient::Stats() {
+  ServiceRequest request;
+  request.type = ServiceRequestType::kGetStats;
+  return Call(request);
+}
+
+Result<ServiceResponse> ServiceClient::RequestShutdown() {
+  ServiceRequest request;
+  request.type = ServiceRequestType::kShutdown;
+  return Call(request);
+}
+
+}  // namespace normalize

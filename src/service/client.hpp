@@ -1,0 +1,55 @@
+// ServiceClient: a blocking framed-RPC client for the normalization
+// service. One connection per client; helpers wrap the request types. The
+// retry story lives here: ConnectWithRetry backs off with the jittered
+// RetryPolicy schedule (so a fleet of clients re-connecting to a restarted
+// daemon spreads out), and callers resolve in-doubt batches by resending
+// with the same seq — the server's dedup makes the resend exactly-once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/run_context.hpp"
+#include "service/framing.hpp"
+
+namespace normalize {
+
+class ServiceClient {
+ public:
+  ~ServiceClient();
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// One connection attempt; kUnavailable when the socket is absent or
+  /// refusing (the server is down or still starting).
+  static Result<ServiceClient> Connect(const std::string& socket_path);
+
+  /// Connect with jittered exponential backoff until `policy.max_attempts`
+  /// runs out or `give_up` expires — whichever first. `rng` drives the
+  /// jitter (null = deterministic schedule).
+  static Result<ServiceClient> ConnectWithRetry(
+      const std::string& socket_path, const RetryPolicy& policy, Rng* rng,
+      Deadline give_up = Deadline::Never());
+
+  /// One round-trip. Transport errors are kUnavailable/kIoError/kDataLoss;
+  /// an OK result still carries the *application* status in response.code.
+  Result<ServiceResponse> Call(const ServiceRequest& request);
+
+  Result<ServiceResponse> Ping();
+  Result<ServiceResponse> Apply(uint64_t seq, const LiveBatch& batch,
+                                uint32_t deadline_ms = 0);
+  Result<ServiceResponse> Cover();
+  Result<ServiceResponse> Schema(uint32_t deadline_ms = 0);
+  Result<ServiceResponse> Stats();
+  Result<ServiceResponse> RequestShutdown();
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace normalize

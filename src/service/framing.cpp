@@ -1,0 +1,147 @@
+#include "service/framing.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "persist/codec.hpp"
+#include "service/wal.hpp"
+
+namespace normalize {
+
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x3156534Eu;  // "NSV1" little-endian
+// Frames bound one request/response; anything larger than this is a
+// protocol violation, not a big message (batches are bounded by the
+// admission queue long before this).
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+Status ReadExact(int fd, char* buf, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::read(fd, buf + off, len - off);
+    if (n == 0) {
+      return off == 0 ? Status::Unavailable("connection closed by peer")
+                      : Status::DataLoss("connection closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket read failed: ") +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload) {
+  SnapshotEncoder enc;
+  enc.PutU32(kFrameMagic);
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  enc.PutU32(Crc32(payload));
+  enc.PutRaw(payload);
+  std::string frame = std::move(enc).bytes();
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("connection closed by peer");
+      }
+      return Status::IoError(std::string("socket write failed: ") +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFrame(int fd) {
+  char header[12];
+  NORMALIZE_RETURN_IF_ERROR(ReadExact(fd, header, sizeof(header)));
+  SnapshotDecoder dec(std::string_view(header, sizeof(header)));
+  uint32_t magic = dec.GetU32().value();
+  uint32_t len = dec.GetU32().value();
+  uint32_t crc = dec.GetU32().value();
+  if (magic != kFrameMagic) {
+    return Status::DataLoss("bad frame magic from peer");
+  }
+  if (len > kMaxFrameBytes) {
+    return Status::DataLoss("oversized frame (" + std::to_string(len) +
+                            " bytes) from peer");
+  }
+  std::string payload(len, '\0');
+  NORMALIZE_RETURN_IF_ERROR(ReadExact(fd, payload.data(), len));
+  if (Crc32(payload) != crc) {
+    return Status::DataLoss("frame checksum mismatch from peer");
+  }
+  return payload;
+}
+
+std::string EncodeServiceRequest(const ServiceRequest& request) {
+  SnapshotEncoder enc;
+  enc.PutU8(static_cast<uint8_t>(request.type));
+  enc.PutU64(request.seq);
+  enc.PutU32(request.deadline_ms);
+  if (request.type == ServiceRequestType::kApplyBatch) {
+    enc.PutString(EncodeLiveBatch(request.batch));
+  }
+  return std::move(enc).bytes();
+}
+
+Result<ServiceRequest> DecodeServiceRequest(std::string_view payload) {
+  SnapshotDecoder dec(payload);
+  ServiceRequest request;
+  NORMALIZE_ASSIGN_OR_RETURN(uint8_t type, dec.GetU8());
+  if (type < static_cast<uint8_t>(ServiceRequestType::kPing) ||
+      type > static_cast<uint8_t>(ServiceRequestType::kShutdown)) {
+    return Status::DataLoss("unknown request type " + std::to_string(type));
+  }
+  request.type = static_cast<ServiceRequestType>(type);
+  NORMALIZE_ASSIGN_OR_RETURN(request.seq, dec.GetU64());
+  NORMALIZE_ASSIGN_OR_RETURN(request.deadline_ms, dec.GetU32());
+  if (request.type == ServiceRequestType::kApplyBatch) {
+    NORMALIZE_ASSIGN_OR_RETURN(std::string batch, dec.GetString());
+    NORMALIZE_ASSIGN_OR_RETURN(request.batch, DecodeLiveBatch(batch));
+  }
+  NORMALIZE_RETURN_IF_ERROR(dec.ExpectEnd());
+  return request;
+}
+
+std::string EncodeServiceResponse(const ServiceResponse& response) {
+  SnapshotEncoder enc;
+  enc.PutU8(static_cast<uint8_t>(response.code));
+  enc.PutString(response.message);
+  enc.PutU32(response.retry_after_ms);
+  enc.PutU64(response.epoch);
+  enc.PutU64(response.live_rows);
+  enc.PutU64(response.last_applied_seq);
+  enc.PutString(response.text);
+  return std::move(enc).bytes();
+}
+
+Result<ServiceResponse> DecodeServiceResponse(std::string_view payload) {
+  SnapshotDecoder dec(payload);
+  ServiceResponse response;
+  NORMALIZE_ASSIGN_OR_RETURN(uint8_t code, dec.GetU8());
+  if (code > static_cast<uint8_t>(StatusCode::kDataLoss)) {
+    return Status::DataLoss("unknown status code " + std::to_string(code) +
+                            " from peer");
+  }
+  response.code = static_cast<StatusCode>(code);
+  NORMALIZE_ASSIGN_OR_RETURN(response.message, dec.GetString());
+  NORMALIZE_ASSIGN_OR_RETURN(response.retry_after_ms, dec.GetU32());
+  NORMALIZE_ASSIGN_OR_RETURN(response.epoch, dec.GetU64());
+  NORMALIZE_ASSIGN_OR_RETURN(response.live_rows, dec.GetU64());
+  NORMALIZE_ASSIGN_OR_RETURN(response.last_applied_seq, dec.GetU64());
+  NORMALIZE_ASSIGN_OR_RETURN(response.text, dec.GetString());
+  NORMALIZE_RETURN_IF_ERROR(dec.ExpectEnd());
+  return response;
+}
+
+}  // namespace normalize

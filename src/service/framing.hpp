@@ -1,0 +1,76 @@
+// The service wire protocol: length-prefixed, CRC-framed request/response
+// messages over a stream socket, encoded with the persist/ codec so both
+// sides share one integer/string wire format with the WAL and snapshots.
+//
+//   frame   := u32 magic "NSV1" | u32 len | u32 crc32(payload) | payload
+//   request := u8 type | u64 seq | u32 deadline_ms | batch (ApplyBatch only)
+//   response:= u8 status code | string message | u32 retry_after_ms
+//              | u64 epoch | u64 live_rows | u64 last_applied_seq
+//              | string text
+//
+// A frame that fails its CRC or magic is kDataLoss (the peer is broken —
+// unlike a WAL tail there is no valid prefix to salvage); a cleanly closed
+// socket at a frame boundary is kUnavailable (retry by reconnecting).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "live/live_relation.hpp"
+
+namespace normalize {
+
+enum class ServiceRequestType : uint8_t {
+  kPing = 1,
+  kApplyBatch = 2,
+  kGetCover = 3,
+  kGetSchema = 4,
+  kGetStats = 5,
+  kShutdown = 6,
+};
+
+struct ServiceRequest {
+  ServiceRequestType type = ServiceRequestType::kPing;
+  /// Client idempotence token for kApplyBatch (0 = at-least-once).
+  uint64_t seq = 0;
+  /// Per-request deadline in milliseconds; 0 = none. Threaded into a
+  /// RunContext server-side.
+  uint32_t deadline_ms = 0;
+  LiveBatch batch;
+};
+
+struct ServiceResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  /// Backoff hint accompanying kResourceExhausted / shed kUnavailable.
+  uint32_t retry_after_ms = 0;
+  /// Cover epoch and live row count at response time.
+  uint64_t epoch = 0;
+  uint64_t live_rows = 0;
+  /// Sequence high-water mark — lets a reconnecting client resolve an
+  /// in-doubt batch without resending it.
+  uint64_t last_applied_seq = 0;
+  /// Payload text: the cover (GetCover), schema (GetSchema), or rendered
+  /// stats (GetStats).
+  std::string text;
+
+  Status ToStatus() const {
+    return code == StatusCode::kOk ? Status::OK() : Status(code, message);
+  }
+};
+
+std::string EncodeServiceRequest(const ServiceRequest& request);
+Result<ServiceRequest> DecodeServiceRequest(std::string_view payload);
+std::string EncodeServiceResponse(const ServiceResponse& response);
+Result<ServiceResponse> DecodeServiceResponse(std::string_view payload);
+
+/// Writes one frame to a connected socket fd (loops over partial writes).
+[[nodiscard]] Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame. kUnavailable on EOF at a frame boundary (peer closed),
+/// kDataLoss on a broken frame, kIoError on socket errors.
+Result<std::string> ReadFrame(int fd);
+
+}  // namespace normalize

@@ -1,0 +1,216 @@
+#include "service/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "fd/fd_io.hpp"
+
+namespace normalize {
+
+namespace {
+
+std::string RenderStats(const ServiceStats& stats) {
+  std::ostringstream out;
+  out << "batches_accepted=" << stats.batches_accepted << "\n"
+      << "duplicates_ignored=" << stats.duplicates_ignored << "\n"
+      << "rejected_invalid=" << stats.rejected_invalid << "\n"
+      << "backpressure_rejections=" << stats.backpressure_rejections << "\n"
+      << "shed_reads=" << stats.shed_reads << "\n"
+      << "wal_appends=" << stats.wal_appends << "\n"
+      << "wal_bytes=" << stats.wal_bytes << "\n"
+      << "checkpoints=" << stats.checkpoints << "\n"
+      << "checkpoint_failures=" << stats.checkpoint_failures << "\n"
+      << "recovered_wal_records=" << stats.recovered_wal_records << "\n"
+      << "recovery_tail_dropped_bytes=" << stats.recovery_tail_dropped_bytes
+      << "\n"
+      << "recovered_from_checkpoint="
+      << (stats.recovered_from_checkpoint ? 1 : 0) << "\n"
+      << "last_applied_seq=" << stats.last_applied_seq << "\n"
+      << "queue_depth=" << stats.queue_depth << "\n"
+      << "queue_peak=" << stats.queue_peak << "\n"
+      << "evidence_reseated=" << stats.maintainer.evidence_reseated << "\n"
+      << "evidence_dropped=" << stats.maintainer.evidence_dropped << "\n"
+      << "tree_rebuilds=" << stats.maintainer.tree_rebuilds << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(ServiceCore* core, ServiceServerOptions options)
+    : core_(core), options_(std::move(options)) {}
+
+ServiceServer::~ServiceServer() { Stop(); }
+
+Status ServiceServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  // A response written into a connection the client already abandoned must
+  // surface as EPIPE, not kill the process.
+  ::signal(SIGPIPE, SIG_IGN);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket() failed: ") +
+                           std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("socket path too long: " +
+                                   options_.socket_path);
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(options_.socket_path.c_str());  // stale socket after SIGKILL
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind(" + options_.socket_path + ") failed: " +
+                           std::strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen(" + options_.socket_path + ") failed: " +
+                           std::strerror(errno));
+  }
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(&ServiceServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void ServiceServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Closing the listener unblocks accept(); shutting down the connection
+  // fds unblocks their readers at the next frame boundary, after which each
+  // connection thread finishes the request it was serving and exits.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    MutexLock lock(mu_);
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
+    workers.swap(connection_threads_);
+  }
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+  {
+    MutexLock lock(mu_);
+    for (int fd : connection_fds_) ::close(fd);
+    connection_fds_.clear();
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+void ServiceServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (Stop) or fatal; either way stop accepting
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    MutexLock lock(mu_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back(&ServiceServer::ServeConnection, this,
+                                     fd);
+  }
+}
+
+void ServiceServer::ServeConnection(int fd) {
+  for (;;) {
+    Result<std::string> frame = ReadFrame(fd);
+    if (!frame.ok()) break;  // peer closed, stop requested, or broken frame
+    Result<ServiceRequest> request = DecodeServiceRequest(*frame);
+    ServiceResponse response;
+    bool shutdown_requested = false;
+    if (!request.ok()) {
+      response.code = request.status().code();
+      response.message = request.status().message();
+    } else {
+      response = Dispatch(*request);
+      shutdown_requested = request->type == ServiceRequestType::kShutdown;
+    }
+    if (!WriteFrame(fd, EncodeServiceResponse(response)).ok()) break;
+    if (shutdown_requested) {
+      if (on_shutdown_request_) on_shutdown_request_();
+      break;
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+ServiceResponse ServiceServer::Dispatch(const ServiceRequest& request) {
+  ServiceResponse response;
+  std::shared_ptr<const CoverSnapshot> snap = core_->Cover();
+  response.epoch = snap->epoch;
+  response.live_rows = snap->live_rows;
+  switch (request.type) {
+    case ServiceRequestType::kPing:
+      break;
+    case ServiceRequestType::kApplyBatch: {
+      RunContext ctx;
+      if (request.deadline_ms > 0) {
+        ctx.deadline = Deadline::AfterMillis(request.deadline_ms);
+      }
+      Status applied = core_->Apply(request.seq, request.batch, &ctx);
+      response.code = applied.code();
+      response.message = applied.message();
+      std::shared_ptr<const CoverSnapshot> after = core_->Cover();
+      response.epoch = after->epoch;
+      response.live_rows = after->live_rows;
+      break;
+    }
+    case ServiceRequestType::kGetCover:
+      response.text = WriteFdsToString(snap->cover, core_->column_names());
+      break;
+    case ServiceRequestType::kGetSchema: {
+      RunContext ctx;
+      if (request.deadline_ms > 0) {
+        ctx.deadline = Deadline::AfterMillis(request.deadline_ms);
+      }
+      Result<std::string> schema = core_->Schema(&ctx);
+      if (schema.ok()) {
+        response.text = *schema;
+      } else {
+        response.code = schema.status().code();
+        response.message = schema.status().message();
+      }
+      break;
+    }
+    case ServiceRequestType::kGetStats:
+      response.text = RenderStats(core_->stats());
+      break;
+    case ServiceRequestType::kShutdown:
+      break;  // acked OK; the hook fires after the response is written
+  }
+  if (response.code == StatusCode::kResourceExhausted ||
+      response.code == StatusCode::kUnavailable) {
+    response.retry_after_ms =
+        static_cast<uint32_t>(core_->retry_after_ms());
+  }
+  response.last_applied_seq = core_->stats().last_applied_seq;
+  return response;
+}
+
+}  // namespace normalize

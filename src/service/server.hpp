@@ -1,0 +1,75 @@
+// ServiceServer: the Unix-domain-socket front of a ServiceCore. One accept
+// thread plus one thread per connection, each running a read-frame /
+// dispatch / write-frame loop; all actual work (queuing, backpressure,
+// durability) happens inside the core, so the server layer stays a thin
+// framed-RPC shim. Stop() is drain-friendly: the listener closes first, a
+// request already being processed finishes and its response is written,
+// then the connection threads are joined.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/result.hpp"
+#include "common/thread_annotations.hpp"
+#include "service/framing.hpp"
+#include "service/service_core.hpp"
+
+namespace normalize {
+
+struct ServiceServerOptions {
+  /// Filesystem path of the AF_UNIX socket; an existing file is unlinked at
+  /// Start() (the stale-socket-after-SIGKILL case).
+  std::string socket_path;
+  int backlog = 16;
+};
+
+class ServiceServer {
+ public:
+  /// `core` is not owned and must outlive the server.
+  ServiceServer(ServiceCore* core, ServiceServerOptions options);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. The socket file exists
+  /// once this returns OK — process supervisors key readiness off it.
+  [[nodiscard]] Status Start();
+
+  /// Stops accepting, completes in-flight requests, joins every thread,
+  /// and removes the socket file. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Invoked (from a connection thread) after a kShutdown request has been
+  /// acked — the CLI wires this to its drain-and-exit path.
+  void set_on_shutdown_request(std::function<void()> hook) {
+    on_shutdown_request_ = std::move(hook);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  ServiceResponse Dispatch(const ServiceRequest& request);
+
+  ServiceCore* core_;
+  ServiceServerOptions options_;
+  std::function<void()> on_shutdown_request_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  Mutex mu_;
+  std::vector<int> connection_fds_ NORMALIZE_GUARDED_BY(mu_);
+  std::vector<std::thread> connection_threads_ NORMALIZE_GUARDED_BY(mu_);
+};
+
+}  // namespace normalize

@@ -1,0 +1,422 @@
+#include "service/service_core.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "normalize/normalizer.hpp"
+#include "persist/checkpoint_options.hpp"
+
+namespace normalize {
+
+namespace {
+
+constexpr const char* kWalFile = "/wal.log";
+
+/// Bit-identical cover comparison: same unary FDs, same order after the
+/// canonical sort both sides went through (RemapToGlobal aggregates+sorts).
+bool SameCover(const FdSet& a, const FdSet& b) {
+  std::vector<Fd> ua = a.ToUnary();
+  std::vector<Fd> ub = b.ToUnary();
+  if (ua.size() != ub.size()) return false;
+  for (size_t i = 0; i < ua.size(); ++i) {
+    if (!(ua[i].lhs == ub[i].lhs) || ua[i].rhs != ub[i].rhs) return false;
+  }
+  return true;
+}
+
+CheckpointFingerprint ServiceFingerprint(const RelationData& seed,
+                                         const ServiceCoreOptions& options) {
+  CheckpointFingerprint fp;
+  fp.source = "service:" + seed.name();
+  fp.source_size = seed.num_rows();
+  fp.backend = "live-service";
+  fp.max_lhs_size = options.max_lhs_size;
+  fp.shard_rows = 0;
+  fp.columns = seed.num_columns();
+  return fp;
+}
+
+}  // namespace
+
+ServiceCore::ServiceCore(ServiceCoreOptions options,
+                         CheckpointFingerprint fingerprint)
+    : options_(std::move(options)),
+      checkpoint_(CheckpointOptions{options_.dir, /*resume=*/true},
+                  std::move(fingerprint)) {}
+
+Result<std::unique_ptr<ServiceCore>> ServiceCore::Open(
+    const RelationData& seed, ServiceCoreOptions options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("service data directory must be set");
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be positive");
+  }
+  CheckpointFingerprint fingerprint = ServiceFingerprint(seed, options);
+  std::unique_ptr<ServiceCore> core(
+      new ServiceCore(std::move(options), std::move(fingerprint)));
+  core->column_names_ = seed.ColumnNames();
+  NORMALIZE_RETURN_IF_ERROR(core->Recover(seed));
+  {
+    MutexLock lock(core->mu_);
+    core->PublishWriterStats();
+  }
+  core->writer_ = std::thread(&ServiceCore::WriterLoop, core.get());
+  return core;
+}
+
+ServiceCore::~ServiceCore() {
+  {
+    MutexLock lock(mu_);
+    abort_ = true;
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  if (writer_.joinable()) writer_.join();
+}
+
+Status ServiceCore::Recover(const RelationData& seed) {
+  FdSet checkpointed_cover;
+  bool have_checkpoint = false;
+  Result<LiveServiceState> loaded = checkpoint_.LoadLiveState();
+  if (loaded.ok()) {
+    std::vector<char> mask(loaded->live_mask.begin(),
+                           loaded->live_mask.end());
+    relation_ = std::make_unique<LiveRelation>(loaded->log, mask);
+    last_applied_seq_ = loaded->last_applied_seq;
+    base_batches_applied_ = loaded->batches_applied;
+    checkpointed_cover = std::move(loaded->cover);
+    have_checkpoint = true;
+  } else if (loaded.status().code() == StatusCode::kNotFound) {
+    relation_ = std::make_unique<LiveRelation>(seed);
+  } else {
+    return loaded.status();
+  }
+
+  // Replay the WAL tail through the exact production apply path. Records
+  // covered by the checkpoint (the crash window between "live.snap written"
+  // and "log truncated") are skipped by sequence number; a torn tail was
+  // already dropped by the reader and is only accounted for.
+  NORMALIZE_ASSIGN_OR_RETURN(WalReplay replay,
+                             ReadWalFile(options_.dir + kWalFile));
+  uint64_t replayed = 0;
+  for (const WalRecord& record : replay.records) {
+    if (record.seq != 0 && record.seq <= last_applied_seq_) continue;
+    NORMALIZE_ASSIGN_OR_RETURN(LiveBatch batch,
+                               DecodeLiveBatch(record.payload));
+    Result<BatchDelta> applied = relation_->Apply(batch);
+    if (!applied.ok()) {
+      // Only validated batches are logged, so a record that fails to apply
+      // means the log and the store disagree — corruption, not a crash.
+      return Status::DataLoss("wal record seq " +
+                              std::to_string(record.seq) +
+                              " does not apply to the recovered store: " +
+                              applied.status().message());
+    }
+    if (record.seq != 0) last_applied_seq_ = record.seq;
+    ++replayed;
+  }
+
+  DeltaFdMaintainerOptions mopts;
+  mopts.max_lhs_size = options_.max_lhs_size;
+  mopts.threads = options_.threads;
+  maintainer_ = std::make_unique<DeltaFdMaintainer>(relation_.get(), mopts);
+  NORMALIZE_RETURN_IF_ERROR(maintainer_->Initialize());
+
+  if (have_checkpoint && replayed == 0) {
+    // No tail to replay: the rebuilt cover must reproduce the checkpointed
+    // one bit for bit (the cover is a pure function of the live rows). A
+    // mismatch means the image is internally inconsistent.
+    if (!SameCover(maintainer_->snapshot()->cover, checkpointed_cover)) {
+      return Status::DataLoss(
+          "recovered cover diverges from the checkpointed cover in " +
+          options_.dir);
+    }
+  }
+
+  // Fold the recovered state into a fresh checkpoint *before* opening the
+  // (truncating) writer: a crash in between leaves the old image + old log,
+  // both still replayable.
+  NORMALIZE_RETURN_IF_ERROR(CheckpointNow());
+  NORMALIZE_ASSIGN_OR_RETURN(
+      WalWriter writer,
+      WalWriter::Open(options_.dir + kWalFile, options_.sync_wal));
+  wal_.emplace(std::move(writer));
+
+  writer_stats_.recovered_wal_records = replayed;
+  writer_stats_.recovery_tail_dropped_bytes = replay.tail_dropped_bytes;
+  writer_stats_.recovered_from_checkpoint = have_checkpoint;
+  writer_stats_.last_applied_seq = last_applied_seq_;
+  writer_stats_.maintainer = maintainer_->stats();
+  return Status::OK();
+}
+
+bool ServiceCore::Enqueue(Job job, const RunContext* ctx, Status* admitted) {
+  Status pre = CheckRunContext(ctx);
+  if (!pre.ok()) {
+    *admitted = pre;
+    return false;
+  }
+  MutexLock lock(mu_);
+  for (;;) {
+    if (draining_ || abort_) {
+      *admitted = Status::Unavailable("service is shutting down");
+      return false;
+    }
+    if (queue_.size() < options_.queue_capacity) break;
+    // Full queue: requests with a deadline wait for space up to it; the
+    // rest are told to back off now, with a hint, so clients spread out
+    // (RetryPolicy::JitteredBackoffMillis) instead of spinning.
+    bool can_wait = ctx != nullptr && ctx->deadline.has_deadline() &&
+                    !ctx->deadline.Expired();
+    if (!can_wait) {
+      if (ctx != nullptr && ctx->deadline.has_deadline()) {
+        *admitted = Status::DeadlineExceeded(
+            "write queue still full at the request deadline");
+      } else {
+        ++stats_.backpressure_rejections;
+        *admitted = Status::ResourceExhausted(
+            "write queue full (" + std::to_string(queue_.size()) + "/" +
+            std::to_string(options_.queue_capacity) + " batches); retry in ~" +
+            std::to_string(options_.retry_after_ms) + "ms");
+      }
+      return false;
+    }
+    lock.WaitFor(space_cv_, std::chrono::milliseconds(2));
+  }
+  queue_.push_back(std::move(job));
+  stats_.queue_depth = queue_.size();
+  stats_.queue_peak = std::max(stats_.queue_peak, queue_.size());
+  work_cv_.notify_one();
+  return true;
+}
+
+Status ServiceCore::Apply(uint64_t seq, LiveBatch batch,
+                          const RunContext* ctx) {
+  Job job;
+  job.kind = Job::Kind::kBatch;
+  job.seq = seq;
+  job.batch = std::move(batch);
+  std::future<Status> ack = job.ack.get_future();
+  Status admitted;
+  if (!Enqueue(std::move(job), ctx, &admitted)) return admitted;
+  if (ctx != nullptr && ctx->deadline.has_deadline()) {
+    auto budget =
+        std::chrono::duration<double>(
+            std::max(ctx->deadline.RemainingSeconds(), 0.0));
+    if (ack.wait_for(budget) != std::future_status::ready) {
+      // The batch stays queued and may still apply; the client's resend
+      // with the same seq resolves either way through dedup.
+      return Status::DeadlineExceeded(
+          "batch seq " + std::to_string(seq) +
+          " not applied by the deadline; resend with the same seq");
+    }
+  }
+  return ack.get();
+}
+
+std::shared_ptr<const CoverSnapshot> ServiceCore::Cover() const {
+  return maintainer_->snapshot();
+}
+
+Result<RelationData> ServiceCore::Materialize(const RunContext* ctx) {
+  {
+    MutexLock lock(mu_);
+    if (queue_.size() >= options_.shed_read_depth) {
+      ++stats_.shed_reads;
+      return Status::Unavailable(
+          "advisor read shed: write backlog at " +
+          std::to_string(queue_.size()) + " batches; retry in ~" +
+          std::to_string(options_.retry_after_ms) + "ms");
+    }
+  }
+  Job job;
+  job.kind = Job::Kind::kMaterialize;
+  std::future<Result<RelationData>> out = job.materialized.get_future();
+  Status admitted;
+  if (!Enqueue(std::move(job), ctx, &admitted)) return admitted;
+  if (ctx != nullptr && ctx->deadline.has_deadline()) {
+    auto budget =
+        std::chrono::duration<double>(
+            std::max(ctx->deadline.RemainingSeconds(), 0.0));
+    if (out.wait_for(budget) != std::future_status::ready) {
+      return Status::DeadlineExceeded("materialize not served by deadline");
+    }
+  }
+  return out.get();
+}
+
+Result<std::string> ServiceCore::Schema(const RunContext* ctx) {
+  NORMALIZE_ASSIGN_OR_RETURN(RelationData instance, Materialize(ctx));
+  std::shared_ptr<const CoverSnapshot> snap = Cover();
+  NormalizerOptions nopts;
+  nopts.discovery.max_lhs_size = options_.max_lhs_size;
+  nopts.context = ctx;
+  Normalizer normalizer(nopts);
+  NORMALIZE_ASSIGN_OR_RETURN(
+      NormalizationResult result,
+      normalizer.RenormalizeWithCover(instance, snap->cover));
+  return result.schema.ToString();
+}
+
+ServiceStats ServiceCore::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+Status ServiceCore::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    if (draining_) return Status::OK();  // idempotent
+    draining_ = true;
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  if (writer_.joinable()) writer_.join();
+  Status final_checkpoint = Status::OK();
+  if (options_.checkpoint_on_shutdown) {
+    final_checkpoint = CheckpointNow();
+  }
+  MutexLock lock(mu_);
+  PublishWriterStats();
+  return final_checkpoint;
+}
+
+void ServiceCore::PauseWriterForTest() {
+  MutexLock lock(mu_);
+  paused_ = true;
+}
+
+void ServiceCore::ResumeWriterForTest() {
+  MutexLock lock(mu_);
+  paused_ = false;
+  work_cv_.notify_all();
+}
+
+void ServiceCore::WriterLoop() {
+  for (;;) {
+    Job job;
+    {
+      MutexLock lock(mu_);
+      for (;;) {
+        if (abort_) {
+          while (!queue_.empty()) {
+            Job& dropped = queue_.front();
+            if (dropped.kind == Job::Kind::kBatch) {
+              dropped.ack.set_value(
+                  Status::Cancelled("service torn down before apply"));
+            } else {
+              dropped.materialized.set_value(
+                  Status::Cancelled("service torn down before read"));
+            }
+            queue_.pop_front();
+          }
+          stats_.queue_depth = 0;
+          space_cv_.notify_all();
+          return;
+        }
+        if (!paused_ && !queue_.empty()) {
+          job = std::move(queue_.front());
+          queue_.pop_front();
+          stats_.queue_depth = queue_.size();
+          space_cv_.notify_all();
+          break;
+        }
+        if (draining_ && queue_.empty()) return;
+        lock.Wait(work_cv_);
+      }
+    }
+
+    if (job.kind == Job::Kind::kBatch) {
+      Status st = ProcessBatch(job.seq, job.batch);
+      {
+        MutexLock lock(mu_);
+        PublishWriterStats();
+      }
+      // Ack strictly after the stats publish so a client that saw the ack
+      // also sees its batch reflected in stats().
+      job.ack.set_value(std::move(st));
+    } else {
+      job.materialized.set_value(relation_->Materialize());
+    }
+  }
+}
+
+Status ServiceCore::ProcessBatch(uint64_t seq, const LiveBatch& batch) {
+  if (seq != 0 && seq <= last_applied_seq_) {
+    // The client's resend of an already-applied batch (reconnect after a
+    // lost ack): confirm without re-applying.
+    ++writer_stats_.duplicates_ignored;
+    return Status::OK();
+  }
+  Status valid = relation_->ValidateBatch(batch);
+  if (!valid.ok()) {
+    ++writer_stats_.rejected_invalid;
+    return valid;
+  }
+  // Durability point: once the append returns (synced when sync_wal), the
+  // batch survives any crash — only then is it applied and acked.
+  NORMALIZE_RETURN_IF_ERROR(wal_->Append(seq, EncodeLiveBatch(batch)));
+  ++writer_stats_.wal_appends;
+  writer_stats_.wal_bytes = wal_->appended_bytes();
+  Status applied = maintainer_->ApplyBatch(batch);
+  if (!applied.ok()) {
+    // The record is durable but unapplied; recovery will apply it, so the
+    // store heals on restart. Surface the inconsistency loudly until then.
+    return Status::Internal("batch seq " + std::to_string(seq) +
+                            " logged but not applied: " + applied.message());
+  }
+  if (seq != 0) last_applied_seq_ = seq;
+  ++writer_stats_.batches_accepted;
+  writer_stats_.last_applied_seq = last_applied_seq_;
+  writer_stats_.maintainer = maintainer_->stats();
+  ++batches_since_checkpoint_;
+  if (options_.checkpoint_every > 0 &&
+      batches_since_checkpoint_ >= options_.checkpoint_every) {
+    Status ticked = CheckpointNow();
+    if (!ticked.ok()) {
+      // A failed tick must not fail the batch — the WAL still covers it;
+      // the next tick (or shutdown) retries the image.
+      ++writer_stats_.checkpoint_failures;
+    }
+  }
+  return Status::OK();
+}
+
+Status ServiceCore::CheckpointNow() {
+  LiveServiceState state;
+  state.log = relation_->data();
+  state.live_mask.resize(relation_->total_rows());
+  for (size_t r = 0; r < state.live_mask.size(); ++r) {
+    state.live_mask[r] =
+        relation_->IsLive(static_cast<RowId>(r)) ? '\x01' : '\x00';
+  }
+  std::shared_ptr<const CoverSnapshot> snap = maintainer_->snapshot();
+  state.epoch = snap->epoch;
+  state.cover = snap->cover;
+  state.last_applied_seq = last_applied_seq_;
+  state.batches_applied =
+      base_batches_applied_ + maintainer_->stats().batches_applied;
+  state.evidence = maintainer_->ExportWitnessedEvidence();
+  NORMALIZE_RETURN_IF_ERROR(checkpoint_.SaveLiveState(state));
+  if (wal_.has_value()) NORMALIZE_RETURN_IF_ERROR(wal_->Truncate());
+  batches_since_checkpoint_ = 0;
+  ++writer_stats_.checkpoints;
+  return Status::OK();
+}
+
+void ServiceCore::PublishWriterStats() {
+  // Caller-side counters (backpressure, sheds, queue gauges) live in
+  // stats_ under mu_; everything else is writer-owned and copied over here.
+  ServiceStats merged = writer_stats_;
+  merged.backpressure_rejections = stats_.backpressure_rejections;
+  merged.shed_reads = stats_.shed_reads;
+  merged.queue_depth = stats_.queue_depth;
+  merged.queue_peak = stats_.queue_peak;
+  stats_ = merged;
+}
+
+}  // namespace normalize

@@ -1,0 +1,211 @@
+// ServiceCore: the durable, always-on normalization engine — everything the
+// daemon (service/server.hpp) does except the socket, so the whole
+// robustness surface is testable in-process. One core owns one data
+// directory and one LiveRelation + DeltaFdMaintainer pair behind a
+// single-writer queue:
+//
+//   writes   Apply(seq, batch) enqueues onto a bounded queue drained by one
+//            writer thread: validate -> WAL append (+ optional fdatasync)
+//            -> DeltaFdMaintainer::ApplyBatch -> ack. Acknowledged batches
+//            are on disk before they are applied; rejected batches never
+//            reach the log. `seq` is the client's idempotence token —
+//            strictly increasing per service; a batch at or below the
+//            high-water mark acks OK without re-applying, which is what
+//            makes client resend-after-reconnect exactly-once. seq 0 opts
+//            out (at-least-once, excluded from replay dedup).
+//
+//   reads    Cover()/stats() are lock-free-ish reads of the maintainer's
+//            published epoch snapshot — never queued, never shed.
+//            Materialize()/Schema() need store quiescence, so they ride
+//            the writer queue as barrier jobs; under backlog they are shed
+//            first (kUnavailable + retry hint): the degradation ladder
+//            sacrifices advisor/audit reads before it delays writes.
+//
+//   crash    Open() recovers: load live.snap (fingerprint-verified), replay
+//            the WAL tail through the exact Apply path, re-bootstrap the
+//            maintainer, then write a fresh checkpoint and truncate the
+//            log. The maintained cover is a pure function of the live rows
+//            (PR 7's invariant), so recovery is bit-identical to an
+//            uninterrupted run at every kill point; torn WAL tails drop
+//            cleanly (wal.hpp). Destroying the core without Shutdown() is
+//            deliberately crash-like — tests kill at arbitrary batch
+//            offsets without forking.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/result.hpp"
+#include "common/run_context.hpp"
+#include "common/thread_annotations.hpp"
+#include "live/delta_fd_maintainer.hpp"
+#include "live/live_relation.hpp"
+#include "persist/checkpoint.hpp"
+#include "service/wal.hpp"
+
+namespace normalize {
+
+struct ServiceCoreOptions {
+  /// Data directory (created if missing): wal.log + live.snap.
+  std::string dir;
+  /// Writer queue bound; a full queue rejects with kResourceExhausted and a
+  /// retry-after hint (or waits, when the request carries a deadline).
+  size_t queue_capacity = 64;
+  /// Queue depth at or above which Materialize()/Schema() reads are shed
+  /// with kUnavailable — the first rung of the degradation ladder.
+  size_t shed_read_depth = 48;
+  /// Accepted batches per checkpoint tick (live.snap rewrite + WAL
+  /// truncation). 0 = checkpoint only at open and shutdown.
+  uint64_t checkpoint_every = 64;
+  /// Suggested client back-off, echoed with every backpressure rejection.
+  double retry_after_ms = 25.0;
+  /// fdatasync the WAL on every append (see WalWriter::Open).
+  bool sync_wal = false;
+  /// Write a final checkpoint during Shutdown() so the next open skips
+  /// replay entirely.
+  bool checkpoint_on_shutdown = true;
+  /// Maintainer knobs, passed through.
+  int max_lhs_size = -1;
+  int threads = 1;
+};
+
+/// Counters a stats read returns; maintained by the writer thread,
+/// snapshot under the queue mutex.
+struct ServiceStats {
+  uint64_t batches_accepted = 0;
+  uint64_t duplicates_ignored = 0;
+  uint64_t rejected_invalid = 0;
+  uint64_t backpressure_rejections = 0;
+  uint64_t shed_reads = 0;
+  uint64_t wal_appends = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_failures = 0;
+  /// Recovery facts from the last Open().
+  uint64_t recovered_wal_records = 0;
+  uint64_t recovery_tail_dropped_bytes = 0;
+  bool recovered_from_checkpoint = false;
+  uint64_t last_applied_seq = 0;
+  size_t queue_depth = 0;
+  size_t queue_peak = 0;
+  /// Maintainer view at the last applied batch.
+  DeltaFdMaintainer::Stats maintainer;
+};
+
+class ServiceCore {
+ public:
+  /// Opens (or recovers) a service over `seed` in options.dir and starts
+  /// the writer thread. The seed must be the same instance across restarts
+  /// of one directory — the checkpoint fingerprint enforces it. Errors:
+  /// kDataLoss (corrupt checkpoint / undecodable WAL payload),
+  /// kFailedPrecondition (directory belongs to a different run), kIoError.
+  static Result<std::unique_ptr<ServiceCore>> Open(const RelationData& seed,
+                                                   ServiceCoreOptions options);
+
+  /// Crash-like teardown when Shutdown() was not called first: pending
+  /// queue entries ack kCancelled, no final checkpoint is written, and
+  /// whatever the WAL holds is the next Open()'s replay problem.
+  ~ServiceCore();
+
+  /// Submits one batch and blocks for its ack. `ctx` (nullable) carries the
+  /// request deadline: it bounds both the wait for queue space (otherwise a
+  /// full queue rejects immediately) and the wait for the ack.
+  [[nodiscard]] Status Apply(uint64_t seq, LiveBatch batch,
+                             const RunContext* ctx = nullptr);
+
+  /// The latest published cover snapshot; never shed, never queued.
+  std::shared_ptr<const CoverSnapshot> Cover() const;
+
+  /// Compacted live instance via a writer-queue barrier (sheds under load).
+  Result<RelationData> Materialize(const RunContext* ctx = nullptr);
+
+  /// Normalized-schema text for the current cover: Materialize +
+  /// Normalizer::RenormalizeWithCover. The advisor-class read — first to
+  /// be shed.
+  Result<std::string> Schema(const RunContext* ctx = nullptr);
+
+  ServiceStats stats() const;
+
+  /// Column names of the served relation (immutable after Open).
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+  double retry_after_ms() const { return options_.retry_after_ms; }
+
+  /// Graceful drain: stop admitting, finish every queued batch, write the
+  /// final checkpoint, join the writer. Idempotent; Apply() during and
+  /// after returns kUnavailable.
+  [[nodiscard]] Status Shutdown();
+
+  /// Test hooks: freeze/unfreeze the writer loop to make queue states
+  /// (backpressure, shedding) deterministic.
+  void PauseWriterForTest();
+  void ResumeWriterForTest();
+
+ private:
+  struct Job {
+    enum class Kind { kBatch, kMaterialize } kind = Kind::kBatch;
+    uint64_t seq = 0;
+    LiveBatch batch;
+    std::promise<Status> ack;                      // kBatch
+    std::promise<Result<RelationData>> materialized;  // kMaterialize
+  };
+
+  ServiceCore(ServiceCoreOptions options, CheckpointFingerprint fingerprint);
+
+  /// The recovery path described in the file comment; fills relation_,
+  /// maintainer_, wal_, last_applied_seq_.
+  Status Recover(const RelationData& seed);
+
+  void WriterLoop();
+  /// One accepted batch through validate -> WAL -> apply; returns the ack.
+  Status ProcessBatch(uint64_t seq, const LiveBatch& batch);
+  /// live.snap rewrite + WAL truncation; called from the writer thread and
+  /// from Shutdown() after the writer joined.
+  Status CheckpointNow();
+  /// Enqueues a job, applying backpressure policy; false on rejection (the
+  /// rejection Status is returned through `admitted`).
+  bool Enqueue(Job job, const RunContext* ctx, Status* admitted)
+      NORMALIZE_EXCLUDES(mu_);
+  /// Folds the writer-owned counters into the guarded stats_ snapshot.
+  void PublishWriterStats() NORMALIZE_REQUIRES(mu_);
+
+  ServiceCoreOptions options_;
+  std::vector<std::string> column_names_;
+  CheckpointManager checkpoint_;
+
+  // Writer-thread-owned after Open() (phase discipline like LiveRelation:
+  // the writer thread is the only mutator; Open() touches them before the
+  // thread starts, Shutdown() after it joins). maintainer_.snapshot() is
+  // internally synchronized and safe from any thread.
+  std::unique_ptr<LiveRelation> relation_;
+  std::unique_ptr<DeltaFdMaintainer> maintainer_;
+  std::optional<WalWriter> wal_;
+  uint64_t last_applied_seq_ = 0;
+  uint64_t batches_since_checkpoint_ = 0;
+  uint64_t base_batches_applied_ = 0;
+  /// Writer-owned working copy of the stats; PublishWriterStats() folds it
+  /// into stats_ under mu_ after every job.
+  ServiceStats writer_stats_;
+
+  mutable Mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable space_cv_;
+  std::deque<Job> queue_ NORMALIZE_GUARDED_BY(mu_);
+  bool draining_ NORMALIZE_GUARDED_BY(mu_) = false;  // no new admissions
+  bool abort_ NORMALIZE_GUARDED_BY(mu_) = false;     // stop without draining
+  bool paused_ NORMALIZE_GUARDED_BY(mu_) = false;    // test hook
+  ServiceStats stats_ NORMALIZE_GUARDED_BY(mu_);
+
+  std::thread writer_;
+};
+
+}  // namespace normalize

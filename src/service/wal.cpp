@@ -1,0 +1,255 @@
+#include "service/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "persist/codec.hpp"
+
+namespace normalize {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'N', 'R', 'M', 'Z', 'W', 'A', 'L', '1'};
+constexpr uint32_t kWalVersion = 1;
+constexpr uint32_t kRecordMagic = 0xC0DEFD01u;
+constexpr size_t kHeaderSize = sizeof(kWalMagic) + 4;
+// record-magic + seq + len + crc
+constexpr size_t kRecordHeaderSize = 4 + 8 + 4 + 4;
+
+std::string HeaderBytes() {
+  SnapshotEncoder enc;
+  enc.PutRaw(std::string_view(kWalMagic, sizeof(kWalMagic)));
+  enc.PutU32(kWalVersion);
+  return std::move(enc).bytes();
+}
+
+Status WriteAll(int fd, std::string_view bytes, const std::string& path) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("wal write to " + path + " failed: " +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<WalWriter> WalWriter::Open(const std::string& path,
+                                  bool sync_each_append) {
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open wal " + path + ": " +
+                           std::strerror(errno));
+  }
+  WalWriter writer(path, fd, sync_each_append);
+  NORMALIZE_RETURN_IF_ERROR(WriteAll(fd, HeaderBytes(), path));
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      sync_(other.sync_),
+      appended_records_(other.appended_records_),
+      appended_bytes_(other.appended_bytes_) {
+  other.fd_ = -1;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    sync_ = other.sync_;
+    appended_records_ = other.appended_records_;
+    appended_bytes_ = other.appended_bytes_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status WalWriter::Append(uint64_t seq, std::string_view payload) {
+  SnapshotEncoder enc;
+  enc.PutU32(kRecordMagic);
+  enc.PutU64(seq);
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  enc.PutU32(Crc32(payload));
+  enc.PutRaw(payload);
+  std::string frame = std::move(enc).bytes();
+  NORMALIZE_RETURN_IF_ERROR(WriteAll(fd_, frame, path_));
+  if (sync_ && ::fdatasync(fd_) != 0) {
+    return Status::IoError("wal fdatasync on " + path_ + " failed: " +
+                           std::strerror(errno));
+  }
+  ++appended_records_;
+  appended_bytes_ += frame.size();
+  return Status::OK();
+}
+
+Status WalWriter::Truncate() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IoError("wal ftruncate on " + path_ + " failed: " +
+                           std::strerror(errno));
+  }
+  if (::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::IoError("wal lseek on " + path_ + " failed: " +
+                           std::strerror(errno));
+  }
+  NORMALIZE_RETURN_IF_ERROR(WriteAll(fd_, HeaderBytes(), path_));
+  if (sync_ && ::fdatasync(fd_) != 0) {
+    return Status::IoError("wal fdatasync on " + path_ + " failed: " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<WalReplay> ReadWal(ByteSource* source) {
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    NORMALIZE_ASSIGN_OR_RETURN(size_t n, source->Read(buf, sizeof(buf)));
+    if (n == 0) break;
+    bytes.append(buf, n);
+  }
+
+  WalReplay replay;
+  if (bytes.empty()) return replay;  // no file contents = no records
+  if (bytes.size() < kHeaderSize) {
+    // A header cut short can only be the crash artifact of the very first
+    // write; there is nothing to recover but it is not corruption.
+    replay.tail_dropped_bytes = bytes.size();
+    return replay;
+  }
+  if (std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::DataLoss(source->name() + " is not a WAL (bad magic)");
+  }
+  {
+    SnapshotDecoder dec(
+        std::string_view(bytes).substr(sizeof(kWalMagic), 4));
+    NORMALIZE_ASSIGN_OR_RETURN(uint32_t version, dec.GetU32());
+    if (version != kWalVersion) {
+      return Status::DataLoss(source->name() + " has WAL version " +
+                              std::to_string(version) + ", expected " +
+                              std::to_string(kWalVersion));
+    }
+  }
+
+  size_t pos = kHeaderSize;
+  uint64_t last_seq = 0;
+  while (pos < bytes.size()) {
+    size_t remaining = bytes.size() - pos;
+    // Everything from here on that does not parse as an intact record is a
+    // dropped tail: a frame cut mid-write, a CRC broken by the cut landing
+    // inside the payload, or bytes that never were a frame. All are the
+    // same to recovery — the batches in them were never acknowledged.
+    if (remaining < kRecordHeaderSize) break;
+    SnapshotDecoder dec(std::string_view(bytes).substr(pos, kRecordHeaderSize));
+    uint32_t magic = dec.GetU32().value();
+    uint64_t seq = dec.GetU64().value();
+    uint32_t len = dec.GetU32().value();
+    uint32_t crc = dec.GetU32().value();
+    if (magic != kRecordMagic) break;
+    if (remaining - kRecordHeaderSize < len) break;
+    std::string_view payload =
+        std::string_view(bytes).substr(pos + kRecordHeaderSize, len);
+    if (Crc32(payload) != crc) break;
+    if (!replay.records.empty() && seq != 0 && seq <= last_seq) break;
+    replay.records.push_back(WalRecord{seq, std::string(payload)});
+    if (seq != 0) last_seq = seq;
+    pos += kRecordHeaderSize + len;
+  }
+  replay.tail_dropped_bytes = bytes.size() - pos;
+  return replay;
+}
+
+Result<WalReplay> ReadWalFile(const std::string& path) {
+  if (::access(path.c_str(), F_OK) != 0) return WalReplay{};
+  FileByteSource source(path);
+  return ReadWal(&source);
+}
+
+Result<LiveBatch> DecodeLiveBatch(std::string_view payload) {
+  SnapshotDecoder dec(payload);
+  LiveBatch batch;
+  NORMALIZE_ASSIGN_OR_RETURN(uint64_t inserts, dec.GetU64());
+  NORMALIZE_ASSIGN_OR_RETURN(uint64_t updates, dec.GetU64());
+  NORMALIZE_ASSIGN_OR_RETURN(uint64_t deletes, dec.GetU64());
+  // Counts the encoder could never have produced (every element costs at
+  // least one payload byte) mean this is not a batch; reserving them would
+  // throw instead of reporting the corruption.
+  if (inserts > payload.size() || updates > payload.size() ||
+      deletes > payload.size()) {
+    return Status::DataLoss("live batch counts exceed the payload size");
+  }
+  batch.inserts.reserve(inserts);
+  for (uint64_t i = 0; i < inserts; ++i) {
+    NORMALIZE_ASSIGN_OR_RETURN(uint64_t columns, dec.GetU64());
+    if (columns > payload.size()) {
+      return Status::DataLoss("live batch row arity exceeds the payload size");
+    }
+    std::vector<std::string> cells;
+    cells.reserve(columns);
+    for (uint64_t c = 0; c < columns; ++c) {
+      NORMALIZE_ASSIGN_OR_RETURN(std::string cell, dec.GetString());
+      cells.push_back(std::move(cell));
+    }
+    batch.inserts.push_back(std::move(cells));
+  }
+  batch.updates.reserve(updates);
+  for (uint64_t i = 0; i < updates; ++i) {
+    NORMALIZE_ASSIGN_OR_RETURN(uint64_t target, dec.GetU64());
+    NORMALIZE_ASSIGN_OR_RETURN(uint64_t columns, dec.GetU64());
+    if (columns > payload.size()) {
+      return Status::DataLoss("live batch row arity exceeds the payload size");
+    }
+    std::vector<std::string> cells;
+    cells.reserve(columns);
+    for (uint64_t c = 0; c < columns; ++c) {
+      NORMALIZE_ASSIGN_OR_RETURN(std::string cell, dec.GetString());
+      cells.push_back(std::move(cell));
+    }
+    batch.updates.emplace_back(static_cast<RowId>(target), std::move(cells));
+  }
+  batch.deletes.reserve(deletes);
+  for (uint64_t i = 0; i < deletes; ++i) {
+    NORMALIZE_ASSIGN_OR_RETURN(uint64_t target, dec.GetU64());
+    batch.deletes.push_back(static_cast<RowId>(target));
+  }
+  NORMALIZE_RETURN_IF_ERROR(dec.ExpectEnd());
+  return batch;
+}
+
+std::string EncodeLiveBatch(const LiveBatch& batch) {
+  SnapshotEncoder enc;
+  enc.PutU64(batch.inserts.size());
+  enc.PutU64(batch.updates.size());
+  enc.PutU64(batch.deletes.size());
+  // Per-row cell counts: arity errors stay visible to the server's
+  // admission check instead of turning into undecodable payloads.
+  for (const auto& cells : batch.inserts) {
+    enc.PutU64(cells.size());
+    for (const std::string& cell : cells) enc.PutString(cell);
+  }
+  for (const auto& [target, cells] : batch.updates) {
+    enc.PutU64(target);
+    enc.PutU64(cells.size());
+    for (const std::string& cell : cells) enc.PutString(cell);
+  }
+  for (RowId target : batch.deletes) enc.PutU64(target);
+  return std::move(enc).bytes();
+}
+
+}  // namespace normalize

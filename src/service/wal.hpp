@@ -1,0 +1,120 @@
+// Write-ahead log of the normalization service (src/service/): every
+// accepted mutation batch is appended — and optionally fsynced — *before*
+// it is applied to the LiveRelation, so a crash at any point loses no
+// acknowledged batch. Recovery replays checkpoint + WAL tail; the two
+// invariants that make that exact:
+//
+//   * Only batches that passed admission validation reach the log, so
+//     replay applies every record verbatim (a record that fails to apply is
+//     corruption, not a rejected request).
+//   * Records carry the client's sequence number; replay skips records at
+//     or below the checkpoint's high-water mark, which closes the crash
+//     window between "checkpoint written" and "log truncated".
+//
+// Framing (all integers little-endian via persist/codec):
+//
+//   file   := header record*
+//   header := magic "NRMZWAL1" | u32 version
+//   record := u32 record-magic | u64 seq | u32 len | u32 crc32(payload)
+//             | payload[len]
+//
+// A torn tail — the crash artifact of an append cut short — is *data*, not
+// an error: ReadWal() returns every intact prefix record and reports how
+// many bytes it dropped. Only a file that is not a WAL at all (bad header)
+// is kDataLoss. Reads go through the ByteSource seam so the fault suites
+// inject truncation and short reads deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/byte_source.hpp"
+#include "common/result.hpp"
+#include "live/live_relation.hpp"
+
+namespace normalize {
+
+/// One intact log record: an accepted batch's sequence number and encoded
+/// payload (EncodeLiveBatch).
+struct WalRecord {
+  uint64_t seq = 0;
+  std::string payload;
+};
+
+/// The result of scanning a WAL: every record of the intact prefix, plus an
+/// account of the tail that was dropped (0 bytes on a clean log).
+struct WalReplay {
+  std::vector<WalRecord> records;
+  /// Bytes past the last intact record (torn frame, failed CRC, or trailing
+  /// garbage); the records they held are unrecoverable by design — they
+  /// were never acknowledged.
+  uint64_t tail_dropped_bytes = 0;
+  bool torn_tail() const { return tail_dropped_bytes > 0; }
+};
+
+/// Appends framed records to a log file through a POSIX fd. Opening always
+/// truncates to a bare header: the service reads the old log *first*,
+/// folds it into a fresh checkpoint, and only then opens the writer — so
+/// at writer-open time the log's contents are covered by the checkpoint by
+/// construction (and any torn tail is discarded rather than appended past).
+class WalWriter {
+ public:
+  /// Creates/truncates the log and writes the header. `sync_each_append`
+  /// fdatasyncs every record (durability against machine crashes, not just
+  /// process crashes) at a per-batch latency cost.
+  static Result<WalWriter> Open(const std::string& path,
+                                bool sync_each_append);
+  ~WalWriter();
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one framed record (single write(2) call's worth of bytes,
+  /// looped over partial writes) and, if configured, fdatasyncs.
+  [[nodiscard]] Status Append(uint64_t seq, std::string_view payload);
+
+  /// Truncates back to a bare header — called immediately after a
+  /// checkpoint whose high-water mark covers every appended record.
+  [[nodiscard]] Status Truncate();
+
+  const std::string& path() const { return path_; }
+  uint64_t appended_records() const { return appended_records_; }
+  uint64_t appended_bytes() const { return appended_bytes_; }
+
+ private:
+  WalWriter(std::string path, int fd, bool sync_each_append)
+      : path_(std::move(path)), fd_(fd), sync_(sync_each_append) {}
+
+  std::string path_;
+  int fd_ = -1;
+  bool sync_ = false;
+  uint64_t appended_records_ = 0;
+  uint64_t appended_bytes_ = 0;
+};
+
+/// Scans a WAL stream: intact prefix records + dropped-tail accounting.
+/// kDataLoss only when the stream is not a WAL (bad header on a non-empty
+/// stream); an empty stream and every truncation of a valid log parse
+/// cleanly.
+Result<WalReplay> ReadWal(ByteSource* source);
+
+/// ReadWal over the file at `path`; a missing file is an empty replay (the
+/// fresh-start case), not an error.
+Result<WalReplay> ReadWalFile(const std::string& path);
+
+// --- batch payload codec ---------------------------------------------------
+
+/// Encodes a LiveBatch as a WAL/wire payload (cells verbatim, update
+/// targets and delete ids as row numbers).
+std::string EncodeLiveBatch(const LiveBatch& batch);
+
+/// Decodes an EncodeLiveBatch payload; kDataLoss on malformed bytes (WAL
+/// payloads are CRC-protected, so this firing means a codec bug or
+/// tampering, not a crash artifact).
+Result<LiveBatch> DecodeLiveBatch(std::string_view payload);
+
+}  // namespace normalize

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
+
 namespace normalize {
 namespace {
 
@@ -117,6 +119,52 @@ TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
   EXPECT_DOUBLE_EQ(policy.BackoffMillis(2), 8.0);
   EXPECT_DOUBLE_EQ(policy.BackoffMillis(3), 10.0);  // capped
   EXPECT_DOUBLE_EQ(policy.BackoffMillis(10), 10.0);
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinTheDocumentedBounds) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 8.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 64.0;
+  policy.jitter = 0.5;
+  Rng rng(7);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    double base = policy.BackoffMillis(attempt);
+    for (int draw = 0; draw < 200; ++draw) {
+      double jittered = policy.JitteredBackoffMillis(attempt, &rng);
+      EXPECT_GE(jittered, base * 0.5) << "attempt " << attempt;
+      EXPECT_LE(jittered, base) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicPerSeedAndOffWithoutRng) {
+  RetryPolicy policy;
+  policy.jitter = 0.9;
+  // Same seed, same schedule — reproducible retry storms in tests.
+  Rng a(42), b(42);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    EXPECT_DOUBLE_EQ(policy.JitteredBackoffMillis(attempt, &a),
+                     policy.JitteredBackoffMillis(attempt, &b));
+  }
+  // No rng (or jitter 0) falls back to the deterministic delay exactly.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    EXPECT_DOUBLE_EQ(policy.JitteredBackoffMillis(attempt, nullptr),
+                     policy.BackoffMillis(attempt));
+  }
+  RetryPolicy no_jitter;
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(no_jitter.JitteredBackoffMillis(2, &rng),
+                   no_jitter.BackoffMillis(2));
+  // Out-of-range fractions clamp instead of inverting the bounds.
+  RetryPolicy clamped;
+  clamped.jitter = 7.5;
+  Rng rng2(3);
+  for (int draw = 0; draw < 100; ++draw) {
+    double jittered = clamped.JitteredBackoffMillis(0, &rng2);
+    EXPECT_GE(jittered, 0.0);
+    EXPECT_LE(jittered, clamped.BackoffMillis(0));
+  }
 }
 
 TEST(RetryPolicyTest, OnlyUnavailableIsRetryable) {

@@ -132,5 +132,57 @@ TEST(UpdateStreamTest, DeleteHeavyStreamNeverDrainsTheStore) {
   }
 }
 
+// The DeleteHeavy preset: delete-dominant by construction, deterministic
+// per seed, and it genuinely shrinks a store the default mix would grow.
+TEST(UpdateStreamTest, DeleteHeavyPresetShrinksTheStoreDeterministically) {
+  UpdateStreamSpec spec = UpdateStreamSpec::DeleteHeavy(11);
+  EXPECT_GT(spec.delete_fraction,
+            spec.insert_fraction + spec.update_fraction);
+  EXPECT_EQ(spec.seed, 11u);
+  // Small batches relative to the store: the never-drain floor (which
+  // converts deletes to inserts when the store runs low) and within-batch
+  // NURand target collisions (dropped, shortfall becomes inserts) must not
+  // mask the delete-heavy mix this test is about.
+  spec.batch_size = 16;
+
+  RelationData initial = testing::MakeRelation([] {
+    std::vector<std::vector<std::string>> rows;
+    for (int i = 0; i < 600; ++i) {
+      rows.push_back({"a" + std::to_string(i % 12),
+                      "b" + std::to_string(i % 5),
+                      "c" + std::to_string(i)});
+    }
+    return rows;
+  }());
+
+  LiveRelation live(initial);
+  UpdateStreamGenerator stream(initial, spec);
+  size_t deletes = 0, inserts = 0, updates = 0;
+  for (int b = 0; b < 10; ++b) {
+    LiveBatch batch = stream.NextBatch(live);
+    deletes += batch.deletes.size();
+    inserts += batch.inserts.size();
+    updates += batch.updates.size();
+    ASSERT_TRUE(live.Apply(batch).ok()) << "batch " << b;
+  }
+  EXPECT_LT(live.live_rows(), initial.num_rows());  // net shrinkage
+  EXPECT_GT(deletes, inserts + updates);
+
+  // Same preset seed, same stream, byte for byte.
+  LiveRelation live2(initial);
+  UpdateStreamGenerator stream2(initial, UpdateStreamSpec::DeleteHeavy(11));
+  LiveRelation live1(initial);
+  UpdateStreamGenerator stream1(initial, UpdateStreamSpec::DeleteHeavy(11));
+  for (int b = 0; b < 6; ++b) {
+    LiveBatch one = stream1.NextBatch(live1);
+    LiveBatch two = stream2.NextBatch(live2);
+    EXPECT_EQ(one.inserts, two.inserts) << "batch " << b;
+    EXPECT_EQ(one.updates, two.updates) << "batch " << b;
+    EXPECT_EQ(one.deletes, two.deletes) << "batch " << b;
+    ASSERT_TRUE(live1.Apply(one).ok());
+    ASSERT_TRUE(live2.Apply(two).ok());
+  }
+}
+
 }  // namespace
 }  // namespace normalize

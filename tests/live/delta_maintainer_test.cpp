@@ -299,5 +299,118 @@ TEST(DeltaMaintainerTest, RenormalizeWithCoverMatchesFullPipeline) {
   EXPECT_EQ(renorm->relations.size(), baseline->relations.size());
 }
 
+// Witness re-seating, pinpointed: rows 0 and 2 realize the same agree set
+// {A} as the witnessed pair (0, 1), so deleting row 1 can re-seat the
+// evidence onto (0, 2) in place — no drop, no tree rebuild.
+TEST(DeltaMaintainerTest, DeadWitnessReseatsOntoSurvivingPair) {
+  RelationData initial = testing::MakeRelation({
+      {"a1", "b1", "c1"},
+      {"a1", "b2", "c2"},
+      {"a1", "b3", "c9"},
+  });
+  LiveRelation live(initial);
+  DeltaFdMaintainerOptions options;
+  options.hyfd_bootstrap = false;  // all evidence witnessed from the start
+  DeltaFdMaintainer maintainer(&live, options);
+  ASSERT_TRUE(maintainer.Initialize().ok());
+  size_t rebuilds_before = maintainer.stats().tree_rebuilds;
+
+  LiveBatch batch;
+  batch.deletes = {1};
+  ASSERT_TRUE(maintainer.ApplyBatch(batch).ok());
+  DeltaFdMaintainer::Stats stats = maintainer.stats();
+  EXPECT_GT(stats.evidence_reseated, 0u);
+  EXPECT_EQ(stats.evidence_dropped, 0u)
+      << "every agree set of a dead witness survives in (0, 2)";
+  EXPECT_EQ(stats.tree_rebuilds, rebuilds_before)
+      << "re-seated evidence keeps the negative cover, hence the tree";
+  ExpectBitIdentical(maintainer.snapshot()->cover,
+                     OneShot(live.Materialize(), -1), "after re-seat");
+}
+
+// When no surviving pair realizes the agree set, the entry must drop (and
+// the cover still match one-shot): re-seating never invents evidence.
+TEST(DeltaMaintainerTest, ReseatFindsNoPairWhenAgreeSetDied) {
+  RelationData initial = testing::MakeRelation({
+      {"a1", "b1", "c1"},
+      {"a1", "b2", "c2"},
+      {"a9", "b9", "c9"},
+  });
+  LiveRelation live(initial);
+  DeltaFdMaintainerOptions options;
+  options.hyfd_bootstrap = false;
+  DeltaFdMaintainer maintainer(&live, options);
+  ASSERT_TRUE(maintainer.Initialize().ok());
+
+  // (0, 1) agree exactly on {A}; row 2 shares no value with row 0, so after
+  // deleting row 1 nothing re-realizes that agree set.
+  LiveBatch batch;
+  batch.deletes = {1};
+  ASSERT_TRUE(maintainer.ApplyBatch(batch).ok());
+  DeltaFdMaintainer::Stats stats = maintainer.stats();
+  EXPECT_GT(stats.evidence_dropped, 0u);
+  ExpectBitIdentical(maintainer.snapshot()->cover,
+                     OneShot(live.Materialize(), -1), "after drop");
+}
+
+// Re-seating is an optimization with a correctness invariant: under a
+// delete-heavy NURand stream, covers with it on and off are bit-identical
+// at every epoch, while on-mode performs strictly fewer tree rebuilds.
+TEST(DeltaMaintainerTest, ReseatOnAndOffIdenticalCoversFewerRebuilds) {
+  RelationData initial = SmallRandom();
+  LiveRelation on_live(initial);
+  LiveRelation off_live(initial);
+  DeltaFdMaintainerOptions on_options;
+  on_options.max_lhs_size = 2;
+  on_options.witness_reseat = true;
+  DeltaFdMaintainerOptions off_options = on_options;
+  off_options.witness_reseat = false;
+  DeltaFdMaintainer on(&on_live, on_options);
+  DeltaFdMaintainer off(&off_live, off_options);
+  ASSERT_TRUE(on.Initialize().ok());
+  ASSERT_TRUE(off.Initialize().ok());
+
+  UpdateStreamSpec spec = UpdateStreamSpec::DeleteHeavy(29);
+  spec.batch_size = 16;
+  UpdateStreamGenerator stream(initial, spec);
+  for (int b = 0; b < 8; ++b) {
+    LiveBatch batch = stream.NextBatch(on_live);
+    ASSERT_TRUE(on.ApplyBatch(batch).ok());
+    ASSERT_TRUE(off.ApplyBatch(batch).ok());
+    ExpectBitIdentical(on.snapshot()->cover, off.snapshot()->cover,
+                       "reseat on/off at epoch " + std::to_string(b + 2));
+  }
+  EXPECT_GT(on.stats().evidence_reseated, 0u);
+  EXPECT_EQ(off.stats().evidence_reseated, 0u);
+  EXPECT_LT(on.stats().evidence_dropped, off.stats().evidence_dropped);
+  EXPECT_LE(on.stats().tree_rebuilds, off.stats().tree_rebuilds);
+  // And both still match one-shot discovery on the final instance.
+  ExpectBitIdentical(on.snapshot()->cover,
+                     OneShot(on_live.Materialize(), 2), "reseat final");
+}
+
+// A probe limit of zero disables re-seating in effect (every entry drops as
+// unwitnessed) without breaking the cover.
+TEST(DeltaMaintainerTest, ReseatProbeLimitZeroDegradesToDrops) {
+  RelationData initial = testing::MakeRelation({
+      {"a1", "b1", "c1"},
+      {"a1", "b2", "c2"},
+      {"a1", "b3", "c9"},
+  });
+  LiveRelation live(initial);
+  DeltaFdMaintainerOptions options;
+  options.hyfd_bootstrap = false;
+  options.reseat_probe_limit = 0;
+  DeltaFdMaintainer maintainer(&live, options);
+  ASSERT_TRUE(maintainer.Initialize().ok());
+  LiveBatch batch;
+  batch.deletes = {1};
+  ASSERT_TRUE(maintainer.ApplyBatch(batch).ok());
+  EXPECT_EQ(maintainer.stats().evidence_reseated, 0u);
+  EXPECT_GT(maintainer.stats().evidence_dropped, 0u);
+  ExpectBitIdentical(maintainer.snapshot()->cover,
+                     OneShot(live.Materialize(), -1), "probe limit 0");
+}
+
 }  // namespace
 }  // namespace normalize

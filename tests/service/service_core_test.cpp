@@ -1,0 +1,298 @@
+// ServiceCore in-process: the queued write path must produce exactly the
+// covers a bare LiveRelation + DeltaFdMaintainer pair produces, and the
+// admission machinery — seq dedup, validation, backpressure, read shedding,
+// deadlines, drain — must follow the contracts service_core.hpp documents.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/run_context.hpp"
+#include "datagen/datasets.hpp"
+#include "datagen/update_stream.hpp"
+#include "live/delta_fd_maintainer.hpp"
+#include "live/live_relation.hpp"
+#include "service/service_core.hpp"
+#include "test_util.hpp"
+
+namespace normalize {
+namespace {
+
+std::string FreshDir(const std::string& leaf) {
+  std::string dir = ::testing::TempDir() + "/" + leaf;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void ExpectBitIdentical(const FdSet& actual, const FdSet& expected,
+                        const std::string& context) {
+  std::vector<Fd> a = actual.ToUnary();
+  std::vector<Fd> e = expected.ToUnary();
+  ASSERT_EQ(a.size(), e.size()) << context;
+  for (size_t i = 0; i < e.size(); ++i) {
+    ASSERT_TRUE(a[i] == e[i])
+        << context << ": unary FD " << i << " is " << a[i].ToString()
+        << ", expected " << e[i].ToString();
+  }
+}
+
+LiveBatch InsertBatch(const std::vector<std::vector<std::string>>& rows) {
+  LiveBatch batch;
+  batch.inserts = rows;
+  return batch;
+}
+
+TEST(ServiceCoreTest, QueuedCoversMatchDirectMaintainer) {
+  RelationData seed = AddressExample();
+  ServiceCoreOptions options;
+  options.dir = FreshDir("svc_core_match");
+  options.checkpoint_every = 4;
+  auto core = ServiceCore::Open(seed, options);
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+
+  // The reference pipeline the service wraps, fed the identical stream.
+  LiveRelation reference(seed);
+  DeltaFdMaintainer direct(&reference, DeltaFdMaintainerOptions{});
+  ASSERT_TRUE(direct.Initialize().ok());
+
+  LiveRelation mirror(seed);
+  UpdateStreamSpec spec;
+  spec.batch_size = 12;
+  spec.seed = 17;
+  UpdateStreamGenerator generator(seed, spec);
+  for (uint64_t i = 1; i <= 20; ++i) {
+    LiveBatch batch = generator.NextBatch(mirror);
+    ASSERT_TRUE((*core)->Apply(i, batch).ok()) << "batch " << i;
+    ASSERT_TRUE(mirror.Apply(batch).ok());
+    ASSERT_TRUE(direct.ApplyBatch(batch).ok());
+    auto snap = (*core)->Cover();
+    auto expected = direct.snapshot();
+    EXPECT_EQ(snap->live_rows, expected->live_rows);
+    ExpectBitIdentical(snap->cover, expected->cover,
+                       "after batch " + std::to_string(i));
+  }
+  ServiceStats stats = (*core)->stats();
+  EXPECT_EQ(stats.batches_accepted, 20u);
+  EXPECT_EQ(stats.last_applied_seq, 20u);
+  EXPECT_EQ(stats.wal_appends, 20u);
+  EXPECT_GE(stats.checkpoints, 5u);  // one at open + every 4 batches
+  ASSERT_TRUE((*core)->Shutdown().ok());
+}
+
+TEST(ServiceCoreTest, DuplicateSeqAcksWithoutReapplying) {
+  RelationData seed = AddressExample();
+  ServiceCoreOptions options;
+  options.dir = FreshDir("svc_core_dup");
+  auto core = ServiceCore::Open(seed, options);
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+
+  LiveBatch batch =
+      InsertBatch({{"Tessa", "Miller", "14482", "Potsdam", "Jakobs"}});
+  ASSERT_TRUE((*core)->Apply(1, batch).ok());
+  size_t rows_after_first = (*core)->Cover()->live_rows;
+  uint64_t epoch_after_first = (*core)->Cover()->epoch;
+
+  // The resend-after-reconnect path: same seq, must ack OK, change nothing.
+  ASSERT_TRUE((*core)->Apply(1, batch).ok());
+  EXPECT_EQ((*core)->Cover()->live_rows, rows_after_first);
+  EXPECT_EQ((*core)->Cover()->epoch, epoch_after_first);
+
+  ServiceStats stats = (*core)->stats();
+  EXPECT_EQ(stats.batches_accepted, 1u);
+  EXPECT_EQ(stats.duplicates_ignored, 1u);
+  EXPECT_EQ(stats.wal_appends, 1u);  // the duplicate never reached the log
+
+  // seq 0 opts out of dedup: applied every time (at-least-once clients).
+  ASSERT_TRUE((*core)->Apply(0, batch).ok());
+  ASSERT_TRUE((*core)->Apply(0, batch).ok());
+  EXPECT_EQ((*core)->Cover()->live_rows, rows_after_first + 2);
+  EXPECT_EQ((*core)->stats().batches_accepted, 3u);
+  ASSERT_TRUE((*core)->Shutdown().ok());
+}
+
+TEST(ServiceCoreTest, InvalidBatchRejectedBeforeTheLog) {
+  RelationData seed = AddressExample();
+  ServiceCoreOptions options;
+  options.dir = FreshDir("svc_core_invalid");
+  auto core = ServiceCore::Open(seed, options);
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+
+  LiveBatch wrong_arity = InsertBatch({{"only", "three", "cells"}});
+  Status rejected = (*core)->Apply(1, wrong_arity);
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+
+  LiveBatch dead_target;
+  dead_target.deletes.push_back(static_cast<RowId>(1u << 20));
+  Status rejected2 = (*core)->Apply(2, dead_target);
+  EXPECT_EQ(rejected2.code(), StatusCode::kInvalidArgument);
+
+  ServiceStats stats = (*core)->stats();
+  EXPECT_EQ(stats.rejected_invalid, 2u);
+  EXPECT_EQ(stats.wal_appends, 0u);  // rejected batches never hit the WAL
+  EXPECT_EQ(stats.batches_accepted, 0u);
+  // A rejected seq does not advance the high-water mark: the seq is still
+  // usable by the corrected resend.
+  EXPECT_EQ(stats.last_applied_seq, 0u);
+  LiveBatch fixed = InsertBatch({{"A", "B", "C", "D", "E"}});
+  ASSERT_TRUE((*core)->Apply(1, fixed).ok());
+  EXPECT_EQ((*core)->stats().last_applied_seq, 1u);
+  ASSERT_TRUE((*core)->Shutdown().ok());
+}
+
+TEST(ServiceCoreTest, BackpressureAndSheddingUnderBacklog) {
+  RelationData seed = AddressExample();
+  ServiceCoreOptions options;
+  options.dir = FreshDir("svc_core_backpressure");
+  options.queue_capacity = 2;
+  options.shed_read_depth = 1;
+  options.retry_after_ms = 7.0;
+  auto core = ServiceCore::Open(seed, options);
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+  (*core)->PauseWriterForTest();
+
+  // Fill the queue: requests with a deadline are admitted, then time out
+  // waiting for their ack — but stay queued (resend-with-same-seq rule).
+  LiveBatch batch = InsertBatch({{"V", "W", "X", "Y", "Z"}});
+  for (uint64_t i = 1; i <= 2; ++i) {
+    RunContext ctx;
+    ctx.deadline = Deadline::AfterMillis(30);
+    Status st = (*core)->Apply(i, batch, &ctx);
+    EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+  }
+
+  // No deadline + full queue = reject now, with the retry hint.
+  Status rejected = (*core)->Apply(3, batch);
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(rejected.message().find("retry in ~"), std::string::npos);
+
+  // A deadlined write against the still-full queue waits, then gives up.
+  RunContext ctx;
+  ctx.deadline = Deadline::AfterMillis(30);
+  Status waited = (*core)->Apply(4, batch, &ctx);
+  EXPECT_EQ(waited.code(), StatusCode::kDeadlineExceeded);
+
+  // The degradation ladder sheds the advisor read first.
+  auto shed = (*core)->Materialize();
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+
+  ServiceStats stats = (*core)->stats();
+  EXPECT_GE(stats.backpressure_rejections, 1u);
+  EXPECT_GE(stats.shed_reads, 1u);
+  EXPECT_EQ(stats.queue_peak, 2u);
+
+  // Resume: the queued batches drain and the store reflects them.
+  (*core)->ResumeWriterForTest();
+  ASSERT_TRUE((*core)->Shutdown().ok());
+  ServiceStats final_stats = (*core)->stats();
+  EXPECT_EQ(final_stats.batches_accepted, 2u);
+  EXPECT_EQ(final_stats.queue_depth, 0u);
+}
+
+TEST(ServiceCoreTest, ExpiredContextRejectsBeforeEnqueue) {
+  RelationData seed = AddressExample();
+  ServiceCoreOptions options;
+  options.dir = FreshDir("svc_core_expired");
+  auto core = ServiceCore::Open(seed, options);
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+
+  RunContext expired;
+  expired.deadline = Deadline::AfterMillis(0);
+  LiveBatch batch = InsertBatch({{"A", "B", "C", "D", "E"}});
+  Status st = (*core)->Apply(1, batch, &expired);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ((*core)->stats().batches_accepted, 0u);
+
+  // Injected cancellation through the same seam (the fault lane's hook).
+  FaultInjector faults;
+  faults.InterruptAtNthCheck(1, StatusCode::kCancelled);
+  RunContext cancelled;
+  cancelled.faults = &faults;
+  Status st2 = (*core)->Apply(2, batch, &cancelled);
+  EXPECT_EQ(st2.code(), StatusCode::kCancelled);
+  ASSERT_TRUE((*core)->Shutdown().ok());
+}
+
+TEST(ServiceCoreTest, MaterializeAndSchemaServeTheLiveInstance) {
+  RelationData seed = AddressExample();
+  ServiceCoreOptions options;
+  options.dir = FreshDir("svc_core_reads");
+  auto core = ServiceCore::Open(seed, options);
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+
+  auto before = (*core)->Materialize();
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(before->num_rows(), seed.num_rows());
+
+  LiveBatch batch =
+      InsertBatch({{"Nina", "Smith", "10115", "Berlin", "Kaiser"}});
+  ASSERT_TRUE((*core)->Apply(1, batch).ok());
+  auto after = (*core)->Materialize();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->num_rows(), seed.num_rows() + 1);
+
+  auto schema = (*core)->Schema();
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_NE(schema->find("("), std::string::npos);  // has some relation
+  ASSERT_TRUE((*core)->Shutdown().ok());
+}
+
+TEST(ServiceCoreTest, ShutdownDrainsAndRefusesLateWrites) {
+  RelationData seed = AddressExample();
+  ServiceCoreOptions options;
+  options.dir = FreshDir("svc_core_drain");
+  auto core = ServiceCore::Open(seed, options);
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+
+  LiveBatch batch = InsertBatch({{"A", "B", "C", "D", "E"}});
+  ASSERT_TRUE((*core)->Apply(1, batch).ok());
+  ASSERT_TRUE((*core)->Shutdown().ok());
+  ASSERT_TRUE((*core)->Shutdown().ok());  // idempotent
+
+  Status late = (*core)->Apply(2, batch);
+  EXPECT_EQ(late.code(), StatusCode::kUnavailable);
+
+  // The final checkpoint means a clean reopen replays nothing.
+  core->reset();
+  auto reopened = ServiceCore::Open(seed, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ServiceStats stats = (*reopened)->stats();
+  EXPECT_TRUE(stats.recovered_from_checkpoint);
+  EXPECT_EQ(stats.recovered_wal_records, 0u);
+  EXPECT_EQ(stats.last_applied_seq, 1u);
+  EXPECT_EQ((*reopened)->Cover()->live_rows, seed.num_rows() + 1);
+  ASSERT_TRUE((*reopened)->Shutdown().ok());
+}
+
+TEST(ServiceCoreTest, OpenValidatesOptions) {
+  RelationData seed = testing::MakeRelation({{"a", "b"}, {"c", "d"}});
+  ServiceCoreOptions no_dir;
+  auto core = ServiceCore::Open(seed, no_dir);
+  EXPECT_EQ(core.status().code(), StatusCode::kInvalidArgument);
+
+  ServiceCoreOptions zero_queue;
+  zero_queue.dir = FreshDir("svc_core_zero_queue");
+  zero_queue.queue_capacity = 0;
+  auto core2 = ServiceCore::Open(seed, zero_queue);
+  EXPECT_EQ(core2.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceCoreTest, DirectoryFingerprintRejectsForeignSeed) {
+  RelationData seed = AddressExample();
+  ServiceCoreOptions options;
+  options.dir = FreshDir("svc_core_foreign");
+  {
+    auto core = ServiceCore::Open(seed, options);
+    ASSERT_TRUE(core.ok()) << core.status().ToString();
+    ASSERT_TRUE((*core)->Shutdown().ok());
+  }
+  RelationData other =
+      testing::MakeRelation({{"1", "2"}, {"3", "4"}}, {}, "other");
+  auto reopened = ServiceCore::Open(other, options);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace normalize

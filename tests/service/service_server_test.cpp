@@ -1,0 +1,275 @@
+// The socket layer end-to-end: framed requests over AF_UNIX against a real
+// ServiceCore, concurrent writer clients + snapshot-reader hammering (the
+// TSan lane's race detector food), malformed-frame handling, and the
+// drain-on-Stop contract.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/datasets.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "service/service_core.hpp"
+
+namespace normalize {
+namespace {
+
+std::string FreshDir(const std::string& leaf) {
+  std::string dir = ::testing::TempDir() + "/" + leaf;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Sockets need short paths (sun_path is ~108 bytes); /tmp directly.
+std::string SocketPath(const std::string& leaf) {
+  std::string path = "/tmp/" + leaf + "." + std::to_string(::getpid());
+  ::unlink(path.c_str());
+  return path;
+}
+
+struct ServerFixture {
+  std::unique_ptr<ServiceCore> core;
+  std::unique_ptr<ServiceServer> server;
+  std::string socket_path;
+
+  static ServerFixture Start(const std::string& name,
+                             ServiceCoreOptions options = {}) {
+    ServerFixture f;
+    if (options.dir.empty()) options.dir = FreshDir(name);
+    auto core = ServiceCore::Open(AddressExample(), options);
+    EXPECT_TRUE(core.ok()) << core.status().ToString();
+    f.core = std::move(*core);
+    f.socket_path = SocketPath(name);
+    f.server = std::make_unique<ServiceServer>(
+        f.core.get(), ServiceServerOptions{f.socket_path});
+    EXPECT_TRUE(f.server->Start().ok());
+    return f;
+  }
+};
+
+LiveBatch InsertBatch(std::vector<std::string> row) {
+  LiveBatch batch;
+  batch.inserts.push_back(std::move(row));
+  return batch;
+}
+
+TEST(ServiceServerTest, EndToEndRequestCycle) {
+  ServerFixture f = ServerFixture::Start("srv_e2e");
+  auto client = ServiceClient::Connect(f.socket_path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto ping = client->Ping();
+  ASSERT_TRUE(ping.ok()) << ping.status().ToString();
+  EXPECT_EQ(ping->code, StatusCode::kOk);
+  size_t seed_rows = ping->live_rows;
+
+  auto applied = client->Apply(
+      1, InsertBatch({"Grace", "Hopper", "10178", "Berlin", "Kaiser"}));
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied->code, StatusCode::kOk);
+  EXPECT_EQ(applied->live_rows, seed_rows + 1);
+  EXPECT_EQ(applied->last_applied_seq, 1u);
+
+  // Resend (the reconnect path): acked, nothing changes.
+  auto resent = client->Apply(
+      1, InsertBatch({"Grace", "Hopper", "10178", "Berlin", "Kaiser"}));
+  ASSERT_TRUE(resent.ok());
+  EXPECT_EQ(resent->code, StatusCode::kOk);
+  EXPECT_EQ(resent->live_rows, seed_rows + 1);
+
+  auto cover = client->Cover();
+  ASSERT_TRUE(cover.ok());
+  EXPECT_EQ(cover->code, StatusCode::kOk);
+  EXPECT_NE(cover->text.find("->"), std::string::npos);
+
+  auto schema = client->Schema();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->code, StatusCode::kOk);
+  EXPECT_FALSE(schema->text.empty());
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->text.find("batches_accepted=1"), std::string::npos);
+  EXPECT_NE(stats->text.find("duplicates_ignored=1"), std::string::npos);
+
+  // An invalid batch comes back as an application error on an OK transport.
+  auto invalid = client->Apply(9, InsertBatch({"wrong", "arity"}));
+  ASSERT_TRUE(invalid.ok());
+  EXPECT_EQ(invalid->code, StatusCode::kInvalidArgument);
+  EXPECT_FALSE(invalid->message.empty());
+
+  f.server->Stop();
+  ASSERT_TRUE(f.core->Shutdown().ok());
+}
+
+TEST(ServiceServerTest, ConnectToAbsentSocketIsUnavailable) {
+  auto client = ServiceClient::Connect(SocketPath("srv_absent"));
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ServiceServerTest, MalformedFramesGetAnErrorNotACrash) {
+  ServerFixture f = ServerFixture::Start("srv_malformed");
+
+  // Raw socket, garbage bytes that do parse as a frame header but carry an
+  // undecodable request payload.
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, f.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  Status sent = WriteFrame(fd, "not a request");
+  ASSERT_TRUE(sent.ok());
+  auto response_payload = ReadFrame(fd);
+  ASSERT_TRUE(response_payload.ok()) << response_payload.status().ToString();
+  auto response = DecodeServiceResponse(*response_payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kDataLoss);
+  ::close(fd);
+
+  // The server survives and serves the next well-formed client.
+  auto client = ServiceClient::Connect(f.socket_path);
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client->Ping().ok());
+
+  f.server->Stop();
+  ASSERT_TRUE(f.core->Shutdown().ok());
+}
+
+TEST(ServiceServerTest, ConcurrentWritersAndSnapshotReaders) {
+  ServiceCoreOptions options;
+  options.dir = FreshDir("srv_concurrent");
+  options.queue_capacity = 256;
+  options.checkpoint_every = 16;
+  ServerFixture f = ServerFixture::Start("srv_concurrent", options);
+
+  // seq 0 = at-least-once, insert-only: order across writers is irrelevant
+  // to the final live multiset, so the cover is deterministic.
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr int kBatchesPerWriter = 24;
+  std::atomic<int> ok_batches{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      auto client = ServiceClient::Connect(f.socket_path);
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      for (int i = 0; i < kBatchesPerWriter; ++i) {
+        auto response = client->Apply(
+            0,
+            InsertBatch({"w" + std::to_string(w), "row" + std::to_string(i),
+                         "z" + std::to_string(i % 7), "c", "m"}),
+            /*deadline_ms=*/10000);
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        if (response->code == StatusCode::kOk) ++ok_batches;
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      auto client = ServiceClient::Connect(f.socket_path);
+      ASSERT_TRUE(client.ok());
+      uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto cover = client->Cover();
+        ASSERT_TRUE(cover.ok());
+        EXPECT_GE(cover->epoch, last_epoch);  // epochs only move forward
+        last_epoch = cover->epoch;
+        auto stats = client->Stats();
+        ASSERT_TRUE(stats.ok());
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  done.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(ok_batches.load(), kWriters * kBatchesPerWriter);
+  auto snap = f.core->Cover();
+  EXPECT_EQ(snap->live_rows,
+            AddressExample().num_rows() + kWriters * kBatchesPerWriter);
+
+  f.server->Stop();
+  ASSERT_TRUE(f.core->Shutdown().ok());
+}
+
+TEST(ServiceServerTest, StopDrainsInFlightAndUnlinksSocket) {
+  ServerFixture f = ServerFixture::Start("srv_stop");
+  auto client = ServiceClient::Connect(f.socket_path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+
+  f.server->Stop();
+  f.server->Stop();  // idempotent
+  EXPECT_FALSE(f.server->running());
+  EXPECT_FALSE(std::filesystem::exists(f.socket_path));
+
+  // The old connection is dead; a new connect is refused outright.
+  auto after = client->Ping();
+  EXPECT_FALSE(after.ok());
+  auto reconnect = ServiceClient::Connect(f.socket_path);
+  EXPECT_EQ(reconnect.status().code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(f.core->Shutdown().ok());
+}
+
+TEST(ServiceServerTest, ShutdownRequestFiresTheHook) {
+  ServerFixture f = ServerFixture::Start("srv_shutdown_req");
+  std::atomic<bool> hook_fired{false};
+  f.server->set_on_shutdown_request([&] { hook_fired = true; });
+
+  auto client = ServiceClient::Connect(f.socket_path);
+  ASSERT_TRUE(client.ok());
+  auto response = client->RequestShutdown();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kOk);
+  for (int i = 0; i < 200 && !hook_fired; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(hook_fired);
+
+  f.server->Stop();
+  ASSERT_TRUE(f.core->Shutdown().ok());
+}
+
+TEST(ServiceServerTest, BackpressureSurfacesRetryAfterHint) {
+  ServiceCoreOptions options;
+  options.dir = FreshDir("srv_hint");
+  options.queue_capacity = 1;
+  options.shed_read_depth = 1;
+  options.retry_after_ms = 33.0;
+  ServerFixture f = ServerFixture::Start("srv_hint", options);
+  f.core->PauseWriterForTest();
+
+  auto client = ServiceClient::Connect(f.socket_path);
+  ASSERT_TRUE(client.ok());
+  // Fill the single slot (deadlined request times out but stays queued)...
+  auto first = client->Apply(
+      1, InsertBatch({"A", "B", "C", "D", "E"}), /*deadline_ms=*/30);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->code, StatusCode::kDeadlineExceeded);
+  // ...then a no-deadline request is told to back off, with the hint.
+  auto rejected = client->Apply(2, InsertBatch({"A", "B", "C", "D", "E"}));
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(rejected->retry_after_ms, 33u);
+
+  f.core->ResumeWriterForTest();
+  f.server->Stop();
+  ASSERT_TRUE(f.core->Shutdown().ok());
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,312 @@
+// The WAL's crash contract (service/wal.hpp): every intact prefix record
+// survives, every torn tail drops cleanly — at EVERY byte offset a crash
+// could leave behind — and only a file that is not a WAL at all is
+// kDataLoss. Plus the batch payload codec round-trip and the ByteSource
+// fault seam (short reads, injected truncation).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/byte_source.hpp"
+#include "common/run_context.hpp"
+#include "service/wal.hpp"
+
+namespace normalize {
+namespace {
+
+std::string FreshPath(const std::string& leaf) {
+  std::string path = ::testing::TempDir() + "/" + leaf;
+  std::filesystem::remove(path);
+  return path;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+LiveBatch SampleBatch(int salt) {
+  LiveBatch batch;
+  batch.inserts.push_back({"a" + std::to_string(salt), "b", "c"});
+  batch.inserts.push_back({"", "x", "y"});  // empty cell survives verbatim
+  batch.updates.emplace_back(static_cast<RowId>(salt),
+                             std::vector<std::string>{"u", "v", "w"});
+  batch.deletes.push_back(static_cast<RowId>(salt + 1));
+  return batch;
+}
+
+bool SameBatch(const LiveBatch& a, const LiveBatch& b) {
+  return a.inserts == b.inserts && a.updates == b.updates &&
+         a.deletes == b.deletes;
+}
+
+TEST(LiveBatchCodec, RoundTripsEveryOperationKind) {
+  LiveBatch batch = SampleBatch(3);
+  auto decoded = DecodeLiveBatch(EncodeLiveBatch(batch));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(SameBatch(*decoded, batch));
+
+  LiveBatch empty;
+  auto decoded_empty = DecodeLiveBatch(EncodeLiveBatch(empty));
+  ASSERT_TRUE(decoded_empty.ok());
+  EXPECT_TRUE(decoded_empty->empty());
+}
+
+TEST(LiveBatchCodec, RaggedRowsRoundTrip) {
+  // Per-row cell counts are encoded, so a ragged client batch decodes to
+  // the same ragged batch — admission validation rejects it *after* decode,
+  // with a real error message instead of a codec failure.
+  LiveBatch ragged;
+  ragged.inserts.push_back({"only-one-cell"});
+  ragged.inserts.push_back({"a", "b", "c", "d"});
+  auto decoded = DecodeLiveBatch(EncodeLiveBatch(ragged));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(SameBatch(*decoded, ragged));
+}
+
+TEST(LiveBatchCodec, GarbageIsDataLoss) {
+  auto decoded = DecodeLiveBatch("not a batch");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalFaultTest, AppendAndReadBackRoundTrip) {
+  std::string path = FreshPath("wal_roundtrip.log");
+  auto writer = WalWriter::Open(path, /*sync_each_append=*/false);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 5; ++i) {
+    payloads.push_back(EncodeLiveBatch(SampleBatch(i)));
+    ASSERT_TRUE(writer->Append(static_cast<uint64_t>(i + 1),
+                               payloads.back())
+                    .ok());
+  }
+  EXPECT_EQ(writer->appended_records(), 5u);
+
+  auto replay = ReadWalFile(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(replay->torn_tail());
+  ASSERT_EQ(replay->records.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(replay->records[i].seq, i + 1);
+    EXPECT_EQ(replay->records[i].payload, payloads[i]);
+  }
+}
+
+TEST(WalFaultTest, MissingFileIsEmptyReplay) {
+  auto replay = ReadWalFile(FreshPath("wal_never_created.log"));
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->records.empty());
+  EXPECT_FALSE(replay->torn_tail());
+}
+
+TEST(WalFaultTest, TruncationAtEveryByteOffsetDropsOnlyTheTail) {
+  std::string path = FreshPath("wal_truncate.log");
+  std::vector<std::string> payloads;
+  std::vector<uint64_t> record_ends;  // byte offset after each record
+  {
+    auto writer = WalWriter::Open(path, false);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 4; ++i) {
+      payloads.push_back(EncodeLiveBatch(SampleBatch(i)));
+      ASSERT_TRUE(writer->Append(static_cast<uint64_t>(i + 1),
+                                 payloads.back())
+                      .ok());
+      record_ends.push_back(std::filesystem::file_size(path));
+    }
+  }
+  std::string full = ReadFileBytes(path);
+  ASSERT_EQ(full.size(), record_ends.back());
+
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    StringByteSource source(full.substr(0, cut));
+    auto replay = ReadWal(&source);
+    ASSERT_TRUE(replay.ok())
+        << "cut at " << cut << ": " << replay.status().ToString();
+    // The intact prefix: every record whose last byte is within the cut.
+    size_t expect_records = 0;
+    while (expect_records < record_ends.size() &&
+           record_ends[expect_records] <= cut) {
+      ++expect_records;
+    }
+    ASSERT_EQ(replay->records.size(), expect_records) << "cut at " << cut;
+    for (size_t i = 0; i < expect_records; ++i) {
+      EXPECT_EQ(replay->records[i].seq, i + 1);
+      EXPECT_EQ(replay->records[i].payload, payloads[i]);
+    }
+    if (cut < 12) {
+      // Inside the header: the whole artifact counts as dropped tail
+      // (except the zero-byte file, which is a clean fresh start).
+      EXPECT_EQ(replay->tail_dropped_bytes, cut) << "cut at " << cut;
+    } else {
+      // At or past the bare header: dropped = bytes past the last record
+      // that fit (or past the header when none did).
+      uint64_t clean_end =
+          expect_records == 0 ? 12 : record_ends[expect_records - 1];
+      EXPECT_EQ(replay->tail_dropped_bytes, cut - clean_end)
+          << "cut at " << cut;
+    }
+  }
+}
+
+TEST(WalFaultTest, CorruptPayloadByteDropsFromThatRecordOn) {
+  std::string path = FreshPath("wal_bitflip.log");
+  {
+    auto writer = WalWriter::Open(path, false);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(writer
+                      ->Append(static_cast<uint64_t>(i + 1),
+                               EncodeLiveBatch(SampleBatch(i)))
+                      .ok());
+    }
+  }
+  std::string full = ReadFileBytes(path);
+  // Flip one byte in the last record's payload (the file tail).
+  std::string corrupt = full;
+  corrupt.back() = static_cast<char>(corrupt.back() ^ 0x5a);
+  StringByteSource source(corrupt);
+  auto replay = ReadWal(&source);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records.size(), 2u);  // CRC catches the flip
+  EXPECT_TRUE(replay->torn_tail());
+}
+
+TEST(WalFaultTest, ForeignFileIsDataLoss) {
+  StringByteSource source("PK\x03\x04 definitely not a wal file ........");
+  auto replay = ReadWal(&source);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalFaultTest, NonMonotonicSeqDropsTail) {
+  std::string path = FreshPath("wal_nonmono.log");
+  {
+    auto writer = WalWriter::Open(path, false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(5, EncodeLiveBatch(SampleBatch(0))).ok());
+    ASSERT_TRUE(writer->Append(3, EncodeLiveBatch(SampleBatch(1))).ok());
+  }
+  auto replay = ReadWalFile(path);
+  ASSERT_TRUE(replay.ok());
+  // seq 3 after seq 5 cannot be a real record stream; it parses as tail
+  // corruption, keeping replay's high-water-mark skip logic sound.
+  EXPECT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].seq, 5u);
+  EXPECT_TRUE(replay->torn_tail());
+}
+
+TEST(WalFaultTest, InjectedTruncationThroughTheFaultSeam) {
+  std::string path = FreshPath("wal_fault_seam.log");
+  std::vector<uint64_t> record_ends;
+  {
+    auto writer = WalWriter::Open(path, false);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(writer
+                      ->Append(static_cast<uint64_t>(i + 1),
+                               EncodeLiveBatch(SampleBatch(i)))
+                      .ok());
+      record_ends.push_back(std::filesystem::file_size(path));
+    }
+  }
+  std::string full = ReadFileBytes(path);
+
+  // Truncate mid-second-record via the injector instead of the file.
+  uint64_t cut = record_ends[0] + 7;
+  FaultInjector faults;
+  faults.TruncateAtOffset(cut);
+  StringByteSource inner(full);
+  FaultInjectingByteSource source(&inner, &faults);
+  auto replay = ReadWal(&source);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->records.size(), 1u);
+  EXPECT_TRUE(replay->torn_tail());
+
+  // Short reads chop the stream into dribbles but lose nothing.
+  FaultInjector shorts;
+  for (uint64_t n = 1; n <= 64; ++n) shorts.ShortNthRead(n, 3);
+  StringByteSource inner2(full);
+  FaultInjectingByteSource source2(&inner2, &shorts);
+  auto replay2 = ReadWal(&source2);
+  ASSERT_TRUE(replay2.ok()) << replay2.status().ToString();
+  EXPECT_EQ(replay2->records.size(), 3u);
+  EXPECT_FALSE(replay2->torn_tail());
+
+  // An injected read error propagates as the error it is — not as a torn
+  // tail (silent data loss would be worse than failing the open).
+  FaultInjector failure;
+  failure.FailNthRead(2, Status::IoError("injected disk error"));
+  StringByteSource inner3(full);
+  FaultInjectingByteSource source3(&inner3, &failure);
+  auto replay3 = ReadWal(&source3);
+  ASSERT_FALSE(replay3.ok());
+  EXPECT_EQ(replay3.status().code(), StatusCode::kIoError);
+}
+
+TEST(WalFaultTest, TruncateResetsToBareHeader) {
+  std::string path = FreshPath("wal_truncate_reset.log");
+  auto writer = WalWriter::Open(path, false);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(1, EncodeLiveBatch(SampleBatch(0))).ok());
+  ASSERT_TRUE(writer->Append(2, EncodeLiveBatch(SampleBatch(1))).ok());
+  ASSERT_TRUE(writer->Truncate().ok());
+
+  auto replay = ReadWalFile(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->records.empty());
+  EXPECT_FALSE(replay->torn_tail());
+
+  // The log is still appendable after a truncation (the checkpoint path).
+  ASSERT_TRUE(writer->Append(3, EncodeLiveBatch(SampleBatch(2))).ok());
+  auto replay2 = ReadWalFile(path);
+  ASSERT_TRUE(replay2.ok());
+  ASSERT_EQ(replay2->records.size(), 1u);
+  EXPECT_EQ(replay2->records[0].seq, 3u);
+}
+
+TEST(WalFaultTest, OpenTruncatesAnExistingLog) {
+  std::string path = FreshPath("wal_open_truncates.log");
+  {
+    auto writer = WalWriter::Open(path, false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(9, EncodeLiveBatch(SampleBatch(0))).ok());
+  }
+  // Recovery reads the old log BEFORE re-opening the writer; by the time
+  // Open runs, everything in the file is checkpointed, so a bare header is
+  // the correct post-open state.
+  auto writer = WalWriter::Open(path, false);
+  ASSERT_TRUE(writer.ok());
+  auto replay = ReadWalFile(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->records.empty());
+}
+
+TEST(WalFaultTest, GarbageAppendedPastCleanLogDropsAsTail) {
+  std::string path = FreshPath("wal_trailing_garbage.log");
+  {
+    auto writer = WalWriter::Open(path, false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(1, EncodeLiveBatch(SampleBatch(0))).ok());
+  }
+  std::string bytes = ReadFileBytes(path);
+  WriteFileBytes(path, bytes + std::string("\x00\x01\x02garbage", 10));
+  auto replay = ReadWalFile(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_TRUE(replay->torn_tail());
+  EXPECT_EQ(replay->tail_dropped_bytes, 10u);
+}
+
+}  // namespace
+}  // namespace normalize

@@ -9,10 +9,14 @@ Two layers, selected by flags:
   counts starting at 1, and one FD count that every sweep entry agrees on
   (the discovered FD set must be invariant across threads AND shards).
   Files with a top-level "churn" key are bench_churn records instead:
-  per-configuration churn entries plus a "renormalize" section, with the
-  correctness booleans (cover_matches_oneshot, schema_matches) required to
-  be true — a maintained cover diverging from one-shot discovery is a
-  schema failure, not a perf regression.
+  per-configuration churn entries plus "renormalize", "service", and
+  "reseat" sections, with the correctness booleans (cover_matches_oneshot,
+  schema_matches, cover_matches_direct, covers_match) required to be true
+  — a maintained cover diverging from one-shot discovery, or the durable
+  service's cover diverging from the bare maintainer's, is a schema
+  failure, not a perf regression. The reseat section must also show
+  witness re-seating costing no tree rebuilds (rebuilds_with <=
+  rebuilds_without).
 
   Perf gates (opt-in): --min-speedup FLOOR[@THREADS] fails when the hyfd
   thread sweep's speedup at THREADS (default: the largest recorded count)
@@ -103,10 +107,11 @@ def check_fds_invariant(data):
 
 
 def check_churn_file(path, data):
-    """bench_churn schema: churn + renormalize sections, correctness
-    booleans true, sane counters."""
+    """bench_churn schema: churn + renormalize + service sections,
+    correctness booleans true, sane counters."""
     for key in ("benchmark", "dataset", "rows", "columns", "max_lhs",
-                "hardware_concurrency", "churn", "renormalize"):
+                "hardware_concurrency", "churn", "renormalize", "service",
+                "reseat"):
         if key not in data:
             schema_error(f"{path}: missing top-level key '{key}'")
     if SCHEMA_ERRORS:
@@ -141,6 +146,38 @@ def check_churn_file(path, data):
         if entry["schema_matches"] is not True:
             schema_error(f"{where}: renormalized schema diverged from the "
                          f"full pipeline (threads={entry['threads']})")
+    if not data["service"]:
+        schema_error(f"{path}: empty service section")
+    for i, entry in enumerate(data["service"]):
+        where = f"service[{i}]"
+        if not check_entry_keys(
+            entry, ("batch_size", "batches", "ops", "sync_wal",
+                    "apply_seconds", "avg_ack_ms", "direct_avg_batch_ms",
+                    "overhead_ratio", "wal_bytes", "checkpoints",
+                    "cover_matches_direct"),
+            where):
+            continue
+        if entry["ops"] <= 0 or entry["apply_seconds"] <= 0:
+            schema_error(f"{where}: non-positive ops/apply_seconds")
+        if entry["checkpoints"] <= 0:
+            schema_error(f"{where}: the service never checkpointed")
+        if entry["cover_matches_direct"] is not True:
+            schema_error(f"{where}: durable-service cover diverged from "
+                         f"the direct maintainer (sync_wal="
+                         f"{entry['sync_wal']})")
+    reseat = data["reseat"]
+    if check_entry_keys(
+        reseat, ("batch_size", "batches", "rebuilds_with",
+                 "rebuilds_without", "evidence_reseated",
+                 "maintain_seconds_with", "maintain_seconds_without",
+                 "covers_match"),
+        "reseat"):
+        if reseat["covers_match"] is not True:
+            schema_error("reseat: witness re-seating changed a cover")
+        if reseat["rebuilds_with"] > reseat["rebuilds_without"]:
+            schema_error(f"reseat: re-seating cost tree rebuilds "
+                         f"({reseat['rebuilds_with']} > "
+                         f"{reseat['rebuilds_without']})")
 
 
 def apply_speedup_gate(by_algo, spec, min_hw, hw):
