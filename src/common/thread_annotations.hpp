@@ -84,3 +84,34 @@
 /// only with a comment explaining why the discipline cannot be expressed.
 #define NORMALIZE_NO_THREAD_SAFETY_ANALYSIS \
   NORMALIZE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Durability-ordering annotations, checked by tools/lint/fd_lint (FDL003).
+//
+// The service layer's crash-safety contract is append-before-apply: a batch
+// must be durable in the WAL before any in-memory store state it implies is
+// published, otherwise a crash between the two loses acknowledged writes.
+// Clang has no attribute vocabulary for this, so these macros expand to
+// nothing everywhere and exist purely as machine-readable markers:
+//
+//   * NORMALIZE_MUTATES_STORE — the function applies a batch to live store
+//     state (LiveRelation::Apply, DeltaFdMaintainer::ApplyBatch).
+//   * NORMALIZE_APPENDS_WAL — the function makes a record durable
+//     (WalWriter::Append) or is itself the durable entry point.
+//   * NORMALIZE_REPLAYS_WAL — the function applies records that are already
+//     durable (recovery), so append-before-apply is satisfied by
+//     construction and the check does not apply.
+//
+// fd_lint verifies that, within the service layer, every call to a
+// MUTATES_STORE function is preceded by a call to an APPENDS_WAL function
+// unless the caller is itself annotated.
+// ---------------------------------------------------------------------------
+
+/// The annotated function mutates live store state from a batch.
+#define NORMALIZE_MUTATES_STORE
+
+/// The annotated function makes records durable in the write-ahead log.
+#define NORMALIZE_APPENDS_WAL
+
+/// The annotated function applies already-durable records (WAL recovery).
+#define NORMALIZE_REPLAYS_WAL

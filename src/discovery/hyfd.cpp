@@ -84,6 +84,8 @@ class Sampler {
     // discovery loop re-polls the RunContext right after sampling.
     std::vector<std::vector<AttributeSet>> local(active.size());
     std::vector<size_t> local_comparisons(active.size(), 0);
+    // A cancelled sweep is not an error here: partial columns still merge
+    // below, and the discovery loop re-polls the RunContext right after.
     (void)ParallelFor(pool_, active.size(), [this, &active, &local,
                                              &local_comparisons](size_t i) {
       size_t c = active[i];

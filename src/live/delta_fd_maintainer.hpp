@@ -47,6 +47,7 @@
 #include "common/attribute_set.hpp"
 #include "common/mutex.hpp"
 #include "common/result.hpp"
+#include "common/thread_annotations.hpp"
 #include "fd/fd.hpp"
 #include "fd/fd_tree.hpp"
 #include "live/live_relation.hpp"
@@ -132,7 +133,7 @@ class DeltaFdMaintainer {
   /// Applies the batch to the store, maintains the cover, and publishes the
   /// next epoch. On a batch validation error (kInvalidArgument) neither the
   /// store nor the cover changes.
-  Status ApplyBatch(const LiveBatch& batch);
+  Status ApplyBatch(const LiveBatch& batch) NORMALIZE_MUTATES_STORE;
 
   /// The latest published cover. Never null after Initialize(); safe to
   /// call from any thread concurrently with ApplyBatch().

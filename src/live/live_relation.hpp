@@ -28,6 +28,7 @@
 
 #include "common/attribute_set.hpp"
 #include "common/result.hpp"
+#include "common/thread_annotations.hpp"
 #include "pli/pli.hpp"
 #include "relation/relation_data.hpp"
 
@@ -106,7 +107,7 @@ class LiveRelation {
   /// version), then inserts. Fails with kInvalidArgument — leaving the store
   /// untouched — when a target row is not live, is named twice, or a new row
   /// has the wrong arity. Returns the delta for the FD maintainer.
-  Result<BatchDelta> Apply(const LiveBatch& batch);
+  Result<BatchDelta> Apply(const LiveBatch& batch) NORMALIZE_MUTATES_STORE;
 
   /// The admission check Apply() runs before mutating anything, exposed so
   /// the service can reject a malformed batch *before* logging it to the

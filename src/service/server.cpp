@@ -102,20 +102,26 @@ void ServiceServer::Stop() {
     listen_fd_ = -1;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept thread has exited, so no new connections appear; snapshot
+  // the containers under mu_ and run the (potentially blocking) shutdown /
+  // close syscalls outside the critical section.
   std::vector<std::thread> workers;
+  std::vector<int> fds;
   {
     MutexLock lock(mu_);
-    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
+    fds = connection_fds_;
     workers.swap(connection_threads_);
   }
+  for (int fd : fds) ::shutdown(fd, SHUT_RD);
   for (std::thread& worker : workers) {
     if (worker.joinable()) worker.join();
   }
   {
     MutexLock lock(mu_);
-    for (int fd : connection_fds_) ::close(fd);
+    fds = connection_fds_;
     connection_fds_.clear();
   }
+  for (int fd : fds) ::close(fd);
   ::unlink(options_.socket_path.c_str());
 }
 

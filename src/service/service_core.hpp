@@ -119,7 +119,8 @@ class ServiceCore {
   /// request deadline: it bounds both the wait for queue space (otherwise a
   /// full queue rejects immediately) and the wait for the ack.
   [[nodiscard]] Status Apply(uint64_t seq, LiveBatch batch,
-                             const RunContext* ctx = nullptr);
+                             const RunContext* ctx = nullptr)
+      NORMALIZE_APPENDS_WAL;
 
   /// The latest published cover snapshot; never shed, never queued.
   std::shared_ptr<const CoverSnapshot> Cover() const;
@@ -163,7 +164,7 @@ class ServiceCore {
 
   /// The recovery path described in the file comment; fills relation_,
   /// maintainer_, wal_, last_applied_seq_.
-  Status Recover(const RelationData& seed);
+  Status Recover(const RelationData& seed) NORMALIZE_REPLAYS_WAL;
 
   void WriterLoop();
   /// One accepted batch through validate -> WAL -> apply; returns the ack.

@@ -32,6 +32,7 @@
 
 #include "common/byte_source.hpp"
 #include "common/result.hpp"
+#include "common/thread_annotations.hpp"
 #include "live/live_relation.hpp"
 
 namespace normalize {
@@ -75,11 +76,12 @@ class WalWriter {
 
   /// Appends one framed record (single write(2) call's worth of bytes,
   /// looped over partial writes) and, if configured, fdatasyncs.
-  [[nodiscard]] Status Append(uint64_t seq, std::string_view payload);
+  [[nodiscard]] Status Append(uint64_t seq, std::string_view payload)
+      NORMALIZE_APPENDS_WAL;
 
   /// Truncates back to a bare header — called immediately after a
   /// checkpoint whose high-water mark covers every appended record.
-  [[nodiscard]] Status Truncate();
+  [[nodiscard]] Status Truncate() NORMALIZE_APPENDS_WAL;
 
   const std::string& path() const { return path_; }
   uint64_t appended_records() const { return appended_records_; }

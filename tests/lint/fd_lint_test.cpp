@@ -1,0 +1,139 @@
+// Self-tests for tools/lint/fd_lint. Each diagnostic has a fixture pair in
+// tests/lint/fixtures/: one file seeded with defects that must fire the
+// exact diagnostic IDs, and one spelling the same pattern correctly that
+// must stay clean. A final test runs the analyzer over the project's own
+// compilation database and asserts the tree is clean — the same gate CI
+// applies, so a regression shows up here before it shows up there.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "checks.hpp"
+#include "compdb.hpp"
+#include "lexer.hpp"
+#include "parser.hpp"
+
+namespace {
+
+using fdlint::Diagnostic;
+
+std::vector<fdlint::ParsedFile> ParsePaths(
+    const std::vector<std::string>& paths) {
+  std::vector<fdlint::ParsedFile> parsed;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    parsed.push_back(fdlint::ParseFile(fdlint::LexString(path, buf.str())));
+  }
+  return parsed;
+}
+
+std::vector<Diagnostic> RunOnFixtures(const std::vector<std::string>& names,
+                                      const std::string& wal_domain =
+                                          "src/service/") {
+  std::vector<std::string> paths;
+  for (const std::string& name : names) {
+    paths.push_back(std::string(FDLINT_FIXTURE_DIR) + "/" + name);
+  }
+  fdlint::AnalysisOptions options;
+  options.wal_domain = wal_domain;
+  return fdlint::RunChecks(ParsePaths(paths), options);
+}
+
+std::vector<std::string> Ids(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> ids;
+  for (const Diagnostic& d : diags) ids.push_back(d.id);
+  return ids;
+}
+
+std::string Describe(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += d.file + ":" + std::to_string(d.line) + ": " + d.id + " [" +
+           d.check_name + "] " + d.message + "\n";
+  }
+  return out;
+}
+
+TEST(FdLintBlockingUnderLock, SeededDefectsFire) {
+  std::vector<Diagnostic> diags = RunOnFixtures({"fdl001_fire.cc"});
+  EXPECT_EQ(Ids(diags),
+            (std::vector<std::string>{"FDL001", "FDL001", "FDL001"}))
+      << Describe(diags);
+}
+
+TEST(FdLintBlockingUnderLock, CorrectPatternsStayClean) {
+  std::vector<Diagnostic> diags = RunOnFixtures({"fdl001_clean.cc"});
+  EXPECT_TRUE(diags.empty()) << Describe(diags);
+}
+
+TEST(FdLintLockOrder, CycleAndReacquisitionFire) {
+  std::vector<Diagnostic> diags = RunOnFixtures({"fdl002_fire.cc"});
+  EXPECT_EQ(Ids(diags), (std::vector<std::string>{"FDL002", "FDL002"}))
+      << Describe(diags);
+}
+
+TEST(FdLintLockOrder, ConsistentOrderStaysClean) {
+  std::vector<Diagnostic> diags = RunOnFixtures({"fdl002_clean.cc"});
+  EXPECT_TRUE(diags.empty()) << Describe(diags);
+}
+
+TEST(FdLintWalOrder, ApplyBeforeAppendFires) {
+  std::vector<Diagnostic> diags =
+      RunOnFixtures({"fdl003_fire.cc"}, /*wal_domain=*/"fixtures/");
+  EXPECT_EQ(Ids(diags), (std::vector<std::string>{"FDL003"}))
+      << Describe(diags);
+}
+
+TEST(FdLintWalOrder, AppendBeforeApplyAndReplayStayClean) {
+  std::vector<Diagnostic> diags =
+      RunOnFixtures({"fdl003_clean.cc"}, /*wal_domain=*/"fixtures/");
+  EXPECT_TRUE(diags.empty()) << Describe(diags);
+}
+
+TEST(FdLintStatusInNoexcept, DiscardsInDtorAndNoexceptFire) {
+  std::vector<Diagnostic> diags = RunOnFixtures({"fdl004_fire.cc"});
+  EXPECT_EQ(Ids(diags), (std::vector<std::string>{"FDL004", "FDL004"}))
+      << Describe(diags);
+}
+
+TEST(FdLintStatusInNoexcept, SuppressionAndVoidCalleesStayClean) {
+  std::vector<Diagnostic> diags = RunOnFixtures({"fdl004_clean.cc"});
+  EXPECT_TRUE(diags.empty()) << Describe(diags);
+}
+
+TEST(FdLintVoidDiscard, UncommentedDiscardFires) {
+  std::vector<Diagnostic> diags = RunOnFixtures({"fdl005_fire.cc"});
+  EXPECT_EQ(Ids(diags), (std::vector<std::string>{"FDL005"}))
+      << Describe(diags);
+}
+
+TEST(FdLintVoidDiscard, CommentedDiscardsStayClean) {
+  std::vector<Diagnostic> diags = RunOnFixtures({"fdl005_clean.cc"});
+  EXPECT_TRUE(diags.empty()) << Describe(diags);
+}
+
+// The analyzer's own dogfood run: the whole tree, exactly as the CI job
+// invokes it, must be clean. Skipped when the compilation database is
+// absent (e.g. a build directory configured before this target existed).
+TEST(FdLintTree, WholeTreeIsClean) {
+  std::string compdb =
+      std::string(FDLINT_BINARY_DIR) + "/compile_commands.json";
+  if (!std::filesystem::exists(compdb)) {
+    GTEST_SKIP() << "no compile_commands.json at " << compdb;
+  }
+  std::vector<std::string> inputs =
+      fdlint::AnalysisInputsFromCompileCommands(compdb);
+  ASSERT_FALSE(inputs.empty());
+  std::vector<Diagnostic> diags =
+      fdlint::RunChecks(ParsePaths(inputs), fdlint::AnalysisOptions{});
+  EXPECT_TRUE(diags.empty()) << Describe(diags);
+}
+
+}  // namespace

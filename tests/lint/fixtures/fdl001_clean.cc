@@ -1,0 +1,34 @@
+// fd_lint fixture: the blocking-adjacent patterns that must NOT fire
+// FDL001. Not compiled — parsed by fd_lint_test.
+#include "common/mutex.hpp"
+
+namespace fixture {
+
+class Core {
+ public:
+  void Publish() {
+    int fd = -1;
+    {
+      MutexLock lock(mu_);
+      fd = fd_;
+    }
+    ::fsync(fd);  // syscall after the critical section closed
+  }
+  void Enqueue() {
+    MutexLock lock(mu_);
+    lock.WaitFor(cv_, 10);  // single-lock cv wait releases its own lock
+  }
+  void Deferred() {
+    MutexLock lock(mu_);
+    // The lambda runs later, on a thread that does not hold mu_.
+    task_ = [this] { ::fsync(fd_); };
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  Task task_;
+  int fd_ = -1;
+};
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// fd_lint fixture: FDL001 (blocking-under-lock) must fire three times.
+// Not compiled — parsed by fd_lint_test via the fd_lint_core library.
+#include "common/mutex.hpp"
+
+namespace fixture {
+
+struct Wal {
+  void Flush() { ::fsync(fd_); }
+  int fd_ = -1;
+};
+
+class Core {
+ public:
+  void Publish() {
+    MutexLock lock(mu_);
+    ::fsync(fd_);  // direct blocking syscall under mu_
+  }
+  void Indirect() {
+    MutexLock lock(mu_);
+    wal_.Flush();  // one level into a project function that blocks
+  }
+  void DoubleWait() {
+    MutexLock outer(other_);
+    MutexLock lock(mu_);
+    lock.WaitFor(cv_, 10);  // cv wait with a second lock still held
+  }
+
+ private:
+  Mutex mu_;
+  Mutex other_;
+  CondVar cv_;
+  Wal wal_;
+  int fd_ = -1;
+};
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// fd_lint fixture: a consistent global acquisition order (always ma_ then
+// mb_), including one level through a callee, must NOT fire FDL002.
+// Not compiled — parsed by fd_lint_test.
+#include "common/mutex.hpp"
+
+namespace fixture {
+
+class Exchange {
+ public:
+  void Forward() {
+    MutexLock a(ma_);
+    MutexLock b(mb_);
+  }
+  void AlsoForward() {
+    MutexLock a(ma_);
+    TakeSecond();  // callee acquires mb_: same ma_ -> mb_ order
+  }
+
+ private:
+  void TakeSecond() {
+    MutexLock b(mb_);
+  }
+
+  Mutex ma_;
+  Mutex mb_;
+};
+
+}  // namespace fixture

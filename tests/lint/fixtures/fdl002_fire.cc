@@ -1,0 +1,28 @@
+// fd_lint fixture: FDL002 (lock-order) must fire — the two functions
+// acquire the same pair of capabilities in opposite orders, plus one
+// re-acquisition self-deadlock. Not compiled — parsed by fd_lint_test.
+#include "common/mutex.hpp"
+
+namespace fixture {
+
+class Exchange {
+ public:
+  void Forward() {
+    MutexLock a(ma_);
+    MutexLock b(mb_);  // establishes ma_ -> mb_
+  }
+  void Backward() {
+    MutexLock b(mb_);
+    MutexLock a(ma_);  // establishes mb_ -> ma_: a cycle
+  }
+  void Recurse() {
+    MutexLock a(ma_);
+    MutexLock again(ma_);  // re-acquisition while held
+  }
+
+ private:
+  Mutex ma_;
+  Mutex mb_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// fd_lint fixture: append-before-apply orderings that must NOT fire
+// FDL003 — the durable path appends first, and the recovery path is
+// annotated REPLAYS_WAL (its records are already durable).
+// Not compiled — parsed by fd_lint_test.
+#include "common/thread_annotations.hpp"
+
+namespace fixture {
+
+struct Status {};
+
+class Wal {
+ public:
+  Status Append(int seq) NORMALIZE_APPENDS_WAL;
+};
+
+class Store {
+ public:
+  Status Apply(int batch) NORMALIZE_MUTATES_STORE;
+};
+
+class Service {
+ public:
+  Status Process(int batch) {
+    Status logged = wal_.Append(batch);    // durable first
+    Status applied = store_.Apply(batch);  // then visible
+    return applied;
+  }
+  Status Recover(int batch) NORMALIZE_REPLAYS_WAL {
+    return store_.Apply(batch);  // replaying records already in the WAL
+  }
+
+ private:
+  Wal wal_;
+  Store store_;
+};
+
+}  // namespace fixture

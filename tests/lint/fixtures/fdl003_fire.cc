@@ -1,0 +1,34 @@
+// fd_lint fixture: FDL003 (wal-order) must fire — the store mutation
+// happens before the WAL append, so a crash between the two loses an
+// acknowledged write. Analyzed with --wal-domain matching this directory.
+// Not compiled — parsed by fd_lint_test.
+#include "common/thread_annotations.hpp"
+
+namespace fixture {
+
+struct Status {};
+
+class Wal {
+ public:
+  Status Append(int seq) NORMALIZE_APPENDS_WAL;
+};
+
+class Store {
+ public:
+  Status Apply(int batch) NORMALIZE_MUTATES_STORE;
+};
+
+class Service {
+ public:
+  Status Process(int batch) {
+    Status applied = store_.Apply(batch);  // mutation with no prior append
+    Status logged = wal_.Append(batch);    // too late: crash window above
+    return applied;
+  }
+
+ private:
+  Wal wal_;
+  Store store_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// fd_lint fixture: FDL004 suppression and non-Status calls in destructors
+// must NOT fire. Not compiled — parsed by fd_lint_test.
+namespace fixture {
+
+struct Status {};
+
+class Flusher {
+ public:
+  Status Flush();
+  void Detach();
+  ~Flusher() {
+    // Destructor flush is best-effort; a failure is re-reported by the
+    // next Open() when it reads the stale tail.
+    Flush();  // fdlint: allow(FDL004)
+    Detach();  // returns void: nothing is discarded
+  }
+};
+
+}  // namespace fixture

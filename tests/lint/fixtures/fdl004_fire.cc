@@ -1,0 +1,19 @@
+// fd_lint fixture: FDL004 (status-in-noexcept) must fire twice — a Status
+// discarded where failure cannot propagate (destructor, noexcept).
+// Not compiled — parsed by fd_lint_test.
+namespace fixture {
+
+struct Status {};
+
+class Flusher {
+ public:
+  Status Flush();
+  ~Flusher() {
+    Flush();  // bare discard in a destructor
+  }
+  void Tick() noexcept {
+    (void)Flush();  // (void) discard in a noexcept function
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// fd_lint fixture: (void) discards with an adjacent rationale comment (same
+// line or the line above) must NOT fire FDL005.
+// Not compiled — parsed by fd_lint_test.
+namespace fixture {
+
+struct Status {};
+
+class Worker {
+ public:
+  Status Poke();
+
+  void Drive() {
+    // Poke is advisory; a missed poke self-heals on the next tick.
+    (void)Poke();
+
+    (void)Poke();  // second poke only widens the window; same rationale
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// fd_lint fixture: FDL005 (void-discard) must fire — a (void)-discarded
+// Status with no adjacent rationale comment.
+// Not compiled — parsed by fd_lint_test.
+namespace fixture {
+
+struct Status {};
+
+class Worker {
+ public:
+  Status Poke();
+
+  void Drive() {
+    int warmup = 0;
+    ++warmup;
+
+    (void)Poke();
+
+    ++warmup;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,436 @@
+#include "checks.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace fdlint {
+
+namespace {
+
+// Calls that block the calling thread no matter how they are spelled
+// (sleep_for is always std::this_thread::sleep_for in this codebase).
+const std::set<std::string>& BlockingAlways() {
+  static const std::set<std::string> kSet = {
+      "fsync",   "fdatasync", "sleep_for", "sleep_until",
+      "usleep",  "nanosleep", "poll",      "select",
+  };
+  return kSet;
+}
+
+// Syscall names that collide with common method names (stream.read(...)).
+// Only treated as blocking when called with no object expression — i.e.
+// `::write(fd, ...)` or `write(fd, ...)`, never `buf.write(...)`.
+const std::set<std::string>& BlockingSyscalls() {
+  static const std::set<std::string> kSet = {
+      "write", "pwrite", "read",    "pread", "send",
+      "recv",  "accept", "connect", "shutdown", "close",
+  };
+  return kSet;
+}
+
+// Condition-variable waits. MutexLock::Wait/WaitFor release their own lock
+// while blocked, so they are fine under exactly one capability; under two or
+// more, the *other* lock stays held for the whole wait.
+const std::set<std::string>& CvWaits() {
+  static const std::set<std::string> kSet = {"Wait", "WaitFor", "wait",
+                                             "wait_for", "wait_until"};
+  return kSet;
+}
+
+/// Whole-project signature for one function, merged across its declaration
+/// and definition (annotations usually live on the .hpp declaration).
+struct Signature {
+  bool returns_status = false;
+  std::set<std::string> annotations;
+  std::vector<std::string> requires_caps;
+  const FunctionInfo* definition = nullptr;
+  /// The definition directly calls a blocking syscall (outside lambdas);
+  /// holds the syscall's name for diagnostics.
+  std::string blocking_callee;
+  int blocking_line = 0;
+};
+
+struct Project {
+  std::map<std::string, Signature> sigs;          // by qualified name
+  std::map<std::string, std::vector<std::string>> by_simple;
+  std::set<std::string> classes;
+  std::map<std::string, std::string> member_type;  // "Class::member" -> Class
+  std::map<std::string, const std::map<int, std::string>*> comments;  // by file
+};
+
+bool IsBlockingCall(const CallSite& call) {
+  if (BlockingAlways().count(call.callee) > 0) return true;
+  return call.object.empty() && BlockingSyscalls().count(call.callee) > 0;
+}
+
+Project BuildProject(const std::vector<ParsedFile>& files) {
+  Project p;
+  for (const ParsedFile& f : files) {
+    p.comments[f.path] = &f.comment_by_line;
+    for (const std::string& c : f.classes) p.classes.insert(c);
+  }
+  for (const ParsedFile& f : files) {
+    for (const MemberDecl& m : f.members) {
+      for (const std::string& ty : m.type_idents) {
+        if (p.classes.count(ty) > 0) {
+          p.member_type[m.class_name + "::" + m.member] = ty;
+          break;
+        }
+      }
+    }
+    for (const FunctionInfo& fn : f.functions) {
+      Signature& sig = p.sigs[fn.qualified_name];
+      sig.returns_status = sig.returns_status || fn.returns_status;
+      sig.annotations.insert(fn.annotations.begin(), fn.annotations.end());
+      for (const std::string& cap : fn.requires_caps) {
+        if (std::find(sig.requires_caps.begin(), sig.requires_caps.end(),
+                      cap) == sig.requires_caps.end()) {
+          sig.requires_caps.push_back(cap);
+        }
+      }
+      if (fn.is_definition) {
+        sig.definition = &fn;
+        for (const CallSite& c : fn.calls) {
+          if (!c.in_lambda && IsBlockingCall(c) && sig.blocking_callee.empty()) {
+            sig.blocking_callee = c.callee;
+            sig.blocking_line = c.line;
+          }
+        }
+      }
+      std::vector<std::string>& names = p.by_simple[fn.simple_name];
+      if (std::find(names.begin(), names.end(), fn.qualified_name) ==
+          names.end()) {
+        names.push_back(fn.qualified_name);
+      }
+    }
+  }
+  return p;
+}
+
+/// Resolves a call site to a project-function qualified name, or "" when the
+/// callee is not ours (std::, gtest macros, syscalls).
+std::string Resolve(const Project& p, const FunctionInfo& caller,
+                    const CallSite& call) {
+  auto has = [&](const std::string& q) { return p.sigs.count(q) > 0; };
+  if (call.object.empty() || call.object == "this") {
+    if (!caller.class_name.empty() &&
+        has(caller.class_name + "::" + call.callee)) {
+      return caller.class_name + "::" + call.callee;
+    }
+    if (call.object == "this") return "";
+    if (has(call.callee)) return call.callee;  // free function
+  } else {
+    if (p.classes.count(call.object) > 0 &&
+        has(call.object + "::" + call.callee)) {
+      return call.object + "::" + call.callee;  // static / qualified call
+    }
+    if (!caller.class_name.empty()) {
+      auto it = p.member_type.find(caller.class_name + "::" + call.object);
+      if (it != p.member_type.end() &&
+          has(it->second + "::" + call.callee)) {
+        return it->second + "::" + call.callee;
+      }
+    }
+  }
+  // Last resort: a simple name with exactly one project definition.
+  auto it = p.by_simple.find(call.callee);
+  if (it != p.by_simple.end() && it->second.size() == 1) return it->second[0];
+  return "";
+}
+
+/// `fdlint: allow(FDL001)` / `fdlint: allow(blocking-under-lock)` on the
+/// diagnostic's line or the line above suppresses it.
+bool IsSuppressed(const Project& p, const Diagnostic& d) {
+  auto file_it = p.comments.find(d.file);
+  if (file_it == p.comments.end()) return false;
+  const std::map<int, std::string>& by_line = *file_it->second;
+  for (int line : {d.line, d.line - 1}) {
+    auto it = by_line.find(line);
+    if (it == by_line.end()) continue;
+    const std::string& text = it->second;
+    size_t at = text.find("fdlint:");
+    if (at == std::string::npos) continue;
+    size_t open = text.find('(', at);
+    size_t close = text.find(')', at);
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      continue;
+    }
+    std::string args = text.substr(open + 1, close - open - 1);
+    std::stringstream ss(args);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      tok.erase(0, tok.find_first_not_of(" \t"));
+      tok.erase(tok.find_last_not_of(" \t") + 1);
+      if (tok == d.id || tok == d.check_name || tok == "*") return true;
+    }
+  }
+  return false;
+}
+
+std::string JoinCaps(const std::vector<std::string>& caps) {
+  std::string out;
+  for (const std::string& c : caps) {
+    if (!out.empty()) out += ", ";
+    out += c;
+  }
+  return out;
+}
+
+// --- FDL001: blocking call while holding a lock --------------------------
+
+void CheckBlockingUnderLock(const Project& p, std::vector<Diagnostic>* out) {
+  for (const auto& [name, sig] : p.sigs) {
+    if (sig.definition == nullptr) continue;
+    const FunctionInfo& fn = *sig.definition;
+    for (const CallSite& call : fn.calls) {
+      if (call.in_lambda) continue;  // runs later, without these locks
+      if (CvWaits().count(call.callee) > 0) {
+        if (call.locks_held.size() >= 2) {
+          out->push_back(Diagnostic{
+              fn.file, call.line, "FDL001", kCheckBlockingUnderLock,
+              "condition wait `" + call.callee + "` with " +
+                  std::to_string(call.locks_held.size()) +
+                  " locks held (" + JoinCaps(call.locks_held) +
+                  "); the wait releases only its own lock — every other "
+                  "lock stays held for the full wait"});
+        }
+        continue;
+      }
+      if (call.locks_held.empty()) continue;
+      if (IsBlockingCall(call)) {
+        out->push_back(Diagnostic{
+            fn.file, call.line, "FDL001", kCheckBlockingUnderLock,
+            "blocking call `" + call.callee + "` while holding " +
+                JoinCaps(call.locks_held) +
+                "; move the syscall outside the critical section"});
+        continue;
+      }
+      std::string target = Resolve(p, fn, call);
+      if (target.empty()) continue;
+      auto it = p.sigs.find(target);
+      if (it != p.sigs.end() && !it->second.blocking_callee.empty()) {
+        out->push_back(Diagnostic{
+            fn.file, call.line, "FDL001", kCheckBlockingUnderLock,
+            "call to `" + target + "` while holding " +
+                JoinCaps(call.locks_held) + "; it calls blocking `" +
+                it->second.blocking_callee + "` (" + it->second.definition->file +
+                ":" + std::to_string(it->second.blocking_line) + ")"});
+      }
+    }
+  }
+}
+
+// --- FDL002: static lock-order cycles ------------------------------------
+
+struct Edge {
+  std::string file;
+  int line = 0;
+};
+
+void CheckLockOrder(const Project& p, std::vector<Diagnostic>* out) {
+  // capability -> capability -> first site establishing the edge.
+  std::map<std::string, std::map<std::string, Edge>> graph;
+  auto add_edge = [&graph](const std::string& from, const std::string& to,
+                           const std::string& file, int line) {
+    auto& slot = graph[from];
+    if (slot.count(to) == 0) slot[to] = Edge{file, line};
+  };
+
+  for (const auto& [name, sig] : p.sigs) {
+    if (sig.definition == nullptr) continue;
+    const FunctionInfo& fn = *sig.definition;
+    for (const LockAcquisition& acq : fn.acquisitions) {
+      for (const std::string& held : acq.held_before) {
+        add_edge(held, acq.capability, fn.file, acq.line);
+      }
+    }
+    // One level through calls: holding L and calling a function that takes
+    // M (fresh, not via REQUIRES) orders L before M.
+    for (const CallSite& call : fn.calls) {
+      if (call.in_lambda || call.locks_held.empty()) continue;
+      std::string target = Resolve(p, fn, call);
+      if (target.empty()) continue;
+      auto it = p.sigs.find(target);
+      if (it == p.sigs.end() || it->second.definition == nullptr) continue;
+      for (const LockAcquisition& acq : it->second.definition->acquisitions) {
+        if (!acq.held_before.empty()) continue;  // nested edge counted above
+        for (const std::string& held : call.locks_held) {
+          if (held == acq.capability) continue;  // self-deadlocks need the
+                                                 // direct-nesting evidence
+          add_edge(held, acq.capability, fn.file, call.line);
+        }
+      }
+    }
+  }
+
+  // DFS cycle extraction with canonical-rotation dedup.
+  std::set<std::vector<std::string>> reported;
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& node) {
+        color[node] = 1;
+        stack.push_back(node);
+        for (const auto& [next, edge] : graph[node]) {
+          if (color[next] == 1) {
+            // Cycle: suffix of the stack from `next` to `node`.
+            auto begin =
+                std::find(stack.begin(), stack.end(), next);
+            std::vector<std::string> cycle(begin, stack.end());
+            // Self-edges get their own re-acquisition diagnostic.
+            if (cycle.size() == 1) continue;
+            auto min_it = std::min_element(cycle.begin(), cycle.end());
+            std::rotate(cycle.begin(), min_it, cycle.end());
+            if (reported.insert(cycle).second) {
+              std::string path;
+              for (const std::string& c : cycle) path += c + " -> ";
+              path += cycle.front();
+              out->push_back(Diagnostic{
+                  edge.file, edge.line, "FDL002", kCheckLockOrder,
+                  "lock-order cycle: " + path +
+                      "; acquire these capabilities in one global order"});
+            }
+          } else if (color[next] == 0) {
+            visit(next);
+          }
+        }
+        stack.pop_back();
+        color[node] = 2;
+      };
+  // Self-edges (A -> A) are immediate self-deadlocks.
+  for (const auto& [node, edges] : graph) {
+    auto self = edges.find(node);
+    if (self != edges.end()) {
+      out->push_back(Diagnostic{
+          self->second.file, self->second.line, "FDL002", kCheckLockOrder,
+          "re-acquisition of `" + node +
+              "` while already held: guaranteed self-deadlock"});
+    }
+  }
+  for (const auto& [node, edges] : graph) {
+    if (color[node] == 0) visit(node);
+  }
+}
+
+// --- FDL003: WAL append must dominate store mutation ---------------------
+
+void CheckWalOrder(const Project& p, const AnalysisOptions& options,
+                   std::vector<Diagnostic>* out) {
+  for (const auto& [name, sig] : p.sigs) {
+    if (sig.definition == nullptr) continue;
+    const FunctionInfo& fn = *sig.definition;
+    if (fn.file.find(options.wal_domain) == std::string::npos) continue;
+    // Annotated functions *define* the contract's terms and are exempt:
+    // MUTATES_STORE is the mutation itself, APPENDS_WAL is the append,
+    // REPLAYS_WAL applies already-durable records during recovery.
+    if (sig.annotations.count("MUTATES_STORE") > 0 ||
+        sig.annotations.count("APPENDS_WAL") > 0 ||
+        sig.annotations.count("REPLAYS_WAL") > 0) {
+      continue;
+    }
+    for (const CallSite& call : fn.calls) {
+      std::string target = Resolve(p, fn, call);
+      if (target.empty()) continue;
+      auto target_sig = p.sigs.find(target);
+      if (target_sig == p.sigs.end() ||
+          target_sig->second.annotations.count("MUTATES_STORE") == 0) {
+        continue;
+      }
+      bool dominated = false;
+      for (const CallSite& prior : fn.calls) {
+        if (prior.order >= call.order) break;
+        std::string prior_target = Resolve(p, fn, prior);
+        if (prior_target.empty()) continue;
+        auto prior_sig = p.sigs.find(prior_target);
+        if (prior_sig != p.sigs.end() &&
+            prior_sig->second.annotations.count("APPENDS_WAL") > 0) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        out->push_back(Diagnostic{
+            fn.file, call.line, "FDL003", kCheckWalOrder,
+            "store mutation `" + target +
+                "` (MUTATES_STORE) is not preceded by a WAL append "
+                "(APPENDS_WAL) in `" + fn.qualified_name +
+                "`; durability requires append-before-apply, or annotate "
+                "the function REPLAYS_WAL if it applies recovered records"});
+      }
+    }
+  }
+}
+
+// --- FDL004 / FDL005: Status discipline ----------------------------------
+
+void CheckStatusDiscipline(const Project& p, std::vector<Diagnostic>* out) {
+  for (const auto& [name, sig] : p.sigs) {
+    if (sig.definition == nullptr) continue;
+    const FunctionInfo& fn = *sig.definition;
+    bool no_throw_context = fn.is_destructor || fn.is_noexcept;
+    for (const CallSite& call : fn.calls) {
+      if (!call.is_statement) continue;
+      std::string target = Resolve(p, fn, call);
+      if (target.empty()) continue;
+      auto target_sig = p.sigs.find(target);
+      if (target_sig == p.sigs.end() || !target_sig->second.returns_status) {
+        continue;
+      }
+      if (no_throw_context) {
+        out->push_back(Diagnostic{
+            fn.file, call.line, "FDL004", kCheckStatusInNoexcept,
+            "`" + target + "` returns Status/Result but `" +
+                fn.qualified_name +
+                "` cannot propagate failure (destructor/noexcept); handle "
+                "the error or suppress with `fdlint: allow(FDL004)` and a "
+                "rationale"});
+        continue;  // don't also fire FDL005 on the same discard
+      }
+      if (!call.void_cast) continue;
+      bool has_comment = false;
+      auto file_it = p.comments.find(fn.file);
+      if (file_it != p.comments.end()) {
+        has_comment = file_it->second->count(call.line) > 0 ||
+                      file_it->second->count(call.line - 1) > 0;
+      }
+      if (!has_comment) {
+        out->push_back(Diagnostic{
+            fn.file, call.line, "FDL005", kCheckVoidDiscard,
+            "`(void)`-discarded Status/Result from `" + target +
+                "` has no adjacent rationale comment; say why the error "
+                "cannot happen or does not matter here"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> RunChecks(const std::vector<ParsedFile>& files,
+                                  const AnalysisOptions& options) {
+  Project project = BuildProject(files);
+  std::vector<Diagnostic> all;
+  CheckBlockingUnderLock(project, &all);
+  CheckLockOrder(project, &all);
+  CheckWalOrder(project, options, &all);
+  CheckStatusDiscipline(project, &all);
+
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : all) {
+    if (!IsSuppressed(project, d)) kept.push_back(std::move(d));
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.id) <
+                     std::tie(b.file, b.line, b.id);
+            });
+  return kept;
+}
+
+}  // namespace fdlint

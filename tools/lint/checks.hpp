@@ -1,0 +1,25 @@
+// The fd_lint analyses. Input: per-file parse results from parser.cpp,
+// merged into a whole-project model (declaration annotations joined onto
+// definitions, member types resolved against known classes). Output: the
+// diagnostics listed in model.hpp, already filtered through
+// `fdlint: allow(...)` suppression comments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace fdlint {
+
+struct AnalysisOptions {
+  /// FDL003 (wal-order) only checks functions defined in files whose path
+  /// contains this substring — the durability contract is a property of the
+  /// service layer, not of every consumer of LiveRelation.
+  std::string wal_domain = "src/service/";
+};
+
+std::vector<Diagnostic> RunChecks(const std::vector<ParsedFile>& files,
+                                  const AnalysisOptions& options);
+
+}  // namespace fdlint

@@ -1,0 +1,101 @@
+#include "compdb.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace fdlint {
+
+namespace {
+
+/// Reads a JSON string starting at src[i] == '"'; returns the unescaped
+/// value and advances i past the closing quote.
+std::string ReadJsonString(const std::string& src, size_t* i) {
+  std::string out;
+  size_t j = *i + 1;
+  while (j < src.size() && src[j] != '"') {
+    if (src[j] == '\\' && j + 1 < src.size()) {
+      char e = src[j + 1];
+      switch (e) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += '?'; j += 4; break;  // \uXXXX: never in paths here
+        default: out += e;
+      }
+      j += 2;
+      continue;
+    }
+    out += src[j];
+    ++j;
+  }
+  *i = j < src.size() ? j + 1 : j;
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> ReadCompileCommands(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string src = buf.str();
+
+  std::vector<std::string> files;
+  std::set<std::string> seen;
+  std::string directory;
+  size_t i = 0;
+  while (i < src.size()) {
+    if (src[i] != '"') {
+      ++i;
+      continue;
+    }
+    std::string key = ReadJsonString(src, &i);
+    // Key? Look for a following ':'.
+    while (i < src.size() && (src[i] == ' ' || src[i] == '\n' ||
+                              src[i] == '\t' || src[i] == '\r')) {
+      ++i;
+    }
+    if (i >= src.size() || src[i] != ':') continue;  // was a value
+    ++i;
+    while (i < src.size() && (src[i] == ' ' || src[i] == '\n' ||
+                              src[i] == '\t' || src[i] == '\r')) {
+      ++i;
+    }
+    if (i >= src.size() || src[i] != '"') continue;  // non-string value
+    std::string value = ReadJsonString(src, &i);
+    if (key == "directory") {
+      directory = value;
+    } else if (key == "file") {
+      std::string resolved = value;
+      if (!value.empty() && value[0] != '/' && !directory.empty()) {
+        resolved = directory + "/" + value;
+      }
+      if (seen.insert(resolved).second) files.push_back(resolved);
+    }
+  }
+  return files;
+}
+
+std::vector<std::string> AnalysisInputsFromCompileCommands(
+    const std::string& path) {
+  std::vector<std::string> tus = ReadCompileCommands(path);
+  if (tus.empty()) return {};
+  std::set<std::string> unique(tus.begin(), tus.end());
+  std::set<std::string> dirs;
+  for (const std::string& tu : tus) {
+    dirs.insert(std::filesystem::path(tu).parent_path().string());
+  }
+  for (const std::string& dir : dirs) {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file()) continue;
+      std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".h") unique.insert(entry.path().string());
+    }
+  }
+  return {unique.begin(), unique.end()};
+}
+
+}  // namespace fdlint

@@ -1,0 +1,23 @@
+// Minimal compile_commands.json reader: extracts the "file" entry of each
+// command object (resolved against "directory" when relative). fd_lint only
+// needs the TU list — flags and defines are irrelevant to a token-level
+// analysis — so this avoids a JSON library dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fdlint {
+
+/// Returns the translation-unit paths listed in the compilation database at
+/// `path`, deduplicated, or an empty vector when the file cannot be read.
+std::vector<std::string> ReadCompileCommands(const std::string& path);
+
+/// The full analysis input set for a compilation database: every listed TU
+/// plus the .hpp/.h files in the TUs' directories (annotations and inline
+/// definitions live on header declarations, which no TU list names).
+/// Sorted and deduplicated; empty when the database cannot be read.
+std::vector<std::string> AnalysisInputsFromCompileCommands(
+    const std::string& path);
+
+}  // namespace fdlint

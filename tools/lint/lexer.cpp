@@ -1,0 +1,170 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace fdlint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuation, longest first so the greedy match below is
+// correct ("->*" before "->" before "-").
+constexpr std::string_view kPuncts[] = {
+    ">>=", "<<=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=",  "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++",  "--",  "##",
+};
+
+}  // namespace
+
+LexedFile LexString(std::string path, std::string_view src) {
+  LexedFile out;
+  out.path = std::move(path);
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace since the last newline
+
+  auto push = [&](Token::Kind kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+    at_line_start = false;
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Preprocessor line: skip to the newline, honouring backslash
+    // continuations. Nothing inside directives is analyzed.
+    if (c == '#' && at_line_start) {
+      while (i < src.size()) {
+        if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      size_t start = i + 2;
+      while (i < src.size() && src[i] != '\n') ++i;
+      out.comments.push_back(
+          Comment{line, line, std::string(src.substr(start, i - start))});
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      int start_line = line;
+      size_t start = i + 2;
+      i += 2;
+      while (i < src.size() && !(src[i] == '*' && i + 1 < src.size() &&
+                                 src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      out.comments.push_back(Comment{
+          start_line, line, std::string(src.substr(start, i - start))});
+      i = i + 2 <= src.size() ? i + 2 : src.size();
+      continue;
+    }
+    if (c == '"') {
+      size_t start = i;
+      ++i;
+      while (i < src.size() && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < src.size()) ++i;
+        if (src[i] == '\n') ++line;  // ill-formed, but keep line counts sane
+        ++i;
+      }
+      if (i < src.size()) ++i;
+      push(Token::Kind::kString, std::string(src.substr(start, i - start)));
+      continue;
+    }
+    if (c == '\'') {
+      size_t start = i;
+      ++i;
+      while (i < src.size() && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < src.size()) ++i;
+        ++i;
+      }
+      if (i < src.size()) ++i;
+      push(Token::Kind::kChar, std::string(src.substr(start, i - start)));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < src.size() && IsIdentChar(src[i])) ++i;
+      std::string ident(src.substr(start, i - start));
+      // Raw string literal: an encoding prefix ending in R glued to a quote
+      // (R"delim( ... )delim"). Consumed as one string token.
+      bool raw_prefix = ident == "R" || ident == "LR" || ident == "uR" ||
+                        ident == "UR" || ident == "u8R";
+      if (raw_prefix && i < src.size() && src[i] == '"') {
+        size_t d = i + 1;
+        while (d < src.size() && src[d] != '(') ++d;
+        std::string closer = ")" + std::string(src.substr(i + 1, d - i - 1)) +
+                             "\"";
+        size_t end = src.find(closer, d);
+        size_t stop = end == std::string_view::npos ? src.size()
+                                                    : end + closer.size();
+        for (size_t k = i; k < stop; ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        push(Token::Kind::kString,
+             ident + std::string(src.substr(i, stop - i)));
+        i = stop;
+        continue;
+      }
+      push(Token::Kind::kIdent, std::move(ident));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t start = i;
+      while (i < src.size() &&
+             (IsIdentChar(src[i]) || src[i] == '.' || src[i] == '\'')) {
+        // Exponent signs are part of the number (1e+5, 0x1p-3).
+        if ((src[i] == 'e' || src[i] == 'E' || src[i] == 'p' ||
+             src[i] == 'P') &&
+            i + 1 < src.size() && (src[i + 1] == '+' || src[i + 1] == '-')) {
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      push(Token::Kind::kNumber, std::string(src.substr(start, i - start)));
+      continue;
+    }
+    bool matched = false;
+    for (std::string_view p : kPuncts) {
+      if (src.substr(i, p.size()) == p) {
+        push(Token::Kind::kPunct, std::string(p));
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      push(Token::Kind::kPunct, std::string(1, c));
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace fdlint

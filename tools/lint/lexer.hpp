@@ -1,0 +1,43 @@
+// Token stream for fd_lint (tools/lint): a minimal C++ lexer that is exact
+// about the things a project-aware structural analysis needs — comments
+// (with positions, for suppressions and rationale checks), string/char
+// literals (so identifiers inside them are never mistaken for code), raw
+// strings, and preprocessor lines (skipped wholesale, continuations
+// included) — and deliberately simple about everything else. fd_lint does
+// not build an AST; it reasons over this token stream plus brace/paren
+// structure, which is enough to check the project's lock and durability
+// discipline (see checks.hpp) without a libclang dependency.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fdlint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+/// One comment (line or block). Block comments spanning several lines cover
+/// every line in [line, end_line].
+struct Comment {
+  int line = 0;
+  int end_line = 0;
+  std::string text;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Lexes `src` (the contents of `path`). Never fails: unterminated literals
+/// are closed at end of input, unknown bytes become single-char punctuation.
+LexedFile LexString(std::string path, std::string_view src);
+
+}  // namespace fdlint

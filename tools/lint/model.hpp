@@ -1,0 +1,101 @@
+// The project model fd_lint checks operate on: per-file parse results
+// (functions with their call sites, lock scopes, and annotations; classes
+// and their members) plus the diagnostics vocabulary. Built by parser.cpp,
+// consumed by checks.cpp.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fdlint {
+
+/// One call site inside a function body. `callee` is the unqualified name;
+/// `object` is the last identifier of the object expression it was invoked
+/// on ("relation_" for `relation_->Apply(...)`, "WalWriter" for
+/// `WalWriter::Open(...)`, empty for a plain `Foo(...)` call), which the
+/// checks use to resolve the callee against a class when member types are
+/// known.
+struct CallSite {
+  std::string callee;
+  std::string object;
+  int line = 0;
+  /// Position in the function body's statement order (token index); FDL003
+  /// uses it as a conservative stand-in for "dominated by".
+  size_t order = 0;
+  /// Capabilities held at the call: active MutexLock scopes plus the
+  /// function's REQUIRES(...) seeds, innermost last.
+  std::vector<std::string> locks_held;
+  /// The call's result is cast to (void).
+  bool void_cast = false;
+  /// The call is a whole expression statement (its result is discarded).
+  bool is_statement = false;
+  /// The call happens inside a lambda body defined in this function (it may
+  /// run later, without the locks the definition site held).
+  bool in_lambda = false;
+};
+
+/// One `MutexLock lock(expr);` acquisition.
+struct LockAcquisition {
+  std::string capability;  // qualified: "ServiceCore::mu_" or bare name
+  int line = 0;
+  size_t order = 0;
+  std::vector<std::string> held_before;  // capabilities held at acquisition
+};
+
+struct FunctionInfo {
+  std::string file;
+  int line = 0;
+  std::string class_name;      // innermost enclosing class ("" for free)
+  std::string qualified_name;  // "Class::Name" or "Name"
+  std::string simple_name;
+  bool is_definition = false;
+  bool is_destructor = false;
+  bool is_noexcept = false;
+  /// Return type names Status or Result by value.
+  bool returns_status = false;
+  /// Durability annotations: MUTATES_STORE, APPENDS_WAL, REPLAYS_WAL
+  /// (macro names with the NORMALIZE_ prefix stripped).
+  std::set<std::string> annotations;
+  /// Qualified capabilities from NORMALIZE_REQUIRES(...).
+  std::vector<std::string> requires_caps;
+  std::vector<CallSite> calls;              // definitions only
+  std::vector<LockAcquisition> acquisitions;  // definitions only
+};
+
+/// A class member declaration with the identifiers of its declared type
+/// ("std", "unique_ptr", "LiveRelation" for
+/// `std::unique_ptr<LiveRelation> relation_;`).
+struct MemberDecl {
+  std::string class_name;
+  std::string member;
+  std::vector<std::string> type_idents;
+  int line = 0;
+};
+
+struct ParsedFile {
+  std::string path;
+  std::vector<FunctionInfo> functions;
+  std::vector<std::string> classes;  // class/struct names with bodies
+  std::vector<MemberDecl> members;
+  /// line -> concatenated comment text on that line (suppressions,
+  /// rationale adjacency).
+  std::map<int, std::string> comment_by_line;
+};
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string id;          // "FDL001" ... "FDL005"
+  std::string check_name;  // "blocking-under-lock", ...
+  std::string message;
+};
+
+inline const char* kCheckBlockingUnderLock = "blocking-under-lock";
+inline const char* kCheckLockOrder = "lock-order";
+inline const char* kCheckWalOrder = "wal-order";
+inline const char* kCheckStatusInNoexcept = "status-in-noexcept";
+inline const char* kCheckVoidDiscard = "void-discard";
+
+}  // namespace fdlint

@@ -1,0 +1,667 @@
+#include "parser.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace fdlint {
+
+namespace {
+
+const std::set<std::string>& CalleeKeywords() {
+  static const std::set<std::string> kSet = {
+      "if",       "for",         "while",      "switch",     "sizeof",
+      "alignof",  "alignas",     "decltype",   "new",        "delete",
+      "catch",    "throw",       "case",       "default",    "static_cast",
+      "dynamic_cast",            "const_cast", "reinterpret_cast",
+      "co_await", "co_return",   "co_yield",   "and",        "or",
+      "not",      "xor",         "defined",    "this",       "typeid",
+      "goto",     "else",        "do",         "return",     "noexcept",
+      "static_assert",           "operator",
+  };
+  return kSet;
+}
+
+// Identifier-kind tokens that may precede a call expression without making
+// it a declaration ("return Foo(...)" is a call, "Foo bar(...)" is not).
+const std::set<std::string>& CallishPredecessors() {
+  static const std::set<std::string> kSet = {"return", "throw",  "co_return",
+                                             "co_await", "else", "do",
+                                             "case"};
+  return kSet;
+}
+
+bool IsAnnotationMacro(const std::string& name) {
+  return name.rfind("NORMALIZE_", 0) == 0;
+}
+
+class FileParser {
+ public:
+  explicit FileParser(const LexedFile& lexed) : lexed_(lexed), t_(lexed.tokens) {}
+
+  ParsedFile Run() {
+    out_.path = lexed_.path;
+    for (const Comment& c : lexed_.comments) {
+      for (int l = c.line; l <= c.end_line; ++l) {
+        std::string& slot = out_.comment_by_line[l];
+        if (!slot.empty()) slot += " ";
+        slot += c.text;
+      }
+    }
+    ParseScope(0, t_.size());
+    return std::move(out_);
+  }
+
+ private:
+  const LexedFile& lexed_;
+  const std::vector<Token>& t_;
+  ParsedFile out_;
+  std::vector<std::string> class_stack_;
+
+  bool Is(size_t i, const char* text) const {
+    return i < t_.size() && t_[i].text == text;
+  }
+  bool IsIdent(size_t i) const {
+    return i < t_.size() && t_[i].kind == Token::Kind::kIdent;
+  }
+  int Line(size_t i) const {
+    return i < t_.size() ? t_[i].line : (t_.empty() ? 0 : t_.back().line);
+  }
+
+  /// Skips a (){}[]<> group starting at `i`; returns the index after the
+  /// matching closer (never <= i, never past `end`).
+  size_t MatchPair(size_t i, size_t end, const char* open, const char* close) {
+    int depth = 0;
+    size_t j = i;
+    while (j < end) {
+      if (t_[j].text == open) ++depth;
+      else if (t_[j].text == close) {
+        --depth;
+        if (depth == 0) return j + 1;
+      }
+      ++j;
+    }
+    return end;
+  }
+  size_t MatchParen(size_t i, size_t end) { return MatchPair(i, end, "(", ")"); }
+  size_t MatchBrace(size_t i, size_t end) { return MatchPair(i, end, "{", "}"); }
+  size_t MatchBracket(size_t i, size_t end) {
+    return MatchPair(i, end, "[", "]");
+  }
+
+  /// Skips a template argument/parameter group starting at `<`; ">>" closes
+  /// two levels.
+  size_t MatchAngle(size_t i, size_t end) {
+    int depth = 0;
+    size_t j = i;
+    while (j < end) {
+      const std::string& s = t_[j].text;
+      if (s == "<") ++depth;
+      else if (s == ">") {
+        if (--depth <= 0) return j + 1;
+      } else if (s == ">>") {
+        depth -= 2;
+        if (depth <= 0) return j + 1;
+      } else if (s == ";" || s == "{") {
+        return j;  // not a template group after all
+      }
+      ++j;
+    }
+    return end;
+  }
+
+  size_t SkipToSemicolon(size_t i, size_t end) {
+    size_t j = i;
+    while (j < end) {
+      const std::string& s = t_[j].text;
+      if (s == ";") return j + 1;
+      if (s == "(") { j = MatchParen(j, end); continue; }
+      if (s == "{") { j = MatchBrace(j, end); continue; }
+      if (s == "}") return j;  // scope end without semicolon: bail
+      ++j;
+    }
+    return end;
+  }
+
+  // --- scope level -------------------------------------------------------
+
+  void ParseScope(size_t begin, size_t end) {
+    size_t i = begin;
+    while (i < end) {
+      size_t guard = i;
+      const std::string& s = t_[i].text;
+      if (s == ";") { ++i; }
+      else if (s == "}") { ++i; }  // tolerated: unbalanced close
+      else if (s == "{") { i = MatchBrace(i, end); }
+      else if (s == "[") { i = MatchBracket(i, end); }  // [[attributes]]
+      else if (s == "~" && IsIdent(i + 1)) {
+        // In-class destructor: start the decl scan at the '~' so the name
+        // walk-back sees it.
+        i = DeclOrFunction(i, end);
+      }
+      else if (t_[i].kind == Token::Kind::kIdent) {
+        if (s == "template") {
+          ++i;
+          if (Is(i, "<")) i = MatchAngle(i, end);
+        } else if (s == "namespace") {
+          i = ParseNamespace(i, end);
+        } else if (s == "using" || s == "typedef" || s == "static_assert") {
+          i = SkipToSemicolon(i, end);
+        } else if (s == "friend") {
+          i = SkipToSemicolon(i, end);
+        } else if (s == "extern" && i + 2 < end &&
+                   t_[i + 1].kind == Token::Kind::kString && Is(i + 2, "{")) {
+          size_t close = MatchBrace(i + 2, end);
+          ParseScope(i + 3, close - 1);
+          i = close;
+        } else if (s == "enum") {
+          i = ParseEnum(i, end);
+        } else if (s == "class" || s == "struct" || s == "union") {
+          i = ParseClass(i, end);
+        } else if (!class_stack_.empty() &&
+                   (s == "public" || s == "protected" || s == "private") &&
+                   Is(i + 1, ":")) {
+          i += 2;
+        } else {
+          i = DeclOrFunction(i, end);
+        }
+      } else {
+        ++i;
+      }
+      if (i <= guard) i = guard + 1;
+    }
+  }
+
+  size_t ParseNamespace(size_t i, size_t end) {
+    size_t j = i + 1;
+    while (j < end && (IsIdent(j) || Is(j, "::"))) ++j;
+    if (Is(j, "=")) return SkipToSemicolon(j, end);  // namespace alias
+    if (Is(j, "{")) {
+      size_t close = MatchBrace(j, end);
+      ParseScope(j + 1, close - 1);
+      return close;
+    }
+    return j + 1;
+  }
+
+  size_t ParseEnum(size_t i, size_t end) {
+    size_t j = i + 1;
+    while (j < end && t_[j].text != "{" && t_[j].text != ";") ++j;
+    if (Is(j, "{")) j = MatchBrace(j, end);
+    if (Is(j, ";")) ++j;
+    return j;
+  }
+
+  size_t ParseClass(size_t i, size_t end) {
+    size_t j = i + 1;
+    std::string name;
+    while (j < end) {
+      const std::string& s = t_[j].text;
+      if (t_[j].kind == Token::Kind::kIdent) {
+        if (IsAnnotationMacro(s)) {
+          ++j;
+          if (Is(j, "(")) j = MatchParen(j, end);
+          continue;
+        }
+        if (s == "alignas") {
+          ++j;
+          if (Is(j, "(")) j = MatchParen(j, end);
+          continue;
+        }
+        if (s != "final") name = s;
+        ++j;
+        continue;
+      }
+      if (s == "[") { j = MatchBracket(j, end); continue; }
+      if (s == "<") { j = MatchAngle(j, end); continue; }  // specialization
+      break;
+    }
+    if (Is(j, ":")) {  // base clause: first '{' opens the body
+      while (j < end && t_[j].text != "{" && t_[j].text != ";") {
+        if (t_[j].text == "<") { j = MatchAngle(j, end); continue; }
+        ++j;
+      }
+    }
+    if (Is(j, ";") || name.empty()) return SkipToSemicolon(i, end);
+    if (!Is(j, "{")) return SkipToSemicolon(i, end);
+    out_.classes.push_back(name);
+    size_t close = MatchBrace(j, end);
+    class_stack_.push_back(name);
+    ParseScope(j + 1, close - 1);
+    class_stack_.pop_back();
+    // Skip optional declarator list after the body ("} x;").
+    return SkipToSemicolon(close, end);
+  }
+
+  // --- declarations and function heads -----------------------------------
+
+  size_t DeclOrFunction(size_t i, size_t end) {
+    size_t j = i;
+    int angle = 0;
+    size_t paren = t_.size();
+    while (j < end) {
+      const std::string& s = t_[j].text;
+      if (s == "<") ++angle;
+      else if (s == ">") angle = std::max(0, angle - 1);
+      else if (s == ">>") angle = std::max(0, angle - 2);
+      else if (s == "(" && angle == 0) {
+        if (j > i && IsIdent(j - 1) && IsAnnotationMacro(t_[j - 1].text)) {
+          j = MatchParen(j, end);
+          continue;
+        }
+        paren = j;
+        break;
+      } else if (s == ";") {
+        RecordMember(i, j);
+        return j + 1;
+      } else if (s == "=" && angle == 0) {
+        size_t stop = SkipToSemicolon(j, end);
+        RecordMember(i, j);
+        return stop;
+      } else if (s == "{" && angle == 0) {
+        // Brace-initialized variable: `Foo x{...};`
+        size_t after = MatchBrace(j, end);
+        RecordMember(i, j);
+        return SkipToSemicolon(after, end);
+      } else if (s == "}") {
+        return j;
+      }
+      ++j;
+    }
+    if (paren >= end) return end;
+    return ParseFunction(i, paren, end);
+  }
+
+  /// Collects the (possibly qualified) name ending just before `paren`.
+  /// Returns the index where the name starts.
+  size_t FunctionName(size_t head, size_t paren, std::string* name) {
+    size_t k = paren;
+    // operator with symbol tokens: walk back over punctuation to "operator".
+    size_t p = paren;
+    int steps = 0;
+    while (p > head && t_[p - 1].kind == Token::Kind::kPunct && steps < 3) {
+      --p;
+      ++steps;
+    }
+    if (p > head && Is(p - 1, "operator")) {
+      std::string sym;
+      for (size_t q = p; q < paren; ++q) sym += t_[q].text;
+      *name = "operator" + sym;
+      size_t start = p - 1;
+      // Optional Class:: qualifier before "operator".
+      while (start >= head + 2 && Is(start - 1, "::") && IsIdent(start - 2)) {
+        *name = t_[start - 2].text + "::" + *name;
+        start -= 2;
+      }
+      return start;
+    }
+    k = paren;
+    std::vector<std::string> parts;
+    bool tilde = false;
+    while (k > head) {
+      const Token& tok = t_[k - 1];
+      if (tok.kind == Token::Kind::kIdent && !parts.empty() &&
+          !Is(k, "::")) {
+        break;  // two adjacent idents: the left one is the return type
+      }
+      if (tok.kind == Token::Kind::kIdent) {
+        parts.insert(parts.begin(), tok.text);
+        --k;
+        if (k > head && Is(k - 1, "~")) {
+          tilde = true;
+          --k;
+          break;
+        }
+        if (k > head && Is(k - 1, "::")) {
+          --k;
+          continue;
+        }
+        break;
+      }
+      break;
+    }
+    std::string joined;
+    for (size_t q = 0; q < parts.size(); ++q) {
+      if (q) joined += "::";
+      joined += parts[q];
+    }
+    if (tilde && !joined.empty()) {
+      // "~X" names the destructor of the last component.
+      size_t last = joined.rfind("::");
+      if (last == std::string::npos) joined = "~" + joined;
+      else joined = joined.substr(0, last + 2) + "~" + joined.substr(last + 2);
+    }
+    *name = joined;
+    return k;
+  }
+
+  size_t ParseFunction(size_t head, size_t paren, size_t end) {
+    std::string name;
+    size_t name_start = FunctionName(head, paren, &name);
+    if (name.empty() || CalleeKeywords().count(name) > 0 ||
+        IsAnnotationMacro(name)) {
+      return SkipToSemicolon(paren, end);
+    }
+
+    FunctionInfo fn;
+    fn.file = out_.path;
+    fn.line = Line(name_start);
+    // Split qualified names; keep the last two components.
+    size_t sep = name.rfind("::");
+    if (sep != std::string::npos) {
+      std::string cls = name.substr(0, sep);
+      size_t prev = cls.rfind("::");
+      if (prev != std::string::npos) cls = cls.substr(prev + 2);
+      fn.class_name = cls;
+      fn.simple_name = name.substr(sep + 2);
+      fn.qualified_name = cls + "::" + fn.simple_name;
+    } else {
+      fn.simple_name = name;
+      if (!class_stack_.empty()) {
+        fn.class_name = class_stack_.back();
+        fn.qualified_name = fn.class_name + "::" + name;
+      } else {
+        fn.qualified_name = name;
+      }
+    }
+    fn.is_destructor = !fn.simple_name.empty() && fn.simple_name[0] == '~';
+
+    // Return type: the head tokens before the name, minus specifiers.
+    bool saw_status = false, saw_ref_or_ptr = false;
+    for (size_t q = head; q < name_start; ++q) {
+      const std::string& s = t_[q].text;
+      if (s == "Status" || s == "Result") saw_status = true;
+      if (s == "&" || s == "*" || s == "&&") saw_ref_or_ptr = true;
+    }
+    fn.returns_status = saw_status && !saw_ref_or_ptr;
+
+    size_t params_end = MatchParen(paren, end);
+    size_t k = params_end;
+    size_t body = t_.size();
+    bool declaration_only = false;
+    while (k < end) {
+      size_t guard = k;
+      const std::string& s = t_[k].text;
+      if (s == "{") { body = k; break; }
+      if (s == ";") { declaration_only = true; break; }
+      if (s == "noexcept") {
+        ++k;
+        if (Is(k, "(")) {
+          size_t close = MatchParen(k, end);
+          bool literal_false = close == k + 3 && Is(k + 1, "false");
+          if (!literal_false) fn.is_noexcept = true;
+          k = close;
+        } else {
+          fn.is_noexcept = true;
+        }
+        continue;
+      }
+      if (t_[k].kind == Token::Kind::kIdent && IsAnnotationMacro(s)) {
+        std::string tag = s.substr(std::string("NORMALIZE_").size());
+        ++k;
+        if (Is(k, "(")) {
+          size_t close = MatchParen(k, end);
+          if (tag == "REQUIRES") {
+            // Each comma-separated argument's last identifier is a
+            // capability, qualified by the function's class.
+            std::string last;
+            for (size_t q = k + 1; q < close; ++q) {
+              if (t_[q].kind == Token::Kind::kIdent) last = t_[q].text;
+              if ((Is(q, ",") || q + 1 == close) && !last.empty()) {
+                fn.requires_caps.push_back(Qualify(fn.class_name, last));
+                last.clear();
+              }
+            }
+          }
+          k = close;
+        }
+        if (tag == "MUTATES_STORE" || tag == "APPENDS_WAL" ||
+            tag == "REPLAYS_WAL") {
+          fn.annotations.insert(tag);
+        }
+        continue;
+      }
+      if (s == "const" || s == "override" || s == "final" || s == "mutable" ||
+          s == "try" || s == "&" || s == "&&") { ++k; continue; }
+      if (s == "->") {  // trailing return type
+        ++k;
+        while (k < end && t_[k].text != "{" && t_[k].text != ";") {
+          if (t_[k].text == "<") { k = MatchAngle(k, end); continue; }
+          ++k;
+        }
+        continue;
+      }
+      if (s == "[") { k = MatchBracket(k, end); continue; }
+      if (s == "=") {  // = default / = delete / = 0
+        return SkipToSemicolon(k, end);
+      }
+      if (s == ":") {  // ctor-init list
+        k = SkipInitList(k + 1, end, &body);
+        if (body < t_.size()) break;
+        continue;
+      }
+      if (s == ",") {
+        // `int a(1), b(2);` — paren-initialized variables, not a function.
+        return SkipToSemicolon(k, end);
+      }
+      if (t_[k].kind == Token::Kind::kIdent) { ++k; continue; }
+      ++k;
+      if (k <= guard) k = guard + 1;
+    }
+
+    if (declaration_only || body >= t_.size()) {
+      out_.functions.push_back(std::move(fn));
+      return declaration_only ? k + 1 : end;
+    }
+
+    fn.is_definition = true;
+    size_t close = MatchBrace(body, end);
+    AnalyzeBody(body + 1, close - 1, &fn, fn.requires_caps);
+    out_.functions.push_back(std::move(fn));
+    return close;
+  }
+
+  /// Scans a ctor-init list starting after ':'. Sets *body to the opening
+  /// brace of the function body when found.
+  size_t SkipInitList(size_t i, size_t end, size_t* body) {
+    size_t k = i;
+    while (k < end) {
+      size_t guard = k;
+      // Initializer name: idents, ::, template args.
+      while (k < end && (IsIdent(k) || Is(k, "::"))) {
+        ++k;
+        if (Is(k, "<")) k = MatchAngle(k, end);
+      }
+      if (Is(k, "(")) k = MatchParen(k, end);
+      else if (Is(k, "{")) k = MatchBrace(k, end);
+      if (Is(k, "...")) ++k;
+      if (Is(k, ",")) { ++k; continue; }
+      if (Is(k, "{")) { *body = k; return k; }
+      if (k >= end) return k;
+      if (k <= guard) ++k;  // tolerate the unexpected
+    }
+    return k;
+  }
+
+  void RecordMember(size_t begin, size_t end_tok) {
+    if (class_stack_.empty()) return;
+    MemberDecl m;
+    m.class_name = class_stack_.back();
+    m.line = Line(begin);
+    std::vector<std::string> idents;
+    for (size_t q = begin; q < end_tok; ++q) {
+      if (t_[q].kind != Token::Kind::kIdent) continue;
+      if (IsAnnotationMacro(t_[q].text)) break;  // annotations trail the name
+      idents.push_back(t_[q].text);
+    }
+    if (idents.size() < 2) return;  // need at least a type and a name
+    m.member = idents.back();
+    idents.pop_back();
+    m.type_idents = std::move(idents);
+    out_.members.push_back(std::move(m));
+  }
+
+  static std::string Qualify(const std::string& cls, const std::string& cap) {
+    return cls.empty() ? cap : cls + "::" + cap;
+  }
+
+  // --- function bodies ---------------------------------------------------
+
+  struct ActiveLock {
+    std::string capability;
+    int depth;
+  };
+
+  void AnalyzeBody(size_t begin, size_t end, FunctionInfo* fn,
+                   const std::vector<std::string>& base_locks,
+                   bool in_lambda = false) {
+    std::vector<ActiveLock> active;
+    int depth = 0;
+    auto held = [&]() {
+      std::vector<std::string> caps = base_locks;
+      for (const ActiveLock& l : active) caps.push_back(l.capability);
+      return caps;
+    };
+
+    size_t i = begin;
+    while (i < end) {
+      size_t guard = i;
+      const std::string& s = t_[i].text;
+      if (s == "{") { ++depth; ++i; }
+      else if (s == "}") {
+        --depth;
+        while (!active.empty() && active.back().depth > depth) {
+          active.pop_back();
+        }
+        ++i;
+      } else if (s == "[") {
+        size_t after = TryLambda(i, end, fn);
+        if (after > i) { i = after; continue; }
+        ++i;
+      } else if (t_[i].kind == Token::Kind::kIdent && s == "MutexLock" &&
+                 IsIdent(i + 1) && Is(i + 2, "(")) {
+        size_t close = MatchParen(i + 2, end);
+        std::string last_ident;
+        for (size_t q = i + 3; q + 1 < close; ++q) {
+          if (t_[q].kind == Token::Kind::kIdent) last_ident = t_[q].text;
+        }
+        if (!last_ident.empty()) {
+          LockAcquisition acq;
+          acq.capability = Qualify(fn->class_name, last_ident);
+          acq.line = Line(i);
+          acq.order = i;
+          acq.held_before = held();
+          fn->acquisitions.push_back(acq);
+          active.push_back(ActiveLock{std::move(acq.capability), depth});
+          active.back().capability = Qualify(fn->class_name, last_ident);
+        }
+        i = close;
+      } else if (t_[i].kind == Token::Kind::kIdent && Is(i + 1, "(") &&
+                 CalleeKeywords().count(s) == 0) {
+        if (IsAnnotationMacro(s)) {
+          // NORMALIZE_RETURN_IF_ERROR(wal_->Append(...)) and friends wrap
+          // real calls in their arguments: skip only the macro name so the
+          // inner calls are still recorded.
+          ++i;
+          continue;
+        }
+        // `Foo bar(...)`: a declaration unless the preceding identifier is
+        // a statement keyword.
+        if (i > begin && IsIdent(i - 1) &&
+            CallishPredecessors().count(t_[i - 1].text) == 0) {
+          ++i;
+          continue;
+        }
+        if (i > begin && Is(i - 1, "~")) { ++i; continue; }
+        RecordCall(i, begin, end, fn, held(), in_lambda);
+        ++i;
+      } else {
+        ++i;
+      }
+      if (i <= guard) i = guard + 1;
+    }
+  }
+
+  /// If `i` (at '[') starts a lambda, analyzes its body with an empty lock
+  /// set and returns the index after the body; otherwise returns `i`.
+  size_t TryLambda(size_t i, size_t end, FunctionInfo* fn) {
+    if (Is(i + 1, "[")) {  // [[attribute]]
+      return MatchBracket(i, end);
+    }
+    size_t close = MatchBracket(i, end);
+    size_t k = close;
+    if (Is(k, "(")) k = MatchParen(k, end);
+    // Optional specifiers / trailing return before the body.
+    int fuse = 8;
+    while (k < end && fuse-- > 0) {
+      const std::string& s = t_[k].text;
+      if (s == "{") {
+        size_t body_close = MatchBrace(k, end);
+        AnalyzeBody(k + 1, body_close - 1, fn, {}, /*in_lambda=*/true);
+        return body_close;
+      }
+      if (s == "mutable" || s == "noexcept" || s == "constexpr" ||
+          t_[k].kind == Token::Kind::kIdent || s == "->" || s == "::") {
+        ++k;
+        continue;
+      }
+      if (s == "<") { k = MatchAngle(k, end); continue; }
+      break;
+    }
+    return i;  // not a lambda (array subscript etc.)
+  }
+
+  void RecordCall(size_t i, size_t body_begin, size_t end, FunctionInfo* fn,
+                  std::vector<std::string> locks, bool in_lambda) {
+    CallSite call;
+    call.callee = t_[i].text;
+    call.line = Line(i);
+    call.order = i;
+    call.locks_held = std::move(locks);
+    call.in_lambda = in_lambda;
+
+    // Object expression: walk back over the access chain.
+    size_t chain_start = i;
+    if (i > body_begin) {
+      const std::string& prev = t_[i - 1].text;
+      if (prev == "::" || prev == "->" || prev == ".") {
+        if (i >= 2 && IsIdent(i - 2)) {
+          call.object = t_[i - 2].text;
+          chain_start = i - 2;
+          // Extend through longer chains (a.b->c()); the immediate owner is
+          // what resolution wants, but the chain start is needed for the
+          // (void) / statement checks.
+          while (chain_start >= body_begin + 2 &&
+                 (Is(chain_start - 1, "::") || Is(chain_start - 1, "->") ||
+                  Is(chain_start - 1, ".")) &&
+                 IsIdent(chain_start - 2)) {
+            chain_start -= 2;
+          }
+        }
+      }
+    }
+
+    // (void) cast directly before the chain?
+    if (chain_start >= body_begin + 3 && Is(chain_start - 1, ")") &&
+        Is(chain_start - 2, "void") && Is(chain_start - 3, "(")) {
+      call.void_cast = true;
+      call.is_statement = true;
+    } else if (chain_start == body_begin ||
+               Is(chain_start - 1, ";") || Is(chain_start - 1, "{") ||
+               Is(chain_start - 1, "}")) {
+      // Expression statement: the full call result is discarded if the
+      // token after the argument list is ';'.
+      size_t after = MatchParen(i + 1, end);
+      if (after < end && Is(after, ";")) call.is_statement = true;
+      if (after >= end) call.is_statement = true;  // body ends with the call
+    }
+    fn->calls.push_back(std::move(call));
+  }
+};
+
+}  // namespace
+
+ParsedFile ParseFile(const LexedFile& lexed) {
+  return FileParser(lexed).Run();
+}
+
+}  // namespace fdlint

@@ -1,0 +1,20 @@
+// Structural C++ parse for fd_lint: token stream -> ParsedFile (functions
+// with call sites / lock scopes / annotations, classes, member types).
+// Not an AST — a scope-stack walk that understands exactly the constructs
+// the checks need: namespace/class nesting, function heads (including
+// out-of-class definitions, ctors/dtors, operators, ctor-init lists and
+// trailing annotation macros), `MutexLock` RAII scopes, lambda bodies
+// (analyzed with an empty lock set: they may run without the definition
+// site's locks), call expressions with their object token, `(void)` casts,
+// and NORMALIZE_* annotation macros. Misparses degrade gracefully: an
+// unrecognized construct is skipped, never fatal.
+#pragma once
+
+#include "lexer.hpp"
+#include "model.hpp"
+
+namespace fdlint {
+
+ParsedFile ParseFile(const LexedFile& lexed);
+
+}  // namespace fdlint

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds and runs the project-aware analyzer (tools/lint/fd_lint) over the
+# whole tree, exactly as the fd-lint CI job does.
+#
+#   tools/run_fd_lint.sh [build-dir]
+#
+# Unlike clang-tidy/cppcheck, fd_lint has no external dependency — it is
+# built from this repository by the normal CMake build — so this script
+# never skips: it works in every container the project itself builds in.
+set -eu -o pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . > /dev/null
+fi
+cmake --build "$BUILD_DIR" --target fd_lint -j "$(nproc 2> /dev/null || echo 4)" > /dev/null
+
+exec "$BUILD_DIR/tools/lint/fd_lint" --compdb "$BUILD_DIR/compile_commands.json"
