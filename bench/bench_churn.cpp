@@ -10,12 +10,22 @@
 // checkpoint ticks, src/service/), ack latency vs. the bare maintainer,
 // with and without per-append fdatasync. A fourth section runs a
 // delete-heavy stream with witness re-seating on and off: re-seating must
-// never cost tree rebuilds and never change a cover.
+// never cost tree rebuilds and never change a cover. A fifth section prices
+// the observability subsystem itself (src/obs/): the same service stream
+// with a full external registry + tracer versus the instrumentation-
+// disabled configuration; the ratio is the registry's tax on ack latency.
+//
+// The service counters reported here (wal bytes, checkpoints, accepted
+// batches) are read from the core's MetricsRegistry — the same instruments
+// the METRICS protocol request and ServiceCore::stats() serve — not from
+// hand-rolled bench-side counters.
 //
 // Flags: --scale=<f>, --max-lhs=<n>, --batches=<n>, --json=<path> (default
-// BENCH_churn.json), --quick (CI perf-smoke mode: small scale, one batch
-// size, fewer batches — same JSON schema, so tools/check_bench_json.py
-// validates either output; the CI row is report-only, not a gate).
+// BENCH_churn.json), --metrics-out=<path> (dump the instrumented service
+// run's registry as a JSON metrics snapshot), --quick (CI perf-smoke mode:
+// small scale, one batch size, fewer batches — same JSON schema, so
+// tools/check_bench_json.py validates either output; the CI row is
+// report-only, not a gate).
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -30,6 +40,9 @@
 #include "live/delta_fd_maintainer.hpp"
 #include "live/live_relation.hpp"
 #include "normalize/normalizer.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "service/service_core.hpp"
 
 using namespace normalize;
@@ -176,11 +189,17 @@ struct ServiceResult {
   double overhead_ratio = 0.0;       // ack / direct
   uint64_t wal_bytes = 0;
   uint64_t checkpoints = 0;
+  uint64_t batches_accepted = 0;
   bool cover_matches_direct = false;
 };
 
+// `registry`/`tracer` non-null = the fully instrumented configuration (the
+// external-registry axis ServiceCoreOptions::metrics documents); null = the
+// instrumentation-disabled baseline the overhead section compares against.
 ServiceResult RunService(const RelationData& initial, size_t batch_size,
-                         size_t batches, int max_lhs, bool sync_wal) {
+                         size_t batches, int max_lhs, bool sync_wal,
+                         MetricsRegistry* registry = nullptr,
+                         Tracer* tracer = nullptr) {
   ServiceResult r;
   r.batch_size = batch_size;
   r.batches = batches;
@@ -196,6 +215,8 @@ ServiceResult RunService(const RelationData& initial, size_t batch_size,
   options.checkpoint_every = 16;
   options.sync_wal = sync_wal;
   options.max_lhs_size = max_lhs;
+  options.metrics = registry;
+  options.tracer = tracer;
   auto core = ServiceCore::Open(initial, options);
   if (!core.ok()) {
     std::cerr << "ServiceCore::Open failed: " << core.status().ToString()
@@ -244,15 +265,68 @@ ServiceResult RunService(const RelationData& initial, size_t batch_size,
   r.overhead_ratio =
       r.direct_avg_batch_ms > 0 ? r.avg_ack_ms / r.direct_avg_batch_ms : 0.0;
 
-  ServiceStats stats = (*core)->stats();
-  r.wal_bytes = stats.wal_bytes;
-  r.checkpoints = stats.checkpoints;
+  // Read the reported counters straight off the core's registry — the same
+  // instruments stats() and the METRICS request are assembled from.
+  const MetricsSnapshot snap = (*core)->metrics_registry()->Snapshot();
+  constexpr const char* kLabels = "component=service";
+  if (const auto* g = snap.FindGauge("service_wal_bytes", kLabels)) {
+    r.wal_bytes = g->value > 0 ? static_cast<uint64_t>(g->value) : 0;
+  }
+  if (const auto* c = snap.FindCounter("service_checkpoints_total", kLabels)) {
+    r.checkpoints = c->value;
+  }
+  if (const auto* c =
+          snap.FindCounter("service_batches_accepted_total", kLabels)) {
+    r.batches_accepted = c->value;
+  }
   r.cover_matches_direct =
       (*core)->Cover()->cover.EquivalentTo(direct.snapshot()->cover);
   if (Status down = (*core)->Shutdown(); !down.ok()) {
     std::cerr << "Shutdown failed: " << down.ToString() << "\n";
   }
   std::filesystem::remove_all(dir);
+  return r;
+}
+
+// The observability tax: the identical service stream with the full
+// external registry + tracer (maintainer instruments, latency histograms,
+// span trees) versus instrumentation disabled (the core's private counters
+// only — cost-equivalent to the pre-obs plain-field stats). The ratio is
+// what a production deployment pays for scrapeability on the ack path.
+struct MetricsOverheadResult {
+  size_t batch_size = 0;
+  size_t batches = 0;
+  double instrumented_avg_ack_ms = 0.0;
+  double disabled_avg_ack_ms = 0.0;
+  double overhead_ratio = 0.0;
+  uint64_t spans_recorded = 0;
+  bool covers_match = false;
+};
+
+MetricsOverheadResult RunMetricsOverhead(const RelationData& initial,
+                                         size_t batch_size, size_t batches,
+                                         int max_lhs,
+                                         MetricsRegistry* registry,
+                                         Tracer* tracer) {
+  MetricsOverheadResult r;
+  r.batch_size = batch_size;
+  r.batches = batches;
+  // Disabled first, instrumented second: if anything, the second run is
+  // warmer, which biases AGAINST the instrumented configuration — an
+  // overhead ratio near 1.0 is then trustworthy.
+  ServiceResult disabled =
+      RunService(initial, batch_size, batches, max_lhs, /*sync_wal=*/false);
+  ServiceResult instrumented =
+      RunService(initial, batch_size, batches, max_lhs, /*sync_wal=*/false,
+                 registry, tracer);
+  r.disabled_avg_ack_ms = disabled.avg_ack_ms;
+  r.instrumented_avg_ack_ms = instrumented.avg_ack_ms;
+  r.overhead_ratio = disabled.avg_ack_ms > 0
+                         ? instrumented.avg_ack_ms / disabled.avg_ack_ms
+                         : 0.0;
+  r.spans_recorded = tracer->started_spans();
+  r.covers_match =
+      disabled.cover_matches_direct && instrumented.cover_matches_direct;
   return r;
 }
 
@@ -319,7 +393,8 @@ void WriteChurnJson(const std::string& path, const RelationData& initial,
                     int max_lhs, const std::vector<ChurnResult>& churn,
                     const std::vector<RenormalizeResult>& renorm,
                     const std::vector<ServiceResult>& service,
-                    const ReseatResult& reseat) {
+                    const ReseatResult& reseat,
+                    const MetricsOverheadResult& overhead) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     std::cerr << "cannot write " << path << "\n";
@@ -377,11 +452,13 @@ void WriteChurnJson(const std::string& path, const RelationData& initial,
         "\"sync_wal\": %s, \"apply_seconds\": %.6f, \"avg_ack_ms\": %.3f, "
         "\"direct_avg_batch_ms\": %.3f, \"overhead_ratio\": %.2f, "
         "\"wal_bytes\": %llu, \"checkpoints\": %llu, "
+        "\"batches_accepted\": %llu, "
         "\"cover_matches_direct\": %s}%s\n",
         r.batch_size, r.batches, r.ops, r.sync_wal ? "true" : "false",
         r.apply_seconds, r.avg_ack_ms, r.direct_avg_batch_ms,
         r.overhead_ratio, static_cast<unsigned long long>(r.wal_bytes),
         static_cast<unsigned long long>(r.checkpoints),
+        static_cast<unsigned long long>(r.batches_accepted),
         r.cover_matches_direct ? "true" : "false",
         i + 1 < service.size() ? "," : "");
     out << line;
@@ -400,6 +477,22 @@ void WriteChurnJson(const std::string& path, const RelationData& initial,
         reseat.rebuilds_without, reseat.evidence_reseated,
         reseat.maintain_seconds_with, reseat.maintain_seconds_without,
         reseat.covers_match ? "true" : "false");
+    out << line;
+  }
+  out << "  ,\n  \"metrics_overhead\": ";
+  {
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"batch_size\": %zu, \"batches\": %zu, "
+        "\"instrumented_avg_ack_ms\": %.3f, \"disabled_avg_ack_ms\": %.3f, "
+        "\"overhead_ratio\": %.3f, \"spans_recorded\": %llu, "
+        "\"covers_match\": %s}\n",
+        overhead.batch_size, overhead.batches,
+        overhead.instrumented_avg_ack_ms, overhead.disabled_avg_ack_ms,
+        overhead.overhead_ratio,
+        static_cast<unsigned long long>(overhead.spans_recorded),
+        overhead.covers_match ? "true" : "false");
     out << line;
   }
   out << "}\n";
@@ -523,8 +616,36 @@ int main(int argc, char** argv) {
                  reseat.covers_match ? "match" : "DIVERGED"});
   wtable.Print();
 
+  std::cout << "\n=== Observability overhead (src/obs/: registry + tracer "
+               "on the ack path) ===\n";
+  MetricsRegistry obs_registry;
+  Tracer obs_tracer;
+  MetricsOverheadResult overhead =
+      RunMetricsOverhead(universal, batch_sizes.back(), batches, max_lhs,
+                         &obs_registry, &obs_tracer);
+  TablePrinter otable({"batch", "instr ms", "disabled ms", "ratio", "spans",
+                       "covers"});
+  otable.AddRow({std::to_string(overhead.batch_size),
+                 FormatDouble(overhead.instrumented_avg_ack_ms, 3),
+                 FormatDouble(overhead.disabled_avg_ack_ms, 3),
+                 FormatDouble(overhead.overhead_ratio, 3),
+                 std::to_string(overhead.spans_recorded),
+                 overhead.covers_match ? "match" : "DIVERGED"});
+  otable.Print();
+
   WriteChurnJson(args.Get("json", "BENCH_churn.json"), universal, max_lhs,
-                 churn, renorm, service, reseat);
+                 churn, renorm, service, reseat, overhead);
+
+  std::string metrics_out = args.Get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    std::ofstream mout(metrics_out, std::ios::binary);
+    if (!mout) {
+      std::cerr << "cannot write " << metrics_out << "\n";
+      return 1;
+    }
+    mout << ToMetricsJson(obs_registry.Snapshot(), obs_tracer.Export());
+    std::cerr << "wrote " << metrics_out << "\n";
+  }
 
   // Report-only correctness signal for the perf-smoke artifact: flag any
   // divergence loudly in the exit code so a human looks at it.
@@ -548,6 +669,15 @@ int main(int argc, char** argv) {
     std::cerr << "witness re-seating cost tree rebuilds ("
               << reseat.rebuilds_with << " > " << reseat.rebuilds_without
               << ")\n";
+    return 1;
+  }
+  // Generous binary gate on the observability tax (the recorded ratio is
+  // the real number; the acceptance target is ~1.05 on a quiet machine, but
+  // CI noise on shared runners needs headroom before this becomes an error).
+  if (overhead.overhead_ratio > 1.25) {
+    std::cerr << "observability overhead ratio "
+              << FormatDouble(overhead.overhead_ratio, 3)
+              << " exceeds the 1.25 sanity bound\n";
     return 1;
   }
   return 0;

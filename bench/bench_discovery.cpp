@@ -13,9 +13,16 @@
 // between sweeps) against the same run without one, plus the time to resume
 // from that state and the bytes it occupies on disk.
 //
+// The sweeps run with a MetricsRegistry (src/obs/) wired into discovery:
+// backends fold their phase timings into it as histograms, and the shard
+// sweep's counters are read back from the registry (snapshot deltas per
+// run) rather than hand-rolled bench-side fields — the bench consumes the
+// same instruments a production scrape would.
+//
 // Flags: --scale=<f>, --max-lhs=<n>, --skip-tane (Tane's lattice is
 // expensive on wide relations), --sweep-scale=<f>, --skip-sweep,
-// --json=<path> (default BENCH_discovery.json), --quick (CI perf-smoke
+// --json=<path> (default BENCH_discovery.json), --metrics-out=<path> (dump
+// the sweep registry as a JSON metrics snapshot), --quick (CI perf-smoke
 // mode: only the hyfd thread sweep and the shard sweep, no comparison
 // table, no Tane, no checkpoint section — same JSON schema, so
 // tools/check_bench_json.py validates either output).
@@ -29,6 +36,8 @@
 #include "datagen/datasets.hpp"
 #include "datagen/tpch_like.hpp"
 #include "discovery/fd_discovery.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "persist/checkpoint.hpp"
 #include "shard/sharded_discovery.hpp"
 
@@ -48,7 +57,8 @@ struct SweepResult {
 // The paper's Figure 3 workload: HyFd (and optionally Tane) on the TPC-H
 // universal relation at each thread count, serial time as the baseline.
 std::vector<SweepResult> RunThreadSweep(const RelationData& universal,
-                                        int max_lhs, bool skip_tane) {
+                                        int max_lhs, bool skip_tane,
+                                        MetricsRegistry* registry) {
   std::vector<SweepResult> results;
   for (const char* algo_name : {"hyfd", "tane"}) {
     if (skip_tane && std::string(algo_name) == "tane") continue;
@@ -57,6 +67,7 @@ std::vector<SweepResult> RunThreadSweep(const RelationData& universal,
       FdDiscoveryOptions options;
       options.max_lhs_size = max_lhs;
       options.threads = threads;
+      options.metrics = registry;
       auto algo = MakeFdDiscovery(algo_name, options);
       Stopwatch watch;
       auto result = algo->Discover(universal);
@@ -99,30 +110,42 @@ struct ShardSweepResult {
 // merge-and-validate, at 1/2/4/8 shards with the shard fan-out on all
 // hardware threads. The FD counts must match the thread sweep exactly.
 std::vector<ShardSweepResult> RunShardSweep(const RelationData& universal,
-                                            int max_lhs) {
+                                            int max_lhs,
+                                            MetricsRegistry* registry) {
   std::vector<ShardSweepResult> results;
   double baseline_seconds = 0.0;
   for (size_t shards : {1, 2, 4, 8}) {
     FdDiscoveryOptions options;
     options.max_lhs_size = max_lhs;
     options.threads = 1;  // serial backend per shard; the fan-out parallelizes
+    options.metrics = registry;
     ShardOptions shard_options;
     shard_options.shard_rows = (universal.num_rows() + shards - 1) / shards;
     shard_options.threads = 0;  // hardware concurrency
     ShardedDiscovery discovery("hyfd", options, shard_options);
+    // Per-run counters come from registry snapshot deltas — the counters a
+    // scrape would see, exercised exactly as a scraper would read them.
+    const MetricsSnapshot before = registry->Snapshot();
     Stopwatch watch;
     auto result = discovery.Discover(universal);
     double t = watch.ElapsedSeconds();
     if (!result.ok()) continue;
+    const MetricsSnapshot after = registry->Snapshot();
+    auto counter_delta = [&](const char* name) -> size_t {
+      const auto* b = before.FindCounter(name, "component=shard");
+      const auto* a = after.FindCounter(name, "component=shard");
+      return static_cast<size_t>((a != nullptr ? a->value : 0) -
+                                 (b != nullptr ? b->value : 0));
+    };
     if (shards == 1) baseline_seconds = t;
     ShardSweepResult r;
     r.shards = shards;
     r.seconds = t;
     r.speedup = t > 0 ? baseline_seconds / t : 1.0;
     r.fd_count = result->CountUnaryFds();
-    r.cross_shard_violations = discovery.stats().cross_shard_violations;
-    r.exchanged_evidence_sets = discovery.stats().exchanged_evidence_sets;
-    r.cross_shard_sampled = discovery.stats().cross_shard_sampled_sets;
+    r.cross_shard_violations = counter_delta("shard_cross_shard_violations_total");
+    r.exchanged_evidence_sets = counter_delta("shard_exchanged_evidence_sets_total");
+    r.cross_shard_sampled = counter_delta("shard_cross_shard_sampled_sets_total");
     results.push_back(r);
 
     if (shards == 2) {
@@ -361,8 +384,9 @@ int main(int argc, char** argv) {
               << universal.num_columns() << " columns, "
               << std::thread::hardware_concurrency()
               << " hardware threads\n\n";
+    MetricsRegistry registry;
     std::vector<SweepResult> sweep =
-        RunThreadSweep(universal, max_lhs, skip_tane);
+        RunThreadSweep(universal, max_lhs, skip_tane, &registry);
 
     TablePrinter sweep_table(
         {"Algorithm", "Threads", "Time", "Speedup", "FDs"});
@@ -378,7 +402,7 @@ int main(int argc, char** argv) {
     std::cout << "\n=== Shard-count sweep (partitioned hyfd, same dataset) "
                  "===\n";
     std::vector<ShardSweepResult> shard_sweep =
-        RunShardSweep(universal, max_lhs);
+        RunShardSweep(universal, max_lhs, &registry);
     TablePrinter shard_table(
         {"Shards", "Time", "Speedup", "FDs", "XShardViol", "Evidence"});
     for (const ShardSweepResult& r : shard_sweep) {
@@ -417,6 +441,17 @@ int main(int argc, char** argv) {
 
     WriteSweepJson(args.Get("json", "BENCH_discovery.json"), universal,
                    max_lhs, sweep, shard_sweep, ckpt_sweep);
+
+    std::string metrics_out = args.Get("metrics-out", "");
+    if (!metrics_out.empty()) {
+      std::ofstream mout(metrics_out, std::ios::binary);
+      if (!mout) {
+        std::cerr << "cannot write " << metrics_out << "\n";
+        return 1;
+      }
+      mout << ToMetricsJson(registry.Snapshot());
+      std::cerr << "wrote " << metrics_out << "\n";
+    }
   }
   return 0;
 }

@@ -59,6 +59,8 @@
 #include "fd/fd_io.hpp"
 #include "normalize/fourth_nf.hpp"
 #include "normalize/normalizer.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "normalize/report.hpp"
 #include "normalize/sql_export.hpp"
 #include "relation/csv.hpp"
@@ -102,7 +104,7 @@ int Fail(const Status& status) {
 struct Flags {
   std::string command;
   std::string input, fds, fd_output, output_dir, algorithm, schema_output,
-      report, dataset;
+      report, dataset, metrics_out;
   int max_lhs = -1;
   int threads = 0;  // 0 = hardware concurrency
   long shard_rows = 0;      // 0 = unsharded
@@ -132,6 +134,7 @@ struct Flags {
       if (const char* v = value("algorithm")) f.algorithm = v;
       if (const char* v = value("schema-output")) f.schema_output = v;
       if (const char* v = value("report")) f.report = v;
+      if (const char* v = value("metrics-out")) f.metrics_out = v;
       if (const char* v = value("max-lhs")) f.max_lhs = std::atoi(v);
       if (const char* v = value("threads")) f.threads = std::atoi(v);
       if (const char* v = value("shard-rows")) f.shard_rows = std::atol(v);
@@ -162,6 +165,23 @@ struct Flags {
   }
 };
 
+// Dumps the run's registry as a JSON metrics snapshot (obs/export.hpp) —
+// the machine-readable profile of where the run spent its time.
+int WriteMetricsOut(const MetricsRegistry& registry, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 3;
+  }
+  out << ToMetricsJson(registry.Snapshot());
+  if (!out.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    return 3;
+  }
+  std::cerr << "wrote " << path << "\n";
+  return 0;
+}
+
 Result<RelationData> LoadInput(const Flags& flags) {
   if (!flags.dataset.empty()) {
     if (!flags.input.empty()) {
@@ -186,10 +206,12 @@ int Discover(const Flags& flags) {
   auto data = LoadInput(flags);
   if (!data.ok()) return Fail(data.status());
   RunContext ctx = flags.MakeContext();
+  MetricsRegistry registry;
   FdDiscoveryOptions options;
   options.max_lhs_size = flags.max_lhs;
   options.threads = flags.threads;
   options.context = &ctx;
+  if (!flags.metrics_out.empty()) options.metrics = &registry;
   std::string algo_name = flags.algorithm.empty() ? "hyfd" : flags.algorithm;
   auto algo = MakeFdDiscovery(algo_name, options);
   if (!algo) {
@@ -210,6 +232,10 @@ int Discover(const Flags& flags) {
   } else {
     Status st = WriteFdFile(*fds, data->ColumnNames(), flags.fd_output);
     if (!st.ok()) return Fail(st);
+  }
+  if (!flags.metrics_out.empty()) {
+    int rc = WriteMetricsOut(registry, flags.metrics_out);
+    if (rc != 0) return rc;
   }
   return 0;
 }
@@ -276,9 +302,11 @@ int NormalizeCommand(const Flags& flags) {
         StatusCode::kDeadlineExceeded);
     ctx.faults = &injector;
   }
+  MetricsRegistry registry;
   NormalizerOptions options;
   options.discovery.max_lhs_size = flags.max_lhs;
   options.discovery.threads = flags.threads;
+  if (!flags.metrics_out.empty()) options.discovery.metrics = &registry;
   options.closure_threads = flags.threads;
   if (flags.shard_rows > 0)
     options.shard.shard_rows = static_cast<size_t>(flags.shard_rows);
@@ -360,6 +388,13 @@ int NormalizeCommand(const Flags& flags) {
       std::cerr << "wrote " << path << "\n";
     }
   }
+  if (!flags.metrics_out.empty()) {
+    // Discovery phases were folded in by the backends; mirror the pipeline-
+    // level phase timings (ingest, decomposition, audit, ...) the same way.
+    RecordPhaseMetrics(&registry, "normalizer", result->stats.phases);
+    int rc = WriteMetricsOut(registry, flags.metrics_out);
+    if (rc != 0) return rc;
+  }
   if (result->audit.has_value()) {
     std::cout << result->audit->ToString();
     if (!result->audit->passed()) return 6;
@@ -402,6 +437,9 @@ int main(int argc, char** argv) {
          "    reproducing the uninterrupted schema bit for bit.\n"
          "  --audit: run the correctness auditor (lossless join, normal-form\n"
          "    compliance, FD-cover soundness) and print its report.\n"
+         "  --metrics-out=<file>: write the run's metrics registry (phase\n"
+         "    timings as histograms, per-component counters) as a JSON\n"
+         "    snapshot (discover and normalize).\n"
          "Exit codes: 0 ok (warnings on stderr if degraded), 1 internal,\n"
          "  2 bad configuration, 3 I/O, 4 out of time / cancelled,\n"
          "  5 resource exhausted, 6 audit failed.\n"

@@ -27,6 +27,11 @@
 //   cover | schema | stats   --socket=<path> [--output=<file>]
 //             One read request; text to stdout or --output.
 //
+//   metrics   --socket=<path> [--format=prometheus|json] [--output=<file>]
+//             Scrapes the daemon's metrics registry (src/obs/): Prometheus
+//             text exposition by default, or the JSON snapshot (which also
+//             carries the trace span records) with --format=json.
+//
 //   shutdown  --socket=<path>
 //             Asks the daemon to drain and exit.
 //
@@ -47,6 +52,8 @@
 #include "datagen/update_stream.hpp"
 #include "live/live_relation.hpp"
 #include "relation/csv.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 #include "service/service_core.hpp"
@@ -86,6 +93,7 @@ int Fail(const Status& status) {
 struct Flags {
   std::string command;
   std::string socket_path, dir, input, dataset, output, cover_output, mix;
+  std::string format = "prometheus";
   double scale = 1.0;
   long batches = 64;
   long batch_size = 0;       // 0 = spec default
@@ -114,6 +122,7 @@ struct Flags {
       if (const char* v = value("output")) f.output = v;
       if (const char* v = value("cover-output")) f.cover_output = v;
       if (const char* v = value("mix")) f.mix = v;
+      if (const char* v = value("format")) f.format = v;
       if (const char* v = value("scale")) f.scale = std::atof(v);
       if (const char* v = value("batches")) f.batches = std::atol(v);
       if (const char* v = value("batch-size")) f.batch_size = std::atol(v);
@@ -175,6 +184,14 @@ int Serve(const Flags& flags) {
   core_options.sync_wal = flags.sync_wal;
   core_options.max_lhs_size = static_cast<int>(flags.max_lhs);
   core_options.threads = static_cast<int>(flags.threads);
+  // The daemon always runs fully instrumented: an external registry routes
+  // the maintainer's instruments and latency histograms alongside the
+  // core's counters, and the tracer records the batch → apply_batch →
+  // probe → publish span trees — all scrapeable via `metrics`.
+  MetricsRegistry metrics;
+  Tracer tracer;
+  core_options.metrics = &metrics;
+  core_options.tracer = &tracer;
   auto core = ServiceCore::Open(*seed, core_options);
   if (!core.ok()) return Fail(core.status());
   const ServiceStats recovered = (*core)->stats();
@@ -332,6 +349,14 @@ int ReadCommand(const Flags& flags, ServiceRequestType type) {
   ServiceRequest request;
   request.type = type;
   request.deadline_ms = static_cast<uint32_t>(flags.deadline_ms);
+  if (type == ServiceRequestType::kGetMetrics) {
+    if (flags.format != "prometheus" && flags.format != "json") {
+      std::cerr << "unknown --format (prometheus|json): " << flags.format
+                << "\n";
+      return 2;
+    }
+    request.metrics_json = flags.format == "json";
+  }
   auto response = client->Call(request);
   if (!response.ok()) return Fail(response.status());
   Status application = response->ToStatus();
@@ -375,9 +400,13 @@ int main(int argc, char** argv) {
   if (flags.command == "stats") {
     return ReadCommand(flags, ServiceRequestType::kGetStats);
   }
+  if (flags.command == "metrics") {
+    return ReadCommand(flags, ServiceRequestType::kGetMetrics);
+  }
   if (flags.command == "shutdown") return ShutdownCommand(flags);
   std::cerr
-      << "usage: normalize_serve serve|drive|cover|schema|stats|shutdown "
+      << "usage: normalize_serve "
+         "serve|drive|cover|schema|stats|metrics|shutdown "
          "[--socket=<path>] [--dir=<dir>] ...\n"
          "(see the comment at the top of examples/normalize_serve.cpp)\n";
   return 2;

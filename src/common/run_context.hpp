@@ -211,6 +211,8 @@ class CheckpointHook {
   virtual void OnInterruption(const Status& why) = 0;
 };
 
+class Tracer;  // obs/span.hpp — forward-declared so common/ stays base-layer
+
 /// The bundle threaded through the pipeline. Stages receive it as a
 /// `const RunContext*` (nullptr = no limits) and poll Check() at loop
 /// boundaries; an I/O layer additionally routes reads through `faults`.
@@ -223,6 +225,14 @@ struct RunContext {
   /// Not owned; may be null. Notified (via NotifyInterruption) when a stage
   /// observes an interruption, so durable state can be flushed.
   CheckpointHook* checkpoint_hook = nullptr;
+  /// Not owned; may be null (tracing disabled). Travels next to deadline and
+  /// cancellation so a stage that already threads a RunContext can open
+  /// child spans — `span` is the id the stage should parent under, the
+  /// trace-tree analogue of the cancel token. Explicitly re-seat `span`
+  /// (capture it before a ThreadPool hop) rather than relying on the
+  /// thread-local ambient span, which does not cross pool workers.
+  Tracer* tracer = nullptr;
+  uint64_t span = 0;
 
   /// OK, or the first of: injected interruption, kCancelled, then
   /// kDeadlineExceeded. An injected kCancelled also fires the real token so

@@ -189,6 +189,7 @@ class RhsLattice {
 Result<FdSet> Dfd::Discover(const RelationData& data) {
   completion_ = Status::OK();
   phase_metrics_.Clear();
+  ScopedDiscoveryObservation observe(this, "dfd");
   int n = data.num_columns();
   size_t rows = data.num_rows();
   std::vector<Fd> output;  // unary, local space

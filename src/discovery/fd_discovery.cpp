@@ -6,8 +6,33 @@
 #include "discovery/hyfd.hpp"
 #include "discovery/naive_fd.hpp"
 #include "discovery/tane.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace normalize {
+
+ScopedDiscoveryObservation::ScopedDiscoveryObservation(
+    const FdDiscovery* algo, std::string_view component)
+    : algo_(algo), component_(component) {
+  const RunContext* context = algo_->options().context;
+  if (context != nullptr && context->tracer != nullptr) {
+    span_ = std::make_unique<ScopedSpan>(
+        context->tracer, "discover/" + component_, context->span);
+  }
+}
+
+ScopedDiscoveryObservation::~ScopedDiscoveryObservation() {
+  MetricsRegistry* registry = algo_->options().metrics;
+  if (registry != nullptr) {
+    RecordPhaseMetrics(registry, component_, algo_->phase_metrics());
+    std::string labels = "component=" + component_;
+    registry->GetCounter("discovery_runs_total", labels)->Increment();
+    if (!algo_->completion_status().ok()) {
+      registry->GetCounter("discovery_interrupted_total", labels)->Increment();
+    }
+  }
+  span_.reset();  // close the span after the phase fold, for tidy nesting
+}
 
 std::unique_ptr<FdDiscovery> MakeFdDiscovery(const std::string& name,
                                              FdDiscoveryOptions options) {

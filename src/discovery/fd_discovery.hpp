@@ -19,7 +19,9 @@
 
 namespace normalize {
 
+class MetricsRegistry;
 class PliCache;
+class ScopedSpan;
 class ThreadPool;
 
 /// Options shared by all discovery algorithms.
@@ -47,6 +49,12 @@ struct FdDiscoveryOptions {
   /// emitted FD is a verified-minimal member of the full result), and
   /// reports the interruption via completion_status().
   const RunContext* context = nullptr;
+  /// Observability registry (obs/metrics.hpp; not owned, may be null =
+  /// instrumentation disabled). Backends keep filling PhaseMetrics as
+  /// before; a ScopedDiscoveryObservation at the top of Discover() folds
+  /// those phases into the registry when the run unwinds, so the registry
+  /// observes at the edges without changing the phase_metrics() API.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Abstract FD discovery algorithm.
@@ -105,6 +113,29 @@ class FdDiscovery {
   FdDiscoveryOptions options_;
   PhaseMetrics phase_metrics_;
   Status completion_;
+};
+
+/// RAII edge adapter each backend places at the top of its Discover() body.
+/// While alive it is a trace span named `discover/<component>`, parented
+/// under the RunContext's span when the context carries a tracer; when the
+/// scope unwinds (every return path, success or interruption) it folds the
+/// algorithm's PhaseMetrics into options().metrics and counts the run. Both
+/// the registry and the tracer may be null — the adapter then costs two
+/// branches.
+class ScopedDiscoveryObservation {
+ public:
+  ScopedDiscoveryObservation(const FdDiscovery* algo,
+                             std::string_view component);
+  ~ScopedDiscoveryObservation();
+
+  ScopedDiscoveryObservation(const ScopedDiscoveryObservation&) = delete;
+  ScopedDiscoveryObservation& operator=(const ScopedDiscoveryObservation&) =
+      delete;
+
+ private:
+  const FdDiscovery* algo_;
+  std::string component_;
+  std::unique_ptr<ScopedSpan> span_;
 };
 
 /// Factory for the algorithms by name ("naive", "tane", "dfd", "fdep",

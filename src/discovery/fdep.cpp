@@ -17,6 +17,7 @@ namespace normalize {
 Result<FdSet> Fdep::Discover(const RelationData& data) {
   completion_ = Status::OK();
   phase_metrics_.Clear();
+  ScopedDiscoveryObservation observe(this, "fdep");
   int n = data.num_columns();
   size_t rows = data.num_rows();
   if (n == 0) return FdSet{};

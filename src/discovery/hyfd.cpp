@@ -131,6 +131,7 @@ Result<FdSet> HyFd::Discover(const RelationData& data) {
   stats_ = Stats{};
   phase_metrics_.Clear();
   completion_ = Status::OK();
+  ScopedDiscoveryObservation observe(this, "hyfd");
   evidence_.clear();
   cache_.reset();
   int n = data.num_columns();

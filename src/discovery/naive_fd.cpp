@@ -34,6 +34,7 @@ void ForEachSubsetOfSize(const std::vector<AttributeId>& pool, int k,
 }  // namespace
 
 Result<FdSet> NaiveFdDiscovery::Discover(const RelationData& data) {
+  ScopedDiscoveryObservation observe(this, "naive");
   int n = data.num_columns();
   if (n > 24) {
     return Status::InvalidArgument(

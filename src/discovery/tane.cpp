@@ -26,6 +26,7 @@ struct LevelEntry {
 Result<FdSet> Tane::Discover(const RelationData& data) {
   phase_metrics_.Clear();
   completion_ = Status::OK();
+  ScopedDiscoveryObservation observe(this, "tane");
   int n = data.num_columns();
   size_t rows = data.num_rows();
   std::vector<Fd> output;  // unary FDs in local space

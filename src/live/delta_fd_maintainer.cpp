@@ -7,6 +7,8 @@
 #include "discovery/discovery_util.hpp"
 #include "discovery/hyfd.hpp"
 #include "discovery/induction.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace normalize {
 
@@ -40,11 +42,39 @@ DeltaFdMaintainer::DeltaFdMaintainer(LiveRelation* relation,
   if (options_.pool == nullptr && options_.threads != 1) {
     own_pool_ = std::make_unique<ThreadPool>(options_.threads);
   }
+  if (MetricsRegistry* registry = options_.metrics; registry != nullptr) {
+    constexpr std::string_view kLabels = "component=live";
+    batch_seconds_hist_ =
+        registry->GetHistogram("live_batch_apply_seconds", {}, kLabels);
+    batches_applied_counter_ =
+        registry->GetCounter("live_batches_applied_total", kLabels);
+    full_validations_counter_ =
+        registry->GetCounter("live_full_validations_total", kLabels);
+    guided_probes_counter_ =
+        registry->GetCounter("live_guided_probes_total", kLabels);
+    carried_valid_counter_ =
+        registry->GetCounter("live_carried_valid_total", kLabels);
+    violations_counter_ =
+        registry->GetCounter("live_violations_total", kLabels);
+    evidence_dropped_counter_ =
+        registry->GetCounter("live_evidence_dropped_total", kLabels);
+    evidence_reseated_counter_ =
+        registry->GetCounter("live_evidence_reseated_total", kLabels);
+    tree_rebuilds_counter_ =
+        registry->GetCounter("live_tree_rebuilds_total", kLabels);
+    witnessed_evidence_gauge_ =
+        registry->GetGauge("live_witnessed_evidence", kLabels);
+    epoch_gauge_ = registry->GetGauge("live_epoch", kLabels);
+    live_rows_gauge_ = registry->GetGauge("live_rows", kLabels);
+  }
 }
 
 DeltaFdMaintainer::~DeltaFdMaintainer() = default;
 
 Status DeltaFdMaintainer::Initialize() {
+  ScopedSpan init_span(options_.tracer, "initialize");
+  const Stats before;  // Initialize resets stats_, so the delta base is zero
+  Stopwatch watch;
   int n = relation_->num_columns();
   tree_ = FdTree(n);
   SeedFullCover(&tree_);
@@ -79,10 +109,14 @@ Status DeltaFdMaintainer::Initialize() {
   if (!swept.ok()) return swept;
   ++stats_.batches_applied;
   Publish();
+  RecordBatchObservability(before, watch.ElapsedSeconds());
   return Status::OK();
 }
 
 Status DeltaFdMaintainer::ApplyBatch(const LiveBatch& batch) {
+  ScopedSpan batch_span(options_.tracer, "apply_batch");
+  const Stats before = stats_;
+  Stopwatch watch;
   Result<BatchDelta> applied = relation_->Apply(batch);
   if (!applied.ok()) return applied.status();
   const BatchDelta& delta = *applied;
@@ -140,7 +174,36 @@ Status DeltaFdMaintainer::ApplyBatch(const LiveBatch& batch) {
   if (!swept.ok()) return swept;
   ++stats_.batches_applied;
   Publish();
+  RecordBatchObservability(before, watch.ElapsedSeconds());
   return Status::OK();
+}
+
+void DeltaFdMaintainer::RecordBatchObservability(const Stats& before,
+                                                 double seconds) {
+  if (options_.metrics == nullptr) return;
+  ObserveHistogram(batch_seconds_hist_, seconds);
+  // Counter deltas against the pre-batch stats: the Stats struct stays the
+  // in-process API (and the one source the counters derive from), the
+  // registry mirrors it one batch at a time.
+  IncrementCounter(batches_applied_counter_,
+                   stats_.batches_applied - before.batches_applied);
+  IncrementCounter(full_validations_counter_,
+                   stats_.full_validations - before.full_validations);
+  IncrementCounter(guided_probes_counter_,
+                   stats_.guided_probes - before.guided_probes);
+  IncrementCounter(carried_valid_counter_,
+                   stats_.carried_valid - before.carried_valid);
+  IncrementCounter(violations_counter_, stats_.violations - before.violations);
+  IncrementCounter(evidence_dropped_counter_,
+                   stats_.evidence_dropped - before.evidence_dropped);
+  IncrementCounter(evidence_reseated_counter_,
+                   stats_.evidence_reseated - before.evidence_reseated);
+  IncrementCounter(tree_rebuilds_counter_,
+                   stats_.tree_rebuilds - before.tree_rebuilds);
+  SetGauge(witnessed_evidence_gauge_,
+           static_cast<int64_t>(stats_.witnessed_evidence));
+  SetGauge(epoch_gauge_, static_cast<int64_t>(epoch_));
+  SetGauge(live_rows_gauge_, static_cast<int64_t>(relation_->live_rows()));
 }
 
 std::shared_ptr<const CoverSnapshot> DeltaFdMaintainer::snapshot() const {
@@ -237,6 +300,7 @@ std::optional<std::pair<RowId, RowId>> DeltaFdMaintainer::GuidedValidate(
 
 Status DeltaFdMaintainer::RunSweep(const FdTree* old_valid,
                                    const std::vector<RowId>& inserted) {
+  ScopedSpan sweep_span(options_.tracer, "probe");
   ThreadPool* pool =
       options_.pool != nullptr ? options_.pool : own_pool_.get();
   int n = relation_->num_columns();
@@ -356,6 +420,7 @@ void DeltaFdMaintainer::RebuildTreeFromEvidence() {
 }
 
 void DeltaFdMaintainer::Publish() {
+  ScopedSpan publish_span(options_.tracer, "publish");
   // Minimize a scratch copy (tree_ must keep being Induce(evidence_)) and
   // remap through the same tail as one-shot discovery; RemapToGlobal
   // aggregates and sorts, so the snapshot is canonical.

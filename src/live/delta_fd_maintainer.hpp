@@ -54,7 +54,12 @@
 
 namespace normalize {
 
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
 class ThreadPool;
+class Tracer;
 
 /// One published cover: immutable once returned from snapshot(), shared by
 /// any number of concurrent readers.
@@ -96,6 +101,16 @@ struct DeltaFdMaintainerOptions {
   /// Cap on candidate rows scanned per re-seat probe; past it the entry is
   /// dropped as if unwitnessed (correct, just slower on the next batch).
   size_t reseat_probe_limit = 128;
+  /// Observability registry (obs/metrics.hpp; not owned, null = disabled).
+  /// Batch latency lands in the `live_batch_apply_seconds` histogram and the
+  /// Stats counters are mirrored as `live_*_total` after each batch, so one
+  /// scrape shows probe/reseat/rebuild activity without polling stats().
+  MetricsRegistry* metrics = nullptr;
+  /// Trace sink (obs/span.hpp; not owned, null = disabled). Each batch
+  /// yields the span tree apply_batch → probe (per sweep) → publish,
+  /// parented under the calling thread's ambient span (the service's
+  /// per-batch span when running under ServiceCore).
+  Tracer* tracer = nullptr;
 };
 
 class DeltaFdMaintainer {
@@ -187,8 +202,27 @@ class DeltaFdMaintainer {
 
   void Publish();
 
+  /// Folds the batch just applied into the registry: counter deltas against
+  /// `before`, the batch latency, and the point-in-time gauges. No-op
+  /// without a registry.
+  void RecordBatchObservability(const Stats& before, double seconds);
+
   LiveRelation* relation_;
   DeltaFdMaintainerOptions options_;
+  // Registry instruments, resolved once at construction (all null when
+  // options_.metrics is null). Updates are lock-free atomics.
+  Histogram* batch_seconds_hist_ = nullptr;
+  Counter* batches_applied_counter_ = nullptr;
+  Counter* full_validations_counter_ = nullptr;
+  Counter* guided_probes_counter_ = nullptr;
+  Counter* carried_valid_counter_ = nullptr;
+  Counter* violations_counter_ = nullptr;
+  Counter* evidence_dropped_counter_ = nullptr;
+  Counter* evidence_reseated_counter_ = nullptr;
+  Counter* tree_rebuilds_counter_ = nullptr;
+  Gauge* witnessed_evidence_gauge_ = nullptr;
+  Gauge* epoch_gauge_ = nullptr;
+  Gauge* live_rows_gauge_ = nullptr;
   /// Owned worker pool when `options_.threads` asks for parallelism and no
   /// external pool was supplied.
   std::unique_ptr<ThreadPool> own_pool_;

@@ -1,0 +1,241 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace normalize {
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out->append(buf);
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out->append(buf);
+}
+
+// Escapes for both Prometheus label values and JSON strings (the shared
+// subset: backslash, double quote, newline — our names/labels are plain
+// identifiers, this is belt and braces).
+void AppendEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+// Renders plain `k=v[,k2=v2]` labels as Prometheus `{k="v",k2="v2"}`;
+// empty labels render as nothing.
+void AppendPromLabels(std::string* out, std::string_view labels) {
+  if (labels.empty()) return;
+  out->push_back('{');
+  size_t pos = 0;
+  bool first = true;
+  while (pos <= labels.size()) {
+    size_t comma = labels.find(',', pos);
+    if (comma == std::string_view::npos) comma = labels.size();
+    std::string_view pair = labels.substr(pos, comma - pos);
+    if (!pair.empty()) {
+      if (!first) out->push_back(',');
+      first = false;
+      size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        out->append(pair);
+        out->append("=\"\"");
+      } else {
+        out->append(pair.substr(0, eq));
+        out->append("=\"");
+        AppendEscaped(out, pair.substr(eq + 1));
+        out->push_back('"');
+      }
+    }
+    pos = comma + 1;
+  }
+  out->push_back('}');
+}
+
+// Emits a `# TYPE` header the first time each metric name appears; samples
+// arrive (name, labels)-sorted, so a name change marks a new family.
+void AppendTypeHeader(std::string* out, std::string* last_name,
+                      const std::string& name, const char* type) {
+  if (name == *last_name) return;
+  *last_name = name;
+  out->append("# TYPE ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_name;
+  for (const auto& sample : snapshot.counters) {
+    AppendTypeHeader(&out, &last_name, sample.name, "counter");
+    out.append(sample.name);
+    AppendPromLabels(&out, sample.labels);
+    out.push_back(' ');
+    AppendU64(&out, sample.value);
+    out.push_back('\n');
+  }
+  last_name.clear();
+  for (const auto& sample : snapshot.gauges) {
+    AppendTypeHeader(&out, &last_name, sample.name, "gauge");
+    out.append(sample.name);
+    AppendPromLabels(&out, sample.labels);
+    out.push_back(' ');
+    AppendI64(&out, sample.value);
+    out.push_back('\n');
+  }
+  last_name.clear();
+  for (const auto& sample : snapshot.histograms) {
+    AppendTypeHeader(&out, &last_name, sample.name, "histogram");
+    // Prometheus buckets are cumulative; our samples carry per-bucket counts.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < sample.counts.size(); ++i) {
+      cumulative += sample.counts[i];
+      out.append(sample.name);
+      out.append("_bucket");
+      std::string labels(sample.labels);
+      if (!labels.empty()) labels.push_back(',');
+      labels.append("le=");
+      if (i < sample.bounds.size()) {
+        std::string bound;
+        AppendDouble(&bound, sample.bounds[i]);
+        labels.append(bound);
+      } else {
+        labels.append("+Inf");
+      }
+      AppendPromLabels(&out, labels);
+      out.push_back(' ');
+      AppendU64(&out, cumulative);
+      out.push_back('\n');
+    }
+    out.append(sample.name);
+    out.append("_sum");
+    AppendPromLabels(&out, sample.labels);
+    out.push_back(' ');
+    AppendDouble(&out, sample.sum_seconds());
+    out.push_back('\n');
+    out.append(sample.name);
+    out.append("_count");
+    AppendPromLabels(&out, sample.labels);
+    out.push_back(' ');
+    AppendU64(&out, sample.count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view text) {
+  out->push_back('"');
+  AppendEscaped(out, text);
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string ToMetricsJson(const MetricsSnapshot& snapshot,
+                          const std::vector<SpanRecord>& spans) {
+  std::string out;
+  out.append("{\n  \"metrics_schema\": 1,\n  \"counters\": [");
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& sample = snapshot.counters[i];
+    out.append(i == 0 ? "\n" : ",\n");
+    out.append("    {\"name\": ");
+    AppendJsonString(&out, sample.name);
+    out.append(", \"labels\": ");
+    AppendJsonString(&out, sample.labels);
+    out.append(", \"value\": ");
+    AppendU64(&out, sample.value);
+    out.push_back('}');
+  }
+  out.append(snapshot.counters.empty() ? "],\n" : "\n  ],\n");
+  out.append("  \"gauges\": [");
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& sample = snapshot.gauges[i];
+    out.append(i == 0 ? "\n" : ",\n");
+    out.append("    {\"name\": ");
+    AppendJsonString(&out, sample.name);
+    out.append(", \"labels\": ");
+    AppendJsonString(&out, sample.labels);
+    out.append(", \"value\": ");
+    AppendI64(&out, sample.value);
+    out.push_back('}');
+  }
+  out.append(snapshot.gauges.empty() ? "],\n" : "\n  ],\n");
+  out.append("  \"histograms\": [");
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& sample = snapshot.histograms[i];
+    out.append(i == 0 ? "\n" : ",\n");
+    out.append("    {\"name\": ");
+    AppendJsonString(&out, sample.name);
+    out.append(", \"labels\": ");
+    AppendJsonString(&out, sample.labels);
+    out.append(", \"bounds\": [");
+    for (size_t b = 0; b < sample.bounds.size(); ++b) {
+      if (b > 0) out.append(", ");
+      AppendDouble(&out, sample.bounds[b]);
+    }
+    out.append("], \"counts\": [");
+    for (size_t b = 0; b < sample.counts.size(); ++b) {
+      if (b > 0) out.append(", ");
+      AppendU64(&out, sample.counts[b]);
+    }
+    out.append("], \"count\": ");
+    AppendU64(&out, sample.count);
+    out.append(", \"sum_seconds\": ");
+    AppendDouble(&out, sample.sum_seconds());
+    out.push_back('}');
+  }
+  out.append(snapshot.histograms.empty() ? "],\n" : "\n  ],\n");
+  out.append("  \"spans\": [");
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const auto& span = spans[i];
+    out.append(i == 0 ? "\n" : ",\n");
+    out.append("    {\"id\": ");
+    AppendU64(&out, span.id);
+    out.append(", \"parent\": ");
+    AppendU64(&out, span.parent);
+    out.append(", \"name\": ");
+    AppendJsonString(&out, span.name);
+    out.append(", \"start_seconds\": ");
+    AppendDouble(&out, span.start_seconds);
+    out.append(", \"duration_seconds\": ");
+    AppendDouble(&out, span.duration_seconds);
+    out.append(", \"finished\": ");
+    out.append(span.finished ? "true" : "false");
+    out.push_back('}');
+  }
+  out.append(spans.empty() ? "]\n" : "\n  ]\n");
+  out.append("}\n");
+  return out;
+}
+
+}  // namespace normalize

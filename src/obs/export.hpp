@@ -1,0 +1,27 @@
+// Exposition formats over MetricsSnapshot / SpanRecord — pure functions from
+// plain data to strings. Nothing here touches a lock or a file descriptor:
+// callers take a snapshot (registry/tracer locks released), then render and
+// write wherever they like. That split is the subsystem's FDL001 story.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace normalize {
+
+/// Prometheus text exposition format (version 0.0.4): `# TYPE` headers,
+/// cumulative `_bucket{le=...}` lines plus `_sum`/`_count` per histogram.
+/// Deterministic for a given snapshot (samples are already (name, labels)
+/// ordered).
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// JSON snapshot: {"metrics_schema": 1, "counters": [...], "gauges": [...],
+/// "histograms": [...], "spans": [...]}. Validated by
+/// tools/check_metrics_json.py; deterministic for a given snapshot + spans.
+std::string ToMetricsJson(const MetricsSnapshot& snapshot,
+                          const std::vector<SpanRecord>& spans = {});
+
+}  // namespace normalize

@@ -1,0 +1,157 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace normalize {
+
+namespace {
+
+// Clamp a requested layout into something sane rather than rejecting it: a
+// histogram is a diagnostic instrument, not a place to fail a pipeline.
+HistogramOptions SanitizeOptions(HistogramOptions options) {
+  if (!(options.start > 0.0) || !std::isfinite(options.start)) {
+    options.start = HistogramOptions{}.start;
+  }
+  if (!(options.factor > 1.0) || !std::isfinite(options.factor)) {
+    options.factor = HistogramOptions{}.factor;
+  }
+  options.buckets = std::clamp(options.buckets, 1, 64);
+  return options;
+}
+
+}  // namespace
+
+Histogram::Histogram(HistogramOptions options) {
+  options = SanitizeOptions(options);
+  bounds_.reserve(static_cast<size_t>(options.buckets));
+  double bound = options.start;
+  for (int i = 0; i < options.buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= options.factor;
+  }
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::Observe(double seconds) {
+  if (!(seconds > 0.0)) seconds = 0.0;  // NaN and negatives clamp to zero
+  size_t bucket = 0;
+  while (bucket < bounds_.size() && seconds > bounds_[bucket]) ++bucket;
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Fixed-point accumulation: the nanosecond value of one observation is a
+  // pure function of the observation, and uint64 addition commutes, so the
+  // final sum is independent of thread interleaving.
+  sum_nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                       std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view labels) {
+  MutexLock lock(mu_);
+  auto& slot = counters_[Key(std::string(name), std::string(labels))];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view labels) {
+  MutexLock lock(mu_);
+  auto& slot = gauges_[Key(std::string(name), std::string(labels))];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         HistogramOptions options,
+                                         std::string_view labels) {
+  MutexLock lock(mu_);
+  auto& slot = histograms_[Key(std::string(name), std::string(labels))];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(options);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  MutexLock lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) {
+    snapshot.counters.push_back({key.first, key.second, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [key, gauge] : gauges_) {
+    snapshot.gauges.push_back({key.first, key.second, gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [key, histogram] : histograms_) {
+    MetricsSnapshot::HistogramSample sample;
+    sample.name = key.first;
+    sample.labels = key.second;
+    sample.bounds = histogram->bounds();
+    sample.counts = histogram->bucket_counts();
+    sample.count = histogram->count();
+    sample.sum_nanos = histogram->sum_nanos();
+    snapshot.histograms.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* const kDefault = new MetricsRegistry();  // leaked
+  return kDefault;
+}
+
+namespace {
+
+template <typename Sample>
+const Sample* FindSample(const std::vector<Sample>& samples,
+                         std::string_view name, std::string_view labels) {
+  for (const auto& sample : samples) {
+    if (sample.name == name && sample.labels == labels) return &sample;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const MetricsSnapshot::CounterSample* MetricsSnapshot::FindCounter(
+    std::string_view name, std::string_view labels) const {
+  return FindSample(counters, name, labels);
+}
+
+const MetricsSnapshot::GaugeSample* MetricsSnapshot::FindGauge(
+    std::string_view name, std::string_view labels) const {
+  return FindSample(gauges, name, labels);
+}
+
+const MetricsSnapshot::HistogramSample* MetricsSnapshot::FindHistogram(
+    std::string_view name, std::string_view labels) const {
+  return FindSample(histograms, name, labels);
+}
+
+void RecordPhaseMetrics(MetricsRegistry* registry, std::string_view component,
+                        const PhaseMetrics& phases) {
+  if (registry == nullptr) return;
+  for (const auto& phase : phases.phases()) {
+    std::string labels = "component=";
+    labels.append(component);
+    labels += ",phase=";
+    labels += phase.name;
+    registry->GetHistogram("normalize_phase_seconds", HistogramOptions{}, labels)
+        ->Observe(phase.seconds);
+    if (phase.count > 0) {
+      registry->GetCounter("normalize_phase_items_total", labels)
+          ->Increment(phase.count);
+    }
+  }
+}
+
+}  // namespace normalize

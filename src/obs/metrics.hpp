@@ -1,0 +1,234 @@
+// The observability substrate (src/obs/): a process-wide registry of typed,
+// named instruments that every layer — discovery backends, the shard merge,
+// the incremental maintainer, the durable service — reports into, so one
+// scrape (Prometheus text) or one JSON snapshot describes the whole process.
+// Dependency-free by design: the exporters (obs/export.hpp) and the periodic
+// snapshotter (obs/snapshotter.hpp) sit on top of plain snapshots.
+//
+// Three instrument kinds, all updated with lock-free relaxed atomics (no
+// instrument update ever takes a lock, so instrumenting a critical section
+// is always FDL001-safe):
+//
+//   Counter    monotonic uint64 (events, bytes); Increment/Add only.
+//   Gauge      int64 point-in-time value (queue depth); Set/Add/MaxWith.
+//   Histogram  fixed-boundary exponential buckets. Per-bucket counts and the
+//              running sum are plain integer fetch_adds — integer addition
+//              commutes, so the same observation stream produces bit-identical
+//              bucket counts and sums at ANY thread count (the determinism
+//              the obs tests pin). The sum accumulates in fixed-point
+//              nanoseconds for exactly that reason: double addition does not
+//              commute, uint64 addition does.
+//
+// The registry's Mutex guards only registration and snapshot enumeration —
+// never the hot update path. Instrument pointers returned by Get*() are
+// stable for the registry's lifetime, so callers resolve them once (at
+// construction / open time) and update through the pointer. A null registry
+// pointer everywhere means "instrumentation disabled": call sites guard with
+// the null-safe helpers below and pay one branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace normalize {
+
+/// Monotonic event/byte counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (queue depth, live evidence size).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raises the gauge to `value` if larger (peak tracking); lock-free CAS.
+  void MaxWith(int64_t value) {
+    int64_t current = value_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed exponential bucket layout: finite upper bounds start * factor^i for
+/// i in [0, buckets), plus an implicit +Inf overflow bucket. The default
+/// spans 1µs .. ~17min at factor 4 — wide enough for WAL appends and full
+/// discovery runs alike. Re-registering a histogram name keeps the FIRST
+/// layout; later options are ignored (bucket layouts must agree process-wide
+/// for merges to make sense).
+struct HistogramOptions {
+  double start = 1e-6;
+  double factor = 4.0;
+  int buckets = 16;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options);
+
+  /// Records one observation in seconds. NaN and negatives clamp to 0.
+  /// Lock-free; bit-deterministic under any interleaving (see file comment).
+  void Observe(double seconds);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; bounds().size() + 1 entries, the
+  /// last being the +Inf overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_nanos() const {
+    return sum_nanos_.load(std::memory_order_relaxed);
+  }
+  double sum_seconds() const { return static_cast<double>(sum_nanos()) * 1e-9; }
+
+ private:
+  std::vector<double> bounds_;  // immutable after construction
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+/// A plain-data view of every instrument at one moment, ordered by
+/// (name, labels) so exports and golden tests are deterministic. Labels are
+/// stored in the registry's plain `k=v[,k2=v2]` form; the exporters render
+/// them per format.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    std::string labels;
+    uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::string labels;
+    int64_t value = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::string labels;
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  // bounds.size() + 1 (last = +Inf)
+    uint64_t count = 0;
+    uint64_t sum_nanos = 0;
+    double sum_seconds() const { return static_cast<double>(sum_nanos) * 1e-9; }
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  const CounterSample* FindCounter(std::string_view name,
+                                   std::string_view labels = "") const;
+  const GaugeSample* FindGauge(std::string_view name,
+                               std::string_view labels = "") const;
+  const HistogramSample* FindHistogram(std::string_view name,
+                                       std::string_view labels = "") const;
+};
+
+/// Name+labels keyed instrument registry. Get*() registers on first use and
+/// returns the same stable pointer afterwards; labels are a plain
+/// `key=value[,key2=value2]` string ("" = unlabelled).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name, std::string_view labels = "")
+      NORMALIZE_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name, std::string_view labels = "")
+      NORMALIZE_EXCLUDES(mu_);
+  Histogram* GetHistogram(std::string_view name, HistogramOptions options = {},
+                          std::string_view labels = "")
+      NORMALIZE_EXCLUDES(mu_);
+
+  /// A coherent-enough view: each instrument is read atomically; the set of
+  /// instruments is enumerated under the registration mutex. Pure memory
+  /// reads — no I/O happens under mu_ (exporting a snapshot to a socket or
+  /// file is the caller's job, on the returned copy, outside every lock).
+  MetricsSnapshot Snapshot() const NORMALIZE_EXCLUDES(mu_);
+
+  /// The process-wide default registry (leaked singleton). Library code
+  /// takes an explicit MetricsRegistry* instead of reaching for this; the
+  /// default exists for tools and one-process CLIs.
+  static MetricsRegistry* Default();
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (name, labels)
+
+  mutable Mutex mu_;
+  // std::map for deterministic (name, labels) iteration order in Snapshot().
+  std::map<Key, std::unique_ptr<Counter>> counters_ NORMALIZE_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ NORMALIZE_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_
+      NORMALIZE_GUARDED_BY(mu_);
+};
+
+// --- null-safe call-site helpers -------------------------------------------
+// A null instrument pointer means the owning layer was built without a
+// registry; the helpers make "instrumentation disabled" cost one branch.
+
+inline void IncrementCounter(Counter* counter, uint64_t delta = 1) {
+  if (counter != nullptr) counter->Increment(delta);
+}
+inline void SetGauge(Gauge* gauge, int64_t value) {
+  if (gauge != nullptr) gauge->Set(value);
+}
+inline void ObserveHistogram(Histogram* histogram, double seconds) {
+  if (histogram != nullptr) histogram->Observe(seconds);
+}
+
+/// RAII latency probe: observes the scope's elapsed wall time into the
+/// histogram on destruction. Null histogram = no-op (and no clock reads).
+class LatencyTimer {
+ public:
+  explicit LatencyTimer(Histogram* histogram) : histogram_(histogram) {}
+  ~LatencyTimer() { Stop(); }
+
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+  /// Records now instead of at scope exit; later calls are no-ops.
+  void Stop() {
+    if (histogram_ == nullptr) return;
+    histogram_->Observe(watch_.ElapsedSeconds());
+    histogram_ = nullptr;
+  }
+
+ private:
+  Histogram* histogram_;
+  Stopwatch watch_;
+};
+
+/// Edge adapter from the legacy per-phase accumulator: folds a PhaseMetrics
+/// into the registry as one histogram observation (wall seconds) and one
+/// counter add (item count) per phase, labelled by component and phase name.
+/// Discovery backends keep filling PhaseMetrics exactly as before — the
+/// registry observes at the edges, so phase_metrics() consumers are
+/// untouched. Null registry = no-op.
+void RecordPhaseMetrics(MetricsRegistry* registry, std::string_view component,
+                        const PhaseMetrics& phases);
+
+}  // namespace normalize

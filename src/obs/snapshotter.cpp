@@ -1,0 +1,66 @@
+#include "obs/snapshotter.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace normalize {
+
+MetricsSnapshotter::MetricsSnapshotter(const MetricsRegistry* registry,
+                                       MetricsSnapshotterOptions options)
+    : registry_(registry), options_(options) {}
+
+MetricsSnapshotter::~MetricsSnapshotter() { Stop(); }
+
+void MetricsSnapshotter::Start() {
+  {
+    MutexLock lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  PublishNow();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsSnapshotter::Stop() {
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  MutexLock lock(mu_);
+  running_ = false;
+}
+
+std::shared_ptr<const MetricsSnapshot> MetricsSnapshotter::Latest() const {
+  MutexLock lock(mu_);
+  return published_;
+}
+
+void MetricsSnapshotter::PublishNow() {
+  // Built outside mu_: Snapshot() takes only the registry's own mutex, so
+  // publication never holds two locks at once and readers of Latest() only
+  // ever wait on a pointer swap.
+  auto snapshot = std::make_shared<const MetricsSnapshot>(registry_->Snapshot());
+  MutexLock lock(mu_);
+  published_ = std::move(snapshot);
+}
+
+void MetricsSnapshotter::Loop() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      std::max(1.0, options_.interval_ms));
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      if (stop_) return;
+      lock.WaitFor(wake_cv_, interval);
+      if (stop_) return;
+    }
+    PublishNow();
+  }
+}
+
+}  // namespace normalize

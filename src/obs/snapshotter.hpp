@@ -1,0 +1,64 @@
+// Periodic snapshot publication, CoverSnapshot-style: a background thread
+// builds a MetricsSnapshot every interval (outside any lock) and swaps an
+// immutable shared_ptr under a mutex. Readers grab the latest coherent
+// snapshot with one pointer copy and never contend with instrument updates;
+// the METRICS service request and scrape endpoints serve from here so a slow
+// scraper can never stall a writer.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <thread>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+#include "obs/metrics.hpp"
+
+namespace normalize {
+
+struct MetricsSnapshotterOptions {
+  double interval_ms = 1000.0;
+};
+
+class MetricsSnapshotter {
+ public:
+  /// `registry` must outlive the snapshotter; not owned.
+  MetricsSnapshotter(const MetricsRegistry* registry,
+                     MetricsSnapshotterOptions options = {});
+  ~MetricsSnapshotter();
+
+  MetricsSnapshotter(const MetricsSnapshotter&) = delete;
+  MetricsSnapshotter& operator=(const MetricsSnapshotter&) = delete;
+
+  /// Starts the publication thread (idempotent) and publishes an initial
+  /// snapshot synchronously so Latest() is never null after Start().
+  void Start() NORMALIZE_EXCLUDES(mu_);
+  /// Stops the thread promptly (the tick wait is condition-variable based,
+  /// not a dumb sleep). Idempotent; also run by the destructor.
+  void Stop() NORMALIZE_EXCLUDES(mu_);
+
+  /// The most recently published snapshot (null before the first Start()
+  /// or PublishNow()).
+  std::shared_ptr<const MetricsSnapshot> Latest() const
+      NORMALIZE_EXCLUDES(mu_);
+
+  /// Builds and publishes a snapshot immediately (outside any lock), for
+  /// request paths that need fresher data than the periodic tick — e.g. the
+  /// service's METRICS request publishes before serving.
+  void PublishNow() NORMALIZE_EXCLUDES(mu_);
+
+ private:
+  void Loop();
+
+  const MetricsRegistry* const registry_;
+  const MetricsSnapshotterOptions options_;
+
+  mutable Mutex mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ NORMALIZE_GUARDED_BY(mu_) = false;
+  bool running_ NORMALIZE_GUARDED_BY(mu_) = false;
+  std::shared_ptr<const MetricsSnapshot> published_ NORMALIZE_GUARDED_BY(mu_);
+  std::thread thread_;
+};
+
+}  // namespace normalize

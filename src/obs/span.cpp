@@ -1,0 +1,80 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+namespace normalize {
+
+namespace {
+// One ambient slot per thread is enough: a process realistically runs one
+// tracer, and nested tracers would still restore correctly through the
+// ScopedSpan save/restore discipline.
+thread_local uint64_t g_ambient_span = 0;
+}  // namespace
+
+Tracer::Tracer(TracerOptions options) : options_(options) {}
+
+uint64_t Tracer::StartSpan(std::string_view name, uint64_t parent) {
+  const double now = Now();
+  MutexLock lock(mu_);
+  SpanRecord record;
+  record.id = next_id_++;
+  record.parent = parent;
+  record.name = std::string(name);
+  record.start_seconds = now;
+  spans_.push_back(std::move(record));
+  const size_t cap = std::max<size_t>(1, options_.max_spans);
+  while (spans_.size() > cap) {
+    spans_.pop_front();
+    ++evicted_;
+  }
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(uint64_t id) {
+  if (id == 0) return;
+  const double now = Now();
+  MutexLock lock(mu_);
+  // Recent spans live near the back; scan from there.
+  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+    if (it->id != id) continue;
+    it->duration_seconds = now - it->start_seconds;
+    it->finished = true;
+    return;
+  }
+}
+
+std::vector<SpanRecord> Tracer::Export() const {
+  MutexLock lock(mu_);
+  return std::vector<SpanRecord>(spans_.begin(), spans_.end());
+}
+
+uint64_t Tracer::started_spans() const {
+  MutexLock lock(mu_);
+  return next_id_ - 1;
+}
+
+uint64_t Tracer::evicted_spans() const {
+  MutexLock lock(mu_);
+  return evicted_;
+}
+
+uint64_t CurrentSpanId() { return g_ambient_span; }
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string_view name)
+    : ScopedSpan(tracer, name, g_ambient_span) {}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string_view name, uint64_t parent)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  id_ = tracer_->StartSpan(name, parent);
+  saved_ambient_ = g_ambient_span;
+  g_ambient_span = id_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr || id_ == 0) return;
+  g_ambient_span = saved_ambient_;
+  tracer_->EndSpan(id_);
+}
+
+}  // namespace normalize

@@ -1,0 +1,116 @@
+// Trace spans: named, timed intervals carrying parent/child causality, so
+// one service batch or one discovery run yields a coherent tree — batch →
+// probe → publish — even when the work hops across ThreadPool workers.
+//
+// Propagation has two modes:
+//   * ambient — each thread tracks its current span in a thread_local;
+//     ScopedSpan(tracer, name) parents under it. Covers same-thread nesting
+//     with zero plumbing.
+//   * explicit — a coordinator captures `span.id()` into the lambda it hands
+//     to ThreadPool/ParallelFor and opens ScopedSpan(tracer, name, parent_id)
+//     on the worker. This is the pool-hop bridge; RunContext carries the
+//     same pair (Tracer* + span id) through layers that already thread a
+//     context (see common/run_context.hpp).
+//
+// The tracer retains a bounded ring of records (oldest evicted first), so a
+// long-running daemon's span memory is capped; exports always see the most
+// recent activity. Start/End take the tracer mutex but only touch memory —
+// no I/O ever happens under it (fd_lint FDL001 holds by construction).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace normalize {
+
+/// One finished-or-in-flight span. `parent == 0` marks a root; ids are
+/// assigned 1, 2, 3, … in start order. Times are seconds since the tracer's
+/// construction (a steady clock, so durations are meaningful; wall-clock
+/// anchoring is the exporter consumer's concern).
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent = 0;
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  bool finished = false;
+};
+
+struct TracerOptions {
+  /// Retained-record cap; the oldest records are evicted beyond it. Ending
+  /// an evicted span is a harmless no-op, and consumers treat a parent id
+  /// they cannot find as a root (the parent aged out).
+  size_t max_spans = 4096;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions options = {});
+
+  /// Starts a span and returns its id (never 0). `parent == 0` = root.
+  uint64_t StartSpan(std::string_view name, uint64_t parent = 0)
+      NORMALIZE_EXCLUDES(mu_);
+  /// Finishes the span; no-op if the record was evicted or the id unknown.
+  void EndSpan(uint64_t id) NORMALIZE_EXCLUDES(mu_);
+
+  /// Copies the retained records, in id (= start) order.
+  std::vector<SpanRecord> Export() const NORMALIZE_EXCLUDES(mu_);
+
+  uint64_t started_spans() const NORMALIZE_EXCLUDES(mu_);
+  uint64_t evicted_spans() const NORMALIZE_EXCLUDES(mu_);
+
+ private:
+  double Now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  const TracerOptions options_;
+
+  mutable Mutex mu_;
+  uint64_t next_id_ NORMALIZE_GUARDED_BY(mu_) = 1;
+  uint64_t evicted_ NORMALIZE_GUARDED_BY(mu_) = 0;
+  std::deque<SpanRecord> spans_ NORMALIZE_GUARDED_BY(mu_);
+};
+
+/// The calling thread's ambient span id (0 if none). Maintained by
+/// ScopedSpan; read it to capture an explicit parent before a pool hop.
+uint64_t CurrentSpanId();
+
+/// RAII span: starts on construction, ends on destruction, and makes itself
+/// the thread's ambient span for its scope (restoring the previous one on
+/// exit). A null tracer disables everything — no clock reads, no lock, no
+/// ambient change — so span call sites cost one branch when tracing is off.
+class ScopedSpan {
+ public:
+  /// Parents under the calling thread's ambient span.
+  ScopedSpan(Tracer* tracer, std::string_view name);
+  /// Parents under `parent` explicitly (the ThreadPool-hop constructor:
+  /// capture the coordinator's span id into the worker lambda).
+  ScopedSpan(Tracer* tracer, std::string_view name, uint64_t parent);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// This span's id (0 when tracing is disabled) — pass as the explicit
+  /// parent across pool hops.
+  uint64_t id() const { return id_; }
+
+ private:
+  Tracer* tracer_;
+  uint64_t id_ = 0;
+  uint64_t saved_ambient_ = 0;
+};
+
+}  // namespace normalize

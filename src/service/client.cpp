@@ -121,6 +121,13 @@ Result<ServiceResponse> ServiceClient::Stats() {
   return Call(request);
 }
 
+Result<ServiceResponse> ServiceClient::Metrics(bool as_json) {
+  ServiceRequest request;
+  request.type = ServiceRequestType::kGetMetrics;
+  request.metrics_json = as_json;
+  return Call(request);
+}
+
 Result<ServiceResponse> ServiceClient::RequestShutdown() {
   ServiceRequest request;
   request.type = ServiceRequestType::kShutdown;

@@ -45,6 +45,9 @@ class ServiceClient {
   Result<ServiceResponse> Cover();
   Result<ServiceResponse> Schema(uint32_t deadline_ms = 0);
   Result<ServiceResponse> Stats();
+  /// Scrapes the server's metrics registry: Prometheus text exposition, or
+  /// with `as_json` the JSON snapshot including span records.
+  Result<ServiceResponse> Metrics(bool as_json = false);
   Result<ServiceResponse> RequestShutdown();
 
  private:

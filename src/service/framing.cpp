@@ -91,6 +91,9 @@ std::string EncodeServiceRequest(const ServiceRequest& request) {
   if (request.type == ServiceRequestType::kApplyBatch) {
     enc.PutString(EncodeLiveBatch(request.batch));
   }
+  if (request.type == ServiceRequestType::kGetMetrics) {
+    enc.PutU8(request.metrics_json ? 1 : 0);
+  }
   return std::move(enc).bytes();
 }
 
@@ -99,7 +102,7 @@ Result<ServiceRequest> DecodeServiceRequest(std::string_view payload) {
   ServiceRequest request;
   NORMALIZE_ASSIGN_OR_RETURN(uint8_t type, dec.GetU8());
   if (type < static_cast<uint8_t>(ServiceRequestType::kPing) ||
-      type > static_cast<uint8_t>(ServiceRequestType::kShutdown)) {
+      type > static_cast<uint8_t>(ServiceRequestType::kGetMetrics)) {
     return Status::DataLoss("unknown request type " + std::to_string(type));
   }
   request.type = static_cast<ServiceRequestType>(type);
@@ -108,6 +111,10 @@ Result<ServiceRequest> DecodeServiceRequest(std::string_view payload) {
   if (request.type == ServiceRequestType::kApplyBatch) {
     NORMALIZE_ASSIGN_OR_RETURN(std::string batch, dec.GetString());
     NORMALIZE_ASSIGN_OR_RETURN(request.batch, DecodeLiveBatch(batch));
+  }
+  if (request.type == ServiceRequestType::kGetMetrics) {
+    NORMALIZE_ASSIGN_OR_RETURN(uint8_t json, dec.GetU8());
+    request.metrics_json = json != 0;
   }
   NORMALIZE_RETURN_IF_ERROR(dec.ExpectEnd());
   return request;

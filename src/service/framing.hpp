@@ -3,7 +3,8 @@
 // sides share one integer/string wire format with the WAL and snapshots.
 //
 //   frame   := u32 magic "NSV1" | u32 len | u32 crc32(payload) | payload
-//   request := u8 type | u64 seq | u32 deadline_ms | batch (ApplyBatch only)
+//   request := u8 type | u64 seq | u32 deadline_ms
+//              | batch (ApplyBatch only) | u8 json (GetMetrics only)
 //   response:= u8 status code | string message | u32 retry_after_ms
 //              | u64 epoch | u64 live_rows | u64 last_applied_seq
 //              | string text
@@ -29,6 +30,7 @@ enum class ServiceRequestType : uint8_t {
   kGetSchema = 4,
   kGetStats = 5,
   kShutdown = 6,
+  kGetMetrics = 7,
 };
 
 struct ServiceRequest {
@@ -39,6 +41,9 @@ struct ServiceRequest {
   /// RunContext server-side.
   uint32_t deadline_ms = 0;
   LiveBatch batch;
+  /// kGetMetrics format selector: false = Prometheus text exposition,
+  /// true = JSON snapshot (including span records).
+  bool metrics_json = false;
 };
 
 struct ServiceResponse {
@@ -52,8 +57,8 @@ struct ServiceResponse {
   /// Sequence high-water mark — lets a reconnecting client resolve an
   /// in-doubt batch without resending it.
   uint64_t last_applied_seq = 0;
-  /// Payload text: the cover (GetCover), schema (GetSchema), or rendered
-  /// stats (GetStats).
+  /// Payload text: the cover (GetCover), schema (GetSchema), rendered
+  /// stats (GetStats), or a metrics exposition (GetMetrics).
   std::string text;
 
   Status ToStatus() const {

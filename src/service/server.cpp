@@ -207,6 +207,9 @@ ServiceResponse ServiceServer::Dispatch(const ServiceRequest& request) {
     case ServiceRequestType::kGetStats:
       response.text = RenderStats(core_->stats());
       break;
+    case ServiceRequestType::kGetMetrics:
+      response.text = core_->MetricsText(request.metrics_json);
+      break;
     case ServiceRequestType::kShutdown:
       break;  // acked OK; the hook fires after the response is written
   }

@@ -7,6 +7,10 @@
 #include <utility>
 
 #include "normalize/normalizer.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshotter.hpp"
+#include "obs/span.hpp"
 #include "persist/checkpoint_options.hpp"
 
 namespace normalize {
@@ -45,7 +49,50 @@ ServiceCore::ServiceCore(ServiceCoreOptions options,
                          CheckpointFingerprint fingerprint)
     : options_(std::move(options)),
       checkpoint_(CheckpointOptions{options_.dir, /*resume=*/true},
-                  std::move(fingerprint)) {}
+                  std::move(fingerprint)) {
+  metrics_ = options_.metrics;
+  if (metrics_ == nullptr) {
+    // No external registry: the counters still live in a (private) registry
+    // because stats() and MetricsText() are defined over instruments — one
+    // source of truth regardless of how the core was opened.
+    own_registry_ = std::make_unique<MetricsRegistry>();
+    metrics_ = own_registry_.get();
+  }
+  tracer_ = options_.tracer;
+  constexpr std::string_view kLabels = "component=service";
+  batches_accepted_counter_ =
+      metrics_->GetCounter("service_batches_accepted_total", kLabels);
+  duplicates_ignored_counter_ =
+      metrics_->GetCounter("service_duplicates_ignored_total", kLabels);
+  rejected_invalid_counter_ =
+      metrics_->GetCounter("service_rejected_invalid_total", kLabels);
+  backpressure_counter_ =
+      metrics_->GetCounter("service_backpressure_rejections_total", kLabels);
+  shed_reads_counter_ =
+      metrics_->GetCounter("service_shed_reads_total", kLabels);
+  wal_appends_counter_ =
+      metrics_->GetCounter("service_wal_appends_total", kLabels);
+  checkpoints_counter_ =
+      metrics_->GetCounter("service_checkpoints_total", kLabels);
+  checkpoint_failures_counter_ =
+      metrics_->GetCounter("service_checkpoint_failures_total", kLabels);
+  wal_bytes_gauge_ = metrics_->GetGauge("service_wal_bytes", kLabels);
+  queue_depth_gauge_ = metrics_->GetGauge("service_queue_depth", kLabels);
+  queue_peak_gauge_ = metrics_->GetGauge("service_queue_peak", kLabels);
+  last_applied_seq_gauge_ =
+      metrics_->GetGauge("service_last_applied_seq", kLabels);
+  wal_append_seconds_hist_ =
+      metrics_->GetHistogram("service_wal_append_seconds", {}, kLabels);
+  batch_process_seconds_hist_ =
+      metrics_->GetHistogram("service_batch_process_seconds", {}, kLabels);
+  checkpoint_seconds_hist_ =
+      metrics_->GetHistogram("service_checkpoint_seconds", {}, kLabels);
+  recovery_seconds_hist_ =
+      metrics_->GetHistogram("service_recovery_seconds", {}, kLabels);
+  MetricsSnapshotterOptions snap_options;
+  snap_options.interval_ms = options_.metrics_snapshot_interval_ms;
+  snapshotter_ = std::make_unique<MetricsSnapshotter>(metrics_, snap_options);
+}
 
 Result<std::unique_ptr<ServiceCore>> ServiceCore::Open(
     const RelationData& seed, ServiceCoreOptions options) {
@@ -64,6 +111,9 @@ Result<std::unique_ptr<ServiceCore>> ServiceCore::Open(
     MutexLock lock(core->mu_);
     core->PublishWriterStats();
   }
+  if (core->options_.metrics_snapshot_interval_ms > 0) {
+    core->snapshotter_->Start();
+  }
   core->writer_ = std::thread(&ServiceCore::WriterLoop, core.get());
   return core;
 }
@@ -79,6 +129,8 @@ ServiceCore::~ServiceCore() {
 }
 
 Status ServiceCore::Recover(const RelationData& seed) {
+  ScopedSpan recover_span(tracer_, "recover");
+  LatencyTimer recovery_timer(recovery_seconds_hist_);
   FdSet checkpointed_cover;
   bool have_checkpoint = false;
   Result<LiveServiceState> loaded = checkpoint_.LoadLiveState();
@@ -123,6 +175,12 @@ Status ServiceCore::Recover(const RelationData& seed) {
   DeltaFdMaintainerOptions mopts;
   mopts.max_lhs_size = options_.max_lhs_size;
   mopts.threads = options_.threads;
+  // The maintainer's instruments and spans route only through an EXTERNAL
+  // registry: with none supplied the core stays on its cheap private
+  // counters and the maintainer runs uninstrumented — the "instrumentation
+  // disabled" axis the bench overhead comparison measures.
+  mopts.metrics = options_.metrics;
+  mopts.tracer = tracer_;
   maintainer_ = std::make_unique<DeltaFdMaintainer>(relation_.get(), mopts);
   NORMALIZE_RETURN_IF_ERROR(maintainer_->Initialize());
 
@@ -149,8 +207,8 @@ Status ServiceCore::Recover(const RelationData& seed) {
   writer_stats_.recovered_wal_records = replayed;
   writer_stats_.recovery_tail_dropped_bytes = replay.tail_dropped_bytes;
   writer_stats_.recovered_from_checkpoint = have_checkpoint;
-  writer_stats_.last_applied_seq = last_applied_seq_;
   writer_stats_.maintainer = maintainer_->stats();
+  last_applied_seq_gauge_->Set(static_cast<int64_t>(last_applied_seq_));
   return Status::OK();
 }
 
@@ -177,7 +235,7 @@ bool ServiceCore::Enqueue(Job job, const RunContext* ctx, Status* admitted) {
         *admitted = Status::DeadlineExceeded(
             "write queue still full at the request deadline");
       } else {
-        ++stats_.backpressure_rejections;
+        backpressure_counter_->Increment();
         *admitted = Status::ResourceExhausted(
             "write queue full (" + std::to_string(queue_.size()) + "/" +
             std::to_string(options_.queue_capacity) + " batches); retry in ~" +
@@ -188,8 +246,8 @@ bool ServiceCore::Enqueue(Job job, const RunContext* ctx, Status* admitted) {
     lock.WaitFor(space_cv_, std::chrono::milliseconds(2));
   }
   queue_.push_back(std::move(job));
-  stats_.queue_depth = queue_.size();
-  stats_.queue_peak = std::max(stats_.queue_peak, queue_.size());
+  queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+  queue_peak_gauge_->MaxWith(static_cast<int64_t>(queue_.size()));
   work_cv_.notify_one();
   return true;
 }
@@ -226,7 +284,7 @@ Result<RelationData> ServiceCore::Materialize(const RunContext* ctx) {
   {
     MutexLock lock(mu_);
     if (queue_.size() >= options_.shed_read_depth) {
-      ++stats_.shed_reads;
+      shed_reads_counter_->Increment();
       return Status::Unavailable(
           "advisor read shed: write backlog at " +
           std::to_string(queue_.size()) + " batches; retry in ~" +
@@ -263,8 +321,46 @@ Result<std::string> ServiceCore::Schema(const RunContext* ctx) {
 }
 
 ServiceStats ServiceCore::stats() const {
-  MutexLock lock(mu_);
-  return stats_;
+  ServiceStats out;
+  {
+    MutexLock lock(mu_);
+    out = stats_;  // recovery facts + maintainer snapshot
+  }
+  // Everything countable comes from the registry instruments — the same
+  // source of truth the METRICS request, bench_churn, and the exporters
+  // read. The writer increments counters before acking (promise/future
+  // provides the synchronizes-with), so a client that saw an ack sees its
+  // batch here.
+  out.batches_accepted = batches_accepted_counter_->value();
+  out.duplicates_ignored = duplicates_ignored_counter_->value();
+  out.rejected_invalid = rejected_invalid_counter_->value();
+  out.backpressure_rejections = backpressure_counter_->value();
+  out.shed_reads = shed_reads_counter_->value();
+  out.wal_appends = wal_appends_counter_->value();
+  out.wal_bytes =
+      static_cast<uint64_t>(std::max<int64_t>(0, wal_bytes_gauge_->value()));
+  out.checkpoints = checkpoints_counter_->value();
+  out.checkpoint_failures = checkpoint_failures_counter_->value();
+  out.last_applied_seq = static_cast<uint64_t>(
+      std::max<int64_t>(0, last_applied_seq_gauge_->value()));
+  out.queue_depth = static_cast<size_t>(
+      std::max<int64_t>(0, queue_depth_gauge_->value()));
+  out.queue_peak = static_cast<size_t>(
+      std::max<int64_t>(0, queue_peak_gauge_->value()));
+  return out;
+}
+
+std::string ServiceCore::MetricsText(bool as_json) const {
+  // Publish-now so a scrape is never staler than the request; serving still
+  // happens off the immutable published snapshot, outside every lock.
+  snapshotter_->PublishNow();
+  std::shared_ptr<const MetricsSnapshot> snap = snapshotter_->Latest();
+  if (as_json) {
+    std::vector<SpanRecord> spans;
+    if (tracer_ != nullptr) spans = tracer_->Export();
+    return ToMetricsJson(*snap, spans);
+  }
+  return ToPrometheusText(*snap);
 }
 
 Status ServiceCore::Shutdown() {
@@ -314,14 +410,14 @@ void ServiceCore::WriterLoop() {
             }
             queue_.pop_front();
           }
-          stats_.queue_depth = 0;
+          queue_depth_gauge_->Set(0);
           space_cv_.notify_all();
           return;
         }
         if (!paused_ && !queue_.empty()) {
           job = std::move(queue_.front());
           queue_.pop_front();
-          stats_.queue_depth = queue_.size();
+          queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
           space_cv_.notify_all();
           break;
         }
@@ -346,22 +442,29 @@ void ServiceCore::WriterLoop() {
 }
 
 Status ServiceCore::ProcessBatch(uint64_t seq, const LiveBatch& batch) {
+  // Root of this batch's span tree: the maintainer nests apply_batch →
+  // probe → publish under it via the writer thread's ambient span.
+  ScopedSpan batch_span(tracer_, "batch");
+  LatencyTimer batch_timer(batch_process_seconds_hist_);
   if (seq != 0 && seq <= last_applied_seq_) {
     // The client's resend of an already-applied batch (reconnect after a
     // lost ack): confirm without re-applying.
-    ++writer_stats_.duplicates_ignored;
+    duplicates_ignored_counter_->Increment();
     return Status::OK();
   }
   Status valid = relation_->ValidateBatch(batch);
   if (!valid.ok()) {
-    ++writer_stats_.rejected_invalid;
+    rejected_invalid_counter_->Increment();
     return valid;
   }
   // Durability point: once the append returns (synced when sync_wal), the
   // batch survives any crash — only then is it applied and acked.
-  NORMALIZE_RETURN_IF_ERROR(wal_->Append(seq, EncodeLiveBatch(batch)));
-  ++writer_stats_.wal_appends;
-  writer_stats_.wal_bytes = wal_->appended_bytes();
+  {
+    LatencyTimer wal_timer(wal_append_seconds_hist_);
+    NORMALIZE_RETURN_IF_ERROR(wal_->Append(seq, EncodeLiveBatch(batch)));
+  }
+  wal_appends_counter_->Increment();
+  wal_bytes_gauge_->Set(static_cast<int64_t>(wal_->appended_bytes()));
   Status applied = maintainer_->ApplyBatch(batch);
   if (!applied.ok()) {
     // The record is durable but unapplied; recovery will apply it, so the
@@ -370,8 +473,8 @@ Status ServiceCore::ProcessBatch(uint64_t seq, const LiveBatch& batch) {
                             " logged but not applied: " + applied.message());
   }
   if (seq != 0) last_applied_seq_ = seq;
-  ++writer_stats_.batches_accepted;
-  writer_stats_.last_applied_seq = last_applied_seq_;
+  batches_accepted_counter_->Increment();
+  last_applied_seq_gauge_->Set(static_cast<int64_t>(last_applied_seq_));
   writer_stats_.maintainer = maintainer_->stats();
   ++batches_since_checkpoint_;
   if (options_.checkpoint_every > 0 &&
@@ -380,13 +483,15 @@ Status ServiceCore::ProcessBatch(uint64_t seq, const LiveBatch& batch) {
     if (!ticked.ok()) {
       // A failed tick must not fail the batch — the WAL still covers it;
       // the next tick (or shutdown) retries the image.
-      ++writer_stats_.checkpoint_failures;
+      checkpoint_failures_counter_->Increment();
     }
   }
   return Status::OK();
 }
 
 Status ServiceCore::CheckpointNow() {
+  ScopedSpan checkpoint_span(tracer_, "checkpoint");
+  LatencyTimer checkpoint_timer(checkpoint_seconds_hist_);
   LiveServiceState state;
   state.log = relation_->data();
   state.live_mask.resize(relation_->total_rows());
@@ -404,19 +509,19 @@ Status ServiceCore::CheckpointNow() {
   NORMALIZE_RETURN_IF_ERROR(checkpoint_.SaveLiveState(state));
   if (wal_.has_value()) NORMALIZE_RETURN_IF_ERROR(wal_->Truncate());
   batches_since_checkpoint_ = 0;
-  ++writer_stats_.checkpoints;
+  checkpoints_counter_->Increment();
   return Status::OK();
 }
 
 void ServiceCore::PublishWriterStats() {
-  // Caller-side counters (backpressure, sheds, queue gauges) live in
-  // stats_ under mu_; everything else is writer-owned and copied over here.
-  ServiceStats merged = writer_stats_;
-  merged.backpressure_rejections = stats_.backpressure_rejections;
-  merged.shed_reads = stats_.shed_reads;
-  merged.queue_depth = stats_.queue_depth;
-  merged.queue_peak = stats_.queue_peak;
-  stats_ = merged;
+  // All counters and gauges moved into the registry; the only facts left
+  // under mu_ are the recovery summary (set once by Recover) and the
+  // maintainer view at the last applied batch.
+  stats_.recovered_wal_records = writer_stats_.recovered_wal_records;
+  stats_.recovery_tail_dropped_bytes =
+      writer_stats_.recovery_tail_dropped_bytes;
+  stats_.recovered_from_checkpoint = writer_stats_.recovered_from_checkpoint;
+  stats_.maintainer = writer_stats_.maintainer;
 }
 
 }  // namespace normalize

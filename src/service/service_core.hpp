@@ -53,6 +53,13 @@
 
 namespace normalize {
 
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class MetricsSnapshotter;
+class Tracer;
+
 struct ServiceCoreOptions {
   /// Data directory (created if missing): wal.log + live.snap.
   std::string dir;
@@ -75,10 +82,28 @@ struct ServiceCoreOptions {
   /// Maintainer knobs, passed through.
   int max_lhs_size = -1;
   int threads = 1;
+  /// Observability registry (obs/metrics.hpp; not owned, may be null). The
+  /// core's own counters are ALWAYS registry instruments — with no external
+  /// registry it creates a private one — so stats(), the METRICS protocol
+  /// request, bench_churn, and tests all read the same source of truth.
+  /// Supplying a registry additionally routes the maintainer's instruments
+  /// and the WAL/checkpoint/recovery latency histograms into a registry the
+  /// caller can scrape alongside other components.
+  MetricsRegistry* metrics = nullptr;
+  /// Trace sink (not owned, null = tracing off). The writer thread opens a
+  /// per-batch span; the maintainer nests probe/publish under it, so one
+  /// batch yields the tree batch → apply_batch → probe → publish.
+  Tracer* tracer = nullptr;
+  /// Periodic metrics snapshot publication interval (MetricsSnapshotter);
+  /// <= 0 disables the background tick (MetricsText still publishes on
+  /// demand).
+  double metrics_snapshot_interval_ms = 1000.0;
 };
 
-/// Counters a stats read returns; maintained by the writer thread,
-/// snapshot under the queue mutex.
+/// Counters a stats read returns. Since the obs subsystem landed these are
+/// assembled from the core's registry instruments (one source of truth with
+/// the METRICS exporters) plus the mu_-guarded recovery facts and maintainer
+/// snapshot; the struct shape is unchanged for API compatibility.
 struct ServiceStats {
   uint64_t batches_accepted = 0;
   uint64_t duplicates_ignored = 0;
@@ -135,6 +160,15 @@ class ServiceCore {
 
   ServiceStats stats() const;
 
+  /// Renders the effective registry through the snapshotter (publish-now,
+  /// then serve the published snapshot) as Prometheus text or, with
+  /// `as_json`, the JSON snapshot including the tracer's span records.
+  /// Backs the METRICS protocol request; callable from any thread.
+  std::string MetricsText(bool as_json) const;
+
+  /// The effective registry: options.metrics, or the core's private one.
+  MetricsRegistry* metrics_registry() const { return metrics_; }
+
   /// Column names of the served relation (immutable after Open).
   const std::vector<std::string>& column_names() const {
     return column_names_;
@@ -182,6 +216,30 @@ class ServiceCore {
   ServiceCoreOptions options_;
   std::vector<std::string> column_names_;
   CheckpointManager checkpoint_;
+
+  // Observability. metrics_ is never null after construction (own_registry_
+  // backs it when no external registry was supplied); instrument pointers
+  // are resolved once and updated lock-free. tracer_ may be null.
+  std::unique_ptr<MetricsRegistry> own_registry_;
+  MetricsRegistry* metrics_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  std::unique_ptr<MetricsSnapshotter> snapshotter_;
+  Counter* batches_accepted_counter_ = nullptr;
+  Counter* duplicates_ignored_counter_ = nullptr;
+  Counter* rejected_invalid_counter_ = nullptr;
+  Counter* backpressure_counter_ = nullptr;
+  Counter* shed_reads_counter_ = nullptr;
+  Counter* wal_appends_counter_ = nullptr;
+  Counter* checkpoints_counter_ = nullptr;
+  Counter* checkpoint_failures_counter_ = nullptr;
+  Gauge* wal_bytes_gauge_ = nullptr;
+  Gauge* queue_depth_gauge_ = nullptr;
+  Gauge* queue_peak_gauge_ = nullptr;
+  Gauge* last_applied_seq_gauge_ = nullptr;
+  Histogram* wal_append_seconds_hist_ = nullptr;
+  Histogram* batch_process_seconds_hist_ = nullptr;
+  Histogram* checkpoint_seconds_hist_ = nullptr;
+  Histogram* recovery_seconds_hist_ = nullptr;
 
   // Writer-thread-owned after Open() (phase discipline like LiveRelation:
   // the writer thread is the only mutator; Open() touches them before the

@@ -12,10 +12,37 @@
 #include "discovery/discovery_util.hpp"
 #include "discovery/induction.hpp"
 #include "fd/fd_tree.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pli/pli.hpp"
 #include "shard/shard_relation.hpp"
 
 namespace normalize {
+
+void ShardedDiscovery::PublishObservability() const {
+  MetricsRegistry* registry = options_.metrics;
+  if (registry == nullptr) return;
+  RecordPhaseMetrics(registry, "shard", phase_metrics_);
+  constexpr std::string_view kLabels = "component=shard";
+  auto count = [&](const char* name, size_t value) {
+    if (value > 0) registry->GetCounter(name, kLabels)->Increment(value);
+  };
+  registry->GetGauge("shard_count", kLabels)
+      ->Set(static_cast<int64_t>(stats_.shard_count));
+  count("shard_seed_fds_total", stats_.seed_fds);
+  count("shard_validated_candidates_total", stats_.validated_candidates);
+  count("shard_invalid_candidates_total", stats_.invalid_candidates);
+  count("shard_within_shard_violations_total", stats_.within_shard_violations);
+  count("shard_cross_shard_violations_total", stats_.cross_shard_violations);
+  count("shard_exchanged_evidence_sets_total", stats_.exchanged_evidence_sets);
+  count("shard_cross_shard_sampled_sets_total",
+        stats_.cross_shard_sampled_sets);
+  count("shard_cross_shard_comparisons_total", stats_.cross_shard_comparisons);
+  count("shard_evidence_less_shards_total", stats_.evidence_less_shards);
+  count("shard_plis_reused_total", stats_.plis_reused);
+  count("shard_resumed_covers_total", stats_.resumed_covers ? 1 : 0);
+  count("shard_resumed_frontier_total", stats_.resumed_frontier ? 1 : 0);
+}
 
 namespace {
 
@@ -255,6 +282,18 @@ Result<FdSet> ShardedDiscovery::Discover(
   }
   if (n == 0) return FdSet{};
 
+  // From here on this is a real multi-shard run: publish counters and phase
+  // timings into the registry however the run ends (success, interruption,
+  // or a per-shard failure), and root the run's span tree.
+  struct ObservabilityGuard {
+    const ShardedDiscovery* self;
+    ~ObservabilityGuard() { self->PublishObservability(); }
+  } publish_guard{this};
+  const RunContext* outer_ctx = options_.context;
+  ScopedSpan run_span(outer_ctx != nullptr ? outer_ctx->tracer : nullptr,
+                      "shard_discover",
+                      outer_ctx != nullptr ? outer_ctx->span : 0);
+
   size_t k = shards.size();
   int threads = ResolveThreadCount(shard_options_.threads);
   std::optional<ThreadPool> pool_storage;
@@ -308,6 +347,15 @@ Result<FdSet> ShardedDiscovery::Discover(
       FdDiscoveryOptions per_shard = options_;
       per_shard.threads = 1;
       per_shard.pool = nullptr;
+      // Re-seat the span parent across the pool hop: the worker thread has
+      // no ambient span, so the per-shard context carries the coordinator's
+      // run span explicitly and each shard's discover span nests under it.
+      RunContext shard_ctx;
+      if (ctx != nullptr) {
+        shard_ctx = *ctx;
+        shard_ctx.span = run_span.id();
+        per_shard.context = &shard_ctx;
+      }
       auto algo = MakeFdDiscovery(backend_, per_shard);
       if (!algo) {
         statuses[s] =

@@ -166,6 +166,11 @@ class ShardedDiscovery {
   const Status& completion_status() const { return completion_; }
 
  private:
+  /// Mirrors stats_ and phase_metrics_ into options_.metrics (no-op when
+  /// null). Runs via a scope guard when the multi-shard Discover() unwinds,
+  /// so interrupted runs report their partial counters too.
+  void PublishObservability() const;
+
   // Concurrency contract (phase discipline, not locks — see
   // common/thread_annotations.hpp): all merge state below is written only by
   // the coordinating thread. The parallel sweeps inside Discover() hand the

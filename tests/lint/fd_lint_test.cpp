@@ -119,6 +119,21 @@ TEST(FdLintVoidDiscard, CommentedDiscardsStayClean) {
   EXPECT_TRUE(diags.empty()) << Describe(diags);
 }
 
+// The obs subsystem's lock-discipline contract (obs/metrics.hpp file
+// comment): instrument updates are lockless atomics, registry/tracer
+// mutexes guard memory only, exporters do I/O on snapshot copies outside
+// every lock. The fire fixture holds the lock across the export I/O.
+TEST(FdLintObsDiscipline, ExportUnderRegistryLockFires) {
+  std::vector<Diagnostic> diags = RunOnFixtures({"obs_fire.cc"});
+  EXPECT_EQ(Ids(diags), (std::vector<std::string>{"FDL001", "FDL001"}))
+      << Describe(diags);
+}
+
+TEST(FdLintObsDiscipline, SnapshotThenExportStaysClean) {
+  std::vector<Diagnostic> diags = RunOnFixtures({"obs_clean.cc"});
+  EXPECT_TRUE(diags.empty()) << Describe(diags);
+}
+
 // The analyzer's own dogfood run: the whole tree, exactly as the CI job
 // invokes it, must be clean. Skipped when the compilation database is
 // absent (e.g. a build directory configured before this target existed).

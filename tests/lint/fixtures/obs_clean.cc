@@ -1,0 +1,58 @@
+// fd_lint fixture: the obs subsystem's lock discipline, spelled correctly —
+// must produce NO diagnostics. Instrument updates are pure atomics (no lock
+// at all), the registry/tracer mutex guards only memory, and exporters do
+// their I/O on a snapshot copy AFTER every lock is released. This is the
+// pattern src/obs/ commits to; fd_lint enforces it stays that way.
+// Not compiled — parsed by fd_lint_test.
+#include "common/mutex.hpp"
+
+namespace fixture {
+
+class Registry {
+ public:
+  // Get-or-create under the registration mutex: pure memory, FDL001-safe.
+  Counter* GetCounter(const std::string& name) {
+    MutexLock lock(mu_);
+    return &counters_[name];
+  }
+
+  // Snapshot enumeration under the lock, nothing else.
+  Snapshot TakeSnapshot() {
+    Snapshot snap;
+    MutexLock lock(mu_);
+    for (const auto& entry : counters_) snap.Add(entry);
+    return snap;
+  }
+
+  // Export-to-fd does the blocking write on the COPY, outside mu_.
+  void ExportTo(int fd) {
+    Snapshot snap = TakeSnapshot();
+    std::string text = Render(snap);
+    ::write(fd, text.data(), text.size());  // no lock held here
+  }
+
+ private:
+  Mutex mu_;
+  CounterMap counters_;
+};
+
+class Tracer {
+ public:
+  // Start/End only touch the span ring — memory under mu_, never I/O.
+  uint64_t StartSpan(const std::string& name) {
+    MutexLock lock(mu_);
+    spans_.Push(name);
+    return next_id_++;
+  }
+  void EndSpan(uint64_t id) {
+    MutexLock lock(mu_);
+    spans_.Finish(id);
+  }
+
+ private:
+  Mutex mu_;
+  uint64_t next_id_ = 1;
+  SpanRing spans_;
+};
+
+}  // namespace fixture

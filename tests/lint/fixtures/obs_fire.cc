@@ -1,0 +1,38 @@
+// fd_lint fixture: observability anti-patterns that FDL001 must catch —
+// exporting (blocking I/O) while still holding the registry or tracer
+// mutex. Two seeded defects, two diagnostics.
+// Not compiled — parsed by fd_lint_test.
+#include "common/mutex.hpp"
+
+namespace fixture {
+
+class Registry {
+ public:
+  // DEFECT: scraping straight off the live instrument map keeps mu_ held
+  // across the socket write.
+  void ExportTo(int fd) {
+    MutexLock lock(mu_);
+    std::string text = Render(counters_);
+    ::write(fd, text.data(), text.size());  // blocking write under mu_
+  }
+
+ private:
+  Mutex mu_;
+  CounterMap counters_;
+};
+
+class Snapshotter {
+ public:
+  // DEFECT: persisting the published snapshot under the publication lock.
+  void PublishTo(int fd) {
+    MutexLock lock(mu_);
+    latest_ = Build();
+    ::fsync(fd);  // fsync under the publication mutex
+  }
+
+ private:
+  Mutex mu_;
+  Snapshot latest_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,120 @@
+// Exporter golden tests: the Prometheus text exposition and the JSON
+// snapshot are consumed by scrapers, tools/check_metrics_json.py, and the
+// bench harnesses — their byte-level shape is a contract, pinned here
+// against a hand-built registry. Observation values are chosen so the
+// fixed-point nanosecond sums round-trip exactly through %.9g.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace normalize {
+namespace {
+
+MetricsRegistry& GoldenRegistry() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    r->GetCounter("requests_total", "component=test")->Increment(3);
+    r->GetGauge("queue_depth")->Set(-2);
+    HistogramOptions options;
+    options.start = 1e-3;
+    options.factor = 10.0;
+    options.buckets = 2;
+    Histogram* hist =
+        r->GetHistogram("latency_seconds", options, "component=test");
+    hist->Observe(1e-3);  // on the first bound -> bucket 0
+    hist->Observe(1.0);   // past the last bound -> +Inf
+    return r;
+  }();
+  return *registry;
+}
+
+TEST(ObsExportTest, PrometheusTextGolden) {
+  const std::string expected =
+      "# TYPE requests_total counter\n"
+      "requests_total{component=\"test\"} 3\n"
+      "# TYPE queue_depth gauge\n"
+      "queue_depth -2\n"
+      "# TYPE latency_seconds histogram\n"
+      "latency_seconds_bucket{component=\"test\",le=\"0.001\"} 1\n"
+      "latency_seconds_bucket{component=\"test\",le=\"0.01\"} 1\n"
+      "latency_seconds_bucket{component=\"test\",le=\"+Inf\"} 2\n"
+      "latency_seconds_sum{component=\"test\"} 1.001\n"
+      "latency_seconds_count{component=\"test\"} 2\n";
+  EXPECT_EQ(ToPrometheusText(GoldenRegistry().Snapshot()), expected);
+}
+
+TEST(ObsExportTest, MetricsJsonGolden) {
+  const std::string expected =
+      "{\n"
+      "  \"metrics_schema\": 1,\n"
+      "  \"counters\": [\n"
+      "    {\"name\": \"requests_total\", \"labels\": \"component=test\", "
+      "\"value\": 3}\n"
+      "  ],\n"
+      "  \"gauges\": [\n"
+      "    {\"name\": \"queue_depth\", \"labels\": \"\", \"value\": -2}\n"
+      "  ],\n"
+      "  \"histograms\": [\n"
+      "    {\"name\": \"latency_seconds\", \"labels\": \"component=test\", "
+      "\"bounds\": [0.001, 0.01], \"counts\": [1, 0, 1], \"count\": 2, "
+      "\"sum_seconds\": 1.001}\n"
+      "  ],\n"
+      "  \"spans\": []\n"
+      "}\n";
+  EXPECT_EQ(ToMetricsJson(GoldenRegistry().Snapshot()), expected);
+}
+
+TEST(ObsExportTest, SpanRecordsJsonGolden) {
+  // Hand-built records (a tracer's timestamps are clock-dependent; the
+  // rendering is what this pins). An unfinished span serializes with
+  // finished: false so consumers can flag spans cut off mid-run.
+  std::vector<SpanRecord> spans;
+  spans.push_back({1, 0, "batch", 0.5, 0.25, true});
+  spans.push_back({2, 1, "probe", 0.625, 0.125, false});
+  const std::string expected =
+      "{\n"
+      "  \"metrics_schema\": 1,\n"
+      "  \"counters\": [],\n"
+      "  \"gauges\": [],\n"
+      "  \"histograms\": [],\n"
+      "  \"spans\": [\n"
+      "    {\"id\": 1, \"parent\": 0, \"name\": \"batch\", "
+      "\"start_seconds\": 0.5, \"duration_seconds\": 0.25, "
+      "\"finished\": true},\n"
+      "    {\"id\": 2, \"parent\": 1, \"name\": \"probe\", "
+      "\"start_seconds\": 0.625, \"duration_seconds\": 0.125, "
+      "\"finished\": false}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(ToMetricsJson(MetricsSnapshot{}, spans), expected);
+}
+
+TEST(ObsExportTest, TypeHeaderEmittedOncePerFamily) {
+  MetricsRegistry registry;
+  registry.GetCounter("multi_total", "shard=0")->Increment(1);
+  registry.GetCounter("multi_total", "shard=1")->Increment(2);
+  std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_EQ(text,
+            "# TYPE multi_total counter\n"
+            "multi_total{shard=\"0\"} 1\n"
+            "multi_total{shard=\"1\"} 2\n");
+}
+
+TEST(ObsExportTest, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("odd_total", "path=a\"b\\c")->Increment(1);
+  std::string prom = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(prom.find("odd_total{path=\"a\\\"b\\\\c\"} 1"), std::string::npos)
+      << prom;
+  std::string json = ToMetricsJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"labels\": \"path=a\\\"b\\\\c\""), std::string::npos)
+      << json;
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,182 @@
+// The metrics substrate's load-bearing promises: instrument pointers are
+// stable, updates are lock-free and — for histograms — bit-deterministic
+// under any thread interleaving (integer fetch_adds commute), and the
+// PhaseMetrics edge adapter folds legacy per-phase accumulators into the
+// registry without the backends noticing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace normalize {
+namespace {
+
+TEST(ObsMetricsTest, CounterIncrementsMonotonically) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(ObsMetricsTest, GaugeSetAddMaxWith) {
+  Gauge gauge;
+  gauge.Set(-7);
+  EXPECT_EQ(gauge.value(), -7);
+  gauge.Add(10);
+  EXPECT_EQ(gauge.value(), 3);
+  gauge.MaxWith(9);
+  EXPECT_EQ(gauge.value(), 9);
+  gauge.MaxWith(2);  // lower values never win
+  EXPECT_EQ(gauge.value(), 9);
+}
+
+TEST(ObsMetricsTest, RegistryReturnsStablePointersPerNameAndLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("events_total", "component=x");
+  Counter* b = registry.GetCounter("events_total", "component=x");
+  Counter* c = registry.GetCounter("events_total", "component=y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  a->Increment(3);
+  c->Increment(5);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  // (name, labels)-sorted enumeration: component=x before component=y.
+  EXPECT_EQ(snapshot.counters[0].labels, "component=x");
+  EXPECT_EQ(snapshot.counters[0].value, 3u);
+  EXPECT_EQ(snapshot.counters[1].labels, "component=y");
+  EXPECT_EQ(snapshot.counters[1].value, 5u);
+  EXPECT_EQ(snapshot.FindCounter("events_total", "component=y")->value, 5u);
+  EXPECT_EQ(snapshot.FindCounter("missing"), nullptr);
+}
+
+TEST(ObsMetricsTest, HistogramBucketBoundariesAreInclusive) {
+  HistogramOptions options;
+  options.start = 1e-3;
+  options.factor = 10.0;
+  options.buckets = 3;
+  Histogram hist(options);
+  ASSERT_EQ(hist.bounds().size(), 3u);
+
+  hist.Observe(1e-3);   // exactly on the first bound: le semantics, bucket 0
+  hist.Observe(2e-3);   // bucket 1
+  hist.Observe(5.0);    // beyond the last bound: +Inf overflow
+  hist.Observe(-1.0);   // negative clamps to 0 -> bucket 0
+  std::vector<uint64_t> counts = hist.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(hist.count(), 4u);
+}
+
+TEST(ObsMetricsTest, HistogramLayoutIsSanitizedNotRejected) {
+  HistogramOptions bad;
+  bad.start = -1.0;
+  bad.factor = 0.5;
+  bad.buckets = 100000;
+  Histogram hist(bad);
+  EXPECT_EQ(hist.bounds().front(), HistogramOptions{}.start);
+  EXPECT_LE(hist.bounds().size(), 64u);
+}
+
+// The determinism pin: one fixed observation stream must produce
+// bit-identical bucket counts, total count, and fixed-point sum at ANY
+// thread count. Everything in Observe() is an integer fetch_add, and
+// integer addition commutes — this test is the regression tripwire for
+// anyone "optimizing" the sum back to doubles.
+TEST(ObsMetricsTest, HistogramIsBitDeterministicAcrossThreadCounts) {
+  constexpr size_t kObservations = 20000;
+  auto observation = [](size_t i) {
+    return static_cast<double>(i % 97) * 1e-5;  // spans several buckets
+  };
+
+  auto run = [&](int threads) {
+    auto hist = std::make_unique<Histogram>(HistogramOptions{});
+    ThreadPool pool(threads);
+    EXPECT_TRUE(pool.ParallelFor(kObservations, [&](size_t i) {
+                      hist->Observe(observation(i));
+                    }).ok());
+    return hist;
+  };
+
+  std::unique_ptr<Histogram> serial = run(1);
+  for (int threads : {2, 8}) {
+    std::unique_ptr<Histogram> parallel = run(threads);
+    EXPECT_EQ(parallel->count(), serial->count()) << threads << " threads";
+    EXPECT_EQ(parallel->sum_nanos(), serial->sum_nanos())
+        << threads << " threads";
+    EXPECT_EQ(parallel->bucket_counts(), serial->bucket_counts())
+        << threads << " threads";
+  }
+  EXPECT_EQ(serial->count(), kObservations);
+}
+
+TEST(ObsMetricsTest, RegistryRegistrationIsThreadSafe) {
+  MetricsRegistry registry;
+  ThreadPool pool(8);
+  // Concurrent get-or-create on the same key must converge on one
+  // instrument; 64 increments of 1 through whichever pointer each worker
+  // resolved must total 64.
+  EXPECT_TRUE(pool.ParallelFor(64, [&](size_t) {
+                    registry.GetCounter("races_total")->Increment();
+                  }).ok());
+  EXPECT_EQ(registry.GetCounter("races_total")->value(), 64u);
+}
+
+TEST(ObsMetricsTest, NullSafeHelpersAndLatencyTimer) {
+  // All helpers tolerate null (instrumentation disabled): no crash, no-op.
+  IncrementCounter(nullptr);
+  SetGauge(nullptr, 3);
+  ObserveHistogram(nullptr, 1.0);
+  { LatencyTimer timer(nullptr); }
+
+  Histogram hist{HistogramOptions{}};
+  {
+    LatencyTimer timer(&hist);
+    timer.Stop();
+    timer.Stop();  // second Stop is a no-op — exactly one observation
+  }
+  EXPECT_EQ(hist.count(), 1u);
+  {
+    LatencyTimer timer(&hist);  // scope-exit observation
+  }
+  EXPECT_EQ(hist.count(), 2u);
+}
+
+TEST(ObsMetricsTest, RecordPhaseMetricsFoldsPhasesIntoRegistry) {
+  PhaseMetrics phases;
+  phases.Record("build_plis", 0.5, 10);
+  phases.Record("induct", 0.25, 0);  // zero items: histogram only
+  MetricsRegistry registry;
+  RecordPhaseMetrics(&registry, "hyfd", phases);
+  RecordPhaseMetrics(nullptr, "hyfd", phases);  // disabled path: no-op
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const auto* plis = snapshot.FindHistogram("normalize_phase_seconds",
+                                            "component=hyfd,phase=build_plis");
+  ASSERT_NE(plis, nullptr);
+  EXPECT_EQ(plis->count, 1u);
+  EXPECT_EQ(plis->sum_nanos, 500000000u);
+  const auto* items = snapshot.FindCounter("normalize_phase_items_total",
+                                           "component=hyfd,phase=build_plis");
+  ASSERT_NE(items, nullptr);
+  EXPECT_EQ(items->value, 10u);
+  // A zero-count phase records latency but no items counter.
+  EXPECT_NE(snapshot.FindHistogram("normalize_phase_seconds",
+                                   "component=hyfd,phase=induct"),
+            nullptr);
+  EXPECT_EQ(snapshot.FindCounter("normalize_phase_items_total",
+                                 "component=hyfd,phase=induct"),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace normalize

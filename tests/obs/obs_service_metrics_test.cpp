@@ -1,0 +1,215 @@
+// The observability acceptance surface for the durable service: stats(),
+// the METRICS protocol request, and the exporters must all read the SAME
+// registry instruments (one source of truth), and one applied batch must
+// yield the span tree batch -> apply_batch -> probe/publish across the
+// writer-thread hop.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/datasets.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "service/service_core.hpp"
+
+namespace normalize {
+namespace {
+
+constexpr const char* kSvc = "component=service";
+constexpr const char* kLive = "component=live";
+
+std::string FreshDir(const std::string& leaf) {
+  std::string dir = ::testing::TempDir() + "/" + leaf;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string SocketPath(const std::string& leaf) {
+  std::string path = "/tmp/" + leaf + "." + std::to_string(::getpid());
+  ::unlink(path.c_str());
+  return path;
+}
+
+LiveBatch InsertBatch(std::vector<std::string> row) {
+  LiveBatch batch;
+  batch.inserts.push_back(std::move(row));
+  return batch;
+}
+
+TEST(ObsServiceMetricsTest, StatsAndRegistryAgree) {
+  MetricsRegistry registry;
+  ServiceCoreOptions options;
+  options.dir = FreshDir("obs_svc_stats");
+  options.metrics = &registry;
+  options.checkpoint_every = 2;
+  options.metrics_snapshot_interval_ms = 0;  // on-demand publication only
+  auto core = ServiceCore::Open(AddressExample(), options);
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+  EXPECT_EQ((*core)->metrics_registry(), &registry);
+
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    ASSERT_TRUE(
+        (*core)
+            ->Apply(seq, InsertBatch({"Ada", "Lovelace",
+                                      std::to_string(10000 + seq), "Berlin",
+                                      "Kaiser"}))
+            .ok());
+  }
+  ASSERT_TRUE((*core)->Apply(5, InsertBatch({"A", "B", "C", "D", "E"})).ok());
+
+  // stats() is assembled FROM the registry — every countable field must
+  // match the instrument the exporters scrape.
+  ServiceStats stats = (*core)->stats();
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(stats.batches_accepted,
+            snap.FindCounter("service_batches_accepted_total", kSvc)->value);
+  EXPECT_EQ(stats.batches_accepted, 5u);
+  EXPECT_EQ(stats.duplicates_ignored,
+            snap.FindCounter("service_duplicates_ignored_total", kSvc)->value);
+  EXPECT_EQ(stats.duplicates_ignored, 1u);
+  EXPECT_EQ(stats.wal_appends,
+            snap.FindCounter("service_wal_appends_total", kSvc)->value);
+  EXPECT_EQ(stats.checkpoints,
+            snap.FindCounter("service_checkpoints_total", kSvc)->value);
+  EXPECT_EQ(static_cast<int64_t>(stats.last_applied_seq),
+            snap.FindGauge("service_last_applied_seq", kSvc)->value);
+  EXPECT_EQ(static_cast<int64_t>(stats.wal_bytes),
+            snap.FindGauge("service_wal_bytes", kSvc)->value);
+
+  // The external registry also carries the maintainer's instruments and the
+  // per-batch latency histograms. The maintainer counts its bootstrap
+  // Initialize() as one applied batch, so compare against ITS stats — the
+  // one-source-of-truth invariant — not the service's accepted count.
+  EXPECT_EQ(snap.FindCounter("live_batches_applied_total", kLive)->value,
+            stats.maintainer.batches_applied);
+  EXPECT_EQ(stats.maintainer.batches_applied, 6u);  // initialize + 5 batches
+  const auto* wal_hist = snap.FindHistogram("service_wal_append_seconds", kSvc);
+  ASSERT_NE(wal_hist, nullptr);
+  EXPECT_EQ(wal_hist->count, stats.wal_appends);
+  const auto* batch_hist =
+      snap.FindHistogram("live_batch_apply_seconds", kLive);
+  ASSERT_NE(batch_hist, nullptr);
+  EXPECT_EQ(batch_hist->count, stats.maintainer.batches_applied);
+  EXPECT_EQ(snap.FindHistogram("service_recovery_seconds", kSvc)->count, 1u);
+
+  ASSERT_TRUE((*core)->Shutdown().ok());
+}
+
+TEST(ObsServiceMetricsTest, PrivateRegistryBacksStatsWhenNoneSupplied) {
+  ServiceCoreOptions options;
+  options.dir = FreshDir("obs_svc_private");
+  options.metrics_snapshot_interval_ms = 0;
+  auto core = ServiceCore::Open(AddressExample(), options);
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+  ASSERT_NE((*core)->metrics_registry(), nullptr);
+
+  ASSERT_TRUE((*core)->Apply(1, InsertBatch({"A", "B", "C", "D", "E"})).ok());
+  ServiceStats stats = (*core)->stats();
+  EXPECT_EQ(stats.batches_accepted, 1u);
+  MetricsSnapshot snap = (*core)->metrics_registry()->Snapshot();
+  EXPECT_EQ(snap.FindCounter("service_batches_accepted_total", kSvc)->value,
+            1u);
+  // MetricsText works without any external registry or tracer.
+  std::string text = (*core)->MetricsText(/*as_json=*/false);
+  EXPECT_NE(text.find("service_batches_accepted_total"), std::string::npos);
+  ASSERT_TRUE((*core)->Shutdown().ok());
+}
+
+TEST(ObsServiceMetricsTest, SpanTreeLinksBatchToProbeAndPublish) {
+  MetricsRegistry registry;
+  Tracer tracer;
+  ServiceCoreOptions options;
+  options.dir = FreshDir("obs_svc_spans");
+  options.metrics = &registry;
+  options.tracer = &tracer;
+  options.metrics_snapshot_interval_ms = 0;
+  auto core = ServiceCore::Open(AddressExample(), options);
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+  ASSERT_TRUE(
+      (*core)->Apply(1, InsertBatch({"Lin", "Chu", "10178", "Berlin", "Mohren"}))
+          .ok());
+  ASSERT_TRUE((*core)->Shutdown().ok());
+
+  std::vector<SpanRecord> spans = tracer.Export();
+  // Open() traces recovery; the batch tree hangs off the writer thread's
+  // ambient "batch" span even though apply/probe/publish run layers deeper.
+  uint64_t recover_id = 0, batch_id = 0, apply_id = 0;
+  bool saw_probe = false, saw_publish = false;
+  for (const SpanRecord& span : spans) {
+    if (span.name == "recover") recover_id = span.id;
+    if (span.name == "batch") batch_id = span.id;
+    if (span.name == "initialize") {
+      EXPECT_EQ(span.parent, recover_id) << "initialize parents under recover";
+    }
+    if (span.name == "apply_batch" && span.parent == batch_id) {
+      apply_id = span.id;
+    }
+  }
+  ASSERT_NE(recover_id, 0u);
+  ASSERT_NE(batch_id, 0u);
+  ASSERT_NE(apply_id, 0u) << "apply_batch must parent under the batch span";
+  for (const SpanRecord& span : spans) {
+    if (span.parent != apply_id) continue;
+    if (span.name == "probe") saw_probe = true;
+    if (span.name == "publish") saw_publish = true;
+  }
+  EXPECT_TRUE(saw_probe) << "probe must nest under apply_batch";
+  EXPECT_TRUE(saw_publish) << "publish must nest under apply_batch";
+  for (const SpanRecord& span : spans) {
+    EXPECT_TRUE(span.finished) << span.name << " leaked open";
+  }
+}
+
+TEST(ObsServiceMetricsTest, MetricsRequestRoundTripsThroughProtocol) {
+  MetricsRegistry registry;
+  Tracer tracer;
+  ServiceCoreOptions options;
+  options.dir = FreshDir("obs_svc_proto");
+  options.metrics = &registry;
+  options.tracer = &tracer;
+  auto core = ServiceCore::Open(AddressExample(), options);
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+  std::string socket_path = SocketPath("obs_svc_proto");
+  ServiceServer server(core->get(), ServiceServerOptions{socket_path});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = ServiceClient::Connect(socket_path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto applied =
+      client->Apply(1, InsertBatch({"Kim", "Roe", "14482", "Potsdam", "Jakobs"}));
+  ASSERT_TRUE(applied.ok());
+  ASSERT_EQ(applied->code, StatusCode::kOk);
+
+  auto prom = client->Metrics(/*as_json=*/false);
+  ASSERT_TRUE(prom.ok()) << prom.status().ToString();
+  EXPECT_EQ(prom->code, StatusCode::kOk);
+  EXPECT_NE(prom->text.find("# TYPE service_batches_accepted_total counter"),
+            std::string::npos)
+      << prom->text;
+  EXPECT_NE(prom->text.find("service_wal_append_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(prom->text.find("le=\"+Inf\""), std::string::npos);
+
+  auto json = client->Metrics(/*as_json=*/true);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_EQ(json->code, StatusCode::kOk);
+  EXPECT_NE(json->text.find("\"metrics_schema\": 1"), std::string::npos);
+  EXPECT_NE(json->text.find("\"name\": \"live_batches_applied_total\""),
+            std::string::npos);
+  EXPECT_NE(json->text.find("\"name\": \"batch\""), std::string::npos)
+      << "span records ride the JSON snapshot";
+
+  server.Stop();
+  ASSERT_TRUE((*core)->Shutdown().ok());
+}
+
+}  // namespace
+}  // namespace normalize

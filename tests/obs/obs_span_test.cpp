@@ -1,0 +1,159 @@
+// Span-tree integrity: ambient nesting on one thread, explicit-parent
+// propagation across ThreadPool hops, well-formedness when a parallel
+// region is cancelled mid-run, and the bounded-ring eviction contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/run_context.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/span.hpp"
+
+namespace normalize {
+namespace {
+
+// Every exported span must have a unique id and a parent that is either a
+// root (0), an earlier id in the export, or an id below the export window
+// (evicted — consumers treat it as a root).
+void ExpectWellFormed(const std::vector<SpanRecord>& spans) {
+  std::set<uint64_t> ids;
+  uint64_t previous = 0;
+  for (const SpanRecord& span : spans) {
+    EXPECT_GT(span.id, previous) << "ids must be strictly increasing";
+    previous = span.id;
+    ids.insert(span.id);
+    if (span.parent != 0) {
+      EXPECT_LT(span.parent, span.id)
+          << "span " << span.id << " parents forward";
+    }
+  }
+  EXPECT_EQ(ids.size(), spans.size());
+}
+
+TEST(ObsSpanTest, AmbientNestingParentsSameThreadSpans) {
+  Tracer tracer;
+  EXPECT_EQ(CurrentSpanId(), 0u);
+  {
+    ScopedSpan root(&tracer, "root");
+    EXPECT_EQ(CurrentSpanId(), root.id());
+    {
+      ScopedSpan child(&tracer, "child");
+      EXPECT_EQ(CurrentSpanId(), child.id());
+    }
+    EXPECT_EQ(CurrentSpanId(), root.id());  // restored on scope exit
+  }
+  EXPECT_EQ(CurrentSpanId(), 0u);
+
+  std::vector<SpanRecord> spans = tracer.Export();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_TRUE(spans[0].finished);
+  EXPECT_TRUE(spans[1].finished);
+  ExpectWellFormed(spans);
+}
+
+TEST(ObsSpanTest, ExplicitParentSurvivesThreadPoolHops) {
+  Tracer tracer;
+  constexpr size_t kWorkers = 16;
+  {
+    ScopedSpan coordinator(&tracer, "run");
+    const uint64_t parent = coordinator.id();
+    ThreadPool pool(4);
+    ASSERT_TRUE(pool.ParallelFor(kWorkers, [&](size_t) {
+                      // The pool-hop bridge: the worker thread has no
+                      // ambient span, so the coordinator's id is passed
+                      // explicitly — exactly what RunContext carries.
+                      ScopedSpan work(&tracer, "work", parent);
+                    }).ok());
+  }
+
+  std::vector<SpanRecord> spans = tracer.Export();
+  ASSERT_EQ(spans.size(), kWorkers + 1);
+  ExpectWellFormed(spans);
+  const uint64_t root_id = spans[0].id;
+  EXPECT_EQ(spans[0].name, "run");
+  size_t children = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name != "work") continue;
+    ++children;
+    EXPECT_EQ(span.parent, root_id);
+    EXPECT_TRUE(span.finished);
+  }
+  EXPECT_EQ(children, kWorkers);
+}
+
+TEST(ObsSpanTest, CancellationMidRunLeavesWellFormedTree) {
+  Tracer tracer;
+  CancellationToken token;
+  ThreadPool pool(4);
+  pool.SetCancellation(token);
+  std::atomic<size_t> ran{0};
+  {
+    ScopedSpan coordinator(&tracer, "run");
+    const uint64_t parent = coordinator.id();
+    // Cancel from inside the region: some chunks never dispatch, but every
+    // span that DID open still closes via RAII — the tree stays coherent.
+    Status status = pool.ParallelFor(256, [&](size_t i) {
+      ScopedSpan work(&tracer, "work", parent);
+      if (i == 3) token.Cancel();
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), StatusCode::kCancelled);
+    }
+  }
+
+  std::vector<SpanRecord> spans = tracer.Export();
+  ExpectWellFormed(spans);
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.size(), ran.load() + 1);  // coordinator + every span opened
+  for (const SpanRecord& span : spans) {
+    EXPECT_TRUE(span.finished) << "span " << span.id << " leaked open";
+  }
+}
+
+TEST(ObsSpanTest, InFlightSpansExportUnfinished) {
+  Tracer tracer;
+  uint64_t id = tracer.StartSpan("open");
+  std::vector<SpanRecord> spans = tracer.Export();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_FALSE(spans[0].finished);
+  tracer.EndSpan(id);
+  spans = tracer.Export();
+  EXPECT_TRUE(spans[0].finished);
+  EXPECT_GE(spans[0].duration_seconds, 0.0);
+}
+
+TEST(ObsSpanTest, BoundedRingEvictsOldestFirst) {
+  TracerOptions options;
+  options.max_spans = 4;
+  Tracer tracer(options);
+  for (int i = 0; i < 10; ++i) {
+    tracer.EndSpan(tracer.StartSpan("s"));
+  }
+  EXPECT_EQ(tracer.started_spans(), 10u);
+  EXPECT_EQ(tracer.evicted_spans(), 6u);
+  std::vector<SpanRecord> spans = tracer.Export();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().id, 7u);  // oldest evicted; most recent retained
+  EXPECT_EQ(spans.back().id, 10u);
+  tracer.EndSpan(1);  // ending an evicted span is a harmless no-op
+  EXPECT_EQ(tracer.Export().size(), 4u);
+}
+
+TEST(ObsSpanTest, NullTracerDisablesEverything) {
+  ScopedSpan span(nullptr, "never");
+  EXPECT_EQ(span.id(), 0u);
+  EXPECT_EQ(CurrentSpanId(), 0u);  // ambient untouched when tracing is off
+  ScopedSpan child(nullptr, "never", 42);
+  EXPECT_EQ(child.id(), 0u);
+}
+
+}  // namespace
+}  // namespace normalize

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Validate metrics JSON snapshots written by the obs subsystem
+(obs/export.hpp ToMetricsJson): `normalize_cli --metrics-out`,
+`bench_* --metrics-out`, and the service's METRICS request all emit this
+schema, and CI uploads the snapshots as artifacts — a malformed one means
+an exporter regression, caught here rather than by a dashboard.
+
+Schema (metrics_schema 1):
+
+  Top level: metrics_schema == 1 plus the four arrays counters, gauges,
+  histograms, spans (present even when empty).
+
+  Samples: every counter/gauge carries name (non-empty str), labels (str,
+  plain `k=v[,k2=v2]` form), and an integral value; counters must be
+  non-negative. Histograms additionally carry bounds (strictly increasing
+  positive numbers), counts with exactly len(bounds)+1 entries (the last
+  is the +Inf overflow bucket), a count equal to the sum of the bucket
+  counts, and a non-negative sum_seconds.
+
+  Spans: ids are positive, strictly increasing (export order = start
+  order), and unique; every parent is either 0 (a root), an earlier id in
+  the file, or an id below the retained window (evicted — the tracer's
+  bounded ring aged it out, consumers treat the orphan as a root);
+  finished is a bool and durations are non-negative.
+
+Optional --require NAME[@LABELS] flags assert that a specific instrument
+was actually recorded (acceptance runs use this to prove the wiring: e.g.
+--require service_wal_append_seconds@component=service).
+
+Exit codes: 0 ok, 1 schema violation, 2 --require unmet. Stdlib only.
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+ERRORS = []
+REQUIRE_ERRORS = []
+
+
+def error(msg):
+    ERRORS.append(msg)
+
+
+def is_int(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def is_num(value):
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def check_sample(entry, where, signed):
+    if not isinstance(entry, dict):
+        error(f"{where}: not an object")
+        return
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        error(f"{where}: missing or empty name")
+    if not isinstance(entry.get("labels"), str):
+        error(f"{where}: labels must be a string")
+    value = entry.get("value")
+    if not is_int(value):
+        error(f"{where}: value must be integral, got {value!r}")
+    elif not signed and value < 0:
+        error(f"{where}: counter value is negative ({value})")
+
+
+def check_histogram(entry, where):
+    if not isinstance(entry, dict):
+        error(f"{where}: not an object")
+        return
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        error(f"{where}: missing or empty name")
+    bounds = entry.get("bounds")
+    counts = entry.get("counts")
+    if not isinstance(bounds, list) or not all(is_num(b) for b in bounds):
+        error(f"{where}: bounds must be a list of numbers")
+        return
+    if any(b <= 0 for b in bounds):
+        error(f"{where}: bucket bounds must be positive")
+    if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+        error(f"{where}: bounds not strictly increasing: {bounds}")
+    if not isinstance(counts, list) or not all(is_int(c) for c in counts):
+        error(f"{where}: counts must be a list of integers")
+        return
+    if len(counts) != len(bounds) + 1:
+        error(f"{where}: {len(counts)} counts for {len(bounds)} bounds "
+              f"(expected bounds+1, the last bucket is +Inf)")
+    if any(c < 0 for c in counts):
+        error(f"{where}: negative bucket count")
+    total = entry.get("count")
+    if not is_int(total):
+        error(f"{where}: count must be integral")
+    elif total != sum(counts):
+        error(f"{where}: count {total} != sum of bucket counts "
+              f"{sum(counts)}")
+    sum_seconds = entry.get("sum_seconds")
+    if not is_num(sum_seconds) or sum_seconds < 0:
+        error(f"{where}: sum_seconds must be a non-negative number")
+
+
+def check_spans(spans, path):
+    previous_id = 0
+    first_id = spans[0].get("id") if spans else 1
+    for i, span in enumerate(spans):
+        where = f"{path}: spans[{i}]"
+        if not isinstance(span, dict):
+            error(f"{where}: not an object")
+            continue
+        span_id = span.get("id")
+        if not is_int(span_id) or span_id <= 0:
+            error(f"{where}: id must be a positive integer")
+            continue
+        if span_id <= previous_id:
+            error(f"{where}: ids must be strictly increasing "
+                  f"({span_id} after {previous_id})")
+        parent = span.get("parent")
+        if not is_int(parent) or parent < 0:
+            error(f"{where}: parent must be a non-negative integer")
+        elif parent >= span_id:
+            error(f"{where}: parent {parent} does not precede id {span_id}")
+        elif parent != 0 and first_id <= parent <= previous_id:
+            # In-window parents must actually be present; below the window
+            # they were evicted by the tracer ring and orphaning is fine.
+            if not any(s.get("id") == parent for s in spans[:i]):
+                error(f"{where}: parent {parent} missing from export")
+        if not isinstance(span.get("name"), str) or not span["name"]:
+            error(f"{where}: missing or empty name")
+        for key in ("start_seconds", "duration_seconds"):
+            if not is_num(span.get(key)) or span[key] < 0:
+                error(f"{where}: {key} must be a non-negative number")
+        if not isinstance(span.get("finished"), bool):
+            error(f"{where}: finished must be a bool")
+        previous_id = span_id
+
+
+def check_file(path, data, requirements):
+    if data.get("metrics_schema") != 1:
+        error(f"{path}: metrics_schema must be 1, "
+              f"got {data.get('metrics_schema')!r}")
+        return
+    for key in ("counters", "gauges", "histograms", "spans"):
+        if not isinstance(data.get(key), list):
+            error(f"{path}: missing array '{key}'")
+    if ERRORS:
+        return
+    for i, entry in enumerate(data["counters"]):
+        check_sample(entry, f"{path}: counters[{i}]", signed=False)
+    for i, entry in enumerate(data["gauges"]):
+        check_sample(entry, f"{path}: gauges[{i}]", signed=True)
+    for i, entry in enumerate(data["histograms"]):
+        check_histogram(entry, f"{path}: histograms[{i}]")
+    check_spans(data["spans"], path)
+
+    recorded = set()
+    for section in ("counters", "gauges", "histograms"):
+        for entry in data[section]:
+            if isinstance(entry, dict) and isinstance(entry.get("name"), str):
+                recorded.add((entry["name"], entry.get("labels", "")))
+                recorded.add((entry["name"], None))  # name-only match
+    for spec in requirements:
+        name, sep, labels = spec.partition("@")
+        key = (name, labels if sep else None)
+        if key not in recorded:
+            REQUIRE_ERRORS.append(f"{path}: required instrument "
+                                  f"'{spec}' not recorded")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="metrics JSON snapshots")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME[@LABELS]",
+                        help="fail unless this instrument appears (repeat "
+                        "for several; @LABELS matches exactly)")
+    args = parser.parse_args()
+
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            error(f"{path}: {e}")
+            continue
+        if not isinstance(data, dict):
+            error(f"{path}: top level is not an object")
+            continue
+        check_file(path, data, args.require)
+
+    for msg in ERRORS:
+        print(f"schema: {msg}", file=sys.stderr)
+    for msg in REQUIRE_ERRORS:
+        print(f"require: {msg}", file=sys.stderr)
+    if ERRORS:
+        return 1
+    if REQUIRE_ERRORS:
+        return 2
+    print(f"ok: {', '.join(args.files)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
